@@ -1,0 +1,158 @@
+//! Deviation detection — management by exception.
+//!
+//! A [`DeviationDetector`] owns an [`ExpectationModel`]. For every
+//! observation it first asks the model what it expected, emits a
+//! [`Deviation`] if the actual value falls outside the band, and then
+//! (policy-dependent) updates the model — the tutorial's loop of
+//! "identifying when reality deviates from expectation; updating models".
+
+use evdb_types::TimestampMs;
+
+use crate::model::ExpectationModel;
+
+/// How the model learns from observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdatePolicy {
+    /// Update on every observation, including deviant ones (adapts fast,
+    /// but a sustained anomaly gets absorbed into the expectation).
+    Always,
+    /// Update only on observations inside the expected band (robust to
+    /// outliers, but a genuine regime change is never learned).
+    InBandOnly,
+}
+
+/// A detected deviation from expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deviation {
+    /// When the observation was made.
+    pub timestamp: TimestampMs,
+    /// The observed value.
+    pub value: f64,
+    /// The expected band at the time.
+    pub expected_low: f64,
+    /// Upper edge of the expected band.
+    pub expected_high: f64,
+    /// Severity: distance outside the band, in band half-widths
+    /// (0 at the edge; ≥ 0 outside). For callers that rank alerts.
+    pub score: f64,
+}
+
+/// Model + policy + counters.
+pub struct DeviationDetector {
+    model: Box<dyn ExpectationModel>,
+    policy: UpdatePolicy,
+    observations: u64,
+    deviations: u64,
+}
+
+impl DeviationDetector {
+    /// Wrap a model with the [`UpdatePolicy::Always`] policy.
+    pub fn new(model: Box<dyn ExpectationModel>) -> DeviationDetector {
+        DeviationDetector::with_policy(model, UpdatePolicy::Always)
+    }
+
+    /// Wrap a model with an explicit update policy.
+    pub fn with_policy(
+        model: Box<dyn ExpectationModel>,
+        policy: UpdatePolicy,
+    ) -> DeviationDetector {
+        DeviationDetector {
+            model,
+            policy,
+            observations: 0,
+            deviations: 0,
+        }
+    }
+
+    /// The wrapped model's name.
+    pub fn model_name(&self) -> &'static str {
+        self.model.name()
+    }
+
+    /// `(observations, deviations)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.observations, self.deviations)
+    }
+
+    /// Feed one observation; returns a deviation if the model's
+    /// expectation was violated (never during warm-up).
+    pub fn observe(&mut self, timestamp: TimestampMs, value: f64) -> Option<Deviation> {
+        self.observations += 1;
+        let expected = self.model.expected();
+        let deviation = match expected {
+            Some((lo, hi)) if value < lo || value > hi => {
+                self.deviations += 1;
+                let half = ((hi - lo) / 2.0).max(f64::MIN_POSITIVE);
+                let dist = if value < lo { lo - value } else { value - hi };
+                Some(Deviation {
+                    timestamp,
+                    value,
+                    expected_low: lo,
+                    expected_high: hi,
+                    score: dist / half,
+                })
+            }
+            _ => None,
+        };
+        let update = match self.policy {
+            UpdatePolicy::Always => true,
+            UpdatePolicy::InBandOnly => deviation.is_none(),
+        };
+        if update {
+            self.model.observe(value);
+        }
+        deviation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ControlChartModel, ThresholdModel};
+
+    #[test]
+    fn threshold_detector_flags_out_of_band() {
+        let mut d = DeviationDetector::new(Box::new(ThresholdModel::new(0.0, 100.0)));
+        assert!(d.observe(TimestampMs(1), 50.0).is_none());
+        let dev = d.observe(TimestampMs(2), 150.0).unwrap();
+        assert_eq!(dev.expected_high, 100.0);
+        assert!((dev.score - 1.0).abs() < 1e-9); // 50 beyond / 50 half-width
+        let dev = d.observe(TimestampMs(3), -25.0).unwrap();
+        assert!((dev.score - 0.5).abs() < 1e-9);
+        assert_eq!(d.stats(), (3, 2));
+        assert_eq!(d.model_name(), "threshold");
+    }
+
+    #[test]
+    fn warmup_produces_no_alerts() {
+        let mut d = DeviationDetector::new(Box::new(ControlChartModel::new(3.0, 20)));
+        for i in 0..19 {
+            assert!(d.observe(TimestampMs(i), 1_000_000.0 * i as f64).is_none());
+        }
+    }
+
+    #[test]
+    fn in_band_only_policy_resists_outlier_absorption() {
+        // Feed a stable series, then a burst of anomalies; with
+        // InBandOnly the model keeps expecting the old regime.
+        let mk = |policy| {
+            DeviationDetector::with_policy(Box::new(ControlChartModel::new(3.0, 10)), policy)
+        };
+        let mut always = mk(UpdatePolicy::Always);
+        let mut robust = mk(UpdatePolicy::InBandOnly);
+        for i in 0..100 {
+            let v = 100.0 + (i % 5) as f64;
+            always.observe(TimestampMs(i), v);
+            robust.observe(TimestampMs(i), v);
+        }
+        let mut always_flags = 0;
+        let mut robust_flags = 0;
+        for i in 100..160 {
+            let v = 500.0; // sustained anomaly
+            always_flags += always.observe(TimestampMs(i), v).is_some() as u32;
+            robust_flags += robust.observe(TimestampMs(i), v).is_some() as u32;
+        }
+        assert_eq!(robust_flags, 60); // never absorbed
+        assert!(always_flags < 60); // eventually absorbed into the mean
+    }
+}

@@ -1,0 +1,183 @@
+//! Detector quality evaluation: confusion matrices, precision/recall and
+//! ROC analysis over ground-truth-labelled traces — the paper's "errors,
+//! false positives, false negatives, statistics" made measurable
+//! (experiment E8).
+
+/// Binary-classification tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Alert fired, anomaly truly present.
+    pub tp: u64,
+    /// Alert fired, no anomaly (false alarm).
+    pub fp: u64,
+    /// No alert, no anomaly.
+    pub tn: u64,
+    /// No alert, anomaly missed.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Record one `(alert_fired, anomaly_present)` outcome.
+    pub fn record(&mut self, alerted: bool, truth: bool) {
+        match (alerted, truth) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// TP / (TP + FP); `None` when no alerts fired.
+    pub fn precision(&self) -> Option<f64> {
+        let d = self.tp + self.fp;
+        (d > 0).then(|| self.tp as f64 / d as f64)
+    }
+
+    /// TP / (TP + FN) — the true-positive rate; `None` with no positives.
+    pub fn recall(&self) -> Option<f64> {
+        let d = self.tp + self.fn_;
+        (d > 0).then(|| self.tp as f64 / d as f64)
+    }
+
+    /// FP / (FP + TN) — the false-positive rate; `None` with no negatives.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        let d = self.fp + self.tn;
+        (d > 0).then(|| self.fp as f64 / d as f64)
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+/// One operating point of a detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Score threshold that produced this point.
+    pub threshold: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate (recall) at this threshold.
+    pub tpr: f64,
+}
+
+/// Sweep thresholds over `(score, truth)` pairs: an observation alerts
+/// when `score ≥ threshold`. Returns one point per threshold, ordered as
+/// given.
+pub fn roc_sweep(scored: &[(f64, bool)], thresholds: &[f64]) -> Vec<RocPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let mut cm = ConfusionMatrix::default();
+            for &(score, truth) in scored {
+                cm.record(score >= t, truth);
+            }
+            RocPoint {
+                threshold: t,
+                fpr: cm.false_positive_rate().unwrap_or(0.0),
+                tpr: cm.recall().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Area under the ROC curve computed by rank statistics
+/// (Mann–Whitney U): probability a random positive scores above a random
+/// negative. `None` if either class is empty.
+pub fn auc(scored: &[(f64, bool)]) -> Option<f64> {
+    let mut pos: Vec<f64> = scored.iter().filter(|(_, t)| *t).map(|(s, _)| *s).collect();
+    let mut neg: Vec<f64> = scored.iter().filter(|(_, t)| !*t).map(|(s, _)| *s).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    pos.sort_by(f64::total_cmp);
+    neg.sort_by(f64::total_cmp);
+    // For each positive, count negatives below it (binary search).
+    let mut wins = 0.0f64;
+    for p in &pos {
+        let below = neg.partition_point(|n| n < p);
+        let ties = neg[below..].iter().take_while(|n| *n == p).count();
+        wins += below as f64 + ties as f64 * 0.5;
+    }
+    Some(wins / (pos.len() as f64 * neg.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_rates() {
+        let mut cm = ConfusionMatrix::default();
+        for _ in 0..8 {
+            cm.record(true, true);
+        }
+        for _ in 0..2 {
+            cm.record(true, false);
+        }
+        for _ in 0..88 {
+            cm.record(false, false);
+        }
+        for _ in 0..2 {
+            cm.record(false, true);
+        }
+        assert_eq!(cm.total(), 100);
+        assert!((cm.precision().unwrap() - 0.8).abs() < 1e-12);
+        assert!((cm.recall().unwrap() - 0.8).abs() < 1e-12);
+        assert!((cm.false_positive_rate().unwrap() - 2.0 / 90.0).abs() < 1e-12);
+        assert!((cm.f1().unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.precision(), None);
+        assert_eq!(cm.recall(), None);
+        assert_eq!(cm.false_positive_rate(), None);
+    }
+
+    #[test]
+    fn roc_sweep_is_monotone() {
+        // Perfectly separable scores.
+        let scored: Vec<(f64, bool)> = (0..50)
+            .map(|i| (i as f64, false))
+            .chain((50..100).map(|i| (i as f64, true)))
+            .collect();
+        let pts = roc_sweep(&scored, &[0.0, 25.0, 50.0, 75.0, 101.0]);
+        assert_eq!(pts[0].tpr, 1.0);
+        assert_eq!(pts[0].fpr, 1.0);
+        assert_eq!(pts[2].tpr, 1.0);
+        assert_eq!(pts[2].fpr, 0.0); // perfect operating point
+        assert_eq!(pts[4].tpr, 0.0);
+        assert_eq!(pts[4].fpr, 0.0);
+    }
+
+    #[test]
+    fn auc_values() {
+        // Perfect separation → 1.0.
+        let perfect: Vec<(f64, bool)> = (0..10)
+            .map(|i| (i as f64, i >= 5))
+            .collect();
+        assert!((auc(&perfect).unwrap() - 1.0).abs() < 1e-12);
+        // Inverted → 0.0.
+        let inverted: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, i < 5)).collect();
+        assert!(auc(&inverted).unwrap().abs() < 1e-12);
+        // All same score → 0.5 (ties).
+        let ties: Vec<(f64, bool)> = (0..10).map(|i| (1.0, i % 2 == 0)).collect();
+        assert!((auc(&ties).unwrap() - 0.5).abs() < 1e-12);
+        // One class empty → None.
+        assert_eq!(auc(&[(1.0, true)]), None);
+    }
+}

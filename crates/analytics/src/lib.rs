@@ -1,0 +1,36 @@
+//! # evdb-analytics
+//!
+//! Continuous analytics — the tutorial's §2.1.f ("specifying expected
+//! behavior by models; identifying when reality deviates from
+//! expectation; updating models") and §2.2.c.i.4 ("(Continuous) Analytics
+//! provide the technology to identify valuable Continuous Queries"),
+//! plus the paper's keyword trio *errors, false positives, false
+//! negatives*:
+//!
+//! * [`stats`] — allocation-free online statistics: Welford mean/variance,
+//!   EWMA, the P² streaming quantile estimator, fixed-bin histograms.
+//! * [`model`] — **expectation models**: threshold bands, statistical
+//!   control charts (±kσ), EWMA forecasts with residual-scaled bands,
+//!   Holt linear-trend forecasts, and seasonal-naive models. Each
+//!   predicts an expected interval for the next observation and updates
+//!   itself continuously.
+//! * [`detector`] — **management by exception**: a detector feeds
+//!   observations to a model and emits a [`detector::Deviation`] only
+//!   when reality leaves the expected band (after a warm-up period).
+//! * [`eval`] — detector quality: confusion matrices,
+//!   precision/recall/F1, ROC sweeps and AUC over ground-truth-labelled
+//!   traces — how experiment E8 quantifies false positives and false
+//!   negatives per model.
+
+pub mod detector;
+pub mod eval;
+pub mod model;
+pub mod stats;
+
+pub use detector::{Deviation, DeviationDetector};
+pub use eval::{auc, roc_sweep, ConfusionMatrix, RocPoint};
+pub use model::{
+    ControlChartModel, EwmaForecastModel, ExpectationModel, HoltTrendModel, RateOfChangeModel,
+    SeasonalNaiveModel, ThresholdModel,
+};
+pub use stats::{Ewma, Histogram, P2Quantile, Welford};

@@ -1,0 +1,414 @@
+//! Expectation models: "systems and individuals have models
+//! (expectations) of behaviors of their environments" (§1).
+//!
+//! Every model predicts an **expected interval** for the next observation
+//! and then updates itself with the actual value. The detector layer
+//! turns interval violations into deviation events.
+
+use crate::stats::{Ewma, Welford};
+
+/// A model of expected behaviour over a univariate series.
+pub trait ExpectationModel: Send {
+    /// The interval `(low, high)` the next observation is expected to
+    /// fall into, or `None` while the model is still warming up.
+    fn expected(&self) -> Option<(f64, f64)>;
+
+    /// Update the model with the actual observation.
+    fn observe(&mut self, value: f64);
+
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+}
+
+/// Fixed band `[low, high]` — the naive baseline (no learning).
+#[derive(Debug, Clone)]
+pub struct ThresholdModel {
+    low: f64,
+    high: f64,
+}
+
+impl ThresholdModel {
+    /// Expected band `[low, high]`.
+    pub fn new(low: f64, high: f64) -> ThresholdModel {
+        assert!(low <= high);
+        ThresholdModel { low, high }
+    }
+}
+
+impl ExpectationModel for ThresholdModel {
+    fn expected(&self) -> Option<(f64, f64)> {
+        Some((self.low, self.high))
+    }
+
+    fn observe(&mut self, _value: f64) {}
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+/// Statistical process control chart: mean ± k·σ over all history.
+#[derive(Debug, Clone)]
+pub struct ControlChartModel {
+    stats: Welford,
+    k: f64,
+    min_samples: u64,
+}
+
+impl ControlChartModel {
+    /// Band of `k` standard deviations after `min_samples` observations.
+    pub fn new(k: f64, min_samples: u64) -> ControlChartModel {
+        assert!(k > 0.0);
+        ControlChartModel {
+            stats: Welford::new(),
+            k,
+            min_samples: min_samples.max(2),
+        }
+    }
+}
+
+impl ExpectationModel for ControlChartModel {
+    fn expected(&self) -> Option<(f64, f64)> {
+        if self.stats.count() < self.min_samples {
+            return None;
+        }
+        let sd = self.stats.stddev()?;
+        let m = self.stats.mean();
+        Some((m - self.k * sd, m + self.k * sd))
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.stats.observe(value);
+    }
+
+    fn name(&self) -> &'static str {
+        "control_chart"
+    }
+}
+
+/// EWMA one-step forecast with a residual-scaled band: forecast ± k·σ_res.
+#[derive(Debug, Clone)]
+pub struct EwmaForecastModel {
+    ewma: Ewma,
+    k: f64,
+    min_residual: f64,
+    seen: u64,
+    min_samples: u64,
+}
+
+impl EwmaForecastModel {
+    /// `alpha` smoothing factor; band of `k` residual standard
+    /// deviations, never narrower than ±`min_residual`.
+    pub fn new(alpha: f64, k: f64, min_residual: f64, min_samples: u64) -> EwmaForecastModel {
+        EwmaForecastModel {
+            ewma: Ewma::new(alpha),
+            k,
+            min_residual,
+            seen: 0,
+            min_samples: min_samples.max(2),
+        }
+    }
+}
+
+impl ExpectationModel for EwmaForecastModel {
+    fn expected(&self) -> Option<(f64, f64)> {
+        if self.seen < self.min_samples {
+            return None;
+        }
+        let f = self.ewma.value()?;
+        let band = (self.k * self.ewma.residual_std()).max(self.min_residual);
+        Some((f - band, f + band))
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.seen += 1;
+        self.ewma.observe(value);
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma_forecast"
+    }
+}
+
+/// Holt double-exponential smoothing (level + trend) forecast with a
+/// residual-scaled band; tracks drifting series a plain EWMA lags behind.
+#[derive(Debug, Clone)]
+pub struct HoltTrendModel {
+    alpha: f64,
+    beta: f64,
+    k: f64,
+    min_residual: f64,
+    level: Option<f64>,
+    trend: f64,
+    residual: Ewma,
+    seen: u64,
+    min_samples: u64,
+}
+
+impl HoltTrendModel {
+    /// `alpha` level smoothing, `beta` trend smoothing, band `k` residual
+    /// std-devs (never narrower than ±`min_residual`).
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        k: f64,
+        min_residual: f64,
+        min_samples: u64,
+    ) -> HoltTrendModel {
+        assert!(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0);
+        HoltTrendModel {
+            alpha,
+            beta,
+            k,
+            min_residual,
+            level: None,
+            trend: 0.0,
+            residual: Ewma::new(0.2),
+            seen: 0,
+            min_samples: min_samples.max(3),
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        self.level.map(|l| l + self.trend)
+    }
+}
+
+impl ExpectationModel for HoltTrendModel {
+    fn expected(&self) -> Option<(f64, f64)> {
+        if self.seen < self.min_samples {
+            return None;
+        }
+        let f = self.forecast()?;
+        let band = (self.k * self.residual.value().unwrap_or(0.0).sqrt().max(0.0))
+            .max(self.min_residual);
+        Some((f - band, f + band))
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.seen += 1;
+        match self.level {
+            None => self.level = Some(value),
+            Some(level) => {
+                let forecast = level + self.trend;
+                let err = value - forecast;
+                self.residual.observe(err * err);
+                let new_level = self.alpha * value + (1.0 - self.alpha) * forecast;
+                self.trend = self.beta * (new_level - level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(new_level);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "holt_trend"
+    }
+}
+
+/// Seasonal-naive model: expects the value observed one period ago,
+/// ± k·σ of the seasonal differences. For periodic loads (utility-meter
+/// daily cycles, market open/close patterns).
+#[derive(Debug, Clone)]
+pub struct SeasonalNaiveModel {
+    period: usize,
+    history: Vec<f64>,
+    pos: usize,
+    filled: bool,
+    diff_stats: Welford,
+    k: f64,
+    min_residual: f64,
+}
+
+impl SeasonalNaiveModel {
+    /// `period`: observations per season; band `k` std-devs of seasonal
+    /// differences (never narrower than ±`min_residual`).
+    pub fn new(period: usize, k: f64, min_residual: f64) -> SeasonalNaiveModel {
+        assert!(period >= 1);
+        SeasonalNaiveModel {
+            period,
+            history: vec![0.0; period],
+            pos: 0,
+            filled: false,
+            diff_stats: Welford::new(),
+            k,
+            min_residual,
+        }
+    }
+}
+
+impl ExpectationModel for SeasonalNaiveModel {
+    fn expected(&self) -> Option<(f64, f64)> {
+        if !self.filled || self.diff_stats.count() < 2 {
+            return None;
+        }
+        let base = self.history[self.pos]; // value one period ago
+        let band = (self.k * self.diff_stats.stddev().unwrap_or(0.0)).max(self.min_residual);
+        Some((base - band, base + band))
+    }
+
+    fn observe(&mut self, value: f64) {
+        if self.filled {
+            self.diff_stats.observe(value - self.history[self.pos]);
+        }
+        self.history[self.pos] = value;
+        self.pos = (self.pos + 1) % self.period;
+        if self.pos == 0 {
+            self.filled = true;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "seasonal_naive"
+    }
+}
+
+/// Rate-of-change model: expects the next observation within a band
+/// around the last one, scaled by the historical distribution of
+/// step-to-step deltas — catches jumps that level-based models accept
+/// (a meter can legitimately read anywhere in [0, 100], but not move
+/// 60 units in one interval).
+#[derive(Debug, Clone)]
+pub struct RateOfChangeModel {
+    last: Option<f64>,
+    delta_stats: Welford,
+    k: f64,
+    min_band: f64,
+    min_samples: u64,
+}
+
+impl RateOfChangeModel {
+    /// Band of `k` standard deviations of observed deltas (never
+    /// narrower than ±`min_band`), active after `min_samples` deltas.
+    pub fn new(k: f64, min_band: f64, min_samples: u64) -> RateOfChangeModel {
+        assert!(k > 0.0);
+        RateOfChangeModel {
+            last: None,
+            delta_stats: Welford::new(),
+            k,
+            min_band,
+            min_samples: min_samples.max(2),
+        }
+    }
+}
+
+impl ExpectationModel for RateOfChangeModel {
+    fn expected(&self) -> Option<(f64, f64)> {
+        if self.delta_stats.count() < self.min_samples {
+            return None;
+        }
+        let last = self.last?;
+        let mean_delta = self.delta_stats.mean();
+        let band = (self.k * self.delta_stats.stddev().unwrap_or(0.0)).max(self.min_band);
+        let center = last + mean_delta;
+        Some((center - band, center + band))
+    }
+
+    fn observe(&mut self, value: f64) {
+        if let Some(last) = self.last {
+            self.delta_stats.observe(value - last);
+        }
+        self.last = Some(value);
+    }
+
+    fn name(&self) -> &'static str {
+        "rate_of_change"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_static() {
+        let mut m = ThresholdModel::new(0.0, 10.0);
+        assert_eq!(m.expected(), Some((0.0, 10.0)));
+        m.observe(1e9);
+        assert_eq!(m.expected(), Some((0.0, 10.0)));
+        assert_eq!(m.name(), "threshold");
+    }
+
+    #[test]
+    fn control_chart_warms_up_then_bands() {
+        let mut m = ControlChartModel::new(3.0, 10);
+        for i in 0..9 {
+            m.observe(100.0 + (i % 3) as f64);
+            assert_eq!(m.expected(), None);
+        }
+        m.observe(100.0);
+        let (lo, hi) = m.expected().unwrap();
+        assert!(lo > 90.0 && hi < 110.0);
+        assert!(lo < 100.0 && hi > 101.0);
+    }
+
+    #[test]
+    fn ewma_band_tightens_on_stable_series() {
+        let mut m = EwmaForecastModel::new(0.3, 3.0, 0.5, 5);
+        for _ in 0..100 {
+            m.observe(50.0);
+        }
+        let (lo, hi) = m.expected().unwrap();
+        assert!((lo - 49.5).abs() < 0.01 && (hi - 50.5).abs() < 0.01); // min_residual floor
+    }
+
+    #[test]
+    fn holt_tracks_linear_trend() {
+        let mut holt = HoltTrendModel::new(0.5, 0.3, 3.0, 1.0, 3);
+        let mut ewma = EwmaForecastModel::new(0.3, 3.0, 1.0, 3);
+        for i in 0..200 {
+            let v = i as f64 * 2.0; // steady climb
+            holt.observe(v);
+            ewma.observe(v);
+        }
+        let next = 200.0 * 2.0;
+        let (hlo, hhi) = holt.expected().unwrap();
+        assert!(
+            hlo <= next && next <= hhi,
+            "holt band ({hlo},{hhi}) should contain {next}"
+        );
+        // Holt's point forecast is nearly exact on a linear series; the
+        // trendless EWMA's point forecast lags behind it.
+        let holt_mid = (hlo + hhi) / 2.0;
+        assert!((holt_mid - next).abs() < 2.0, "holt mid {holt_mid}");
+        let (elo, ehi) = ewma.expected().unwrap();
+        let ewma_mid = (elo + ehi) / 2.0;
+        assert!(ewma_mid < next - 5.0, "ewma mid {ewma_mid}");
+    }
+
+    #[test]
+    fn rate_of_change_flags_jumps_not_levels() {
+        let mut m = RateOfChangeModel::new(4.0, 1.0, 5);
+        // A steadily climbing series: large levels, small deltas.
+        for i in 0..100 {
+            let v = i as f64 * 2.0;
+            if let Some((lo, hi)) = m.expected() {
+                assert!(lo <= v && v <= hi, "step {i}: ({lo},{hi}) vs {v}");
+            }
+            m.observe(v);
+        }
+        // The level 260 is fine in general, but a +62 jump is not.
+        let (lo, hi) = m.expected().unwrap();
+        assert!(hi < 260.0, "jump must fall outside ({lo},{hi})");
+        assert_eq!(m.name(), "rate_of_change");
+    }
+
+    #[test]
+    fn seasonal_naive_learns_the_cycle() {
+        let mut m = SeasonalNaiveModel::new(4, 3.0, 0.5);
+        let cycle = [10.0, 50.0, 90.0, 30.0];
+        for rep in 0..10 {
+            for &v in &cycle {
+                if rep >= 2 {
+                    if let Some((lo, hi)) = m.expected() {
+                        assert!(lo <= v && v <= hi, "expected ({lo},{hi}) to contain {v}");
+                    }
+                }
+                m.observe(v);
+            }
+        }
+        // Next expected value is the cycle phase value, not the mean.
+        let (lo, hi) = m.expected().unwrap();
+        assert!(lo <= 10.0 && 10.0 <= hi);
+        assert!(hi < 40.0); // far below the off-phase values
+    }
+}

@@ -1,0 +1,386 @@
+//! Online (single-pass, O(1)-memory) statistics.
+
+/// Welford's online mean/variance.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (`None` with fewer than 2 observations).
+    pub fn variance(&self) -> Option<f64> {
+        if self.n < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.n - 1) as f64)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+/// Exponentially weighted moving average (and EW variance, for
+/// residual-scaled tolerance bands).
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+    var: f64,
+}
+
+impl Ewma {
+    /// `alpha ∈ (0, 1]`: weight of the newest observation.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma {
+            alpha,
+            value: None,
+            var: 0.0,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, x: f64) {
+        match self.value {
+            None => self.value = Some(x),
+            Some(v) => {
+                let diff = x - v;
+                // EW variance of the one-step prediction residual.
+                self.var = (1.0 - self.alpha) * (self.var + self.alpha * diff * diff);
+                self.value = Some(v + self.alpha * diff);
+            }
+        }
+    }
+
+    /// Current smoothed value.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// EW residual standard deviation.
+    pub fn residual_std(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// P² (Jain & Chlamtac) streaming quantile estimator: five markers,
+/// O(1) per observation, no buffering.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    n: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q ∈ (0, 1)`.
+    pub fn new(q: f64) -> P2Quantile {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            n: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        // Find cell k.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, s);
+                }
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let q = &self.heights;
+        let p = &self.positions;
+        q[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (q[i + 1] - q[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (q[i] - q[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (`None` before 5 observations).
+    pub fn value(&self) -> Option<f64> {
+        if self.initial.len() < 5 {
+            if self.initial.is_empty() {
+                return None;
+            }
+            let mut v = self.initial.clone();
+            v.sort_by(f64::total_cmp);
+            let idx = ((v.len() as f64 - 1.0) * self.q).round() as usize;
+            return Some(v[idx]);
+        }
+        Some(self.heights[2])
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Fixed-range histogram with uniform bins plus under/overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `nbins` uniform bins.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Histogram {
+        assert!(hi > lo && nbins > 0);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let nbins = self.bins.len();
+            let w = (self.hi - self.lo) / nbins as f64;
+            let i = ((x - self.lo) / w) as usize;
+            self.bins[i.min(nbins - 1)] += 1;
+        }
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Out-of-range counts `(under, over)`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Approximate quantile from bin midpoints (`None` if all data is out
+    /// of range or empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * in_range as f64).ceil().max(1.0) as u64;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut cum = 0;
+        for (i, b) in self.bins.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return Some(self.lo + w * (i as f64 + 0.5));
+            }
+        }
+        Some(self.hi - w / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.observe(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.variance().unwrap() - var).abs() < 1e-6);
+        assert_eq!(w.count(), 1000);
+    }
+
+    #[test]
+    fn welford_small_samples() {
+        let mut w = Welford::new();
+        assert_eq!(w.variance(), None);
+        w.observe(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.stddev(), None);
+        w.observe(7.0);
+        assert!((w.variance().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_and_tracks() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        for _ in 0..50 {
+            e.observe(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-9);
+        assert!(e.residual_std() < 1e-6);
+        e.observe(20.0);
+        assert!(e.value().unwrap() > 10.0);
+        assert!(e.residual_std() > 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn p2_estimates_median_of_uniform() {
+        let mut p = P2Quantile::new(0.5);
+        let mut state = 1u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64; // U(0,1)
+            p.observe(x);
+        }
+        let est = p.value().unwrap();
+        assert!((est - 0.5).abs() < 0.03, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_tail_quantile() {
+        let mut p = P2Quantile::new(0.95);
+        for i in 0..1_000 {
+            p.observe((i % 100) as f64);
+        }
+        let est = p.value().unwrap();
+        assert!((est - 94.0).abs() < 4.0, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_before_five_observations_sorts() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.value(), None);
+        p.observe(3.0);
+        p.observe(1.0);
+        p.observe(2.0);
+        assert_eq!(p.value(), Some(2.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn histogram_bins_and_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.observe(i as f64);
+        }
+        h.observe(-5.0);
+        h.observe(1000.0);
+        assert_eq!(h.count(), 102);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert!(h.bins().iter().all(|&b| b == 10));
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 45.0).abs() <= 10.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 85.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion microbench for E8: per-observation cost of the online
+//! statistics and expectation models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evdb_analytics::{
+    ControlChartModel, DeviationDetector, Ewma, EwmaForecastModel, ExpectationModel, Histogram,
+    HoltTrendModel, P2Quantile, SeasonalNaiveModel, ThresholdModel, Welford,
+};
+use evdb_types::TimestampMs;
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_online_stats");
+    g.bench_function("welford/observe", |b| {
+        let mut w = Welford::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            w.observe(x % 100.0);
+            w.mean()
+        });
+    });
+    g.bench_function("ewma/observe", |b| {
+        let mut e = Ewma::new(0.3);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            e.observe(x % 100.0);
+            e.value()
+        });
+    });
+    g.bench_function("p2_quantile/observe", |b| {
+        let mut p = P2Quantile::new(0.99);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x * 1.3 + 7.7) % 1000.0;
+            p.observe(x);
+            p.value()
+        });
+    });
+    g.bench_function("histogram/observe", |b| {
+        let mut h = Histogram::new(0.0, 1000.0, 100);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x * 1.3 + 7.7) % 1200.0;
+            h.observe(x);
+        });
+    });
+    g.finish();
+}
+
+type ModelFactory = Box<dyn Fn() -> Box<dyn ExpectationModel>>;
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_detectors");
+    let models: Vec<(&str, ModelFactory)> = vec![
+        ("threshold", Box::new(|| Box::new(ThresholdModel::new(0.0, 100.0)))),
+        ("control_chart", Box::new(|| Box::new(ControlChartModel::new(3.0, 30)))),
+        ("ewma", Box::new(|| Box::new(EwmaForecastModel::new(0.3, 3.0, 1.0, 10)))),
+        ("holt", Box::new(|| Box::new(HoltTrendModel::new(0.4, 0.1, 3.0, 1.0, 10)))),
+        ("seasonal", Box::new(|| Box::new(SeasonalNaiveModel::new(96, 3.0, 1.0)))),
+    ];
+    for (name, factory) in models {
+        g.bench_function(format!("observe/{name}"), |b| {
+            let mut det = DeviationDetector::new(factory());
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                det.observe(TimestampMs(i), 50.0 + (i % 7) as f64)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stats, bench_detectors);
+criterion_main!(benches);

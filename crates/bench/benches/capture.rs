@@ -1,0 +1,97 @@
+//! Criterion microbench for E1: per-row write cost under each capture
+//! mechanism, and per-event capture cost for the asynchronous ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use evdb_storage::{Database, DbOptions, JournalMiner, QuerySnapshot, TriggerOps, TriggerTiming};
+use evdb_types::{DataType, Record, Schema, Value};
+
+fn db() -> Arc<Database> {
+    let db = Database::in_memory(DbOptions::default()).unwrap();
+    db.create_table(
+        "t",
+        Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+        "id",
+    )
+    .unwrap();
+    db
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_capture");
+
+    g.bench_function("insert/no_capture", |b| {
+        let db = db();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            db.insert("t", Record::from_iter([Value::Int(i), Value::Float(1.0)]))
+                .unwrap()
+        });
+    });
+
+    g.bench_function("insert/with_trigger", |b| {
+        let db = db();
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        db.create_trigger(
+            "cap",
+            "t",
+            TriggerTiming::After,
+            TriggerOps::ALL,
+            None,
+            Arc::new(move |_| {
+                n2.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }),
+        )
+        .unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            db.insert("t", Record::from_iter([Value::Int(i), Value::Float(1.0)]))
+                .unwrap()
+        });
+    });
+
+    g.bench_function("journal_mine/1000_rows", |b| {
+        b.iter_batched(
+            || {
+                let db = db();
+                let miner = JournalMiner::from_now(&db);
+                for i in 0..1_000i64 {
+                    db.insert("t", Record::from_iter([Value::Int(i), Value::Float(1.0)]))
+                        .unwrap();
+                }
+                (db, miner)
+            },
+            |(db, mut miner)| miner.poll(&db).unwrap().len(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("query_poll/1000_row_table", |b| {
+        let db = db();
+        for i in 0..1_000i64 {
+            db.insert("t", Record::from_iter([Value::Int(i), Value::Float(1.0)]))
+                .unwrap();
+        }
+        let mut snap = QuerySnapshot::new("t", evdb_expr::Expr::lit(true));
+        snap.poll(&db).unwrap(); // initial fill
+        let mut next = 1_000i64;
+        b.iter(|| {
+            // One change per poll: cost is dominated by the re-scan.
+            db.insert("t", Record::from_iter([Value::Int(next), Value::Float(1.0)]))
+                .unwrap();
+            next += 1;
+            snap.poll(&db).unwrap().len()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbench for E5: per-event cost of windowed aggregation
+//! in both modes, and of the stateless operators.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evdb_bench::workloads::{market_ticks, tick_schema};
+use evdb_cq::aggregate::{AggFunc, AggMode, AggSpec, WindowAggregateOp};
+use evdb_cq::op::{FilterOp, Operator};
+use evdb_cq::window::WindowSpec;
+use evdb_types::{Event, EventId};
+
+fn events(n: usize) -> Vec<Event> {
+    let schema = tick_schema();
+    market_ticks(n, 16, 1, 51)
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Event::new(EventId(i as u64), "ticks", t.ts, t.record(), Arc::clone(&schema)))
+        .collect()
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_window_aggregate");
+    let evs = events(4_096);
+    let aggs = || {
+        vec![
+            AggSpec { func: AggFunc::Count, field: None, out_name: "n".into() },
+            AggSpec { func: AggFunc::Avg, field: Some("px".into()), out_name: "a".into() },
+        ]
+    };
+    for (label, mode) in [("incremental", AggMode::Incremental), ("recompute", AggMode::Recompute)] {
+        g.bench_with_input(
+            BenchmarkId::new("sliding_10s_slide_1s", label),
+            &mode,
+            |b, mode| {
+                let mut op = WindowAggregateOp::new(
+                    &tick_schema(),
+                    WindowSpec::Sliding { width_ms: 10_000, slide_ms: 1_000 },
+                    &["sym"],
+                    aggs(),
+                    *mode,
+                )
+                .unwrap();
+                let mut out = Vec::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % evs.len();
+                    op.on_event(&evs[i], &mut out).unwrap();
+                    if i.is_multiple_of(512) {
+                        op.on_watermark(evs[i].timestamp, &mut out).unwrap();
+                        out.clear();
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_stateless(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_stateless_ops");
+    let evs = events(4_096);
+    let schema = tick_schema();
+    g.bench_function("filter/selective", |b| {
+        let mut f = FilterOp::new(
+            evdb_expr::parse("px > 100 AND sym = 'S3'")
+                .unwrap()
+                .bind_predicate(&schema)
+                .unwrap(),
+            Arc::clone(&schema),
+        );
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % evs.len();
+            out.clear();
+            f.on_event(&evs[i], &mut out).unwrap();
+            out.len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregate, bench_stateless);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion microbench for E7: the internal-vs-client fast-path claims,
+//! at per-operation granularity.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evdb_bench::workloads::{market_ticks, tick_rules, tick_schema};
+use evdb_queue::{QueueConfig, QueueManager};
+use evdb_rules::{Broker, IndexedMatcher, Matcher, Rule};
+use evdb_storage::{Database, DbOptions};
+use evdb_types::{DataType, Record, Schema, Value};
+
+fn bench_internal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_internal_paths");
+
+    // Client vs internal enqueue (single message granularity).
+    let mk = || {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        let q = QueueManager::attach(Arc::clone(&db)).unwrap();
+        q.create_queue(
+            "q",
+            Schema::of(&[("x", DataType::Int)]),
+            QueueConfig::default(),
+        )
+        .unwrap();
+        q.subscribe("q", "g").unwrap();
+        (db, q)
+    };
+    g.bench_function("enqueue/client_path", |b| {
+        let (_db, q) = mk();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            q.enqueue("q", Record::from_iter([Value::Int(i)]), "cli").unwrap()
+        });
+    });
+    g.bench_function("enqueue/internal_path_txn_of_1", |b| {
+        let (db, q) = mk();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let mut tx = db.begin();
+            let h = q
+                .enqueue_internal(&mut tx, "q", Record::from_iter([Value::Int(i)]), "eng")
+                .unwrap();
+            tx.commit().unwrap();
+            q.complete_internal(h);
+        });
+    });
+
+    // External (broker publish) vs internal (direct matcher) evaluation.
+    let rules = tick_rules(5_000, 64, 0.05, 72);
+    let events: Vec<Record> = market_ticks(256, 64, 1, 71)
+        .iter()
+        .map(|t| t.record())
+        .collect();
+    let broker = Broker::new();
+    broker.create_topic("ticks", tick_schema()).unwrap();
+    let mut matcher = IndexedMatcher::new(tick_schema());
+    for (i, r) in rules.into_iter().enumerate() {
+        broker.subscribe("ticks", &format!("s{i}"), r.clone()).unwrap();
+        matcher.add_rule(Rule::new(i as u64, "", r)).unwrap();
+    }
+    let mut i = 0usize;
+    g.bench_function("evaluate/external_broker", |b| {
+        b.iter(|| {
+            i = (i + 1) % events.len();
+            broker.publish("ticks", &events[i]).unwrap().matched_subscriptions.len()
+        });
+    });
+    g.bench_function("evaluate/internal_matcher", |b| {
+        b.iter(|| {
+            i = (i + 1) % events.len();
+            matcher.match_record(&events[i]).unwrap().len()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_internal);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbench for E6: NFA vs naive pattern matching per event,
+//! across skip strategies.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evdb_bench::workloads::{kind_events, kind_schema};
+use evdb_cq::pattern::{NaiveMatcher, Pattern, PatternMatcher, SkipStrategy, Step};
+use evdb_expr::parse;
+use evdb_types::{Event, EventId};
+
+fn pattern(within_ms: i64) -> Pattern {
+    Pattern::new(
+        vec![
+            Step::new("a", parse("kind = 'A' AND v > 90").unwrap()),
+            Step::new("b", parse("kind = 'B' AND v > 90").unwrap()),
+            Step::new("c", parse("kind = 'C' AND v > 90").unwrap()),
+        ],
+        within_ms,
+    )
+    .unwrap()
+}
+
+fn events(n: usize) -> Vec<Event> {
+    let schema = kind_schema();
+    kind_events(n, 10, 61)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (ts, rec))| Event::new(EventId(i as u64), "s", ts, rec, Arc::clone(&schema)))
+        .collect()
+}
+
+fn bench_pattern(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_pattern");
+    let evs = events(8_192);
+
+    for within in [500i64, 5_000] {
+        for strategy in [SkipStrategy::SkipTillNext, SkipStrategy::SkipTillAny] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("nfa_{strategy:?}"), within),
+                &within,
+                |b, &w| {
+                    let mut m =
+                        PatternMatcher::new(pattern(w), &kind_schema(), strategy).unwrap();
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i = (i + 1) % evs.len();
+                        m.push(&evs[i]).unwrap().len()
+                    });
+                },
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("naive", within), &within, |b, &w| {
+            let mut m = NaiveMatcher::new(&pattern(w), &kind_schema()).unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % evs.len();
+                m.push(&evs[i]).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

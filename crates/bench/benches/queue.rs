@@ -1,0 +1,81 @@
+//! Criterion microbench for E2: enqueue/dequeue cost, client vs
+//! internal path, and fan-out cost per extra consumer group.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evdb_queue::{QueueConfig, QueueManager};
+use evdb_storage::{Database, DbOptions};
+use evdb_types::{DataType, Record, Schema, Value};
+
+fn setup(groups: usize) -> (Arc<Database>, QueueManager) {
+    let db = Database::in_memory(DbOptions::default()).unwrap();
+    let q = QueueManager::attach(Arc::clone(&db)).unwrap();
+    q.create_queue(
+        "q",
+        Schema::of(&[("x", DataType::Int)]),
+        QueueConfig::default(),
+    )
+    .unwrap();
+    for g in 0..groups {
+        q.subscribe("q", &format!("g{g}")).unwrap();
+    }
+    (db, q)
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_queue");
+
+    for groups in [1usize, 4] {
+        g.bench_function(format!("enqueue/groups_{groups}"), |b| {
+            let (_db, q) = setup(groups);
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                q.enqueue("q", Record::from_iter([Value::Int(i)]), "bench")
+                    .unwrap()
+            });
+        });
+    }
+
+    g.bench_function("enqueue_internal/batch_64", |b| {
+        let (db, q) = setup(1);
+        let mut i = 0i64;
+        b.iter(|| {
+            let mut tx = db.begin();
+            let mut hs = Vec::with_capacity(64);
+            for _ in 0..64 {
+                i += 1;
+                hs.push(
+                    q.enqueue_internal(&mut tx, "q", Record::from_iter([Value::Int(i)]), "eng")
+                        .unwrap(),
+                );
+            }
+            tx.commit().unwrap();
+            for h in hs {
+                q.complete_internal(h);
+            }
+        });
+    });
+
+    g.bench_function("dequeue_ack/batch_16", |b| {
+        let (_db, q) = setup(1);
+        // Keep a standing backlog so dequeue always finds work.
+        for i in 0..50_000i64 {
+            q.enqueue("q", Record::from_iter([Value::Int(i)]), "bench")
+                .unwrap();
+        }
+        b.iter(|| {
+            let ds = q.dequeue("q", "g0", 16).unwrap();
+            for d in &ds {
+                q.ack(d).unwrap();
+            }
+            ds.len()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion microbench for E10: WAL replay cost per row and the
+//! propagation round trip on a clean simulated link.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use evdb_dist::{LinkConfig, Node, QueueForwarder, SimNetwork};
+use evdb_queue::QueueConfig;
+use evdb_storage::{Database, DbOptions, SyncPolicy};
+use evdb_types::{Clock, DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+fn seeded_dir(nrows: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "evdb-bench-recovery-{nrows}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = Database::open(
+        &dir,
+        DbOptions {
+            sync: SyncPolicy::Never,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    db.create_table(
+        "t",
+        Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+        "id",
+    )
+    .unwrap();
+    for i in 0..nrows {
+        db.insert(
+            "t",
+            Record::from_iter([Value::Int(i as i64), Value::Float(i as f64)]),
+        )
+        .unwrap();
+    }
+    dir
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_recovery");
+    g.sample_size(10);
+    for nrows in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("wal_replay", nrows), &nrows, |b, &n| {
+            b.iter_batched(
+                || seeded_dir(n),
+                |dir| {
+                    let db = Database::open(
+                        &dir,
+                        DbOptions {
+                            sync: SyncPolicy::Never,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    let rows = db.table("t").unwrap().len();
+                    drop(db);
+                    let _ = std::fs::remove_dir_all(&dir);
+                    rows
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_propagation");
+    g.bench_function("round_trip/clean_link", |b| {
+        let clock = SimClock::new(TimestampMs(0));
+        let a = Node::new("a", clock.clone()).unwrap();
+        let bn = Node::new("b", clock.clone()).unwrap();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        for node in [&a, &bn] {
+            node.queues()
+                .create_queue("q", Arc::clone(&schema), QueueConfig::default())
+                .unwrap();
+        }
+        bn.queues().subscribe("q", "g").unwrap();
+        let mut net = SimNetwork::new(LinkConfig::default(), 1);
+        let mut fwd = QueueForwarder::new(&a, "q", "b", "q").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            a.queues()
+                .enqueue("q", Record::from_iter([Value::Int(i)]), "t")
+                .unwrap();
+            // One full round trip: pump, deliver, ack, consume.
+            for _ in 0..3 {
+                let now = clock.now();
+                fwd.pump(&a, &mut net, now).unwrap();
+                for pkt in net.poll(now) {
+                    if QueueForwarder::is_data(&pkt) {
+                        let ack = QueueForwarder::receive(&bn, &pkt).unwrap();
+                        net.send(ack, now);
+                    } else if fwd.owns_ack(&pkt) {
+                        fwd.on_ack(&a, &pkt).unwrap();
+                    }
+                }
+                clock.advance(10);
+            }
+            for d in bn.queues().dequeue("q", "g", 4).unwrap() {
+                bn.queues().ack(&d).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery, bench_propagation);
+criterion_main!(benches);

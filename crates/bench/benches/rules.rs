@@ -1,0 +1,83 @@
+//! Criterion microbenches for E3/E4: match cost vs rule count for both
+//! matchers, and incremental update cost for the indexed matcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evdb_bench::workloads::{market_ticks, tick_rules, tick_schema};
+use evdb_rules::{IndexedMatcher, Matcher, Rule, ScanMatcher};
+
+fn bench_match(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_match");
+    let events: Vec<evdb_types::Record> = market_ticks(256, 64, 1, 11)
+        .iter()
+        .map(|t| t.record())
+        .collect();
+
+    for nrules in [100usize, 1_000, 10_000] {
+        let rules = tick_rules(nrules, 64, 0.05, 21);
+        let mut scan = ScanMatcher::new(tick_schema());
+        let mut idx = IndexedMatcher::new(tick_schema());
+        for (i, r) in rules.into_iter().enumerate() {
+            scan.add_rule(Rule::new(i as u64, "", r.clone())).unwrap();
+            idx.add_rule(Rule::new(i as u64, "", r)).unwrap();
+        }
+        let mut cursor = 0usize;
+        g.bench_with_input(BenchmarkId::new("scan", nrules), &nrules, |b, _| {
+            b.iter(|| {
+                cursor = (cursor + 1) % events.len();
+                scan.match_record(&events[cursor]).unwrap().len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("indexed", nrules), &nrules, |b, _| {
+            b.iter(|| {
+                cursor = (cursor + 1) % events.len();
+                idx.match_record(&events[cursor]).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_churn");
+    let base = 10_000usize;
+    let rules = tick_rules(base, 64, 0.05, 31);
+    let fresh = tick_rules(4_096, 64, 0.05, 32);
+
+    g.bench_function("indexed_add_remove/10k_resident", |b| {
+        let mut m = IndexedMatcher::new(tick_schema());
+        for (i, r) in rules.iter().enumerate() {
+            m.add_rule(Rule::new(i as u64, "", r.clone())).unwrap();
+        }
+        let mut next = base as u64;
+        let mut oldest = 0u64;
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % fresh.len();
+            m.add_rule(Rule::new(next, "", fresh[k].clone())).unwrap();
+            m.remove_rule(oldest).unwrap();
+            next += 1;
+            oldest += 1;
+        });
+    });
+
+    g.bench_function("broker_subscribe_unsubscribe/1k_topic", |b| {
+        let broker = evdb_rules::Broker::new();
+        broker.create_topic("t", tick_schema()).unwrap();
+        let mut ids = std::collections::VecDeque::new();
+        for r in tick_rules(1_000, 64, 0.05, 33) {
+            ids.push_back(broker.subscribe("t", "s", r).unwrap());
+        }
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % fresh.len();
+            let id = broker.subscribe("t", "s", fresh[k].clone()).unwrap();
+            ids.push_back(id);
+            let old = ids.pop_front().unwrap();
+            broker.unsubscribe("t", old).unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_match, bench_churn);
+criterion_main!(benches);

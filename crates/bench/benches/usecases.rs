@@ -1,0 +1,74 @@
+//! Criterion microbench for E9: per-event cost of the full EventServer
+//! ingest path under the finance and utilities pipelines.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evdb_analytics::detector::UpdatePolicy;
+use evdb_analytics::SeasonalNaiveModel;
+use evdb_bench::workloads::{market_ticks, tick_schema};
+use evdb_core::server::ServerConfig;
+use evdb_core::EventServer;
+use evdb_types::{DataType, Record, Schema, Value};
+
+fn bench_usecases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_ingest");
+
+    g.bench_function("finance/cql+rules", |b| {
+        let server = EventServer::in_memory(ServerConfig::default()).unwrap();
+        server.create_stream("ticks", tick_schema()).unwrap();
+        server
+            .register_cql(
+                "vwap",
+                "SELECT sym, avg(px) AS apx FROM ticks [RANGE 1 s] GROUP BY sym",
+            )
+            .unwrap();
+        server
+            .add_alert_rule("spike", "ticks", "px > 10000", 1.0, Some("sym"))
+            .unwrap();
+        let ticks = market_ticks(4_096, 16, 1, 91);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ticks.len();
+            let t = &ticks[i];
+            server.ingest("ticks", t.ts, t.record()).unwrap()
+        });
+    });
+
+    g.bench_function("utilities/per_meter_detector", |b| {
+        let server = EventServer::in_memory(ServerConfig::default()).unwrap();
+        server
+            .create_stream(
+                "meters",
+                Schema::of(&[("meter", DataType::Str), ("kw", DataType::Float)]),
+            )
+            .unwrap();
+        server
+            .add_detector(
+                "load",
+                "meters",
+                "kw",
+                Some("meter"),
+                UpdatePolicy::Always,
+                || Box::new(SeasonalNaiveModel::new(96, 3.0, 4.0)),
+            )
+            .unwrap();
+        let meters: Vec<Arc<str>> = (0..8).map(|m| Arc::from(format!("m{m}"))).collect();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let payload = Record::from_iter([
+                Value::Str(Arc::clone(&meters[(i % 8) as usize])),
+                Value::Float(50.0 + (i % 96) as f64),
+            ]);
+            server
+                .ingest("meters", evdb_types::TimestampMs(i as i64 * 1000), payload)
+                .unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_usecases);
+criterion_main!(benches);

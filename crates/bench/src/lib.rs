@@ -1,0 +1,52 @@
+//! # evdb-bench
+//!
+//! Workload generators and experiment implementations shared by the
+//! Criterion microbenches (`benches/`) and the table-printing harness
+//! (`src/bin/harness.rs`). Every experiment (E1–E10) maps to a claim of
+//! the paper; the index lives in DESIGN.md §5 and results in
+//! EXPERIMENTS.md.
+//!
+//! All generators are seeded and deterministic, and anomaly workloads
+//! carry **ground truth** so E8 can compute exact confusion matrices.
+
+pub mod experiments;
+pub mod workloads;
+
+/// Format a duration in ms with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{:.3}", ms)
+    } else if ms < 100.0 {
+        format!("{:.1}", ms)
+    } else {
+        format!("{:.0}", ms)
+    }
+}
+
+/// Format a rate (per second) with thousands separators.
+pub fn fmt_rate(per_s: f64) -> String {
+    let n = per_s.round() as u64;
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_rate(1234567.2), "1,234,567");
+        assert_eq!(fmt_rate(999.0), "999");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+        assert_eq!(fmt_ms(42.34), "42.3");
+        assert_eq!(fmt_ms(420.0), "420");
+    }
+}

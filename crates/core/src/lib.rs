@@ -1,0 +1,35 @@
+//! # evdb-core
+//!
+//! The EventDB facade: one [`EventServer`] that composes the storage
+//! engine, staging areas, rules broker, continuous-query runtime,
+//! analytics detectors and the distribution fabric into the event-driven
+//! architecture of Chandy & Gawlick's tutorial.
+//!
+//! The server is **pump-driven**: captures buffer change events, and each
+//! [`EventServer::pump`] drains them through the evaluation pipeline
+//! (streams → continuous queries → detectors → notifications). This keeps
+//! every experiment deterministic under a simulated clock; callers that
+//! want liveness call `pump` from their own loop or timer thread.
+//!
+//! * [`server`] — the facade: tables, capture mechanisms (trigger /
+//!   journal / query-poll), streams, CQL queries, queues, topics,
+//!   detectors, pump.
+//! * [`notify`] — the notification center with the **VIRT** filter
+//!   ("Valuable Information at the Right Time", §1): severity floor,
+//!   per-key duplicate suppression and rate limiting against
+//!   information overload.
+//! * [`security`] — principals, grants and the audit trail
+//!   (the "security, auditing, tracking" operational characteristic).
+//! * [`metrics`] — counters and latency histograms for the harness.
+
+pub mod metrics;
+pub mod notify;
+pub mod pump;
+pub mod security;
+pub mod server;
+
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use notify::{Notification, NotificationCenter, VirtPolicy};
+pub use pump::{spawn_pump, PumpHandle};
+pub use security::{AccessControl, Principal, Privilege};
+pub use server::{CaptureMechanism, EventServer};

@@ -1,0 +1,100 @@
+//! Engine metrics: cheap atomic counters plus a latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use evdb_analytics::Histogram;
+use parking_lot::Mutex;
+
+/// Live counters (lock-free) and a capture-to-process latency histogram.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Change events captured (all mechanisms).
+    pub events_captured: AtomicU64,
+    /// Events pushed through the stream runtime.
+    pub events_processed: AtomicU64,
+    /// Derived events produced by continuous queries.
+    pub derived_events: AtomicU64,
+    /// Deviations detected.
+    pub deviations: AtomicU64,
+    /// Notifications actually delivered.
+    pub notifications: AtomicU64,
+    /// Notifications suppressed by the VIRT filter.
+    pub suppressed: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Change events captured.
+    pub events_captured: u64,
+    /// Events pushed through the runtime.
+    pub events_processed: u64,
+    /// Derived events from queries.
+    pub derived_events: u64,
+    /// Deviations detected.
+    pub deviations: u64,
+    /// Notifications delivered.
+    pub notifications: u64,
+    /// Notifications suppressed.
+    pub suppressed: u64,
+    /// Median capture→process latency (ms), if observed.
+    pub latency_p50_ms: Option<f64>,
+    /// p99 capture→process latency (ms), if observed.
+    pub latency_p99_ms: Option<f64>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            events_captured: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+            derived_events: AtomicU64::new(0),
+            deviations: AtomicU64::new(0),
+            notifications: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            // 0..10s in 10ms bins covers poll-driven capture latencies.
+            latency: Mutex::new(Histogram::new(0.0, 10_000.0, 1_000)),
+        }
+    }
+}
+
+impl Metrics {
+    /// Record one capture→process latency sample (ms).
+    pub fn observe_latency(&self, ms: f64) {
+        self.latency.lock().observe(ms.max(0.0));
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency = self.latency.lock();
+        MetricsSnapshot {
+            events_captured: self.events_captured.load(Ordering::Relaxed),
+            events_processed: self.events_processed.load(Ordering::Relaxed),
+            derived_events: self.derived_events.load(Ordering::Relaxed),
+            deviations: self.deviations.load(Ordering::Relaxed),
+            notifications: self.notifications.load(Ordering::Relaxed),
+            suppressed: self.suppressed.load(Ordering::Relaxed),
+            latency_p50_ms: latency.quantile(0.5),
+            latency_p99_ms: latency.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters_and_latency() {
+        let m = Metrics::default();
+        m.events_captured.fetch_add(3, Ordering::Relaxed);
+        m.observe_latency(20.0);
+        m.observe_latency(40.0);
+        let s = m.snapshot();
+        assert_eq!(s.events_captured, 3);
+        assert_eq!(s.events_processed, 0);
+        let p50 = s.latency_p50_ms.unwrap();
+        assert!(p50 > 0.0 && p50 < 50.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Principals, privileges and the audit trail.
+//!
+//! Every operational-characteristics list in the tutorial leads with
+//! "security, auditing, tracking" (§2.2.b.ii, c.iv, d.iii). This module
+//! provides the minimal honest version: named principals, per-resource
+//! grants with wildcard support, and an audit log *stored in a database
+//! table* so it inherits the engine's durability.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use evdb_storage::Database;
+use evdb_types::{DataType, Error, Record, Result, Schema, Value};
+use parking_lot::RwLock;
+
+/// A named actor (user, service, responder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Principal {
+    /// Unique name.
+    pub name: String,
+    /// Free-form attributes used by routing predicates (ChemSecure /
+    /// SensorNet route to the *authorized, available* responder).
+    pub attributes: HashMap<String, String>,
+}
+
+impl Principal {
+    /// A principal with no attributes.
+    pub fn named(name: &str) -> Principal {
+        Principal {
+            name: name.to_string(),
+            attributes: HashMap::new(),
+        }
+    }
+
+    /// Builder-style attribute.
+    pub fn with_attr(mut self, k: &str, v: &str) -> Principal {
+        self.attributes.insert(k.to_string(), v.to_string());
+        self
+    }
+}
+
+/// What a principal may do with a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Read / dequeue / subscribe.
+    Read,
+    /// Write / enqueue / publish.
+    Write,
+    /// DDL and grants.
+    Admin,
+}
+
+impl Privilege {
+    fn name(self) -> &'static str {
+        match self {
+            Privilege::Read => "read",
+            Privilege::Write => "write",
+            Privilege::Admin => "admin",
+        }
+    }
+}
+
+const AUDIT_TABLE: &str = "__audit";
+
+/// Grant store + durable audit log.
+pub struct AccessControl {
+    db: Arc<Database>,
+    /// (principal, resource-or-`*`) → privileges.
+    grants: RwLock<HashMap<(String, String), HashSet<Privilege>>>,
+    seq: evdb_types::IdGenerator,
+}
+
+impl AccessControl {
+    /// Attach to a database, creating the audit table if needed.
+    pub fn attach(db: Arc<Database>) -> Result<AccessControl> {
+        if db.table(AUDIT_TABLE).is_err() {
+            db.create_table(
+                AUDIT_TABLE,
+                Schema::of(&[
+                    ("id", DataType::Int),
+                    ("ts", DataType::Timestamp),
+                    ("principal", DataType::Str),
+                    ("action", DataType::Str),
+                    ("resource", DataType::Str),
+                    ("allowed", DataType::Bool),
+                ]),
+                "id",
+            )?;
+        }
+        Ok(AccessControl {
+            db,
+            grants: RwLock::new(HashMap::new()),
+            seq: evdb_types::IdGenerator::default(),
+        })
+    }
+
+    /// Grant a privilege on a resource (`"*"` = all resources).
+    pub fn grant(&self, principal: &str, resource: &str, privilege: Privilege) {
+        self.grants
+            .write()
+            .entry((principal.to_string(), resource.to_string()))
+            .or_default()
+            .insert(privilege);
+    }
+
+    /// Revoke a privilege.
+    pub fn revoke(&self, principal: &str, resource: &str, privilege: Privilege) {
+        if let Some(set) = self
+            .grants
+            .write()
+            .get_mut(&(principal.to_string(), resource.to_string()))
+        {
+            set.remove(&privilege);
+        }
+    }
+
+    /// Is the principal allowed? Admin implies read and write; a `*`
+    /// resource grant covers everything.
+    pub fn allowed(&self, principal: &str, resource: &str, privilege: Privilege) -> bool {
+        let grants = self.grants.read();
+        let has = |res: &str| {
+            grants
+                .get(&(principal.to_string(), res.to_string()))
+                .map(|s| s.contains(&privilege) || s.contains(&Privilege::Admin))
+                .unwrap_or(false)
+        };
+        has(resource) || has("*")
+    }
+
+    /// Check and durably audit an access. Returns `Unauthorized` on
+    /// denial (the denial itself is audited too — "tracking").
+    pub fn check(
+        &self,
+        principal: &Principal,
+        resource: &str,
+        privilege: Privilege,
+    ) -> Result<()> {
+        let ok = self.allowed(&principal.name, resource, privilege);
+        self.db.insert(
+            AUDIT_TABLE,
+            Record::from_iter([
+                Value::Int(self.seq.next_id() as i64),
+                Value::Timestamp(self.db.now()),
+                Value::from(principal.name.as_str()),
+                Value::from(privilege.name()),
+                Value::from(resource),
+                Value::Bool(ok),
+            ]),
+        )?;
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::Unauthorized(format!(
+                "{} lacks {} on {resource}",
+                principal.name,
+                privilege.name()
+            )))
+        }
+    }
+
+    /// Number of audit entries.
+    pub fn audit_len(&self) -> usize {
+        self.db.table(AUDIT_TABLE).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Audit rows for one principal (for tests/inspection).
+    pub fn audit_for(&self, principal: &str) -> Result<Vec<Record>> {
+        let pred = evdb_expr::Expr::binary(
+            evdb_expr::BinaryOp::Eq,
+            evdb_expr::Expr::field("principal"),
+            evdb_expr::Expr::lit(principal),
+        );
+        self.db.select(AUDIT_TABLE, &pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_storage::DbOptions;
+
+    fn ac() -> AccessControl {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        AccessControl::attach(db).unwrap()
+    }
+
+    #[test]
+    fn grants_and_wildcards() {
+        let ac = ac();
+        ac.grant("alice", "q1", Privilege::Read);
+        ac.grant("root", "*", Privilege::Admin);
+        assert!(ac.allowed("alice", "q1", Privilege::Read));
+        assert!(!ac.allowed("alice", "q1", Privilege::Write));
+        assert!(!ac.allowed("alice", "q2", Privilege::Read));
+        assert!(ac.allowed("root", "anything", Privilege::Write)); // admin implies
+        ac.revoke("alice", "q1", Privilege::Read);
+        assert!(!ac.allowed("alice", "q1", Privilege::Read));
+    }
+
+    #[test]
+    fn check_audits_both_outcomes() {
+        let ac = ac();
+        ac.grant("alice", "q1", Privilege::Write);
+        let alice = Principal::named("alice");
+        assert!(ac.check(&alice, "q1", Privilege::Write).is_ok());
+        let denied = ac.check(&alice, "q2", Privilege::Write);
+        assert!(matches!(denied, Err(Error::Unauthorized(_))));
+        assert_eq!(ac.audit_len(), 2);
+        let rows = ac.audit_for("alice").unwrap();
+        assert_eq!(rows.len(), 2);
+        let allowed: Vec<bool> = rows
+            .iter()
+            .map(|r| r.get(5).unwrap().as_bool().unwrap())
+            .collect();
+        assert!(allowed.contains(&true) && allowed.contains(&false));
+    }
+
+    #[test]
+    fn principal_attributes_for_routing() {
+        let p = Principal::named("responder7")
+            .with_attr("zone", "east")
+            .with_attr("available", "true");
+        assert_eq!(p.attributes.get("zone").map(String::as_str), Some("east"));
+    }
+}

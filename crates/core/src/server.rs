@@ -1,0 +1,927 @@
+//! The [`EventServer`] facade.
+//!
+//! Composition (the tutorial's architecture, one field per component):
+//! a storage engine with journal and triggers, queue staging areas, a
+//! pub/sub broker with predicate subscriptions, a continuous-query
+//! runtime, per-stream alert rules (indexed matcher), grouped deviation
+//! detectors, a VIRT-filtered notification center, access control with a
+//! durable audit trail, and metrics.
+//!
+//! Dataflow per [`EventServer::pump`]:
+//!
+//! ```text
+//! tables --(trigger|journal|query-poll)--> change events
+//!    --> stream runtime --> continuous queries --> query subscribers
+//!    --> alert rules    --> notifications (VIRT filter)
+//!    --> detectors      --> deviations --> notifications
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::Arc;
+
+use evdb_analytics::detector::UpdatePolicy;
+use evdb_analytics::{DeviationDetector, ExpectationModel};
+use evdb_cq::aggregate::AggMode;
+use evdb_cq::delta::{change_schema, change_to_event};
+use evdb_cq::runtime::Subscriber;
+use evdb_cq::StreamRuntime;
+use evdb_queue::{Delivery, QueueConfig, QueueManager};
+use evdb_rules::{Broker, IndexedMatcher, Matcher, Rule};
+use evdb_storage::{
+    ChangeEvent, Database, DbOptions, JournalMiner, QuerySnapshot, TriggerOps, TriggerTiming,
+};
+use evdb_types::{
+    Clock, Error, Event, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs, Value,
+};
+use parking_lot::Mutex;
+
+use crate::metrics::Metrics;
+use crate::notify::{Notification, NotificationCenter, NotificationHandler, VirtPolicy};
+use crate::security::{AccessControl, Principal, Privilege};
+
+/// How a table's changes are captured into a stream (§2.2.a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureMechanism {
+    /// Synchronous row trigger: lowest latency, taxes the write path,
+    /// and (like real AFTER triggers) observes pre-commit changes.
+    Trigger,
+    /// Asynchronous journal mining: off the commit path, sees only
+    /// committed transactions, batched by pump cadence.
+    Journal,
+    /// Periodic query-snapshot diffing with the given poll interval:
+    /// cheapest for slow-moving data, lossy between polls.
+    QueryPoll {
+        /// Poll interval in milliseconds.
+        interval_ms: i64,
+    },
+}
+
+enum CaptureKind {
+    Trigger,
+    Journal(JournalMiner),
+    Snapshot {
+        snapshot: QuerySnapshot,
+        interval_ms: i64,
+        last_poll: Option<TimestampMs>,
+    },
+}
+
+struct CaptureTask {
+    stream: String,
+    table: String,
+    schema: Arc<Schema>,
+    kind: CaptureKind,
+}
+
+struct AlertRules {
+    matcher: IndexedMatcher,
+    meta: HashMap<u64, AlertMeta>,
+    next_id: u64,
+}
+
+struct AlertMeta {
+    name: String,
+    severity: f64,
+    key_field: Option<usize>,
+}
+
+struct DetectorGroup {
+    name: String,
+    field: usize,
+    key_field: Option<usize>,
+    factory: Box<dyn Fn() -> DeviationDetector + Send>,
+    instances: HashMap<String, DeviationDetector>,
+}
+
+/// Statistics returned by one [`EventServer::pump`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Change events captured this pump.
+    pub captured: u64,
+    /// Derived events produced by continuous queries.
+    pub derived: u64,
+    /// Notifications delivered (post-VIRT).
+    pub notified: u64,
+}
+
+/// Configuration for an [`EventServer`].
+pub struct ServerConfig {
+    /// VIRT notification policy.
+    pub virt: VirtPolicy,
+    /// Aggregation execution mode for CQL queries.
+    pub agg_mode: AggMode,
+    /// Allowed event-time out-of-orderness for windows (ms).
+    pub lateness_ms: i64,
+    /// Engine clock.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            virt: VirtPolicy::default(),
+            agg_mode: AggMode::Incremental,
+            lateness_ms: 0,
+            clock: Arc::new(SystemClock),
+        }
+    }
+}
+
+/// The event-processing server.
+///
+/// # Example
+///
+/// ```
+/// use evdb_core::server::ServerConfig;
+/// use evdb_core::{CaptureMechanism, EventServer};
+/// use evdb_types::{DataType, Record, Schema, Value};
+///
+/// let server = EventServer::in_memory(ServerConfig::default()).unwrap();
+/// server.db().create_table(
+///     "orders",
+///     Schema::of(&[("oid", DataType::Int), ("amount", DataType::Float)]),
+///     "oid",
+/// ).unwrap();
+///
+/// let stream = server.capture_table("orders", CaptureMechanism::Trigger).unwrap();
+/// server.add_alert_rule("large", &stream, "amount > 1000", 2.0, None).unwrap();
+///
+/// server.db().insert("orders",
+///     Record::from_iter([Value::Int(1), Value::Float(5_000.0)])).unwrap();
+/// let stats = server.pump().unwrap();
+/// assert_eq!((stats.captured, stats.notified), (1, 1));
+/// ```
+pub struct EventServer {
+    db: Arc<Database>,
+    queues: Arc<QueueManager>,
+    broker: Broker,
+    runtime: StreamRuntime,
+    notifications: Arc<NotificationCenter>,
+    access: AccessControl,
+    metrics: Arc<Metrics>,
+    agg_mode: AggMode,
+    captures: Mutex<Vec<CaptureTask>>,
+    trigger_buffer: Arc<Mutex<VecDeque<(String, ChangeEvent)>>>,
+    alert_rules: Mutex<HashMap<String, AlertRules>>,
+    detectors: Mutex<HashMap<String, Vec<DetectorGroup>>>,
+    ids: IdGenerator,
+}
+
+impl EventServer {
+    /// Ephemeral server (in-memory journal).
+    pub fn in_memory(config: ServerConfig) -> Result<EventServer> {
+        let db = Database::in_memory(DbOptions {
+            clock: Arc::clone(&config.clock),
+            ..Default::default()
+        })?;
+        Self::from_db(db, config)
+    }
+
+    /// Durable server on a directory (runs recovery).
+    pub fn open(dir: impl AsRef<Path>, config: ServerConfig) -> Result<EventServer> {
+        let db = Database::open(
+            dir,
+            DbOptions {
+                clock: Arc::clone(&config.clock),
+                ..Default::default()
+            },
+        )?;
+        Self::from_db(db, config)
+    }
+
+    fn from_db(db: Arc<Database>, config: ServerConfig) -> Result<EventServer> {
+        let queues = Arc::new(QueueManager::attach(Arc::clone(&db))?);
+        let access = AccessControl::attach(Arc::clone(&db))?;
+        Ok(EventServer {
+            queues,
+            broker: Broker::new(),
+            runtime: StreamRuntime::new(config.lateness_ms),
+            notifications: Arc::new(NotificationCenter::new(config.virt, Arc::clone(&config.clock))),
+            access,
+            metrics: Arc::new(Metrics::default()),
+            agg_mode: config.agg_mode,
+            captures: Mutex::new(Vec::new()),
+            trigger_buffer: Arc::new(Mutex::new(VecDeque::new())),
+            alert_rules: Mutex::new(HashMap::new()),
+            detectors: Mutex::new(HashMap::new()),
+            ids: IdGenerator::default(),
+            db,
+        })
+    }
+
+    // ---- component access -------------------------------------------------
+
+    /// The underlying database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The queue manager.
+    pub fn queues(&self) -> &Arc<QueueManager> {
+        &self.queues
+    }
+
+    /// The pub/sub broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The stream runtime.
+    pub fn runtime(&self) -> &StreamRuntime {
+        &self.runtime
+    }
+
+    /// The notification center.
+    pub fn notifications(&self) -> &Arc<NotificationCenter> {
+        &self.notifications
+    }
+
+    /// Access control / audit.
+    pub fn access(&self) -> &AccessControl {
+        &self.access
+    }
+
+    /// Engine metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Current engine time.
+    pub fn now(&self) -> TimestampMs {
+        self.db.now()
+    }
+
+    // ---- capture ------------------------------------------------------------
+
+    /// Capture a table's changes into stream `"<table>_changes"` using
+    /// the given mechanism. Returns the stream name.
+    pub fn capture_table(&self, table: &str, mechanism: CaptureMechanism) -> Result<String> {
+        let t = self.db.table(table)?;
+        let stream = format!("{table}_changes");
+        let key_type = t.schema().fields()[t.def().pk].dtype;
+        let schema = change_schema(t.schema(), key_type)?;
+        self.runtime.create_stream(&stream, Arc::clone(&schema))?;
+
+        let kind = match mechanism {
+            CaptureMechanism::Trigger => {
+                let buffer = Arc::clone(&self.trigger_buffer);
+                let stream_name = stream.clone();
+                self.db.create_trigger(
+                    &format!("__cap_{stream}"),
+                    table,
+                    TriggerTiming::After,
+                    TriggerOps::ALL,
+                    None,
+                    Arc::new(move |ev| {
+                        buffer.lock().push_back((stream_name.clone(), ev.clone()));
+                        Ok(())
+                    }),
+                )?;
+                CaptureKind::Trigger
+            }
+            CaptureMechanism::Journal => CaptureKind::Journal(JournalMiner::from_now(&self.db)),
+            CaptureMechanism::QueryPoll { interval_ms } => CaptureKind::Snapshot {
+                snapshot: QuerySnapshot::new(table, evdb_expr::Expr::lit(true)),
+                interval_ms: interval_ms.max(1),
+                last_poll: None,
+            },
+        };
+        self.captures.lock().push(CaptureTask {
+            stream,
+            table: table.to_string(),
+            schema,
+            kind,
+        });
+        Ok(self.captures.lock().last().expect("just pushed").stream.clone())
+    }
+
+    /// Declare a free-standing stream fed by [`EventServer::ingest`]
+    /// (external feeds: market data, sensor telemetry).
+    pub fn create_stream(&self, name: &str, schema: Arc<Schema>) -> Result<()> {
+        self.runtime.create_stream(name, schema)
+    }
+
+    /// Push one external event into a stream, running the evaluation
+    /// pipeline for it immediately.
+    pub fn ingest(&self, stream: &str, timestamp: TimestampMs, payload: Record) -> Result<PumpStats> {
+        use std::sync::atomic::Ordering;
+        let schema = self.runtime.stream_schema(stream)?;
+        schema.validate(&payload)?;
+        let event = Event::new(
+            evdb_types::EventId(self.ids.next_id()),
+            stream,
+            timestamp,
+            payload,
+            schema,
+        );
+        let mut stats = PumpStats::default();
+        self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
+        stats.captured = 1;
+        self.process_event(&event, &mut stats)?;
+        Ok(stats)
+    }
+
+    // ---- continuous queries ----------------------------------------------------
+
+    /// Register a CQL continuous query. The `FROM` stream must exist.
+    pub fn register_cql(&self, name: &str, cql: &str) -> Result<()> {
+        let q = evdb_cq::cql::parse_query(cql)?;
+        let input = self.runtime.stream_schema(&q.from)?;
+        let pipeline = evdb_cq::cql::compile(&q, &input, self.agg_mode)?;
+        self.runtime.register_query(name, &q.from, pipeline)
+    }
+
+    /// Subscribe to a query's derived events.
+    pub fn on_query(&self, name: &str, subscriber: Subscriber) -> Result<()> {
+        self.runtime.subscribe(name, subscriber)
+    }
+
+    // ---- alert rules -------------------------------------------------------------
+
+    /// Add an alert rule: when an event on `stream` satisfies
+    /// `predicate`, a notification of `severity` fires. The optional
+    /// `key_field` scopes VIRT suppression (e.g. per symbol / per
+    /// sensor). Returns a rule id for removal.
+    pub fn add_alert_rule(
+        &self,
+        name: &str,
+        stream: &str,
+        predicate: &str,
+        severity: f64,
+        key_field: Option<&str>,
+    ) -> Result<u64> {
+        let schema = self.runtime.stream_schema(stream)?;
+        let expr = evdb_expr::parse(predicate)?;
+        let key_idx = match key_field {
+            None => None,
+            Some(f) => Some(
+                schema
+                    .index_of(f)
+                    .ok_or_else(|| Error::Schema(format!("unknown key field '{f}'")))?,
+            ),
+        };
+        let mut rules = self.alert_rules.lock();
+        let entry = rules
+            .entry(stream.to_string())
+            .or_insert_with(|| AlertRules {
+                matcher: IndexedMatcher::new(Arc::clone(&schema)),
+                meta: HashMap::new(),
+                next_id: 1,
+            });
+        let id = entry.next_id;
+        entry.matcher.add_rule(Rule::new(id, name, expr))?;
+        entry.meta.insert(
+            id,
+            AlertMeta {
+                name: name.to_string(),
+                severity,
+                key_field: key_idx,
+            },
+        );
+        entry.next_id += 1;
+        Ok(id)
+    }
+
+    /// Remove an alert rule.
+    pub fn remove_alert_rule(&self, stream: &str, id: u64) -> Result<()> {
+        let mut rules = self.alert_rules.lock();
+        let entry = rules
+            .get_mut(stream)
+            .ok_or_else(|| Error::NotFound(format!("alert rules on '{stream}'")))?;
+        entry.matcher.remove_rule(id)?;
+        entry.meta.remove(&id);
+        Ok(())
+    }
+
+    // ---- detectors ----------------------------------------------------------------
+
+    /// Attach a grouped deviation detector to a stream: `field` is the
+    /// observed value; when `key_field` is given, each distinct key gets
+    /// its own model instance (per-meter, per-symbol expectations).
+    pub fn add_detector<F>(
+        &self,
+        name: &str,
+        stream: &str,
+        field: &str,
+        key_field: Option<&str>,
+        policy: UpdatePolicy,
+        model_factory: F,
+    ) -> Result<()>
+    where
+        F: Fn() -> Box<dyn ExpectationModel> + Send + 'static,
+    {
+        let schema = self.runtime.stream_schema(stream)?;
+        let field_idx = schema
+            .index_of(field)
+            .ok_or_else(|| Error::Schema(format!("unknown field '{field}'")))?;
+        let key_idx = match key_field {
+            None => None,
+            Some(f) => Some(
+                schema
+                    .index_of(f)
+                    .ok_or_else(|| Error::Schema(format!("unknown key field '{f}'")))?,
+            ),
+        };
+        self.detectors
+            .lock()
+            .entry(stream.to_string())
+            .or_default()
+            .push(DetectorGroup {
+                name: name.to_string(),
+                field: field_idx,
+                key_field: key_idx,
+                factory: Box::new(move || {
+                    DeviationDetector::with_policy(model_factory(), policy)
+                }),
+                instances: HashMap::new(),
+            });
+        Ok(())
+    }
+
+    /// Register a notification handler.
+    pub fn on_notification(&self, handler: NotificationHandler) {
+        self.notifications.on_notification(handler);
+    }
+
+    /// Persist every delivered notification as a message on `queue`
+    /// (created if needed) — notifications *are* messages in the paper's
+    /// architecture, so alert consumers get the queue layer's
+    /// recoverability, fan-out and auditability. Returns the queue's
+    /// payload schema.
+    pub fn persist_notifications(&self, queue: &str) -> Result<Arc<Schema>> {
+        let schema = Schema::of(&[
+            ("key", evdb_types::DataType::Str),
+            ("severity", evdb_types::DataType::Float),
+            ("title", evdb_types::DataType::Str),
+            ("body", evdb_types::DataType::Str),
+            ("ts", evdb_types::DataType::Timestamp),
+        ]);
+        if self.queues.queue_schema(queue).is_err() {
+            self.queues
+                .create_queue(queue, Arc::clone(&schema), QueueConfig::default())?;
+        }
+        let queues = Arc::clone(&self.queues);
+        let qname = queue.to_string();
+        self.notifications.on_notification(Arc::new(move |n| {
+            // Enqueue failures must not unwind into the notifier; they
+            // surface through queue metrics/depth instead.
+            let _ = queues.enqueue(
+                &qname,
+                Record::from_iter([
+                    Value::from(n.key.as_str()),
+                    Value::Float(n.severity),
+                    Value::from(n.title.as_str()),
+                    Value::from(n.body.as_str()),
+                    Value::Timestamp(n.timestamp),
+                ]),
+                "notification-center",
+            );
+        }));
+        Ok(schema)
+    }
+
+    // ---- queue & topic conveniences (guarded variants audit) ----------------------
+
+    /// Create a queue.
+    pub fn create_queue(&self, name: &str, schema: Arc<Schema>, config: QueueConfig) -> Result<()> {
+        self.queues.create_queue(name, schema, config)
+    }
+
+    /// Enqueue as a principal: checked against `queue:<name>` Write and
+    /// audited.
+    pub fn enqueue_as(
+        &self,
+        principal: &Principal,
+        queue: &str,
+        payload: Record,
+    ) -> Result<u64> {
+        self.access
+            .check(principal, &format!("queue:{queue}"), Privilege::Write)?;
+        self.queues.enqueue(queue, payload, &principal.name)
+    }
+
+    /// Dequeue as a principal: checked against `queue:<name>` Read.
+    pub fn dequeue_as(
+        &self,
+        principal: &Principal,
+        queue: &str,
+        group: &str,
+        max: usize,
+    ) -> Result<Vec<Delivery>> {
+        self.access
+            .check(principal, &format!("queue:{queue}"), Privilege::Read)?;
+        self.queues.dequeue(queue, group, max)
+    }
+
+    // ---- the pump ------------------------------------------------------------------
+
+    /// Drain all pending captured changes through the evaluation
+    /// pipeline. Deterministic: with a `SimClock`, repeated runs produce
+    /// identical results.
+    pub fn pump(&self) -> Result<PumpStats> {
+        use std::sync::atomic::Ordering;
+        let now = self.now();
+        let mut batches: Vec<(String, Arc<Schema>, Vec<ChangeEvent>)> = Vec::new();
+
+        // Trigger buffer.
+        {
+            let mut buf = self.trigger_buffer.lock();
+            if !buf.is_empty() {
+                let mut by_stream: HashMap<String, Vec<ChangeEvent>> = HashMap::new();
+                for (stream, ev) in buf.drain(..) {
+                    by_stream.entry(stream).or_default().push(ev);
+                }
+                let captures = self.captures.lock();
+                for (stream, evs) in by_stream {
+                    if let Some(task) = captures.iter().find(|t| t.stream == stream) {
+                        batches.push((stream, Arc::clone(&task.schema), evs));
+                    }
+                }
+            }
+        }
+        // Journal miners and snapshots.
+        {
+            let mut captures = self.captures.lock();
+            for task in captures.iter_mut() {
+                match &mut task.kind {
+                    CaptureKind::Trigger => {}
+                    CaptureKind::Journal(miner) => {
+                        // The journal carries every table's ops; this
+                        // capture only owns its own table's changes.
+                        let mut evs = miner.poll(&self.db)?;
+                        evs.retain(|c| c.table.as_ref() == task.table);
+                        if !evs.is_empty() {
+                            batches.push((task.stream.clone(), Arc::clone(&task.schema), evs));
+                        }
+                    }
+                    CaptureKind::Snapshot {
+                        snapshot,
+                        interval_ms,
+                        last_poll,
+                    } => {
+                        let due = match last_poll {
+                            None => true,
+                            Some(t) => now.since(*t) >= *interval_ms,
+                        };
+                        if due {
+                            *last_poll = Some(now);
+                            let evs = snapshot.poll(&self.db)?;
+                            if !evs.is_empty() {
+                                batches.push((task.stream.clone(), Arc::clone(&task.schema), evs));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut stats = PumpStats::default();
+        for (_stream, schema, changes) in batches {
+            for change in changes {
+                let event = change_to_event(&change, &schema, &self.ids);
+                // Rewrite the event source to the stream name so the
+                // runtime routes it (delta:: prefix is for standalone use).
+                let event = Event::new(
+                    event.id,
+                    _stream.as_str(),
+                    event.timestamp,
+                    event.payload,
+                    event.schema,
+                );
+                stats.captured += 1;
+                self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .observe_latency(now.since(change.timestamp) as f64);
+                self.process_event(&event, &mut stats)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Route one event: runtime queries, alert rules, detectors.
+    fn process_event(&self, event: &Event, stats: &mut PumpStats) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        self.metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+
+        // Continuous queries.
+        let derived = self.runtime.push_event(event)?;
+        stats.derived += derived.len() as u64;
+        self.metrics
+            .derived_events
+            .fetch_add(derived.len() as u64, Ordering::Relaxed);
+
+        // Alert rules on this stream.
+        stats.notified += self.run_alert_rules(event)?;
+
+        // Detectors on this stream (raw events).
+        stats.notified += self.run_detectors(event.source.as_ref(), event)?;
+        Ok(())
+    }
+
+    fn run_alert_rules(&self, event: &Event) -> Result<u64> {
+        let mut notified = 0;
+        let rules = self.alert_rules.lock();
+        if let Some(entry) = rules.get(event.source.as_ref()) {
+            let hits = entry.matcher.match_record(&event.payload)?;
+            for id in hits {
+                let meta = &entry.meta[&id];
+                let key = match meta.key_field {
+                    Some(i) => format!(
+                        "{}:{}",
+                        meta.name,
+                        event.payload.get(i).cloned().unwrap_or(Value::Null)
+                    ),
+                    None => meta.name.clone(),
+                };
+                let delivered = self.notifications.notify(Notification {
+                    key,
+                    severity: meta.severity,
+                    title: format!("rule '{}' matched on {}", meta.name, event.source),
+                    body: event.payload.to_string(),
+                    timestamp: event.timestamp,
+                });
+                if delivered {
+                    notified += 1;
+                }
+            }
+        }
+        self.sync_notify_metrics();
+        Ok(notified)
+    }
+
+    fn run_detectors(&self, stream: &str, event: &Event) -> Result<u64> {
+        use std::sync::atomic::Ordering;
+        let mut notified = 0;
+        let mut detectors = self.detectors.lock();
+        if let Some(groups) = detectors.get_mut(stream) {
+            for g in groups {
+                let Some(value) = event.payload.get(g.field).and_then(Value::as_f64) else {
+                    continue;
+                };
+                let key = match g.key_field {
+                    Some(i) => format!(
+                        "{}:{}",
+                        g.name,
+                        event.payload.get(i).cloned().unwrap_or(Value::Null)
+                    ),
+                    None => g.name.clone(),
+                };
+                let det = g
+                    .instances
+                    .entry(key.clone())
+                    .or_insert_with(|| (g.factory)());
+                if let Some(dev) = det.observe(event.timestamp, value) {
+                    self.metrics.deviations.fetch_add(1, Ordering::Relaxed);
+                    let delivered = self.notifications.notify(Notification {
+                        key,
+                        severity: dev.score,
+                        title: format!("{}: {} outside expectation", g.name, dev.value),
+                        body: format!(
+                            "observed {} expected [{:.3}, {:.3}] (score {:.2})",
+                            dev.value, dev.expected_low, dev.expected_high, dev.score
+                        ),
+                        timestamp: dev.timestamp,
+                    });
+                    if delivered {
+                        notified += 1;
+                    }
+                }
+            }
+        }
+        self.sync_notify_metrics();
+        Ok(notified)
+    }
+
+    fn sync_notify_metrics(&self) {
+        use std::sync::atomic::Ordering;
+        self.metrics.notifications.store(
+            self.notifications.delivered.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.metrics.suppressed.store(
+            self.notifications.suppressed.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Flush trailing windows on a stream (end of input).
+    pub fn flush_stream(&self, stream: &str, watermark: TimestampMs) -> Result<Vec<Event>> {
+        self.runtime.flush(stream, watermark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_analytics::ThresholdModel;
+    use evdb_types::{DataType, SimClock};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn server() -> (EventServer, Arc<SimClock>) {
+        let clock = SimClock::new(TimestampMs(1_000));
+        let s = EventServer::in_memory(ServerConfig {
+            clock: clock.clone(),
+            ..Default::default()
+        })
+        .unwrap();
+        s.db()
+            .create_table(
+                "orders",
+                Schema::of(&[("oid", DataType::Int), ("amt", DataType::Float)]),
+                "oid",
+            )
+            .unwrap();
+        (s, clock)
+    }
+
+    #[test]
+    fn trigger_capture_to_alert_rule() {
+        let (s, _clock) = server();
+        let stream = s.capture_table("orders", CaptureMechanism::Trigger).unwrap();
+        assert_eq!(stream, "orders_changes");
+        s.add_alert_rule("big", &stream, "amt > 1000 AND change = 'insert'", 2.0, None)
+            .unwrap();
+
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(1), Value::Float(50.0)]))
+            .unwrap();
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(5_000.0)]))
+            .unwrap();
+        let stats = s.pump().unwrap();
+        assert_eq!(stats.captured, 2);
+        assert_eq!(stats.notified, 1);
+        let delivered = s.notifications().drain_delivered();
+        assert_eq!(delivered.len(), 1);
+        assert!(delivered[0].title.contains("big"));
+    }
+
+    #[test]
+    fn journal_capture_sees_only_commits() {
+        let (s, _clock) = server();
+        let stream = s.capture_table("orders", CaptureMechanism::Journal).unwrap();
+        s.add_alert_rule("any", &stream, "TRUE", 1.0, Some("row_key"))
+            .unwrap();
+        {
+            let mut tx = s.db().begin();
+            tx.insert("orders", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+                .unwrap();
+            tx.rollback();
+        }
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .unwrap();
+        let stats = s.pump().unwrap();
+        assert_eq!(stats.captured, 1); // rollback invisible
+    }
+
+    #[test]
+    fn query_poll_capture_respects_interval() {
+        let (s, clock) = server();
+        s.capture_table("orders", CaptureMechanism::QueryPoll { interval_ms: 1_000 })
+            .unwrap();
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        assert_eq!(s.pump().unwrap().captured, 1); // first poll fires
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .unwrap();
+        assert_eq!(s.pump().unwrap().captured, 0); // within interval
+        clock.advance(1_000);
+        assert_eq!(s.pump().unwrap().captured, 1);
+    }
+
+    #[test]
+    fn cql_over_captured_stream() {
+        let (s, _clock) = server();
+        let stream = s.capture_table("orders", CaptureMechanism::Trigger).unwrap();
+        s.register_cql(
+            "volume",
+            &format!("SELECT count() AS n FROM {stream} [ROWS 2]"),
+        )
+        .unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        s.on_query("volume", Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        for i in 0..4 {
+            s.db()
+                .insert(
+                    "orders",
+                    Record::from_iter([Value::Int(i), Value::Float(1.0)]),
+                )
+                .unwrap();
+        }
+        let stats = s.pump().unwrap();
+        assert_eq!(stats.derived, 2); // two ROWS-2 windows closed
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn detectors_fire_per_key() {
+        let (s, _clock) = server();
+        s.create_stream(
+            "meters",
+            Schema::of(&[("meter", DataType::Str), ("kw", DataType::Float)]),
+        )
+        .unwrap();
+        s.add_detector(
+            "load",
+            "meters",
+            "kw",
+            Some("meter"),
+            UpdatePolicy::Always,
+            || Box::new(ThresholdModel::new(0.0, 100.0)),
+        )
+        .unwrap();
+        let mut notified = 0;
+        for (m, kw) in [("m1", 50.0), ("m1", 150.0), ("m2", 99.0), ("m2", 500.0)] {
+            let st = s
+                .ingest(
+                    "meters",
+                    s.now(),
+                    Record::from_iter([Value::from(m), Value::Float(kw)]),
+                )
+                .unwrap();
+            notified += st.notified;
+        }
+        assert_eq!(notified, 2);
+        assert_eq!(s.metrics().snapshot().deviations, 2);
+    }
+
+    #[test]
+    fn guarded_queue_access_audits() {
+        let (s, _clock) = server();
+        s.create_queue(
+            "alerts",
+            Schema::of(&[("x", DataType::Int)]),
+            QueueConfig::default(),
+        )
+        .unwrap();
+        s.queues().subscribe("alerts", "ops").unwrap();
+        let alice = Principal::named("alice");
+        assert!(s
+            .enqueue_as(&alice, "alerts", Record::from_iter([Value::Int(1)]))
+            .is_err()); // no grant
+        s.access().grant("alice", "queue:alerts", Privilege::Write);
+        s.enqueue_as(&alice, "alerts", Record::from_iter([Value::Int(1)]))
+            .unwrap();
+        assert!(s.dequeue_as(&alice, "alerts", "ops", 1).is_err()); // read not granted
+        s.access().grant("alice", "*", Privilege::Read);
+        assert_eq!(s.dequeue_as(&alice, "alerts", "ops", 1).unwrap().len(), 1);
+        assert_eq!(s.access().audit_len(), 4);
+    }
+
+    #[test]
+    fn notifications_persist_to_a_queue() {
+        let (s, _clock) = server();
+        let stream = s.capture_table("orders", CaptureMechanism::Trigger).unwrap();
+        s.add_alert_rule("big", &stream, "amt > 100", 2.5, Some("oid"))
+            .unwrap();
+        s.persist_notifications("alerts").unwrap();
+        s.queues().subscribe("alerts", "oncall").unwrap();
+
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(1), Value::Float(500.0)]))
+            .unwrap();
+        s.db()
+            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(5.0)]))
+            .unwrap();
+        s.pump().unwrap();
+
+        let d = s.queues().dequeue("alerts", "oncall", 10).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].message.payload.get(1), Some(&Value::Float(2.5)));
+        assert_eq!(d[0].message.source, "notification-center");
+    }
+
+    #[test]
+    fn virt_policy_suppresses_duplicates_end_to_end() {
+        let clock = SimClock::new(TimestampMs(0));
+        let s = EventServer::in_memory(ServerConfig {
+            clock: clock.clone(),
+            virt: VirtPolicy {
+                suppression_window_ms: 10_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        s.create_stream("t", Schema::of(&[("v", DataType::Float)]))
+            .unwrap();
+        s.add_alert_rule("hot", "t", "v > 10", 1.0, None).unwrap();
+        let mut total = 0;
+        for _ in 0..5 {
+            total += s
+                .ingest("t", clock.now(), Record::from_iter([Value::Float(50.0)]))
+                .unwrap()
+                .notified;
+        }
+        assert_eq!(total, 1); // four suppressed
+        assert_eq!(s.metrics().snapshot().suppressed, 4);
+    }
+}

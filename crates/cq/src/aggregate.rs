@@ -1,0 +1,863 @@
+//! Windowed group-by aggregation.
+//!
+//! Two execution modes implement the same semantics (property-tested for
+//! equivalence) so the ablation bench (E5 / DESIGN.md D5) can compare
+//! them:
+//!
+//! * [`AggMode::Incremental`] — events fold into per-**pane** partial
+//!   accumulators as they arrive (a pane is the GCD slice of the window:
+//!   the slide for sliding windows, the width for tumbling). Closing a
+//!   window merges its panes' partials: O(panes) per close instead of
+//!   O(events), and an event is touched exactly once however many sliding
+//!   windows overlap it.
+//! * [`AggMode::Recompute`] — raw rows are buffered per pane and every
+//!   window close rescans them. Simple, memory-hungry, slow for long
+//!   windows: the baseline.
+//!
+//! Count and session windows are inherently per-group/per-event and share
+//! one implementation path (they have no panes).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use evdb_types::{
+    DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
+};
+
+use crate::op::{key_of, Operator};
+use crate::window::WindowSpec;
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count (`count(*)` when no field, non-null count with a field).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum (any ordered type).
+    Min,
+    /// Maximum (any ordered type).
+    Max,
+    /// Sample standard deviation (Welford; mergeable).
+    StdDev,
+    /// Value of the earliest event in the window (by event time).
+    First,
+    /// Value of the latest event in the window.
+    Last,
+}
+
+impl AggFunc {
+    /// Parse a CQL function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "stddev" => AggFunc::StdDev,
+            "first" => AggFunc::First,
+            "last" => AggFunc::Last,
+            _ => return None,
+        })
+    }
+
+    /// Output type given the aggregated field's type.
+    pub fn output_type(self, field_type: Option<DataType>) -> DataType {
+        match self {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Sum | AggFunc::Avg | AggFunc::StdDev => DataType::Float,
+            AggFunc::Min | AggFunc::Max | AggFunc::First | AggFunc::Last => {
+                field_type.unwrap_or(DataType::Float)
+            }
+        }
+    }
+}
+
+/// One aggregate column.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input field name (`None` only for `count(*)`).
+    pub field: Option<String>,
+    /// Output column name.
+    pub out_name: String,
+}
+
+/// Execution strategy (DESIGN.md D5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// Per-pane partial aggregation, merged at close.
+    Incremental,
+    /// Buffer raw rows, rescan at close.
+    Recompute,
+}
+
+/// A mergeable accumulator.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum { sum: f64, n: u64 },
+    Avg { sum: f64, n: u64 },
+    MinMax { best: Option<Value>, is_min: bool },
+    Std { n: u64, mean: f64, m2: f64 },
+    Edge { best: Option<(TimestampMs, u64, Value)>, is_first: bool },
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum { sum: 0.0, n: 0 },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::MinMax { best: None, is_min: true },
+            AggFunc::Max => Acc::MinMax { best: None, is_min: false },
+            AggFunc::StdDev => Acc::Std { n: 0, mean: 0.0, m2: 0.0 },
+            AggFunc::First => Acc::Edge { best: None, is_first: true },
+            AggFunc::Last => Acc::Edge { best: None, is_first: false },
+        }
+    }
+
+    /// Fold one row's value in. `v` is `None` for `count(*)`.
+    /// `seq` disambiguates equal timestamps for First/Last (arrival order).
+    fn update(&mut self, v: Option<&Value>, ts: TimestampMs, seq: u64) -> Result<()> {
+        match self {
+            Acc::Count(c) => {
+                let counts = match v {
+                    None => true,            // count(*)
+                    Some(val) => !val.is_null(),
+                };
+                if counts {
+                    *c += 1;
+                }
+            }
+            Acc::Sum { sum, n } | Acc::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val
+                            .as_f64()
+                            .ok_or_else(|| Error::Type(format!("sum/avg over {val}")))?;
+                        *sum += x;
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::MinMax { best, is_min } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                if *is_min {
+                                    val < b
+                                } else {
+                                    val > b
+                                }
+                            }
+                        };
+                        if better {
+                            *best = Some(val.clone());
+                        }
+                    }
+                }
+            }
+            Acc::Std { n, mean, m2 } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val
+                            .as_f64()
+                            .ok_or_else(|| Error::Type(format!("stddev over {val}")))?;
+                        *n += 1;
+                        let delta = x - *mean;
+                        *mean += delta / *n as f64;
+                        *m2 += delta * (x - *mean);
+                    }
+                }
+            }
+            Acc::Edge { best, is_first } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let better = match best {
+                            None => true,
+                            Some((bts, bseq, _)) => {
+                                if *is_first {
+                                    (ts, seq) < (*bts, *bseq)
+                                } else {
+                                    (ts, seq) > (*bts, *bseq)
+                                }
+                            }
+                        };
+                        if better {
+                            *best = Some((ts, seq, val.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial in (for pane combination).
+    fn merge(&mut self, other: &Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::Sum { sum, n }, Acc::Sum { sum: s2, n: n2 })
+            | (Acc::Avg { sum, n }, Acc::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (Acc::MinMax { best, is_min }, Acc::MinMax { best: b2, .. }) => {
+                if let Some(v2) = b2 {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            if *is_min {
+                                v2 < b
+                            } else {
+                                v2 > b
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some(v2.clone());
+                    }
+                }
+            }
+            (Acc::Std { n, mean, m2 }, Acc::Std { n: n2, mean: mean2, m2: m22 }) => {
+                // Chan et al. parallel variance combination.
+                if *n2 > 0 {
+                    if *n == 0 {
+                        *n = *n2;
+                        *mean = *mean2;
+                        *m2 = *m22;
+                    } else {
+                        let delta = mean2 - *mean;
+                        let tot = *n + *n2;
+                        *m2 += m22 + delta * delta * (*n as f64) * (*n2 as f64) / tot as f64;
+                        *mean += delta * (*n2 as f64) / tot as f64;
+                        *n = tot;
+                    }
+                }
+            }
+            (Acc::Edge { best, is_first }, Acc::Edge { best: b2, .. }) => {
+                if let Some((ts2, seq2, v2)) = b2 {
+                    let better = match best {
+                        None => true,
+                        Some((bts, bseq, _)) => {
+                            if *is_first {
+                                (*ts2, *seq2) < (*bts, *bseq)
+                            } else {
+                                (*ts2, *seq2) > (*bts, *bseq)
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some((*ts2, *seq2, v2.clone()));
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched accumulators"),
+        }
+    }
+
+    fn finalize(&self) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int(*c),
+            Acc::Sum { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *n as f64)
+                }
+            }
+            Acc::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+            Acc::Std { n, m2, .. } => {
+                if *n < 2 {
+                    Value::Null
+                } else {
+                    Value::Float((m2 / (*n - 1) as f64).sqrt())
+                }
+            }
+            Acc::Edge { best, .. } => {
+                best.as_ref().map(|(_, _, v)| v.clone()).unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+/// Raw row stored by Recompute mode: (group key, agg inputs, ts, seq).
+type RawRow = (Vec<Value>, Vec<Option<Value>>, TimestampMs, u64);
+
+/// Per-group session state.
+struct SessionState {
+    accs: Vec<Acc>,
+    first_ts: TimestampMs,
+    last_ts: TimestampMs,
+}
+
+/// The windowed aggregation operator.
+pub struct WindowAggregateOp {
+    window: WindowSpec,
+    mode: AggMode,
+    group_fields: Vec<usize>,
+    /// (spec, input field index) — index is None for count(*).
+    aggs: Vec<(AggSpec, Option<usize>)>,
+    out_schema: Arc<Schema>,
+
+    // Time-window state (keyed by pane start).
+    panes: BTreeMap<i64, HashMap<Vec<Value>, Vec<Acc>>>,
+    raw: BTreeMap<i64, Vec<RawRow>>,
+    /// Windows starting before this are already emitted (late boundary).
+    next_window_start: i64,
+    started: bool,
+
+    // Count/session state.
+    count_state: HashMap<Vec<Value>, SessionState>,
+    counts: HashMap<Vec<Value>, usize>,
+
+    seq: u64,
+    emit_seq: u64,
+    /// Late (dropped) events — observability.
+    pub late_events: u64,
+    label: String,
+}
+
+impl WindowAggregateOp {
+    /// Build the operator against an input schema.
+    pub fn new(
+        input: &Schema,
+        window: WindowSpec,
+        group_by: &[&str],
+        aggs: Vec<AggSpec>,
+        mode: AggMode,
+    ) -> Result<WindowAggregateOp> {
+        window
+            .validate()
+            .map_err(Error::Invalid)?;
+        let mut group_fields = Vec::with_capacity(group_by.len());
+        let mut out_fields = Vec::new();
+        for g in group_by {
+            let i = input
+                .index_of(g)
+                .ok_or_else(|| Error::Schema(format!("unknown group field '{g}'")))?;
+            group_fields.push(i);
+            out_fields.push(input.fields()[i].clone());
+        }
+        out_fields.push(FieldDef::required("window_start", DataType::Timestamp));
+        out_fields.push(FieldDef::required("window_end", DataType::Timestamp));
+        let mut agg_cols = Vec::with_capacity(aggs.len());
+        for spec in aggs {
+            let idx = match &spec.field {
+                None => None,
+                Some(f) => Some(
+                    input
+                        .index_of(f)
+                        .ok_or_else(|| Error::Schema(format!("unknown agg field '{f}'")))?,
+                ),
+            };
+            if spec.field.is_none() && spec.func != AggFunc::Count {
+                return Err(Error::Invalid(format!(
+                    "{:?} requires a field argument",
+                    spec.func
+                )));
+            }
+            let ft = idx.map(|i| input.fields()[i].dtype);
+            out_fields.push(FieldDef::nullable(
+                spec.out_name.clone(),
+                spec.func.output_type(ft),
+            ));
+            agg_cols.push((spec, idx));
+        }
+        Ok(WindowAggregateOp {
+            window,
+            mode,
+            group_fields,
+            aggs: agg_cols,
+            out_schema: Schema::new(out_fields)?,
+            panes: BTreeMap::new(),
+            raw: BTreeMap::new(),
+            next_window_start: i64::MIN,
+            started: false,
+            count_state: HashMap::new(),
+            counts: HashMap::new(),
+            seq: 0,
+            emit_seq: 0,
+            late_events: 0,
+            label: "window_aggregate".to_string(),
+        })
+    }
+
+    fn agg_inputs(&self, rec: &Record) -> Vec<Option<Value>> {
+        self.aggs
+            .iter()
+            .map(|(_, idx)| idx.map(|i| rec.get(i).cloned().unwrap_or(Value::Null)))
+            .collect()
+    }
+
+    fn fresh_accs(&self) -> Vec<Acc> {
+        self.aggs.iter().map(|(s, _)| Acc::new(s.func)).collect()
+    }
+
+    fn emit(
+        &mut self,
+        group: &[Value],
+        start: TimestampMs,
+        end: TimestampMs,
+        accs: &[Acc],
+        out: &mut Vec<Event>,
+    ) {
+        let mut values: Vec<Value> = group.to_vec();
+        values.push(Value::Timestamp(start));
+        values.push(Value::Timestamp(end));
+        for a in accs {
+            values.push(a.finalize());
+        }
+        self.emit_seq += 1;
+        out.push(Event::new(
+            EventId(self.emit_seq),
+            "window",
+            end,
+            Record::new(values),
+            Arc::clone(&self.out_schema),
+        ));
+    }
+
+    fn close_time_windows(&mut self, wm: TimestampMs, out: &mut Vec<Event>) -> Result<()> {
+        let (width, slide) = match self.window {
+            WindowSpec::Tumbling { width_ms } => (width_ms, width_ms),
+            WindowSpec::Sliding { width_ms, slide_ms } => (width_ms, slide_ms),
+            _ => return Ok(()),
+        };
+        if !self.started {
+            return Ok(());
+        }
+        // Candidate window starts s with s + width ≤ wm, s ≥ next_window_start,
+        // and at least one pane with data in [s, s+width).
+        let pane_keys: Vec<i64> = match self.mode {
+            AggMode::Incremental => self.panes.keys().copied().collect(),
+            AggMode::Recompute => self.raw.keys().copied().collect(),
+        };
+        let mut starts: Vec<i64> = Vec::new();
+        for ps in pane_keys {
+            // Windows containing pane ps start in (ps - width, ps].
+            let mut s = ps;
+            while s > ps - width {
+                if s >= self.next_window_start && s + width <= wm.0 {
+                    starts.push(s);
+                }
+                s -= slide;
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+
+        for s in starts {
+            let start = TimestampMs(s);
+            let end = TimestampMs(s + width);
+            match self.mode {
+                AggMode::Incremental => {
+                    let mut merged: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+                    for (_, groups) in self.panes.range(s..s + width) {
+                        for (g, accs) in groups {
+                            let entry = merged
+                                .entry(g.clone())
+                                .or_insert_with(|| self.fresh_accs());
+                            for (m, a) in entry.iter_mut().zip(accs) {
+                                m.merge(a);
+                            }
+                        }
+                    }
+                    let mut keys: Vec<Vec<Value>> = merged.keys().cloned().collect();
+                    keys.sort();
+                    for g in keys {
+                        let accs = &merged[&g];
+                        self.emit(&g, start, end, &accs.clone(), out);
+                    }
+                }
+                AggMode::Recompute => {
+                    let mut computed: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+                    for (_, rows) in self.raw.range(s..s + width) {
+                        for (g, inputs, ts, seq) in rows {
+                            let accs = computed
+                                .entry(g.clone())
+                                .or_insert_with(|| self.fresh_accs());
+                            for (a, v) in accs.iter_mut().zip(inputs) {
+                                a.update(v.as_ref(), *ts, *seq)?;
+                            }
+                        }
+                    }
+                    let mut keys: Vec<Vec<Value>> = computed.keys().cloned().collect();
+                    keys.sort();
+                    for g in keys {
+                        let accs = computed[&g].clone();
+                        self.emit(&g, start, end, &accs, out);
+                    }
+                }
+            }
+            self.next_window_start = self.next_window_start.max(s + slide);
+        }
+        // Prune panes whose last containing window (starting at the pane
+        // itself) has been emitted.
+        let boundary = self.next_window_start;
+        self.panes = self.panes.split_off(&boundary);
+        self.raw = self.raw.split_off(&boundary);
+        Ok(())
+    }
+}
+
+impl Operator for WindowAggregateOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        self.seq += 1;
+        let seq = self.seq;
+        let group = key_of(&event.payload, &self.group_fields);
+        match self.window {
+            WindowSpec::Tumbling { .. } | WindowSpec::Sliding { .. } => {
+                let pane_ms = self.window.pane_ms().expect("time window has panes");
+                let ps = event.timestamp.window_start(pane_ms).0;
+                if self.started && ps < self.next_window_start {
+                    self.late_events += 1;
+                    return Ok(());
+                }
+                self.started = true;
+                match self.mode {
+                    AggMode::Incremental => {
+                        let inputs = self.agg_inputs(&event.payload);
+                        let fresh = self.fresh_accs();
+                        let accs = self
+                            .panes
+                            .entry(ps)
+                            .or_default()
+                            .entry(group)
+                            .or_insert(fresh);
+                        for (a, v) in accs.iter_mut().zip(&inputs) {
+                            a.update(v.as_ref(), event.timestamp, seq)?;
+                        }
+                    }
+                    AggMode::Recompute => {
+                        let inputs = self.agg_inputs(&event.payload);
+                        self.raw
+                            .entry(ps)
+                            .or_default()
+                            .push((group, inputs, event.timestamp, seq));
+                    }
+                }
+            }
+            WindowSpec::CountTumbling { count } => {
+                let inputs = self.agg_inputs(&event.payload);
+                let fresh = self.fresh_accs();
+                let st = self
+                    .count_state
+                    .entry(group.clone())
+                    .or_insert_with(|| SessionState {
+                        accs: fresh,
+                        first_ts: event.timestamp,
+                        last_ts: event.timestamp,
+                    });
+                for (a, v) in st.accs.iter_mut().zip(&inputs) {
+                    a.update(v.as_ref(), event.timestamp, seq)?;
+                }
+                st.last_ts = st.last_ts.max(event.timestamp);
+                let n = self.counts.entry(group.clone()).or_insert(0);
+                *n += 1;
+                if *n >= count {
+                    let st = self.count_state.remove(&group).expect("state exists");
+                    self.counts.remove(&group);
+                    self.emit(&group, st.first_ts, st.last_ts, &st.accs, out);
+                }
+            }
+            WindowSpec::Session { gap_ms } => {
+                let inputs = self.agg_inputs(&event.payload);
+                let fresh = self.fresh_accs();
+                // Close the running session first if the gap has lapsed.
+                if let Some(st) = self.count_state.get(&group) {
+                    if event.timestamp.since(st.last_ts) > gap_ms {
+                        let st = self.count_state.remove(&group).expect("state exists");
+                        self.emit(&group, st.first_ts, st.last_ts.plus(gap_ms), &st.accs, out);
+                    }
+                }
+                let st = self
+                    .count_state
+                    .entry(group.clone())
+                    .or_insert_with(|| SessionState {
+                        accs: fresh,
+                        first_ts: event.timestamp,
+                        last_ts: event.timestamp,
+                    });
+                for (a, v) in st.accs.iter_mut().zip(&inputs) {
+                    a.update(v.as_ref(), event.timestamp, seq)?;
+                }
+                st.first_ts = st.first_ts.min(event.timestamp);
+                st.last_ts = st.last_ts.max(event.timestamp);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: TimestampMs, out: &mut Vec<Event>) -> Result<()> {
+        match self.window {
+            WindowSpec::Tumbling { .. } | WindowSpec::Sliding { .. } => {
+                self.close_time_windows(wm, out)?;
+            }
+            WindowSpec::Session { gap_ms } => {
+                let expired: Vec<Vec<Value>> = self
+                    .count_state
+                    .iter()
+                    .filter(|(_, st)| wm.since(st.last_ts) > gap_ms)
+                    .map(|(g, _)| g.clone())
+                    .collect();
+                let mut sorted = expired;
+                sorted.sort();
+                for g in sorted {
+                    let st = self.count_state.remove(&g).expect("state exists");
+                    self.emit(&g, st.first_ts, st.last_ts.plus(gap_ms), &st.accs, out);
+                }
+            }
+            WindowSpec::CountTumbling { .. } => {} // time-independent
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)])
+    }
+
+    fn ev(ts: i64, sym: &str, px: f64) -> Event {
+        Event::new(
+            EventId(ts as u64),
+            "ticks",
+            TimestampMs(ts),
+            Record::from_iter([Value::from(sym), Value::Float(px)]),
+            schema(),
+        )
+    }
+
+    fn agg(name: &str, func: AggFunc, field: Option<&str>) -> AggSpec {
+        AggSpec {
+            func,
+            field: field.map(String::from),
+            out_name: name.to_string(),
+        }
+    }
+
+    fn run(mode: AggMode, window: WindowSpec, events: &[Event], wm: i64) -> Vec<Record> {
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            window,
+            &["sym"],
+            vec![
+                agg("n", AggFunc::Count, None),
+                agg("total", AggFunc::Sum, Some("px")),
+                agg("mean", AggFunc::Avg, Some("px")),
+                agg("lo", AggFunc::Min, Some("px")),
+                agg("hi", AggFunc::Max, Some("px")),
+                agg("sd", AggFunc::StdDev, Some("px")),
+                agg("fst", AggFunc::First, Some("px")),
+                agg("lst", AggFunc::Last, Some("px")),
+            ],
+            mode,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for e in events {
+            op.on_event(e, &mut out).unwrap();
+        }
+        op.on_watermark(TimestampMs(wm), &mut out).unwrap();
+        out.into_iter().map(|e| e.payload).collect()
+    }
+
+    #[test]
+    fn tumbling_aggregates_both_modes_agree() {
+        let events = vec![
+            ev(100, "A", 10.0),
+            ev(200, "A", 20.0),
+            ev(300, "B", 5.0),
+            ev(1_100, "A", 100.0),
+        ];
+        let w = WindowSpec::Tumbling { width_ms: 1000 };
+        let inc = run(AggMode::Incremental, w, &events, 2_000);
+        let rec = run(AggMode::Recompute, w, &events, 2_000);
+        assert_eq!(inc, rec);
+        assert_eq!(inc.len(), 3); // (A,w0), (B,w0), (A,w1000)
+        // First row: A in window [0,1000): n=2 sum=30 mean=15 lo=10 hi=20
+        let a0 = &inc[0];
+        assert_eq!(a0.get(0), Some(&Value::from("A")));
+        assert_eq!(a0.get(1), Some(&Value::Timestamp(TimestampMs(0))));
+        assert_eq!(a0.get(2), Some(&Value::Timestamp(TimestampMs(1000))));
+        assert_eq!(a0.get(3), Some(&Value::Int(2)));
+        assert_eq!(a0.get(4), Some(&Value::Float(30.0)));
+        assert_eq!(a0.get(5), Some(&Value::Float(15.0)));
+        assert_eq!(a0.get(6), Some(&Value::Float(10.0)));
+        assert_eq!(a0.get(7), Some(&Value::Float(20.0)));
+        // sample stddev of {10,20} = sqrt(50) ≈ 7.0710678
+        match a0.get(8) {
+            Some(Value::Float(sd)) => assert!((sd - 50f64.sqrt()).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a0.get(9), Some(&Value::Float(10.0))); // first
+        assert_eq!(a0.get(10), Some(&Value::Float(20.0))); // last
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let events = vec![ev(150, "A", 1.0), ev(250, "A", 2.0)];
+        let w = WindowSpec::Sliding {
+            width_ms: 200,
+            slide_ms: 100,
+        };
+        let inc = run(AggMode::Incremental, w, &events, 1_000);
+        let rec = run(AggMode::Recompute, w, &events, 1_000);
+        assert_eq!(inc, rec);
+        // Windows with data: [0,200):{150} [100,300):{150,250} [200,400):{250}
+        assert_eq!(inc.len(), 3);
+        assert_eq!(inc[0].get(3), Some(&Value::Int(1)));
+        assert_eq!(inc[1].get(3), Some(&Value::Int(2)));
+        assert_eq!(inc[2].get(3), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn watermark_only_closes_complete_windows() {
+        let events = vec![ev(100, "A", 1.0), ev(1_100, "A", 2.0)];
+        let w = WindowSpec::Tumbling { width_ms: 1000 };
+        let out = run(AggMode::Incremental, w, &events, 1_000);
+        assert_eq!(out.len(), 1); // only [0,1000) closed
+        let out = run(AggMode::Incremental, w, &events, 1_999);
+        assert_eq!(out.len(), 1); // [1000,2000) not yet complete
+        let out = run(AggMode::Incremental, w, &events, 2_000);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn late_events_are_dropped_and_counted() {
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Tumbling { width_ms: 1000 },
+            &[],
+            vec![agg("n", AggFunc::Count, None)],
+            AggMode::Incremental,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        op.on_event(&ev(100, "A", 1.0), &mut out).unwrap();
+        op.on_watermark(TimestampMs(1_000), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        op.on_event(&ev(900, "A", 1.0), &mut out).unwrap(); // late
+        assert_eq!(op.late_events, 1);
+        op.on_watermark(TimestampMs(2_000), &mut out).unwrap();
+        assert_eq!(out.len(), 1); // nothing new emitted
+    }
+
+    #[test]
+    fn count_windows_close_on_nth_event() {
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::CountTumbling { count: 2 },
+            &["sym"],
+            vec![agg("total", AggFunc::Sum, Some("px"))],
+            AggMode::Incremental,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        op.on_event(&ev(1, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(2, "B", 10.0), &mut out).unwrap();
+        assert!(out.is_empty());
+        op.on_event(&ev(3, "A", 2.0), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(3), Some(&Value::Float(3.0)));
+        op.on_event(&ev(4, "B", 20.0), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].payload.get(3), Some(&Value::Float(30.0)));
+    }
+
+    #[test]
+    fn session_windows_close_on_gap() {
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Session { gap_ms: 100 },
+            &["sym"],
+            vec![agg("n", AggFunc::Count, None)],
+            AggMode::Incremental,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        op.on_event(&ev(0, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(50, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(120, "A", 1.0), &mut out).unwrap(); // within gap of 50
+        assert!(out.is_empty());
+        op.on_event(&ev(500, "A", 1.0), &mut out).unwrap(); // gap lapsed
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(3), Some(&Value::Int(3)));
+        // Watermark closes the trailing session.
+        op.on_watermark(TimestampMs(1_000), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].payload.get(3), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn empty_group_by_aggregates_globally() {
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Tumbling { width_ms: 1000 },
+            &[],
+            vec![agg("n", AggFunc::Count, None)],
+            AggMode::Incremental,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        op.on_event(&ev(1, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(2, "B", 1.0), &mut out).unwrap();
+        op.on_watermark(TimestampMs(1_000), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(2), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Tumbling { width_ms: 0 },
+            &[],
+            vec![],
+            AggMode::Incremental
+        )
+        .is_err());
+        assert!(WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Tumbling { width_ms: 10 },
+            &["ghost"],
+            vec![],
+            AggMode::Incremental
+        )
+        .is_err());
+        assert!(WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Tumbling { width_ms: 10 },
+            &[],
+            vec![agg("s", AggFunc::Sum, None)], // sum needs a field
+            AggMode::Incremental
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Delta queries: turning table-state changes into streams.
+//!
+//! The tutorial's §2.2.a.iii defines two query-based event notions:
+//!
+//! 1. *result-set change* — a query over the **current** state whose
+//!    result set changed ([`DeltaQueryStream`], wrapping
+//!    [`evdb_storage::QuerySnapshot`]);
+//! 2. *pattern over current and previous states* — here provided by
+//!    feeding either capture stream into a [`crate::PatternMatcher`].
+//!
+//! Both adapters produce ordinary [`Event`]s whose payload is the row
+//! image plus change metadata, so the rest of the CQ stack is oblivious
+//! to where the events came from.
+
+use std::sync::Arc;
+
+use evdb_expr::Expr;
+use evdb_storage::{ChangeEvent, Database, QuerySnapshot};
+use evdb_types::{
+    DataType, Event, EventId, FieldDef, IdGenerator, Record, Result, Schema, Value,
+};
+
+/// Build the event schema for change events over a table schema:
+/// `change STR` + `key`-typed column + the row image columns.
+pub fn change_schema(table_schema: &Schema, key_type: DataType) -> Result<Arc<Schema>> {
+    let mut fields = vec![
+        FieldDef::required("change", DataType::Str),
+        FieldDef::required("row_key", key_type),
+    ];
+    for f in table_schema.fields() {
+        fields.push(FieldDef::nullable(f.name.clone(), f.dtype));
+    }
+    Schema::new(fields)
+}
+
+/// Convert a storage change event into a stream event.
+/// Deletes carry the before image; inserts/updates the after image.
+pub fn change_to_event(
+    change: &ChangeEvent,
+    schema: &Arc<Schema>,
+    ids: &IdGenerator,
+) -> Event {
+    let mut values = Vec::with_capacity(schema.len());
+    values.push(Value::from(change.kind.name()));
+    values.push(change.key.clone());
+    for v in change.row().values() {
+        values.push(v.clone());
+    }
+    Event::new(
+        EventId(ids.next_id()),
+        format!("delta:{}", change.table),
+        change.timestamp,
+        Record::new(values),
+        Arc::clone(schema),
+    )
+}
+
+/// A polled result-set-change stream over one table.
+pub struct DeltaQueryStream {
+    snapshot: QuerySnapshot,
+    schema: Arc<Schema>,
+    ids: IdGenerator,
+}
+
+impl DeltaQueryStream {
+    /// Watch `predicate` over `table`. The first poll reports the current
+    /// result set as inserts.
+    pub fn new(db: &Database, table: &str, predicate: Expr) -> Result<DeltaQueryStream> {
+        let t = db.table(table)?;
+        let key_type = t.schema().fields()[t.def().pk].dtype;
+        let schema = change_schema(t.schema(), key_type)?;
+        Ok(DeltaQueryStream {
+            snapshot: QuerySnapshot::new(table, predicate),
+            schema,
+            ids: IdGenerator::default(),
+        })
+    }
+
+    /// Schema of emitted events.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Re-evaluate and emit result-set changes as events.
+    pub fn poll(&mut self, db: &Database) -> Result<Vec<Event>> {
+        let changes = self.snapshot.poll(db)?;
+        Ok(changes
+            .iter()
+            .map(|c| change_to_event(c, &self.schema, &self.ids))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_storage::DbOptions;
+
+    #[test]
+    fn delta_stream_emits_typed_events() {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        db.create_table(
+            "pos",
+            Schema::of(&[("sym", DataType::Str), ("qty", DataType::Int)]),
+            "sym",
+        )
+        .unwrap();
+        let mut s = DeltaQueryStream::new(&db, "pos", parse("qty > 100").unwrap()).unwrap();
+        assert!(s.poll(&db).unwrap().is_empty());
+
+        db.insert("pos", Record::from_iter([Value::from("A"), Value::Int(500)]))
+            .unwrap();
+        db.insert("pos", Record::from_iter([Value::from("B"), Value::Int(50)]))
+            .unwrap();
+        let events = s.poll(&db).unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("change"), Some(&Value::from("insert")));
+        assert_eq!(e.get("row_key"), Some(&Value::from("A")));
+        assert_eq!(e.get("qty"), Some(&Value::Int(500)));
+        assert!(e.source.starts_with("delta:"));
+
+        db.update("pos", &Value::from("A"), Record::from_iter([Value::from("A"), Value::Int(10)]))
+            .unwrap();
+        let events = s.poll(&db).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("change"), Some(&Value::from("delete")));
+        // Delete events carry the before image.
+        assert_eq!(events[0].get("qty"), Some(&Value::Int(500)));
+    }
+}

@@ -1,0 +1,272 @@
+//! Additional stream operators: windowed Top-K ranking and key-based
+//! deduplication.
+//!
+//! Both address the tutorial's information-overload theme from inside
+//! the query layer: Top-K turns a firehose into a ranked digest;
+//! deduplication drops events that add no information within a window
+//! (the stream-level sibling of the notification layer's VIRT filter).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use evdb_types::{
+    DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
+};
+
+use crate::op::{key_of, Operator};
+
+/// Emits, at every watermark, the top `k` events by a numeric score
+/// field among those seen in the trailing `window_ms`, ranked and
+/// annotated with their rank. Ties break by recency (newer first).
+pub struct TopKOp {
+    k: usize,
+    score_field: usize,
+    window_ms: i64,
+    buffer: Vec<(TimestampMs, u64, Record)>,
+    seq: u64,
+    emit_seq: u64,
+    out_schema: Arc<Schema>,
+    label: String,
+}
+
+impl TopKOp {
+    /// Rank events of `input` by `score_field` (numeric) over a trailing
+    /// window.
+    pub fn new(
+        input: &Arc<Schema>,
+        score_field: &str,
+        k: usize,
+        window_ms: i64,
+    ) -> Result<TopKOp> {
+        if k == 0 || window_ms <= 0 {
+            return Err(Error::Invalid("top-k needs k ≥ 1 and a positive window".into()));
+        }
+        let sf = input
+            .index_of(score_field)
+            .ok_or_else(|| Error::Schema(format!("unknown score field '{score_field}'")))?;
+        if !input.fields()[sf].dtype.is_numeric() {
+            return Err(Error::Type(format!(
+                "top-k score field '{score_field}' must be numeric"
+            )));
+        }
+        let mut fields = vec![FieldDef::required("rank", DataType::Int)];
+        fields.extend(input.fields().iter().cloned());
+        Ok(TopKOp {
+            k,
+            score_field: sf,
+            window_ms,
+            buffer: Vec::new(),
+            seq: 0,
+            emit_seq: 0,
+            out_schema: Schema::new(fields)?,
+            label: "topk".to_string(),
+        })
+    }
+
+    /// Rows currently buffered (observability).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl Operator for TopKOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        let _ = out;
+        self.seq += 1;
+        self.buffer
+            .push((event.timestamp, self.seq, event.payload.clone()));
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: TimestampMs, out: &mut Vec<Event>) -> Result<()> {
+        let horizon = wm.minus(self.window_ms);
+        self.buffer.retain(|(ts, _, _)| *ts > horizon);
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let mut ranked: Vec<&(TimestampMs, u64, Record)> = self.buffer.iter().collect();
+        ranked.sort_by(|a, b| {
+            let sa = a.2.get(self.score_field).and_then(Value::as_f64).unwrap_or(f64::MIN);
+            let sb = b.2.get(self.score_field).and_then(Value::as_f64).unwrap_or(f64::MIN);
+            sb.total_cmp(&sa).then(b.1.cmp(&a.1)) // score desc, newest first
+        });
+        for (rank, (_, _, rec)) in ranked.into_iter().take(self.k).enumerate() {
+            let mut values = Vec::with_capacity(rec.len() + 1);
+            values.push(Value::Int(rank as i64 + 1));
+            values.extend(rec.values().iter().cloned());
+            self.emit_seq += 1;
+            out.push(Event::new(
+                EventId(self.emit_seq),
+                "topk",
+                wm,
+                Record::new(values),
+                Arc::clone(&self.out_schema),
+            ));
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Drops events whose key fields repeat within `window_ms` of the last
+/// *forwarded* event with that key (per-key throttling). Pass
+/// `window_ms = i64::MAX` for exactly-once-per-key semantics.
+pub struct DeduplicateOp {
+    key_fields: Vec<usize>,
+    window_ms: i64,
+    last_forwarded: HashMap<Vec<Value>, TimestampMs>,
+    schema: Arc<Schema>,
+    /// Events dropped as duplicates (observability).
+    pub dropped: u64,
+    label: String,
+}
+
+impl DeduplicateOp {
+    /// Deduplicate events of `input` by `keys` within `window_ms`.
+    pub fn new(input: &Arc<Schema>, keys: &[&str], window_ms: i64) -> Result<DeduplicateOp> {
+        if keys.is_empty() {
+            return Err(Error::Invalid("dedup needs at least one key field".into()));
+        }
+        if window_ms <= 0 {
+            return Err(Error::Invalid("dedup window must be positive".into()));
+        }
+        let key_fields = keys
+            .iter()
+            .map(|k| {
+                input
+                    .index_of(k)
+                    .ok_or_else(|| Error::Schema(format!("unknown key field '{k}'")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DeduplicateOp {
+            key_fields,
+            window_ms,
+            last_forwarded: HashMap::new(),
+            schema: Arc::clone(input),
+            dropped: 0,
+            label: "dedup".to_string(),
+        })
+    }
+
+    /// Keys currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.last_forwarded.len()
+    }
+}
+
+impl Operator for DeduplicateOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        let key = key_of(&event.payload, &self.key_fields);
+        let forward = match self.last_forwarded.get(&key) {
+            Some(last) => event.timestamp.since(*last) >= self.window_ms,
+            None => true,
+        };
+        if forward {
+            self.last_forwarded.insert(key, event.timestamp);
+            out.push(event.clone());
+        } else {
+            self.dropped += 1;
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: TimestampMs, _out: &mut Vec<Event>) -> Result<()> {
+        // Expired keys can be forgotten (state bound).
+        if self.window_ms < i64::MAX / 2 {
+            let horizon = wm.minus(self.window_ms);
+            self.last_forwarded.retain(|_, ts| *ts > horizon);
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("sym", DataType::Str), ("vol", DataType::Int)])
+    }
+
+    fn ev(ts: i64, sym: &str, vol: i64) -> Event {
+        Event::new(
+            EventId(ts as u64),
+            "s",
+            TimestampMs(ts),
+            Record::from_iter([Value::from(sym), Value::Int(vol)]),
+            schema(),
+        )
+    }
+
+    #[test]
+    fn topk_ranks_by_score_desc() {
+        let mut op = TopKOp::new(&schema(), "vol", 2, 1_000).unwrap();
+        let mut out = Vec::new();
+        for (ts, sym, vol) in [(1, "A", 10), (2, "B", 30), (3, "C", 20), (4, "D", 5)] {
+            op.on_event(&ev(ts, sym, vol), &mut out).unwrap();
+        }
+        op.on_watermark(TimestampMs(100), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload.get(0), Some(&Value::Int(1)));
+        assert_eq!(out[0].payload.get(1), Some(&Value::from("B")));
+        assert_eq!(out[1].payload.get(0), Some(&Value::Int(2)));
+        assert_eq!(out[1].payload.get(1), Some(&Value::from("C")));
+    }
+
+    #[test]
+    fn topk_window_expires_old_events() {
+        let mut op = TopKOp::new(&schema(), "vol", 1, 100).unwrap();
+        let mut out = Vec::new();
+        op.on_event(&ev(0, "OLD", 1_000), &mut out).unwrap();
+        op.on_event(&ev(150, "NEW", 10), &mut out).unwrap();
+        op.on_watermark(TimestampMs(200), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(1), Some(&Value::from("NEW")));
+        assert_eq!(op.buffered(), 1);
+    }
+
+    #[test]
+    fn topk_validation() {
+        assert!(TopKOp::new(&schema(), "vol", 0, 100).is_err());
+        assert!(TopKOp::new(&schema(), "sym", 1, 100).is_err()); // non-numeric
+        assert!(TopKOp::new(&schema(), "ghost", 1, 100).is_err());
+    }
+
+    #[test]
+    fn dedup_drops_repeats_within_window() {
+        let mut op = DeduplicateOp::new(&schema(), &["sym"], 100).unwrap();
+        let mut out = Vec::new();
+        op.on_event(&ev(0, "A", 1), &mut out).unwrap();
+        op.on_event(&ev(50, "A", 2), &mut out).unwrap(); // dup
+        op.on_event(&ev(60, "B", 3), &mut out).unwrap(); // different key
+        op.on_event(&ev(150, "A", 4), &mut out).unwrap(); // window lapsed
+        assert_eq!(out.len(), 3);
+        assert_eq!(op.dropped, 1);
+
+        // Watermark prunes old key state.
+        op.on_watermark(TimestampMs(1_000), &mut out).unwrap();
+        assert_eq!(op.tracked_keys(), 0);
+    }
+
+    #[test]
+    fn dedup_validation() {
+        assert!(DeduplicateOp::new(&schema(), &[], 100).is_err());
+        assert!(DeduplicateOp::new(&schema(), &["sym"], 0).is_err());
+        assert!(DeduplicateOp::new(&schema(), &["ghost"], 100).is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! Join operators.
+//!
+//! * [`StreamJoinOp`] — stream-stream equi-join within a time window:
+//!   events from two sources are matched when their join keys are equal
+//!   and their timestamps differ by at most `window_ms`. Symmetric hash
+//!   join; state is pruned by watermark.
+//! * [`TableLookupOp`] — stream-table join: each event is enriched with
+//!   the current row of a database table whose primary key equals the
+//!   event's join field ("reference data" enrichment). Inner semantics:
+//!   events with no matching row are dropped (use a nullable variant via
+//!   `keep_unmatched`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use evdb_storage::Table;
+use evdb_types::{
+    Error, Event, EventId, Record, Result, Schema, TimestampMs, Value,
+};
+
+use crate::op::Operator;
+
+/// Which input side an event belongs to (set by the runtime or test
+/// harness via the event's `source`).
+fn side_of(event: &Event, left_source: &str) -> bool {
+    event.source.as_ref() == left_source
+}
+
+/// Windowed stream-stream equi-join.
+pub struct StreamJoinOp {
+    left_source: String,
+    left_key: usize,
+    right_key: usize,
+    window_ms: i64,
+    out_schema: Arc<Schema>,
+    left_state: HashMap<Value, Vec<(TimestampMs, Record)>>,
+    right_state: HashMap<Value, Vec<(TimestampMs, Record)>>,
+    emit_seq: u64,
+    label: String,
+}
+
+impl StreamJoinOp {
+    /// Join events whose `source == left_source` with all other events,
+    /// on `left_schema.left_key = right_schema.right_key`, within
+    /// `window_ms` of each other.
+    pub fn new(
+        left_source: &str,
+        left_schema: &Arc<Schema>,
+        right_schema: &Arc<Schema>,
+        left_key: &str,
+        right_key: &str,
+        window_ms: i64,
+    ) -> Result<StreamJoinOp> {
+        if window_ms <= 0 {
+            return Err(Error::Invalid("join window must be positive".into()));
+        }
+        let lk = left_schema
+            .index_of(left_key)
+            .ok_or_else(|| Error::Schema(format!("unknown left key '{left_key}'")))?;
+        let rk = right_schema
+            .index_of(right_key)
+            .ok_or_else(|| Error::Schema(format!("unknown right key '{right_key}'")))?;
+        let out_schema = left_schema.join(right_schema, "r_")?;
+        Ok(StreamJoinOp {
+            left_source: left_source.to_string(),
+            left_key: lk,
+            right_key: rk,
+            window_ms,
+            out_schema,
+            left_state: HashMap::new(),
+            right_state: HashMap::new(),
+            emit_seq: 0,
+            label: "stream_join".to_string(),
+        })
+    }
+
+    /// Buffered rows (observability / leak tests).
+    pub fn state_size(&self) -> usize {
+        self.left_state.values().map(Vec::len).sum::<usize>()
+            + self.right_state.values().map(Vec::len).sum::<usize>()
+    }
+
+    fn emit(
+        &mut self,
+        left: &Record,
+        right: &Record,
+        ts: TimestampMs,
+        out: &mut Vec<Event>,
+    ) {
+        self.emit_seq += 1;
+        out.push(Event::new(
+            EventId(self.emit_seq),
+            "join",
+            ts,
+            left.concat(right),
+            Arc::clone(&self.out_schema),
+        ));
+    }
+}
+
+impl Operator for StreamJoinOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        let is_left = side_of(event, &self.left_source);
+        let key = event
+            .payload
+            .get(if is_left { self.left_key } else { self.right_key })
+            .cloned()
+            .unwrap_or(Value::Null);
+        if key.is_null() {
+            return Ok(()); // null keys never join
+        }
+        let ts = event.timestamp;
+        // Probe the opposite side.
+        let matches: Vec<(TimestampMs, Record)> = {
+            let other = if is_left {
+                &self.right_state
+            } else {
+                &self.left_state
+            };
+            other
+                .get(&key)
+                .map(|v| {
+                    v.iter()
+                        .filter(|(ots, _)| (ts.since(*ots)).abs() <= self.window_ms)
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for (ots, other_rec) in matches {
+            let pair_ts = ts.max(ots);
+            if is_left {
+                self.emit(&event.payload.clone(), &other_rec, pair_ts, out);
+            } else {
+                self.emit(&other_rec, &event.payload.clone(), pair_ts, out);
+            }
+        }
+        // Insert into own side.
+        let own = if is_left {
+            &mut self.left_state
+        } else {
+            &mut self.right_state
+        };
+        own.entry(key).or_default().push((ts, event.payload.clone()));
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: TimestampMs, _out: &mut Vec<Event>) -> Result<()> {
+        let horizon = wm.minus(self.window_ms);
+        for state in [&mut self.left_state, &mut self.right_state] {
+            state.retain(|_, v| {
+                v.retain(|(ts, _)| *ts >= horizon);
+                !v.is_empty()
+            });
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Stream-table lookup join (enrichment against reference data).
+pub struct TableLookupOp {
+    table: Arc<Table>,
+    key_field: usize,
+    keep_unmatched: bool,
+    out_schema: Arc<Schema>,
+    null_row: Record,
+    label: String,
+}
+
+impl TableLookupOp {
+    /// Enrich events of `input` by looking up `input.key_field` in
+    /// `table`'s primary key. With `keep_unmatched`, events without a
+    /// matching row pass through with NULL table columns (left-outer);
+    /// otherwise they are dropped (inner).
+    pub fn new(
+        input: &Arc<Schema>,
+        table: Arc<Table>,
+        key_field: &str,
+        keep_unmatched: bool,
+    ) -> Result<TableLookupOp> {
+        let kf = input
+            .index_of(key_field)
+            .ok_or_else(|| Error::Schema(format!("unknown key field '{key_field}'")))?;
+        let out_schema = input.join(table.schema(), "t_")?;
+        let null_row = Record::new(vec![Value::Null; table.schema().len()]);
+        Ok(TableLookupOp {
+            table,
+            key_field: kf,
+            keep_unmatched,
+            out_schema,
+            null_row,
+            label: "table_lookup".to_string(),
+        })
+    }
+}
+
+impl Operator for TableLookupOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        let key = event.payload.get(self.key_field).cloned().unwrap_or(Value::Null);
+        match self.table.get(&key) {
+            Some(row) => out.push(event.with_payload(
+                event.payload.concat(&row),
+                Arc::clone(&self.out_schema),
+            )),
+            None if self.keep_unmatched => out.push(event.with_payload(
+                event.payload.concat(&self.null_row),
+                Arc::clone(&self.out_schema),
+            )),
+            None => {}
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_storage::{Database, DbOptions};
+    use evdb_types::DataType;
+
+    fn order_schema() -> Arc<Schema> {
+        Schema::of(&[("oid", DataType::Int), ("sym", DataType::Str)])
+    }
+    fn fill_schema() -> Arc<Schema> {
+        Schema::of(&[("oid", DataType::Int), ("px", DataType::Float)])
+    }
+
+    fn order(ts: i64, oid: i64, sym: &str) -> Event {
+        Event::new(
+            EventId(ts as u64),
+            "orders",
+            TimestampMs(ts),
+            Record::from_iter([Value::Int(oid), Value::from(sym)]),
+            order_schema(),
+        )
+    }
+    fn fill(ts: i64, oid: i64, px: f64) -> Event {
+        Event::new(
+            EventId(1000 + ts as u64),
+            "fills",
+            TimestampMs(ts),
+            Record::from_iter([Value::Int(oid), Value::Float(px)]),
+            fill_schema(),
+        )
+    }
+
+    #[test]
+    fn stream_join_within_window() {
+        let mut j = StreamJoinOp::new(
+            "orders",
+            &order_schema(),
+            &fill_schema(),
+            "oid",
+            "oid",
+            100,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        j.on_event(&order(0, 1, "A"), &mut out).unwrap();
+        j.on_event(&fill(50, 1, 9.5), &mut out).unwrap(); // joins
+        j.on_event(&fill(250, 1, 9.9), &mut out).unwrap(); // too late
+        j.on_event(&fill(60, 2, 1.0), &mut out).unwrap(); // no order
+        j.on_event(&order(100, 2, "B"), &mut out).unwrap(); // joins (right arrived first)
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].payload,
+            Record::from_iter([
+                Value::Int(1),
+                Value::from("A"),
+                Value::Int(1),
+                Value::Float(9.5)
+            ])
+        );
+        // Right-first pair still emits left-then-right columns.
+        assert_eq!(out[1].payload.get(1), Some(&Value::from("B")));
+        assert_eq!(out[1].payload.get(3), Some(&Value::Float(1.0)));
+        // Output schema prefixes duplicate names.
+        assert!(j.output_schema().index_of("r_oid").is_some());
+    }
+
+    #[test]
+    fn watermark_prunes_join_state() {
+        let mut j = StreamJoinOp::new(
+            "orders",
+            &order_schema(),
+            &fill_schema(),
+            "oid",
+            "oid",
+            100,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for i in 0..50 {
+            j.on_event(&order(i, i, "A"), &mut out).unwrap();
+        }
+        assert_eq!(j.state_size(), 50);
+        j.on_watermark(TimestampMs(1_000), &mut out).unwrap();
+        assert_eq!(j.state_size(), 0);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let ls = Schema::new(vec![evdb_types::FieldDef::nullable("k", DataType::Int)]).unwrap();
+        let rs = Schema::new(vec![evdb_types::FieldDef::nullable("k", DataType::Int)]).unwrap();
+        let mut j = StreamJoinOp::new("l", &ls, &rs, "k", "k", 100).unwrap();
+        let mut out = Vec::new();
+        let le = Event::new(EventId(1), "l", TimestampMs(0), Record::from_iter([Value::Null]), ls);
+        let re = Event::new(EventId(2), "r", TimestampMs(0), Record::from_iter([Value::Null]), rs);
+        j.on_event(&le, &mut out).unwrap();
+        j.on_event(&re, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(j.state_size(), 0);
+    }
+
+    #[test]
+    fn table_lookup_inner_and_outer() {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        let ref_schema = Schema::of(&[("sym", DataType::Str), ("sector", DataType::Str)]);
+        let t = db
+            .create_table("ref", Arc::clone(&ref_schema), "sym")
+            .unwrap();
+        db.insert(
+            "ref",
+            Record::from_iter([Value::from("A"), Value::from("tech")]),
+        )
+        .unwrap();
+
+        let input = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+        let mk = |sym: &str| {
+            Event::new(
+                EventId(1),
+                "ticks",
+                TimestampMs(0),
+                Record::from_iter([Value::from(sym), Value::Float(1.0)]),
+                Arc::clone(&input),
+            )
+        };
+
+        let mut inner = TableLookupOp::new(&input, Arc::clone(&t), "sym", false).unwrap();
+        let mut out = Vec::new();
+        inner.on_event(&mk("A"), &mut out).unwrap();
+        inner.on_event(&mk("Z"), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(3), Some(&Value::from("tech")));
+
+        let mut outer = TableLookupOp::new(&input, t, "sym", true).unwrap();
+        let mut out = Vec::new();
+        outer.on_event(&mk("Z"), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(3), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,231 @@
+//! The operator contract and pipeline composition.
+//!
+//! Operators are push-based: the runtime feeds events (and watermarks) in,
+//! operators append derived events to an output buffer. Stateful
+//! operators (windows, joins, patterns) hold their state inline; the
+//! pipeline as a whole is `Send` so a runtime can own it on a worker
+//! thread.
+
+use std::sync::Arc;
+
+use evdb_expr::BoundExpr;
+use evdb_types::{Event, Record, Result, Schema, TimestampMs, Value};
+
+/// A streaming operator.
+pub trait Operator: Send {
+    /// Process one input event; push any derived events onto `out`.
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()>;
+
+    /// Observe a watermark: "no events with timestamp ≤ `wm` will arrive
+    /// any more". Windowed operators close and emit here. Default: no-op.
+    fn on_watermark(&mut self, _wm: TimestampMs, _out: &mut Vec<Event>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Schema of this operator's output events.
+    fn output_schema(&self) -> Arc<Schema>;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+/// A linear chain of operators.
+pub struct Pipeline {
+    ops: Vec<Box<dyn Operator>>,
+    /// Scratch buffers reused across pushes to avoid per-event allocation.
+    bufs: (Vec<Event>, Vec<Event>),
+}
+
+impl Pipeline {
+    /// Build a pipeline from a non-empty operator chain. Callers are
+    /// responsible for schema compatibility between stages (the CQL
+    /// compiler guarantees it; hand-built pipelines should test it).
+    pub fn new(ops: Vec<Box<dyn Operator>>) -> Pipeline {
+        assert!(!ops.is_empty(), "pipeline needs at least one operator");
+        Pipeline {
+            ops,
+            bufs: (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Schema of the pipeline's output.
+    pub fn output_schema(&self) -> Arc<Schema> {
+        self.ops.last().expect("non-empty").output_schema()
+    }
+
+    /// Push one event through every stage; returns derived events.
+    pub fn push(&mut self, event: &Event) -> Result<Vec<Event>> {
+        let (a, b) = &mut self.bufs;
+        a.clear();
+        b.clear();
+        self.ops[0].on_event(event, a)?;
+        for op in self.ops.iter_mut().skip(1) {
+            for ev in a.drain(..) {
+                op.on_event(&ev, b)?;
+            }
+            std::mem::swap(a, b);
+        }
+        Ok(std::mem::take(a))
+    }
+
+    /// Push a watermark through every stage. Events emitted by stage `i`
+    /// on the watermark are processed by stages `i+1…` before those
+    /// stages see the watermark themselves (in-order delivery).
+    pub fn advance_watermark(&mut self, wm: TimestampMs) -> Result<Vec<Event>> {
+        let (a, b) = &mut self.bufs;
+        a.clear();
+        b.clear();
+        for (i, op) in self.ops.iter_mut().enumerate() {
+            // Events produced by earlier stages flow through this stage
+            // first…
+            for ev in a.drain(..) {
+                op.on_event(&ev, b)?;
+            }
+            // …then the stage handles the watermark itself.
+            op.on_watermark(wm, b)?;
+            std::mem::swap(a, b);
+            let _ = i;
+        }
+        Ok(std::mem::take(a))
+    }
+}
+
+/// Stateless predicate filter.
+pub struct FilterOp {
+    predicate: BoundExpr,
+    schema: Arc<Schema>,
+    label: String,
+}
+
+impl FilterOp {
+    /// Filter events of `schema` by `predicate` (already bound to it).
+    pub fn new(predicate: BoundExpr, schema: Arc<Schema>) -> FilterOp {
+        FilterOp {
+            predicate,
+            schema,
+            label: "filter".to_string(),
+        }
+    }
+}
+
+impl Operator for FilterOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        if self.predicate.matches(&event.payload)? {
+            out.push(event.clone());
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Projection with computed columns: each output field is an expression
+/// over the input record.
+pub struct ProjectOp {
+    exprs: Vec<BoundExpr>,
+    out_schema: Arc<Schema>,
+    label: String,
+}
+
+impl ProjectOp {
+    /// `columns` pairs an output field definition with its (bound)
+    /// defining expression.
+    pub fn new(exprs: Vec<BoundExpr>, out_schema: Arc<Schema>) -> ProjectOp {
+        assert_eq!(exprs.len(), out_schema.len());
+        ProjectOp {
+            exprs,
+            out_schema,
+            label: "project".to_string(),
+        }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        let mut values = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            values.push(e.eval(&event.payload)?);
+        }
+        out.push(event.with_payload(Record::new(values), Arc::clone(&self.out_schema)));
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Helper shared by aggregate/join operators: extract a grouping key.
+pub(crate) fn key_of(record: &Record, key_fields: &[usize]) -> Vec<Value> {
+    key_fields
+        .iter()
+        .map(|i| record.get(*i).cloned().unwrap_or(Value::Null))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::{DataType, EventId};
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)])
+    }
+
+    fn ev(id: u64, sym: &str, px: f64) -> Event {
+        Event::new(
+            EventId(id),
+            "ticks",
+            TimestampMs(id as i64),
+            Record::from_iter([Value::from(sym), Value::Float(px)]),
+            schema(),
+        )
+    }
+
+    #[test]
+    fn filter_then_project() {
+        let s = schema();
+        let filter = FilterOp::new(
+            parse("px > 100").unwrap().bind_predicate(&s).unwrap(),
+            Arc::clone(&s),
+        );
+        let out_schema = Schema::of(&[("sym", DataType::Str), ("px2", DataType::Float)]);
+        let project = ProjectOp::new(
+            vec![
+                parse("sym").unwrap().bind(&s).unwrap(),
+                parse("px * 2").unwrap().bind(&s).unwrap(),
+            ],
+            Arc::clone(&out_schema),
+        );
+        let mut p = Pipeline::new(vec![Box::new(filter), Box::new(project)]);
+        assert_eq!(p.output_schema(), out_schema);
+
+        assert!(p.push(&ev(1, "A", 50.0)).unwrap().is_empty());
+        let out = p.push(&ev(2, "A", 150.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Record::from_iter([Value::from("A"), Value::Float(300.0)]));
+        assert_eq!(out[0].id, EventId(2)); // identity preserved
+    }
+
+    #[test]
+    fn watermark_passes_through_stateless_ops() {
+        let s = schema();
+        let filter = FilterOp::new(
+            parse("px > 0").unwrap().bind_predicate(&s).unwrap(),
+            Arc::clone(&s),
+        );
+        let mut p = Pipeline::new(vec![Box::new(filter)]);
+        assert!(p.advance_watermark(TimestampMs(100)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,781 @@
+//! CEP pattern matching: SEQ patterns compiled to an NFA.
+//!
+//! A [`Pattern`] is an ordered list of [`Step`]s over one event schema,
+//! with a `WITHIN` time bound. Steps may be:
+//!
+//! * plain — match exactly one event satisfying the predicate,
+//! * `optional` — may be skipped,
+//! * `kleene` — match one or more events (greedy),
+//! * `negated` — a guard: no event satisfying the predicate may occur
+//!   between the neighbouring matched steps; a guard hit kills the
+//!   partial match.
+//!
+//! Three **skip strategies** control what happens to a partial match when
+//! an event fails to advance it ([`SkipStrategy`]):
+//! `StrictContiguity` kills it, `SkipTillNext` ignores the event,
+//! `SkipTillAny` additionally *branches* when an event could either be
+//! consumed or skipped — enumerating every matching subsequence (bounded
+//! by `max_runs`).
+//!
+//! [`NaiveMatcher`] is the E6 baseline: it buffers the window and
+//! enumerates subsequences by nested scanning — semantically equal to
+//! `SkipTillAny` for plain SEQ patterns (property-tested), and
+//! super-linearly slower.
+
+use std::sync::Arc;
+
+use evdb_expr::{BoundExpr, Expr};
+use evdb_types::{
+    DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
+};
+
+use crate::op::Operator;
+
+/// One step of a pattern.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Step name; prefixes the step's columns in match output.
+    pub name: String,
+    /// Predicate over the input schema.
+    pub predicate: Expr,
+    /// May be skipped entirely.
+    pub optional: bool,
+    /// Matches one or more events (greedy).
+    pub kleene: bool,
+    /// Guard: events matching this predicate kill partial matches
+    /// currently between the neighbouring steps.
+    pub negated: bool,
+}
+
+impl Step {
+    /// A plain step.
+    pub fn new(name: impl Into<String>, predicate: Expr) -> Step {
+        Step {
+            name: name.into(),
+            predicate,
+            optional: false,
+            kleene: false,
+            negated: false,
+        }
+    }
+
+    /// Make the step optional.
+    pub fn optional(mut self) -> Step {
+        self.optional = true;
+        self
+    }
+
+    /// Make the step Kleene-plus.
+    pub fn one_or_more(mut self) -> Step {
+        self.kleene = true;
+        self
+    }
+
+    /// Make the step a negation guard.
+    pub fn negation(mut self) -> Step {
+        self.negated = true;
+        self
+    }
+}
+
+/// A SEQ pattern with a WITHIN bound.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// The ordered steps.
+    pub steps: Vec<Step>,
+    /// Max distance (ms, event time) between the first and last matched
+    /// event.
+    pub within_ms: i64,
+}
+
+impl Pattern {
+    /// Build a pattern; validates step structure.
+    pub fn new(steps: Vec<Step>, within_ms: i64) -> Result<Pattern> {
+        if steps.is_empty() {
+            return Err(Error::Invalid("pattern needs at least one step".into()));
+        }
+        if within_ms <= 0 {
+            return Err(Error::Invalid("WITHIN must be positive".into()));
+        }
+        if steps.iter().all(|s| s.negated || s.optional) {
+            return Err(Error::Invalid(
+                "pattern needs at least one mandatory positive step".into(),
+            ));
+        }
+        for s in &steps {
+            if s.negated && (s.optional || s.kleene) {
+                return Err(Error::Invalid(format!(
+                    "step '{}': negation cannot combine with optional/kleene",
+                    s.name
+                )));
+            }
+        }
+        if steps.first().map(|s| s.negated).unwrap_or(false) {
+            return Err(Error::Invalid(
+                "pattern cannot start with a negation".into(),
+            ));
+        }
+        Ok(Pattern { steps, within_ms })
+    }
+}
+
+/// Skip strategy (match selection policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipStrategy {
+    /// Every event must advance a partial match or it dies.
+    StrictContiguity,
+    /// Irrelevant events are ignored; each step consumes the first event
+    /// that matches it.
+    SkipTillNext,
+    /// Like SkipTillNext, but also branch on every consumable event —
+    /// enumerates all matching subsequences.
+    SkipTillAny,
+}
+
+#[derive(Debug, Clone)]
+struct Binding {
+    step: usize,
+    last: Record,
+    count: u32,
+    last_ts: TimestampMs,
+}
+
+#[derive(Debug, Clone)]
+struct Run {
+    /// Index of the next unmatched (non-guard) step to try.
+    pos: usize,
+    /// True when the previously matched step was kleene and may absorb
+    /// more events.
+    kleene_open: bool,
+    started_at: TimestampMs,
+    bindings: Vec<Binding>,
+}
+
+/// The NFA pattern matcher. Also usable as a pipeline [`Operator`].
+pub struct PatternMatcher {
+    steps: Vec<CompiledStep>,
+    within_ms: i64,
+    strategy: SkipStrategy,
+    runs: Vec<Run>,
+    input_width: usize,
+    out_schema: Arc<Schema>,
+    emit_seq: u64,
+    /// Runs dropped because `max_runs` was hit (observability).
+    pub overflow_drops: u64,
+    /// Cap on simultaneous partial matches.
+    pub max_runs: usize,
+    label: String,
+}
+
+struct CompiledStep {
+    meta: Step,
+    pred: BoundExpr,
+}
+
+impl PatternMatcher {
+    /// Compile a pattern against the input schema.
+    pub fn new(
+        pattern: Pattern,
+        input: &Arc<Schema>,
+        strategy: SkipStrategy,
+    ) -> Result<PatternMatcher> {
+        let mut steps = Vec::with_capacity(pattern.steps.len());
+        for s in &pattern.steps {
+            steps.push(CompiledStep {
+                pred: s.predicate.bind_predicate(input)?,
+                meta: s.clone(),
+            });
+        }
+        // Output schema: start/end timestamps, then per positive step the
+        // input fields prefixed with the step name (last matched event),
+        // plus a count column for kleene steps.
+        let mut fields = vec![
+            FieldDef::required("start_ts", DataType::Timestamp),
+            FieldDef::required("end_ts", DataType::Timestamp),
+        ];
+        for s in &pattern.steps {
+            if s.negated {
+                continue;
+            }
+            for f in input.fields() {
+                fields.push(FieldDef::nullable(
+                    format!("{}_{}", s.name, f.name),
+                    f.dtype,
+                ));
+            }
+            if s.kleene {
+                fields.push(FieldDef::required(
+                    format!("{}_count", s.name),
+                    DataType::Int,
+                ));
+            }
+        }
+        Ok(PatternMatcher {
+            steps,
+            within_ms: pattern.within_ms,
+            strategy,
+            runs: Vec::new(),
+            input_width: input.len(),
+            out_schema: Schema::new(fields)?,
+            emit_seq: 0,
+            overflow_drops: 0,
+            max_runs: 10_000,
+            label: "pattern".to_string(),
+        })
+    }
+
+    /// Live partial matches (observability / leak tests).
+    pub fn active_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Feed one event; returns completed matches.
+    pub fn push(&mut self, event: &Event) -> Result<Vec<Event>> {
+        let mut out = Vec::new();
+        self.on_event(event, &mut out)?;
+        Ok(out)
+    }
+
+    /// Steps reachable from `pos` (skipping optionals), with the guard
+    /// steps crossed to reach each.
+    fn reachable(&self, pos: usize) -> Vec<(usize, Vec<usize>)> {
+        let mut out = Vec::new();
+        let mut guards = Vec::new();
+        let mut j = pos;
+        while j < self.steps.len() {
+            let s = &self.steps[j].meta;
+            if s.negated {
+                guards.push(j);
+                j += 1;
+                continue;
+            }
+            out.push((j, guards.clone()));
+            if s.optional {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Active guards for a waiting run: negation steps crossed before any
+    /// reachable positive step.
+    fn active_guards(&self, pos: usize) -> Vec<usize> {
+        let mut guards = Vec::new();
+        let mut j = pos;
+        while j < self.steps.len() {
+            let s = &self.steps[j].meta;
+            if s.negated {
+                guards.push(j);
+                j += 1;
+            } else if s.optional {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        guards
+    }
+
+    fn emit_match(&mut self, run: &Run, end_ts: TimestampMs, out: &mut Vec<Event>) {
+        let mut values = vec![
+            Value::Timestamp(run.started_at),
+            Value::Timestamp(end_ts),
+        ];
+        for (i, cs) in self.steps.iter().enumerate() {
+            if cs.meta.negated {
+                continue;
+            }
+            match run.bindings.iter().find(|b| b.step == i) {
+                Some(b) => {
+                    for v in b.last.values() {
+                        values.push(v.clone());
+                    }
+                    if cs.meta.kleene {
+                        values.push(Value::Int(b.count as i64));
+                    }
+                }
+                None => {
+                    // Skipped optional step → NULL columns.
+                    for _ in 0..self.input_width {
+                        values.push(Value::Null);
+                    }
+                    if cs.meta.kleene {
+                        values.push(Value::Int(0));
+                    }
+                }
+            }
+        }
+        self.emit_seq += 1;
+        out.push(Event::new(
+            EventId(self.emit_seq),
+            "pattern",
+            end_ts,
+            Record::new(values),
+            Arc::clone(&self.out_schema),
+        ));
+    }
+}
+
+impl Operator for PatternMatcher {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        let ts = event.timestamp;
+        // Expire runs beyond the WITHIN horizon.
+        let within = self.within_ms;
+        self.runs.retain(|r| ts.since(r.started_at) <= within);
+
+        // Seed a fresh run so the event can start a new match.
+        let mut next_runs: Vec<Run> = Vec::with_capacity(self.runs.len() + 1);
+        let mut candidates: Vec<Run> = std::mem::take(&mut self.runs);
+        candidates.push(Run {
+            pos: 0,
+            kleene_open: false,
+            started_at: ts,
+            bindings: Vec::new(),
+        });
+
+        let mut completed: Vec<Run> = Vec::new();
+        for run in candidates {
+            let is_seed = run.bindings.is_empty();
+            // 1. Guard check (only meaningful for in-flight runs).
+            if !is_seed {
+                let guards = self.active_guards(run.pos);
+                let mut killed = false;
+                for g in guards {
+                    if self.steps[g].pred.matches(&event.payload)? {
+                        killed = true;
+                        break;
+                    }
+                }
+                if killed {
+                    continue; // run dies
+                }
+            }
+
+            // 2. Kleene continuation: previous step may absorb the event.
+            let mut consumed_by_kleene = false;
+            if run.kleene_open {
+                let prev = run.pos - 1;
+                if self.steps[prev].pred.matches(&event.payload)? {
+                    consumed_by_kleene = true;
+                    let mut extended = run.clone();
+                    let b = extended
+                        .bindings
+                        .iter_mut()
+                        .rev()
+                        .find(|b| b.step == prev)
+                        .expect("kleene binding exists");
+                    b.last = event.payload.clone();
+                    b.last_ts = ts;
+                    b.count += 1;
+                    next_runs.push(extended);
+                    // With SkipTillAny, also branch: a run that does NOT
+                    // absorb this event survives below.
+                }
+            }
+
+            // 3. Try to advance to a reachable step.
+            let mut advanced = false;
+            for (idx, _) in self.reachable(run.pos) {
+                if self.steps[idx].pred.matches(&event.payload)? {
+                    advanced = true;
+                    let mut adv = run.clone();
+                    adv.bindings.push(Binding {
+                        step: idx,
+                        last: event.payload.clone(),
+                        count: 1,
+                        last_ts: ts,
+                    });
+                    adv.pos = idx + 1;
+                    adv.kleene_open = self.steps[idx].meta.kleene;
+                    if is_seed {
+                        adv.started_at = ts;
+                    }
+                    // Completed? (No mandatory positive steps remain.)
+                    let rest_all_skippable = (adv.pos..self.steps.len()).all(|j| {
+                        self.steps[j].meta.negated || self.steps[j].meta.optional
+                    }) && !adv.kleene_open;
+                    let could_complete = (adv.pos..self.steps.len())
+                        .all(|j| self.steps[j].meta.negated || self.steps[j].meta.optional);
+                    if rest_all_skippable {
+                        completed.push(adv);
+                    } else if could_complete && adv.kleene_open {
+                        // A kleene step at the end: the run is complete
+                        // but may also keep absorbing. Emit now AND keep
+                        // the run only under SkipTillAny (all matches);
+                        // under SkipTillNext keep absorbing greedily and
+                        // emit only when the run dies? Simplest sound
+                        // choice: emit the minimal match, and keep the
+                        // run open for extension under SkipTillAny.
+                        completed.push(adv.clone());
+                        if self.strategy == SkipStrategy::SkipTillAny {
+                            next_runs.push(adv);
+                        }
+                    } else {
+                        next_runs.push(adv);
+                    }
+                    break; // advance to the first matching reachable step
+                }
+            }
+
+            // 4. Decide whether the un-advanced original survives.
+            let survives = if is_seed {
+                false // seeds only live if they matched
+            } else {
+                match self.strategy {
+                    // Strict: the event either extended/advanced this run
+                    // (the successor was pushed) or the run dies.
+                    SkipStrategy::StrictContiguity => false,
+                    SkipStrategy::SkipTillNext => !advanced && !consumed_by_kleene,
+                    SkipStrategy::SkipTillAny => true,
+                }
+            };
+            if survives {
+                next_runs.push(run);
+            }
+        }
+
+        // Emit matches in a deterministic order (by start then bindings).
+        for run in &completed {
+            let end_ts = run
+                .bindings
+                .iter()
+                .map(|b| b.last_ts)
+                .max()
+                .unwrap_or(ts);
+            self.emit_match(run, end_ts, out);
+        }
+
+        if next_runs.len() > self.max_runs {
+            self.overflow_drops += (next_runs.len() - self.max_runs) as u64;
+            next_runs.truncate(self.max_runs);
+        }
+        self.runs = next_runs;
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: TimestampMs, _out: &mut Vec<Event>) -> Result<()> {
+        let within = self.within_ms;
+        self.runs.retain(|r| wm.since(r.started_at) <= within);
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// E6 baseline: enumerate subsequences by nested scanning over a buffer.
+/// Supports plain SEQ patterns (no optional/kleene/negation) with
+/// `SkipTillAny` semantics.
+pub struct NaiveMatcher {
+    preds: Vec<BoundExpr>,
+    within_ms: i64,
+    buffer: Vec<(TimestampMs, Record)>,
+}
+
+impl NaiveMatcher {
+    /// Compile the baseline matcher.
+    pub fn new(pattern: &Pattern, input: &Arc<Schema>) -> Result<NaiveMatcher> {
+        if pattern
+            .steps
+            .iter()
+            .any(|s| s.optional || s.kleene || s.negated)
+        {
+            return Err(Error::Invalid(
+                "naive matcher supports plain SEQ patterns only".into(),
+            ));
+        }
+        Ok(NaiveMatcher {
+            preds: pattern
+                .steps
+                .iter()
+                .map(|s| s.predicate.bind_predicate(input))
+                .collect::<Result<_>>()?,
+            within_ms: pattern.within_ms,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// Feed one event; returns the number of completed matches ending at
+    /// this event (the count is what E6 compares — materializing records
+    /// would only slow the baseline further).
+    pub fn push(&mut self, event: &Event) -> Result<u64> {
+        let ts = event.timestamp;
+        let horizon = ts.minus(self.within_ms);
+        self.buffer.retain(|(t, _)| *t >= horizon);
+        self.buffer.push((ts, event.payload.clone()));
+
+        // The new event can only complete matches as the LAST step.
+        let k = self.preds.len();
+        if !self.preds[k - 1].matches(&event.payload)? {
+            return Ok(0);
+        }
+        // Count subsequences for steps 0..k-1 ending strictly before the
+        // last buffer element, with dynamic counting (still O(n·k) per
+        // event — the quadratic blowup is over the window, which is the
+        // point of the baseline).
+        let n = self.buffer.len();
+        // ways[j] = number of ways to match steps 0..=j using events seen
+        // so far (prefix), constrained to the within window from each
+        // start — approximated by the buffer horizon (events outside the
+        // window were dropped above).
+        let mut ways = vec![0u64; k];
+        for i in 0..n - 1 {
+            let rec = &self.buffer[i].1;
+            for j in (0..k - 1).rev() {
+                if self.preds[j].matches(rec)? {
+                    let add = if j == 0 { 1 } else { ways[j - 1] };
+                    ways[j] += add;
+                }
+            }
+        }
+        Ok(if k == 1 { 1 } else { ways[k - 2] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("kind", DataType::Str), ("v", DataType::Float)])
+    }
+
+    fn ev(ts: i64, kind: &str, v: f64) -> Event {
+        Event::new(
+            EventId(ts as u64),
+            "s",
+            TimestampMs(ts),
+            Record::from_iter([Value::from(kind), Value::Float(v)]),
+            schema(),
+        )
+    }
+
+    fn seq_abc(within: i64) -> Pattern {
+        Pattern::new(
+            vec![
+                Step::new("a", parse("kind = 'A'").unwrap()),
+                Step::new("b", parse("kind = 'B'").unwrap()),
+                Step::new("c", parse("kind = 'C'").unwrap()),
+            ],
+            within,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_seq_skip_till_next() {
+        let mut m =
+            PatternMatcher::new(seq_abc(1_000), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        assert!(m.push(&ev(1, "A", 1.0)).unwrap().is_empty());
+        assert!(m.push(&ev(2, "X", 0.0)).unwrap().is_empty()); // ignored
+        assert!(m.push(&ev(3, "B", 2.0)).unwrap().is_empty());
+        let matches = m.push(&ev(4, "C", 3.0)).unwrap();
+        assert_eq!(matches.len(), 1);
+        let p = &matches[0].payload;
+        assert_eq!(p.get(0), Some(&Value::Timestamp(TimestampMs(1))));
+        assert_eq!(p.get(1), Some(&Value::Timestamp(TimestampMs(4))));
+        // a_kind, a_v, b_kind, b_v, c_kind, c_v
+        assert_eq!(p.get(2), Some(&Value::from("A")));
+        assert_eq!(p.get(5), Some(&Value::Float(2.0)));
+        assert_eq!(p.get(6), Some(&Value::from("C")));
+    }
+
+    #[test]
+    fn strict_contiguity_requires_adjacency() {
+        let mut m = PatternMatcher::new(
+            seq_abc(1_000),
+            &schema(),
+            SkipStrategy::StrictContiguity,
+        )
+        .unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "X", 0.0)).unwrap(); // kills the run
+        m.push(&ev(3, "B", 2.0)).unwrap();
+        assert!(m.push(&ev(4, "C", 3.0)).unwrap().is_empty());
+
+        let mut m = PatternMatcher::new(
+            seq_abc(1_000),
+            &schema(),
+            SkipStrategy::StrictContiguity,
+        )
+        .unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "B", 2.0)).unwrap();
+        assert_eq!(m.push(&ev(3, "C", 3.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn skip_till_any_enumerates_subsequences() {
+        // Both strategies start one run per candidate first event; they
+        // differ on *mid-pattern* choices. With A B B C, the B step can
+        // bind to either B under SkipTillAny (2 matches) but only to the
+        // first B under SkipTillNext (1 match).
+        let mut m =
+            PatternMatcher::new(seq_abc(1_000), &schema(), SkipStrategy::SkipTillAny).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "B", 1.0)).unwrap();
+        m.push(&ev(3, "B", 2.0)).unwrap();
+        let matches = m.push(&ev(4, "C", 4.0)).unwrap();
+        assert_eq!(matches.len(), 2);
+
+        let mut m =
+            PatternMatcher::new(seq_abc(1_000), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "B", 1.0)).unwrap();
+        m.push(&ev(3, "B", 2.0)).unwrap();
+        assert_eq!(m.push(&ev(4, "C", 4.0)).unwrap().len(), 1);
+
+        // Two candidate first events start two runs under either strategy.
+        let mut m =
+            PatternMatcher::new(seq_abc(1_000), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "A", 2.0)).unwrap();
+        m.push(&ev(3, "B", 3.0)).unwrap();
+        assert_eq!(m.push(&ev(4, "C", 4.0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn within_bound_expires_runs() {
+        let mut m =
+            PatternMatcher::new(seq_abc(100), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(50, "B", 2.0)).unwrap();
+        assert!(m.push(&ev(200, "C", 3.0)).unwrap().is_empty()); // expired
+        assert_eq!(m.active_runs(), 0);
+    }
+
+    #[test]
+    fn negation_guard_kills() {
+        let p = Pattern::new(
+            vec![
+                Step::new("a", parse("kind = 'A'").unwrap()),
+                Step::new("no_x", parse("kind = 'X'").unwrap()).negation(),
+                Step::new("b", parse("kind = 'B'").unwrap()),
+            ],
+            1_000,
+        )
+        .unwrap();
+        let mut m = PatternMatcher::new(p.clone(), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "X", 0.0)).unwrap(); // guard hit
+        assert!(m.push(&ev(3, "B", 2.0)).unwrap().is_empty());
+
+        let mut m = PatternMatcher::new(p, &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "Y", 0.0)).unwrap(); // harmless
+        assert_eq!(m.push(&ev(3, "B", 2.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn optional_steps_may_be_skipped() {
+        let p = Pattern::new(
+            vec![
+                Step::new("a", parse("kind = 'A'").unwrap()),
+                Step::new("m", parse("kind = 'M'").unwrap()).optional(),
+                Step::new("b", parse("kind = 'B'").unwrap()),
+            ],
+            1_000,
+        )
+        .unwrap();
+        // Skipped: A then B directly.
+        let mut m = PatternMatcher::new(p.clone(), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        let out = m.push(&ev(2, "B", 2.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        // m_kind column is NULL.
+        let m_kind = out[0].payload.get(4).unwrap();
+        assert!(m_kind.is_null());
+
+        // Taken: A M B.
+        let mut m = PatternMatcher::new(p, &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "M", 5.0)).unwrap();
+        let out = m.push(&ev(3, "B", 2.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(4), Some(&Value::from("M")));
+    }
+
+    #[test]
+    fn kleene_counts_and_extends() {
+        let p = Pattern::new(
+            vec![
+                Step::new("a", parse("kind = 'A'").unwrap()).one_or_more(),
+                Step::new("b", parse("kind = 'B'").unwrap()),
+            ],
+            1_000,
+        )
+        .unwrap();
+        let mut m = PatternMatcher::new(p, &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "A", 2.0)).unwrap();
+        m.push(&ev(3, "A", 3.0)).unwrap();
+        let out = m.push(&ev(4, "B", 9.0)).unwrap();
+        // Greedy run absorbed all three A's; SkipTillNext also tracked the
+        // shorter suffix runs started by later A's.
+        assert!(!out.is_empty());
+        // The first (longest) match carries count 3 and last A value 3.0.
+        let p0 = &out[0].payload;
+        let count_idx = out[0].schema.index_of("a_count").unwrap();
+        let av_idx = out[0].schema.index_of("a_v").unwrap();
+        let counts: Vec<i64> = out
+            .iter()
+            .map(|e| e.payload.get(count_idx).unwrap().as_int().unwrap())
+            .collect();
+        assert!(counts.contains(&3));
+        let _ = (p0, av_idx);
+    }
+
+    #[test]
+    fn pattern_validation() {
+        assert!(Pattern::new(vec![], 100).is_err());
+        assert!(Pattern::new(
+            vec![Step::new("a", parse("kind = 'A'").unwrap())],
+            0
+        )
+        .is_err());
+        assert!(Pattern::new(
+            vec![Step::new("a", parse("kind = 'A'").unwrap()).negation()],
+            100
+        )
+        .is_err());
+        assert!(Pattern::new(
+            vec![
+                Step::new("a", parse("kind = 'A'").unwrap()),
+                Step::new("b", parse("kind = 'B'").unwrap())
+                    .negation()
+                    .optional(),
+            ],
+            100
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn naive_matcher_agrees_with_skip_till_any() {
+        let pattern = seq_abc(500);
+        let mut nfa =
+            PatternMatcher::new(pattern.clone(), &schema(), SkipStrategy::SkipTillAny).unwrap();
+        let mut naive = NaiveMatcher::new(&pattern, &schema()).unwrap();
+
+        let mut state = 7u64;
+        let mut nfa_total = 0u64;
+        let mut naive_total = 0u64;
+        for i in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let kind = ["A", "B", "C", "X"][(state % 4) as usize];
+            let e = ev(i * 10, kind, 1.0);
+            nfa_total += nfa.push(&e).unwrap().len() as u64;
+            naive_total += naive.push(&e).unwrap();
+        }
+        assert!(nfa_total > 0, "workload produced no matches");
+        assert_eq!(nfa_total, naive_total);
+    }
+}

@@ -1,0 +1,177 @@
+//! Window specifications and assignment.
+//!
+//! All time windows are **event-time** windows: assignment uses the
+//! event's timestamp, and closing is driven by watermarks, so replays and
+//! simulated clocks produce identical results.
+
+use evdb_types::TimestampMs;
+
+/// A window shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Fixed, non-overlapping windows of `width_ms`.
+    Tumbling {
+        /// Window width in milliseconds.
+        width_ms: i64,
+    },
+    /// Overlapping windows of `width_ms` starting every `slide_ms`
+    /// (`slide_ms ≤ width_ms`; an event belongs to `width/slide` windows).
+    Sliding {
+        /// Window width in milliseconds.
+        width_ms: i64,
+        /// Slide interval in milliseconds.
+        slide_ms: i64,
+    },
+    /// Count-based tumbling window: closes after `count` events
+    /// (per group), independent of time.
+    CountTumbling {
+        /// Events per window.
+        count: usize,
+    },
+    /// Session window: closes when no event arrives for `gap_ms`
+    /// (per group).
+    Session {
+        /// Inactivity gap in milliseconds.
+        gap_ms: i64,
+    },
+}
+
+impl WindowSpec {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            WindowSpec::Tumbling { width_ms } if *width_ms <= 0 => {
+                Err("tumbling width must be positive".into())
+            }
+            WindowSpec::Sliding { width_ms, slide_ms } => {
+                if *width_ms <= 0 || *slide_ms <= 0 {
+                    Err("sliding width/slide must be positive".into())
+                } else if slide_ms > width_ms {
+                    Err("slide must not exceed width".into())
+                } else if width_ms % slide_ms != 0 {
+                    Err("width must be a multiple of slide".into())
+                } else {
+                    Ok(())
+                }
+            }
+            WindowSpec::CountTumbling { count } if *count == 0 => {
+                Err("count window needs count ≥ 1".into())
+            }
+            WindowSpec::Session { gap_ms } if *gap_ms <= 0 => {
+                Err("session gap must be positive".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// For time windows: the start timestamps of every window containing
+    /// an event at `ts`.
+    pub fn assign(&self, ts: TimestampMs) -> Vec<TimestampMs> {
+        match self {
+            WindowSpec::Tumbling { width_ms } => vec![ts.window_start(*width_ms)],
+            WindowSpec::Sliding { width_ms, slide_ms } => {
+                let mut out = Vec::with_capacity((width_ms / slide_ms) as usize);
+                // Latest window starting at or before ts.
+                let last_start = ts.window_start(*slide_ms);
+                let mut start = last_start.0;
+                // Walk backwards while the window still covers ts.
+                while start > ts.0 - width_ms {
+                    out.push(TimestampMs(start));
+                    start -= slide_ms;
+                }
+                out.reverse();
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// For time windows: the exclusive end of a window starting at
+    /// `start`.
+    pub fn window_end(&self, start: TimestampMs) -> TimestampMs {
+        match self {
+            WindowSpec::Tumbling { width_ms } => start.plus(*width_ms),
+            WindowSpec::Sliding { width_ms, .. } => start.plus(*width_ms),
+            _ => start,
+        }
+    }
+
+    /// Pane width for incremental aggregation (the GCD slice that windows
+    /// are built from): the slide for sliding windows, the full width for
+    /// tumbling.
+    pub fn pane_ms(&self) -> Option<i64> {
+        match self {
+            WindowSpec::Tumbling { width_ms } => Some(*width_ms),
+            WindowSpec::Sliding { slide_ms, .. } => Some(*slide_ms),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assignment() {
+        let w = WindowSpec::Tumbling { width_ms: 1000 };
+        assert_eq!(w.assign(TimestampMs(0)), vec![TimestampMs(0)]);
+        assert_eq!(w.assign(TimestampMs(999)), vec![TimestampMs(0)]);
+        assert_eq!(w.assign(TimestampMs(1000)), vec![TimestampMs(1000)]);
+        assert_eq!(w.window_end(TimestampMs(1000)), TimestampMs(2000));
+    }
+
+    #[test]
+    fn sliding_assignment_covers_width_over_slide_windows() {
+        let w = WindowSpec::Sliding {
+            width_ms: 1000,
+            slide_ms: 250,
+        };
+        let starts = w.assign(TimestampMs(1_100));
+        assert_eq!(
+            starts,
+            vec![
+                TimestampMs(250),
+                TimestampMs(500),
+                TimestampMs(750),
+                TimestampMs(1000)
+            ]
+        );
+        // Boundary event belongs to exactly width/slide windows.
+        assert_eq!(w.assign(TimestampMs(1_000)).len(), 4);
+        assert!(w.assign(TimestampMs(1_000)).contains(&TimestampMs(1_000)));
+        assert!(!w.assign(TimestampMs(1_000)).contains(&TimestampMs(0)));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WindowSpec::Tumbling { width_ms: 0 }.validate().is_err());
+        assert!(WindowSpec::Sliding { width_ms: 100, slide_ms: 200 }
+            .validate()
+            .is_err());
+        assert!(WindowSpec::Sliding { width_ms: 100, slide_ms: 30 }
+            .validate()
+            .is_err()); // not a multiple
+        assert!(WindowSpec::Sliding { width_ms: 100, slide_ms: 25 }
+            .validate()
+            .is_ok());
+        assert!(WindowSpec::CountTumbling { count: 0 }.validate().is_err());
+        assert!(WindowSpec::Session { gap_ms: -1 }.validate().is_err());
+    }
+
+    #[test]
+    fn panes() {
+        assert_eq!(
+            WindowSpec::Sliding { width_ms: 100, slide_ms: 20 }.pane_ms(),
+            Some(20)
+        );
+        assert_eq!(WindowSpec::Tumbling { width_ms: 100 }.pane_ms(), Some(100));
+        assert_eq!(WindowSpec::CountTumbling { count: 5 }.pane_ms(), None);
+    }
+
+    #[test]
+    fn negative_time_assignment() {
+        let w = WindowSpec::Tumbling { width_ms: 1000 };
+        assert_eq!(w.assign(TimestampMs(-1)), vec![TimestampMs(-1000)]);
+    }
+}

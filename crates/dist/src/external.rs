@@ -1,0 +1,202 @@
+//! Delivery to external services (§2.2.d.ii.2 "forwarding messages to
+//! external services").
+//!
+//! An [`ExternalService`] is anything that accepts a message and may
+//! fail; [`ServiceDelivery`] drains a queue into it, acking successes and
+//! nacking failures into the queue's retry/dead-letter machinery.
+//! [`FlakyService`] injects deterministic failures for tests and E10.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use evdb_queue::{Message, QueueManager};
+use evdb_types::{Error, Result};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An external message sink.
+pub trait ExternalService: Send + Sync {
+    /// Attempt to deliver one message.
+    fn deliver(&self, message: &Message) -> Result<()>;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+/// A service that fails a configurable fraction of calls.
+pub struct FlakyService {
+    fail_prob: f64,
+    rng: Mutex<StdRng>,
+    calls: AtomicU64,
+    failures: AtomicU64,
+    delivered: Mutex<Vec<u64>>,
+}
+
+impl FlakyService {
+    /// Fails each call with probability `fail_prob` (seeded).
+    pub fn new(fail_prob: f64, seed: u64) -> FlakyService {
+        FlakyService {
+            fail_prob,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            delivered: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// `(calls, failures)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.failures.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Ids of successfully delivered messages, in delivery order.
+    pub fn delivered_ids(&self) -> Vec<u64> {
+        self.delivered.lock().clone()
+    }
+}
+
+impl ExternalService for FlakyService {
+    fn deliver(&self, message: &Message) -> Result<()> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.fail_prob > 0.0 && self.rng.lock().gen::<f64>() < self.fail_prob {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::Delivery("service unavailable".into()));
+        }
+        self.delivered.lock().push(message.id);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "flaky"
+    }
+}
+
+/// Drains a queue into an external service.
+pub struct ServiceDelivery<'s> {
+    queues: &'s QueueManager,
+    queue: String,
+    group: String,
+    service: &'s dyn ExternalService,
+    batch: usize,
+    /// Successful deliveries.
+    pub delivered: u64,
+    /// Failed attempts (nacked).
+    pub failed: u64,
+}
+
+impl<'s> ServiceDelivery<'s> {
+    /// Create the agent and subscribe its consumer group.
+    pub fn new(
+        queues: &'s QueueManager,
+        queue: &str,
+        service: &'s dyn ExternalService,
+    ) -> Result<ServiceDelivery<'s>> {
+        let group = format!("__svc_{}", service.name());
+        queues.subscribe(queue, &group)?;
+        Ok(ServiceDelivery {
+            queues,
+            queue: queue.to_string(),
+            group,
+            service,
+            batch: 32,
+            delivered: 0,
+            failed: 0,
+        })
+    }
+
+    /// One pump iteration: reap timeouts, dequeue a batch, deliver each,
+    /// ack/nack. Returns how many messages were processed.
+    pub fn pump(&mut self) -> Result<usize> {
+        self.queues.reap_timeouts(&self.queue)?;
+        let deliveries = self.queues.dequeue(&self.queue, &self.group, self.batch)?;
+        let n = deliveries.len();
+        for d in deliveries {
+            match self.service.deliver(&d.message) {
+                Ok(()) => {
+                    self.queues.ack(&d)?;
+                    self.delivered += 1;
+                }
+                Err(e) => {
+                    self.queues.nack(&d, &e.to_string())?;
+                    self.failed += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_queue::QueueConfig;
+    use evdb_storage::{Database, DbOptions};
+    use evdb_types::{DataType, Record, Schema, Value};
+    use std::sync::Arc;
+
+    fn setup(max_attempts: u32) -> (Arc<Database>, QueueManager) {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        let q = QueueManager::attach(Arc::clone(&db)).unwrap();
+        q.create_queue(
+            "out",
+            Schema::of(&[("x", DataType::Int)]),
+            QueueConfig::default()
+                .visibility_timeout(0)
+                .max_attempts(max_attempts),
+        )
+        .unwrap();
+        (db, q)
+    }
+
+    #[test]
+    fn reliable_service_drains_queue() {
+        let (_db, q) = setup(3);
+        let svc = FlakyService::new(0.0, 1);
+        let mut agent = ServiceDelivery::new(&q, "out", &svc).unwrap();
+        for i in 0..10 {
+            q.enqueue("out", Record::from_iter([Value::Int(i)]), "t").unwrap();
+        }
+        while agent.pump().unwrap() > 0 {}
+        assert_eq!(agent.delivered, 10);
+        assert_eq!(svc.delivered_ids().len(), 10);
+        assert_eq!(q.depth("out").unwrap(), 0);
+    }
+
+    #[test]
+    fn failures_retry_then_dead_letter() {
+        let (_db, q) = setup(2);
+        let svc = FlakyService::new(1.0, 1); // always fails
+        let mut agent = ServiceDelivery::new(&q, "out", &svc).unwrap();
+        q.enqueue("out", Record::from_iter([Value::Int(1)]), "t").unwrap();
+        for _ in 0..10 {
+            agent.pump().unwrap();
+        }
+        assert_eq!(agent.delivered, 0);
+        assert_eq!(agent.failed, 2); // attempts capped at 2
+        assert_eq!(q.dead_letter_count("out").unwrap(), 1);
+        assert_eq!(q.depth("out").unwrap(), 0);
+    }
+
+    #[test]
+    fn flaky_service_eventually_delivers_everything() {
+        let (_db, q) = setup(50);
+        let svc = FlakyService::new(0.5, 42);
+        let mut agent = ServiceDelivery::new(&q, "out", &svc).unwrap();
+        for i in 0..20 {
+            q.enqueue("out", Record::from_iter([Value::Int(i)]), "t").unwrap();
+        }
+        for _ in 0..200 {
+            if q.depth("out").unwrap() == 0 {
+                break;
+            }
+            agent.pump().unwrap();
+        }
+        assert_eq!(agent.delivered, 20);
+        let (calls, failures) = svc.stats();
+        assert_eq!(calls - failures, 20);
+        assert!(failures > 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The fabric: a convenience orchestrator owning nodes, the simulated
+//! network and the forwarders between them, with a single
+//! [`Fabric::step`]/[`Fabric::run_until_idle`] drive loop.
+//!
+//! Examples and tests previously hand-rolled the pump/poll/ack loop;
+//! the fabric packages it (and routes ACKs to the right forwarder when
+//! several share a node).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use evdb_types::{Clock, Error, Result};
+
+use crate::forwarder::QueueForwarder;
+use crate::network::{LinkConfig, SimNetwork};
+use crate::node::Node;
+
+/// A multi-node deployment with managed propagation.
+pub struct Fabric {
+    clock: Arc<dyn Clock>,
+    nodes: HashMap<String, Node>,
+    network: SimNetwork,
+    forwarders: Vec<QueueForwarder>,
+    /// Milliseconds the clock advances per [`Fabric::step`] when driven
+    /// by a `SimClock` owner (informational; the fabric never advances
+    /// the clock itself).
+    pub stats_steps: u64,
+}
+
+impl Fabric {
+    /// A fabric over a shared clock with the given default link.
+    pub fn new(clock: Arc<dyn Clock>, default_link: LinkConfig, seed: u64) -> Fabric {
+        Fabric {
+            clock,
+            nodes: HashMap::new(),
+            network: SimNetwork::new(default_link, seed),
+            forwarders: Vec::new(),
+            stats_steps: 0,
+        }
+    }
+
+    /// Create and register an in-memory node.
+    pub fn add_node(&mut self, name: &str) -> Result<&Node> {
+        if self.nodes.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("node '{name}'")));
+        }
+        let node = Node::new(name, Arc::clone(&self.clock))?;
+        self.nodes.insert(name.to_string(), node);
+        Ok(&self.nodes[name])
+    }
+
+    /// A registered node.
+    pub fn node(&self, name: &str) -> Result<&Node> {
+        self.nodes
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("node '{name}'")))
+    }
+
+    /// The simulated network (for link configuration / partitions).
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.network
+    }
+
+    /// Network counters `(sent, dropped, delivered)`.
+    pub fn network_stats(&self) -> (u64, u64, u64) {
+        (self.network.sent, self.network.dropped, self.network.delivered)
+    }
+
+    /// Wire a forwarder: `source_node:source_queue → dest_node:dest_queue`.
+    /// Call before producing so the forwarder's group sees every message.
+    pub fn connect(
+        &mut self,
+        source_node: &str,
+        source_queue: &str,
+        dest_node: &str,
+        dest_queue: &str,
+    ) -> Result<()> {
+        if !self.nodes.contains_key(dest_node) {
+            return Err(Error::NotFound(format!("node '{dest_node}'")));
+        }
+        let src = self.node(source_node)?;
+        let fwd = QueueForwarder::new(src, source_queue, dest_node, dest_queue)?;
+        self.forwarders.push(fwd);
+        Ok(())
+    }
+
+    /// One pump cycle: every forwarder sends what is ready, due packets
+    /// deliver, ACKs route home. Returns how many packets moved.
+    pub fn step(&mut self) -> Result<usize> {
+        self.stats_steps += 1;
+        let now = self.clock.now();
+        for fwd in &mut self.forwarders {
+            let src = self
+                .nodes
+                .get(fwd.source_node())
+                .ok_or_else(|| Error::NotFound(format!("node '{}'", fwd.source_node())))?;
+            fwd.pump(src, &mut self.network, now)?;
+        }
+        let packets = self.network.poll(now);
+        let moved = packets.len();
+        for pkt in packets {
+            if QueueForwarder::is_data(&pkt) {
+                let dest = self
+                    .nodes
+                    .get(&pkt.to)
+                    .ok_or_else(|| Error::Delivery(format!("unknown node '{}'", pkt.to)))?;
+                let ack = QueueForwarder::receive(dest, &pkt)?;
+                self.network.send(ack, now);
+            } else {
+                for fwd in &mut self.forwarders {
+                    if fwd.owns_ack(&pkt) {
+                        let src = self
+                            .nodes
+                            .get(fwd.source_node())
+                            .expect("forwarder's node exists");
+                        fwd.on_ack(src, &pkt)?;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Step until no packets are in flight and every forwarder's source
+    /// backlog is drained, advancing the provided `advance` callback
+    /// between steps (pass a closure that bumps a `SimClock`), up to
+    /// `max_steps`. Returns `true` if the fabric went idle.
+    pub fn run_until_idle(
+        &mut self,
+        max_steps: usize,
+        mut advance: impl FnMut(),
+    ) -> Result<bool> {
+        for _ in 0..max_steps {
+            self.step()?;
+            let idle = self.network.inflight_count() == 0
+                && self
+                    .forwarders
+                    .iter()
+                    .map(|f| {
+                        let src = &self.nodes[f.source_node()];
+                        let backlog = src
+                            .queues()
+                            .depth(f.source_queue())
+                            .unwrap_or(0);
+                        backlog + f.pending_count()
+                    })
+                    .sum::<usize>()
+                    == 0;
+            if idle {
+                return Ok(true);
+            }
+            advance();
+        }
+        Ok(false)
+    }
+
+    /// Total end-to-end acknowledged transfers across all forwarders.
+    pub fn total_acked(&self) -> u64 {
+        self.forwarders.iter().map(|f| f.acked).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_queue::QueueConfig;
+    use evdb_types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+    fn payload() -> Arc<Schema> {
+        Schema::of(&[("x", DataType::Int)])
+    }
+
+    fn queue_on(node: &Node) {
+        node.queues()
+            .create_queue(
+                "q",
+                payload(),
+                QueueConfig::default().visibility_timeout(300).max_attempts(100),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn two_hop_relay_through_fabric() {
+        let clock = SimClock::new(TimestampMs(0));
+        let mut fabric = Fabric::new(
+            clock.clone(),
+            LinkConfig {
+                latency_ms: 10,
+                loss: 0.1,
+                ..Default::default()
+            },
+            3,
+        );
+        for n in ["edge", "relay", "center"] {
+            let node = fabric.add_node(n).unwrap();
+            queue_on(node);
+        }
+        fabric.node("center").unwrap().queues().subscribe("q", "sink").unwrap();
+        // edge → relay → center.
+        fabric.connect("edge", "q", "relay", "q").unwrap();
+        fabric.connect("relay", "q", "center", "q").unwrap();
+
+        for i in 0..25 {
+            fabric
+                .node("edge")
+                .unwrap()
+                .queues()
+                .enqueue("q", Record::from_iter([Value::Int(i)]), "t")
+                .unwrap();
+        }
+        let c2 = clock.clone();
+        let idle = fabric
+            .run_until_idle(5_000, move || {
+                c2.advance(50);
+            })
+            .unwrap();
+        assert!(idle, "fabric should drain");
+
+        let center = fabric.node("center").unwrap();
+        let mut got = Vec::new();
+        loop {
+            let ds = center.queues().dequeue("q", "sink", 64).unwrap();
+            if ds.is_empty() {
+                break;
+            }
+            for d in ds {
+                got.push(d.message.payload.get(0).unwrap().as_int().unwrap());
+                center.queues().ack(&d).unwrap();
+            }
+        }
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, (0..25).collect::<Vec<_>>());
+        assert_eq!(fabric.total_acked(), 50); // 25 per hop
+    }
+
+    #[test]
+    fn fabric_validates_wiring() {
+        let clock = SimClock::new(TimestampMs(0));
+        let mut fabric = Fabric::new(clock, LinkConfig::default(), 1);
+        let n = fabric.add_node("a").unwrap();
+        queue_on(n);
+        assert!(fabric.add_node("a").is_err());
+        assert!(fabric.connect("a", "q", "ghost", "q").is_err());
+        assert!(fabric.connect("ghost", "q", "a", "q").is_err());
+        assert!(fabric.node("ghost").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # evdb-dist
+//!
+//! Message consumption and distribution (Chandy & Gawlick §2.2.d):
+//! forwarding messages between staging areas on different nodes and
+//! delivering them to external services — with the operational
+//! characteristics the tutorial demands (recoverability, at-least-once
+//! delivery, auditability) exercised under injected failures.
+//!
+//! Substitution note (see DESIGN.md): there is no real network here. The
+//! [`network::SimNetwork`] simulates per-link latency, probabilistic
+//! loss and partitions, driven by the shared simulated clock, so every
+//! retry/dedup/ordering code path a socket transport would exercise runs
+//! deterministically in-process — including the failure schedules the
+//! paper's recoverability claims are about (experiment E10).
+//!
+//! * [`node::Node`] — a staging-area host: its own database + queues.
+//! * [`forwarder::QueueForwarder`] — propagates one queue to a queue on
+//!   another node: dequeue → packet → (lossy) network → receiver dedup
+//!   table → enqueue → ack packet → sender ack. Unacked deliveries
+//!   retry via the queue's visibility timeout; the receiver's dedup
+//!   table makes retries idempotent; every accepted message is recorded
+//!   in the receiver's audit table.
+//! * [`external::ServiceDelivery`] — drains a queue into an
+//!   [`external::ExternalService`] (§2.2.d.ii.2), acking on success and
+//!   nacking into redelivery/dead-letter on failure.
+//! * [`fabric::Fabric`] — owns nodes, network and forwarders and drives
+//!   the whole deployment with one step loop.
+
+pub mod external;
+pub mod fabric;
+pub mod forwarder;
+pub mod network;
+pub mod node;
+
+pub use external::{ExternalService, FlakyService, ServiceDelivery};
+pub use fabric::Fabric;
+pub use forwarder::QueueForwarder;
+pub use network::{LinkConfig, SimNetwork};
+pub use node::Node;

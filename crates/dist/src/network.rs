@@ -1,0 +1,254 @@
+//! The simulated network fabric.
+//!
+//! Deterministic: latency jitter and loss come from a seeded RNG, and
+//! time comes from whatever clock drives `poll` — tests advance a
+//! `SimClock` and observe exactly reproducible delivery schedules.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use evdb_types::TimestampMs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-link behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Base one-way latency (ms).
+    pub latency_ms: i64,
+    /// Uniform jitter added on top (ms, `0..=jitter_ms`).
+    pub jitter_ms: i64,
+    /// Probability a packet is silently dropped.
+    pub loss: f64,
+    /// Hard partition: nothing gets through while true.
+    pub partitioned: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_ms: 5,
+            jitter_ms: 0,
+            loss: 0.0,
+            partitioned: false,
+        }
+    }
+}
+
+/// An opaque datagram between named nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Sending node.
+    pub from: String,
+    /// Receiving node.
+    pub to: String,
+    /// Serialized payload (the forwarder defines the framing).
+    pub bytes: Vec<u8>,
+}
+
+/// Heap entry ordered so the earliest delivery pops first.
+struct InFlight {
+    at: i64,
+    seq: u64,
+    packet: Packet,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The fabric: directed links with latency/loss/partition, an in-flight
+/// heap ordered by delivery time, and counters.
+pub struct SimNetwork {
+    links: HashMap<(String, String), LinkConfig>,
+    default_link: LinkConfig,
+    inflight: BinaryHeap<InFlight>,
+    seq: u64,
+    rng: StdRng,
+    /// Packets accepted for transmission.
+    pub sent: u64,
+    /// Packets dropped by loss or partition.
+    pub dropped: u64,
+    /// Packets handed to receivers.
+    pub delivered: u64,
+}
+
+impl SimNetwork {
+    /// Fabric with the given default link behaviour and RNG seed.
+    pub fn new(default_link: LinkConfig, seed: u64) -> SimNetwork {
+        SimNetwork {
+            links: HashMap::new(),
+            default_link,
+            inflight: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            sent: 0,
+            dropped: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Configure one directed link.
+    pub fn set_link(&mut self, from: &str, to: &str, config: LinkConfig) {
+        self.links
+            .insert((from.to_string(), to.to_string()), config);
+    }
+
+    /// Partition (or heal) both directions between two nodes.
+    pub fn set_partition(&mut self, a: &str, b: &str, partitioned: bool) {
+        for (x, y) in [(a, b), (b, a)] {
+            let cfg = self
+                .links
+                .entry((x.to_string(), y.to_string()))
+                .or_insert(self.default_link);
+            cfg.partitioned = partitioned;
+        }
+    }
+
+    fn link(&self, from: &str, to: &str) -> LinkConfig {
+        self.links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Transmit a packet at time `now`. Loss and partitions drop it
+    /// silently (the sender finds out by never seeing an ack — exactly
+    /// like UDP).
+    pub fn send(&mut self, packet: Packet, now: TimestampMs) {
+        self.sent += 1;
+        let link = self.link(&packet.from, &packet.to);
+        if link.partitioned || (link.loss > 0.0 && self.rng.gen::<f64>() < link.loss) {
+            self.dropped += 1;
+            return;
+        }
+        let jitter = if link.jitter_ms > 0 {
+            self.rng.gen_range(0..=link.jitter_ms)
+        } else {
+            0
+        };
+        let at = now.0 + link.latency_ms + jitter;
+        self.seq += 1;
+        self.inflight.push(InFlight {
+            at,
+            seq: self.seq,
+            packet,
+        });
+    }
+
+    /// Packets whose delivery time has arrived, in delivery order.
+    pub fn poll(&mut self, now: TimestampMs) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Some(head) = self.inflight.peek() {
+            if head.at > now.0 {
+                break;
+            }
+            let entry = self.inflight.pop().expect("peeked");
+            self.delivered += 1;
+            out.push(entry.packet);
+        }
+        out
+    }
+
+    /// Packets still in the air.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(from: &str, to: &str, b: u8) -> Packet {
+        Packet {
+            from: from.into(),
+            to: to.into(),
+            bytes: vec![b],
+        }
+    }
+
+    #[test]
+    fn latency_orders_delivery() {
+        let mut net = SimNetwork::new(
+            LinkConfig {
+                latency_ms: 10,
+                ..Default::default()
+            },
+            42,
+        );
+        net.send(pkt("a", "b", 1), TimestampMs(0));
+        net.send(pkt("a", "b", 2), TimestampMs(5));
+        assert!(net.poll(TimestampMs(9)).is_empty());
+        let d = net.poll(TimestampMs(10));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].bytes, vec![1]);
+        let d = net.poll(TimestampMs(100));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].bytes, vec![2]);
+        assert_eq!(net.inflight_count(), 0);
+        assert_eq!((net.sent, net.delivered, net.dropped), (2, 2, 0));
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = SimNetwork::new(
+                LinkConfig {
+                    loss: 0.5,
+                    ..Default::default()
+                },
+                seed,
+            );
+            for i in 0..100 {
+                net.send(pkt("a", "b", i as u8), TimestampMs(0));
+            }
+            net.dropped
+        };
+        assert_eq!(run(7), run(7));
+        let d = run(7);
+        assert!(d > 20 && d < 80, "dropped {d}");
+    }
+
+    #[test]
+    fn partition_blocks_until_healed() {
+        let mut net = SimNetwork::new(LinkConfig::default(), 1);
+        net.set_partition("a", "b", true);
+        net.send(pkt("a", "b", 1), TimestampMs(0));
+        net.send(pkt("b", "a", 2), TimestampMs(0));
+        assert_eq!(net.dropped, 2);
+        net.set_partition("a", "b", false);
+        net.send(pkt("a", "b", 3), TimestampMs(0));
+        assert_eq!(net.poll(TimestampMs(100)).len(), 1);
+    }
+
+    #[test]
+    fn per_link_overrides() {
+        let mut net = SimNetwork::new(LinkConfig::default(), 1);
+        net.set_link(
+            "a",
+            "c",
+            LinkConfig {
+                latency_ms: 1_000,
+                ..Default::default()
+            },
+        );
+        net.send(pkt("a", "b", 1), TimestampMs(0)); // default 5ms
+        net.send(pkt("a", "c", 2), TimestampMs(0)); // 1000ms
+        assert_eq!(net.poll(TimestampMs(10)).len(), 1);
+        assert_eq!(net.poll(TimestampMs(1_000)).len(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Constraint analysis: decompose a predicate into **indexable atoms**
+//! plus a **residual**.
+//!
+//! This is the enabling analysis for the paper's scalability claim about
+//! "large rule sets" (§2.2.c.iv.2.a): a matcher that can pull
+//! `field = const` and `field relop const` atoms out of every rule can
+//! index rules by attribute value and touch only candidate rules per
+//! event, instead of evaluating all of them.
+//!
+//! `analyze` splits the top-level conjunction of a predicate:
+//!
+//! * `field = literal`  → [`Constraint::Eq`]
+//! * `field < literal` (and `<= > >=`, either operand order, plus
+//!   `BETWEEN`) → [`Constraint::Range`]
+//! * `field IN (literals…)` → [`Constraint::In`]
+//! * everything else (ORs, functions, cross-field comparisons, NOTs…)
+//!   → folded back into the residual expression.
+//!
+//! The decomposition is **sound, not complete**: the original predicate is
+//! always equivalent to `constraints ∧ residual` (verified by proptest in
+//! the rules crate), but some index opportunities inside ORs are left to
+//! the residual.
+
+use evdb_types::Value;
+
+use crate::ast::{BinaryOp, Expr};
+use crate::typecheck::const_eval;
+
+/// One bound of a range constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bound {
+    /// The bounding value.
+    pub value: Value,
+    /// Whether the bound itself is included.
+    pub inclusive: bool,
+}
+
+/// An indexable atomic constraint on a single field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `field = value`.
+    Eq {
+        /// Field name.
+        field: String,
+        /// Required value.
+        value: Value,
+    },
+    /// `field` within an interval (at least one side set).
+    Range {
+        /// Field name.
+        field: String,
+        /// Lower bound, if any.
+        low: Option<Bound>,
+        /// Upper bound, if any.
+        high: Option<Bound>,
+    },
+    /// `field IN (values…)` — disjunction of equalities on one field.
+    In {
+        /// Field name.
+        field: String,
+        /// Allowed values (deduplicated, non-null).
+        values: Vec<Value>,
+    },
+}
+
+impl Constraint {
+    /// The constrained field.
+    pub fn field(&self) -> &str {
+        match self {
+            Constraint::Eq { field, .. }
+            | Constraint::Range { field, .. }
+            | Constraint::In { field, .. } => field,
+        }
+    }
+
+    /// Does a concrete value satisfy this constraint?
+    /// (`None`/NULL never satisfies.)
+    pub fn accepts(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        match self {
+            Constraint::Eq { value, .. } => {
+                matches!(v.sql_cmp(value), Some(std::cmp::Ordering::Equal))
+            }
+            Constraint::Range { low, high, .. } => {
+                if let Some(b) = low {
+                    match v.sql_cmp(&b.value) {
+                        Some(std::cmp::Ordering::Greater) => {}
+                        Some(std::cmp::Ordering::Equal) if b.inclusive => {}
+                        _ => return false,
+                    }
+                }
+                if let Some(b) = high {
+                    match v.sql_cmp(&b.value) {
+                        Some(std::cmp::Ordering::Less) => {}
+                        Some(std::cmp::Ordering::Equal) if b.inclusive => {}
+                        _ => return false,
+                    }
+                }
+                true
+            }
+            Constraint::In { values, .. } => values
+                .iter()
+                .any(|x| matches!(v.sql_cmp(x), Some(std::cmp::Ordering::Equal))),
+        }
+    }
+}
+
+/// The result of [`analyze`]: indexable constraints plus what is left.
+#[derive(Debug, Clone, Default)]
+pub struct ConjunctiveForm {
+    /// Indexable atoms; the predicate implies each of them.
+    pub constraints: Vec<Constraint>,
+    /// Remaining predicate (`None` means "TRUE").
+    pub residual: Option<Expr>,
+}
+
+impl ConjunctiveForm {
+    /// True if the whole predicate was captured by constraints.
+    pub fn fully_indexable(&self) -> bool {
+        self.residual.is_none()
+    }
+}
+
+/// Decompose `expr` (a boolean predicate) into indexable constraints and a
+/// residual such that `expr ≡ AND(constraints) AND residual`.
+pub fn analyze(expr: &Expr) -> ConjunctiveForm {
+    let mut atoms = Vec::new();
+    collect_conjuncts(expr, &mut atoms);
+
+    let mut form = ConjunctiveForm::default();
+    let mut residual_parts: Vec<Expr> = Vec::new();
+
+    for atom in atoms {
+        match extract(atom) {
+            Some(c) => form.constraints.push(c),
+            None => residual_parts.push(atom.clone()),
+        }
+    }
+    form.residual = residual_parts.into_iter().reduce(Expr::and);
+    form
+}
+
+/// Flatten nested ANDs into a conjunct list.
+fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Try to turn one conjunct into an indexable constraint.
+fn extract(atom: &Expr) -> Option<Constraint> {
+    match atom {
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            // Normalize to field-op-constant.
+            let (field, op, value) = match (&**left, &**right) {
+                (Expr::Field(f), rhs) => (f, *op, const_eval(rhs)?),
+                (lhs, Expr::Field(f)) => (f, op.flipped(), const_eval(lhs)?),
+                _ => return None,
+            };
+            if value.is_null() {
+                return None; // `field = NULL` never matches; leave in residual
+            }
+            match op {
+                BinaryOp::Eq => Some(Constraint::Eq {
+                    field: field.clone(),
+                    value,
+                }),
+                BinaryOp::Lt => Some(Constraint::Range {
+                    field: field.clone(),
+                    low: None,
+                    high: Some(Bound {
+                        value,
+                        inclusive: false,
+                    }),
+                }),
+                BinaryOp::Le => Some(Constraint::Range {
+                    field: field.clone(),
+                    low: None,
+                    high: Some(Bound {
+                        value,
+                        inclusive: true,
+                    }),
+                }),
+                BinaryOp::Gt => Some(Constraint::Range {
+                    field: field.clone(),
+                    low: Some(Bound {
+                        value,
+                        inclusive: false,
+                    }),
+                    high: None,
+                }),
+                BinaryOp::Ge => Some(Constraint::Range {
+                    field: field.clone(),
+                    low: Some(Bound {
+                        value,
+                        inclusive: true,
+                    }),
+                    high: None,
+                }),
+                // `!=` is not usefully indexable.
+                _ => None,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let field = match &**expr {
+                Expr::Field(f) => f,
+                _ => return None,
+            };
+            let lo = const_eval(low)?;
+            let hi = const_eval(high)?;
+            if lo.is_null() || hi.is_null() {
+                return None;
+            }
+            Some(Constraint::Range {
+                field: field.clone(),
+                low: Some(Bound {
+                    value: lo,
+                    inclusive: true,
+                }),
+                high: Some(Bound {
+                    value: hi,
+                    inclusive: true,
+                }),
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let field = match &**expr {
+                Expr::Field(f) => f,
+                _ => return None,
+            };
+            let mut values = Vec::with_capacity(list.len());
+            for e in list {
+                let v = const_eval(e)?;
+                if v.is_null() {
+                    return None; // NULL in list changes semantics; keep in residual
+                }
+                if !values.contains(&v) {
+                    values.push(v);
+                }
+            }
+            Some(Constraint::In {
+                field: field.clone(),
+                values,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn form(src: &str) -> ConjunctiveForm {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn equality_and_range() {
+        let f = form("sym = 'IBM' AND px > 100 AND qty <= 5");
+        assert_eq!(f.constraints.len(), 3);
+        assert!(f.fully_indexable());
+        assert_eq!(
+            f.constraints[0],
+            Constraint::Eq {
+                field: "sym".into(),
+                value: Value::from("IBM")
+            }
+        );
+        match &f.constraints[1] {
+            Constraint::Range { field, low, high } => {
+                assert_eq!(field, "px");
+                assert_eq!(low.as_ref().unwrap().value, Value::Int(100));
+                assert!(!low.as_ref().unwrap().inclusive);
+                assert!(high.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_literal_first() {
+        let f = form("100 < px");
+        match &f.constraints[0] {
+            Constraint::Range { low, .. } => {
+                assert_eq!(low.as_ref().unwrap().value, Value::Int(100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_in() {
+        let f = form("px BETWEEN 1 AND 2 AND sym IN ('A', 'B', 'A')");
+        assert!(f.fully_indexable());
+        match &f.constraints[1] {
+            Constraint::In { values, .. } => assert_eq!(values.len(), 2), // deduped
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_catches_the_rest() {
+        let f = form("sym = 'A' AND (px > 1 OR qty > 1) AND length(sym) = 1");
+        assert_eq!(f.constraints.len(), 1);
+        let residual = f.residual.unwrap().to_string();
+        assert!(residual.contains("OR"));
+        assert!(residual.contains("length"));
+    }
+
+    #[test]
+    fn non_indexable_forms_stay_residual() {
+        assert_eq!(form("a != 1").constraints.len(), 0);
+        assert_eq!(form("a = b").constraints.len(), 0);
+        assert_eq!(form("NOT a = 1").constraints.len(), 0);
+        assert_eq!(form("a NOT IN (1)").constraints.len(), 0);
+        assert_eq!(form("a = NULL").constraints.len(), 0);
+        assert_eq!(form("a IN (1, NULL)").constraints.len(), 0);
+        assert_eq!(form("abs(a) = 1").constraints.len(), 0);
+    }
+
+    #[test]
+    fn const_folded_rhs() {
+        let f = form("px > 10 * 10");
+        match &f.constraints[0] {
+            Constraint::Range { low, .. } => {
+                assert_eq!(low.as_ref().unwrap().value, Value::Int(100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraint_accepts() {
+        let c = Constraint::Range {
+            field: "x".into(),
+            low: Some(Bound {
+                value: Value::Int(1),
+                inclusive: true,
+            }),
+            high: Some(Bound {
+                value: Value::Int(5),
+                inclusive: false,
+            }),
+        };
+        assert!(c.accepts(&Value::Int(1)));
+        assert!(c.accepts(&Value::Float(4.9)));
+        assert!(!c.accepts(&Value::Int(5)));
+        assert!(!c.accepts(&Value::Null));
+
+        let c = Constraint::In {
+            field: "s".into(),
+            values: vec![Value::from("a")],
+        };
+        assert!(c.accepts(&Value::from("a")));
+        assert!(!c.accepts(&Value::from("b")));
+    }
+}

@@ -1,0 +1,468 @@
+//! The expression AST and its lossless textual form.
+//!
+//! `Display` prints an expression in the exact grammar [`crate::parse`]
+//! accepts; `parse(expr.to_string())` reproduces the same AST (verified by
+//! a proptest round-trip). That property is what lets EventDB store
+//! expressions as rows — "expressions as data".
+
+use std::fmt;
+
+use evdb_types::Value;
+
+/// Binary operators, in increasing precedence groups:
+/// `OR` < `AND` < comparisons < `+ -` < `* / %`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Logical OR (three-valued).
+    Or,
+    /// Logical AND (three-valued).
+    And,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinaryOp {
+    /// Parser/printer precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => 3,
+            BinaryOp::Add | BinaryOp::Sub => 5,
+            BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
+        }
+    }
+
+    /// Is this a comparison operator?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`); identity
+    /// for non-comparisons. Used when normalizing `literal op field` atoms.
+    pub fn flipped(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::Le => BinaryOp::Ge,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::Ge => BinaryOp::Le,
+            other => other,
+        }
+    }
+
+    /// Source text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical NOT (three-valued).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// An unbound expression tree over named fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Literal(Value),
+    /// A reference to a field by name.
+    Field(String),
+    /// Unary application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary application.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high` (inclusive both ends).
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, …)`.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` (`%` any run, `_` any single char).
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The pattern expression (usually a string literal).
+        pattern: Box<Expr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// A scalar function call.
+    Func {
+        /// Function name (lowercased at parse time).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `CASE [operand] WHEN w THEN t … [ELSE e] END`.
+    ///
+    /// With an operand, each WHEN is compared for equality against it;
+    /// without, each WHEN is a boolean condition.
+    Case {
+        /// Optional scrutinee.
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` branches, tried in order.
+        branches: Vec<(Expr, Expr)>,
+        /// Fallback (`NULL` when absent).
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Shorthand: field reference.
+    pub fn field(name: impl Into<String>) -> Expr {
+        Expr::Field(name.into())
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand: binary node.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, self, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, self, other)
+    }
+
+    /// Collect the names of all fields referenced by this expression.
+    pub fn referenced_fields(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Field(n) = e {
+                if !out.contains(&n.as_str()) {
+                    out.push(n.as_str());
+                }
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_) | Expr::Field(_) => {}
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Printer precedence of this node (for minimal parenthesization).
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => op.precedence(),
+            Expr::Unary { op: UnaryOp::Not, .. } => 2, // binds like a NOT level
+            Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+            // Postfix predicates sit at comparison level.
+            Expr::IsNull { .. } | Expr::Between { .. } | Expr::InList { .. } | Expr::Like { .. } => 3,
+            _ => 8,
+        }
+    }
+
+    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+        if child.precedence() < min_prec {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Field(n) => f.write_str(n),
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                f.write_str("NOT ")?;
+                // The grammar's NOT operand is a predicate (or another
+                // NOT): anything binding looser (AND/OR) needs parens.
+                // Nested NOT also gets (harmless) parens for simplicity.
+                self.fmt_child(expr, f, 3)
+            }
+            Expr::Unary { op: UnaryOp::Neg, expr } => {
+                f.write_str("-")?;
+                self.fmt_child(expr, f, 7)
+            }
+            Expr::Binary { op, left, right } => {
+                let p = op.precedence();
+                // Comparisons are non-associative in the grammar (one
+                // predicate suffix per additive operand), so BOTH sides
+                // must bind strictly tighter; left-associative operators
+                // only need that on the right.
+                let left_min = if op.is_comparison() { p + 1 } else { p };
+                self.fmt_child(left, f, left_min)?;
+                write!(f, " {} ", op.symbol())?;
+                self.fmt_child(right, f, p + 1)
+            }
+            Expr::IsNull { expr, negated } => {
+                self.fmt_child(expr, f, 4)?;
+                if *negated {
+                    f.write_str(" IS NOT NULL")
+                } else {
+                    f.write_str(" IS NULL")
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                self.fmt_child(expr, f, 4)?;
+                if *negated {
+                    f.write_str(" NOT BETWEEN ")?;
+                } else {
+                    f.write_str(" BETWEEN ")?;
+                }
+                self.fmt_child(low, f, 4)?;
+                f.write_str(" AND ")?;
+                self.fmt_child(high, f, 4)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                self.fmt_child(expr, f, 4)?;
+                if *negated {
+                    f.write_str(" NOT IN (")?;
+                } else {
+                    f.write_str(" IN (")?;
+                }
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                self.fmt_child(expr, f, 4)?;
+                if *negated {
+                    f.write_str(" NOT LIKE ")?;
+                } else {
+                    f.write_str(" LIKE ")?;
+                }
+                self.fmt_child(pattern, f, 4)
+            }
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                f.write_str("CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_minimal_parens() {
+        let e = Expr::field("a")
+            .and(Expr::field("b").or(Expr::field("c")));
+        assert_eq!(e.to_string(), "a AND (b OR c)");
+
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::binary(BinaryOp::Add, Expr::lit(1i64), Expr::lit(2i64)),
+            Expr::lit(3i64),
+        );
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn display_predicates() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::field("x")),
+            low: Box::new(Expr::lit(1i64)),
+            high: Box::new(Expr::lit(5i64)),
+            negated: true,
+        };
+        assert_eq!(e.to_string(), "x NOT BETWEEN 1 AND 5");
+
+        let e = Expr::InList {
+            expr: Box::new(Expr::field("s")),
+            list: vec![Expr::lit("a"), Expr::lit("b")],
+            negated: false,
+        };
+        assert_eq!(e.to_string(), "s IN ('a', 'b')");
+    }
+
+    #[test]
+    fn referenced_fields_dedup() {
+        let e = Expr::field("a").and(Expr::field("b").or(Expr::field("a")));
+        assert_eq!(e.referenced_fields(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn flipped_ops() {
+        assert_eq!(BinaryOp::Lt.flipped(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::Le.flipped(), BinaryOp::Ge);
+        assert_eq!(BinaryOp::Eq.flipped(), BinaryOp::Eq);
+    }
+}

@@ -1,0 +1,233 @@
+//! Binding: resolve field names to positions and functions to their
+//! implementations, once, so per-event evaluation is allocation-free name
+//! lookup-free tree walking.
+//!
+//! [`Expr::bind`] type-checks first (via [`crate::typecheck::infer`]) and
+//! then lowers the AST into a [`BoundExpr`]. A `BoundExpr` is immutable and
+//! `Send + Sync`, so one bound rule can be evaluated from many threads.
+
+use evdb_types::{Error, Result, Schema, Value};
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::functions::{self, Function};
+use crate::typecheck;
+
+/// An expression with fields resolved to record positions.
+#[derive(Debug)]
+pub enum BoundExpr {
+    /// Constant.
+    Literal(Value),
+    /// Record position.
+    Field(usize),
+    /// Unary application.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<BoundExpr>,
+    },
+    /// Binary application.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `[NOT] BETWEEN`.
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `[NOT] IN`.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidates.
+        list: Vec<BoundExpr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `[NOT] LIKE`.
+    Like {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Pattern expression.
+        pattern: Box<BoundExpr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// Function call.
+    Func {
+        /// Implementation.
+        func: &'static Function,
+        /// Arguments.
+        args: Vec<BoundExpr>,
+    },
+    /// `CASE … END`.
+    Case {
+        /// Optional scrutinee.
+        operand: Option<Box<BoundExpr>>,
+        /// `(when, then)` branches.
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        /// Fallback.
+        else_expr: Option<Box<BoundExpr>>,
+    },
+}
+
+impl Expr {
+    /// Type-check against `schema` and resolve names, producing an
+    /// efficiently evaluable [`BoundExpr`].
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr> {
+        typecheck::infer(self, schema)?;
+        lower(self, schema)
+    }
+
+    /// Like [`Expr::bind`] but additionally requires the expression to be
+    /// a boolean predicate.
+    pub fn bind_predicate(&self, schema: &Schema) -> Result<BoundExpr> {
+        typecheck::check_predicate(self, schema)?;
+        lower(self, schema)
+    }
+}
+
+fn lower(expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
+    Ok(match expr {
+        Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Field(name) => BoundExpr::Field(
+            schema
+                .index_of(name)
+                .ok_or_else(|| Error::Type(format!("unknown field '{name}'")))?,
+        ),
+        Expr::Unary { op, expr } => BoundExpr::Unary {
+            op: *op,
+            expr: Box::new(lower(expr, schema)?),
+        },
+        Expr::Binary { op, left, right } => BoundExpr::Binary {
+            op: *op,
+            left: Box::new(lower(left, schema)?),
+            right: Box::new(lower(right, schema)?),
+        },
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(lower(expr, schema)?),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BoundExpr::Between {
+            expr: Box::new(lower(expr, schema)?),
+            low: Box::new(lower(low, schema)?),
+            high: Box::new(lower(high, schema)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(lower(expr, schema)?),
+            list: list
+                .iter()
+                .map(|e| lower(e, schema))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
+            expr: Box::new(lower(expr, schema)?),
+            pattern: Box::new(lower(pattern, schema)?),
+            negated: *negated,
+        },
+        Expr::Func { name, args } => BoundExpr::Func {
+            func: functions::lookup(name)
+                .ok_or_else(|| Error::Type(format!("unknown function '{name}'")))?,
+            args: args
+                .iter()
+                .map(|a| lower(a, schema))
+                .collect::<Result<_>>()?,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => BoundExpr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(lower(o, schema)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((lower(w, schema)?, lower(t, schema)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(lower(e, schema)?)),
+                None => None,
+            },
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use evdb_types::{DataType, Record};
+
+    #[test]
+    fn bind_resolves_positions() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let bound = parse("b + a").unwrap().bind(&schema).unwrap();
+        match bound {
+            BoundExpr::Binary { left, right, .. } => {
+                assert!(matches!(*left, BoundExpr::Field(1)));
+                assert!(matches!(*right, BoundExpr::Field(0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_rejects_type_errors_and_unknowns() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        assert!(parse("a LIKE 'x%'").unwrap().bind(&schema).is_err());
+        assert!(parse("ghost = 1").unwrap().bind(&schema).is_err());
+        assert!(parse("a + 1").unwrap().bind_predicate(&schema).is_err());
+        assert!(parse("a > 1").unwrap().bind_predicate(&schema).is_ok());
+    }
+
+    #[test]
+    fn bound_expr_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoundExpr>();
+    }
+
+    #[test]
+    fn bound_eval_smoke() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let b = parse("a * 2 + 1").unwrap().bind(&schema).unwrap();
+        assert_eq!(
+            b.eval(&Record::from_iter([20i64])).unwrap(),
+            Value::Int(41)
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Built-in scalar functions.
+//!
+//! Each function carries a typing rule (checked at bind time) and an
+//! evaluator. Unless documented otherwise, any `NULL` argument makes the
+//! result `NULL` (SQL convention); `coalesce`, `least` and `greatest`
+//! handle nulls specially.
+
+use std::fmt;
+
+use evdb_types::{DataType, Error, Result, Value};
+
+/// Argument types as seen by the type checker: `None` means "unknown /
+/// null literal", which unifies with anything.
+pub type ArgTypes<'a> = &'a [Option<DataType>];
+
+/// A built-in scalar function.
+pub struct Function {
+    /// Lowercase name as written in expressions.
+    pub name: &'static str,
+    /// Minimum number of arguments.
+    pub min_args: usize,
+    /// Maximum number of arguments (`usize::MAX` for variadic).
+    pub max_args: usize,
+    /// Typing rule: argument types → return type.
+    pub ret: fn(ArgTypes) -> Result<Option<DataType>>,
+    /// Evaluator over concrete values.
+    pub call: fn(&[Value]) -> Result<Value>,
+}
+
+impl fmt::Debug for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Function({})", self.name)
+    }
+}
+
+/// Look up a built-in function by (lowercase) name.
+pub fn lookup(name: &str) -> Option<&'static Function> {
+    FUNCTIONS.iter().find(|f| f.name == name)
+}
+
+/// Names of every registered function (for docs and error hints).
+pub fn all_names() -> Vec<&'static str> {
+    FUNCTIONS.iter().map(|f| f.name).collect()
+}
+
+// ---- typing helpers ---------------------------------------------------
+
+fn want_numeric(t: Option<DataType>, fname: &str) -> Result<()> {
+    match t {
+        None => Ok(()),
+        Some(d) if d.is_numeric() => Ok(()),
+        Some(d) => Err(Error::Type(format!("{fname} expects a numeric, got {d}"))),
+    }
+}
+
+fn want_str(t: Option<DataType>, fname: &str) -> Result<()> {
+    match t {
+        None | Some(DataType::Str) => Ok(()),
+        Some(d) => Err(Error::Type(format!("{fname} expects a string, got {d}"))),
+    }
+}
+
+// ---- eval helpers ------------------------------------------------------
+
+fn any_null(args: &[Value]) -> bool {
+    args.iter().any(Value::is_null)
+}
+
+fn num(v: &Value, fname: &str) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| Error::Type(format!("{fname}: expected numeric, got {v}")))
+}
+
+fn text<'a>(v: &'a Value, fname: &str) -> Result<&'a str> {
+    v.as_str()
+        .ok_or_else(|| Error::Type(format!("{fname}: expected string, got {v}")))
+}
+
+macro_rules! unary_float_fn {
+    ($fname:literal, $op:expr) => {
+        Function {
+            name: $fname,
+            min_args: 1,
+            max_args: 1,
+            ret: |args| {
+                want_numeric(args[0], $fname)?;
+                Ok(Some(DataType::Float))
+            },
+            call: |args| {
+                if any_null(args) {
+                    return Ok(Value::Null);
+                }
+                let f: fn(f64) -> f64 = $op;
+                Ok(Value::Float(f(num(&args[0], $fname)?)))
+            },
+        }
+    };
+}
+
+macro_rules! unary_string_fn {
+    ($fname:literal, $op:expr) => {
+        Function {
+            name: $fname,
+            min_args: 1,
+            max_args: 1,
+            ret: |args| {
+                want_str(args[0], $fname)?;
+                Ok(Some(DataType::Str))
+            },
+            call: |args| {
+                if any_null(args) {
+                    return Ok(Value::Null);
+                }
+                let f: fn(&str) -> String = $op;
+                Ok(Value::from(f(text(&args[0], $fname)?)))
+            },
+        }
+    };
+}
+
+static FUNCTIONS: &[Function] = &[
+    Function {
+        name: "abs",
+        min_args: 1,
+        max_args: 1,
+        ret: |args| {
+            want_numeric(args[0], "abs")?;
+            Ok(args[0].or(Some(DataType::Float)))
+        },
+        call: |args| match &args[0] {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                Error::Invalid("abs(i64::MIN) overflows".into())
+            })?)),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            v => Err(Error::Type(format!("abs: expected numeric, got {v}"))),
+        },
+    },
+    Function {
+        name: "sign",
+        min_args: 1,
+        max_args: 1,
+        ret: |args| {
+            want_numeric(args[0], "sign")?;
+            Ok(Some(DataType::Int))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            let x = num(&args[0], "sign")?;
+            Ok(Value::Int(if x > 0.0 {
+                1
+            } else if x < 0.0 {
+                -1
+            } else {
+                0
+            }))
+        },
+    },
+    unary_float_fn!("sqrt", |x| x.sqrt()),
+    unary_float_fn!("ln", |x| x.ln()),
+    unary_float_fn!("exp", |x| x.exp()),
+    unary_float_fn!("ceil", |x| x.ceil()),
+    unary_float_fn!("floor", |x| x.floor()),
+    Function {
+        name: "round",
+        min_args: 1,
+        max_args: 2,
+        ret: |args| {
+            want_numeric(args[0], "round")?;
+            if args.len() == 2 {
+                match args[1] {
+                    None | Some(DataType::Int) => {}
+                    Some(d) => {
+                        return Err(Error::Type(format!("round digits must be INT, got {d}")))
+                    }
+                }
+            }
+            Ok(Some(DataType::Float))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            let x = num(&args[0], "round")?;
+            let digits = if args.len() == 2 {
+                args[1]
+                    .as_int()
+                    .ok_or_else(|| Error::Type("round digits must be INT".into()))?
+            } else {
+                0
+            };
+            let factor = 10f64.powi(digits as i32);
+            Ok(Value::Float((x * factor).round() / factor))
+        },
+    },
+    Function {
+        name: "power",
+        min_args: 2,
+        max_args: 2,
+        ret: |args| {
+            want_numeric(args[0], "power")?;
+            want_numeric(args[1], "power")?;
+            Ok(Some(DataType::Float))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Float(
+                num(&args[0], "power")?.powf(num(&args[1], "power")?),
+            ))
+        },
+    },
+    unary_string_fn!("lower", |s| s.to_lowercase()),
+    unary_string_fn!("upper", |s| s.to_uppercase()),
+    unary_string_fn!("trim", |s| s.trim().to_string()),
+    Function {
+        name: "length",
+        min_args: 1,
+        max_args: 1,
+        ret: |args| {
+            want_str(args[0], "length")?;
+            Ok(Some(DataType::Int))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Int(text(&args[0], "length")?.chars().count() as i64))
+        },
+    },
+    Function {
+        // substr(s, start_1_based, len) — start may be negative (from end).
+        name: "substr",
+        min_args: 2,
+        max_args: 3,
+        ret: |args| {
+            want_str(args[0], "substr")?;
+            want_numeric(args[1], "substr")?;
+            if args.len() == 3 {
+                want_numeric(args[2], "substr")?;
+            }
+            Ok(Some(DataType::Str))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            let s: Vec<char> = text(&args[0], "substr")?.chars().collect();
+            let start = args[1]
+                .as_int()
+                .ok_or_else(|| Error::Type("substr start must be INT".into()))?;
+            let from = if start > 0 {
+                (start - 1) as usize
+            } else if start < 0 {
+                s.len().saturating_sub(start.unsigned_abs() as usize)
+            } else {
+                0
+            };
+            let len = if args.len() == 3 {
+                args[2]
+                    .as_int()
+                    .ok_or_else(|| Error::Type("substr len must be INT".into()))?
+                    .max(0) as usize
+            } else {
+                usize::MAX
+            };
+            let out: String = s.iter().skip(from).take(len).collect();
+            Ok(Value::from(out))
+        },
+    },
+    Function {
+        name: "concat",
+        min_args: 1,
+        max_args: usize::MAX,
+        ret: |args| {
+            for a in args {
+                want_str(*a, "concat")?;
+            }
+            Ok(Some(DataType::Str))
+        },
+        call: |args| {
+            // concat skips NULLs (SQL CONCAT semantics, not ||).
+            let mut out = String::new();
+            for a in args {
+                if let Value::Str(s) = a {
+                    out.push_str(s);
+                } else if !a.is_null() {
+                    return Err(Error::Type(format!("concat: expected string, got {a}")));
+                }
+            }
+            Ok(Value::from(out))
+        },
+    },
+    Function {
+        name: "replace",
+        min_args: 3,
+        max_args: 3,
+        ret: |args| {
+            for a in args {
+                want_str(*a, "replace")?;
+            }
+            Ok(Some(DataType::Str))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::from(text(&args[0], "replace")?.replace(
+                text(&args[1], "replace")?,
+                text(&args[2], "replace")?,
+            )))
+        },
+    },
+    Function {
+        name: "contains",
+        min_args: 2,
+        max_args: 2,
+        ret: |args| {
+            want_str(args[0], "contains")?;
+            want_str(args[1], "contains")?;
+            Ok(Some(DataType::Bool))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(
+                text(&args[0], "contains")?.contains(text(&args[1], "contains")?),
+            ))
+        },
+    },
+    Function {
+        name: "starts_with",
+        min_args: 2,
+        max_args: 2,
+        ret: |args| {
+            want_str(args[0], "starts_with")?;
+            want_str(args[1], "starts_with")?;
+            Ok(Some(DataType::Bool))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(
+                text(&args[0], "starts_with")?.starts_with(text(&args[1], "starts_with")?),
+            ))
+        },
+    },
+    Function {
+        name: "ends_with",
+        min_args: 2,
+        max_args: 2,
+        ret: |args| {
+            want_str(args[0], "ends_with")?;
+            want_str(args[1], "ends_with")?;
+            Ok(Some(DataType::Bool))
+        },
+        call: |args| {
+            if any_null(args) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(
+                text(&args[0], "ends_with")?.ends_with(text(&args[1], "ends_with")?),
+            ))
+        },
+    },
+    Function {
+        // First non-null argument; all arguments must share a type.
+        name: "coalesce",
+        min_args: 1,
+        max_args: usize::MAX,
+        ret: |args| {
+            let mut ty: Option<DataType> = None;
+            for a in args {
+                match (ty, a) {
+                    (None, Some(d)) => ty = Some(*d),
+                    (Some(t), Some(d))
+                        if t != *d && !(t.is_numeric() && d.is_numeric()) =>
+                    {
+                        return Err(Error::Type(format!(
+                            "coalesce arguments disagree: {t} vs {d}"
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+            Ok(ty)
+        },
+        call: |args| {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        },
+    },
+    Function {
+        // Smallest non-null argument (SQL LEAST ignores nulls here).
+        name: "least",
+        min_args: 1,
+        max_args: usize::MAX,
+        ret: minmax_ret,
+        call: |args| {
+            Ok(args
+                .iter()
+                .filter(|v| !v.is_null())
+                .min()
+                .cloned()
+                .unwrap_or(Value::Null))
+        },
+    },
+    Function {
+        // Largest non-null argument.
+        name: "greatest",
+        min_args: 1,
+        max_args: usize::MAX,
+        ret: minmax_ret,
+        call: |args| {
+            Ok(args
+                .iter()
+                .filter(|v| !v.is_null())
+                .max()
+                .cloned()
+                .unwrap_or(Value::Null))
+        },
+    },
+];
+
+fn minmax_ret(args: ArgTypes) -> Result<Option<DataType>> {
+    let mut ty: Option<DataType> = None;
+    for a in args {
+        match (ty, a) {
+            (None, Some(d)) => ty = Some(*d),
+            (Some(t), Some(d)) if t != *d && !(t.is_numeric() && d.is_numeric()) => {
+                return Err(Error::Type(format!(
+                    "least/greatest arguments disagree: {t} vs {d}"
+                )))
+            }
+            _ => {}
+        }
+    }
+    Ok(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        (lookup(name).unwrap().call)(args).unwrap()
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("abs", &[Value::Int(-4)]), Value::Int(4));
+        assert_eq!(call("abs", &[Value::Float(-4.5)]), Value::Float(4.5));
+        assert_eq!(call("sqrt", &[Value::Int(9)]), Value::Float(3.0));
+        assert_eq!(call("sign", &[Value::Float(-0.5)]), Value::Int(-1));
+        assert_eq!(call("round", &[Value::Float(2.567), Value::Int(1)]), Value::Float(2.6));
+        assert_eq!(call("round", &[Value::Float(2.5)]), Value::Float(3.0));
+        assert_eq!(call("power", &[Value::Int(2), Value::Int(10)]), Value::Float(1024.0));
+        assert_eq!(call("floor", &[Value::Float(1.9)]), Value::Float(1.0));
+        assert_eq!(call("ceil", &[Value::Float(1.1)]), Value::Float(2.0));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("lower", &[Value::from("AbC")]), Value::from("abc"));
+        assert_eq!(call("upper", &[Value::from("AbC")]), Value::from("ABC"));
+        assert_eq!(call("length", &[Value::from("héllo")]), Value::Int(5));
+        assert_eq!(
+            call("substr", &[Value::from("hello"), Value::Int(2), Value::Int(3)]),
+            Value::from("ell")
+        );
+        assert_eq!(
+            call("substr", &[Value::from("hello"), Value::Int(-3)]),
+            Value::from("llo")
+        );
+        assert_eq!(
+            call("concat", &[Value::from("a"), Value::Null, Value::from("b")]),
+            Value::from("ab")
+        );
+        assert_eq!(
+            call("replace", &[Value::from("a-b-c"), Value::from("-"), Value::from("+")]),
+            Value::from("a+b+c")
+        );
+        assert_eq!(
+            call("contains", &[Value::from("haystack"), Value::from("st")]),
+            Value::Bool(true)
+        );
+        assert_eq!(call("trim", &[Value::from("  x ")]), Value::from("x"));
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(call("abs", &[Value::Null]), Value::Null);
+        assert_eq!(call("length", &[Value::Null]), Value::Null);
+        assert_eq!(
+            call("coalesce", &[Value::Null, Value::Int(3), Value::Int(9)]),
+            Value::Int(3)
+        );
+        assert_eq!(call("coalesce", &[Value::Null]), Value::Null);
+        assert_eq!(
+            call("least", &[Value::Null, Value::Int(3), Value::Int(1)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("greatest", &[Value::Int(3), Value::Null, Value::Int(9)]),
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn typing_rules() {
+        let f = lookup("sqrt").unwrap();
+        assert!((f.ret)(&[Some(DataType::Str)]).is_err());
+        assert_eq!((f.ret)(&[Some(DataType::Int)]).unwrap(), Some(DataType::Float));
+        let c = lookup("coalesce").unwrap();
+        assert!((c.ret)(&[Some(DataType::Int), Some(DataType::Str)]).is_err());
+        assert_eq!(
+            (c.ret)(&[None, Some(DataType::Str)]).unwrap(),
+            Some(DataType::Str)
+        );
+    }
+
+    #[test]
+    fn lookup_unknown_is_none() {
+        assert!(lookup("no_such_fn").is_none());
+        assert!(all_names().contains(&"substr"));
+    }
+}

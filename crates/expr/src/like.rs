@@ -1,0 +1,89 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! `%` matches any run of characters (including empty), `_` matches exactly
+//! one character. Matching is performed over Unicode scalar values with the
+//! classic greedy two-pointer algorithm — O(n·m) worst case, linear in
+//! practice — so no regex engine or per-call allocation is needed.
+
+/// Does `text` match the LIKE `pattern`?
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Position to backtrack to: index after the last '%', and the text
+    // index where that '%' started absorbing characters.
+    let mut star: Option<usize> = None;
+    let mut star_t = 0usize;
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_t = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            // Let the last '%' absorb one more character and retry.
+            pi = s + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    // Remaining pattern must be all '%'.
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_empty() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("", ""));
+        assert!(!like_match("a", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn percent_runs() {
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello world", "%world"));
+        assert!(like_match("hello world", "%o w%"));
+        assert!(like_match("abc", "%%%"));
+        assert!(like_match("mississippi", "%iss%ppi"));
+        assert!(!like_match("mississippi", "%iss%xppi"));
+    }
+
+    #[test]
+    fn underscores() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("caat", "c_t"));
+        assert!(like_match("cart", "c__t"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("ab", "___"));
+    }
+
+    #[test]
+    fn mixed_wildcards_backtracking() {
+        assert!(like_match("axbxcxd", "a%x%d"));
+        assert!(like_match("abxcd", "ab%_d"));
+        assert!(!like_match("abd", "ab%_d")); // '%' then '_' needs ≥1 char before d
+        assert!(like_match("a_b", "a_b"));
+    }
+
+    #[test]
+    fn unicode() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("日本語テキスト", "日本%スト"));
+        assert!(!like_match("日本", "日本_"));
+    }
+}

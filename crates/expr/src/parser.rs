@@ -1,0 +1,457 @@
+//! Recursive-descent parser for the expression grammar.
+
+use evdb_types::{Error, Result, TimestampMs, Value};
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parse one complete expression; trailing input is an error.
+///
+/// # Example
+///
+/// ```
+/// use evdb_expr::parse;
+/// use evdb_types::{DataType, Record, Schema, Value};
+///
+/// let expr = parse("sym = 'IBM' AND px > 100").unwrap();
+/// // Expressions are data: printing is lossless.
+/// assert_eq!(parse(&expr.to_string()).unwrap(), expr);
+///
+/// let schema = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+/// let bound = expr.bind_predicate(&schema).unwrap();
+/// let tick = Record::from_iter([Value::from("IBM"), Value::Float(101.5)]);
+/// assert!(bound.matches(&tick).unwrap());
+/// ```
+pub fn parse(src: &str) -> Result<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+/// A token-stream parser. Exposed (crate-internal visibility escape) so the
+/// CQL parser in `evdb-cq` can reuse expression parsing mid-statement.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Build a parser over pre-lexed tokens.
+    pub fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Current token.
+    pub fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// Advance and return the consumed token.
+    pub fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// If the current token is the keyword `kw` (case-insensitive), consume
+    /// it and return true.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().kind.keyword().as_deref() == Some(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the keyword `kw` or error.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.peek().offset,
+                format!("expected {kw}, found {:?}", self.peek().kind),
+            ))
+        }
+    }
+
+    /// If the current token equals `kind`, consume it and return true.
+    pub fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `kind` or error.
+    pub fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.peek().offset,
+                format!("expected {kind:?}, found {:?}", self.peek().kind),
+            ))
+        }
+    }
+
+    /// Consume an identifier or error.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(Error::parse(
+                self.peek().offset,
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Error unless the whole input has been consumed.
+    pub fn expect_eof(&mut self) -> Result<()> {
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            ref other => Err(Error::parse(
+                self.peek().offset,
+                format!("unexpected trailing input: {other:?}"),
+            )),
+        }
+    }
+
+    /// Entry point: parse a full boolean/arithmetic expression.
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+
+        // Comparison operators.
+        let cmp = match self.peek().kind {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::Ne => Some(BinaryOp::Ne),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::Le => Some(BinaryOp::Le),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::Ge => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(Error::parse(
+                self.peek().offset,
+                "expected BETWEEN, IN or LIKE after NOT",
+            ));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold negation into numeric literals for cleaner ASTs.
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Literal(Value::Int(n)) => Expr::Literal(Value::Int(-n)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        self.parse_primary()
+    }
+
+    /// `CASE [operand] WHEN w THEN t … [ELSE e] END` (the CASE keyword
+    /// is already consumed).
+    fn parse_case(&mut self) -> Result<Expr> {
+        let operand = if self.peek().kind.keyword().as_deref() == Some("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let w = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let t = self.parse_expr()?;
+            branches.push((w, t));
+        }
+        if branches.is_empty() {
+            return Err(Error::parse(
+                self.peek().offset,
+                "CASE needs at least one WHEN branch",
+            ));
+        }
+        let else_expr = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Int(n) => Ok(Expr::Literal(Value::Int(n))),
+            TokenKind::Float(f) => Ok(Expr::Literal(Value::Float(f))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::from(s))),
+            TokenKind::Timestamp(t) => Ok(Expr::Literal(Value::Timestamp(TimestampMs(t)))),
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                match name.to_ascii_uppercase().as_str() {
+                    "TRUE" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "FALSE" => return Ok(Expr::Literal(Value::Bool(false))),
+                    "NULL" => return Ok(Expr::Literal(Value::Null)),
+                    "CASE" => return self.parse_case(),
+                    _ => {}
+                }
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Ok(Expr::Func {
+                        name: name.to_ascii_lowercase(),
+                        args,
+                    })
+                } else {
+                    Ok(Expr::Field(name))
+                }
+            }
+            other => Err(Error::parse(
+                tok.offset,
+                format!("unexpected token {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(rt("1 + 2 * 3"), "1 + 2 * 3");
+        assert_eq!(rt("(1 + 2) * 3"), "(1 + 2) * 3");
+        assert_eq!(rt("a OR b AND c"), "a OR b AND c");
+        assert_eq!(rt("(a OR b) AND c"), "(a OR b) AND c");
+        assert_eq!(rt("NOT a AND b"), "NOT a AND b"); // NOT binds tighter than AND
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(rt("x between 1 and 5"), "x BETWEEN 1 AND 5");
+        assert_eq!(rt("x not in (1, 2)"), "x NOT IN (1, 2)");
+        assert_eq!(rt("s like 'a%'"), "s LIKE 'a%'");
+        assert_eq!(rt("s is not null"), "s IS NOT NULL");
+        assert_eq!(rt("NOT x = 1"), "NOT x = 1");
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(rt("true AND false"), "true AND false");
+        assert_eq!(rt("NULL is null"), "NULL IS NULL");
+        assert_eq!(rt("@42 > @41"), "@42 > @41");
+        assert_eq!(rt("-5"), "-5");
+        assert_eq!(rt("-x"), "-x");
+        assert_eq!(rt("- 5.5"), "-5.5");
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(rt("ABS(x - 1)"), "abs(x - 1)");
+        assert_eq!(rt("coalesce(a, b, 0)"), "coalesce(a, b, 0)");
+        assert_eq!(rt("now()"), "now()");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("1 +").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("x NOT 5").is_err());
+        assert!(parse("x in ()").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            rt("case when a > 1 then 'hi' else 'lo' end"),
+            "CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END"
+        );
+        assert_eq!(
+            rt("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END"),
+            "CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END"
+        );
+        // Nested CASE round-trips.
+        assert_eq!(
+            rt("CASE WHEN a THEN CASE WHEN b THEN 1 ELSE 2 END ELSE 3 END"),
+            "CASE WHEN a THEN CASE WHEN b THEN 1 ELSE 2 END ELSE 3 END"
+        );
+        assert!(parse("CASE END").is_err());
+        assert!(parse("CASE WHEN a THEN 1").is_err()); // missing END
+        assert!(parse("CASE x THEN 1 END").is_err());
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        for src in [
+            "a AND (b OR NOT c)",
+            "price * 1.05 >= limit_px",
+            "sym IN ('A', 'B') AND qty BETWEEN 10 AND 100",
+            "substr(name, 1, 3) = 'Bob' OR name IS NULL",
+            "x % 2 = 0 AND -y < 3",
+            "CASE grade WHEN 1 THEN 'a' ELSE upper(x) END LIKE 'A%'",
+        ] {
+            let once = rt(src);
+            let twice = rt(&once);
+            assert_eq!(once, twice, "unstable round trip for {src}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Lexer for the expression language (and reused by the CQL front-end).
+
+use evdb_types::{Error, Result};
+
+/// A lexical token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the first character, for error reporting.
+    pub offset: usize,
+    /// The token kind/payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Timestamp literal `@123`.
+    Timestamp(i64),
+    /// Identifier or keyword (original case preserved).
+    Ident(String),
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[` (CQL window clauses)
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.` (used by CQL for qualified names)
+    Dot,
+    /// `;` (CQL statement terminator)
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// If this token is an identifier, return it uppercased for keyword
+    /// comparison.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            TokenKind::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize `src` fully. Errors carry the byte offset of the offending
+/// character.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                tokens.push(Token { offset: i, kind: TokenKind::LParen });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { offset: i, kind: TokenKind::RParen });
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token { offset: i, kind: TokenKind::LBracket });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token { offset: i, kind: TokenKind::RBracket });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Comma });
+                i += 1;
+            }
+            b'.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
+                tokens.push(Token { offset: i, kind: TokenKind::Dot });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Semi });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Plus });
+                i += 1;
+            }
+            b'-' => {
+                // `--` starts a comment to end of line.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token { offset: i, kind: TokenKind::Minus });
+                    i += 1;
+                }
+            }
+            b'*' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Star });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Slash });
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Percent });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { offset: i, kind: TokenKind::Eq });
+                i += 1;
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { offset: i, kind: TokenKind::Ne });
+                    i += 2;
+                } else {
+                    return Err(Error::parse(i, "expected '=' after '!'"));
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { offset: i, kind: TokenKind::Le });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { offset: i, kind: TokenKind::Ne });
+                    i += 2;
+                } else {
+                    tokens.push(Token { offset: i, kind: TokenKind::Lt });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { offset: i, kind: TokenKind::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { offset: i, kind: TokenKind::Gt });
+                    i += 1;
+                }
+            }
+            b'@' => {
+                let start = i;
+                i += 1;
+                let num_start = i;
+                if i < bytes.len() && bytes[i] == b'-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == num_start {
+                    return Err(Error::parse(start, "expected digits after '@'"));
+                }
+                let n: i64 = src[num_start..i]
+                    .parse()
+                    .map_err(|_| Error::parse(start, "timestamp literal out of range"))?;
+                tokens.push(Token { offset: start, kind: TokenKind::Timestamp(n) });
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::parse(start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Copy a full UTF-8 scalar.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&src[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token { offset: start, kind: TokenKind::Str(s) });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| Error::parse(start, "bad float literal"))?;
+                    tokens.push(Token { offset: start, kind: TokenKind::Float(f) });
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(n) => tokens.push(Token { offset: start, kind: TokenKind::Int(n) }),
+                        Err(_) => {
+                            let f: f64 = text
+                                .parse()
+                                .map_err(|_| Error::parse(start, "bad numeric literal"))?;
+                            tokens.push(Token { offset: start, kind: TokenKind::Float(f) });
+                        }
+                    }
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                });
+            }
+            other => {
+                return Err(Error::parse(
+                    i,
+                    format!("unexpected character '{}'", other as char),
+                ));
+            }
+        }
+    }
+    tokens.push(Token { offset: src.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        assert_eq!(
+            kinds("a >= 1.5 + 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Float(1.5),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2E-2")[0], TokenKind::Float(0.02));
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(kinds("a != b")[1], TokenKind::Ne);
+        assert_eq!(kinds("a <> b")[1], TokenKind::Ne);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(kinds("'o''brien'")[0], TokenKind::Str("o'brien".into()));
+        assert_eq!(kinds("'héllo→'")[0], TokenKind::Str("héllo→".into()));
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn timestamps_and_comments() {
+        assert_eq!(kinds("@42")[0], TokenKind::Timestamp(42));
+        assert_eq!(kinds("@-5")[0], TokenKind::Timestamp(-5));
+        assert_eq!(
+            kinds("a -- trailing comment\n+ b").len(),
+            4 // a, +, b, eof
+        );
+        assert!(tokenize("@x").is_err());
+    }
+
+    #[test]
+    fn offsets_reported() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+        let err = tokenize("a ~ b").unwrap_err();
+        assert!(err.to_string().contains("byte 2"));
+    }
+
+    #[test]
+    fn big_integer_falls_back_to_float() {
+        match &kinds("99999999999999999999")[0] {
+            TokenKind::Float(f) => assert!(*f > 9.9e19 && *f < 1.01e20),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+}

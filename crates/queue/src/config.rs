@@ -1,0 +1,75 @@
+//! Queue configuration.
+
+/// Per-queue delivery configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// How long a dequeued-but-unacked message stays invisible before it
+    /// becomes redeliverable (milliseconds).
+    pub visibility_timeout_ms: i64,
+    /// Delivery attempts per group before the message is dead-lettered.
+    pub max_attempts: u32,
+    /// Priority assigned when the producer does not specify one. Higher
+    /// delivers first; ties break by enqueue order (FIFO).
+    pub default_priority: i64,
+    /// Messages older than this are eligible for [`purge_expired`]
+    /// regardless of delivery state (milliseconds; `i64::MAX` = keep
+    /// forever).
+    ///
+    /// [`purge_expired`]: crate::QueueManager::purge_expired
+    pub retention_ms: i64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            visibility_timeout_ms: 30_000,
+            max_attempts: 5,
+            default_priority: 0,
+            retention_ms: i64::MAX,
+        }
+    }
+}
+
+impl QueueConfig {
+    /// Builder-style: set the visibility timeout.
+    pub fn visibility_timeout(mut self, ms: i64) -> Self {
+        self.visibility_timeout_ms = ms;
+        self
+    }
+
+    /// Builder-style: set max delivery attempts.
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Builder-style: set the default priority.
+    pub fn default_priority(mut self, p: i64) -> Self {
+        self.default_priority = p;
+        self
+    }
+
+    /// Builder-style: set the retention window.
+    pub fn retention(mut self, ms: i64) -> Self {
+        self.retention_ms = ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = QueueConfig::default()
+            .visibility_timeout(1_000)
+            .max_attempts(2)
+            .default_priority(7)
+            .retention(60_000);
+        assert_eq!(c.visibility_timeout_ms, 1_000);
+        assert_eq!(c.max_attempts, 2);
+        assert_eq!(c.default_priority, 7);
+        assert_eq!(c.retention_ms, 60_000);
+    }
+}

@@ -1,0 +1,42 @@
+//! # evdb-queue
+//!
+//! Message storage / staging areas (Chandy & Gawlick §2.2.b), built *on*
+//! the storage engine so messages inherit the database's operational
+//! characteristics — recoverability through the journal, transactional
+//! enqueue/dequeue, auditability — exactly the argument the tutorial makes
+//! for databases as message stores.
+//!
+//! Model:
+//!
+//! * A **queue** has a payload schema and configuration (visibility
+//!   timeout, max delivery attempts, default priority).
+//! * **Consumer groups** subscribe to a queue; every message is delivered
+//!   independently to each group (publish/subscribe-style fan-out at the
+//!   storage level). Within a group, a message is delivered to one
+//!   consumer at a time, guarded by a visibility timeout.
+//! * Message lifecycle per group: `Ready → InFlight → Acked`, with
+//!   `Nack`/timeout returning it to `Ready` until `max_attempts`, after
+//!   which it moves to the queue's **dead-letter queue**.
+//! * A message's storage is reclaimed once every group has terminally
+//!   processed it (acked or dead-lettered).
+//!
+//! Everything — queue catalog, messages, per-group delivery state, dead
+//! letters — lives in ordinary database tables, so a crash-recovered
+//! database resumes delivery where it stopped.
+//!
+//! Two enqueue paths exist deliberately (DESIGN.md D2, experiment E7):
+//! [`QueueManager::enqueue`] is the *client* path ("extended INSERT
+//! interface"): it validates the payload against the queue schema and
+//! runs its own transaction. [`QueueManager::enqueue_internal`] is the
+//! *engine* path for internally created messages (trigger actions, rule
+//! consequences): it trusts its caller, skips validation and joins an
+//! already-open transaction — the "significant opportunities for
+//! optimization" of §2.2.b.i.3.
+
+pub mod config;
+pub mod manager;
+pub mod message;
+
+pub use config::QueueConfig;
+pub use manager::{QueueManager, QueueStats};
+pub use message::{Delivery, Message};

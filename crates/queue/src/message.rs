@@ -1,0 +1,59 @@
+//! Messages and delivery receipts.
+
+use evdb_types::{Record, TimestampMs};
+
+/// A message as stored in (and read back from) a queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Queue-manager-wide unique id; also the FIFO tiebreaker.
+    pub id: u64,
+    /// Queue the message lives in.
+    pub queue: String,
+    /// Typed payload (conforms to the queue's schema).
+    pub payload: Record,
+    /// When the message was enqueued.
+    pub enqueued_at: TimestampMs,
+    /// Delivery priority (higher first).
+    pub priority: i64,
+    /// Producer-supplied origin label (client id, trigger name, node…).
+    pub source: String,
+}
+
+/// A dequeued message plus the bookkeeping needed to ack or nack it.
+///
+/// Dropping a `Delivery` without acking is safe: the visibility timeout
+/// returns the message to `Ready` for the group.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The message.
+    pub message: Message,
+    /// The consumer group this delivery belongs to.
+    pub group: String,
+    /// Which delivery attempt this is (1-based).
+    pub attempt: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_types::Value;
+
+    #[test]
+    fn message_shape() {
+        let m = Message {
+            id: 1,
+            queue: "q".into(),
+            payload: Record::from_iter([Value::Int(1)]),
+            enqueued_at: TimestampMs(5),
+            priority: 0,
+            source: "test".into(),
+        };
+        let d = Delivery {
+            message: m.clone(),
+            group: "g".into(),
+            attempt: 1,
+        };
+        assert_eq!(d.message, m);
+        assert_eq!(d.attempt, 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Topic-based publish/subscribe with predicate subscriptions, plus the
+//! tutorial's **subscribe-to-publish** extension (§2.2.c.i.1).
+//!
+//! * Consumers **subscribe** to a topic with a predicate ("expressions as
+//!   data"); publishing a record delivers it to every subscriber whose
+//!   predicate matches — evaluated by an [`IndexedMatcher`] so large
+//!   subscriber populations stay fast.
+//! * Producers may **register** on a topic to be told when subscriptions
+//!   appear or disappear — the subscribe-to-publish pattern: a data source
+//!   only starts producing once someone cares.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use evdb_expr::Expr;
+use evdb_types::{Error, Record, Result, Schema};
+use parking_lot::RwLock;
+
+use crate::indexed::IndexedMatcher;
+use crate::matcher::Matcher;
+use crate::rule::{Rule, RuleId};
+
+/// Description of a subscription, as shown to publishers.
+#[derive(Debug, Clone)]
+pub struct SubscriptionInfo {
+    /// Subscription id (rule id in the topic's matcher).
+    pub id: RuleId,
+    /// Subscriber name.
+    pub subscriber: String,
+    /// Predicate text.
+    pub predicate: String,
+}
+
+/// Callback invoked when interest in a topic changes.
+/// Arguments: the subscription, and `true` for subscribe / `false` for
+/// unsubscribe.
+pub type InterestCallback = Arc<dyn Fn(&SubscriptionInfo, bool) + Send + Sync>;
+
+/// The result of publishing one record.
+#[derive(Debug, Clone)]
+pub struct Publication {
+    /// Names of subscribers whose predicates matched (sorted, deduped —
+    /// a subscriber with several matching subscriptions is notified once).
+    pub matched_subscribers: Vec<String>,
+    /// Ids of the matching subscriptions.
+    pub matched_subscriptions: Vec<RuleId>,
+}
+
+struct Topic {
+    schema: Arc<Schema>,
+    matcher: IndexedMatcher,
+    subs: HashMap<RuleId, SubscriptionInfo>,
+    publishers: Vec<(String, InterestCallback)>,
+    next_id: RuleId,
+}
+
+/// A multi-topic broker.
+#[derive(Default)]
+pub struct Broker {
+    topics: RwLock<HashMap<String, Topic>>,
+}
+
+impl Broker {
+    /// Empty broker.
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Create a topic carrying records of `schema`.
+    pub fn create_topic(&self, name: &str, schema: Arc<Schema>) -> Result<()> {
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("topic '{name}'")));
+        }
+        topics.insert(
+            name.to_string(),
+            Topic {
+                matcher: IndexedMatcher::new(Arc::clone(&schema)),
+                schema,
+                subs: HashMap::new(),
+                publishers: Vec::new(),
+                next_id: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Topic names.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.topics.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Schema of a topic.
+    pub fn topic_schema(&self, topic: &str) -> Result<Arc<Schema>> {
+        let topics = self.topics.read();
+        topics
+            .get(topic)
+            .map(|t| Arc::clone(&t.schema))
+            .ok_or_else(|| Error::NotFound(format!("topic '{topic}'")))
+    }
+
+    /// Subscribe `subscriber` to `topic` with a predicate. Returns the
+    /// subscription id. Registered publishers are told interest appeared.
+    pub fn subscribe(&self, topic: &str, subscriber: &str, predicate: Expr) -> Result<RuleId> {
+        let mut topics = self.topics.write();
+        let t = topics
+            .get_mut(topic)
+            .ok_or_else(|| Error::NotFound(format!("topic '{topic}'")))?;
+        let id = t.next_id;
+        t.matcher
+            .add_rule(Rule::new(id, subscriber, predicate.clone()))?;
+        t.next_id += 1;
+        let info = SubscriptionInfo {
+            id,
+            subscriber: subscriber.to_string(),
+            predicate: predicate.to_string(),
+        };
+        t.subs.insert(id, info.clone());
+        for (_, cb) in &t.publishers {
+            cb(&info, true);
+        }
+        Ok(id)
+    }
+
+    /// Cancel a subscription. Publishers are told interest disappeared.
+    pub fn unsubscribe(&self, topic: &str, id: RuleId) -> Result<()> {
+        let mut topics = self.topics.write();
+        let t = topics
+            .get_mut(topic)
+            .ok_or_else(|| Error::NotFound(format!("topic '{topic}'")))?;
+        let info = t
+            .subs
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(format!("subscription {id}")))?;
+        t.matcher.remove_rule(id)?;
+        for (_, cb) in &t.publishers {
+            cb(&info, false);
+        }
+        Ok(())
+    }
+
+    /// Register a publisher on a topic (subscribe-to-publish). The
+    /// callback fires immediately for every existing subscription, then on
+    /// each later subscribe/unsubscribe.
+    pub fn register_publisher(
+        &self,
+        topic: &str,
+        publisher: &str,
+        on_interest: InterestCallback,
+    ) -> Result<()> {
+        let mut topics = self.topics.write();
+        let t = topics
+            .get_mut(topic)
+            .ok_or_else(|| Error::NotFound(format!("topic '{topic}'")))?;
+        let mut infos: Vec<&SubscriptionInfo> = t.subs.values().collect();
+        infos.sort_by_key(|i| i.id);
+        for info in infos {
+            on_interest(info, true);
+        }
+        t.publishers.push((publisher.to_string(), on_interest));
+        Ok(())
+    }
+
+    /// Number of live subscriptions on a topic.
+    pub fn subscription_count(&self, topic: &str) -> Result<usize> {
+        let topics = self.topics.read();
+        topics
+            .get(topic)
+            .map(|t| t.subs.len())
+            .ok_or_else(|| Error::NotFound(format!("topic '{topic}'")))
+    }
+
+    /// Publish a record; returns which subscribers matched. The record is
+    /// validated against the topic schema (the broker is a trust
+    /// boundary — this is the paper's "rules service evaluating external
+    /// data", §2.2.c.ii).
+    pub fn publish(&self, topic: &str, record: &Record) -> Result<Publication> {
+        let topics = self.topics.read();
+        let t = topics
+            .get(topic)
+            .ok_or_else(|| Error::NotFound(format!("topic '{topic}'")))?;
+        t.schema.validate(record)?;
+        let ids = t.matcher.match_record(record)?;
+        let mut names: Vec<String> = ids
+            .iter()
+            .filter_map(|id| t.subs.get(id).map(|s| s.subscriber.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        Ok(Publication {
+            matched_subscribers: names,
+            matched_subscriptions: ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::{DataType, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn broker() -> Broker {
+        let b = Broker::new();
+        b.create_topic(
+            "ticks",
+            Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]),
+        )
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn predicate_routing() {
+        let b = broker();
+        b.subscribe("ticks", "alice", parse("sym = 'IBM'").unwrap())
+            .unwrap();
+        b.subscribe("ticks", "bob", parse("px > 100").unwrap()).unwrap();
+        b.subscribe("ticks", "alice", parse("px > 1000").unwrap())
+            .unwrap();
+
+        let p = b
+            .publish(
+                "ticks",
+                &Record::from_iter([Value::from("IBM"), Value::Float(150.0)]),
+            )
+            .unwrap();
+        assert_eq!(p.matched_subscribers, vec!["alice", "bob"]);
+        assert_eq!(p.matched_subscriptions.len(), 2);
+
+        let p = b
+            .publish(
+                "ticks",
+                &Record::from_iter([Value::from("IBM"), Value::Float(2000.0)]),
+            )
+            .unwrap();
+        // alice matched twice but is notified once.
+        assert_eq!(p.matched_subscribers, vec!["alice", "bob"]);
+        assert_eq!(p.matched_subscriptions.len(), 3);
+    }
+
+    #[test]
+    fn publish_validates_schema() {
+        let b = broker();
+        assert!(b
+            .publish("ticks", &Record::from_iter([Value::Int(1)]))
+            .is_err());
+        assert!(b
+            .publish("ghost", &Record::from_iter([Value::Int(1)]))
+            .is_err());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let b = broker();
+        let id = b
+            .subscribe("ticks", "alice", parse("px > 0").unwrap())
+            .unwrap();
+        assert_eq!(b.subscription_count("ticks").unwrap(), 1);
+        b.unsubscribe("ticks", id).unwrap();
+        assert!(b.unsubscribe("ticks", id).is_err());
+        let p = b
+            .publish(
+                "ticks",
+                &Record::from_iter([Value::from("X"), Value::Float(1.0)]),
+            )
+            .unwrap();
+        assert!(p.matched_subscribers.is_empty());
+    }
+
+    #[test]
+    fn subscribe_to_publish_notifies_producers() {
+        let b = broker();
+        // Existing subscription before the publisher registers.
+        b.subscribe("ticks", "early", parse("px > 0").unwrap()).unwrap();
+
+        let interest = Arc::new(AtomicUsize::new(0));
+        let i2 = Arc::clone(&interest);
+        b.register_publisher(
+            "ticks",
+            "feed",
+            Arc::new(move |_info, up| {
+                if up {
+                    i2.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    i2.fetch_sub(1, Ordering::SeqCst);
+                }
+            }),
+        )
+        .unwrap();
+        assert_eq!(interest.load(Ordering::SeqCst), 1); // backfilled
+
+        let id = b.subscribe("ticks", "late", parse("px > 5").unwrap()).unwrap();
+        assert_eq!(interest.load(Ordering::SeqCst), 2);
+        b.unsubscribe("ticks", id).unwrap();
+        assert_eq!(interest.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let b = broker();
+        assert!(b
+            .create_topic("ticks", Schema::of(&[("x", DataType::Int)]))
+            .is_err());
+        assert_eq!(b.topic_names(), vec!["ticks".to_string()]);
+    }
+}

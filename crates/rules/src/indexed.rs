@@ -1,0 +1,487 @@
+//! The predicate-indexed matcher (DESIGN.md D1).
+//!
+//! Every rule is decomposed by [`evdb_expr::analyze`] into indexable
+//! constraints; the matcher then performs **access-path selection**: it
+//! indexes the rule under its *most selective* constraint —
+//!
+//! `Eq` (hash probe) ≻ `In` (one hash entry per value) ≻ two-sided
+//! `Range` ≻ one-sided `Range` (ordered stab probes) —
+//!
+//! and verifies the rule's **full predicate** on each candidate. A rule
+//! with no indexable constraint falls into an always-evaluate set.
+//!
+//! Matching one record therefore costs `O(probe + candidates)`:
+//! a record only pays for rules whose access constraint it satisfies,
+//! not for every rule (the scan baseline) nor for every satisfied
+//! constraint anywhere in the rule set (the counting algorithm, which
+//! degrades when rules carry wide range predicates). Updates touch only
+//! the changed rule's postings, which is what keeps frequently changing
+//! rule sets cheap (experiment E4).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use evdb_expr::{analyze, BoundExpr, Constraint};
+use evdb_types::{Error, Record, Result, Schema, Value};
+
+use crate::matcher::Matcher;
+use crate::rule::{Rule, RuleId};
+
+/// Where a rule's access posting lives, for removal.
+#[derive(Debug, Clone)]
+enum Posting {
+    Eq { field: usize, values: Vec<Value> },
+    LowBounded { field: usize, key: (Value, u64) },
+    HighOnly { field: usize, key: (Value, u64) },
+    Unindexed,
+}
+
+#[derive(Debug)]
+struct RuleMeta {
+    predicate: BoundExpr,
+    posting: Posting,
+}
+
+/// Entry in the low-keyed range structure.
+#[derive(Debug, Clone)]
+struct RangeEntry {
+    rule: RuleId,
+    low_inclusive: bool,
+    /// Upper bound for two-sided intervals.
+    high: Option<(Value, bool)>,
+}
+
+#[derive(Debug, Clone)]
+struct HighEntry {
+    rule: RuleId,
+    inclusive: bool,
+}
+
+#[derive(Debug, Default)]
+struct FieldIndex {
+    /// value → rules whose access constraint is equality with it.
+    eq: HashMap<Value, Vec<RuleId>>,
+    /// Access constraints with a lower bound, keyed by `(low, seq)`.
+    low_keyed: BTreeMap<(Value, u64), RangeEntry>,
+    /// Upper-bound-only access constraints, keyed by `(high, seq)`.
+    high_keyed: BTreeMap<(Value, u64), HighEntry>,
+}
+
+/// The scalable matcher.
+///
+/// # Example
+///
+/// ```
+/// use evdb_rules::{IndexedMatcher, Matcher, Rule};
+/// use evdb_types::{DataType, Record, Schema, Value};
+///
+/// let schema = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+/// let mut m = IndexedMatcher::new(schema);
+/// m.add_rule(Rule::new(1, "ibm-spike",
+///     evdb_expr::parse("sym = 'IBM' AND px > 100").unwrap())).unwrap();
+/// m.add_rule(Rule::new(2, "any-cheap",
+///     evdb_expr::parse("px < 5").unwrap())).unwrap();
+///
+/// let tick = Record::from_iter([Value::from("IBM"), Value::Float(150.0)]);
+/// assert_eq!(m.match_record(&tick).unwrap(), vec![1]);
+/// ```
+pub struct IndexedMatcher {
+    schema: Arc<Schema>,
+    fields: Vec<FieldIndex>,
+    rules: HashMap<RuleId, RuleMeta>,
+    /// Rules with no indexable access constraint.
+    unindexed: BTreeMap<RuleId, ()>,
+    seq: u64,
+}
+
+/// Selectivity rank of a constraint (higher = preferred access path).
+fn rank(c: &Constraint) -> u8 {
+    match c {
+        Constraint::Eq { .. } => 4,
+        Constraint::In { values, .. } if values.len() <= 8 => 3,
+        Constraint::Range { low: Some(_), high: Some(_), .. } => 2,
+        Constraint::Range { .. } => 1,
+        Constraint::In { .. } => 1,
+    }
+}
+
+impl IndexedMatcher {
+    /// Create a matcher for records of `schema`.
+    pub fn new(schema: Arc<Schema>) -> IndexedMatcher {
+        let nfields = schema.len();
+        IndexedMatcher {
+            schema,
+            fields: (0..nfields).map(|_| FieldIndex::default()).collect(),
+            rules: HashMap::new(),
+            unindexed: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// How many rules have an indexed access path.
+    pub fn fully_indexed_count(&self) -> usize {
+        self.rules.len() - self.unindexed.len()
+    }
+
+    /// How many rules fall back to always-evaluate.
+    pub fn unindexed_count(&self) -> usize {
+        self.unindexed.len()
+    }
+}
+
+impl Matcher for IndexedMatcher {
+    fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        if self.rules.contains_key(&rule.id) {
+            return Err(Error::AlreadyExists(format!("rule {}", rule.id)));
+        }
+        let predicate = rule.predicate.bind_predicate(&self.schema)?;
+        let form = analyze(&rule.predicate);
+
+        // Access-path selection: the highest-ranked constraint wins.
+        let access = form
+            .constraints
+            .iter()
+            .max_by_key(|c| rank(c))
+            .filter(|c| rank(c) > 0);
+
+        let posting = match access {
+            None => {
+                self.unindexed.insert(rule.id, ());
+                Posting::Unindexed
+            }
+            Some(c) => {
+                // bind_predicate validated all fields, so this exists.
+                let field = self
+                    .schema
+                    .index_of(c.field())
+                    .expect("constraint field exists");
+                match c {
+                    Constraint::Eq { value, .. } => {
+                        self.fields[field]
+                            .eq
+                            .entry(value.clone())
+                            .or_default()
+                            .push(rule.id);
+                        Posting::Eq {
+                            field,
+                            values: vec![value.clone()],
+                        }
+                    }
+                    Constraint::In { values, .. } => {
+                        for v in values {
+                            self.fields[field]
+                                .eq
+                                .entry(v.clone())
+                                .or_default()
+                                .push(rule.id);
+                        }
+                        Posting::Eq {
+                            field,
+                            values: values.clone(),
+                        }
+                    }
+                    Constraint::Range { low, high, .. } => {
+                        self.seq += 1;
+                        match (low, high) {
+                            (Some(lo), hi) => {
+                                let key = (lo.value.clone(), self.seq);
+                                self.fields[field].low_keyed.insert(
+                                    key.clone(),
+                                    RangeEntry {
+                                        rule: rule.id,
+                                        low_inclusive: lo.inclusive,
+                                        high: hi
+                                            .as_ref()
+                                            .map(|b| (b.value.clone(), b.inclusive)),
+                                    },
+                                );
+                                Posting::LowBounded { field, key }
+                            }
+                            (None, Some(hi)) => {
+                                let key = (hi.value.clone(), self.seq);
+                                self.fields[field].high_keyed.insert(
+                                    key.clone(),
+                                    HighEntry {
+                                        rule: rule.id,
+                                        inclusive: hi.inclusive,
+                                    },
+                                );
+                                Posting::HighOnly { field, key }
+                            }
+                            (None, None) => {
+                                unreachable!("analyze never emits unbounded ranges")
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        self.rules.insert(rule.id, RuleMeta { predicate, posting });
+        Ok(())
+    }
+
+    fn remove_rule(&mut self, id: RuleId) -> Result<()> {
+        let meta = self
+            .rules
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(format!("rule {id}")))?;
+        match meta.posting {
+            Posting::Unindexed => {
+                self.unindexed.remove(&id);
+            }
+            Posting::Eq { field, values } => {
+                for value in values {
+                    if let Some(v) = self.fields[field].eq.get_mut(&value) {
+                        v.retain(|r| *r != id);
+                        if v.is_empty() {
+                            self.fields[field].eq.remove(&value);
+                        }
+                    }
+                }
+            }
+            Posting::LowBounded { field, key } => {
+                self.fields[field].low_keyed.remove(&key);
+            }
+            Posting::HighOnly { field, key } => {
+                self.fields[field].high_keyed.remove(&key);
+            }
+        }
+        Ok(())
+    }
+
+    fn match_record(&self, record: &Record) -> Result<Vec<RuleId>> {
+        let mut candidates: Vec<RuleId> = Vec::new();
+
+        for (field_pos, fidx) in self.fields.iter().enumerate() {
+            let Some(v) = record.get(field_pos) else { continue };
+            if v.is_null() {
+                continue;
+            }
+            if let Some(rules) = fidx.eq.get(v) {
+                candidates.extend_from_slice(rules);
+            }
+            if !fidx.low_keyed.is_empty() {
+                let upper = (v.clone(), u64::MAX);
+                for ((low, _), entry) in fidx.low_keyed.range(..=upper) {
+                    let low_ok = match v.sql_cmp(low) {
+                        Some(std::cmp::Ordering::Greater) => true,
+                        Some(std::cmp::Ordering::Equal) => entry.low_inclusive,
+                        _ => false,
+                    };
+                    if !low_ok {
+                        continue;
+                    }
+                    let high_ok = match &entry.high {
+                        None => true,
+                        Some((h, inc)) => match v.sql_cmp(h) {
+                            Some(std::cmp::Ordering::Less) => true,
+                            Some(std::cmp::Ordering::Equal) => *inc,
+                            _ => false,
+                        },
+                    };
+                    if high_ok {
+                        candidates.push(entry.rule);
+                    }
+                }
+            }
+            if !fidx.high_keyed.is_empty() {
+                let lower = (v.clone(), 0u64);
+                for ((high, _), entry) in fidx.high_keyed.range(lower..) {
+                    let ok = match v.sql_cmp(high) {
+                        Some(std::cmp::Ordering::Less) => true,
+                        Some(std::cmp::Ordering::Equal) => entry.inclusive,
+                        _ => false,
+                    };
+                    if ok {
+                        candidates.push(entry.rule);
+                    }
+                }
+            }
+        }
+
+        // Verify full predicates on candidates (each candidate appears
+        // once: one access posting per rule, IN values are distinct).
+        let mut out = Vec::new();
+        for id in candidates {
+            let meta = &self.rules[&id];
+            if meta.predicate.matches(record)? {
+                out.push(id);
+            }
+        }
+        // Unindexed rules: evaluate outright.
+        for id in self.unindexed.keys() {
+            if self.rules[id].predicate.matches(record)? {
+                out.push(*id);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn len(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[
+            ("sym", DataType::Str),
+            ("px", DataType::Float),
+            ("qty", DataType::Int),
+        ])
+    }
+
+    fn rec(sym: &str, px: f64, qty: i64) -> Record {
+        Record::from_iter([Value::from(sym), Value::Float(px), Value::Int(qty)])
+    }
+
+    #[test]
+    fn equality_access_path_with_residual_verification() {
+        let mut m = IndexedMatcher::new(schema());
+        m.add_rule(Rule::new(1, "", parse("sym = 'IBM' AND px > 100").unwrap()))
+            .unwrap();
+        assert_eq!(m.match_record(&rec("IBM", 150.0, 1)).unwrap(), vec![1]);
+        assert!(m.match_record(&rec("IBM", 50.0, 1)).unwrap().is_empty());
+        assert!(m.match_record(&rec("X", 150.0, 1)).unwrap().is_empty());
+        assert_eq!(m.fully_indexed_count(), 1);
+    }
+
+    #[test]
+    fn ranges_one_and_two_sided() {
+        let mut m = IndexedMatcher::new(schema());
+        m.add_rule(Rule::new(1, "", parse("px > 100").unwrap())).unwrap();
+        m.add_rule(Rule::new(2, "", parse("px <= 100").unwrap())).unwrap();
+        m.add_rule(Rule::new(3, "", parse("px BETWEEN 50 AND 150").unwrap()))
+            .unwrap();
+        m.add_rule(Rule::new(4, "", parse("qty >= 10 AND qty < 20").unwrap()))
+            .unwrap();
+
+        assert_eq!(m.match_record(&rec("A", 100.0, 10)).unwrap(), vec![2, 3, 4]);
+        assert_eq!(m.match_record(&rec("A", 100.5, 20)).unwrap(), vec![1, 3]);
+        assert_eq!(m.match_record(&rec("A", 40.0, 5)).unwrap(), vec![2]);
+        assert_eq!(m.match_record(&rec("A", 160.0, 19)).unwrap(), vec![1, 4]);
+    }
+
+    #[test]
+    fn in_lists_and_residuals() {
+        let mut m = IndexedMatcher::new(schema());
+        m.add_rule(Rule::new(1, "", parse("sym IN ('A', 'B')").unwrap()))
+            .unwrap();
+        m.add_rule(Rule::new(
+            2,
+            "",
+            parse("sym = 'A' AND (px > 10 OR qty > 10)").unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(m.match_record(&rec("B", 1.0, 1)).unwrap(), vec![1]);
+        assert_eq!(m.match_record(&rec("A", 11.0, 1)).unwrap(), vec![1, 2]);
+        assert_eq!(m.match_record(&rec("A", 1.0, 1)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn access_path_prefers_equality_over_wide_range() {
+        let mut m = IndexedMatcher::new(schema());
+        // Equality should be the access path; the wide px range must not
+        // make this rule a candidate for every record.
+        m.add_rule(Rule::new(1, "", parse("px > 0 AND sym = 'RARE'").unwrap()))
+            .unwrap();
+        match &m.rules[&1].posting {
+            Posting::Eq { .. } => {}
+            other => panic!("expected Eq access path, got {other:?}"),
+        }
+        assert_eq!(m.match_record(&rec("RARE", 1.0, 1)).unwrap(), vec![1]);
+        assert!(m.match_record(&rec("COMMON", 1.0, 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unindexable_rules_still_match() {
+        let mut m = IndexedMatcher::new(schema());
+        m.add_rule(Rule::new(1, "", parse("length(sym) = 3").unwrap()))
+            .unwrap();
+        m.add_rule(Rule::new(2, "", parse("px * 2 > qty").unwrap()))
+            .unwrap();
+        assert_eq!(m.unindexed_count(), 2);
+        assert_eq!(m.match_record(&rec("IBM", 10.0, 5)).unwrap(), vec![1, 2]);
+        assert_eq!(
+            m.match_record(&rec("IB", 1.0, 50)).unwrap(),
+            Vec::<RuleId>::new()
+        );
+    }
+
+    #[test]
+    fn removal_is_complete() {
+        let mut m = IndexedMatcher::new(schema());
+        m.add_rule(Rule::new(
+            1,
+            "",
+            parse("sym = 'A' AND px > 1 AND qty IN (1,2)").unwrap(),
+        ))
+        .unwrap();
+        m.add_rule(Rule::new(2, "", parse("sym = 'A'").unwrap())).unwrap();
+        assert_eq!(m.match_record(&rec("A", 2.0, 1)).unwrap(), vec![1, 2]);
+        m.remove_rule(1).unwrap();
+        assert_eq!(m.match_record(&rec("A", 2.0, 1)).unwrap(), vec![2]);
+        assert!(m.remove_rule(1).is_err());
+        m.update_rule(Rule::new(2, "", parse("sym = 'B'").unwrap()))
+            .unwrap();
+        assert!(m.match_record(&rec("A", 2.0, 1)).unwrap().is_empty());
+        assert_eq!(m.match_record(&rec("B", 2.0, 1)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn null_fields_never_match_indexed_constraints() {
+        let schema = evdb_types::Schema::new(vec![
+            evdb_types::FieldDef::nullable("sym", DataType::Str),
+            evdb_types::FieldDef::required("px", DataType::Float),
+        ])
+        .unwrap();
+        let mut m = IndexedMatcher::new(schema);
+        m.add_rule(Rule::new(1, "", parse("sym = 'A'").unwrap())).unwrap();
+        let r = Record::from_iter([Value::Null, Value::Float(1.0)]);
+        assert!(m.match_record(&r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn agrees_with_scan_on_random_rules() {
+        use crate::scan::ScanMatcher;
+        let schema = schema();
+        let mut idx = IndexedMatcher::new(Arc::clone(&schema));
+        let mut scan = ScanMatcher::new(Arc::clone(&schema));
+        let preds = [
+            "px > 50",
+            "px BETWEEN 10 AND 60",
+            "sym = 'S3'",
+            "sym IN ('S1', 'S5') AND px <= 30",
+            "qty = 7",
+            "qty >= 3 AND qty <= 9 AND sym = 'S2'",
+            "length(sym) = 2",
+            "px < 20 OR qty > 90",
+        ];
+        for (i, p) in preds.iter().enumerate() {
+            let r = Rule::new(i as u64, "", parse(p).unwrap());
+            idx.add_rule(r.clone()).unwrap();
+            scan.add_rule(r).unwrap();
+        }
+        let mut state = 42u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let sym = format!("S{}", state % 8);
+            let px = ((state >> 8) % 1000) as f64 / 10.0;
+            let qty = ((state >> 16) % 100) as i64;
+            let r = rec(&sym, px, qty);
+            assert_eq!(
+                idx.match_record(&r).unwrap(),
+                scan.match_record(&r).unwrap(),
+                "disagreement on {r}"
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # evdb-rules
+//!
+//! Rules technology (Chandy & Gawlick §2.2.c): predicates stored as data,
+//! evaluated against streams of records at scale.
+//!
+//! Two matchers implement the same [`Matcher`] contract:
+//!
+//! * [`ScanMatcher`] — the baseline: evaluate every rule on every record.
+//!   O(rules) per record; what a naive rules service does.
+//! * [`IndexedMatcher`] — the scalable design (DESIGN.md D1): each rule's
+//!   predicate is decomposed (via `evdb_expr::analyze`) into per-attribute
+//!   equality/range constraints, and the matcher performs **access-path
+//!   selection** — the rule is indexed under its most selective
+//!   constraint (equality ≻ small IN ≻ two-sided range ≻ one-sided
+//!   range) in per-attribute hash/ordered structures, and candidates are
+//!   verified against the full predicate. Cost per record is
+//!   `O(probes + candidates)`, not `O(rules)` — the property behind the
+//!   paper's "large rule sets" scalability claim (experiment E3) — and
+//!   updates touch only the changed rule's postings, covering the
+//!   "frequently changing rule sets" claim (experiment E4).
+//!
+//! On top of the matchers, [`broker`] provides topic-based
+//! publish/subscribe with predicate subscriptions and the tutorial's
+//! **subscribe-to-publish** pattern (publishers are told when interest in
+//! their topic appears, so they can start producing).
+
+pub mod broker;
+pub mod indexed;
+pub mod matcher;
+pub mod rule;
+pub mod scan;
+
+pub use broker::{Broker, Publication, SubscriptionInfo};
+pub use indexed::IndexedMatcher;
+pub use matcher::Matcher;
+pub use rule::{Rule, RuleId};
+pub use scan::ScanMatcher;

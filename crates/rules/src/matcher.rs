@@ -1,0 +1,35 @@
+//! The matcher contract shared by the scan baseline and the indexed
+//! design, so benchmarks and property tests can compare them head-to-head.
+
+use evdb_types::{Record, Result};
+
+use crate::rule::{Rule, RuleId};
+
+/// A set of rules matchable against records of one schema.
+pub trait Matcher: Send + Sync {
+    /// Add a rule. Fails if the id is taken or the predicate does not
+    /// type-check against the matcher's schema.
+    fn add_rule(&mut self, rule: Rule) -> Result<()>;
+
+    /// Remove a rule by id. Fails if absent.
+    fn remove_rule(&mut self, id: RuleId) -> Result<()>;
+
+    /// Replace a rule's predicate (remove + add, atomically from the
+    /// caller's perspective).
+    fn update_rule(&mut self, rule: Rule) -> Result<()> {
+        self.remove_rule(rule.id)?;
+        self.add_rule(rule)
+    }
+
+    /// Ids of all rules whose predicate is TRUE for the record,
+    /// in ascending id order (deterministic for tests and dedup).
+    fn match_record(&self, record: &Record) -> Result<Vec<RuleId>>;
+
+    /// Number of rules.
+    fn len(&self) -> usize;
+
+    /// True when no rules are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,47 @@
+//! Rules: named, stored predicates.
+
+use evdb_expr::Expr;
+
+/// Identifier of a rule within one matcher/broker.
+pub type RuleId = u64;
+
+/// A rule: a predicate over one event schema, stored as data.
+///
+/// The rules engine is deliberately *action-free*: matching returns rule
+/// ids and the embedding layer (the core engine's evaluation pipeline, or
+/// the broker's subscriptions) decides what a match means — enqueue a
+/// message, invoke a handler, forward to a node. This keeps the matcher
+/// benchmarkable in isolation.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Unique id.
+    pub id: RuleId,
+    /// Human-readable name (audit trail, diagnostics).
+    pub name: String,
+    /// The predicate (parseable/printable — "expressions as data").
+    pub predicate: Expr,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(id: RuleId, name: impl Into<String>, predicate: Expr) -> Rule {
+        Rule {
+            id,
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+
+    #[test]
+    fn rule_round_trips_its_predicate_text() {
+        let r = Rule::new(1, "hot", parse("temp > 100 AND site = 'A'").unwrap());
+        let text = r.predicate.to_string();
+        assert_eq!(parse(&text).unwrap(), r.predicate);
+    }
+}

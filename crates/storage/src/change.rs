@@ -1,0 +1,98 @@
+//! Change events: the common currency of all three capture mechanisms.
+//!
+//! Whether a row change is observed synchronously by a trigger, mined from
+//! the journal, or inferred by diffing query snapshots, it surfaces as the
+//! same [`ChangeEvent`], so everything downstream (rule matching,
+//! continuous queries, analytics) is capture-agnostic — exactly the
+//! layering the tutorial's §2.2.a implies.
+
+use std::sync::Arc;
+
+use evdb_types::{Record, Schema, TimestampMs, Value};
+
+/// What happened to the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    /// Row inserted.
+    Insert,
+    /// Row updated in place (primary key unchanged).
+    Update,
+    /// Row deleted.
+    Delete,
+}
+
+impl ChangeKind {
+    /// Lowercase name used in audit records and event payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChangeKind::Insert => "insert",
+            ChangeKind::Update => "update",
+            ChangeKind::Delete => "delete",
+        }
+    }
+}
+
+/// One observed row change.
+#[derive(Debug, Clone)]
+pub struct ChangeEvent {
+    /// Table the change happened in.
+    pub table: Arc<str>,
+    /// Insert/update/delete.
+    pub kind: ChangeKind,
+    /// Primary-key value of the affected row.
+    pub key: Value,
+    /// Row image before the change (`None` for inserts).
+    pub before: Option<Record>,
+    /// Row image after the change (`None` for deletes).
+    pub after: Option<Record>,
+    /// Transaction that made the change.
+    pub txid: u64,
+    /// Log sequence number — set when the event was mined from the
+    /// journal, `None` for synchronous trigger/snapshot capture.
+    pub lsn: Option<u64>,
+    /// When the change was made (engine clock).
+    pub timestamp: TimestampMs,
+    /// Schema of the row images.
+    pub schema: Arc<Schema>,
+}
+
+impl ChangeEvent {
+    /// The most recent row image: `after` if present, else `before`.
+    /// This is the record trigger WHEN-clauses and rule predicates see.
+    pub fn row(&self) -> &Record {
+        self.after
+            .as_ref()
+            .or(self.before.as_ref())
+            .expect("change event must carry at least one row image")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_types::DataType;
+
+    #[test]
+    fn row_prefers_after_image() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let mk = |before: Option<Record>, after: Option<Record>| ChangeEvent {
+            table: Arc::from("t"),
+            kind: ChangeKind::Update,
+            key: Value::Int(1),
+            before,
+            after,
+            txid: 1,
+            lsn: None,
+            timestamp: TimestampMs(0),
+            schema: Arc::clone(&schema),
+        };
+        let e = mk(
+            Some(Record::from_iter([1i64])),
+            Some(Record::from_iter([2i64])),
+        );
+        assert_eq!(e.row().get(0), Some(&Value::Int(2)));
+        let e = mk(Some(Record::from_iter([1i64])), None);
+        assert_eq!(e.row().get(0), Some(&Value::Int(1)));
+        assert_eq!(ChangeKind::Delete.name(), "delete");
+    }
+}

@@ -1,0 +1,307 @@
+//! Binary encoding of values, records and schemas.
+//!
+//! One compact, versioned-by-tag format shared by the WAL, checkpoints and
+//! the queue layer's message payloads. Layout is little-endian throughout:
+//!
+//! ```text
+//! value   := tag:u8 body
+//!   0x00 NULL            (no body)
+//!   0x01 BOOL            u8
+//!   0x02 INT             i64
+//!   0x03 FLOAT           f64 bits
+//!   0x04 STR             u32 len + utf8 bytes
+//!   0x05 BYTES           u32 len + bytes
+//!   0x06 TIMESTAMP       i64
+//! record  := u16 count + values
+//! schema  := u16 count + fields;  field := str name, u8 dtype, u8 nullable
+//! ```
+
+use std::sync::Arc;
+
+use evdb_types::{DataType, Error, FieldDef, Record, Result, Schema, TimestampMs, Value};
+
+/// Append a `u16` LE.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32` LE.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` LE.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i64` LE.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over encoded bytes with corruption-reporting reads.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Corruption(format!(
+                "encoded data truncated: wanted {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16` LE.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32` LE.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` LE.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64` LE.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corruption("invalid utf8 in encoded string".into()))
+    }
+}
+
+/// Encode one value.
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0x00),
+        Value::Bool(b) => {
+            buf.push(0x01);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(0x02);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            buf.push(0x03);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(0x04);
+            put_str(buf, s);
+        }
+        Value::Bytes(b) => {
+            buf.push(0x05);
+            put_u32(buf, b.len() as u32);
+            buf.extend_from_slice(b);
+        }
+        Value::Timestamp(t) => {
+            buf.push(0x06);
+            put_i64(buf, t.0);
+        }
+    }
+}
+
+/// Decode one value.
+pub fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    match r.u8()? {
+        0x00 => Ok(Value::Null),
+        0x01 => Ok(Value::Bool(r.u8()? != 0)),
+        0x02 => Ok(Value::Int(r.i64()?)),
+        0x03 => Ok(Value::Float(f64::from_bits(r.u64()?))),
+        0x04 => Ok(Value::from(r.str()?)),
+        0x05 => {
+            let n = r.u32()? as usize;
+            Ok(Value::bytes(r.take(n)?.to_vec()))
+        }
+        0x06 => Ok(Value::Timestamp(TimestampMs(r.i64()?))),
+        tag => Err(Error::Corruption(format!("unknown value tag {tag:#x}"))),
+    }
+}
+
+/// Encode a record.
+pub fn encode_record(buf: &mut Vec<u8>, rec: &Record) {
+    put_u16(buf, rec.len() as u16);
+    for v in rec.values() {
+        encode_value(buf, v);
+    }
+}
+
+/// Decode a record.
+pub fn decode_record(r: &mut Reader<'_>) -> Result<Record> {
+    let n = r.u16()? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(decode_value(r)?);
+    }
+    Ok(Record::new(values))
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Bool => 1,
+        DataType::Int => 2,
+        DataType::Float => 3,
+        DataType::Str => 4,
+        DataType::Bytes => 5,
+        DataType::Timestamp => 6,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<DataType> {
+    Ok(match t {
+        1 => DataType::Bool,
+        2 => DataType::Int,
+        3 => DataType::Float,
+        4 => DataType::Str,
+        5 => DataType::Bytes,
+        6 => DataType::Timestamp,
+        _ => return Err(Error::Corruption(format!("unknown dtype tag {t}"))),
+    })
+}
+
+/// Encode a schema.
+pub fn encode_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    put_u16(buf, schema.len() as u16);
+    for f in schema.fields() {
+        put_str(buf, &f.name);
+        buf.push(dtype_tag(f.dtype));
+        buf.push(f.nullable as u8);
+    }
+}
+
+/// Decode a schema.
+pub fn decode_schema(r: &mut Reader<'_>) -> Result<Arc<Schema>> {
+    let n = r.u16()? as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let dtype = dtype_from_tag(r.u8()?)?;
+        let nullable = r.u8()? != 0;
+        fields.push(FieldDef {
+            name,
+            dtype,
+            nullable,
+        });
+    }
+    Schema::new(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &v);
+        let mut r = Reader::new(&buf);
+        let back = decode_value(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_round_trips() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Int(i64::MIN));
+        roundtrip_value(Value::Float(-0.0));
+        roundtrip_value(Value::Float(f64::INFINITY));
+        roundtrip_value(Value::from("héllo 'quotes'"));
+        roundtrip_value(Value::bytes(vec![0u8, 255, 128]));
+        roundtrip_value(Value::Timestamp(TimestampMs(-5)));
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Float(f64::NAN));
+        let mut r = Reader::new(&buf);
+        match decode_value(&mut r).unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let rec = Record::from_iter([Value::Int(1), Value::from("x"), Value::Null]);
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &rec);
+        let back = decode_record(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::new(vec![
+            FieldDef::required("id", DataType::Int),
+            FieldDef::nullable("note", DataType::Str),
+            FieldDef::required("at", DataType::Timestamp),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        encode_schema(&mut buf, &schema);
+        let back = decode_schema(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(*back, *schema);
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_corruption() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::from("hello"));
+        buf.truncate(buf.len() - 2);
+        assert!(decode_value(&mut Reader::new(&buf)).is_err());
+
+        let bad = [0x77u8];
+        let err = decode_value(&mut Reader::new(&bad)).unwrap_err();
+        assert_eq!(err.kind(), "corruption");
+
+        let invalid_utf8 = [0x04, 2, 0, 0, 0, 0xff, 0xfe];
+        assert!(decode_value(&mut Reader::new(&invalid_utf8)).is_err());
+    }
+}

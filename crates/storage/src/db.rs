@@ -1,0 +1,659 @@
+//! The database: catalog, DDL, transactions, triggers, checkpointing and
+//! crash recovery.
+//!
+//! Durability layout when opened on a directory:
+//!
+//! ```text
+//! <dir>/evdb.wal        the journal (framed records, see `wal`)
+//! <dir>/evdb.ckpt       last checkpoint: full table images + catalog
+//! ```
+//!
+//! Recovery = load checkpoint (if any), then replay WAL records with
+//! `lsn > checkpoint_lsn`. Because logging is redo-only and a WAL record
+//! is written only at commit, replay never needs an undo pass.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use evdb_expr::Expr;
+use evdb_types::{
+    Clock, Error, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs, Value,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::change::ChangeEvent;
+use crate::codec::{self, Reader};
+use crate::crc::crc32;
+use crate::table::{Table, TableDef};
+use crate::trigger::{TriggerAction, TriggerDef, TriggerOps, TriggerTiming};
+use crate::txn::Transaction;
+use crate::wal::{SyncPolicy, Wal, WalOp};
+
+/// Database configuration.
+#[derive(Clone)]
+pub struct DbOptions {
+    /// WAL sync policy.
+    pub sync: SyncPolicy,
+    /// Time source (swap in a `SimClock` for deterministic tests).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            sync: SyncPolicy::Always,
+            clock: Arc::new(SystemClock),
+        }
+    }
+}
+
+impl std::fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbOptions").field("sync", &self.sync).finish()
+    }
+}
+
+/// The embedded database.
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    triggers: RwLock<HashMap<String, Vec<Arc<TriggerDef>>>>,
+    wal: Mutex<Wal>,
+    write_gate: Mutex<()>,
+    txids: IdGenerator,
+    clock: Arc<dyn Clock>,
+    dir: Option<PathBuf>,
+}
+
+impl Database {
+    /// Open (or create) a durable database in `dir`, running recovery.
+    pub fn open(dir: impl AsRef<Path>, options: DbOptions) -> Result<Arc<Database>> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let wal = Wal::open(dir.join("evdb.wal"), options.sync)?;
+        let db = Arc::new(Database {
+            tables: RwLock::new(HashMap::new()),
+            triggers: RwLock::new(HashMap::new()),
+            wal: Mutex::new(wal),
+            write_gate: Mutex::new(()),
+            txids: IdGenerator::default(),
+            clock: options.clock,
+            dir: Some(dir.clone()),
+        });
+        db.recover(&dir)?;
+        Ok(db)
+    }
+
+    /// Create an ephemeral database (in-memory WAL, no checkpoint file).
+    pub fn in_memory(options: DbOptions) -> Result<Arc<Database>> {
+        Ok(Arc::new(Database {
+            tables: RwLock::new(HashMap::new()),
+            triggers: RwLock::new(HashMap::new()),
+            wal: Mutex::new(Wal::in_memory(options.sync)),
+            write_gate: Mutex::new(()),
+            txids: IdGenerator::default(),
+            clock: options.clock,
+            dir: None,
+        }))
+    }
+
+    /// Current engine time.
+    pub fn now(&self) -> TimestampMs {
+        self.clock.now()
+    }
+
+    /// The engine clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    // ---- catalog / DDL -------------------------------------------------
+
+    /// Create a table (autocommitted DDL, journaled).
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Arc<Schema>,
+        pk_column: &str,
+    ) -> Result<Arc<Table>> {
+        let def = TableDef::new(name, Arc::clone(&schema), pk_column)?;
+        let _gate = self.write_gate.lock();
+        {
+            let mut tables = self.tables.write();
+            if tables.contains_key(name) {
+                return Err(Error::AlreadyExists(format!("table '{name}'")));
+            }
+            tables.insert(name.to_string(), Arc::new(Table::new(def.clone())));
+        }
+        let op = WalOp::CreateTable {
+            table: name.to_string(),
+            schema,
+            pk: def.pk,
+        };
+        self.wal_append(self.txids.next_id(), &[op])?;
+        self.table(name)
+    }
+
+    /// Drop a table and its triggers (autocommitted DDL, journaled).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let _gate = self.write_gate.lock();
+        if self.tables.write().remove(name).is_none() {
+            return Err(Error::NotFound(format!("table '{name}'")));
+        }
+        self.triggers.write().remove(name);
+        self.wal_append(
+            self.txids.next_id(),
+            &[WalOp::DropTable {
+                table: name.to_string(),
+            }],
+        )?;
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table '{name}'")))
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Create a secondary index (journaled).
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let _gate = self.write_gate.lock();
+        t.create_index(column)?;
+        self.wal_append(
+            self.txids.next_id(),
+            &[WalOp::CreateIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+            }],
+        )?;
+        Ok(())
+    }
+
+    /// Drop a secondary index (journaled).
+    pub fn drop_index(&self, table: &str, column: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let _gate = self.write_gate.lock();
+        t.drop_index(column)?;
+        self.wal_append(
+            self.txids.next_id(),
+            &[WalOp::DropIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+            }],
+        )?;
+        Ok(())
+    }
+
+    // ---- triggers -------------------------------------------------------
+
+    /// Register a trigger on a table. The WHEN predicate (if any) is bound
+    /// against the table schema now.
+    pub fn create_trigger(
+        &self,
+        name: &str,
+        table: &str,
+        timing: TriggerTiming,
+        ops: TriggerOps,
+        when: Option<Expr>,
+        action: TriggerAction,
+    ) -> Result<()> {
+        let t = self.table(table)?;
+        let mut triggers = self.triggers.write();
+        let list = triggers.entry(table.to_string()).or_default();
+        if list.iter().any(|tr| tr.name == name) {
+            return Err(Error::AlreadyExists(format!("trigger '{name}'")));
+        }
+        let def = TriggerDef::new(name, table, timing, ops, when, t.schema(), action)?;
+        list.push(Arc::new(def));
+        Ok(())
+    }
+
+    /// Remove a trigger by name.
+    pub fn drop_trigger(&self, name: &str) -> Result<()> {
+        let mut triggers = self.triggers.write();
+        for list in triggers.values_mut() {
+            if let Some(pos) = list.iter().position(|t| t.name == name) {
+                list.remove(pos);
+                return Ok(());
+            }
+        }
+        Err(Error::NotFound(format!("trigger '{name}'")))
+    }
+
+    /// Number of registered triggers (observability).
+    pub fn trigger_count(&self) -> usize {
+        self.triggers.read().values().map(Vec::len).sum()
+    }
+
+    pub(crate) fn fire_triggers(&self, timing: TriggerTiming, event: &ChangeEvent) -> Result<()> {
+        // Snapshot the Arc list so actions may create/drop triggers.
+        let list: Vec<Arc<TriggerDef>> = {
+            let triggers = self.triggers.read();
+            match triggers.get(event.table.as_ref()) {
+                Some(l) => l.iter().filter(|t| t.timing == timing).cloned().collect(),
+                None => return Ok(()),
+            }
+        };
+        for t in list {
+            if t.applies(event)? {
+                t.fire(event)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- transactions ----------------------------------------------------
+
+    /// Begin a transaction. Holds the single write gate until commit,
+    /// rollback or drop.
+    pub fn begin(&self) -> Transaction<'_> {
+        let gate = self.write_gate.lock();
+        Transaction::new(self, self.txids.next_id(), gate)
+    }
+
+    /// Autocommit insert.
+    pub fn insert(&self, table: &str, row: Record) -> Result<Record> {
+        let mut tx = self.begin();
+        let r = tx.insert(table, row)?;
+        tx.commit()?;
+        Ok(r)
+    }
+
+    /// Autocommit update.
+    pub fn update(&self, table: &str, key: &Value, new_row: Record) -> Result<Record> {
+        let mut tx = self.begin();
+        let r = tx.update(table, key, new_row)?;
+        tx.commit()?;
+        Ok(r)
+    }
+
+    /// Autocommit delete.
+    pub fn delete(&self, table: &str, key: &Value) -> Result<Record> {
+        let mut tx = self.begin();
+        let r = tx.delete(table, key)?;
+        tx.commit()?;
+        Ok(r)
+    }
+
+    /// Predicate query against a table (index-assisted when possible).
+    pub fn select(&self, table: &str, predicate: &Expr) -> Result<Vec<Record>> {
+        self.table(table)?.select(predicate)
+    }
+
+    // ---- WAL access --------------------------------------------------------
+
+    pub(crate) fn wal_append(&self, txid: u64, ops: &[WalOp]) -> Result<u64> {
+        self.wal.lock().append(txid, self.now(), ops)
+    }
+
+    /// Read committed journal records after `lsn` (journal mining).
+    pub fn wal_read_after(&self, lsn: u64) -> Result<Vec<crate::wal::WalRecord>> {
+        self.wal.lock().read_after(lsn)
+    }
+
+    /// Bytes currently in the journal.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal.lock().len_bytes()
+    }
+
+    /// Number of fsyncs the journal has performed.
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.lock().sync_count()
+    }
+
+    /// LSN of the most recently written record (0 if none).
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.lock().next_lsn() - 1
+    }
+
+    // ---- checkpoint & recovery ----------------------------------------------
+
+    /// Write a checkpoint (full table images + catalog) and truncate the
+    /// journal. No-op for in-memory databases.
+    pub fn checkpoint(&self) -> Result<()> {
+        let dir = match &self.dir {
+            Some(d) => d.clone(),
+            None => return Ok(()),
+        };
+        let _gate = self.write_gate.lock(); // freeze writers
+        let last_lsn = self.last_lsn();
+
+        let mut payload = Vec::new();
+        payload.extend_from_slice(b"EVCP1");
+        codec::put_u64(&mut payload, last_lsn);
+        let tables = self.tables.read();
+        codec::put_u32(&mut payload, tables.len() as u32);
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        for name in names {
+            let t = &tables[name];
+            codec::put_str(&mut payload, name);
+            codec::encode_schema(&mut payload, t.schema());
+            codec::put_u16(&mut payload, t.def().pk as u16);
+            let idx_cols = t.indexed_columns();
+            codec::put_u16(&mut payload, idx_cols.len() as u16);
+            for c in &idx_cols {
+                codec::put_str(&mut payload, c);
+            }
+            let rows = t.scan();
+            codec::put_u64(&mut payload, rows.len() as u64);
+            for r in &rows {
+                codec::encode_record(&mut payload, r);
+            }
+        }
+        let crc = crc32(&payload);
+        codec::put_u32(&mut payload, crc);
+
+        let tmp = dir.join("evdb.ckpt.tmp");
+        let dst = dir.join("evdb.ckpt");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&payload)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &dst)?;
+        self.wal.lock().truncate()?;
+        Ok(())
+    }
+
+    fn recover(self: &Arc<Self>, dir: &Path) -> Result<()> {
+        // 1. Checkpoint, if present.
+        let ckpt = dir.join("evdb.ckpt");
+        let mut base_lsn = 0u64;
+        if ckpt.exists() {
+            let mut buf = Vec::new();
+            File::open(&ckpt)?.read_to_end(&mut buf)?;
+            base_lsn = self.load_checkpoint(&buf)?;
+        }
+        // 2. Replay journal.
+        let records = {
+            let mut wal = self.wal.lock();
+            wal.bump_lsn(base_lsn + 1);
+            wal.read_after(base_lsn)?
+        };
+        let mut max_txid = 0u64;
+        for rec in records {
+            max_txid = max_txid.max(rec.txid);
+            for op in &rec.ops {
+                self.apply_recovered(op)?;
+            }
+        }
+        self.txids.bump_to(max_txid + 1);
+        Ok(())
+    }
+
+    fn load_checkpoint(&self, buf: &[u8]) -> Result<u64> {
+        if buf.len() < 9 || &buf[..5] != b"EVCP1" {
+            return Err(Error::Corruption("bad checkpoint header".into()));
+        }
+        let body = &buf[..buf.len() - 4];
+        let stored_crc =
+            u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(Error::Corruption("checkpoint crc mismatch".into()));
+        }
+        let mut r = Reader::new(&body[5..]);
+        let last_lsn = r.u64()?;
+        let ntables = r.u32()? as usize;
+        let mut tables = self.tables.write();
+        for _ in 0..ntables {
+            let name = r.str()?;
+            let schema = codec::decode_schema(&mut r)?;
+            let pk = r.u16()? as usize;
+            let pk_name = schema
+                .fields()
+                .get(pk)
+                .ok_or_else(|| Error::Corruption("pk out of range in checkpoint".into()))?
+                .name
+                .clone();
+            let def = TableDef::new(&name, schema, &pk_name)?;
+            let table = Table::new(def);
+            let nidx = r.u16()? as usize;
+            let mut idx_cols = Vec::with_capacity(nidx);
+            for _ in 0..nidx {
+                idx_cols.push(r.str()?);
+            }
+            let nrows = r.u64()? as usize;
+            for _ in 0..nrows {
+                table.insert(codec::decode_record(&mut r)?)?;
+            }
+            for c in idx_cols {
+                table.create_index(&c)?;
+            }
+            tables.insert(name, Arc::new(table));
+        }
+        Ok(last_lsn)
+    }
+
+    /// Apply one journal op during recovery: physical only, no triggers,
+    /// no re-logging.
+    fn apply_recovered(&self, op: &WalOp) -> Result<()> {
+        match op {
+            WalOp::CreateTable { table, schema, pk } => {
+                let pk_name = schema
+                    .fields()
+                    .get(*pk)
+                    .ok_or_else(|| Error::Corruption("pk out of range in wal".into()))?
+                    .name
+                    .clone();
+                let def = TableDef::new(table, Arc::clone(schema), &pk_name)?;
+                self.tables
+                    .write()
+                    .insert(table.clone(), Arc::new(Table::new(def)));
+            }
+            WalOp::DropTable { table } => {
+                self.tables.write().remove(table);
+            }
+            WalOp::CreateIndex { table, column } => {
+                self.table(table)?.create_index(column)?;
+            }
+            WalOp::DropIndex { table, column } => {
+                self.table(table)?.drop_index(column)?;
+            }
+            WalOp::Insert { table, row } => {
+                self.table(table)?.insert(row.clone())?;
+            }
+            WalOp::Update { table, key, after, .. } => {
+                self.table(table)?.update(key, after.clone())?;
+            }
+            WalOp::Delete { table, key, .. } => {
+                self.table(table)?.delete(key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::DataType;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "evdb-db-{}-{tag}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("id", DataType::Int), ("v", DataType::Float)])
+    }
+
+    #[test]
+    fn ddl_and_autocommit_dml() {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        db.create_table("t", schema(), "id").unwrap();
+        assert!(db.create_table("t", schema(), "id").is_err());
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        db.update(
+            "t",
+            &Value::Int(1),
+            Record::from_iter([Value::Int(1), Value::Float(2.0)]),
+        )
+        .unwrap();
+        assert_eq!(
+            db.select("t", &parse("v = 2.0").unwrap()).unwrap().len(),
+            1
+        );
+        db.delete("t", &Value::Int(1)).unwrap();
+        assert!(db.table("t").unwrap().is_empty());
+
+        db.drop_table("t").unwrap();
+        assert!(db.table("t").is_err());
+        assert!(db.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn recovery_replays_wal() {
+        let dir = tmpdir("recovery");
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            db.create_table("t", schema(), "id").unwrap();
+            db.create_index("t", "v").unwrap();
+            for i in 0..10 {
+                db.insert(
+                    "t",
+                    Record::from_iter([Value::Int(i), Value::Float(i as f64)]),
+                )
+                .unwrap();
+            }
+            db.update(
+                "t",
+                &Value::Int(3),
+                Record::from_iter([Value::Int(3), Value::Float(99.0)]),
+            )
+            .unwrap();
+            db.delete("t", &Value::Int(4)).unwrap();
+            // no checkpoint; drop = simulated crash (WAL was fsynced)
+        }
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let t = db.table("t").unwrap();
+        assert_eq!(t.len(), 9);
+        assert_eq!(
+            t.get(&Value::Int(3)).unwrap().get(1),
+            Some(&Value::Float(99.0))
+        );
+        assert!(t.get(&Value::Int(4)).is_none());
+        assert_eq!(t.indexed_columns(), vec!["v".to_string()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_then_recover() {
+        let dir = tmpdir("ckpt");
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            db.create_table("t", schema(), "id").unwrap();
+            for i in 0..5 {
+                db.insert(
+                    "t",
+                    Record::from_iter([Value::Int(i), Value::Float(i as f64)]),
+                )
+                .unwrap();
+            }
+            db.checkpoint().unwrap();
+            assert_eq!(db.wal_len_bytes(), 0);
+            // post-checkpoint traffic goes to the fresh WAL
+            db.insert("t", Record::from_iter([Value::Int(100), Value::Float(1.0)]))
+                .unwrap();
+        }
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let t = db.table("t").unwrap();
+        assert_eq!(t.len(), 6);
+        assert!(t.get(&Value::Int(100)).is_some());
+        // New writes after recovery keep working and LSNs advance.
+        db.insert("t", Record::from_iter([Value::Int(101), Value::Float(1.0)]))
+            .unwrap();
+        assert!(db.last_lsn() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn triggers_fire_and_veto() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        db.create_table("t", schema(), "id").unwrap();
+
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        db.create_trigger(
+            "count_big",
+            "t",
+            TriggerTiming::After,
+            TriggerOps::INSERT,
+            Some(parse("v > 10").unwrap()),
+            Arc::new(move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        )
+        .unwrap();
+        db.create_trigger(
+            "veto_negative",
+            "t",
+            TriggerTiming::Before,
+            TriggerOps::INSERT,
+            Some(parse("v < 0").unwrap()),
+            Arc::new(|_| Err(Error::Invalid("negative v".into()))),
+        )
+        .unwrap();
+        assert_eq!(db.trigger_count(), 2);
+
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(50.0)]))
+            .unwrap();
+        db.insert("t", Record::from_iter([Value::Int(2), Value::Float(5.0)]))
+            .unwrap();
+        assert!(db
+            .insert("t", Record::from_iter([Value::Int(3), Value::Float(-1.0)]))
+            .is_err());
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(db.table("t").unwrap().len(), 2); // veto kept row out
+
+        db.drop_trigger("veto_negative").unwrap();
+        db.insert("t", Record::from_iter([Value::Int(3), Value::Float(-1.0)]))
+            .unwrap();
+        assert!(db.drop_trigger("veto_negative").is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let dir = tmpdir("badckpt");
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            db.create_table("t", schema(), "id").unwrap();
+            db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+                .unwrap();
+            db.checkpoint().unwrap();
+        }
+        // Flip a byte in the checkpoint body.
+        let path = dir.join("evdb.ckpt");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(Database::open(&dir, DbOptions::default()).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

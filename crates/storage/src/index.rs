@@ -1,0 +1,153 @@
+//! Secondary indexes: ordered multimaps from column value to primary keys.
+//!
+//! Backed by a `BTreeMap<Value, BTreeSet<Value>>`, which supports point
+//! probes and range scans with inclusive/exclusive bounds — the two access
+//! paths the query planner in [`crate::table`] uses.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+use evdb_types::Value;
+
+/// A secondary index over one column.
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    map: BTreeMap<Value, BTreeSet<Value>>,
+    entries: usize,
+}
+
+impl SecondaryIndex {
+    /// Empty index.
+    pub fn new() -> SecondaryIndex {
+        SecondaryIndex::default()
+    }
+
+    /// Number of (value, pk) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the index holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Register `pk` under `value`. NULLs are not indexed (SQL-style: an
+    /// index probe can never produce a NULL match).
+    pub fn insert(&mut self, value: &Value, pk: &Value) {
+        if value.is_null() {
+            return;
+        }
+        if self.map.entry(value.clone()).or_default().insert(pk.clone()) {
+            self.entries += 1;
+        }
+    }
+
+    /// Remove `pk` from under `value`.
+    pub fn remove(&mut self, value: &Value, pk: &Value) {
+        if value.is_null() {
+            return;
+        }
+        if let Some(set) = self.map.get_mut(value) {
+            if set.remove(pk) {
+                self.entries -= 1;
+            }
+            if set.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Primary keys whose column equals `value`.
+    pub fn get(&self, value: &Value) -> Vec<Value> {
+        self.map
+            .get(value)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Primary keys whose column lies within the bounds. `None` means
+    /// unbounded on that side; the `bool` is "inclusive".
+    pub fn range(
+        &self,
+        low: Option<(&Value, bool)>,
+        high: Option<(&Value, bool)>,
+    ) -> Vec<Value> {
+        let lo = match low {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(v.clone()),
+            Some((v, false)) => Bound::Excluded(v.clone()),
+        };
+        let hi = match high {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(v.clone()),
+            Some((v, false)) => Bound::Excluded(v.clone()),
+        };
+        // Guard: BTreeMap panics when start > end; treat as empty range.
+        if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
+            (&lo, &hi)
+        {
+            if a > b {
+                return Vec::new();
+            }
+        }
+        self.map
+            .range((lo, hi))
+            .flat_map(|(_, pks)| pks.iter().cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> SecondaryIndex {
+        let mut i = SecondaryIndex::new();
+        for (v, pk) in [(10, 1), (20, 2), (20, 3), (30, 4)] {
+            i.insert(&Value::Int(v), &Value::Int(pk));
+        }
+        i
+    }
+
+    #[test]
+    fn point_lookup_and_duplicates() {
+        let i = idx();
+        assert_eq!(i.len(), 4);
+        assert_eq!(i.get(&Value::Int(20)), vec![Value::Int(2), Value::Int(3)]);
+        assert!(i.get(&Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn range_scans() {
+        let i = idx();
+        let all = |lo, lo_inc, hi, hi_inc| {
+            i.range(
+                Some((&Value::Int(lo), lo_inc)),
+                Some((&Value::Int(hi), hi_inc)),
+            )
+            .len()
+        };
+        assert_eq!(all(10, true, 30, true), 4);
+        assert_eq!(all(10, false, 30, false), 2);
+        assert_eq!(all(20, true, 20, true), 2);
+        assert_eq!(all(25, true, 5, true), 0); // inverted → empty, no panic
+        assert_eq!(i.range(None, Some((&Value::Int(15), true))).len(), 1);
+        assert_eq!(i.range(Some((&Value::Int(15), true)), None).len(), 3);
+        assert_eq!(i.range(None, None).len(), 4);
+    }
+
+    #[test]
+    fn remove_and_null_handling() {
+        let mut i = idx();
+        i.remove(&Value::Int(20), &Value::Int(2));
+        assert_eq!(i.get(&Value::Int(20)), vec![Value::Int(3)]);
+        i.remove(&Value::Int(20), &Value::Int(3));
+        assert!(i.get(&Value::Int(20)).is_empty());
+        assert_eq!(i.len(), 2);
+
+        i.insert(&Value::Null, &Value::Int(9));
+        assert_eq!(i.len(), 2); // nulls not indexed
+        i.remove(&Value::Null, &Value::Int(9)); // no-op, no panic
+    }
+}

@@ -1,0 +1,219 @@
+//! Query-based capture — mechanism (iii) of the tutorial's §2.2.a:
+//! "if queries reference the current state the change of the result set is
+//! perceived as an event".
+//!
+//! A [`QuerySnapshot`] holds a predicate over one table and the result set
+//! of its previous evaluation, keyed by primary key. Each `poll`
+//! re-evaluates the query and diffs: rows that entered the result set are
+//! Inserts, rows that left are Deletes, rows whose image changed are
+//! Updates. Capture latency is bounded by the poll interval, and cost is
+//! proportional to the result set, not the change rate — the trade E1
+//! quantifies against triggers and journal mining.
+
+use std::collections::HashMap;
+
+use evdb_expr::Expr;
+use evdb_types::{Record, Result, Value};
+
+use crate::change::{ChangeEvent, ChangeKind};
+use crate::db::Database;
+
+/// A polled continuous query over one table.
+#[derive(Debug)]
+pub struct QuerySnapshot {
+    table: String,
+    predicate: Expr,
+    previous: HashMap<Value, Record>,
+    polls: u64,
+}
+
+impl QuerySnapshot {
+    /// Create a snapshot query. The first `poll` reports the entire
+    /// current result set as inserts (the subscriber's initial fill).
+    pub fn new(table: impl Into<String>, predicate: Expr) -> QuerySnapshot {
+        QuerySnapshot {
+            table: table.into(),
+            predicate,
+            previous: HashMap::new(),
+            polls: 0,
+        }
+    }
+
+    /// The monitored table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// How many polls have run.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Size of the tracked result set.
+    pub fn result_size(&self) -> usize {
+        self.previous.len()
+    }
+
+    /// Re-evaluate and diff against the previous result set.
+    pub fn poll(&mut self, db: &Database) -> Result<Vec<ChangeEvent>> {
+        let t = db.table(&self.table)?;
+        let rows = t.select(&self.predicate)?;
+        self.polls += 1;
+        let now = db.now();
+        let txid = 0; // snapshot capture has no originating transaction
+
+        let mut current: HashMap<Value, Record> = HashMap::with_capacity(rows.len());
+        for row in rows {
+            current.insert(t.key_of(&row), row);
+        }
+
+        let mut events = Vec::new();
+        for (key, row) in &current {
+            match self.previous.get(key) {
+                None => events.push(ChangeEvent {
+                    table: t.name().into(),
+                    kind: ChangeKind::Insert,
+                    key: key.clone(),
+                    before: None,
+                    after: Some(row.clone()),
+                    txid,
+                    lsn: None,
+                    timestamp: now,
+                    schema: t.schema().clone(),
+                }),
+                Some(prev) if prev != row => events.push(ChangeEvent {
+                    table: t.name().into(),
+                    kind: ChangeKind::Update,
+                    key: key.clone(),
+                    before: Some(prev.clone()),
+                    after: Some(row.clone()),
+                    txid,
+                    lsn: None,
+                    timestamp: now,
+                    schema: t.schema().clone(),
+                }),
+                Some(_) => {}
+            }
+        }
+        for (key, prev) in &self.previous {
+            if !current.contains_key(key) {
+                events.push(ChangeEvent {
+                    table: t.name().into(),
+                    kind: ChangeKind::Delete,
+                    key: key.clone(),
+                    before: Some(prev.clone()),
+                    after: None,
+                    txid,
+                    lsn: None,
+                    timestamp: now,
+                    schema: t.schema().clone(),
+                });
+            }
+        }
+        self.previous = current;
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbOptions;
+    use evdb_expr::parse;
+    use evdb_types::{DataType, Schema};
+
+    fn db() -> std::sync::Arc<Database> {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        db.create_table(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn detects_enter_change_leave() {
+        let db = db();
+        let mut q = QuerySnapshot::new("t", parse("v > 10").unwrap());
+
+        // Initially empty.
+        assert!(q.poll(&db).unwrap().is_empty());
+
+        // Row enters the result set.
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(50.0)]))
+            .unwrap();
+        let ev = q.poll(&db).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, ChangeKind::Insert);
+
+        // Row changes while staying in the result set.
+        db.update(
+            "t",
+            &Value::Int(1),
+            Record::from_iter([Value::Int(1), Value::Float(60.0)]),
+        )
+        .unwrap();
+        let ev = q.poll(&db).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, ChangeKind::Update);
+        assert_eq!(
+            ev[0].before.as_ref().unwrap().get(1),
+            Some(&Value::Float(50.0))
+        );
+
+        // Row leaves the result set (still in the table!).
+        db.update(
+            "t",
+            &Value::Int(1),
+            Record::from_iter([Value::Int(1), Value::Float(5.0)]),
+        )
+        .unwrap();
+        let ev = q.poll(&db).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, ChangeKind::Delete);
+        assert_eq!(q.result_size(), 0);
+        assert_eq!(q.polls(), 4);
+    }
+
+    #[test]
+    fn quiet_table_produces_no_events() {
+        let db = db();
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(50.0)]))
+            .unwrap();
+        let mut q = QuerySnapshot::new("t", parse("v > 10").unwrap());
+        assert_eq!(q.poll(&db).unwrap().len(), 1); // initial fill
+        assert!(q.poll(&db).unwrap().is_empty());
+        assert!(q.poll(&db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn changes_between_polls_collapse() {
+        // Polling is lossy by design: insert+delete between polls is
+        // invisible; insert+update collapses to one insert.
+        let db = db();
+        let mut q = QuerySnapshot::new("t", parse("v > 0").unwrap());
+        q.poll(&db).unwrap();
+
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        db.delete("t", &Value::Int(1)).unwrap();
+        db.insert("t", Record::from_iter([Value::Int(2), Value::Float(1.0)]))
+            .unwrap();
+        db.update(
+            "t",
+            &Value::Int(2),
+            Record::from_iter([Value::Int(2), Value::Float(2.0)]),
+        )
+        .unwrap();
+
+        let ev = q.poll(&db).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, ChangeKind::Insert);
+        assert_eq!(
+            ev[0].after.as_ref().unwrap().get(1),
+            Some(&Value::Float(2.0))
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! Tables: schema-validated row storage with a primary key, secondary
+//! indexes and an index-aware `select` path.
+//!
+//! A table performs *physical* operations only; transactional concerns
+//! (undo, WAL, triggers) live in [`crate::txn`]. Rows are kept in a
+//! `BTreeMap` ordered by primary key, so PK range predicates scan a
+//! contiguous slice.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::Arc;
+
+use evdb_expr::{analyze, Constraint, Expr};
+use evdb_types::{Error, Record, Result, Schema, Value};
+use parking_lot::RwLock;
+
+use crate::index::SecondaryIndex;
+
+/// Static description of a table.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Row schema.
+    pub schema: Arc<Schema>,
+    /// Index of the primary-key column in the schema.
+    pub pk: usize,
+}
+
+impl TableDef {
+    /// Build a definition; the PK column must exist and be non-nullable.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, pk_column: &str) -> Result<TableDef> {
+        let pk = schema
+            .index_of(pk_column)
+            .ok_or_else(|| Error::Schema(format!("unknown pk column '{pk_column}'")))?;
+        if schema.fields()[pk].nullable {
+            return Err(Error::Schema(format!(
+                "pk column '{pk_column}' must be non-nullable"
+            )));
+        }
+        Ok(TableDef {
+            name: name.into(),
+            schema,
+            pk,
+        })
+    }
+}
+
+struct Inner {
+    rows: BTreeMap<Value, Record>,
+    indexes: HashMap<String, SecondaryIndex>,
+}
+
+/// A table. Interior-locked so `Arc<Table>` can be shared between the
+/// transaction layer, capture mechanisms and readers.
+pub struct Table {
+    def: TableDef,
+    inner: RwLock<Inner>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(def: TableDef) -> Table {
+        Table {
+            def,
+            inner: RwLock::new(Inner {
+                rows: BTreeMap::new(),
+                indexes: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The table definition.
+    pub fn def(&self) -> &TableDef {
+        &self.def
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// The row schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.def.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.read().rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract the primary key from a row.
+    pub fn key_of(&self, row: &Record) -> Value {
+        row.get(self.def.pk).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Physical insert. Validates the schema and PK uniqueness, returns
+    /// the normalized row as stored.
+    pub fn insert(&self, row: Record) -> Result<Record> {
+        let row = self.def.schema.normalize(row)?;
+        let key = self.key_of(&row);
+        if key.is_null() {
+            return Err(Error::Constraint("primary key may not be NULL".into()));
+        }
+        let mut inner = self.inner.write();
+        match inner.rows.entry(key.clone()) {
+            Entry::Occupied(_) => Err(Error::Constraint(format!(
+                "duplicate primary key {key} in table '{}'",
+                self.def.name
+            ))),
+            Entry::Vacant(e) => {
+                e.insert(row.clone());
+                for (col, idx) in inner.indexes.iter_mut() {
+                    let pos = self.def.schema.index_of(col).expect("indexed column exists");
+                    idx.insert(&row.values()[pos], &key);
+                }
+                Ok(row)
+            }
+        }
+    }
+
+    /// Physical update by key. The new row must keep the same primary key.
+    /// Returns `(before, after)`.
+    pub fn update(&self, key: &Value, new_row: Record) -> Result<(Record, Record)> {
+        let new_row = self.def.schema.normalize(new_row)?;
+        if self.key_of(&new_row) != *key {
+            return Err(Error::Constraint(
+                "update may not change the primary key".into(),
+            ));
+        }
+        let mut inner = self.inner.write();
+        let old = inner
+            .rows
+            .get(key)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("key {key} in table '{}'", self.def.name)))?;
+        inner.rows.insert(key.clone(), new_row.clone());
+        for (col, idx) in inner.indexes.iter_mut() {
+            let pos = self.def.schema.index_of(col).expect("indexed column exists");
+            let (ov, nv) = (&old.values()[pos], &new_row.values()[pos]);
+            if ov != nv {
+                idx.remove(ov, key);
+                idx.insert(nv, key);
+            }
+        }
+        Ok((old, new_row))
+    }
+
+    /// Physical delete by key; returns the removed row.
+    pub fn delete(&self, key: &Value) -> Result<Record> {
+        let mut inner = self.inner.write();
+        let old = inner
+            .rows
+            .remove(key)
+            .ok_or_else(|| Error::NotFound(format!("key {key} in table '{}'", self.def.name)))?;
+        for (col, idx) in inner.indexes.iter_mut() {
+            let pos = self.def.schema.index_of(col).expect("indexed column exists");
+            idx.remove(&old.values()[pos], key);
+        }
+        Ok(old)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &Value) -> Option<Record> {
+        self.inner.read().rows.get(key).cloned()
+    }
+
+    /// Full scan in primary-key order.
+    pub fn scan(&self) -> Vec<Record> {
+        self.inner.read().rows.values().cloned().collect()
+    }
+
+    /// Create a secondary index on `column` and backfill it.
+    pub fn create_index(&self, column: &str) -> Result<()> {
+        let pos = self
+            .def
+            .schema
+            .index_of(column)
+            .ok_or_else(|| Error::Schema(format!("unknown column '{column}'")))?;
+        let mut inner = self.inner.write();
+        if inner.indexes.contains_key(column) {
+            return Err(Error::AlreadyExists(format!("index on '{column}'")));
+        }
+        let mut idx = SecondaryIndex::new();
+        for (key, row) in inner.rows.iter() {
+            idx.insert(&row.values()[pos], key);
+        }
+        inner.indexes.insert(column.to_string(), idx);
+        Ok(())
+    }
+
+    /// Drop the secondary index on `column`.
+    pub fn drop_index(&self, column: &str) -> Result<()> {
+        if self.inner.write().indexes.remove(column).is_none() {
+            return Err(Error::NotFound(format!("index on '{column}'")));
+        }
+        Ok(())
+    }
+
+    /// Names of indexed columns.
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.inner.read().indexes.keys().cloned().collect()
+    }
+
+    /// Evaluate a predicate over the table, using the primary key or a
+    /// secondary index when the predicate's conjunctive form allows it,
+    /// and falling back to a full scan otherwise. Rows are returned in
+    /// unspecified order.
+    pub fn select(&self, predicate: &Expr) -> Result<Vec<Record>> {
+        let bound = predicate.bind_predicate(&self.def.schema)?;
+        let form = analyze(predicate);
+        let inner = self.inner.read();
+
+        // Pick the most selective-looking indexed constraint: equality on
+        // pk, then equality on a secondary index, then pk range, then
+        // secondary range.
+        let pk_name = &self.def.schema.fields()[self.def.pk].name;
+        let mut candidates: Option<Vec<Value>> = None;
+
+        let mut best: Option<(&Constraint, u8)> = None;
+        for c in &form.constraints {
+            let on_pk = c.field() == pk_name;
+            let on_idx = inner.indexes.contains_key(c.field());
+            let score = match c {
+                Constraint::Eq { .. } | Constraint::In { .. } if on_pk => 4,
+                Constraint::Eq { .. } | Constraint::In { .. } if on_idx => 3,
+                Constraint::Range { .. } if on_pk => 2,
+                Constraint::Range { .. } if on_idx => 1,
+                _ => 0,
+            };
+            if score > 0 && best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((c, score));
+            }
+        }
+
+        if let Some((c, _)) = best {
+            let on_pk = c.field() == pk_name;
+            let keys: Vec<Value> = match c {
+                Constraint::Eq { value, .. } => {
+                    if on_pk {
+                        vec![value.clone()]
+                    } else {
+                        inner.indexes[c.field()].get(value)
+                    }
+                }
+                Constraint::In { values, .. } => {
+                    if on_pk {
+                        values.clone()
+                    } else {
+                        values
+                            .iter()
+                            .flat_map(|v| inner.indexes[c.field()].get(v))
+                            .collect()
+                    }
+                }
+                Constraint::Range { low, high, .. } => {
+                    let lo = low.as_ref().map(|b| (&b.value, b.inclusive));
+                    let hi = high.as_ref().map(|b| (&b.value, b.inclusive));
+                    if on_pk {
+                        let lob = match lo {
+                            None => Bound::Unbounded,
+                            Some((v, true)) => Bound::Included(v.clone()),
+                            Some((v, false)) => Bound::Excluded(v.clone()),
+                        };
+                        let hib = match hi {
+                            None => Bound::Unbounded,
+                            Some((v, true)) => Bound::Included(v.clone()),
+                            Some((v, false)) => Bound::Excluded(v.clone()),
+                        };
+                        let inverted = matches!(
+                            (&lob, &hib),
+                            (
+                                Bound::Included(a) | Bound::Excluded(a),
+                                Bound::Included(b) | Bound::Excluded(b)
+                            ) if a > b
+                        );
+                        if inverted {
+                            Vec::new()
+                        } else {
+                            inner.rows.range((lob, hib)).map(|(k, _)| k.clone()).collect()
+                        }
+                    } else {
+                        inner.indexes[c.field()].range(lo, hi)
+                    }
+                }
+            };
+            candidates = Some(keys);
+        }
+
+        let mut out = Vec::new();
+        match candidates {
+            Some(keys) => {
+                for k in keys {
+                    if let Some(row) = inner.rows.get(&k) {
+                        if bound.matches(row)? {
+                            out.push(row.clone());
+                        }
+                    }
+                }
+            }
+            None => {
+                for row in inner.rows.values() {
+                    if bound.matches(row)? {
+                        out.push(row.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Remove every row (used by recovery when re-applying a checkpoint).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.rows.clear();
+        let cols: Vec<String> = inner.indexes.keys().cloned().collect();
+        for c in cols {
+            inner.indexes.insert(c, SecondaryIndex::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("sym", DataType::Str),
+            ("px", DataType::Float),
+        ]);
+        let t = Table::new(TableDef::new("ticks", schema, "id").unwrap());
+        for i in 0..100i64 {
+            t.insert(Record::from_iter([
+                Value::Int(i),
+                Value::from(if i % 2 == 0 { "A" } else { "B" }),
+                Value::Float(i as f64 * 1.5),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn def_validation() {
+        let schema = Schema::new(vec![evdb_types::FieldDef::nullable("id", DataType::Int)])
+            .unwrap();
+        assert!(TableDef::new("t", schema, "id").is_err());
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        assert!(TableDef::new("t", schema, "ghost").is_err());
+    }
+
+    #[test]
+    fn crud_and_constraints() {
+        let t = table();
+        assert_eq!(t.len(), 100);
+        assert!(t
+            .insert(Record::from_iter([
+                Value::Int(5),
+                Value::from("A"),
+                Value::Float(0.0)
+            ]))
+            .is_err()); // dup pk
+        assert!(t
+            .insert(Record::from_iter([
+                Value::Null,
+                Value::from("A"),
+                Value::Float(0.0)
+            ]))
+            .is_err()); // null pk (schema catches)
+
+        let (old, new) = t
+            .update(
+                &Value::Int(5),
+                Record::from_iter([Value::Int(5), Value::from("Z"), Value::Float(9.0)]),
+            )
+            .unwrap();
+        assert_eq!(old.get(1), Some(&Value::from("B")));
+        assert_eq!(new.get(1), Some(&Value::from("Z")));
+
+        assert!(t
+            .update(
+                &Value::Int(5),
+                Record::from_iter([Value::Int(6), Value::from("Z"), Value::Float(9.0)])
+            )
+            .is_err()); // pk change
+
+        let gone = t.delete(&Value::Int(5)).unwrap();
+        assert_eq!(gone.get(1), Some(&Value::from("Z")));
+        assert!(t.get(&Value::Int(5)).is_none());
+        assert!(t.delete(&Value::Int(5)).is_err());
+    }
+
+    #[test]
+    fn select_full_scan_and_pk_paths() {
+        let t = table();
+        let rows = t.select(&parse("px > 100").unwrap()).unwrap();
+        assert_eq!(rows.len(), 33); // px = 1.5*i > 100 → i ≥ 67
+
+        let rows = t.select(&parse("id = 10").unwrap()).unwrap();
+        assert_eq!(rows.len(), 1);
+
+        let rows = t.select(&parse("id BETWEEN 10 AND 19").unwrap()).unwrap();
+        assert_eq!(rows.len(), 10);
+
+        let rows = t
+            .select(&parse("id IN (1, 2, 3, 999)").unwrap())
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+
+        let rows = t.select(&parse("id >= 95 AND sym = 'A'").unwrap()).unwrap();
+        assert_eq!(rows.len(), 2); // even ids in 95..=99: 96, 98
+    }
+
+    #[test]
+    fn select_with_secondary_index_matches_scan() {
+        let t = table();
+        let pred = parse("sym = 'A' AND px < 30").unwrap();
+        let before = {
+            let mut v: Vec<i64> = t
+                .select(&pred)
+                .unwrap()
+                .iter()
+                .map(|r| r.get(0).unwrap().as_int().unwrap())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        t.create_index("sym").unwrap();
+        let after = {
+            let mut v: Vec<i64> = t
+                .select(&pred)
+                .unwrap()
+                .iter()
+                .map(|r| r.get(0).unwrap().as_int().unwrap())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(before, after);
+        assert!(!after.is_empty());
+        assert_eq!(t.indexed_columns(), vec!["sym".to_string()]);
+    }
+
+    #[test]
+    fn index_maintenance_on_update_delete() {
+        let t = table();
+        t.create_index("sym").unwrap();
+        t.update(
+            &Value::Int(0),
+            Record::from_iter([Value::Int(0), Value::from("B"), Value::Float(0.0)]),
+        )
+        .unwrap();
+        t.delete(&Value::Int(2)).unwrap();
+        let rows = t.select(&parse("sym = 'A'").unwrap()).unwrap();
+        // started with 50 'A' rows (even ids); row 0 moved to B, row 2 deleted
+        assert_eq!(rows.len(), 48);
+        assert!(t.create_index("sym").is_err());
+        t.drop_index("sym").unwrap();
+        assert!(t.drop_index("sym").is_err());
+    }
+
+    #[test]
+    fn inverted_pk_range_is_empty() {
+        let t = table();
+        let rows = t.select(&parse("id BETWEEN 50 AND 10").unwrap()).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn select_rejects_non_predicates_and_bad_fields() {
+        let t = table();
+        assert!(t.select(&parse("id + 1").unwrap()).is_err());
+        assert!(t.select(&parse("ghost = 1").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Row-level triggers — capture mechanism (i) of the tutorial's §2.2.a.
+//!
+//! A trigger names a table, a timing (BEFORE/AFTER), the operations it
+//! fires on, an optional `WHEN` predicate over the affected row, and an
+//! action callback. BEFORE triggers run inside the operation and may veto
+//! it by returning an error (the transaction op fails); AFTER triggers run
+//! once the row change has been applied, still inside the transaction —
+//! which is precisely why trigger capture has the lowest latency and the
+//! highest commit-path cost of the three mechanisms (experiment E1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use evdb_expr::{BoundExpr, Expr};
+use evdb_types::{Result, Schema};
+
+use crate::change::{ChangeEvent, ChangeKind};
+
+/// When the trigger fires relative to the row operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerTiming {
+    /// Before the change is applied; an `Err` from the action vetoes it.
+    Before,
+    /// After the change is applied (still pre-commit).
+    After,
+}
+
+/// Which operations a trigger listens to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriggerOps {
+    /// Fire on INSERT.
+    pub insert: bool,
+    /// Fire on UPDATE.
+    pub update: bool,
+    /// Fire on DELETE.
+    pub delete: bool,
+}
+
+impl TriggerOps {
+    /// Fire on every operation.
+    pub const ALL: TriggerOps = TriggerOps {
+        insert: true,
+        update: true,
+        delete: true,
+    };
+
+    /// Fire on inserts only.
+    pub const INSERT: TriggerOps = TriggerOps {
+        insert: true,
+        update: false,
+        delete: false,
+    };
+
+    /// Fire on updates only.
+    pub const UPDATE: TriggerOps = TriggerOps {
+        insert: false,
+        update: true,
+        delete: false,
+    };
+
+    /// Fire on deletes only.
+    pub const DELETE: TriggerOps = TriggerOps {
+        insert: false,
+        update: false,
+        delete: true,
+    };
+
+    /// Does this mask include `kind`?
+    pub fn includes(self, kind: ChangeKind) -> bool {
+        match kind {
+            ChangeKind::Insert => self.insert,
+            ChangeKind::Update => self.update,
+            ChangeKind::Delete => self.delete,
+        }
+    }
+}
+
+/// The callback type for trigger actions.
+pub type TriggerAction = Arc<dyn Fn(&ChangeEvent) -> Result<()> + Send + Sync>;
+
+/// A registered trigger.
+pub struct TriggerDef {
+    /// Unique trigger name.
+    pub name: String,
+    /// Table the trigger watches.
+    pub table: String,
+    /// BEFORE or AFTER.
+    pub timing: TriggerTiming,
+    /// Operation mask.
+    pub ops: TriggerOps,
+    /// Optional WHEN predicate over the row image (the new image for
+    /// insert/update, the old image for delete).
+    pub when: Option<Expr>,
+    /// Predicate bound against the table schema at registration time.
+    pub(crate) when_bound: Option<BoundExpr>,
+    /// The action to run.
+    pub action: TriggerAction,
+}
+
+impl fmt::Debug for TriggerDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TriggerDef")
+            .field("name", &self.name)
+            .field("table", &self.table)
+            .field("timing", &self.timing)
+            .field("ops", &self.ops)
+            .field("when", &self.when.as_ref().map(|e| e.to_string()))
+            .finish()
+    }
+}
+
+impl TriggerDef {
+    /// Build a trigger, binding the WHEN predicate against the table
+    /// schema immediately so misconfigured triggers fail at registration,
+    /// not at first fire.
+    pub fn new(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        timing: TriggerTiming,
+        ops: TriggerOps,
+        when: Option<Expr>,
+        schema: &Schema,
+        action: TriggerAction,
+    ) -> Result<TriggerDef> {
+        let when_bound = match &when {
+            Some(e) => Some(e.bind_predicate(schema)?),
+            None => None,
+        };
+        Ok(TriggerDef {
+            name: name.into(),
+            table: table.into(),
+            timing,
+            ops,
+            when,
+            when_bound,
+            action,
+        })
+    }
+
+    /// Should this trigger fire for the given change? Evaluates the
+    /// operation mask and the WHEN predicate (NULL ⇒ no fire).
+    pub fn applies(&self, event: &ChangeEvent) -> Result<bool> {
+        if !self.ops.includes(event.kind) {
+            return Ok(false);
+        }
+        match &self.when_bound {
+            None => Ok(true),
+            Some(pred) => pred.matches(event.row()),
+        }
+    }
+
+    /// Fire the action.
+    pub fn fire(&self, event: &ChangeEvent) -> Result<()> {
+        (self.action)(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::{DataType, Record, TimestampMs, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn event(kind: ChangeKind, px: f64) -> ChangeEvent {
+        let schema = Schema::of(&[("id", DataType::Int), ("px", DataType::Float)]);
+        let row = Record::from_iter([Value::Int(1), Value::Float(px)]);
+        ChangeEvent {
+            table: Arc::from("t"),
+            kind,
+            key: Value::Int(1),
+            before: matches!(kind, ChangeKind::Update | ChangeKind::Delete).then(|| row.clone()),
+            after: matches!(kind, ChangeKind::Insert | ChangeKind::Update).then(|| row.clone()),
+            txid: 1,
+            lsn: None,
+            timestamp: TimestampMs(0),
+            schema,
+        }
+    }
+
+    #[test]
+    fn ops_mask_and_when_predicate() {
+        let schema = Schema::of(&[("id", DataType::Int), ("px", DataType::Float)]);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        let trig = TriggerDef::new(
+            "hi_px",
+            "t",
+            TriggerTiming::After,
+            TriggerOps::INSERT,
+            Some(parse("px > 100").unwrap()),
+            &schema,
+            Arc::new(move |_| {
+                f2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        )
+        .unwrap();
+
+        assert!(trig.applies(&event(ChangeKind::Insert, 150.0)).unwrap());
+        assert!(!trig.applies(&event(ChangeKind::Insert, 50.0)).unwrap());
+        assert!(!trig.applies(&event(ChangeKind::Update, 150.0)).unwrap());
+        trig.fire(&event(ChangeKind::Insert, 150.0)).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn bad_when_fails_at_registration() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let r = TriggerDef::new(
+            "bad",
+            "t",
+            TriggerTiming::Before,
+            TriggerOps::ALL,
+            Some(parse("ghost = 1").unwrap()),
+            &schema,
+            Arc::new(|_| Ok(())),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn delete_uses_before_image() {
+        let schema = Schema::of(&[("id", DataType::Int), ("px", DataType::Float)]);
+        let trig = TriggerDef::new(
+            "d",
+            "t",
+            TriggerTiming::After,
+            TriggerOps::DELETE,
+            Some(parse("px > 100").unwrap()),
+            &schema,
+            Arc::new(|_| Ok(())),
+        )
+        .unwrap();
+        assert!(trig.applies(&event(ChangeKind::Delete, 150.0)).unwrap());
+        assert!(!trig.applies(&event(ChangeKind::Delete, 50.0)).unwrap());
+    }
+}

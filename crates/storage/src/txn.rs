@@ -1,0 +1,333 @@
+//! Transactions: atomic multi-table mutation with redo-only logging.
+//!
+//! A [`Transaction`] holds the database's single write gate for its whole
+//! life, so writers are serialized (see the crate docs for the model).
+//! Every row op:
+//!
+//! 1. builds the prospective [`ChangeEvent`],
+//! 2. fires matching BEFORE triggers (an `Err` vetoes the op),
+//! 3. applies the physical change to the table,
+//! 4. records an undo entry (for rollback) and a redo [`WalOp`]
+//!    (for commit),
+//! 5. fires AFTER triggers.
+//!
+//! `commit` writes all redo ops as one framed WAL record — the record's
+//! presence is the commit mark. `rollback` (explicit or on drop) replays
+//! the undo list in reverse.
+
+use evdb_types::{Error, Record, Result, Value};
+use parking_lot::MutexGuard;
+
+use crate::change::{ChangeEvent, ChangeKind};
+use crate::db::Database;
+use crate::trigger::TriggerTiming;
+use crate::wal::WalOp;
+
+enum Undo {
+    Insert { table: String, key: Value },
+    Update { table: String, key: Value, before: Record },
+    Delete { table: String, before: Record },
+}
+
+/// An open transaction. Dropping without commit rolls back.
+pub struct Transaction<'db> {
+    db: &'db Database,
+    txid: u64,
+    undo: Vec<Undo>,
+    redo: Vec<WalOp>,
+    finished: bool,
+    _gate: MutexGuard<'db, ()>,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(db: &'db Database, txid: u64, gate: MutexGuard<'db, ()>) -> Self {
+        Transaction {
+            db,
+            txid,
+            undo: Vec::new(),
+            redo: Vec::new(),
+            finished: false,
+            _gate: gate,
+        }
+    }
+
+    /// This transaction's id.
+    pub fn txid(&self) -> u64 {
+        self.txid
+    }
+
+    /// Number of buffered row operations.
+    pub fn op_count(&self) -> usize {
+        self.redo.len()
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.finished {
+            Err(Error::Transaction("transaction already finished".into()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Insert a row.
+    pub fn insert(&mut self, table: &str, row: Record) -> Result<Record> {
+        self.check_open()?;
+        let t = self.db.table(table)?;
+        let row = t.schema().normalize(row)?;
+        let key = t.key_of(&row);
+        let event = ChangeEvent {
+            table: t.name().into(),
+            kind: ChangeKind::Insert,
+            key: key.clone(),
+            before: None,
+            after: Some(row.clone()),
+            txid: self.txid,
+            lsn: None,
+            timestamp: self.db.now(),
+            schema: t.schema().clone(),
+        };
+        self.db.fire_triggers(TriggerTiming::Before, &event)?;
+        let stored = t.insert(row)?;
+        self.undo.push(Undo::Insert {
+            table: table.to_string(),
+            key,
+        });
+        self.redo.push(WalOp::Insert {
+            table: table.to_string(),
+            row: stored.clone(),
+        });
+        self.db.fire_triggers(TriggerTiming::After, &event)?;
+        Ok(stored)
+    }
+
+    /// Update the row with primary key `key` to `new_row` (same key).
+    pub fn update(&mut self, table: &str, key: &Value, new_row: Record) -> Result<Record> {
+        self.check_open()?;
+        let t = self.db.table(table)?;
+        let new_row = t.schema().normalize(new_row)?;
+        let before = t
+            .get(key)
+            .ok_or_else(|| Error::NotFound(format!("key {key} in table '{table}'")))?;
+        let event = ChangeEvent {
+            table: t.name().into(),
+            kind: ChangeKind::Update,
+            key: key.clone(),
+            before: Some(before.clone()),
+            after: Some(new_row.clone()),
+            txid: self.txid,
+            lsn: None,
+            timestamp: self.db.now(),
+            schema: t.schema().clone(),
+        };
+        self.db.fire_triggers(TriggerTiming::Before, &event)?;
+        let (before, after) = t.update(key, new_row)?;
+        self.undo.push(Undo::Update {
+            table: table.to_string(),
+            key: key.clone(),
+            before: before.clone(),
+        });
+        self.redo.push(WalOp::Update {
+            table: table.to_string(),
+            key: key.clone(),
+            before,
+            after: after.clone(),
+        });
+        self.db.fire_triggers(TriggerTiming::After, &event)?;
+        Ok(after)
+    }
+
+    /// Delete the row with primary key `key`; returns the removed row.
+    pub fn delete(&mut self, table: &str, key: &Value) -> Result<Record> {
+        self.check_open()?;
+        let t = self.db.table(table)?;
+        let before = t
+            .get(key)
+            .ok_or_else(|| Error::NotFound(format!("key {key} in table '{table}'")))?;
+        let event = ChangeEvent {
+            table: t.name().into(),
+            kind: ChangeKind::Delete,
+            key: key.clone(),
+            before: Some(before.clone()),
+            after: None,
+            txid: self.txid,
+            lsn: None,
+            timestamp: self.db.now(),
+            schema: t.schema().clone(),
+        };
+        self.db.fire_triggers(TriggerTiming::Before, &event)?;
+        let before = t.delete(key)?;
+        self.undo.push(Undo::Delete {
+            table: table.to_string(),
+            before: before.clone(),
+        });
+        self.redo.push(WalOp::Delete {
+            table: table.to_string(),
+            key: key.clone(),
+            before: before.clone(),
+        });
+        self.db.fire_triggers(TriggerTiming::After, &event)?;
+        Ok(before)
+    }
+
+    /// Read a row by key within this transaction (sees own writes, since
+    /// ops apply eagerly).
+    pub fn get(&self, table: &str, key: &Value) -> Result<Option<Record>> {
+        Ok(self.db.table(table)?.get(key))
+    }
+
+    /// Commit: write the redo ops as one WAL record. Returns the LSN, or
+    /// `None` if the transaction made no changes (nothing to log).
+    pub fn commit(mut self) -> Result<Option<u64>> {
+        self.check_open()?;
+        self.finished = true;
+        if self.redo.is_empty() {
+            return Ok(None);
+        }
+        let ops = std::mem::take(&mut self.redo);
+        let lsn = self.db.wal_append(self.txid, &ops)?;
+        Ok(Some(lsn))
+    }
+
+    /// Roll back every applied op, newest first.
+    pub fn rollback(mut self) {
+        self.do_rollback();
+    }
+
+    fn do_rollback(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        while let Some(u) = self.undo.pop() {
+            // Physical undo cannot fail unless the engine is corrupted;
+            // panic loudly rather than limp on with half-undone state.
+            match u {
+                Undo::Insert { table, key } => {
+                    let t = self.db.table(&table).expect("table vanished during txn");
+                    t.delete(&key).expect("undo insert failed");
+                }
+                Undo::Update { table, key, before } => {
+                    let t = self.db.table(&table).expect("table vanished during txn");
+                    t.update(&key, before).expect("undo update failed");
+                }
+                Undo::Delete { table, before } => {
+                    let t = self.db.table(&table).expect("table vanished during txn");
+                    t.insert(before).expect("undo delete failed");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        self.do_rollback();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Database, DbOptions};
+    use evdb_types::{DataType, Schema};
+
+    fn db() -> std::sync::Arc<Database> {
+        let db = Database::in_memory(DbOptions::default()).unwrap();
+        db.create_table(
+            "acct",
+            Schema::of(&[("id", DataType::Int), ("bal", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_applies_and_logs() {
+        let db = db();
+        let mut tx = db.begin();
+        tx.insert("acct", Record::from_iter([Value::Int(1), Value::Float(10.0)]))
+            .unwrap();
+        tx.insert("acct", Record::from_iter([Value::Int(2), Value::Float(20.0)]))
+            .unwrap();
+        let lsn = tx.commit().unwrap();
+        assert!(lsn.is_some());
+        assert_eq!(db.table("acct").unwrap().len(), 2);
+        let recs = db.wal_read_after(0).unwrap();
+        // 1 DDL record + 1 data record
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].ops.len(), 2);
+    }
+
+    #[test]
+    fn rollback_undoes_everything_in_order() {
+        let db = db();
+        db.insert("acct", Record::from_iter([Value::Int(1), Value::Float(10.0)]))
+            .unwrap();
+
+        let mut tx = db.begin();
+        tx.insert("acct", Record::from_iter([Value::Int(2), Value::Float(5.0)]))
+            .unwrap();
+        tx.update("acct", &Value::Int(1), Record::from_iter([Value::Int(1), Value::Float(99.0)]))
+            .unwrap();
+        tx.delete("acct", &Value::Int(2)).unwrap();
+        tx.insert("acct", Record::from_iter([Value::Int(3), Value::Float(7.0)]))
+            .unwrap();
+        tx.rollback();
+
+        let t = db.table("acct").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.get(&Value::Int(1)).unwrap().get(1),
+            Some(&Value::Float(10.0))
+        );
+        // Nothing beyond the DDL + first autocommit insert in the log.
+        assert_eq!(db.wal_read_after(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drop_rolls_back() {
+        let db = db();
+        {
+            let mut tx = db.begin();
+            tx.insert("acct", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+                .unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.table("acct").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn empty_commit_writes_nothing() {
+        let db = db();
+        let tx = db.begin();
+        assert_eq!(tx.commit().unwrap(), None);
+        assert_eq!(db.wal_read_after(0).unwrap().len(), 1); // just DDL
+    }
+
+    #[test]
+    fn txn_sees_own_writes() {
+        let db = db();
+        let mut tx = db.begin();
+        tx.insert("acct", Record::from_iter([Value::Int(1), Value::Float(10.0)]))
+            .unwrap();
+        assert!(tx.get("acct", &Value::Int(1)).unwrap().is_some());
+        tx.rollback();
+        assert!(db.table("acct").unwrap().get(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn errors_after_finish() {
+        let db = db();
+        let mut tx = db.begin();
+        tx.insert("acct", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        let _ = tx.commit();
+        // `commit` consumes; construct a fresh finished txn via rollback path.
+        let mut tx2 = db.begin();
+        tx2.do_rollback();
+        assert!(tx2
+            .insert("acct", Record::from_iter([Value::Int(2), Value::Float(1.0)]))
+            .is_err());
+    }
+}

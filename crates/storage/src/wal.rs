@@ -1,0 +1,561 @@
+//! The write-ahead log (the paper's "journal").
+//!
+//! Redo-only logging: a transaction's ops are buffered in memory and
+//! written as **one framed record at commit** — the record's presence in
+//! the log *is* the commit mark, so recovery never sees partial
+//! transactions and needs no undo pass. Update and delete ops carry before
+//! images, so a journal miner (à la Oracle LogMiner, §2.2.a.ii of the
+//! tutorial) can reconstruct full change events from the log alone.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [len: u32][crc32(payload): u32][payload: len bytes]
+//! payload := lsn:u64 txid:u64 ts:i64 op_count:u16 ops…
+//! ```
+//!
+//! A torn final frame (crash mid-write) fails the length or CRC check and
+//! is ignored, along with everything after it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use evdb_types::{Error, Record, Result, Schema, TimestampMs, Value};
+use parking_lot::RwLock;
+
+use crate::codec::{self, Reader};
+use crate::crc::crc32;
+
+/// When to fsync the log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every commit (durable, slow). The per-commit baseline
+    /// for the group-commit ablation (DESIGN.md D6).
+    Always,
+    /// fsync after every `n` commits (group commit).
+    EveryN(u32),
+    /// Never fsync explicitly (OS decides; fastest, weakest).
+    Never,
+}
+
+/// A logical operation within a committed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Table created.
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// Table schema.
+        schema: Arc<Schema>,
+        /// Primary-key column index.
+        pk: usize,
+    },
+    /// Table dropped.
+    DropTable {
+        /// Table name.
+        table: String,
+    },
+    /// Secondary index created on a column.
+    CreateIndex {
+        /// Table name.
+        table: String,
+        /// Indexed column name.
+        column: String,
+    },
+    /// Secondary index dropped.
+    DropIndex {
+        /// Table name.
+        table: String,
+        /// Indexed column name.
+        column: String,
+    },
+    /// Row inserted.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Full row image.
+        row: Record,
+    },
+    /// Row updated (`before` kept for journal mining).
+    Update {
+        /// Table name.
+        table: String,
+        /// Primary key.
+        key: Value,
+        /// Row image before the update.
+        before: Record,
+        /// Row image after the update.
+        after: Record,
+    },
+    /// Row deleted (`before` kept for journal mining).
+    Delete {
+        /// Table name.
+        table: String,
+        /// Primary key.
+        key: Value,
+        /// Row image before the delete.
+        before: Record,
+    },
+}
+
+/// One committed transaction as stored in the log.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// Log sequence number (strictly increasing).
+    pub lsn: u64,
+    /// Transaction id.
+    pub txid: u64,
+    /// Commit time.
+    pub timestamp: TimestampMs,
+    /// The transaction's operations, in execution order.
+    pub ops: Vec<WalOp>,
+}
+
+enum Backend {
+    File {
+        file: File,
+        path: PathBuf,
+    },
+    /// In-memory log for ephemeral databases and allocation-sensitive
+    /// benchmarks; shares the same framing so read paths are identical.
+    Mem(Arc<RwLock<Vec<u8>>>),
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    backend: Backend,
+    policy: SyncPolicy,
+    next_lsn: u64,
+    commits_since_sync: u32,
+    bytes_written: u64,
+    syncs: u64,
+}
+
+impl Wal {
+    /// Open (or create) a file-backed log. Scans the existing file to find
+    /// the end of the valid prefix; anything after a torn frame is
+    /// discarded on the next append.
+    pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let (records, valid_len) = scan(&buf);
+        let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            backend: Backend::File { file, path },
+            policy,
+            next_lsn,
+            commits_since_sync: 0,
+            bytes_written: valid_len as u64,
+            syncs: 0,
+        })
+    }
+
+    /// Create an in-memory log.
+    pub fn in_memory(policy: SyncPolicy) -> Wal {
+        Wal {
+            backend: Backend::Mem(Arc::new(RwLock::new(Vec::new()))),
+            policy,
+            next_lsn: 1,
+            commits_since_sync: 0,
+            bytes_written: 0,
+            syncs: 0,
+        }
+    }
+
+    /// The LSN the next append will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Force the next LSN (used when recovering on top of a checkpoint
+    /// whose LSN is beyond the truncated log).
+    pub fn bump_lsn(&mut self, next: u64) {
+        self.next_lsn = self.next_lsn.max(next);
+    }
+
+    /// Total valid bytes in the log.
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of explicit fsyncs performed (observability for E2).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Append one committed transaction; returns its LSN.
+    pub fn append(&mut self, txid: u64, timestamp: TimestampMs, ops: &[WalOp]) -> Result<u64> {
+        let lsn = self.next_lsn;
+        let mut payload = Vec::with_capacity(64);
+        codec::put_u64(&mut payload, lsn);
+        codec::put_u64(&mut payload, txid);
+        codec::put_i64(&mut payload, timestamp.0);
+        codec::put_u16(&mut payload, ops.len() as u16);
+        for op in ops {
+            encode_op(&mut payload, op);
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+
+        match &mut self.backend {
+            Backend::File { file, .. } => {
+                file.write_all(&frame)?;
+            }
+            Backend::Mem(buf) => buf.write().extend_from_slice(&frame),
+        }
+        self.bytes_written += frame.len() as u64;
+        self.next_lsn += 1;
+        self.commits_since_sync += 1;
+
+        let should_sync = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.commits_since_sync >= n,
+            SyncPolicy::Never => false,
+        };
+        if should_sync {
+            self.sync()?;
+        }
+        Ok(lsn)
+    }
+
+    /// fsync now (no-op for the memory backend, but still counted so
+    /// benchmarks compare policies fairly).
+    pub fn sync(&mut self) -> Result<()> {
+        if let Backend::File { file, .. } = &mut self.backend {
+            file.sync_data()?;
+        }
+        self.commits_since_sync = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Read all valid records with `lsn > after_lsn`. Reads through a
+    /// separate handle so tailing does not disturb the append position.
+    pub fn read_after(&self, after_lsn: u64) -> Result<Vec<WalRecord>> {
+        let buf = self.snapshot_bytes()?;
+        let (records, _) = scan(&buf);
+        Ok(records.into_iter().filter(|r| r.lsn > after_lsn).collect())
+    }
+
+    /// Read every valid record.
+    pub fn read_all(&self) -> Result<Vec<WalRecord>> {
+        self.read_after(0)
+    }
+
+    /// Drop the log contents (after a checkpoint has captured them).
+    /// LSN numbering continues from where it was.
+    pub fn truncate(&mut self) -> Result<()> {
+        match &mut self.backend {
+            Backend::File { file, .. } => {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.sync_data()?;
+            }
+            Backend::Mem(buf) => buf.write().clear(),
+        }
+        self.bytes_written = 0;
+        Ok(())
+    }
+
+    fn snapshot_bytes(&self) -> Result<Vec<u8>> {
+        match &self.backend {
+            Backend::File { path, .. } => {
+                let mut f = File::open(path)?;
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(buf)
+            }
+            Backend::Mem(buf) => Ok(buf.read().clone()),
+        }
+    }
+}
+
+/// Decode the valid prefix of a log buffer; returns the records and the
+/// byte length of the valid prefix.
+fn scan(buf: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > 1 << 30 || buf.len() - pos - 8 < len {
+            break; // torn or absurd frame
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // corrupted tail
+        }
+        match decode_payload(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break,
+        }
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
+    let mut r = Reader::new(payload);
+    let lsn = r.u64()?;
+    let txid = r.u64()?;
+    let ts = TimestampMs(r.i64()?);
+    let n = r.u16()? as usize;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(decode_op(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(Error::Corruption("trailing bytes in wal payload".into()));
+    }
+    Ok(WalRecord {
+        lsn,
+        txid,
+        timestamp: ts,
+        ops,
+    })
+}
+
+fn encode_op(buf: &mut Vec<u8>, op: &WalOp) {
+    match op {
+        WalOp::CreateTable { table, schema, pk } => {
+            buf.push(1);
+            codec::put_str(buf, table);
+            codec::encode_schema(buf, schema);
+            codec::put_u16(buf, *pk as u16);
+        }
+        WalOp::DropTable { table } => {
+            buf.push(2);
+            codec::put_str(buf, table);
+        }
+        WalOp::CreateIndex { table, column } => {
+            buf.push(3);
+            codec::put_str(buf, table);
+            codec::put_str(buf, column);
+        }
+        WalOp::DropIndex { table, column } => {
+            buf.push(4);
+            codec::put_str(buf, table);
+            codec::put_str(buf, column);
+        }
+        WalOp::Insert { table, row } => {
+            buf.push(5);
+            codec::put_str(buf, table);
+            codec::encode_record(buf, row);
+        }
+        WalOp::Update {
+            table,
+            key,
+            before,
+            after,
+        } => {
+            buf.push(6);
+            codec::put_str(buf, table);
+            codec::encode_value(buf, key);
+            codec::encode_record(buf, before);
+            codec::encode_record(buf, after);
+        }
+        WalOp::Delete { table, key, before } => {
+            buf.push(7);
+            codec::put_str(buf, table);
+            codec::encode_value(buf, key);
+            codec::encode_record(buf, before);
+        }
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<WalOp> {
+    Ok(match r.u8()? {
+        1 => WalOp::CreateTable {
+            table: r.str()?,
+            schema: codec::decode_schema(r)?,
+            pk: r.u16()? as usize,
+        },
+        2 => WalOp::DropTable { table: r.str()? },
+        3 => WalOp::CreateIndex {
+            table: r.str()?,
+            column: r.str()?,
+        },
+        4 => WalOp::DropIndex {
+            table: r.str()?,
+            column: r.str()?,
+        },
+        5 => WalOp::Insert {
+            table: r.str()?,
+            row: codec::decode_record(r)?,
+        },
+        6 => WalOp::Update {
+            table: r.str()?,
+            key: codec::decode_value(r)?,
+            before: codec::decode_record(r)?,
+            after: codec::decode_record(r)?,
+        },
+        7 => WalOp::Delete {
+            table: r.str()?,
+            key: codec::decode_value(r)?,
+            before: codec::decode_record(r)?,
+        },
+        tag => return Err(Error::Corruption(format!("unknown wal op tag {tag}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Insert {
+                table: "t".into(),
+                row: Record::from_iter([1i64, 2]),
+            },
+            WalOp::Update {
+                table: "t".into(),
+                key: Value::Int(1),
+                before: Record::from_iter([1i64, 2]),
+                after: Record::from_iter([1i64, 3]),
+            },
+            WalOp::Delete {
+                table: "t".into(),
+                key: Value::Int(1),
+                before: Record::from_iter([1i64, 3]),
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_append_and_read() {
+        let mut wal = Wal::in_memory(SyncPolicy::Never);
+        let l1 = wal.append(7, TimestampMs(1), &sample_ops()).unwrap();
+        let l2 = wal.append(8, TimestampMs(2), &[]).unwrap();
+        assert_eq!((l1, l2), (1, 2));
+        let recs = wal.read_all().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].txid, 7);
+        assert_eq!(recs[0].ops, sample_ops());
+        assert_eq!(wal.read_after(1).unwrap().len(), 1);
+        assert_eq!(wal.next_lsn(), 3);
+    }
+
+    #[test]
+    fn file_round_trip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("evdb-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test-reopen.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+            wal.append(1, TimestampMs(1), &sample_ops()).unwrap();
+            wal.append(2, TimestampMs(2), &sample_ops()).unwrap();
+            assert_eq!(wal.sync_count(), 2);
+        }
+        let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(wal.next_lsn(), 3);
+        assert_eq!(wal.read_all().unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("evdb-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test-torn.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+            wal.append(1, TimestampMs(1), &sample_ops()).unwrap();
+            wal.append(2, TimestampMs(2), &sample_ops()).unwrap();
+        }
+        // Simulate a crash mid-write of a third record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.len();
+        bytes.extend_from_slice(&[42u8; 5]); // garbage partial frame
+        std::fs::write(&path, &bytes).unwrap();
+
+        let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 2);
+        assert_eq!(wal.len_bytes(), full as u64); // trimmed back
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_stops_scan() {
+        let mut wal = Wal::in_memory(SyncPolicy::Never);
+        wal.append(1, TimestampMs(1), &sample_ops()).unwrap();
+        wal.append(2, TimestampMs(2), &sample_ops()).unwrap();
+        // Flip a byte inside the first record's payload.
+        if let Backend::Mem(buf) = &wal.backend {
+            buf.write()[10] ^= 0xFF;
+        }
+        assert_eq!(wal.read_all().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn group_commit_policy_syncs_every_n() {
+        let mut wal = Wal::in_memory(SyncPolicy::EveryN(3));
+        for i in 0..7 {
+            wal.append(i, TimestampMs(i as i64), &[]).unwrap();
+        }
+        assert_eq!(wal.sync_count(), 2); // after 3 and 6
+    }
+
+    #[test]
+    fn truncate_preserves_lsn_continuity() {
+        let mut wal = Wal::in_memory(SyncPolicy::Never);
+        wal.append(1, TimestampMs(0), &[]).unwrap();
+        wal.append(2, TimestampMs(0), &[]).unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.len_bytes(), 0);
+        let lsn = wal.append(3, TimestampMs(0), &[]).unwrap();
+        assert_eq!(lsn, 3);
+        assert_eq!(wal.read_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ddl_ops_round_trip() {
+        let schema = Schema::of(&[("id", evdb_types::DataType::Int)]);
+        let mut wal = Wal::in_memory(SyncPolicy::Never);
+        wal.append(
+            1,
+            TimestampMs(0),
+            &[
+                WalOp::CreateTable {
+                    table: "t".into(),
+                    schema: Arc::clone(&schema),
+                    pk: 0,
+                },
+                WalOp::CreateIndex {
+                    table: "t".into(),
+                    column: "id".into(),
+                },
+                WalOp::DropIndex {
+                    table: "t".into(),
+                    column: "id".into(),
+                },
+                WalOp::DropTable { table: "t".into() },
+            ],
+        )
+        .unwrap();
+        let recs = wal.read_all().unwrap();
+        assert_eq!(recs[0].ops.len(), 4);
+        match &recs[0].ops[0] {
+            WalOp::CreateTable { schema: s, pk, .. } => {
+                assert_eq!(**s, *schema);
+                assert_eq!(*pk, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # evdb-types
+//!
+//! Foundation types shared by every EventDB crate: the dynamic [`Value`]
+//! model, [`Schema`]/[`Record`] relational building blocks, the [`Event`]
+//! envelope that flows through the event-processing pipeline, error types,
+//! and pluggable [`Clock`]s (a real clock and a deterministic simulated one
+//! for tests and reproducible experiments).
+//!
+//! The paper this workspace reproduces (Chandy & Gawlick, SIGMOD'07) treats
+//! the database as the center of an event-driven architecture; these types
+//! are deliberately database-flavoured: values are typed, records conform to
+//! schemas, and events are records with provenance and time.
+
+pub mod error;
+pub mod event;
+pub mod id;
+pub mod record;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use event::{Event, EventId};
+pub use id::IdGenerator;
+pub use record::Record;
+pub use schema::{FieldDef, Schema};
+pub use time::{Clock, SimClock, SystemClock, TimestampMs};
+pub use value::{DataType, Value};

@@ -1,0 +1,155 @@
+//! Records: ordered value tuples.
+//!
+//! A [`Record`] is schema-agnostic — the pairing with a [`crate::Schema`]
+//! happens at the table / stream boundary. This keeps the hot path (copying
+//! tuples between operators) a plain `Vec<Value>` clone with no metadata.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// An ordered tuple of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Wrap a value vector.
+    pub fn new(values: Vec<Value>) -> Record {
+        Record { values }
+    }
+
+    /// An empty record.
+    pub fn empty() -> Record {
+        Record { values: Vec::new() }
+    }
+
+    /// Build from anything convertible to values (also available through
+    /// the `FromIterator` impl; the inherent name keeps call sites terse).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I, V>(iter: I) -> Record
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Record {
+            values: iter.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at position `i`.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Mutable value at position `i`.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut Value> {
+        self.values.get_mut(i)
+    }
+
+    /// Replace the value at position `i`; panics if out of bounds.
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Append a value (used by join/projection operators building rows).
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Project positions into a new record. Panics if any index is out of
+    /// bounds — projections are planned against a schema beforehand.
+    pub fn project(&self, indices: &[usize]) -> Record {
+        Record {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two records (join output).
+    pub fn concat(&self, right: &Record) -> Record {
+        let mut values = Vec::with_capacity(self.len() + right.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&right.values);
+        Record { values }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Record {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Record::from_iter(iter)
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r = Record::from_iter([1i64, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(1), Some(&Value::Int(2)));
+        assert_eq!(r.get(9), None);
+        assert!(!r.is_empty());
+        assert!(Record::empty().is_empty());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let r = Record::from_iter([10i64, 20, 30]);
+        assert_eq!(r.project(&[2, 0]), Record::from_iter([30i64, 10]));
+        let j = r.concat(&Record::from_iter([40i64]));
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.get(3), Some(&Value::Int(40)));
+    }
+
+    #[test]
+    fn mutation() {
+        let mut r = Record::from_iter([1i64]);
+        r.set(0, Value::from("x"));
+        r.push(Value::Bool(true));
+        assert_eq!(r.to_string(), "['x', true]");
+        *r.get_mut(1).unwrap() = Value::Bool(false);
+        assert_eq!(r.get(1), Some(&Value::Bool(false)));
+    }
+}

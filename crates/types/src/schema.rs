@@ -1,0 +1,282 @@
+//! Schemas: named, typed, ordered field lists.
+//!
+//! A [`Schema`] is shared (`Arc`) between the table that owns it, every
+//! record flowing out of that table, the expression type checker and the
+//! CQ planner. Field lookup by name is O(1) via an internal index.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::record::Record;
+use crate::value::{DataType, Value};
+
+/// A single field definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (case-sensitive).
+    pub name: String,
+    /// Field type.
+    pub dtype: DataType,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl FieldDef {
+    /// A non-nullable field.
+    pub fn required(name: impl Into<String>, dtype: DataType) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of fields with O(1) name lookup.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<FieldDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema; duplicate field names are rejected.
+    pub fn new(fields: Vec<FieldDef>) -> Result<Arc<Schema>> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(Error::Schema(format!("duplicate field name '{}'", f.name)));
+            }
+        }
+        Ok(Arc::new(Schema { fields, by_name }))
+    }
+
+    /// Convenience builder from `(name, dtype)` pairs, all non-nullable.
+    pub fn of(fields: &[(&str, DataType)]) -> Arc<Schema> {
+        Schema::new(
+            fields
+                .iter()
+                .map(|(n, t)| FieldDef::required(*n, *t))
+                .collect(),
+        )
+        .expect("static schema must have unique names")
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Field definition by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Validate a record against this schema: arity, per-field type fit,
+    /// and nullability. Int values are accepted in Float fields.
+    pub fn validate(&self, record: &Record) -> Result<()> {
+        if record.len() != self.fields.len() {
+            return Err(Error::Schema(format!(
+                "record has {} values but schema has {} fields",
+                record.len(),
+                self.fields.len()
+            )));
+        }
+        for (f, v) in self.fields.iter().zip(record.values()) {
+            if v.is_null() {
+                if !f.nullable {
+                    return Err(Error::Schema(format!(
+                        "NULL in non-nullable field '{}'",
+                        f.name
+                    )));
+                }
+            } else if !v.fits(f.dtype) {
+                return Err(Error::Schema(format!(
+                    "field '{}' expects {} but got {}",
+                    f.name,
+                    f.dtype,
+                    v.data_type().map(|d| d.name()).unwrap_or("NULL"),
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and coerce a record in place (int→float widening for float
+    /// fields), returning the normalized record.
+    pub fn normalize(&self, record: Record) -> Result<Record> {
+        self.validate(&record)?;
+        let values = record
+            .into_values()
+            .into_iter()
+            .zip(self.fields.iter())
+            .map(|(v, f)| if v.is_null() { v } else { v.coerce(f.dtype) })
+            .collect();
+        Ok(Record::new(values))
+    }
+
+    /// Project a sub-schema with the named fields, preserving given order.
+    pub fn project(&self, names: &[&str]) -> Result<Arc<Schema>> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let f = self
+                .field(n)
+                .ok_or_else(|| Error::Schema(format!("unknown field '{n}'")))?;
+            fields.push(f.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Concatenate two schemas (used by stream-stream joins); duplicate
+    /// names from the right side are prefixed.
+    pub fn join(&self, right: &Schema, right_prefix: &str) -> Result<Arc<Schema>> {
+        let mut fields = self.fields.clone();
+        for f in right.fields() {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("{right_prefix}{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(FieldDef {
+                name,
+                dtype: f.dtype,
+                nullable: f.nullable,
+            });
+        }
+        Schema::new(fields)
+    }
+
+    /// Extract the value of a named field from a record (None if the field
+    /// does not exist).
+    pub fn get<'r>(&self, record: &'r Record, name: &str) -> Option<&'r Value> {
+        self.index_of(name).and_then(|i| record.get(i))
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", fd.name, fd.dtype)?;
+            if fd.nullable {
+                f.write_str(" NULL")?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            FieldDef::required("id", DataType::Int),
+            FieldDef::required("sym", DataType::Str),
+            FieldDef::nullable("price", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("sym"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.to_string(), "(id INT, sym STR, price FLOAT NULL)");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            FieldDef::required("a", DataType::Int),
+            FieldDef::required("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err.kind(), "schema");
+    }
+
+    #[test]
+    fn validate_checks_arity_types_nulls() {
+        let s = schema();
+        let ok = Record::new(vec![1i64.into(), "IBM".into(), Value::Null]);
+        assert!(s.validate(&ok).is_ok());
+
+        let bad_arity = Record::new(vec![1i64.into()]);
+        assert!(s.validate(&bad_arity).is_err());
+
+        let bad_type = Record::new(vec![1i64.into(), 2i64.into(), Value::Null]);
+        assert!(s.validate(&bad_type).is_err());
+
+        let bad_null = Record::new(vec![Value::Null, "IBM".into(), Value::Null]);
+        assert!(s.validate(&bad_null).is_err());
+    }
+
+    #[test]
+    fn normalize_widens_ints_in_float_fields() {
+        let s = schema();
+        let r = s
+            .normalize(Record::new(vec![1i64.into(), "IBM".into(), 5i64.into()]))
+            .unwrap();
+        assert_eq!(r.get(2), Some(&Value::Float(5.0)));
+    }
+
+    #[test]
+    fn project_and_join() {
+        let s = schema();
+        let p = s.project(&["price", "id"]).unwrap();
+        assert_eq!(p.to_string(), "(price FLOAT NULL, id INT)");
+        assert!(s.project(&["ghost"]).is_err());
+
+        let j = s.join(&s, "r_").unwrap();
+        assert_eq!(j.len(), 6);
+        assert!(j.index_of("r_id").is_some());
+        assert!(j.index_of("r_sym").is_some());
+    }
+
+    #[test]
+    fn get_by_name() {
+        let s = schema();
+        let r = Record::new(vec![7i64.into(), "X".into(), Value::Null]);
+        assert_eq!(s.get(&r, "id"), Some(&Value::Int(7)));
+        assert_eq!(s.get(&r, "ghost"), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Time: millisecond timestamps and pluggable clocks.
+//!
+//! Event processing is all about time — windows, WITHIN constraints on
+//! patterns, visibility timeouts, retention. To keep every experiment
+//! reproducible, all EventDB components read time through the [`Clock`]
+//! trait; production code uses [`SystemClock`], tests and the benchmark
+//! harness use [`SimClock`], which only advances when told to.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A timestamp in milliseconds since the Unix epoch.
+///
+/// Plain `i64` so arithmetic (window assignment, deadline math) stays
+/// branch-free and cheap; negative values are permitted for simulated
+/// pre-epoch time in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimestampMs(pub i64);
+
+impl TimestampMs {
+    /// The zero timestamp (epoch).
+    pub const ZERO: TimestampMs = TimestampMs(0);
+
+    /// Add a duration in milliseconds (saturating).
+    pub fn plus(self, millis: i64) -> TimestampMs {
+        TimestampMs(self.0.saturating_add(millis))
+    }
+
+    /// Subtract a duration in milliseconds (saturating).
+    pub fn minus(self, millis: i64) -> TimestampMs {
+        TimestampMs(self.0.saturating_sub(millis))
+    }
+
+    /// Milliseconds elapsed from `earlier` to `self` (may be negative).
+    pub fn since(self, earlier: TimestampMs) -> i64 {
+        self.0 - earlier.0
+    }
+
+    /// Align down to a window boundary of `width_ms` milliseconds.
+    /// Used by tumbling/sliding window assignment. `width_ms` must be > 0.
+    pub fn window_start(self, width_ms: i64) -> TimestampMs {
+        debug_assert!(width_ms > 0);
+        TimestampMs(self.0.div_euclid(width_ms) * width_ms)
+    }
+}
+
+impl fmt::Display for TimestampMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// A source of current time. Object-safe so engines can hold `Arc<dyn Clock>`.
+pub trait Clock: Send + Sync {
+    /// The current time.
+    fn now(&self) -> TimestampMs;
+}
+
+/// Wall-clock time from the operating system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> TimestampMs {
+        let d = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        TimestampMs(d.as_millis() as i64)
+    }
+}
+
+/// A deterministic clock that only moves when explicitly advanced.
+///
+/// Shared via `Arc`, so a test can hand the same clock to the storage
+/// engine, queue manager and CQ runtime and then step time forward to fire
+/// visibility timeouts, window closes and retention sweeps on demand.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_ms: AtomicI64,
+}
+
+impl SimClock {
+    /// Create a simulated clock starting at `start`.
+    pub fn new(start: TimestampMs) -> Arc<Self> {
+        Arc::new(SimClock {
+            now_ms: AtomicI64::new(start.0),
+        })
+    }
+
+    /// Advance the clock by `millis` and return the new time.
+    pub fn advance(&self, millis: i64) -> TimestampMs {
+        TimestampMs(self.now_ms.fetch_add(millis, Ordering::SeqCst) + millis)
+    }
+
+    /// Jump the clock to an absolute time (must not move backwards in
+    /// normal use; not enforced, tests may rewind deliberately).
+    pub fn set(&self, t: TimestampMs) {
+        self.now_ms.store(t.0, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> TimestampMs {
+        TimestampMs(self.now_ms.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = TimestampMs(1_000);
+        assert_eq!(t.plus(500), TimestampMs(1_500));
+        assert_eq!(t.minus(500), TimestampMs(500));
+        assert_eq!(t.plus(500).since(t), 500);
+        assert_eq!(t.since(t.plus(500)), -500);
+    }
+
+    #[test]
+    fn window_alignment_handles_negative_time() {
+        assert_eq!(TimestampMs(1_250).window_start(1_000), TimestampMs(1_000));
+        assert_eq!(TimestampMs(-1).window_start(1_000), TimestampMs(-1_000));
+        assert_eq!(TimestampMs(0).window_start(1_000), TimestampMs(0));
+    }
+
+    #[test]
+    fn sim_clock_is_deterministic() {
+        let c = SimClock::new(TimestampMs(100));
+        assert_eq!(c.now(), TimestampMs(100));
+        assert_eq!(c.advance(50), TimestampMs(150));
+        assert_eq!(c.now(), TimestampMs(150));
+        c.set(TimestampMs(1_000));
+        assert_eq!(c.now(), TimestampMs(1_000));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic_enough() {
+        let c = SystemClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a.0 > 1_500_000_000_000); // after 2017 — sanity
+    }
+}

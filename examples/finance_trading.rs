@@ -1,0 +1,101 @@
+//! Financial services use case (§2.2.e.i): react to opportunities and
+//! threats in a market feed.
+//!
+//! * a windowed VWAP continuous query per symbol,
+//! * alert rules for price spikes,
+//! * a CEP pattern — three consecutive up-ticks on the same symbol
+//!   followed by a volume burst — detected with the NFA matcher,
+//! * VIRT filtering so a noisy symbol cannot flood the trader.
+//!
+//! ```text
+//! cargo run --example finance_trading
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evdb::core::notify::VirtPolicy;
+use evdb::core::server::ServerConfig;
+use evdb::core::EventServer;
+use evdb::cq::pattern::{Pattern, PatternMatcher, SkipStrategy, Step};
+use evdb::expr::parse;
+use evdb::types::{SimClock, TimestampMs};
+use evdb_bench::workloads::{market_ticks, tick_schema};
+
+fn main() -> evdb::types::Result<()> {
+    let clock = SimClock::new(TimestampMs(0));
+    let server = EventServer::in_memory(ServerConfig {
+        clock: clock.clone(),
+        virt: VirtPolicy {
+            suppression_window_ms: 5_000, // one alert per symbol per 5s
+            ..Default::default()
+        },
+        ..Default::default()
+    })?;
+
+    server.create_stream("ticks", tick_schema())?;
+
+    // Continuous analytics: per-symbol VWAP over 1-second windows.
+    server.register_cql(
+        "vwap",
+        "SELECT sym, avg(px) AS vwap, sum(qty) AS volume \
+         FROM ticks [RANGE 1 s] GROUP BY sym HAVING count() > 2",
+    )?;
+    let windows = Arc::new(AtomicU64::new(0));
+    let w2 = Arc::clone(&windows);
+    server.on_query("vwap", Arc::new(move |_| {
+        w2.fetch_add(1, Ordering::Relaxed);
+    }))?;
+
+    // Threat: price spike.
+    server.add_alert_rule("spike", "ticks", "px > 130", 3.0, Some("sym"))?;
+
+    // Opportunity: momentum pattern — burst of large lots after quiet.
+    let momentum = Pattern::new(
+        vec![
+            Step::new("q", parse("qty < 100").unwrap()),
+            Step::new("burst", parse("qty > 900").unwrap()).one_or_more(),
+        ],
+        2_000,
+    )?;
+    let mut pattern = PatternMatcher::new(momentum, &tick_schema(), SkipStrategy::SkipTillNext)?;
+
+    let alerts = Arc::new(AtomicU64::new(0));
+    let a2 = Arc::clone(&alerts);
+    server.on_notification(Arc::new(move |n| {
+        a2.fetch_add(1, Ordering::Relaxed);
+        println!("  [alert] {}", n.title);
+    }));
+
+    // Drive a deterministic market day.
+    let ticks = market_ticks(20_000, 8, 5, 2024);
+    let mut momentum_hits = 0u64;
+    for t in &ticks {
+        clock.set(t.ts);
+        server.ingest("ticks", t.ts, t.record())?;
+        // The pattern matcher runs as a bare operator here to show the
+        // lower-level API (the server's CQL covers windows, not SEQ).
+        let ev = evdb::types::Event::new(
+            evdb::types::EventId(t.ts.0 as u64),
+            "ticks",
+            t.ts,
+            t.record(),
+            tick_schema(),
+        );
+        momentum_hits += pattern.push(&ev)?.len() as u64;
+    }
+    server.flush_stream("ticks", TimestampMs(i64::MAX / 2))?;
+
+    let snap = server.metrics().snapshot();
+    println!("ticks processed : {}", snap.events_processed);
+    println!("vwap windows    : {}", windows.load(Ordering::Relaxed));
+    println!("spike alerts    : {}", alerts.load(Ordering::Relaxed));
+    println!("momentum matches: {momentum_hits}");
+    println!(
+        "suppressed (VIRT): {} — a trader sees signal, not noise",
+        snap.suppressed
+    );
+    assert!(windows.load(Ordering::Relaxed) > 0);
+    assert!(momentum_hits > 0);
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the smallest end-to-end EventDB application.
+//!
+//! An `orders` table is captured through a trigger; an alert rule turns
+//! large inserted orders into notifications; a continuous query keeps a
+//! running per-window order count.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use evdb::core::server::ServerConfig;
+use evdb::core::{CaptureMechanism, EventServer};
+use evdb::types::{DataType, Record, Schema, Value};
+
+fn main() -> evdb::types::Result<()> {
+    // 1. A server with default configuration (in-memory journal).
+    let server = EventServer::in_memory(ServerConfig::default())?;
+
+    // 2. An ordinary database table.
+    server.db().create_table(
+        "orders",
+        Schema::of(&[
+            ("oid", DataType::Int),
+            ("sym", DataType::Str),
+            ("amount", DataType::Float),
+        ]),
+        "oid",
+    )?;
+
+    // 3. Capture its changes into the stream "orders_changes" using a
+    //    row trigger (the synchronous capture mechanism).
+    let stream = server.capture_table("orders", CaptureMechanism::Trigger)?;
+
+    // 4. An alert rule over the change stream — the predicate is plain
+    //    text ("expressions as data").
+    server.add_alert_rule(
+        "large-order",
+        &stream,
+        "change = 'insert' AND amount > 10000",
+        2.0,
+        Some("sym"),
+    )?;
+
+    // 5. A continuous query counting orders per 2-event window.
+    server.register_cql(
+        "order-volume",
+        &format!("SELECT count() AS n, sum(amount) AS total FROM {stream} [ROWS 2]"),
+    )?;
+    server.on_query(
+        "order-volume",
+        Arc::new(|ev| println!("  [query] order-volume → {}", ev.payload)),
+    )?;
+
+    // 6. Notification delivery (post-VIRT-filter).
+    server.on_notification(Arc::new(|n| {
+        println!("  [alert] {} (severity {:.1}): {}", n.title, n.severity, n.body);
+    }));
+
+    // 7. Normal database work — the application just writes rows.
+    println!("inserting orders…");
+    let orders = [
+        (1, "IBM", 500.0),
+        (2, "MSFT", 25_000.0),
+        (3, "IBM", 99.0),
+        (4, "AAPL", 1_000_000.0),
+    ];
+    for (oid, sym, amount) in orders {
+        server.db().insert(
+            "orders",
+            Record::from_iter([Value::Int(oid), Value::from(sym), Value::Float(amount)]),
+        )?;
+    }
+
+    // 8. Pump the evaluation pipeline.
+    let stats = server.pump()?;
+    println!(
+        "pumped: captured={} derived={} notified={}",
+        stats.captured, stats.derived, stats.notified
+    );
+
+    let snap = server.metrics().snapshot();
+    println!(
+        "metrics: processed={} notifications={} suppressed={}",
+        snap.events_processed, snap.notifications, snap.suppressed
+    );
+    assert_eq!(stats.captured, 4);
+    assert_eq!(stats.notified, 2);
+    Ok(())
+}

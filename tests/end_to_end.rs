@@ -1,0 +1,210 @@
+//! Integration: the full EventServer pipeline across crates — capture →
+//! CQL → alert rules → detectors → VIRT notifications — plus durable
+//! restart of the facade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evdb::analytics::detector::UpdatePolicy;
+use evdb::analytics::ControlChartModel;
+use evdb::core::notify::VirtPolicy;
+use evdb::core::server::ServerConfig;
+use evdb::core::{CaptureMechanism, EventServer};
+use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "evdb-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn capture_cql_rules_detectors_compose() {
+    let clock = SimClock::new(TimestampMs(0));
+    let server = EventServer::in_memory(ServerConfig {
+        clock: clock.clone(),
+        virt: VirtPolicy {
+            min_severity: 0.5,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+
+    server
+        .db()
+        .create_table(
+            "readings",
+            Schema::of(&[("rid", DataType::Int), ("sensor", DataType::Str), ("v", DataType::Float)]),
+            "rid",
+        )
+        .unwrap();
+    let stream = server
+        .capture_table("readings", CaptureMechanism::Journal)
+        .unwrap();
+
+    // CQL aggregate over the change stream.
+    server
+        .register_cql(
+            "avg-by-sensor",
+            &format!("SELECT sensor, avg(v) AS av FROM {stream} [ROWS 4] GROUP BY sensor"),
+        )
+        .unwrap();
+    let windows = Arc::new(AtomicU64::new(0));
+    let w = Arc::clone(&windows);
+    server
+        .on_query("avg-by-sensor", Arc::new(move |_| {
+            w.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+
+    // Rule + detector on the same stream.
+    server
+        .add_alert_rule("hot", &stream, "v > 95", 1.0, Some("sensor"))
+        .unwrap();
+    server
+        .add_detector(
+            "drift",
+            &stream,
+            "v",
+            Some("sensor"),
+            UpdatePolicy::Always,
+            || Box::new(ControlChartModel::new(3.0, 30)),
+        )
+        .unwrap();
+
+    // Drive writes through the database like any application would.
+    let mut rid = 0;
+    for round in 0..50 {
+        for sensor in ["a", "b"] {
+            rid += 1;
+            let v = if round == 40 && sensor == "a" {
+                99.0 // alert-worthy spike
+            } else {
+                50.0 + (round % 5) as f64
+            };
+            server
+                .db()
+                .insert(
+                    "readings",
+                    Record::from_iter([Value::Int(rid), Value::from(sensor), Value::Float(v)]),
+                )
+                .unwrap();
+        }
+        clock.advance(100);
+        server.pump().unwrap();
+    }
+
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.events_captured, 100);
+    // ROWS windows are per GROUP BY key: 50 events per sensor → 12
+    // complete count-4 windows each (2 leftovers stay open).
+    assert_eq!(windows.load(Ordering::Relaxed), 24);
+    assert!(snap.notifications >= 2, "rule + detector should both fire");
+    assert!(snap.deviations >= 1);
+    let delivered = server.notifications().drain_delivered();
+    assert!(delivered.iter().any(|n| n.title.contains("hot")));
+    assert!(delivered.iter().any(|n| n.key.starts_with("drift:")));
+}
+
+#[test]
+fn durable_server_restarts_with_data_and_queues() {
+    let dir = tmpdir("restart");
+    let clock = SimClock::new(TimestampMs(0));
+    {
+        let server = EventServer::open(
+            &dir,
+            ServerConfig {
+                clock: clock.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        server
+            .db()
+            .create_table(
+                "t",
+                Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+                "id",
+            )
+            .unwrap();
+        server
+            .db()
+            .insert("t", Record::from_iter([Value::Int(1), Value::Float(5.0)]))
+            .unwrap();
+        server
+            .create_queue(
+                "outbox",
+                Schema::of(&[("x", DataType::Int)]),
+                Default::default(),
+            )
+            .unwrap();
+        server.queues().subscribe("outbox", "sender").unwrap();
+        server
+            .queues()
+            .enqueue("outbox", Record::from_iter([Value::Int(42)]), "app")
+            .unwrap();
+    }
+    // Restart.
+    let server = EventServer::open(
+        &dir,
+        ServerConfig {
+            clock,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(server.db().table("t").unwrap().len(), 1);
+    let d = server.queues().dequeue("outbox", "sender", 1).unwrap();
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].message.payload, Record::from_iter([Value::Int(42)]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn capture_mechanisms_see_the_same_changes() {
+    // The three mechanisms observe an identical committed history.
+    let clock = SimClock::new(TimestampMs(0));
+    let server = EventServer::in_memory(ServerConfig {
+        clock: clock.clone(),
+        ..Default::default()
+    })
+    .unwrap();
+    for t in ["a", "b", "c"] {
+        server
+            .db()
+            .create_table(
+                t,
+                Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+                "id",
+            )
+            .unwrap();
+    }
+    let s1 = server.capture_table("a", CaptureMechanism::Trigger).unwrap();
+    let s2 = server.capture_table("b", CaptureMechanism::Journal).unwrap();
+    let s3 = server
+        .capture_table("c", CaptureMechanism::QueryPoll { interval_ms: 1 })
+        .unwrap();
+    for (stream, slot) in [(&s1, 0), (&s2, 1), (&s3, 2)] {
+        server
+            .add_alert_rule(&format!("all-{slot}"), stream, "TRUE", 1.0, Some("row_key"))
+            .unwrap();
+    }
+    for t in ["a", "b", "c"] {
+        for i in 0..5 {
+            server
+                .db()
+                .insert(t, Record::from_iter([Value::Int(i), Value::Float(i as f64)]))
+                .unwrap();
+        }
+    }
+    clock.advance(10);
+    let stats = server.pump().unwrap();
+    assert_eq!(stats.captured, 15);
+    assert_eq!(stats.notified, 15);
+}

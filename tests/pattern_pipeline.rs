@@ -1,0 +1,89 @@
+//! Integration: CEP patterns as first-class continuous queries — a
+//! `PatternMatcher` registered as a pipeline in the stream runtime,
+//! composed with a downstream filter over the match output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evdb::cq::op::{FilterOp, Operator, Pipeline};
+use evdb::cq::pattern::{Pattern, PatternMatcher, SkipStrategy, Step};
+use evdb::cq::StreamRuntime;
+use evdb::expr::parse;
+use evdb::types::{DataType, Record, Schema, TimestampMs, Value};
+
+#[test]
+fn pattern_as_runtime_query_with_downstream_filter() {
+    let schema = Schema::of(&[("kind", DataType::Str), ("amount", DataType::Float)]);
+    let rt = StreamRuntime::new(0);
+    rt.create_stream("txns", Arc::clone(&schema)).unwrap();
+
+    // Fraud-ish pattern: a probe (tiny charge) followed by a large
+    // charge within 1s, with no refund between them.
+    let pattern = Pattern::new(
+        vec![
+            Step::new("probe", parse("kind = 'charge' AND amount < 1").unwrap()),
+            Step::new("no_refund", parse("kind = 'refund'").unwrap()).negation(),
+            Step::new("big", parse("kind = 'charge' AND amount > 500").unwrap()),
+        ],
+        1_000,
+    )
+    .unwrap();
+    let matcher = PatternMatcher::new(pattern, &schema, SkipStrategy::SkipTillNext).unwrap();
+
+    // Downstream of the pattern: only escalate really big completions.
+    let match_schema = matcher.output_schema();
+    let escalate = FilterOp::new(
+        parse("big_amount > 900")
+            .unwrap()
+            .bind_predicate(&match_schema)
+            .unwrap(),
+        Arc::clone(&match_schema),
+    );
+    rt.register_query(
+        "fraud",
+        "txns",
+        Pipeline::new(vec![Box::new(matcher), Box::new(escalate)]),
+    )
+    .unwrap();
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    rt.subscribe("fraud", Arc::new(move |ev| {
+        h.fetch_add(1, Ordering::Relaxed);
+        assert!(ev.get("probe_amount").unwrap().as_f64().unwrap() < 1.0);
+    }))
+    .unwrap();
+
+    let push = |ts: i64, kind: &str, amount: f64| {
+        rt.push(
+            "txns",
+            TimestampMs(ts),
+            Record::from_iter([Value::from(kind), Value::Float(amount)]),
+        )
+        .unwrap()
+    };
+
+    // Scenario 1: probe → big (escalated).
+    push(10, "charge", 0.5);
+    push(20, "charge", 15.0); // irrelevant, skipped
+    let out = push(30, "charge", 950.0);
+    assert_eq!(out.len(), 1, "escalation fires");
+
+    // Scenario 2: probe → refund → big (killed by negation).
+    push(2_000, "charge", 0.7);
+    push(2_010, "refund", 0.7);
+    assert!(push(2_020, "charge", 990.0).is_empty());
+
+    // Scenario 3: probe → big but under the escalation filter.
+    push(4_000, "charge", 0.3);
+    assert!(push(4_010, "charge", 600.0).is_empty()); // matched, filtered
+
+    // Scenario 4: probe, then big arrives too late (WITHIN).
+    push(6_000, "charge", 0.9);
+    assert!(push(7_500, "charge", 999.0).is_empty());
+
+    assert_eq!(hits.load(Ordering::Relaxed), 1);
+    let (ins, outs) = rt.stats();
+    assert_eq!(ins, 10);
+    assert_eq!(outs, 1);
+}

@@ -1,0 +1,170 @@
+//! Property tests for the expression language: the print→parse
+//! round-trip that makes "expressions as data" safe to store, and
+//! evaluator totality (no panics, type errors only where typing says so).
+
+use proptest::prelude::*;
+
+use evdb::expr::{parse, BinaryOp, Expr};
+use evdb::types::{DataType, FieldDef, Record, Schema, Value};
+
+/// Strategy for leaf expressions over the fixed test schema
+/// `(a INT, b FLOAT, s STR, flag BOOL)`.
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Expr::lit),
+        (-1000.0f64..1000.0).prop_map(|f| Expr::lit((f * 100.0).round() / 100.0)),
+        "[a-z]{0,6}".prop_map(|s| Expr::lit(s.as_str())),
+        Just(Expr::lit(true)),
+        Just(Expr::lit(false)),
+        Just(Expr::Literal(Value::Null)),
+        Just(Expr::field("a")),
+        Just(Expr::field("b")),
+        Just(Expr::field("s")),
+        Just(Expr::field("flag")),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinaryOp::Lt, l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinaryOp::Eq, l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::binary(BinaryOp::Mul, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: evdb::expr::UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| {
+                Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: false,
+                }
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4)).prop_map(
+                |(e, list)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: true,
+                }
+            ),
+            inner.clone().prop_map(|e| Expr::IsNull {
+                expr: Box::new(e),
+                negated: false
+            }),
+            // Searched CASE.
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone()),
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    operand: None,
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            // Operand CASE.
+            (
+                inner.clone(),
+                proptest::collection::vec((inner.clone(), inner), 1..3),
+            )
+                .prop_map(|(op, branches)| Expr::Case {
+                    operand: Some(Box::new(op)),
+                    branches,
+                    else_expr: None,
+                }),
+        ]
+    })
+}
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        FieldDef::nullable("a", DataType::Int),
+        FieldDef::nullable("b", DataType::Float),
+        FieldDef::nullable("s", DataType::Str),
+        FieldDef::nullable("flag", DataType::Bool),
+    ])
+    .unwrap()
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        proptest::option::of(-1000i64..1000),
+        proptest::option::of(-1000.0f64..1000.0),
+        proptest::option::of("[a-z]{0,6}"),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(|(a, b, s, f)| {
+            Record::new(vec![
+                a.map(Value::Int).unwrap_or(Value::Null),
+                b.map(Value::Float).unwrap_or(Value::Null),
+                s.map(|x| Value::from(x.as_str())).unwrap_or(Value::Null),
+                f.map(Value::Bool).unwrap_or(Value::Null),
+            ])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// print → parse reproduces the same AST.
+    #[test]
+    fn print_parse_round_trip(e in arb_expr()) {
+        let text = e.to_string();
+        let back = parse(&text)
+            .unwrap_or_else(|err| panic!("failed to reparse `{text}`: {err}"));
+        prop_assert_eq!(&back, &e, "round trip through `{}`", text);
+    }
+
+    /// Rendering is a fixed point: parse(print(e)) prints identically.
+    #[test]
+    fn printing_is_stable(e in arb_expr()) {
+        let once = e.to_string();
+        let twice = parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// If an expression binds, evaluation never panics on any record of
+    /// the schema, and evaluating twice gives the same answer.
+    #[test]
+    fn eval_is_total_and_deterministic(e in arb_expr(), r in arb_record()) {
+        let schema = schema();
+        if let Ok(bound) = e.bind(&schema) {
+            let v1 = bound.eval(&r);
+            let v2 = bound.eval(&r);
+            match (v1, v2) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {} // e.g. integer overflow, both times
+                (a, b) => prop_assert!(false, "non-deterministic: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Constraint analysis is sound: for indexable conjuncts, an event
+    /// accepted by the full predicate is accepted by every constraint.
+    #[test]
+    fn analysis_constraints_are_implied(e in arb_expr(), r in arb_record()) {
+        let schema = schema();
+        let Ok(bound) = e.bind_predicate(&schema) else { return Ok(()) };
+        let Ok(matched) = bound.matches(&r) else { return Ok(()) };
+        if matched {
+            let form = evdb::expr::analyze(&e);
+            for c in &form.constraints {
+                let idx = schema.index_of(c.field()).unwrap();
+                let v = r.get(idx).unwrap();
+                prop_assert!(
+                    c.accepts(v),
+                    "predicate `{}` matched {:?} but constraint {:?} rejects",
+                    e, r, c
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property test: the indexed matcher is exactly equivalent to the scan
+//! baseline on randomly generated rule sets and events — the correctness
+//! half of the E3/E4 scalability claims.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use evdb::rules::{IndexedMatcher, Matcher, Rule, ScanMatcher};
+use evdb::types::{DataType, Record, Schema, Value};
+
+fn schema() -> Arc<Schema> {
+    Schema::of(&[
+        ("sym", DataType::Str),
+        ("px", DataType::Float),
+        ("qty", DataType::Int),
+    ])
+}
+
+/// Generate rule predicate text from a constrained template grammar so
+/// every rule parses and type-checks by construction.
+fn arb_rule_text() -> impl Strategy<Value = String> {
+    let sym = 0u8..6;
+    let px = 0.0f64..200.0;
+    let qty = 0i64..100;
+    prop_oneof![
+        (sym.clone()).prop_map(|s| format!("sym = 'S{s}'")),
+        (px.clone()).prop_map(|p| format!("px > {p:.2}")),
+        (px.clone()).prop_map(|p| format!("px <= {p:.2}")),
+        (px.clone(), 0.1f64..50.0)
+            .prop_map(|(lo, w)| format!("px BETWEEN {lo:.2} AND {:.2}", lo + w)),
+        (qty.clone()).prop_map(|q| format!("qty = {q}")),
+        (sym.clone(), sym.clone()).prop_map(|(a, b)| format!("sym IN ('S{a}', 'S{b}')")),
+        (sym.clone(), px.clone()).prop_map(|(s, p)| format!("sym = 'S{s}' AND px > {p:.2}")),
+        (qty.clone(), qty).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            format!("qty >= {lo} AND qty <= {hi}")
+        }),
+        (px.clone()).prop_map(|p| format!("px * 2 > {p:.2}")), // residual-only
+        (sym, px).prop_map(|(s, p)| format!("sym = 'S{s}' OR px < {p:.2}")), // residual
+        Just("qty != 50".to_string()),
+        Just("length(sym) = 2".to_string()),
+        Just("NOT px > 100".to_string()),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Record> {
+    (0u8..6, 0.0f64..200.0, 0i64..100).prop_map(|(s, p, q)| {
+        Record::from_iter([
+            Value::from(format!("S{s}")),
+            Value::Float((p * 100.0).round() / 100.0),
+            Value::Int(q),
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn indexed_equals_scan(
+        rule_texts in proptest::collection::vec(arb_rule_text(), 1..40),
+        events in proptest::collection::vec(arb_event(), 1..40),
+    ) {
+        let schema = schema();
+        let mut scan = ScanMatcher::new(Arc::clone(&schema));
+        let mut idx = IndexedMatcher::new(Arc::clone(&schema));
+        for (i, text) in rule_texts.iter().enumerate() {
+            let expr = evdb::expr::parse(text).unwrap();
+            scan.add_rule(Rule::new(i as u64, "", expr.clone())).unwrap();
+            idx.add_rule(Rule::new(i as u64, "", expr)).unwrap();
+        }
+        for ev in &events {
+            prop_assert_eq!(
+                scan.match_record(ev).unwrap(),
+                idx.match_record(ev).unwrap(),
+                "disagreement on {} with rules {:?}", ev, rule_texts
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_survives_churn(
+        rule_texts in proptest::collection::vec(arb_rule_text(), 4..30),
+        remove_mask in proptest::collection::vec(any::<bool>(), 4..30),
+        events in proptest::collection::vec(arb_event(), 1..20),
+    ) {
+        let schema = schema();
+        let mut scan = ScanMatcher::new(Arc::clone(&schema));
+        let mut idx = IndexedMatcher::new(Arc::clone(&schema));
+        for (i, text) in rule_texts.iter().enumerate() {
+            let expr = evdb::expr::parse(text).unwrap();
+            scan.add_rule(Rule::new(i as u64, "", expr.clone())).unwrap();
+            idx.add_rule(Rule::new(i as u64, "", expr)).unwrap();
+        }
+        // Remove a random subset from both.
+        for (i, remove) in remove_mask.iter().enumerate() {
+            if *remove && i < rule_texts.len() {
+                scan.remove_rule(i as u64).unwrap();
+                idx.remove_rule(i as u64).unwrap();
+            }
+        }
+        prop_assert_eq!(scan.len(), idx.len());
+        for ev in &events {
+            prop_assert_eq!(
+                scan.match_record(ev).unwrap(),
+                idx.match_record(ev).unwrap()
+            );
+        }
+    }
+}
