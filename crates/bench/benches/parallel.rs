@@ -1,0 +1,39 @@
+//! Criterion bench for E11: end-to-end pump throughput, sequential vs
+//! sharded, on the staged multi-stream and keyed hot-stream workloads.
+//! Each iteration builds a staged server and drains it completely, so
+//! the measured unit is "process N staged events through the chosen
+//! pump mode" (routing + evaluation + merge included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evdb_bench::experiments::e11_parallel::{drive, keyed_stream_server, multi_stream_server};
+use evdb_core::PumpMode;
+
+const N: usize = 2_000;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_pump");
+    g.sample_size(10);
+
+    for (name, mode) in [
+        ("seq", PumpMode::Sequential),
+        ("shard-2", PumpMode::Sharded { workers: 2 }),
+        ("shard-4", PumpMode::Sharded { workers: 4 }),
+    ] {
+        g.bench_function(BenchmarkId::new("multi_stream", name), |b| {
+            b.iter(|| {
+                let server = multi_stream_server(N, 7);
+                drive(&server, N, mode)
+            });
+        });
+        g.bench_function(BenchmarkId::new("keyed_hot_stream", name), |b| {
+            b.iter(|| {
+                let server = keyed_stream_server(N, 7);
+                drive(&server, N, mode)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

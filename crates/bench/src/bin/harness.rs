@@ -33,6 +33,7 @@ fn main() {
         ("e8", experiments::e08_analytics::run),
         ("e9", experiments::e09_usecases::run),
         ("e10", experiments::e10_recovery::run),
+        ("e11", experiments::e11_parallel::run),
     ];
 
     println!(

@@ -1,0 +1,231 @@
+//! E11 — sharded parallel pump (DESIGN.md §D7): throughput of the
+//! router/worker/merge pipeline vs the sequential pump as the worker
+//! count grows, on the two workload shapes the partitioner supports.
+//!
+//! * **multi-stream** — 8 independent streams, each with a keyed alert
+//!   rule, a windowed CQL query and a keyed detector; default
+//!   by-stream routing spreads the streams over the shards.
+//! * **keyed-hot-stream** — one stream partitioned by its `sym` field
+//!   (16 symbols), keyed rule + keyed detector, no CQ — the
+//!   configuration where keyed routing is semantics-preserving.
+//!
+//! Events are staged with `ingest_async` before the pump starts, so
+//! the measurement covers routing + evaluation + merge, not producer
+//! cost. Correctness of the parallel modes (identical notification
+//! multiset and per-key order vs sequential) is enforced separately by
+//! `tests/parallel_pump.rs`; this experiment only measures.
+//!
+//! Wall-clock speedup is bounded by the host's core count: on a
+//! single-core box every mode time-slices one CPU and the sharded
+//! pipeline can only show its coordination overhead, not scaling. The
+//! table records `cores` so results self-describe.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use evdb_analytics::detector::UpdatePolicy;
+use evdb_analytics::ThresholdModel;
+use evdb_core::server::ServerConfig;
+use evdb_core::{spawn_pump_with, EventServer, PumpMode};
+use evdb_types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{Scale, Table};
+use crate::fmt_rate;
+
+fn sym(i: usize) -> String {
+    format!("S{:02}", i % 16)
+}
+
+fn tick_schema() -> Arc<Schema> {
+    Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)])
+}
+
+/// Build the 8-stream workload server and stage `n` events.
+pub fn multi_stream_server(n: usize, seed: u64) -> Arc<EventServer> {
+    let server = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    for s in 0..8 {
+        let stream = format!("s{s}");
+        server.create_stream(&stream, tick_schema()).unwrap();
+        server
+            .add_alert_rule(&format!("hot{s}"), &stream, "px > 95", 1.0, Some("sym"))
+            .unwrap();
+        server
+            .register_cql(
+                &format!("avg{s}"),
+                &format!("SELECT sym, avg(px) AS apx FROM {stream} [RANGE 1 s] GROUP BY sym"),
+            )
+            .unwrap();
+        server
+            .add_detector(
+                &format!("band{s}"),
+                &stream,
+                "px",
+                Some("sym"),
+                UpdatePolicy::Always,
+                || Box::new(ThresholdModel::new(1.0, 98.0)),
+            )
+            .unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let stream = format!("s{}", rng.gen_range(0..8));
+        server
+            .ingest_async(
+                &stream,
+                TimestampMs(i as i64),
+                Record::from_iter([
+                    Value::from(sym(rng.gen_range(0..16))),
+                    Value::Float(rng.gen_range(0.0..100.0)),
+                ]),
+            )
+            .unwrap();
+    }
+    server
+}
+
+/// Build the keyed hot-stream workload server and stage `n` events.
+pub fn keyed_stream_server(n: usize, seed: u64) -> Arc<EventServer> {
+    let server = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    server.create_stream("ticks", tick_schema()).unwrap();
+    server
+        .add_alert_rule("hot", "ticks", "px > 95", 1.0, Some("sym"))
+        .unwrap();
+    server
+        .add_detector(
+            "band",
+            "ticks",
+            "px",
+            Some("sym"),
+            UpdatePolicy::Always,
+            || Box::new(ThresholdModel::new(1.0, 98.0)),
+        )
+        .unwrap();
+    server.set_partition_field("ticks", "sym").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        server
+            .ingest_async(
+                "ticks",
+                TimestampMs(i as i64),
+                Record::from_iter([
+                    Value::from(sym(rng.gen_range(0..16))),
+                    Value::Float(rng.gen_range(0.0..100.0)),
+                ]),
+            )
+            .unwrap();
+    }
+    server
+}
+
+/// Run a pump mode over a staged server until all `n` events are
+/// processed; returns (events/s, busy shard count).
+pub fn drive(server: &Arc<EventServer>, n: usize, mode: PumpMode) -> (f64, usize) {
+    let t0 = Instant::now();
+    let handle = spawn_pump_with(server, Duration::from_millis(1), mode);
+    while (server.metrics().snapshot().events_processed as usize) < n {
+        assert!(
+            t0.elapsed() < Duration::from_secs(300),
+            "pump stalled at {} of {n}",
+            server.metrics().snapshot().events_processed
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    handle.stop();
+    let busy = server
+        .metrics()
+        .shard_snapshots()
+        .iter()
+        .filter(|s| s.events_routed > 0)
+        .count();
+    (n as f64 / secs, busy)
+}
+
+const MODES: [(&str, PumpMode); 5] = [
+    ("seq", PumpMode::Sequential),
+    ("shard-1", PumpMode::Sharded { workers: 1 }),
+    ("shard-2", PumpMode::Sharded { workers: 2 }),
+    ("shard-4", PumpMode::Sharded { workers: 4 }),
+    ("shard-8", PumpMode::Sharded { workers: 8 }),
+];
+
+fn workload(table: &mut Table, label: &str, n: usize, build: impl Fn() -> Arc<EventServer>) {
+    let mut seq_rate = None;
+    for (name, mode) in MODES {
+        let server = build();
+        let (rate, busy) = drive(&server, n, mode);
+        let base = *seq_rate.get_or_insert(rate);
+        table.row(vec![
+            label.into(),
+            name.into(),
+            fmt_rate(rate),
+            format!("{:.2}x", rate / base),
+            if matches!(mode, PumpMode::Sequential) {
+                "-".into()
+            } else {
+                busy.to_string()
+            },
+        ]);
+    }
+}
+
+/// Run E11.
+pub fn run(scale: Scale) -> Table {
+    let n = scale.pick(4_000, 60_000);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut table = Table::new(
+        "E11: sharded parallel pump (multi-stream / keyed hot stream)",
+        &["workload", "mode", "events/s", "speedup", "busy_shards"],
+    );
+    workload(&mut table, "multi-stream", n, || {
+        multi_stream_server(n, 111)
+    });
+    workload(&mut table, "keyed-hot-stream", n, || {
+        keyed_stream_server(n, 222)
+    });
+    table.note(format!(
+        "host has {cores} core(s); wall-clock speedup is bounded by min(workers, cores, busy_shards)"
+    ));
+    table
+        .note("sequential equivalence of every sharded mode is asserted in tests/parallel_pump.rs");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_completes_and_shards_engage() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 10);
+        // Multi-stream at 4 workers: 8 streams must spread over >1 shard.
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "multi-stream" && r[1] == "shard-4")
+            .unwrap();
+        assert!(row[4].parse::<usize>().unwrap() > 1);
+        // Keyed hot stream at 8 workers: 16 symbols spread over shards.
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "keyed-hot-stream" && r[1] == "shard-8")
+            .unwrap();
+        assert!(row[4].parse::<usize>().unwrap() > 1);
+    }
+}

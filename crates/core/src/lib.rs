@@ -21,15 +21,18 @@
 //! * [`security`] — principals, grants and the audit trail
 //!   (the "security, auditing, tracking" operational characteristic).
 //! * [`metrics`] — counters and latency histograms for the harness.
+//! * [`shard`] — the sharded parallel pump: partitioned multi-worker
+//!   evaluation behind [`PumpMode::Sharded`], preserving per-key order.
 
 pub mod metrics;
 pub mod notify;
 pub mod pump;
 pub mod security;
 pub mod server;
+pub mod shard;
 
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, ShardMetrics, ShardSnapshot};
 pub use notify::{Notification, NotificationCenter, VirtPolicy};
-pub use pump::{spawn_pump, PumpHandle};
+pub use pump::{spawn_pump, spawn_pump_with, PumpHandle, PumpMode};
 pub use security::{AccessControl, Principal, Privilege};
 pub use server::{CaptureMechanism, EventServer};

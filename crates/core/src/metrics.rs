@@ -1,6 +1,8 @@
-//! Engine metrics: cheap atomic counters plus a latency histogram.
+//! Engine metrics: cheap atomic counters plus a latency histogram, and
+//! per-shard counters when the sharded pump is running.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use evdb_analytics::Histogram;
 use parking_lot::Mutex;
@@ -21,6 +23,32 @@ pub struct Metrics {
     /// Notifications suppressed by the VIRT filter.
     pub suppressed: AtomicU64,
     latency: Mutex<Histogram>,
+    /// One entry per worker of the active sharded pump (empty when the
+    /// pump is sequential). Replaced wholesale by `register_shards`.
+    shards: Mutex<Vec<Arc<ShardMetrics>>>,
+}
+
+/// Live counters for one shard worker of the sharded pump.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Events the router has assigned to this shard.
+    pub events_routed: AtomicU64,
+    /// Events currently enqueued for (not yet finished by) this worker.
+    pub queue_depth: AtomicU64,
+    /// Batches the worker has pulled and evaluated (busy cycles; the
+    /// gap between this and the router's cycle count is idle time).
+    pub busy_cycles: AtomicU64,
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Events routed to the shard so far.
+    pub events_routed: u64,
+    /// Events enqueued but not yet evaluated.
+    pub queue_depth: u64,
+    /// Batches evaluated by the worker.
+    pub busy_cycles: u64,
 }
 
 /// A point-in-time copy of the counters.
@@ -55,6 +83,7 @@ impl Default for Metrics {
             suppressed: AtomicU64::new(0),
             // 0..10s in 10ms bins covers poll-driven capture latencies.
             latency: Mutex::new(Histogram::new(0.0, 10_000.0, 1_000)),
+            shards: Mutex::new(Vec::new()),
         }
     }
 }
@@ -79,6 +108,29 @@ impl Metrics {
             latency_p99_ms: latency.quantile(0.99),
         }
     }
+
+    /// Install `n` fresh shard counter sets (called by the sharded pump
+    /// at startup) and return them for the workers to update.
+    pub fn register_shards(&self, n: usize) -> Vec<Arc<ShardMetrics>> {
+        let fresh: Vec<Arc<ShardMetrics>> =
+            (0..n).map(|_| Arc::new(ShardMetrics::default())).collect();
+        *self.shards.lock() = fresh.clone();
+        fresh
+    }
+
+    /// Point-in-time copies of the per-shard counters (empty unless a
+    /// sharded pump has registered).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .lock()
+            .iter()
+            .map(|s| ShardSnapshot {
+                events_routed: s.events_routed.load(Ordering::Relaxed),
+                queue_depth: s.queue_depth.load(Ordering::Relaxed),
+                busy_cycles: s.busy_cycles.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +148,20 @@ mod tests {
         assert_eq!(s.events_processed, 0);
         let p50 = s.latency_p50_ms.unwrap();
         assert!(p50 > 0.0 && p50 < 50.0);
+    }
+
+    #[test]
+    fn shard_registration_resets_counters() {
+        let m = Metrics::default();
+        assert!(m.shard_snapshots().is_empty());
+        let shards = m.register_shards(2);
+        shards[1].events_routed.fetch_add(7, Ordering::Relaxed);
+        let snaps = m.shard_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].events_routed, 0);
+        assert_eq!(snaps[1].events_routed, 7);
+        // Re-registration replaces the old counters.
+        m.register_shards(4);
+        assert!(m.shard_snapshots().iter().all(|s| s.events_routed == 0));
     }
 }

@@ -32,9 +32,10 @@ use evdb_storage::{
     ChangeEvent, Database, DbOptions, JournalMiner, QuerySnapshot, TriggerOps, TriggerTiming,
 };
 use evdb_types::{
-    Clock, Error, Event, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs, Value,
+    Clock, Error, Event, EventId, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs,
+    Value,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::Metrics;
 use crate::notify::{Notification, NotificationCenter, NotificationHandler, VirtPolicy};
@@ -163,8 +164,18 @@ pub struct EventServer {
     agg_mode: AggMode,
     captures: Mutex<Vec<CaptureTask>>,
     trigger_buffer: Arc<Mutex<VecDeque<(String, ChangeEvent)>>>,
-    alert_rules: Mutex<HashMap<String, AlertRules>>,
-    detectors: Mutex<HashMap<String, Vec<DetectorGroup>>>,
+    /// Events staged by [`EventServer::ingest_async`], drained by the pump.
+    ingest_buffer: Mutex<VecDeque<Event>>,
+    /// Read-mostly: rule registration is rare, matching is per-event and
+    /// concurrent under the sharded pump ([`IndexedMatcher::match_record`]
+    /// takes `&self`).
+    alert_rules: RwLock<HashMap<String, AlertRules>>,
+    /// Each detector group has its own lock so sharded workers touching
+    /// different groups (or different streams) never contend; the outer
+    /// map is read-mostly like `alert_rules`.
+    detectors: RwLock<HashMap<String, Vec<Mutex<DetectorGroup>>>>,
+    /// Per-stream partition field for sharded routing (see `shard.rs`).
+    partition_fields: RwLock<HashMap<String, usize>>,
     ids: IdGenerator,
 }
 
@@ -197,14 +208,19 @@ impl EventServer {
             queues,
             broker: Broker::new(),
             runtime: StreamRuntime::new(config.lateness_ms),
-            notifications: Arc::new(NotificationCenter::new(config.virt, Arc::clone(&config.clock))),
+            notifications: Arc::new(NotificationCenter::new(
+                config.virt,
+                Arc::clone(&config.clock),
+            )),
             access,
             metrics: Arc::new(Metrics::default()),
             agg_mode: config.agg_mode,
             captures: Mutex::new(Vec::new()),
             trigger_buffer: Arc::new(Mutex::new(VecDeque::new())),
-            alert_rules: Mutex::new(HashMap::new()),
-            detectors: Mutex::new(HashMap::new()),
+            ingest_buffer: Mutex::new(VecDeque::new()),
+            alert_rules: RwLock::new(HashMap::new()),
+            detectors: RwLock::new(HashMap::new()),
+            partition_fields: RwLock::new(HashMap::new()),
             ids: IdGenerator::default(),
             db,
         })
@@ -293,7 +309,13 @@ impl EventServer {
             schema,
             kind,
         });
-        Ok(self.captures.lock().last().expect("just pushed").stream.clone())
+        Ok(self
+            .captures
+            .lock()
+            .last()
+            .expect("just pushed")
+            .stream
+            .clone())
     }
 
     /// Declare a free-standing stream fed by [`EventServer::ingest`]
@@ -304,22 +326,78 @@ impl EventServer {
 
     /// Push one external event into a stream, running the evaluation
     /// pipeline for it immediately.
-    pub fn ingest(&self, stream: &str, timestamp: TimestampMs, payload: Record) -> Result<PumpStats> {
+    pub fn ingest(
+        &self,
+        stream: &str,
+        timestamp: TimestampMs,
+        payload: Record,
+    ) -> Result<PumpStats> {
         use std::sync::atomic::Ordering;
-        let schema = self.runtime.stream_schema(stream)?;
-        schema.validate(&payload)?;
-        let event = Event::new(
-            evdb_types::EventId(self.ids.next_id()),
-            stream,
-            timestamp,
-            payload,
-            schema,
-        );
+        let event = self.make_event(stream, timestamp, payload)?;
         let mut stats = PumpStats::default();
         self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
         stats.captured = 1;
         self.process_event(&event, &mut stats)?;
         Ok(stats)
+    }
+
+    /// Stage one external event for the next pump instead of evaluating
+    /// it inline. This is the producer-side entry point for background
+    /// pumping (sequential or sharded): producers validate and enqueue,
+    /// the pump evaluates. Counted as captured when drained.
+    pub fn ingest_async(
+        &self,
+        stream: &str,
+        timestamp: TimestampMs,
+        payload: Record,
+    ) -> Result<()> {
+        let event = self.make_event(stream, timestamp, payload)?;
+        self.ingest_buffer.lock().push_back(event);
+        Ok(())
+    }
+
+    fn make_event(&self, stream: &str, timestamp: TimestampMs, payload: Record) -> Result<Event> {
+        let schema = self.runtime.stream_schema(stream)?;
+        schema.validate(&payload)?;
+        Ok(Event::new(
+            EventId(self.ids.next_id()),
+            stream,
+            timestamp,
+            payload,
+            schema,
+        ))
+    }
+
+    /// Partition a stream's events by a payload field for sharded
+    /// pumping ([`crate::PumpMode::Sharded`]). By default a whole stream
+    /// maps to one shard, which preserves every sequential semantic
+    /// (CQ windows, cross-key detectors, in-stream order). Keying a hot
+    /// stream by a field spreads it over the workers; use it only when
+    /// the stream's rules and detectors are scoped by that same field
+    /// and no continuous query reads the stream (see DESIGN.md §D7).
+    pub fn set_partition_field(&self, stream: &str, field: &str) -> Result<()> {
+        let schema = self.runtime.stream_schema(stream)?;
+        let idx = schema
+            .index_of(field)
+            .ok_or_else(|| Error::Schema(format!("unknown partition field '{field}'")))?;
+        self.partition_fields
+            .write()
+            .insert(stream.to_string(), idx);
+        Ok(())
+    }
+
+    /// The routing key the sharded pump hashes for this event: the
+    /// stream name, refined by the stream's partition field if one is
+    /// configured.
+    pub fn partition_key_of(&self, event: &Event) -> String {
+        match self.partition_fields.read().get(event.source.as_ref()) {
+            Some(&i) => format!(
+                "{}/{}",
+                event.source,
+                event.payload.get(i).cloned().unwrap_or(Value::Null)
+            ),
+            None => event.source.to_string(),
+        }
     }
 
     // ---- continuous queries ----------------------------------------------------
@@ -361,7 +439,7 @@ impl EventServer {
                     .ok_or_else(|| Error::Schema(format!("unknown key field '{f}'")))?,
             ),
         };
-        let mut rules = self.alert_rules.lock();
+        let mut rules = self.alert_rules.write();
         let entry = rules
             .entry(stream.to_string())
             .or_insert_with(|| AlertRules {
@@ -385,7 +463,7 @@ impl EventServer {
 
     /// Remove an alert rule.
     pub fn remove_alert_rule(&self, stream: &str, id: u64) -> Result<()> {
-        let mut rules = self.alert_rules.lock();
+        let mut rules = self.alert_rules.write();
         let entry = rules
             .get_mut(stream)
             .ok_or_else(|| Error::NotFound(format!("alert rules on '{stream}'")))?;
@@ -424,18 +502,16 @@ impl EventServer {
             ),
         };
         self.detectors
-            .lock()
+            .write()
             .entry(stream.to_string())
             .or_default()
-            .push(DetectorGroup {
+            .push(Mutex::new(DetectorGroup {
                 name: name.to_string(),
                 field: field_idx,
                 key_field: key_idx,
-                factory: Box::new(move || {
-                    DeviationDetector::with_policy(model_factory(), policy)
-                }),
+                factory: Box::new(move || DeviationDetector::with_policy(model_factory(), policy)),
                 instances: HashMap::new(),
-            });
+            }));
         Ok(())
     }
 
@@ -490,12 +566,7 @@ impl EventServer {
 
     /// Enqueue as a principal: checked against `queue:<name>` Write and
     /// audited.
-    pub fn enqueue_as(
-        &self,
-        principal: &Principal,
-        queue: &str,
-        payload: Record,
-    ) -> Result<u64> {
+    pub fn enqueue_as(&self, principal: &Principal, queue: &str, payload: Record) -> Result<u64> {
         self.access
             .check(principal, &format!("queue:{queue}"), Privilege::Write)?;
         self.queues.enqueue(queue, payload, &principal.name)
@@ -520,8 +591,39 @@ impl EventServer {
     /// pipeline. Deterministic: with a `SimClock`, repeated runs produce
     /// identical results.
     pub fn pump(&self) -> Result<PumpStats> {
+        let events = self.drain_captured()?;
+        let mut stats = PumpStats {
+            captured: events.len() as u64,
+            ..PumpStats::default()
+        };
+        for event in &events {
+            self.process_event(event, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Collect every pending captured change as a ready-to-evaluate
+    /// event, in capture order, without evaluating anything. This is the
+    /// ingest stage shared by the sequential pump (which evaluates the
+    /// returned batch inline) and the sharded pump's router thread
+    /// (which fans it out to workers). Capture-side metrics
+    /// (`events_captured`, capture latency) are recorded here.
+    pub fn drain_captured(&self) -> Result<Vec<Event>> {
         use std::sync::atomic::Ordering;
         let now = self.now();
+        let mut events = Vec::new();
+
+        // Externally staged events first (ingest_async producers).
+        {
+            let mut buf = self.ingest_buffer.lock();
+            if !buf.is_empty() {
+                self.metrics
+                    .events_captured
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                events.extend(buf.drain(..));
+            }
+        }
+
         let mut batches: Vec<(String, Arc<Schema>, Vec<ChangeEvent>)> = Vec::new();
 
         // Trigger buffer.
@@ -576,7 +678,6 @@ impl EventServer {
             }
         }
 
-        let mut stats = PumpStats::default();
         for (_stream, schema, changes) in batches {
             for change in changes {
                 let event = change_to_event(&change, &schema, &self.ids);
@@ -589,39 +690,67 @@ impl EventServer {
                     event.payload,
                     event.schema,
                 );
-                stats.captured += 1;
                 self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .observe_latency(now.since(change.timestamp) as f64);
-                self.process_event(&event, &mut stats)?;
+                events.push(event);
             }
         }
-        Ok(stats)
+        Ok(events)
     }
 
-    /// Route one event: runtime queries, alert rules, detectors.
+    /// Route one event: runtime queries, alert rules, detectors;
+    /// notifications delivered inline (the sequential path).
     fn process_event(&self, event: &Event, stats: &mut PumpStats) -> Result<()> {
+        let (derived, notes) = self.evaluate_event(event)?;
+        stats.derived += derived;
+        for n in notes {
+            if self.deliver(n) {
+                stats.notified += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one event — continuous queries, alert rules, detectors —
+    /// *collecting* its notifications instead of delivering them.
+    /// Returns (derived event count, pending notifications).
+    ///
+    /// This is the worker-side half of the sharded pump: workers
+    /// evaluate concurrently (the VIRT filter is stateful per key, so
+    /// delivery is deferred to the single merge stage, which calls
+    /// [`EventServer::deliver`] in per-key order). The sequential pump
+    /// uses the same method and delivers inline, so both modes run the
+    /// identical evaluation code.
+    pub fn evaluate_event(&self, event: &Event) -> Result<(u64, Vec<Notification>)> {
         use std::sync::atomic::Ordering;
-        self.metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .events_processed
+            .fetch_add(1, Ordering::Relaxed);
 
         // Continuous queries.
         let derived = self.runtime.push_event(event)?;
-        stats.derived += derived.len() as u64;
         self.metrics
             .derived_events
             .fetch_add(derived.len() as u64, Ordering::Relaxed);
 
-        // Alert rules on this stream.
-        stats.notified += self.run_alert_rules(event)?;
-
-        // Detectors on this stream (raw events).
-        stats.notified += self.run_detectors(event.source.as_ref(), event)?;
-        Ok(())
+        let mut notes = Vec::new();
+        self.collect_alert_rules(event, &mut notes)?;
+        self.collect_detectors(event, &mut notes)?;
+        Ok((derived.len() as u64, notes))
     }
 
-    fn run_alert_rules(&self, event: &Event) -> Result<u64> {
-        let mut notified = 0;
-        let rules = self.alert_rules.lock();
+    /// Run a pending notification through the VIRT filter; true when it
+    /// was delivered (not suppressed). Single-threaded per key by
+    /// construction in both pump modes.
+    pub fn deliver(&self, notification: Notification) -> bool {
+        let delivered = self.notifications.notify(notification);
+        self.sync_notify_metrics();
+        delivered
+    }
+
+    fn collect_alert_rules(&self, event: &Event, out: &mut Vec<Notification>) -> Result<()> {
+        let rules = self.alert_rules.read();
         if let Some(entry) = rules.get(event.source.as_ref()) {
             let hits = entry.matcher.match_record(&event.payload)?;
             for id in hits {
@@ -634,28 +763,24 @@ impl EventServer {
                     ),
                     None => meta.name.clone(),
                 };
-                let delivered = self.notifications.notify(Notification {
+                out.push(Notification {
                     key,
                     severity: meta.severity,
                     title: format!("rule '{}' matched on {}", meta.name, event.source),
                     body: event.payload.to_string(),
                     timestamp: event.timestamp,
                 });
-                if delivered {
-                    notified += 1;
-                }
             }
         }
-        self.sync_notify_metrics();
-        Ok(notified)
+        Ok(())
     }
 
-    fn run_detectors(&self, stream: &str, event: &Event) -> Result<u64> {
+    fn collect_detectors(&self, event: &Event, out: &mut Vec<Notification>) -> Result<()> {
         use std::sync::atomic::Ordering;
-        let mut notified = 0;
-        let mut detectors = self.detectors.lock();
-        if let Some(groups) = detectors.get_mut(stream) {
-            for g in groups {
+        let detectors = self.detectors.read();
+        if let Some(groups) = detectors.get(event.source.as_ref()) {
+            for cell in groups {
+                let g = &mut *cell.lock();
                 let Some(value) = event.payload.get(g.field).and_then(Value::as_f64) else {
                     continue;
                 };
@@ -673,7 +798,7 @@ impl EventServer {
                     .or_insert_with(|| (g.factory)());
                 if let Some(dev) = det.observe(event.timestamp, value) {
                     self.metrics.deviations.fetch_add(1, Ordering::Relaxed);
-                    let delivered = self.notifications.notify(Notification {
+                    out.push(Notification {
                         key,
                         severity: dev.score,
                         title: format!("{}: {} outside expectation", g.name, dev.value),
@@ -683,14 +808,10 @@ impl EventServer {
                         ),
                         timestamp: dev.timestamp,
                     });
-                    if delivered {
-                        notified += 1;
-                    }
                 }
             }
         }
-        self.sync_notify_metrics();
-        Ok(notified)
+        Ok(())
     }
 
     fn sync_notify_metrics(&self) {
@@ -738,16 +859,30 @@ mod tests {
     #[test]
     fn trigger_capture_to_alert_rule() {
         let (s, _clock) = server();
-        let stream = s.capture_table("orders", CaptureMechanism::Trigger).unwrap();
-        assert_eq!(stream, "orders_changes");
-        s.add_alert_rule("big", &stream, "amt > 1000 AND change = 'insert'", 2.0, None)
+        let stream = s
+            .capture_table("orders", CaptureMechanism::Trigger)
             .unwrap();
+        assert_eq!(stream, "orders_changes");
+        s.add_alert_rule(
+            "big",
+            &stream,
+            "amt > 1000 AND change = 'insert'",
+            2.0,
+            None,
+        )
+        .unwrap();
 
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(1), Value::Float(50.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(1), Value::Float(50.0)]),
+            )
             .unwrap();
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(5_000.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(2), Value::Float(5_000.0)]),
+            )
             .unwrap();
         let stats = s.pump().unwrap();
         assert_eq!(stats.captured, 2);
@@ -760,17 +895,25 @@ mod tests {
     #[test]
     fn journal_capture_sees_only_commits() {
         let (s, _clock) = server();
-        let stream = s.capture_table("orders", CaptureMechanism::Journal).unwrap();
+        let stream = s
+            .capture_table("orders", CaptureMechanism::Journal)
+            .unwrap();
         s.add_alert_rule("any", &stream, "TRUE", 1.0, Some("row_key"))
             .unwrap();
         {
             let mut tx = s.db().begin();
-            tx.insert("orders", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
-                .unwrap();
+            tx.insert(
+                "orders",
+                Record::from_iter([Value::Int(1), Value::Float(1.0)]),
+            )
+            .unwrap();
             tx.rollback();
         }
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(2), Value::Float(2.0)]),
+            )
             .unwrap();
         let stats = s.pump().unwrap();
         assert_eq!(stats.captured, 1); // rollback invisible
@@ -782,11 +925,17 @@ mod tests {
         s.capture_table("orders", CaptureMechanism::QueryPoll { interval_ms: 1_000 })
             .unwrap();
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(1), Value::Float(1.0)]),
+            )
             .unwrap();
         assert_eq!(s.pump().unwrap().captured, 1); // first poll fires
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(2), Value::Float(2.0)]),
+            )
             .unwrap();
         assert_eq!(s.pump().unwrap().captured, 0); // within interval
         clock.advance(1_000);
@@ -796,7 +945,9 @@ mod tests {
     #[test]
     fn cql_over_captured_stream() {
         let (s, _clock) = server();
-        let stream = s.capture_table("orders", CaptureMechanism::Trigger).unwrap();
+        let stream = s
+            .capture_table("orders", CaptureMechanism::Trigger)
+            .unwrap();
         s.register_cql(
             "volume",
             &format!("SELECT count() AS n FROM {stream} [ROWS 2]"),
@@ -804,9 +955,12 @@ mod tests {
         .unwrap();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        s.on_query("volume", Arc::new(move |_| {
-            h.fetch_add(1, Ordering::SeqCst);
-        }))
+        s.on_query(
+            "volume",
+            Arc::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
         .unwrap();
         for i in 0..4 {
             s.db()
@@ -879,17 +1033,25 @@ mod tests {
     #[test]
     fn notifications_persist_to_a_queue() {
         let (s, _clock) = server();
-        let stream = s.capture_table("orders", CaptureMechanism::Trigger).unwrap();
+        let stream = s
+            .capture_table("orders", CaptureMechanism::Trigger)
+            .unwrap();
         s.add_alert_rule("big", &stream, "amt > 100", 2.5, Some("oid"))
             .unwrap();
         s.persist_notifications("alerts").unwrap();
         s.queues().subscribe("alerts", "oncall").unwrap();
 
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(1), Value::Float(500.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(1), Value::Float(500.0)]),
+            )
             .unwrap();
         s.db()
-            .insert("orders", Record::from_iter([Value::Int(2), Value::Float(5.0)]))
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(2), Value::Float(5.0)]),
+            )
             .unwrap();
         s.pump().unwrap();
 

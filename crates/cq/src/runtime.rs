@@ -1,40 +1,58 @@
 //! The stream runtime: named streams, registered continuous queries,
 //! subscribers and watermark bookkeeping.
 //!
-//! The runtime is single-threaded per push (callers may wrap it in a
-//! worker thread; the core engine does). Watermarks are derived from
-//! event time: `max event time seen − allowed lateness`, advanced on
-//! every push, so downstream windows close deterministically with no
-//! wall-clock dependence.
+//! Locking is fine-grained so that a sharded pump (see the core crate)
+//! can drive different streams from different worker threads without
+//! serialising on one global mutex: the stream and query *maps* are
+//! behind `RwLock`s (read-mostly — registration is rare, pushes are
+//! constant), while each stream's watermark state and each query's
+//! pipeline live behind their own `Mutex`. Two workers pushing into
+//! different streams never contend; two workers pushing into the same
+//! stream serialise only on that stream's entry, which is exactly the
+//! per-partition ordering the sharded pump guarantees anyway.
+//!
+//! Watermarks are derived from event time: `max event time seen −
+//! allowed lateness`, advanced on every push, so downstream windows
+//! close deterministically with no wall-clock dependence.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use evdb_types::{Error, Event, EventId, IdGenerator, Record, Result, Schema, TimestampMs};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::op::Pipeline;
 
 /// Callback invoked with each derived event of a query.
 pub type Subscriber = Arc<dyn Fn(&Event) + Send + Sync>;
 
-struct StreamDef {
-    schema: Arc<Schema>,
+/// Mutable per-stream watermark state (its own lock; see module docs).
+struct StreamState {
     max_ts: TimestampMs,
     events_in: u64,
 }
 
-struct QueryDef {
-    source: String,
+struct StreamEntry {
+    schema: Arc<Schema>,
+    state: Mutex<StreamState>,
+}
+
+/// Mutable per-query state (pipeline + fanout), behind its own lock.
+struct QueryInner {
     pipeline: Pipeline,
     subscribers: Vec<Subscriber>,
     events_out: u64,
 }
 
+struct QueryEntry {
+    source: String,
+    inner: Mutex<QueryInner>,
+}
+
 /// Owns streams and continuous queries.
 pub struct StreamRuntime {
-    streams: Mutex<HashMap<String, StreamDef>>,
-    queries: Mutex<HashMap<String, QueryDef>>,
+    streams: RwLock<HashMap<String, Arc<StreamEntry>>>,
+    queries: RwLock<HashMap<String, Arc<QueryEntry>>>,
     /// Watermark lag: how far behind max event time the watermark trails
     /// (allowed out-of-orderness), milliseconds.
     lateness_ms: i64,
@@ -45,8 +63,8 @@ impl StreamRuntime {
     /// Create a runtime with the given allowed out-of-orderness.
     pub fn new(lateness_ms: i64) -> StreamRuntime {
         StreamRuntime {
-            streams: Mutex::new(HashMap::new()),
-            queries: Mutex::new(HashMap::new()),
+            streams: RwLock::new(HashMap::new()),
+            queries: RwLock::new(HashMap::new()),
             lateness_ms,
             ids: IdGenerator::default(),
         }
@@ -54,17 +72,19 @@ impl StreamRuntime {
 
     /// Declare a named stream.
     pub fn create_stream(&self, name: &str, schema: Arc<Schema>) -> Result<()> {
-        let mut streams = self.streams.lock();
+        let mut streams = self.streams.write();
         if streams.contains_key(name) {
             return Err(Error::AlreadyExists(format!("stream '{name}'")));
         }
         streams.insert(
             name.to_string(),
-            StreamDef {
+            Arc::new(StreamEntry {
                 schema,
-                max_ts: TimestampMs(i64::MIN),
-                events_in: 0,
-            },
+                state: Mutex::new(StreamState {
+                    max_ts: TimestampMs(i64::MIN),
+                    events_in: 0,
+                }),
+            }),
         );
         Ok(())
     }
@@ -72,7 +92,7 @@ impl StreamRuntime {
     /// Schema of a stream.
     pub fn stream_schema(&self, name: &str) -> Result<Arc<Schema>> {
         self.streams
-            .lock()
+            .read()
             .get(name)
             .map(|s| Arc::clone(&s.schema))
             .ok_or_else(|| Error::NotFound(format!("stream '{name}'")))
@@ -80,21 +100,23 @@ impl StreamRuntime {
 
     /// Register a continuous query (an operator pipeline) over a stream.
     pub fn register_query(&self, name: &str, source: &str, pipeline: Pipeline) -> Result<()> {
-        if self.streams.lock().get(source).is_none() {
+        if self.streams.read().get(source).is_none() {
             return Err(Error::NotFound(format!("stream '{source}'")));
         }
-        let mut queries = self.queries.lock();
+        let mut queries = self.queries.write();
         if queries.contains_key(name) {
             return Err(Error::AlreadyExists(format!("query '{name}'")));
         }
         queries.insert(
             name.to_string(),
-            QueryDef {
+            Arc::new(QueryEntry {
                 source: source.to_string(),
-                pipeline,
-                subscribers: Vec::new(),
-                events_out: 0,
-            },
+                inner: Mutex::new(QueryInner {
+                    pipeline,
+                    subscribers: Vec::new(),
+                    events_out: 0,
+                }),
+            }),
         );
         Ok(())
     }
@@ -102,7 +124,7 @@ impl StreamRuntime {
     /// Remove a continuous query.
     pub fn drop_query(&self, name: &str) -> Result<()> {
         self.queries
-            .lock()
+            .write()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| Error::NotFound(format!("query '{name}'")))
@@ -110,63 +132,80 @@ impl StreamRuntime {
 
     /// Attach a subscriber to a query's output.
     pub fn subscribe(&self, query: &str, subscriber: Subscriber) -> Result<()> {
-        let mut queries = self.queries.lock();
+        let queries = self.queries.read();
         let q = queries
-            .get_mut(query)
+            .get(query)
             .ok_or_else(|| Error::NotFound(format!("query '{query}'")))?;
-        q.subscribers.push(subscriber);
+        q.inner.lock().subscribers.push(subscriber);
         Ok(())
     }
 
     /// Push a payload into a stream; returns every derived event (they
     /// are also delivered to subscribers).
-    pub fn push(&self, stream: &str, timestamp: TimestampMs, payload: Record) -> Result<Vec<Event>> {
-        let (schema, wm) = {
-            let mut streams = self.streams.lock();
-            let def = streams
-                .get_mut(stream)
-                .ok_or_else(|| Error::NotFound(format!("stream '{stream}'")))?;
-            def.schema.validate(&payload)?;
-            def.max_ts = def.max_ts.max(timestamp);
-            def.events_in += 1;
-            (Arc::clone(&def.schema), def.max_ts.minus(self.lateness_ms))
+    pub fn push(
+        &self,
+        stream: &str,
+        timestamp: TimestampMs,
+        payload: Record,
+    ) -> Result<Vec<Event>> {
+        let entry = self.stream_entry(stream)?;
+        entry.schema.validate(&payload)?;
+        let wm = {
+            let mut state = entry.state.lock();
+            state.max_ts = state.max_ts.max(timestamp);
+            state.events_in += 1;
+            state.max_ts.minus(self.lateness_ms)
         };
         let event = Event::new(
             EventId(self.ids.next_id()),
             stream,
             timestamp,
             payload,
-            schema,
+            Arc::clone(&entry.schema),
         );
         self.route(&event, wm)
     }
 
     /// Push a pre-built event (capture adapters use this).
     pub fn push_event(&self, event: &Event) -> Result<Vec<Event>> {
+        let entry = self.stream_entry(event.source.as_ref())?;
         let wm = {
-            let mut streams = self.streams.lock();
-            let def = streams
-                .get_mut(event.source.as_ref())
-                .ok_or_else(|| Error::NotFound(format!("stream '{}'", event.source)))?;
-            def.max_ts = def.max_ts.max(event.timestamp);
-            def.events_in += 1;
-            def.max_ts.minus(self.lateness_ms)
+            let mut state = entry.state.lock();
+            state.max_ts = state.max_ts.max(event.timestamp);
+            state.events_in += 1;
+            state.max_ts.minus(self.lateness_ms)
         };
         self.route(event, wm)
     }
 
+    fn stream_entry(&self, name: &str) -> Result<Arc<StreamEntry>> {
+        self.streams
+            .read()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| Error::NotFound(format!("stream '{name}'")))
+    }
+
+    /// Queries reading from `source`, cloned out so the map lock is not
+    /// held while pipelines run.
+    fn queries_for(&self, source: &str) -> Vec<Arc<QueryEntry>> {
+        self.queries
+            .read()
+            .values()
+            .filter(|q| q.source == source)
+            .map(Arc::clone)
+            .collect()
+    }
+
     fn route(&self, event: &Event, wm: TimestampMs) -> Result<Vec<Event>> {
-        let mut queries = self.queries.lock();
         let mut all = Vec::new();
-        for q in queries.values_mut() {
-            if q.source != event.source.as_ref() {
-                continue;
-            }
-            let mut derived = q.pipeline.push(event)?;
-            derived.extend(q.pipeline.advance_watermark(wm)?);
-            q.events_out += derived.len() as u64;
+        for q in self.queries_for(event.source.as_ref()) {
+            let mut inner = q.inner.lock();
+            let mut derived = inner.pipeline.push(event)?;
+            derived.extend(inner.pipeline.advance_watermark(wm)?);
+            inner.events_out += derived.len() as u64;
             for ev in &derived {
-                for s in &q.subscribers {
+                for s in &inner.subscribers {
                     s(ev);
                 }
             }
@@ -178,16 +217,13 @@ impl StreamRuntime {
     /// Force every query on `stream` to observe a watermark (e.g. at end
     /// of input, to flush trailing windows).
     pub fn flush(&self, stream: &str, wm: TimestampMs) -> Result<Vec<Event>> {
-        let mut queries = self.queries.lock();
         let mut all = Vec::new();
-        for q in queries.values_mut() {
-            if q.source != stream {
-                continue;
-            }
-            let derived = q.pipeline.advance_watermark(wm)?;
-            q.events_out += derived.len() as u64;
+        for q in self.queries_for(stream) {
+            let mut inner = q.inner.lock();
+            let derived = inner.pipeline.advance_watermark(wm)?;
+            inner.events_out += derived.len() as u64;
             for ev in &derived {
-                for s in &q.subscribers {
+                for s in &inner.subscribers {
                     s(ev);
                 }
             }
@@ -198,8 +234,18 @@ impl StreamRuntime {
 
     /// (events in, events out) counters for observability.
     pub fn stats(&self) -> (u64, u64) {
-        let events_in = self.streams.lock().values().map(|s| s.events_in).sum();
-        let events_out = self.queries.lock().values().map(|q| q.events_out).sum();
+        let events_in = self
+            .streams
+            .read()
+            .values()
+            .map(|s| s.state.lock().events_in)
+            .sum();
+        let events_out = self
+            .queries
+            .read()
+            .values()
+            .map(|q| q.inner.lock().events_out)
+            .sum();
         (events_in, events_out)
     }
 }
@@ -230,18 +276,33 @@ mod tests {
 
         let hits = Arc::new(AtomicUsize::new(0));
         let h2 = Arc::clone(&hits);
-        rt.subscribe("vwap", Arc::new(move |_| {
-            h2.fetch_add(1, Ordering::SeqCst);
-        }))
+        rt.subscribe(
+            "vwap",
+            Arc::new(move |_| {
+                h2.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
         .unwrap();
 
-        rt.push("ticks", TimestampMs(100), Record::from_iter([Value::from("A"), Value::Float(10.0)]))
-            .unwrap();
-        rt.push("ticks", TimestampMs(500), Record::from_iter([Value::from("A"), Value::Float(20.0)]))
-            .unwrap();
+        rt.push(
+            "ticks",
+            TimestampMs(100),
+            Record::from_iter([Value::from("A"), Value::Float(10.0)]),
+        )
+        .unwrap();
+        rt.push(
+            "ticks",
+            TimestampMs(500),
+            Record::from_iter([Value::from("A"), Value::Float(20.0)]),
+        )
+        .unwrap();
         // Crossing into the next window closes the first.
         let out = rt
-            .push("ticks", TimestampMs(1_200), Record::from_iter([Value::from("A"), Value::Float(1.0)]))
+            .push(
+                "ticks",
+                TimestampMs(1_200),
+                Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+            )
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload.get(1), Some(&Value::Float(15.0)));
@@ -266,20 +327,36 @@ mod tests {
         )
         .unwrap();
         rt.register_query("q", "ticks", p).unwrap();
-        rt.push("ticks", TimestampMs(100), Record::from_iter([Value::from("A"), Value::Float(1.0)]))
-            .unwrap();
+        rt.push(
+            "ticks",
+            TimestampMs(100),
+            Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+        )
+        .unwrap();
         // ts 1200: wm = 700 → window [0,1000) stays open.
         let out = rt
-            .push("ticks", TimestampMs(1_200), Record::from_iter([Value::from("A"), Value::Float(1.0)]))
+            .push(
+                "ticks",
+                TimestampMs(1_200),
+                Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+            )
             .unwrap();
         assert!(out.is_empty());
         // A late event at 900 still lands in the open window.
-        rt.push("ticks", TimestampMs(900), Record::from_iter([Value::from("A"), Value::Float(1.0)]))
-            .unwrap();
+        rt.push(
+            "ticks",
+            TimestampMs(900),
+            Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+        )
+        .unwrap();
         // ts 1600: wm = 1100 → closes with all three counted? No: events
         // at 100 and 900 are in [0,1000), the 1200 one is not.
         let out = rt
-            .push("ticks", TimestampMs(1_600), Record::from_iter([Value::from("A"), Value::Float(1.0)]))
+            .push(
+                "ticks",
+                TimestampMs(1_600),
+                Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+            )
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload.get(0), Some(&Value::Int(2)));
@@ -290,13 +367,40 @@ mod tests {
         let rt = StreamRuntime::new(0);
         rt.create_stream("s", schema()).unwrap();
         assert!(rt.create_stream("s", schema()).is_err());
-        assert!(rt
-            .push("ghost", TimestampMs(0), Record::empty())
-            .is_err());
+        assert!(rt.push("ghost", TimestampMs(0), Record::empty()).is_err());
         assert!(rt.push("s", TimestampMs(0), Record::empty()).is_err()); // schema
         assert!(rt.drop_query("nope").is_err());
         assert!(rt.subscribe("nope", Arc::new(|_| {})).is_err());
         let p = compile_query("SELECT sym FROM s", &schema(), AggMode::Incremental).unwrap();
         assert!(rt.register_query("q", "ghost", p).is_err());
+    }
+
+    #[test]
+    fn concurrent_pushes_to_distinct_streams() {
+        let rt = Arc::new(StreamRuntime::new(0));
+        for s in ["a", "b", "c", "d"] {
+            rt.create_stream(s, schema()).unwrap();
+        }
+        let handles: Vec<_> = ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|s| {
+                let rt = Arc::clone(&rt);
+                std::thread::spawn(move || {
+                    for i in 0..500i64 {
+                        rt.push(
+                            s,
+                            TimestampMs(i),
+                            Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (ins, _) = rt.stats();
+        assert_eq!(ins, 2_000);
     }
 }

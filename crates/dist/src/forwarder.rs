@@ -280,7 +280,14 @@ mod tests {
                 .create_queue(
                     "q",
                     payload_schema(),
-                    evdb_queue::QueueConfig::default().visibility_timeout(1_000),
+                    // Generous retry budget: the lossy-link test asserts
+                    // at-least-once delivery, which only holds while
+                    // retries don't exhaust into the dead-letter queue
+                    // (default max_attempts=5 dead-letters a message
+                    // with probability loss^5 per message — flaky).
+                    evdb_queue::QueueConfig::default()
+                        .visibility_timeout(1_000)
+                        .max_attempts(100),
                 )
                 .unwrap();
         }

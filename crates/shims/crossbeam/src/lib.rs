@@ -1,0 +1,137 @@
+//! Shim for `crossbeam`: the `channel` subset the workspace uses
+//! (bounded and unbounded MPSC channels), implemented over
+//! `std::sync::mpsc`. Semantics match what callers rely on: `bounded`
+//! senders block when the queue is full (backpressure), receivers
+//! observe disconnection when every sender is dropped.
+
+pub mod channel {
+    //! Multi-producer single-consumer channels with a crossbeam-shaped API.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Tx<T> {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel. Clonable (multi-producer).
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is full. Errors only
+        /// when the receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.send(value),
+                Tx::Unbounded(s) => s.send(value),
+            }
+        }
+
+        /// Non-blocking send; `Err(Full)` when a bounded channel is at
+        /// capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.try_send(value),
+                Tx::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator until disconnection.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        /// Drain whatever is currently queued without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages; senders block
+    /// when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(cap.max(1));
+        (Sender(Tx::Bounded(s)), Receiver(r))
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(Tx::Unbounded(s)), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (s, r) = channel::bounded::<u32>(2);
+        s.send(1).unwrap();
+        s.send(2).unwrap();
+        assert!(matches!(s.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert_eq!(r.recv().unwrap(), 1);
+        s.try_send(3).unwrap();
+        drop(s);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (s, r) = channel::bounded::<u32>(1);
+        let t = std::thread::spawn(move || {
+            s.send(7).unwrap();
+        });
+        assert_eq!(r.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        t.join().unwrap();
+        assert!(r.recv().is_err()); // all senders gone
+    }
+}
