@@ -34,6 +34,7 @@ fn main() {
         ("e9", experiments::e09_usecases::run),
         ("e10", experiments::e10_recovery::run),
         ("e11", experiments::e11_parallel::run),
+        ("e12", experiments::e12_torture::run),
     ];
 
     println!(

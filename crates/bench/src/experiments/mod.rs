@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E11 (see DESIGN.md §5 for the mapping
+//! Experiment implementations E1–E12 (see DESIGN.md §5 for the mapping
 //! to paper claims, and EXPERIMENTS.md for recorded results).
 //!
 //! Each experiment exposes `run(scale) -> Table`: `Scale::Quick` for CI
@@ -15,6 +15,7 @@ pub mod e08_analytics;
 pub mod e09_usecases;
 pub mod e10_recovery;
 pub mod e11_parallel;
+pub mod e12_torture;
 
 /// Workload size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +121,7 @@ pub fn run_all(scale: Scale) -> String {
         e09_usecases::run(scale),
         e10_recovery::run(scale),
         e11_parallel::run(scale),
+        e12_torture::run(scale),
     ];
     for t in tables {
         out.push_str(&t.render());

@@ -8,10 +8,11 @@
 //!
 //! Substitution note (see DESIGN.md): there is no real network here. The
 //! [`network::SimNetwork`] simulates per-link latency, probabilistic
-//! loss and partitions, driven by the shared simulated clock, so every
-//! retry/dedup/ordering code path a socket transport would exercise runs
-//! deterministically in-process — including the failure schedules the
-//! paper's recoverability claims are about (experiment E10).
+//! loss, duplication, reordering and (scheduled) partitions, driven by
+//! the shared simulated clock, so every retry/dedup/ordering code path a
+//! socket transport would exercise runs deterministically in-process —
+//! including the failure schedules the paper's recoverability claims are
+//! about (experiments E10 and E12).
 //!
 //! * [`node::Node`] — a staging-area host: its own database + queues.
 //! * [`forwarder::QueueForwarder`] — propagates one queue to a queue on

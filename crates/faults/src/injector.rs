@@ -1,0 +1,369 @@
+//! The fault injector: armed crash schedules over named fault sites.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use evdb_types::{Error, Result};
+use parking_lot::Mutex;
+
+use crate::rng::FaultRng;
+
+/// Message prefix of every simulated-crash error, so harnesses can tell an
+/// injected power cut apart from a real I/O failure.
+pub const CRASH_PREFIX: &str = "simulated power cut";
+
+/// What happens to a durable write when the armed fault fires on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Nothing reaches the medium; the process dies before the write.
+    PowerCut,
+    /// A random strict prefix of the buffer lands, then the process dies
+    /// (classic torn frame).
+    TornWrite,
+    /// Exactly half the buffer lands, then the process dies (a short write
+    /// the caller never got to retry).
+    ShortWrite,
+    /// The full buffer lands with one bit flipped (media corruption during
+    /// the power event), then the process dies.
+    BitFlip,
+    /// The full buffer lands but the process dies before acknowledging —
+    /// the "commit ack lost" case: recovery may legitimately surface it.
+    CutAfterWrite,
+}
+
+impl IoFault {
+    /// All variants, for schedule sampling.
+    pub const ALL: [IoFault; 5] = [
+        IoFault::PowerCut,
+        IoFault::TornWrite,
+        IoFault::ShortWrite,
+        IoFault::BitFlip,
+        IoFault::CutAfterWrite,
+    ];
+}
+
+/// Instruction to the caller of [`FaultInjector::on_write`]: how many bytes
+/// to persist, whether to corrupt one bit first, and whether to return the
+/// simulated crash error after persisting.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteDecision {
+    /// Number of leading bytes of the buffer to actually persist.
+    pub keep: usize,
+    /// Flip bit `1 << .1` of byte `.0` (within the kept prefix) first.
+    pub flip: Option<(usize, u8)>,
+    /// After persisting `keep` bytes, fail with [`FaultInjector::crash_error`].
+    pub crash_after: bool,
+}
+
+impl WriteDecision {
+    /// The no-fault decision: persist everything, carry on.
+    pub fn clean(len: usize) -> WriteDecision {
+        WriteDecision {
+            keep: len,
+            flip: None,
+            crash_after: false,
+        }
+    }
+}
+
+struct Inner {
+    rng: FaultRng,
+    /// Sites remaining before the armed fault fires (`Some(0)` = fire at
+    /// the next site). `None` = disarmed.
+    countdown: Option<u64>,
+    fault: IoFault,
+    /// Site where the simulated crash happened, once it has.
+    crashed: Option<String>,
+    hits: u64,
+    points: BTreeMap<String, u64>,
+}
+
+/// A seeded, shareable fault injector. See the crate docs for the model.
+///
+/// All methods take `&self`; state lives behind a mutex so one injector can
+/// be threaded through the WAL, the checkpointer and the queue manager at
+/// once.
+pub struct FaultInjector {
+    inner: Mutex<Inner>,
+}
+
+impl FaultInjector {
+    /// Create a disarmed injector with a deterministic schedule seed.
+    pub fn new(seed: u64) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            inner: Mutex::new(Inner {
+                rng: FaultRng::new(seed),
+                countdown: None,
+                fault: IoFault::PowerCut,
+                crashed: None,
+                hits: 0,
+                points: BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// Arm: after `after_hits` further site hits, fire `fault` at the next
+    /// site. `after_hits == 0` fires at the very next site.
+    pub fn arm(&self, after_hits: u64, fault: IoFault) {
+        let mut inner = self.inner.lock();
+        inner.countdown = Some(after_hits);
+        inner.fault = fault;
+    }
+
+    /// Arm a randomly sampled schedule: countdown uniform in
+    /// `0..max_countdown` and a uniformly chosen [`IoFault`]. Returns the
+    /// chosen pair so harnesses can log reproducible schedules.
+    pub fn arm_sampled(&self, max_countdown: u64) -> (u64, IoFault) {
+        let mut inner = self.inner.lock();
+        let after = inner.rng.below(max_countdown.max(1));
+        let fault = IoFault::ALL[inner.rng.below(IoFault::ALL.len() as u64) as usize];
+        inner.countdown = Some(after);
+        inner.fault = fault;
+        (after, fault)
+    }
+
+    /// Remove any armed (but not yet fired) fault.
+    pub fn disarm(&self) {
+        self.inner.lock().countdown = None;
+    }
+
+    /// Clear the crashed state (and any armed fault), as if the process had
+    /// been restarted with the same injector handle.
+    pub fn heal(&self) {
+        let mut inner = self.inner.lock();
+        inner.countdown = None;
+        inner.crashed = None;
+    }
+
+    /// Site where the simulated crash fired, if it has.
+    pub fn crash_site(&self) -> Option<String> {
+        self.inner.lock().crashed.clone()
+    }
+
+    /// Whether the simulated crash has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed.is_some()
+    }
+
+    /// Total fault-site hits observed (points + writes).
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    /// How many times the named site was hit.
+    pub fn point_count(&self, site: &str) -> u64 {
+        self.inner.lock().points.get(site).copied().unwrap_or(0)
+    }
+
+    /// All sites seen so far with their hit counts (deterministic order).
+    pub fn site_counts(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .points
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// A named pure crash point (no payload). Fails with the crash error if
+    /// the armed fault fires here or if the injector already crashed.
+    pub fn point(&self, site: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.note(site);
+        if inner.crashed.is_some() {
+            return Err(Self::crash_error(site));
+        }
+        if inner.strike() {
+            inner.crashed = Some(site.to_string());
+            return Err(Self::crash_error(site));
+        }
+        Ok(())
+    }
+
+    /// Consult the injector before persisting a `len`-byte buffer at `site`.
+    /// On a clean pass the decision persists everything; when the armed
+    /// fault fires the decision encodes the torn/short/flipped prefix and
+    /// `crash_after` — the caller must persist exactly `keep` bytes (with
+    /// the flip applied) and then return [`FaultInjector::crash_error`].
+    pub fn on_write(&self, site: &str, len: usize) -> Result<WriteDecision> {
+        let mut inner = self.inner.lock();
+        inner.note(site);
+        if inner.crashed.is_some() {
+            return Err(Self::crash_error(site));
+        }
+        if !inner.strike() {
+            return Ok(WriteDecision::clean(len));
+        }
+        inner.crashed = Some(site.to_string());
+        let decision = match inner.fault {
+            IoFault::PowerCut => WriteDecision {
+                keep: 0,
+                flip: None,
+                crash_after: true,
+            },
+            IoFault::TornWrite => WriteDecision {
+                // A strict prefix: at least 0, at most len-1 bytes land.
+                keep: inner.rng.below(len.max(1) as u64) as usize,
+                flip: None,
+                crash_after: true,
+            },
+            IoFault::ShortWrite => WriteDecision {
+                keep: len / 2,
+                flip: None,
+                crash_after: true,
+            },
+            IoFault::BitFlip => {
+                let flip = if len == 0 {
+                    None
+                } else {
+                    let off = inner.rng.below(len as u64) as usize;
+                    let bit = inner.rng.below(8) as u8;
+                    Some((off, bit))
+                };
+                WriteDecision {
+                    keep: len,
+                    flip,
+                    crash_after: true,
+                }
+            }
+            IoFault::CutAfterWrite => WriteDecision {
+                keep: len,
+                flip: None,
+                crash_after: true,
+            },
+        };
+        Ok(decision)
+    }
+
+    /// The error every fired or post-crash site returns.
+    pub fn crash_error(site: &str) -> Error {
+        Error::Io(std::io::Error::other(format!("{CRASH_PREFIX} at {site}")))
+    }
+
+    /// Whether `err` is a simulated crash from an injector (vs. a real
+    /// engine error the harness should treat as a bug).
+    pub fn is_crash(err: &Error) -> bool {
+        matches!(err, Error::Io(e) if e.to_string().starts_with(CRASH_PREFIX))
+    }
+}
+
+impl Inner {
+    fn note(&mut self, site: &str) {
+        self.hits += 1;
+        *self.points.entry(site.to_string()).or_insert(0) += 1;
+    }
+
+    /// Decrement the countdown; true when the armed fault fires now.
+    fn strike(&mut self) -> bool {
+        match self.countdown {
+            Some(0) => {
+                self.countdown = None;
+                true
+            }
+            Some(n) => {
+                self.countdown = Some(n - 1);
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("FaultInjector")
+            .field("armed", &inner.countdown)
+            .field("fault", &inner.fault)
+            .field("crashed", &inner.crashed)
+            .field("hits", &inner.hits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_is_transparent() {
+        let inj = FaultInjector::new(1);
+        for _ in 0..10 {
+            inj.point("a").unwrap();
+            let d = inj.on_write("b", 100).unwrap();
+            assert_eq!(d.keep, 100);
+            assert!(d.flip.is_none());
+            assert!(!d.crash_after);
+        }
+        assert_eq!(inj.hits(), 20);
+        assert_eq!(inj.point_count("a"), 10);
+        assert!(!inj.is_crashed());
+    }
+
+    #[test]
+    fn countdown_fires_at_exact_site() {
+        let inj = FaultInjector::new(2);
+        inj.arm(2, IoFault::PowerCut);
+        inj.point("s1").unwrap();
+        inj.point("s2").unwrap();
+        let err = inj.point("s3").unwrap_err();
+        assert!(FaultInjector::is_crash(&err), "{err}");
+        assert_eq!(inj.crash_site().as_deref(), Some("s3"));
+        // Everything after the crash also fails.
+        assert!(inj.point("s4").is_err());
+        assert!(inj.on_write("w", 10).is_err());
+    }
+
+    #[test]
+    fn write_faults_shape_the_buffer() {
+        for (fault, check) in [
+            (IoFault::PowerCut, (0usize, 0usize)),
+            (IoFault::TornWrite, (0, 99)),
+            (IoFault::ShortWrite, (50, 50)),
+            (IoFault::BitFlip, (100, 100)),
+            (IoFault::CutAfterWrite, (100, 100)),
+        ] {
+            let inj = FaultInjector::new(3);
+            inj.arm(0, fault);
+            let d = inj.on_write("w", 100).unwrap();
+            assert!(d.crash_after, "{fault:?}");
+            assert!(d.keep >= check.0 && d.keep <= check.1, "{fault:?}: {d:?}");
+            if fault == IoFault::BitFlip {
+                let (off, bit) = d.flip.unwrap();
+                assert!(off < 100 && bit < 8);
+            } else {
+                assert!(d.flip.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_schedules_are_deterministic() {
+        let a = FaultInjector::new(99);
+        let b = FaultInjector::new(99);
+        for _ in 0..20 {
+            assert_eq!(a.arm_sampled(50), b.arm_sampled(50));
+        }
+    }
+
+    #[test]
+    fn heal_clears_crash_state() {
+        let inj = FaultInjector::new(4);
+        inj.arm(0, IoFault::PowerCut);
+        assert!(inj.point("x").is_err());
+        assert!(inj.is_crashed());
+        inj.heal();
+        assert!(!inj.is_crashed());
+        inj.point("x").unwrap();
+        assert_eq!(inj.point_count("x"), 2);
+    }
+
+    #[test]
+    fn crash_error_is_recognizable() {
+        let err = FaultInjector::crash_error("wal.append");
+        assert!(FaultInjector::is_crash(&err));
+        assert!(err.to_string().contains("wal.append"));
+        let other = Error::Io(std::io::Error::other("disk on fire"));
+        assert!(!FaultInjector::is_crash(&other));
+    }
+}

@@ -1,0 +1,37 @@
+//! Seeded, deterministic fault injection for EventDB's durable paths.
+//!
+//! The paper's operational claims rest on "recoverability and transactional
+//! support of message storage and consumption" (§2.2.b.ii.3). Clean-shutdown
+//! replay tests (E10) cannot validate that claim against *mid-write* crashes:
+//! torn WAL frames, partial checkpoint writes, bit rot, or a power cut
+//! between an ack's state update and its reclaim. This crate provides the
+//! substrate the torture harness (`tests/torture_recovery.rs`, experiment
+//! E12) uses to sample exactly those schedules, deterministically.
+//!
+//! Design (FoundationDB-style deterministic simulation, scaled down):
+//!
+//! * A [`FaultInjector`] is shared (`Arc`) between the test driver and the
+//!   engine. The storage layer consults it at every **fault site**: named
+//!   crash points (`point`) and durable writes (`on_write`).
+//! * The driver **arms** the injector: "after N more site hits, fire fault
+//!   F". Everything downstream of the seed is deterministic — same seed,
+//!   same workload, same crash, same recovery.
+//! * Firing at a write site yields a [`WriteDecision`] that tears, shortens
+//!   or bit-flips the buffer before the simulated power cut; firing at a
+//!   plain crash point is a pure power cut.
+//! * After firing, the injector is *crashed*: every subsequent site returns
+//!   the crash error, so the workload halts the way a dead process would.
+//!   Recovery then reopens the store **without** the injector (or after
+//!   [`FaultInjector::heal`]) and the harness checks the durability
+//!   invariants (DESIGN.md D8).
+//!
+//! The injector is deliberately dependency-free (types + locks only) so any
+//! crate in the workspace can thread it through without cycles.
+
+#![warn(missing_docs)]
+
+mod injector;
+mod rng;
+
+pub use injector::{FaultInjector, IoFault, WriteDecision, CRASH_PREFIX};
+pub use rng::FaultRng;

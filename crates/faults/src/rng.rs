@@ -1,0 +1,98 @@
+//! A tiny seeded PRNG (SplitMix64) so fault schedules never depend on the
+//! `rand` crate's version or the host's entropy.
+
+/// Deterministic SplitMix64 generator. Cheap, full-period over `u64`, and
+/// good enough for sampling fault schedules (not for cryptography).
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng {
+            // Avoid the all-zero fixed point without changing other seeds.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform value in `lo..hi` (returns `lo` when the range is empty).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below(hi - lo)
+        }
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultRng::new(1);
+        let mut b = FaultRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut r = FaultRng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let v = r.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.range(3, 3), 3);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = FaultRng::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

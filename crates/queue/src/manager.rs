@@ -488,6 +488,9 @@ impl QueueManager {
         let payload = schema.normalize(payload)?; // the "validation" of the client path
         let priority = priority.unwrap_or(config.default_priority);
         let id = self.next_id(None)?;
+        // Crash site: the id block reservation is durable but the message
+        // is not — recovery must surface a gap, never a phantom message.
+        self.db.fault_point("queue.enqueue.pre")?;
         let mut tx = self.db.begin();
         self.write_message(&mut tx, queue, id, &payload, source, priority, delay_ms, &groups)?;
         tx.commit()?;
@@ -724,6 +727,9 @@ impl QueueManager {
                 attempt,
             });
         }
+        // Crash site: deliveries are chosen but their INFLIGHT transitions
+        // are not yet durable — after recovery they must still be READY.
+        self.db.fault_point("queue.dequeue.commit")?;
         tx.commit()?;
         for id in to_reclaim {
             self.reclaim_if_done(queue, id)?;
@@ -745,7 +751,14 @@ impl QueueManager {
         }
         let mut updated = row.clone();
         updated.set(3, Value::Int(STATE_ACKED));
+        // Crash site: before the ACKED transition is durable the consumer
+        // has processed the message but recovery will redeliver it —
+        // at-least-once, bounded by max_attempts.
+        self.db.fault_point("queue.ack.pre")?;
         self.db.update(&state_table(queue), &sid_v, updated)?;
+        // Crash site: ACKED is durable but reclaim has not run — recovery
+        // must never redeliver, and a later ack/reclaim sweep cleans up.
+        self.db.fault_point("queue.ack.durable")?;
         self.reclaim_if_done(queue, delivery.message.id)?;
         Ok(())
     }
@@ -768,6 +781,9 @@ impl QueueManager {
             .get(&sid_v)
             .ok_or_else(|| Error::Queue("nack of unknown delivery".into()))?;
         let attempts = row.get(5).unwrap().as_int().unwrap() as u32;
+        // Crash site: an un-durable nack leaves the delivery INFLIGHT; the
+        // visibility timeout redelivers it after recovery.
+        self.db.fault_point("queue.nack.pre")?;
 
         if attempts >= config.max_attempts {
             // Dead-letter.
@@ -821,6 +837,9 @@ impl QueueManager {
             .iter()
             .all(|s| s.get(3).unwrap().as_int().unwrap() >= STATE_ACKED);
         if all_done {
+            // Crash site: every group is terminal but the rows are not yet
+            // reclaimed — recovery must tolerate terminal leftovers.
+            self.db.fault_point("queue.reclaim")?;
             let mut tx = self.db.begin();
             for s in &states {
                 tx.delete(&state_table(queue), s.get(0).unwrap())?;

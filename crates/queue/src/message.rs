@@ -33,10 +33,52 @@ pub struct Delivery {
     pub attempt: u32,
 }
 
+impl Delivery {
+    /// Whether the group has seen this message before (attempt > 1) — a
+    /// crash between processing and a durable ack, a lapsed visibility
+    /// timeout, or an explicit nack. At-least-once consumers key their
+    /// dedup/idempotency logic off this plus [`Delivery::dedup_key`].
+    pub fn is_redelivery(&self) -> bool {
+        self.attempt > 1
+    }
+
+    /// Stable identity of this (message, group) delivery stream across
+    /// redeliveries and crash recovery — what a receiver-side dedup table
+    /// should key on (cf. `dist::forwarder`).
+    pub fn dedup_key(&self) -> (u64, &str) {
+        (self.message.id, self.group.as_str())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use evdb_types::Value;
+
+    #[test]
+    fn delivery_redelivery_flags() {
+        let m = Message {
+            id: 9,
+            queue: "q".into(),
+            payload: Record::from_iter([Value::Int(1)]),
+            enqueued_at: TimestampMs(5),
+            priority: 0,
+            source: "test".into(),
+        };
+        let first = Delivery {
+            message: m.clone(),
+            group: "g".into(),
+            attempt: 1,
+        };
+        let again = Delivery {
+            message: m,
+            group: "g".into(),
+            attempt: 2,
+        };
+        assert!(!first.is_redelivery());
+        assert!(again.is_redelivery());
+        assert_eq!(first.dedup_key(), again.dedup_key());
+    }
 
     #[test]
     fn message_shape() {

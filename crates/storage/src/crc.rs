@@ -22,6 +22,18 @@ fn table() -> &'static [u32; 256] {
     })
 }
 
+/// Whether `data`'s checksum matches `expected`.
+///
+/// Caveat the durable layers must respect: `crc32(b"") == 0`, so an
+/// all-zero region (e.g. a zero-filled page where a frame header should
+/// be) vacuously "verifies" as an empty payload. A passing check is
+/// therefore necessary but not sufficient — callers must still decode and
+/// validate the payload (`wal::scan` classifies that case as
+/// `WalTail::BadRecord` rather than accepting it).
+pub fn verify(data: &[u8], expected: u32) -> bool {
+    crc32(data) == expected
+}
+
 /// CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
     let t = table();

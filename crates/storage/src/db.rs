@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use evdb_expr::Expr;
+use evdb_faults::{FaultInjector, WriteDecision};
 use evdb_types::{
     Clock, Error, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs, Value,
 };
@@ -30,7 +31,7 @@ use crate::crc::crc32;
 use crate::table::{Table, TableDef};
 use crate::trigger::{TriggerAction, TriggerDef, TriggerOps, TriggerTiming};
 use crate::txn::Transaction;
-use crate::wal::{SyncPolicy, Wal, WalOp};
+use crate::wal::{fsync_dir, SyncPolicy, Wal, WalOp, WalTail};
 
 /// Database configuration.
 #[derive(Clone)]
@@ -39,6 +40,10 @@ pub struct DbOptions {
     pub sync: SyncPolicy,
     /// Time source (swap in a `SimClock` for deterministic tests).
     pub clock: Arc<dyn Clock>,
+    /// Fault injector threaded through the durable paths (WAL appends,
+    /// checkpoint writes, queue transitions). `None` in production; the
+    /// torture harness arms one to sample crash schedules.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for DbOptions {
@@ -46,13 +51,17 @@ impl Default for DbOptions {
         DbOptions {
             sync: SyncPolicy::Always,
             clock: Arc::new(SystemClock),
+            faults: None,
         }
     }
 }
 
 impl std::fmt::Debug for DbOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DbOptions").field("sync", &self.sync).finish()
+        f.debug_struct("DbOptions")
+            .field("sync", &self.sync)
+            .field("faults", &self.faults.is_some())
+            .finish()
     }
 }
 
@@ -65,6 +74,7 @@ pub struct Database {
     txids: IdGenerator,
     clock: Arc<dyn Clock>,
     dir: Option<PathBuf>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Database {
@@ -72,7 +82,7 @@ impl Database {
     pub fn open(dir: impl AsRef<Path>, options: DbOptions) -> Result<Arc<Database>> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        let wal = Wal::open(dir.join("evdb.wal"), options.sync)?;
+        let wal = Wal::open_with(dir.join("evdb.wal"), options.sync, options.faults.clone())?;
         let db = Arc::new(Database {
             tables: RwLock::new(HashMap::new()),
             triggers: RwLock::new(HashMap::new()),
@@ -81,6 +91,7 @@ impl Database {
             txids: IdGenerator::default(),
             clock: options.clock,
             dir: Some(dir.clone()),
+            faults: options.faults,
         });
         db.recover(&dir)?;
         Ok(db)
@@ -91,12 +102,36 @@ impl Database {
         Ok(Arc::new(Database {
             tables: RwLock::new(HashMap::new()),
             triggers: RwLock::new(HashMap::new()),
-            wal: Mutex::new(Wal::in_memory(options.sync)),
+            wal: Mutex::new(Wal::in_memory_with(options.sync, options.faults.clone())),
             write_gate: Mutex::new(()),
             txids: IdGenerator::default(),
             clock: options.clock,
             dir: None,
+            faults: options.faults,
         }))
+    }
+
+    /// Hit a named fault site on this database's injector (no-op without
+    /// one). Upper layers (queue ack/visibility transitions, checkpoint
+    /// scheduling) call this so the torture harness can crash between their
+    /// durable steps.
+    pub fn fault_point(&self, site: &str) -> Result<()> {
+        match &self.faults {
+            Some(f) => f.point(site),
+            None => Ok(()),
+        }
+    }
+
+    /// The fault injector, if one was configured.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// How the WAL scan ended at open time — `Clean`, or which corruption
+    /// stopped recovery at the last valid record (golden corruption tests
+    /// pin the exact variant and message).
+    pub fn wal_tail(&self) -> WalTail {
+        self.wal.lock().tail_status().clone()
     }
 
     /// Current engine time.
@@ -360,12 +395,31 @@ impl Database {
 
         let tmp = dir.join("evdb.ckpt.tmp");
         let dst = dir.join("evdb.ckpt");
+        let decision = match &self.faults {
+            Some(f) => f.on_write("ckpt.write", payload.len())?,
+            None => WriteDecision::clean(payload.len()),
+        };
+        if let Some((off, bit)) = decision.flip {
+            payload[off] ^= 1 << bit;
+        }
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(&payload)?;
+            f.write_all(&payload[..decision.keep.min(payload.len())])?;
             f.sync_data()?;
         }
+        if decision.crash_after {
+            // The torn/corrupt image stays in the tmp file; the previous
+            // checkpoint (if any) and the full WAL are untouched, so
+            // recovery ignores it.
+            return Err(FaultInjector::crash_error("ckpt.write"));
+        }
+        self.fault_point("ckpt.rename")?;
         fs::rename(&tmp, &dst)?;
+        // Make the rename itself durable before discarding the journal: a
+        // crash here must find either (old ckpt + full WAL) or (new ckpt),
+        // never an orphaned dirent.
+        self.fault_point("ckpt.dirsync")?;
+        fsync_dir(&dir)?;
         self.wal.lock().truncate()?;
         Ok(())
     }
@@ -403,7 +457,7 @@ impl Database {
         let body = &buf[..buf.len() - 4];
         let stored_crc =
             u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
-        if crc32(body) != stored_crc {
+        if !crate::crc::verify(body, stored_crc) {
             return Err(Error::Corruption("checkpoint crc mismatch".into()));
         }
         let mut r = Reader::new(&body[5..]);

@@ -21,6 +21,7 @@ use crate::wal::WalOp;
 pub struct JournalMiner {
     last_lsn: u64,
     events_mined: u64,
+    truncation_gaps: u64,
 }
 
 impl JournalMiner {
@@ -30,6 +31,7 @@ impl JournalMiner {
         JournalMiner {
             last_lsn: db.last_lsn(),
             events_mined: 0,
+            truncation_gaps: 0,
         }
     }
 
@@ -38,6 +40,7 @@ impl JournalMiner {
         JournalMiner {
             last_lsn: 0,
             events_mined: 0,
+            truncation_gaps: 0,
         }
     }
 
@@ -51,11 +54,28 @@ impl JournalMiner {
         self.events_mined
     }
 
+    /// How many polls observed an LSN gap: the miner lagged past a
+    /// checkpoint, which truncated journal records it had not yet consumed.
+    /// Those changes are only recoverable from the checkpoint image, not
+    /// the journal — a lagging miner after crash recovery must treat a
+    /// nonzero gap count as "re-baseline from table state".
+    pub fn truncation_gaps(&self) -> u64 {
+        self.truncation_gaps
+    }
+
     /// Drain all newly committed changes into events. DDL ops are skipped
     /// (they are catalog changes, not row events). Ops on tables that have
     /// since been dropped are skipped too — their schema is gone.
     pub fn poll(&mut self, db: &Database) -> Result<Vec<ChangeEvent>> {
         let records = db.wal_read_after(self.last_lsn)?;
+        // LSNs are contiguous across truncation, so a first record beyond
+        // `last_lsn + 1` means a checkpoint discarded journal this miner
+        // never consumed.
+        if let Some(first) = records.first() {
+            if first.lsn > self.last_lsn + 1 {
+                self.truncation_gaps += 1;
+            }
+        }
         let mut out = Vec::new();
         for rec in records {
             self.last_lsn = self.last_lsn.max(rec.lsn);
@@ -195,6 +215,44 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].txid, events[1].txid);
         assert_eq!(events[0].lsn, events[1].lsn);
+    }
+
+    #[test]
+    fn lagging_miner_detects_checkpoint_truncation() {
+        let dir = std::env::temp_dir().join(format!(
+            "evdb-journal-gap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        db.create_table(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+        let mut fresh = JournalMiner::from_now(&db);
+        let mut lagging = JournalMiner::from_now(&db);
+
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        // `fresh` consumes before the checkpoint; `lagging` does not.
+        assert_eq!(fresh.poll(&db).unwrap().len(), 1);
+        db.checkpoint().unwrap();
+        db.insert("t", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .unwrap();
+
+        let events = fresh.poll(&db).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(fresh.truncation_gaps(), 0);
+
+        // The lagging miner only sees post-checkpoint records and must
+        // report that history was truncated out from under it.
+        let events = lagging.poll(&db).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(lagging.truncation_gaps(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   atomic multi-table commits ([`txn`]).
 //! * **Crash recovery** — replay committed WAL records over the last
 //!   checkpoint; torn trailing records are detected and ignored ([`db`]).
+//!   The durable paths carry named fault sites for `evdb-faults`, so the
+//!   torture harness (DESIGN.md D8, experiment E12) can crash the engine
+//!   at any WAL append, checkpoint step or directory sync.
 //! * The paper's three **event capture mechanisms** (§2.2.a):
 //!   row-level **triggers** ([`trigger`]), **journal mining**
 //!   ([`journal`]), and **query snapshots/deltas** ([`snapshot`]).
@@ -42,4 +45,4 @@ pub use snapshot::QuerySnapshot;
 pub use table::{Table, TableDef};
 pub use trigger::{TriggerDef, TriggerOps, TriggerTiming};
 pub use txn::Transaction;
-pub use wal::{SyncPolicy, Wal};
+pub use wal::{scan_buffer, SyncPolicy, Wal, WalTail};

@@ -54,6 +54,18 @@ impl QuerySnapshot {
         self.previous.len()
     }
 
+    /// Re-evaluate the query and adopt the current result set as the new
+    /// baseline **without emitting events**. A subscriber that recovered
+    /// its own durable state after a crash calls this instead of `poll`, so
+    /// the initial fill is not replayed as a storm of spurious inserts.
+    pub fn rebaseline(&mut self, db: &Database) -> Result<usize> {
+        let t = db.table(&self.table)?;
+        let rows = t.select(&self.predicate)?;
+        self.polls += 1;
+        self.previous = rows.into_iter().map(|row| (t.key_of(&row), row)).collect();
+        Ok(self.previous.len())
+    }
+
     /// Re-evaluate and diff against the previous result set.
     pub fn poll(&mut self, db: &Database) -> Result<Vec<ChangeEvent>> {
         let t = db.table(&self.table)?;
@@ -186,6 +198,24 @@ mod tests {
         assert_eq!(q.poll(&db).unwrap().len(), 1); // initial fill
         assert!(q.poll(&db).unwrap().is_empty());
         assert!(q.poll(&db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rebaseline_swallows_initial_fill() {
+        let db = db();
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(50.0)]))
+            .unwrap();
+        db.insert("t", Record::from_iter([Value::Int(2), Value::Float(60.0)]))
+            .unwrap();
+        // A recovered subscriber adopts the current state silently…
+        let mut q = QuerySnapshot::new("t", parse("v > 10").unwrap());
+        assert_eq!(q.rebaseline(&db).unwrap(), 2);
+        assert!(q.poll(&db).unwrap().is_empty());
+        // …and still sees subsequent changes.
+        db.delete("t", &Value::Int(1)).unwrap();
+        let ev = q.poll(&db).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, ChangeKind::Delete);
     }
 
     #[test]

@@ -177,15 +177,27 @@ impl<'db> Transaction<'db> {
 
     /// Commit: write the redo ops as one WAL record. Returns the LSN, or
     /// `None` if the transaction made no changes (nothing to log).
+    ///
+    /// If the append fails (I/O error, injected crash) the eagerly applied
+    /// changes are rolled back first, so in-memory state never runs ahead
+    /// of the journal — a failed commit is an aborted transaction.
     pub fn commit(mut self) -> Result<Option<u64>> {
         self.check_open()?;
-        self.finished = true;
         if self.redo.is_empty() {
+            self.finished = true;
             return Ok(None);
         }
         let ops = std::mem::take(&mut self.redo);
-        let lsn = self.db.wal_append(self.txid, &ops)?;
-        Ok(Some(lsn))
+        match self.db.wal_append(self.txid, &ops) {
+            Ok(lsn) => {
+                self.finished = true;
+                Ok(Some(lsn))
+            }
+            Err(e) => {
+                self.do_rollback();
+                Err(e)
+            }
+        }
     }
 
     /// Roll back every applied op, newest first.
@@ -314,6 +326,38 @@ mod tests {
         assert!(tx.get("acct", &Value::Int(1)).unwrap().is_some());
         tx.rollback();
         assert!(db.table("acct").unwrap().get(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn failed_append_rolls_back_memory_state() {
+        use evdb_faults::{FaultInjector, IoFault};
+        let injector = FaultInjector::new(11);
+        let db = Database::in_memory(DbOptions {
+            faults: Some(std::sync::Arc::clone(&injector)),
+            ..Default::default()
+        })
+        .unwrap();
+        db.create_table(
+            "acct",
+            Schema::of(&[("id", DataType::Int), ("bal", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+        db.insert("acct", Record::from_iter([Value::Int(1), Value::Float(10.0)]))
+            .unwrap();
+
+        injector.arm(0, IoFault::PowerCut);
+        let mut tx = db.begin();
+        tx.update("acct", &Value::Int(1), Record::from_iter([Value::Int(1), Value::Float(99.0)]))
+            .unwrap();
+        let err = tx.commit().unwrap_err();
+        assert!(FaultInjector::is_crash(&err), "{err}");
+        // The eager update must have been undone: memory matches the log.
+        injector.heal();
+        assert_eq!(
+            db.table("acct").unwrap().get(&Value::Int(1)).unwrap().get(1),
+            Some(&Value::Float(10.0))
+        );
     }
 
     #[test]

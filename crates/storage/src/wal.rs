@@ -22,11 +22,73 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use evdb_faults::{FaultInjector, WriteDecision};
 use evdb_types::{Error, Record, Result, Schema, TimestampMs, Value};
 use parking_lot::RwLock;
 
 use crate::codec::{self, Reader};
 use crate::crc::crc32;
+
+/// Why a log scan stopped where it did. Everything before the reported
+/// offset is the valid prefix; everything at and after it is discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// The log ends cleanly on a frame boundary.
+    Clean,
+    /// The final frame is incomplete — the classic crash-mid-write tear.
+    TornFrame {
+        /// Byte offset where the torn frame starts.
+        offset: usize,
+    },
+    /// A frame's payload fails its CRC (bit rot or a mid-frame overwrite).
+    BadCrc {
+        /// Byte offset where the corrupt frame starts.
+        offset: usize,
+    },
+    /// A frame passed its CRC but its payload would not decode (e.g. a
+    /// zero-filled page parses as an empty frame with a vacuous CRC).
+    BadRecord {
+        /// Byte offset where the undecodable frame starts.
+        offset: usize,
+        /// Decoder's explanation.
+        reason: String,
+    },
+}
+
+impl WalTail {
+    /// Whether the scan consumed every byte.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, WalTail::Clean)
+    }
+}
+
+impl std::fmt::Display for WalTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalTail::Clean => write!(f, "clean"),
+            WalTail::TornFrame { offset } => {
+                write!(f, "torn frame at byte {offset} (incomplete tail discarded)")
+            }
+            WalTail::BadCrc { offset } => {
+                write!(f, "crc mismatch at byte {offset} (corrupt tail discarded)")
+            }
+            WalTail::BadRecord { offset, reason } => {
+                write!(f, "undecodable record at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+/// fsync a directory so a freshly created or renamed file inside it cannot
+/// be orphaned by a power cut (the dirent itself must reach the platter,
+/// not just the inode).
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
 
 /// When to fsync the log file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +193,8 @@ pub struct Wal {
     commits_since_sync: u32,
     bytes_written: u64,
     syncs: u64,
+    faults: Option<Arc<FaultInjector>>,
+    tail: WalTail,
 }
 
 impl Wal {
@@ -138,16 +202,38 @@ impl Wal {
     /// the end of the valid prefix; anything after a torn frame is
     /// discarded on the next append.
     pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Wal> {
+        Self::open_with(path, policy, None)
+    }
+
+    /// `open` with an optional fault injector threaded through the durable
+    /// path (fault sites: `wal.open.dirsync`, `wal.append`, `wal.sync`,
+    /// `wal.truncate`).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
+        let fresh = !path.exists();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(&path)?;
+        if fresh {
+            // A crash right here must not orphan the new segment: the
+            // parent dirent has to be durable before anyone logs into it.
+            if let Some(f) = &faults {
+                f.point("wal.open.dirsync")?;
+            }
+            if let Some(parent) = path.parent() {
+                fsync_dir(parent)?;
+            }
+        }
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
-        let (records, valid_len) = scan(&buf);
+        let (records, valid_len, tail) = scan(&buf);
         let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
         file.set_len(valid_len as u64)?;
         file.seek(SeekFrom::End(0))?;
@@ -158,11 +244,19 @@ impl Wal {
             commits_since_sync: 0,
             bytes_written: valid_len as u64,
             syncs: 0,
+            faults,
+            tail,
         })
     }
 
     /// Create an in-memory log.
     pub fn in_memory(policy: SyncPolicy) -> Wal {
+        Self::in_memory_with(policy, None)
+    }
+
+    /// `in_memory` with an optional fault injector (same sites as files,
+    /// minus the directory sync).
+    pub fn in_memory_with(policy: SyncPolicy, faults: Option<Arc<FaultInjector>>) -> Wal {
         Wal {
             backend: Backend::Mem(Arc::new(RwLock::new(Vec::new()))),
             policy,
@@ -170,7 +264,16 @@ impl Wal {
             commits_since_sync: 0,
             bytes_written: 0,
             syncs: 0,
+            faults,
+            tail: WalTail::Clean,
         }
+    }
+
+    /// Why the opening scan stopped where it did ([`WalTail::Clean`] when
+    /// the log ended on a frame boundary). The invalid suffix was already
+    /// trimmed; this reports what was found there.
+    pub fn tail_status(&self) -> &WalTail {
+        &self.tail
     }
 
     /// The LSN the next append will receive.
@@ -210,11 +313,27 @@ impl Wal {
         codec::put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
 
+        let decision = match &self.faults {
+            Some(f) => f.on_write("wal.append", frame.len())?,
+            None => WriteDecision::clean(frame.len()),
+        };
+        if let Some((off, bit)) = decision.flip {
+            frame[off] ^= 1 << bit;
+        }
+        let kept = &frame[..decision.keep.min(frame.len())];
         match &mut self.backend {
             Backend::File { file, .. } => {
-                file.write_all(&frame)?;
+                file.write_all(kept)?;
             }
-            Backend::Mem(buf) => buf.write().extend_from_slice(&frame),
+            Backend::Mem(buf) => buf.write().extend_from_slice(kept),
+        }
+        if decision.crash_after {
+            // Whatever landed stays on the medium (torn/flipped bytes
+            // included) but the process "dies" before acknowledging.
+            if let Backend::File { file, .. } = &mut self.backend {
+                let _ = file.sync_data();
+            }
+            return Err(FaultInjector::crash_error("wal.append"));
         }
         self.bytes_written += frame.len() as u64;
         self.next_lsn += 1;
@@ -234,6 +353,9 @@ impl Wal {
     /// fsync now (no-op for the memory backend, but still counted so
     /// benchmarks compare policies fairly).
     pub fn sync(&mut self) -> Result<()> {
+        if let Some(f) = &self.faults {
+            f.point("wal.sync")?;
+        }
         if let Backend::File { file, .. } = &mut self.backend {
             file.sync_data()?;
         }
@@ -246,7 +368,7 @@ impl Wal {
     /// separate handle so tailing does not disturb the append position.
     pub fn read_after(&self, after_lsn: u64) -> Result<Vec<WalRecord>> {
         let buf = self.snapshot_bytes()?;
-        let (records, _) = scan(&buf);
+        let (records, _, _) = scan(&buf);
         Ok(records.into_iter().filter(|r| r.lsn > after_lsn).collect())
     }
 
@@ -258,6 +380,9 @@ impl Wal {
     /// Drop the log contents (after a checkpoint has captured them).
     /// LSN numbering continues from where it was.
     pub fn truncate(&mut self) -> Result<()> {
+        if let Some(f) = &self.faults {
+            f.point("wal.truncate")?;
+        }
         match &mut self.backend {
             Backend::File { file, .. } => {
                 file.set_len(0)?;
@@ -283,28 +408,48 @@ impl Wal {
     }
 }
 
-/// Decode the valid prefix of a log buffer; returns the records and the
-/// byte length of the valid prefix.
-fn scan(buf: &[u8]) -> (Vec<WalRecord>, usize) {
+/// Decode the valid prefix of a log buffer; returns the records, the byte
+/// length of the valid prefix, and why the scan stopped. Public so tools
+/// and corruption fixtures can inspect raw log bytes without opening a
+/// `Wal` (which trims the invalid suffix in place).
+pub fn scan_buffer(buf: &[u8]) -> (Vec<WalRecord>, usize, WalTail) {
+    scan(buf)
+}
+
+fn scan(buf: &[u8]) -> (Vec<WalRecord>, usize, WalTail) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while buf.len() - pos >= 8 {
         let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
         if len > 1 << 30 || buf.len() - pos - 8 < len {
-            break; // torn or absurd frame
+            return (records, pos, WalTail::TornFrame { offset: pos });
         }
         let payload = &buf[pos + 8..pos + 8 + len];
-        if crc32(payload) != crc {
-            break; // corrupted tail
+        if !crate::crc::verify(payload, crc) {
+            return (records, pos, WalTail::BadCrc { offset: pos });
         }
         match decode_payload(payload) {
             Ok(rec) => records.push(rec),
-            Err(_) => break,
+            Err(e) => {
+                return (
+                    records,
+                    pos,
+                    WalTail::BadRecord {
+                        offset: pos,
+                        reason: e.to_string(),
+                    },
+                )
+            }
         }
         pos += 8 + len;
     }
-    (records, pos)
+    let tail = if pos == buf.len() {
+        WalTail::Clean
+    } else {
+        WalTail::TornFrame { offset: pos }
+    };
+    (records, pos, tail)
 }
 
 fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
@@ -521,6 +666,114 @@ mod tests {
         let lsn = wal.append(3, TimestampMs(0), &[]).unwrap();
         assert_eq!(lsn, 3);
         assert_eq!(wal.read_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn injected_tear_is_trimmed_on_reopen() {
+        use evdb_faults::IoFault;
+        let dir = std::env::temp_dir().join(format!("evdb-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test-fault-tear.wal");
+        let _ = std::fs::remove_file(&path);
+        let injector = FaultInjector::new(5);
+        let clean_len;
+        {
+            let mut wal =
+                Wal::open_with(&path, SyncPolicy::Always, Some(Arc::clone(&injector))).unwrap();
+            wal.append(1, TimestampMs(1), &sample_ops()).unwrap();
+            wal.append(2, TimestampMs(2), &sample_ops()).unwrap();
+            clean_len = wal.len_bytes();
+            injector.arm(0, IoFault::TornWrite);
+            let err = wal.append(3, TimestampMs(3), &sample_ops()).unwrap_err();
+            assert!(FaultInjector::is_crash(&err), "{err}");
+            // Post-crash, every durable op keeps failing.
+            assert!(wal.append(4, TimestampMs(4), &[]).is_err());
+        }
+        let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 2);
+        assert_eq!(wal.len_bytes(), clean_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_bit_flip_is_detected_on_reopen() {
+        use evdb_faults::IoFault;
+        let dir = std::env::temp_dir().join(format!("evdb-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test-fault-flip.wal");
+        let _ = std::fs::remove_file(&path);
+        let injector = FaultInjector::new(6);
+        {
+            let mut wal =
+                Wal::open_with(&path, SyncPolicy::Always, Some(Arc::clone(&injector))).unwrap();
+            wal.append(1, TimestampMs(1), &sample_ops()).unwrap();
+            injector.arm(0, IoFault::BitFlip);
+            assert!(wal.append(2, TimestampMs(2), &sample_ops()).is_err());
+        }
+        // The flipped frame was fully written but must never be accepted.
+        let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 1);
+        assert!(!wal.tail_status().is_clean(), "{}", wal.tail_status());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fresh_segment_syncs_directory_once() {
+        use evdb_faults::IoFault;
+        let dir = std::env::temp_dir().join(format!(
+            "evdb-wal-dirsync-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.wal");
+        let injector = FaultInjector::new(7);
+        // Creation hits the dirsync fault site...
+        drop(Wal::open_with(&path, SyncPolicy::Always, Some(Arc::clone(&injector))).unwrap());
+        assert_eq!(injector.point_count("wal.open.dirsync"), 1);
+        // ...reopening an existing segment does not.
+        drop(Wal::open_with(&path, SyncPolicy::Always, Some(Arc::clone(&injector))).unwrap());
+        assert_eq!(injector.point_count("wal.open.dirsync"), 1);
+        // A crash at the dirsync point fails the open; a retry recovers.
+        std::fs::remove_file(&path).unwrap();
+        injector.arm(0, IoFault::PowerCut);
+        assert!(Wal::open_with(&path, SyncPolicy::Always, Some(Arc::clone(&injector))).is_err());
+        injector.heal();
+        drop(Wal::open_with(&path, SyncPolicy::Always, Some(injector)).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_buffer_reports_tail_kinds() {
+        let mut wal = Wal::in_memory(SyncPolicy::Never);
+        wal.append(1, TimestampMs(1), &sample_ops()).unwrap();
+        let bytes = match &wal.backend {
+            Backend::Mem(buf) => buf.read().clone(),
+            _ => unreachable!(),
+        };
+        let (recs, len, tail) = scan_buffer(&bytes);
+        assert_eq!((recs.len(), len, tail), (1, bytes.len(), WalTail::Clean));
+
+        let mut torn = bytes.clone();
+        torn.extend_from_slice(&[9, 9, 9]);
+        let (_, len, tail) = scan_buffer(&torn);
+        assert_eq!(tail, WalTail::TornFrame { offset: len });
+
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let (recs, _, tail) = scan_buffer(&flipped);
+        assert!(recs.is_empty());
+        assert_eq!(tail, WalTail::BadCrc { offset: 0 });
+
+        // A zero-filled page parses as an empty frame whose CRC vacuously
+        // matches (crc32("") == 0) but whose payload cannot decode.
+        let zeros = vec![0u8; 4096];
+        let (recs, len, tail) = scan_buffer(&zeros);
+        assert!(recs.is_empty());
+        assert_eq!(len, 0);
+        assert!(matches!(tail, WalTail::BadRecord { offset: 0, .. }), "{tail}");
     }
 
     #[test]

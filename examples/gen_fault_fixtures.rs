@@ -1,0 +1,80 @@
+//! Regenerates the golden corruption fixtures under `tests/fixtures/`.
+//!
+//! The fixtures are hex-encoded WAL files: one clean baseline and three
+//! corruptions of it (torn tail, CRC-corrupt tail frame, zero-filled
+//! page appended). `tests/golden_corruption.rs` decodes them and pins
+//! down exactly where recovery stops and what it reports.
+//!
+//! Run with `cargo run --example gen_fault_fixtures` after any change to
+//! the WAL framing or record encoding, and commit the updated fixtures.
+
+use evdb::storage::{Database, DbOptions, SyncPolicy};
+use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + bytes.len() / 16);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            s.push('\n');
+        }
+        s.push_str(&format!("{b:02x}"));
+    }
+    s.push('\n');
+    s
+}
+
+fn main() {
+    // A deterministic little database: fixed clock, fixed workload, so
+    // the generated log is byte-identical on every run.
+    let dir = std::env::temp_dir().join(format!("evdb-gen-fixtures-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let db = Database::open(
+            &dir,
+            DbOptions {
+                sync: SyncPolicy::Never,
+                clock: SimClock::new(TimestampMs(1_000)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        db.create_table(
+            "t",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+            "k",
+        )
+        .unwrap();
+        for i in 0..8 {
+            db.insert("t", Record::from_iter([Value::Int(i), Value::Int(i * 10)]))
+                .unwrap();
+        }
+    }
+    let base = std::fs::read(dir.join("evdb.wal")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Torn tail: the final frame loses its last 5 bytes (crash mid-write).
+    let torn = base[..base.len() - 5].to_vec();
+
+    // Bad CRC: one bit flipped in the final frame's payload (bit rot).
+    let mut bad_crc = base.clone();
+    let last = bad_crc.len() - 1;
+    bad_crc[last] ^= 0x01;
+
+    // Zero page: a page of never-written zeroes after the valid log (a
+    // preallocated-but-unwritten region surfacing after a power cut).
+    let mut zero_page = base.clone();
+    zero_page.extend(std::iter::repeat_n(0u8, 4096));
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(&out).unwrap();
+    for (name, bytes) in [
+        ("clean.wal.hex", &base),
+        ("truncated_tail.wal.hex", &torn),
+        ("bad_crc.wal.hex", &bad_crc),
+        ("zero_page.wal.hex", &zero_page),
+    ] {
+        std::fs::write(out.join(name), hex(bytes)).unwrap();
+        println!("wrote tests/fixtures/{name} ({} bytes raw)", bytes.len());
+    }
+}

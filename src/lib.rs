@@ -8,6 +8,7 @@ pub use evdb_core as core;
 pub use evdb_cq as cq;
 pub use evdb_dist as dist;
 pub use evdb_expr as expr;
+pub use evdb_faults as faults;
 pub use evdb_queue as queue;
 pub use evdb_rules as rules;
 pub use evdb_storage as storage;

@@ -1,0 +1,523 @@
+//! Crash-recovery torture harness (the test-side counterpart of
+//! experiment E12, DESIGN.md D8).
+//!
+//! Each test runs many independent *cycles*. A cycle seeds a
+//! [`FaultInjector`], arms it with a sampled countdown + fault kind,
+//! drives a seeded workload until the injector "cuts the power" (or the
+//! workload ends and we crash by dropping the process state), then
+//! reopens the database with no injector and checks the recovery
+//! invariants:
+//!
+//! * **storage** — recovered table state equals the committed model,
+//!   except possibly the single operation that was in flight at the
+//!   crash (a full frame can land even though the caller saw an error —
+//!   `CutAfterWrite`). Torn or corrupted frames must never be accepted.
+//! * **queue** — an ack that returned `Ok` is never redelivered; a
+//!   message whose enqueue returned `Ok` and was never acked is
+//!   delivered at least once after recovery; at most the one in-flight
+//!   enqueue may surface beyond the `Ok` set; attempts stay bounded.
+//! * **cq** — window/pane state rebuilt by replaying the recovered
+//!   durable event trace matches a never-crashed run of the same trace.
+//!
+//! The seed is `TORTURE_SEED` (env) so CI can run a fixed seed matrix;
+//! every cycle derives its own sub-seed from it, so one test run covers
+//! `cycles` distinct crash schedules.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use evdb::cq::aggregate::AggMode;
+use evdb::cq::{compile_query, StreamRuntime};
+use evdb::faults::{FaultInjector, FaultRng};
+use evdb::queue::{QueueConfig, QueueManager};
+use evdb::storage::{Database, DbOptions, SyncPolicy};
+use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+/// Base seed for the whole run; CI sets `TORTURE_SEED` (3-seed matrix).
+fn base_seed() -> u64 {
+    std::env::var("TORTURE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE12D)
+}
+
+/// Per-cycle sub-seed (SplitMix-style spread so cycles are independent).
+fn cycle_seed(base: u64, cycle: u64) -> u64 {
+    base ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// `FaultRng::range` as an `i64` (the workloads key on signed ints).
+fn irange(rng: &mut FaultRng, lo: u64, hi: u64) -> i64 {
+    rng.range(lo, hi) as i64
+}
+
+fn tmpdir(tag: &str, cycle: u64) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "evdb-torture-{tag}-{cycle}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Aggregate crash-site statistics across cycles, printed at the end so
+/// a failing seed is easy to characterise.
+#[derive(Default)]
+struct Stats {
+    cycles: u64,
+    crashed: u64,
+    sites: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    fn record(&mut self, injector: &FaultInjector) {
+        self.cycles += 1;
+        if let Some(site) = injector.crash_site() {
+            self.crashed += 1;
+            *self.sites.entry(site).or_insert(0) += 1;
+        }
+    }
+
+    fn report(&self, tag: &str) {
+        eprintln!(
+            "torture[{tag}]: {} cycles, {} crashed, sites {:?}",
+            self.cycles, self.crashed, self.sites
+        );
+        // The schedule sampler must actually exercise crashes, otherwise
+        // the harness silently degrades into a plain reopen test.
+        assert!(
+            self.crashed >= self.cycles / 8,
+            "torture[{tag}]: only {}/{} cycles crashed — sampler broken?",
+            self.crashed,
+            self.cycles
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage: committed transactions survive, in-flight ops never half-apply.
+// ---------------------------------------------------------------------
+
+/// What the op in flight at the crash *would* have done if its frame
+/// landed in full (`CutAfterWrite` legitimately persists an op whose
+/// caller saw an error).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    Put(i64, i64),
+    Delete(i64),
+    None,
+}
+
+fn read_table(db: &Database) -> BTreeMap<i64, i64> {
+    let t = db.table("t").unwrap();
+    let mut out = BTreeMap::new();
+    for k in -1..64 {
+        if let Some(row) = t.get(&Value::Int(k)) {
+            out.insert(k, row.get(1).and_then(Value::as_int).unwrap());
+        }
+    }
+    assert_eq!(t.len(), out.len(), "recovered rows outside the key domain");
+    out
+}
+
+#[test]
+fn storage_torture_committed_state_survives_sampled_crashes() {
+    const CYCLES: u64 = 120;
+    const OPS: u64 = 36;
+    let base = base_seed();
+    let mut stats = Stats::default();
+
+    for cycle in 0..CYCLES {
+        let seed = cycle_seed(base, cycle);
+        let dir = tmpdir("st", cycle);
+        let mut rng = FaultRng::new(seed);
+        let injector = FaultInjector::new(seed ^ 0xFA);
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut pending = Pending::None;
+
+        {
+            let db = Database::open(
+                &dir,
+                DbOptions {
+                    sync: SyncPolicy::Never,
+                    faults: Some(Arc::clone(&injector)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            db.create_table("t", Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]), "k")
+                .unwrap();
+            // Arm only after setup so every crash lands inside the workload.
+            injector.arm_sampled(OPS + OPS / 4);
+
+            for _ in 0..OPS {
+                let r = match rng.below(10) {
+                    0..=5 => {
+                        let (k, v) = (irange(&mut rng, 0, 32), irange(&mut rng, 0, 1_000));
+                        let rec = Record::from_iter([Value::Int(k), Value::Int(v)]);
+                        let r = if model.contains_key(&k) {
+                            db.update("t", &Value::Int(k), rec).map(|_| ())
+                        } else {
+                            db.insert("t", rec).map(|_| ())
+                        };
+                        if r.is_ok() {
+                            model.insert(k, v);
+                        } else {
+                            pending = Pending::Put(k, v);
+                        }
+                        r
+                    }
+                    6..=7 => {
+                        let k = irange(&mut rng, 0, 32);
+                        if !model.contains_key(&k) {
+                            continue;
+                        }
+                        let r = db.delete("t", &Value::Int(k)).map(|_| ());
+                        if r.is_ok() {
+                            model.remove(&k);
+                        } else {
+                            pending = Pending::Delete(k);
+                        }
+                        r
+                    }
+                    _ => db.checkpoint().map(|_| ()), // crash here changes no logical state
+                };
+                if let Err(e) = r {
+                    assert!(
+                        FaultInjector::is_crash(&e),
+                        "cycle {cycle}: non-crash workload error: {e}"
+                    );
+                    break;
+                }
+            }
+            // Crash: drop the session (power already cut if the injector fired).
+        }
+        stats.record(&injector);
+
+        // Recover with no injector: must open cleanly and match the model,
+        // modulo the single in-flight op.
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let got = read_table(&db);
+        let mut with_pending = model.clone();
+        match pending {
+            Pending::Put(k, v) => {
+                with_pending.insert(k, v);
+            }
+            Pending::Delete(k) => {
+                with_pending.remove(&k);
+            }
+            Pending::None => {}
+        }
+        assert!(
+            got == model || got == with_pending,
+            "cycle {cycle} (site {:?}): recovered {got:?}\n != committed {model:?}\n nor +pending {with_pending:?}",
+            injector.crash_site()
+        );
+        // The recovered database keeps working: write, checkpoint, reread.
+        db.insert("t", Record::from_iter([Value::Int(-1), Value::Int(7)]))
+            .unwrap();
+        db.checkpoint().unwrap();
+        assert!(db.table("t").unwrap().get(&Value::Int(-1)).is_some());
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    stats.report("storage");
+}
+
+// ---------------------------------------------------------------------
+// Queue: at-least-once with a hard "acked-Ok never redelivered" bound.
+// ---------------------------------------------------------------------
+
+#[test]
+fn queue_torture_acked_never_redelivered_unacked_never_lost() {
+    const CYCLES: u64 = 60;
+    const OPS: u64 = 30;
+    let base = base_seed().wrapping_add(1);
+    let mut stats = Stats::default();
+
+    for cycle in 0..CYCLES {
+        let seed = cycle_seed(base, cycle);
+        let dir = tmpdir("q", cycle);
+        let mut rng = FaultRng::new(seed);
+        let injector = FaultInjector::new(seed ^ 0xFB);
+        let clock = SimClock::new(TimestampMs(1_000));
+
+        let mut enqueued_ok: BTreeSet<u64> = BTreeSet::new();
+        let mut acked_ok: BTreeSet<u64> = BTreeSet::new();
+        // Ids whose ack/enqueue errored at the crash: durability unknown.
+        let mut ambiguous_acks: BTreeSet<u64> = BTreeSet::new();
+        let mut enqueue_in_flight = false;
+
+        {
+            let db = Database::open(
+                &dir,
+                DbOptions {
+                    sync: SyncPolicy::Never,
+                    clock: clock.clone(),
+                    faults: Some(Arc::clone(&injector)),
+                },
+            )
+            .unwrap();
+            let q = QueueManager::attach(Arc::clone(&db)).unwrap();
+            q.create_queue(
+                "work",
+                Schema::of(&[("job", DataType::Int)]),
+                QueueConfig::default()
+                    .visibility_timeout(2_000)
+                    .max_attempts(50),
+            )
+            .unwrap();
+            q.subscribe("work", "g").unwrap();
+            injector.arm_sampled(OPS * 2);
+
+            'workload: for op in 0..OPS {
+                match rng.below(10) {
+                    0..=4 => {
+                        match q.enqueue("work", Record::from_iter([Value::Int(op as i64)]), "torture")
+                        {
+                            Ok(id) => {
+                                enqueued_ok.insert(id);
+                            }
+                            Err(e) => {
+                                assert!(FaultInjector::is_crash(&e), "enqueue: {e}");
+                                enqueue_in_flight = true;
+                                break 'workload;
+                            }
+                        }
+                    }
+                    5..=7 => {
+                        let batch = match q.dequeue("work", "g", 3) {
+                            Ok(b) => b,
+                            Err(e) => {
+                                assert!(FaultInjector::is_crash(&e), "dequeue: {e}");
+                                break 'workload;
+                            }
+                        };
+                        for d in &batch {
+                            assert!(d.attempt <= 50, "attempts unbounded");
+                            match rng.below(3) {
+                                0 => {
+                                    // Leave in flight; visibility timeout redelivers.
+                                }
+                                1 => match q.ack(d) {
+                                    Ok(()) => {
+                                        acked_ok.insert(d.message.id);
+                                    }
+                                    Err(e) => {
+                                        assert!(FaultInjector::is_crash(&e), "ack: {e}");
+                                        ambiguous_acks.insert(d.message.id);
+                                        break 'workload;
+                                    }
+                                },
+                                _ => {
+                                    if let Err(e) = q.nack(d, "torture") {
+                                        assert!(FaultInjector::is_crash(&e), "nack: {e}");
+                                        break 'workload;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        clock.advance(1_000);
+                        if let Err(e) = q.reap_timeouts("work") {
+                            assert!(FaultInjector::is_crash(&e), "reap: {e}");
+                            break 'workload;
+                        }
+                    }
+                }
+            }
+            // Crash: drop manager + database.
+        }
+        stats.record(&injector);
+
+        // Recover and drain everything that is still owed to the group.
+        let db = Database::open(
+            &dir,
+            DbOptions {
+                sync: SyncPolicy::Never,
+                clock: clock.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = QueueManager::attach(Arc::clone(&db)).unwrap();
+        let mut seen_post: BTreeSet<u64> = BTreeSet::new();
+        for _round in 0..40 {
+            clock.advance(3_000); // lapse any visibility window
+            q.reap_timeouts("work").unwrap();
+            let batch = q.dequeue("work", "g", 100).unwrap();
+            if batch.is_empty() && q.depth("work").unwrap() == 0 {
+                break;
+            }
+            for d in batch {
+                assert!(
+                    !acked_ok.contains(&d.message.id),
+                    "cycle {cycle} (site {:?}): acked-Ok message {} redelivered",
+                    injector.crash_site(),
+                    d.message.id
+                );
+                seen_post.insert(d.message.id);
+                q.ack(&d).unwrap();
+            }
+        }
+
+        // Every Ok-enqueued, never-Ok-acked, non-ambiguous message must
+        // resurface at least once after the crash.
+        for id in enqueued_ok.difference(&acked_ok) {
+            assert!(
+                ambiguous_acks.contains(id) || seen_post.contains(id),
+                "cycle {cycle} (site {:?}): message {id} lost (enqueued-Ok, never acked, never redelivered)",
+                injector.crash_site()
+            );
+        }
+        // At most the single in-flight enqueue may surface beyond the Ok set.
+        let unexpected: Vec<u64> = seen_post.difference(&enqueued_ok).copied().collect();
+        assert!(
+            unexpected.len() <= usize::from(enqueue_in_flight),
+            "cycle {cycle}: phantom deliveries {unexpected:?}"
+        );
+        drop(q);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    stats.report("queue");
+}
+
+// ---------------------------------------------------------------------
+// CQ: window state rebuilt from the recovered durable trace matches a
+// never-crashed run (satellite: runtime recovery equivalence).
+// ---------------------------------------------------------------------
+
+/// Run the E12 reference pipeline over an event trace and render every
+/// derived row (including the end-of-input flush).
+fn run_cq(events: &[(i64, i64, i64)]) -> Vec<String> {
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let rt = StreamRuntime::new(0);
+    rt.create_stream("s", Arc::clone(&schema)).unwrap();
+    let pipeline = compile_query(
+        "SELECT k, sum(v) AS total FROM s [RANGE 1 s] GROUP BY k",
+        &schema,
+        AggMode::Incremental,
+    )
+    .unwrap();
+    rt.register_query("q", "s", pipeline).unwrap();
+    let mut out = Vec::new();
+    for (ts, k, v) in events {
+        let derived = rt
+            .push(
+                "s",
+                TimestampMs(*ts),
+                Record::from_iter([Value::Int(*k), Value::Int(*v)]),
+            )
+            .unwrap();
+        out.extend(derived.iter().map(|e| e.payload.to_string()));
+    }
+    let tail = rt.flush("s", TimestampMs(i64::MAX / 2)).unwrap();
+    out.extend(tail.iter().map(|e| e.payload.to_string()));
+    out
+}
+
+#[test]
+fn cq_torture_window_state_rebuild_matches_uncrashed_run() {
+    const CYCLES: u64 = 24;
+    const EVENTS: usize = 40;
+    let base = base_seed().wrapping_add(2);
+    let mut stats = Stats::default();
+
+    for cycle in 0..CYCLES {
+        let seed = cycle_seed(base, cycle);
+        let dir = tmpdir("cq", cycle);
+        let mut rng = FaultRng::new(seed);
+        let injector = FaultInjector::new(seed ^ 0xFC);
+
+        // Seeded event trace: nondecreasing timestamps, small key domain.
+        let mut trace: Vec<(i64, i64, i64)> = Vec::with_capacity(EVENTS);
+        let mut ts = 0i64;
+        for _ in 0..EVENTS {
+            ts += irange(&mut rng, 0, 600);
+            trace.push((ts, irange(&mut rng, 0, 5), irange(&mut rng, 1, 100)));
+        }
+        let reference = run_cq(&trace);
+
+        // Ingest the trace into a durable table, crashing partway.
+        {
+            let db = Database::open(
+                &dir,
+                DbOptions {
+                    sync: SyncPolicy::Never,
+                    faults: Some(Arc::clone(&injector)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            db.create_table(
+                "trace",
+                Schema::of(&[
+                    ("i", DataType::Int),
+                    ("ts", DataType::Int),
+                    ("k", DataType::Int),
+                    ("v", DataType::Int),
+                ]),
+                "i",
+            )
+            .unwrap();
+            injector.arm_sampled(EVENTS as u64);
+            for (i, (ts, k, v)) in trace.iter().enumerate() {
+                let r = db.insert(
+                    "trace",
+                    Record::from_iter([
+                        Value::Int(i as i64),
+                        Value::Int(*ts),
+                        Value::Int(*k),
+                        Value::Int(*v),
+                    ]),
+                );
+                if let Err(e) = r {
+                    assert!(FaultInjector::is_crash(&e), "ingest: {e}");
+                    break;
+                }
+            }
+        }
+        stats.record(&injector);
+
+        // Recover: the surviving trace must be an exact prefix (an insert
+        // either fully persisted or left no trace).
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let t = db.table("trace").unwrap();
+        let mut recovered: Vec<(i64, i64, i64)> = Vec::new();
+        for i in 0..trace.len() {
+            match t.get(&Value::Int(i as i64)) {
+                Some(row) => recovered.push((
+                    row.get(1).and_then(Value::as_int).unwrap(),
+                    row.get(2).and_then(Value::as_int).unwrap(),
+                    row.get(3).and_then(Value::as_int).unwrap(),
+                )),
+                None => break,
+            }
+        }
+        assert_eq!(t.len(), recovered.len(), "cycle {cycle}: gap in recovered trace");
+        assert_eq!(
+            recovered,
+            trace[..recovered.len()],
+            "cycle {cycle}: recovered prefix diverges from the ingested trace"
+        );
+
+        // Rebuild: replay the *recovered* rows through a fresh runtime,
+        // then continue with the rest of the live trace. Output must be
+        // indistinguishable from the never-crashed reference run.
+        let mut resumed = recovered;
+        resumed.extend_from_slice(&trace[resumed.len()..]);
+        assert_eq!(
+            run_cq(&resumed),
+            reference,
+            "cycle {cycle} (site {:?}): rebuilt window state diverges",
+            injector.crash_site()
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    stats.report("cq");
+}
