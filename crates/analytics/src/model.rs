@@ -73,7 +73,7 @@ impl ExpectationModel for ControlChartModel {
             return None;
         }
         let sd = self.stats.stddev()?;
-        let m = self.stats.mean();
+        let m = self.stats.mean()?;
         Some((m - self.k * sd, m + self.k * sd))
     }
 
@@ -297,7 +297,7 @@ impl ExpectationModel for RateOfChangeModel {
             return None;
         }
         let last = self.last?;
-        let mean_delta = self.delta_stats.mean();
+        let mean_delta = self.delta_stats.mean()?;
         let band = (self.k * self.delta_stats.stddev().unwrap_or(0.0)).max(self.min_band);
         let center = last + mean_delta;
         Some((center - band, center + band))

@@ -27,9 +27,14 @@ impl Welford {
         self.n
     }
 
-    /// Running mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        self.mean
+    /// Running mean (`None` when empty — a real 0.0 mean must stay
+    /// distinguishable from "no data" in detector baselines).
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.mean)
+        }
     }
 
     /// Sample variance (`None` with fewer than 2 observations).
@@ -214,6 +219,9 @@ impl P2Quantile {
 pub struct Histogram {
     lo: f64,
     hi: f64,
+    /// `nbins / (hi - lo)`, precomputed so `observe` costs a multiply
+    /// instead of a divide (it sits on metric hot paths).
+    inv_width: f64,
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
@@ -227,6 +235,7 @@ impl Histogram {
         Histogram {
             lo,
             hi,
+            inv_width: nbins as f64 / (hi - lo),
             bins: vec![0; nbins],
             underflow: 0,
             overflow: 0,
@@ -242,10 +251,9 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let nbins = self.bins.len();
-            let w = (self.hi - self.lo) / nbins as f64;
-            let i = ((x - self.lo) / w) as usize;
-            self.bins[i.min(nbins - 1)] += 1;
+            let last = self.bins.len() - 1;
+            let i = ((x - self.lo) * self.inv_width) as usize;
+            self.bins[i.min(last)] += 1;
         }
     }
 
@@ -264,23 +272,41 @@ impl Histogram {
         (self.underflow, self.overflow)
     }
 
-    /// Approximate quantile from bin midpoints (`None` if all data is out
-    /// of range or empty).
+    /// Has any observation landed at or above the `hi` edge? When true,
+    /// upper quantiles are clamped to `hi` and should be read as
+    /// "at least" values.
+    pub fn saturated(&self) -> bool {
+        self.overflow > 0
+    }
+
+    /// Approximate quantile from bin midpoints (`None` when empty).
+    ///
+    /// Out-of-range mass participates in the cumulative walk: underflow
+    /// reports the `lo` edge, overflow the `hi` edge. Quantiles over the
+    /// *total* count mean a saturated histogram can no longer understate
+    /// its tail — a p99 that lands past the cap comes back as `hi`, not
+    /// as the midpoint of the last in-range bin.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        let in_range: u64 = self.bins.iter().sum();
-        if in_range == 0 {
+        if self.count == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * in_range as f64).ceil().max(1.0) as u64;
+        // Exclusive rank convention: the quantile is the first value with
+        // cumulative count strictly above q·n. With 1 of 100 samples past
+        // the cap, p99 must land on that overflow sample (rank 100), not
+        // on the 99th in-range one — the whole point of the clamp.
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).floor() as u64 + 1).min(self.count);
         let w = (self.hi - self.lo) / self.bins.len() as f64;
-        let mut cum = 0;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return Some(self.lo);
+        }
         for (i, b) in self.bins.iter().enumerate() {
             cum += b;
             if cum >= target {
                 return Some(self.lo + w * (i as f64 + 0.5));
             }
         }
-        Some(self.hi - w / 2.0)
+        Some(self.hi)
     }
 }
 
@@ -297,7 +323,7 @@ mod tests {
         }
         let mean = data.iter().sum::<f64>() / data.len() as f64;
         let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
-        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.mean().unwrap() - mean).abs() < 1e-9);
         assert!((w.variance().unwrap() - var).abs() < 1e-6);
         assert_eq!(w.count(), 1000);
     }
@@ -307,10 +333,21 @@ mod tests {
         let mut w = Welford::new();
         assert_eq!(w.variance(), None);
         w.observe(5.0);
-        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.mean(), Some(5.0));
         assert_eq!(w.stddev(), None);
         w.observe(7.0);
         assert!((w.variance().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_mean_is_none() {
+        // Regression: an empty accumulator used to report mean 0.0,
+        // indistinguishable from a genuine zero baseline.
+        let w = Welford::new();
+        assert_eq!(w.mean(), None);
+        let mut w = Welford::new();
+        w.observe(0.0);
+        assert_eq!(w.mean(), Some(0.0));
     }
 
     #[test]
@@ -382,5 +419,51 @@ mod tests {
         assert!((med - 45.0).abs() <= 10.0);
         let p99 = h.quantile(0.99).unwrap();
         assert!(p99 >= 85.0);
+    }
+
+    #[test]
+    fn histogram_quantile_counts_overflow_mass() {
+        // Regression: with >1% of samples past the cap, the p99 used to
+        // come back from the in-range bins only — silently low, the worst
+        // failure mode for a latency monitor.
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..95 {
+            h.observe((i % 100) as f64);
+        }
+        for _ in 0..5 {
+            h.observe(5_000.0); // 5% of the mass beyond hi
+        }
+        assert!(h.saturated());
+        assert_eq!(h.out_of_range(), (0, 5));
+        // Target for p99 lands in the overflow region → report the cap,
+        // not a bin midpoint below it.
+        assert_eq!(h.quantile(0.99), Some(100.0));
+        // Median is unaffected: rank floor(0.5·100)+1=51 ⇒ still in range.
+        assert!(h.quantile(0.5).unwrap() < 100.0);
+    }
+
+    #[test]
+    fn histogram_quantile_counts_underflow_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for _ in 0..60 {
+            h.observe(-1.0);
+        }
+        for i in 0..40 {
+            h.observe(i as f64);
+        }
+        assert!(!h.saturated()); // underflow alone does not clamp the top
+        // Median target (50) sits inside the underflow mass → lo edge.
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert!(h.quantile(0.99).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn histogram_all_out_of_range_still_answers() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.observe(10.0);
+        h.observe(20.0);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        let empty = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(empty.quantile(0.5), None);
     }
 }

@@ -35,6 +35,7 @@ fn main() {
         ("e10", experiments::e10_recovery::run),
         ("e11", experiments::e11_parallel::run),
         ("e12", experiments::e12_torture::run),
+        ("e13", experiments::e13_observability::run),
     ];
 
     println!(

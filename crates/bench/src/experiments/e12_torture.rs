@@ -175,6 +175,7 @@ fn queue_cycle(seed: u64, out: &mut Outcome) {
                 sync: SyncPolicy::Never,
                 clock: clock.clone(),
                 faults: Some(Arc::clone(&injector)),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E12 (see DESIGN.md §5 for the mapping
+//! Experiment implementations E1–E13 (see DESIGN.md §5 for the mapping
 //! to paper claims, and EXPERIMENTS.md for recorded results).
 //!
 //! Each experiment exposes `run(scale) -> Table`: `Scale::Quick` for CI
@@ -16,6 +16,7 @@ pub mod e09_usecases;
 pub mod e10_recovery;
 pub mod e11_parallel;
 pub mod e12_torture;
+pub mod e13_observability;
 
 /// Workload size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +123,7 @@ pub fn run_all(scale: Scale) -> String {
         e10_recovery::run(scale),
         e11_parallel::run(scale),
         e12_torture::run(scale),
+        e13_observability::run(scale),
     ];
     for t in tables {
         out.push_str(&t.render());

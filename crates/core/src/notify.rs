@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use evdb_types::{Clock, TimestampMs};
+use evdb_types::{Clock, TimestampMs, Trace};
 use parking_lot::Mutex;
 
 /// An outbound notification.
@@ -35,6 +35,9 @@ pub struct Notification {
     pub body: String,
     /// When the condition was detected.
     pub timestamp: TimestampMs,
+    /// Trace of the event that produced this notification; the deliver
+    /// stage is stamped by [`crate::EventServer::deliver`].
+    pub trace: Trace,
 }
 
 /// VIRT filtering parameters.
@@ -170,6 +173,7 @@ mod tests {
             title: "t".into(),
             body: "b".into(),
             timestamp: TimestampMs(0),
+            trace: Trace::default(),
         }
     }
 

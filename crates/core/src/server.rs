@@ -31,13 +31,14 @@ use evdb_rules::{Broker, IndexedMatcher, Matcher, Rule};
 use evdb_storage::{
     ChangeEvent, Database, DbOptions, JournalMiner, QuerySnapshot, TriggerOps, TriggerTiming,
 };
+use evdb_obs::{Gauge, Registry};
 use evdb_types::{
-    Clock, Error, Event, EventId, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs,
-    Value,
+    Clock, Error, Event, EventId, IdGenerator, Record, Result, Schema, Stage, SystemClock,
+    TimestampMs, Value,
 };
 use parking_lot::{Mutex, RwLock};
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StageBatch, StageObs};
 use crate::notify::{Notification, NotificationCenter, NotificationHandler, VirtPolicy};
 use crate::security::{AccessControl, Principal, Privilege};
 
@@ -116,6 +117,11 @@ pub struct ServerConfig {
     pub lateness_ms: i64,
     /// Engine clock.
     pub clock: Arc<dyn Clock>,
+    /// Unified metrics registry shared by every layer (storage, queues,
+    /// rules, CQ, stages). Enabled by default; swap in
+    /// `Registry::disabled()` to compile the pipeline's instrumentation
+    /// down to no-ops (experiment E13 bounds the difference).
+    pub registry: Arc<Registry>,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +131,7 @@ impl Default for ServerConfig {
             agg_mode: AggMode::Incremental,
             lateness_ms: 0,
             clock: Arc::new(SystemClock),
+            registry: Arc::new(Registry::new()),
         }
     }
 }
@@ -157,10 +164,15 @@ pub struct EventServer {
     db: Arc<Database>,
     queues: Arc<QueueManager>,
     broker: Broker,
-    runtime: StreamRuntime,
+    runtime: Arc<StreamRuntime>,
     notifications: Arc<NotificationCenter>,
     access: AccessControl,
     metrics: Arc<Metrics>,
+    registry: Arc<Registry>,
+    stage_obs: StageObs,
+    /// Committed LSNs not yet mined by journal capture (refreshed each
+    /// pump while a journal capture is registered).
+    journal_lag: Arc<Gauge>,
     agg_mode: AggMode,
     captures: Mutex<Vec<CaptureTask>>,
     trigger_buffer: Arc<Mutex<VecDeque<(String, ChangeEvent)>>>,
@@ -184,6 +196,7 @@ impl EventServer {
     pub fn in_memory(config: ServerConfig) -> Result<EventServer> {
         let db = Database::in_memory(DbOptions {
             clock: Arc::clone(&config.clock),
+            registry: Arc::clone(&config.registry),
             ..Default::default()
         })?;
         Self::from_db(db, config)
@@ -195,6 +208,7 @@ impl EventServer {
             dir,
             DbOptions {
                 clock: Arc::clone(&config.clock),
+                registry: Arc::clone(&config.registry),
                 ..Default::default()
             },
         )?;
@@ -204,16 +218,30 @@ impl EventServer {
     fn from_db(db: Arc<Database>, config: ServerConfig) -> Result<EventServer> {
         let queues = Arc::new(QueueManager::attach(Arc::clone(&db))?);
         let access = AccessControl::attach(Arc::clone(&db))?;
+        let registry = config.registry;
+        let stage_obs = StageObs::bind(&registry);
+        let journal_lag = registry.gauge("evdb_storage_journal_lag");
+        let mut rt = StreamRuntime::new(config.lateness_ms);
+        rt.bind_obs(&registry);
+        let runtime = Arc::new(rt);
+        let metrics = Arc::new(Metrics::default());
+        let notifications = Arc::new(NotificationCenter::new(
+            config.virt,
+            Arc::clone(&config.clock),
+        ));
+        if registry.is_enabled() {
+            Self::bridge_gauges(&registry, &metrics, &notifications, &runtime);
+        }
         Ok(EventServer {
             queues,
             broker: Broker::new(),
-            runtime: StreamRuntime::new(config.lateness_ms),
-            notifications: Arc::new(NotificationCenter::new(
-                config.virt,
-                Arc::clone(&config.clock),
-            )),
+            runtime,
+            notifications,
             access,
-            metrics: Arc::new(Metrics::default()),
+            metrics,
+            registry,
+            stage_obs,
+            journal_lag,
             agg_mode: config.agg_mode,
             captures: Mutex::new(Vec::new()),
             trigger_buffer: Arc::new(Mutex::new(VecDeque::new())),
@@ -224,6 +252,53 @@ impl EventServer {
             ids: IdGenerator::default(),
             db,
         })
+    }
+
+    /// Bridge pull-style gauges over the legacy atomic counters so the
+    /// text exposition covers the whole engine without double-counting.
+    fn bridge_gauges(
+        registry: &Registry,
+        metrics: &Arc<Metrics>,
+        notifications: &Arc<NotificationCenter>,
+        runtime: &Arc<StreamRuntime>,
+    ) {
+        use std::sync::atomic::Ordering;
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_core_events_captured", move || {
+            m.events_captured.load(Ordering::Relaxed) as f64
+        });
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_core_events_processed", move || {
+            m.events_processed.load(Ordering::Relaxed) as f64
+        });
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_core_derived_events", move || {
+            m.derived_events.load(Ordering::Relaxed) as f64
+        });
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_core_deviations", move || {
+            m.deviations.load(Ordering::Relaxed) as f64
+        });
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_shard_events_routed", move || {
+            m.total_events_routed() as f64
+        });
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_shard_busy_cycles", move || m.total_busy_cycles() as f64);
+        let m = Arc::clone(metrics);
+        registry.gauge_fn("evdb_shard_queue_depth", move || {
+            m.shard_snapshots().iter().map(|s| s.queue_depth).sum::<u64>() as f64
+        });
+        let nc = Arc::clone(notifications);
+        registry.gauge_fn("evdb_notify_delivered", move || {
+            nc.delivered.load(Ordering::Relaxed) as f64
+        });
+        let nc = Arc::clone(notifications);
+        registry.gauge_fn("evdb_notify_suppressed", move || {
+            nc.suppressed.load(Ordering::Relaxed) as f64
+        });
+        let rt = Arc::clone(runtime);
+        registry.gauge_fn("evdb_cq_window_memory", move || rt.window_memory() as f64);
     }
 
     // ---- component access -------------------------------------------------
@@ -261,6 +336,19 @@ impl EventServer {
     /// Engine metrics.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The unified metrics registry (render with
+    /// [`Registry::render`], diff with [`Registry::snapshot`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The per-stage observability handles (shared with the sharded
+    /// pump's router and worker threads, which flush their own
+    /// [`StageBatch`]es through it).
+    pub fn stage_obs(&self) -> &StageObs {
+        &self.stage_obs
     }
 
     /// Current engine time.
@@ -333,11 +421,19 @@ impl EventServer {
         payload: Record,
     ) -> Result<PumpStats> {
         use std::sync::atomic::Ordering;
-        let event = self.make_event(stream, timestamp, payload)?;
+        let mut event = self.make_event(stream, timestamp, payload)?;
         let mut stats = PumpStats::default();
         self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
         stats.captured = 1;
-        self.process_event(&event, &mut stats)?;
+        if self.stage_obs.enabled {
+            event.trace.stamp(Stage::Capture, event.timestamp);
+            self.stage_obs
+                .observe(Stage::Capture, self.now().since(event.timestamp).max(0) as f64);
+        }
+        let stamp_now = self.now();
+        let mut batch = StageBatch::default();
+        self.process_event(&mut event, stamp_now, &mut stats, &mut batch)?;
+        self.stage_obs.flush(&mut batch);
         Ok(stats)
     }
 
@@ -442,10 +538,14 @@ impl EventServer {
         let mut rules = self.alert_rules.write();
         let entry = rules
             .entry(stream.to_string())
-            .or_insert_with(|| AlertRules {
-                matcher: IndexedMatcher::new(Arc::clone(&schema)),
-                meta: HashMap::new(),
-                next_id: 1,
+            .or_insert_with(|| {
+                let mut matcher = IndexedMatcher::new(Arc::clone(&schema));
+                matcher.bind_obs(&self.registry);
+                AlertRules {
+                    matcher,
+                    meta: HashMap::new(),
+                    next_id: 1,
+                }
             });
         let id = entry.next_id;
         entry.matcher.add_rule(Rule::new(id, name, expr))?;
@@ -591,14 +691,21 @@ impl EventServer {
     /// pipeline. Deterministic: with a `SimClock`, repeated runs produce
     /// identical results.
     pub fn pump(&self) -> Result<PumpStats> {
-        let events = self.drain_captured()?;
+        let mut events = self.drain_captured()?;
         let mut stats = PumpStats {
             captured: events.len() as u64,
             ..PumpStats::default()
         };
-        for event in &events {
-            self.process_event(event, &mut stats)?;
+        // One clock read serves every stage stamp this cycle: the stage
+        // histograms have 10ms bins, so per-event clock reads would buy
+        // no resolution and cost a measurable share of the pipeline
+        // (experiment E13 bounds the total tax).
+        let stamp_now = self.now();
+        let mut batch = StageBatch::default();
+        for event in &mut events {
+            self.process_event(event, stamp_now, &mut stats, &mut batch)?;
         }
+        self.stage_obs.flush(&mut batch);
         Ok(stats)
     }
 
@@ -612,6 +719,7 @@ impl EventServer {
         use std::sync::atomic::Ordering;
         let now = self.now();
         let mut events = Vec::new();
+        let mut batch = StageBatch::default();
 
         // Externally staged events first (ingest_async producers).
         {
@@ -620,7 +728,17 @@ impl EventServer {
                 self.metrics
                     .events_captured
                     .fetch_add(buf.len() as u64, Ordering::Relaxed);
-                events.extend(buf.drain(..));
+                for mut event in buf.drain(..) {
+                    // Async-ingested events start their trace at event
+                    // time; capture latency is staging-to-drain lag.
+                    if event.trace.stamp_of(Stage::Capture).is_none() {
+                        event.trace.stamp(Stage::Capture, event.timestamp);
+                    }
+                    if self.stage_obs.enabled {
+                        batch.push(Stage::Capture, now.since(event.timestamp).max(0) as f64);
+                    }
+                    events.push(event);
+                }
             }
         }
 
@@ -649,6 +767,8 @@ impl EventServer {
                 match &mut task.kind {
                     CaptureKind::Trigger => {}
                     CaptureKind::Journal(miner) => {
+                        self.journal_lag
+                            .set(self.db.last_lsn().saturating_sub(miner.position()) as f64);
                         // The journal carries every table's ops; this
                         // capture only owns its own table's changes.
                         let mut evs = miner.poll(&self.db)?;
@@ -683,33 +803,92 @@ impl EventServer {
                 let event = change_to_event(&change, &schema, &self.ids);
                 // Rewrite the event source to the stream name so the
                 // runtime routes it (delta:: prefix is for standalone use).
-                let event = Event::new(
+                let mut event = Event::new(
                     event.id,
                     _stream.as_str(),
                     event.timestamp,
                     event.payload,
                     event.schema,
                 );
+                // Continue the change's trace (capture stamped when the
+                // change was produced).
+                event.trace = change.trace;
                 self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
-                self.metrics
-                    .observe_latency(now.since(change.timestamp) as f64);
+                let lat = now.since(change.timestamp) as f64;
+                self.metrics.observe_latency(lat);
+                if self.stage_obs.enabled {
+                    batch.push(Stage::Capture, lat.max(0.0));
+                }
                 events.push(event);
             }
         }
+        self.stage_obs.flush(&mut batch);
         Ok(events)
     }
 
     /// Route one event: runtime queries, alert rules, detectors;
     /// notifications delivered inline (the sequential path).
-    fn process_event(&self, event: &Event, stats: &mut PumpStats) -> Result<()> {
-        let (derived, notes) = self.evaluate_event(event)?;
+    fn process_event(
+        &self,
+        event: &mut Event,
+        stamp_now: TimestampMs,
+        stats: &mut PumpStats,
+        batch: &mut StageBatch,
+    ) -> Result<()> {
+        self.observe_route(event, stamp_now, batch);
+        let (derived, notes) = self.evaluate_event_traced(event, stamp_now, batch)?;
         stats.derived += derived;
-        for n in notes {
-            if self.deliver(n) {
+        for mut n in notes {
+            if self.stage_obs.enabled {
+                n.trace.stamp(Stage::Deliver, stamp_now);
+                let span = n.trace.span_ms(Stage::Capture, Stage::Deliver).unwrap_or(0) as f64;
+                batch.push(Stage::Deliver, span);
+            }
+            if self.deliver_untraced(n) {
                 stats.notified += 1;
             }
         }
         Ok(())
+    }
+
+    /// Stamp the route stage on an event at `now` and queue the
+    /// capture→route span. Called once per event by the sequential pump
+    /// and by the sharded pump's router thread; callers read the clock
+    /// once per batch and flush the batch once per cycle (stage
+    /// histograms are ms-granular).
+    pub fn observe_route(&self, event: &mut Event, now: TimestampMs, batch: &mut StageBatch) {
+        if !self.stage_obs.enabled {
+            return;
+        }
+        event.trace.stamp(Stage::Route, now);
+        let span = event
+            .trace
+            .span_ms(Stage::Capture, Stage::Route)
+            .unwrap_or(0) as f64;
+        batch.push(Stage::Route, span);
+    }
+
+    /// [`EventServer::evaluate_event`] plus evaluate-stage tracing:
+    /// stamps the event at `now` and queues the capture→evaluate span
+    /// (pipeline latency up to this stage). Shard workers and the
+    /// sequential pump both go through here.
+    pub fn evaluate_event_traced(
+        &self,
+        event: &mut Event,
+        now: TimestampMs,
+        batch: &mut StageBatch,
+    ) -> Result<(u64, Vec<Notification>)> {
+        if !self.stage_obs.enabled {
+            return self.evaluate_event(event);
+        }
+        let result = self.evaluate_event(event)?;
+        event.trace.stamp(Stage::Evaluate, now);
+        let span = event
+            .trace
+            .span_ms(Stage::Capture, Stage::Evaluate)
+            .unwrap_or(0) as f64;
+        batch.push(Stage::Evaluate, span);
+        Ok(result)
     }
 
     /// Evaluate one event — continuous queries, alert rules, detectors —
@@ -743,7 +922,21 @@ impl EventServer {
     /// Run a pending notification through the VIRT filter; true when it
     /// was delivered (not suppressed). Single-threaded per key by
     /// construction in both pump modes.
-    pub fn deliver(&self, notification: Notification) -> bool {
+    pub fn deliver(&self, mut notification: Notification) -> bool {
+        if self.stage_obs.enabled {
+            notification.trace.stamp(Stage::Deliver, self.now());
+            let span = notification
+                .trace
+                .span_ms(Stage::Capture, Stage::Deliver)
+                .unwrap_or(0) as f64;
+            self.stage_obs.observe(Stage::Deliver, span);
+        }
+        self.deliver_untraced(notification)
+    }
+
+    /// Deliver a notification whose deliver stage was already stamped
+    /// and queued by the caller (the batched sequential path).
+    fn deliver_untraced(&self, notification: Notification) -> bool {
         let delivered = self.notifications.notify(notification);
         self.sync_notify_metrics();
         delivered
@@ -769,6 +962,7 @@ impl EventServer {
                     title: format!("rule '{}' matched on {}", meta.name, event.source),
                     body: event.payload.to_string(),
                     timestamp: event.timestamp,
+                    trace: event.trace,
                 });
             }
         }
@@ -807,6 +1001,7 @@ impl EventServer {
                             dev.value, dev.expected_low, dev.expected_high, dev.score
                         ),
                         timestamp: dev.timestamp,
+                        trace: event.trace,
                     });
                 }
             }

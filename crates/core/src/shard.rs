@@ -41,7 +41,7 @@ use std::time::Duration;
 use crossbeam::channel;
 use evdb_types::Event;
 
-use crate::metrics::ShardMetrics;
+use crate::metrics::{ShardMetrics, StageBatch};
 use crate::notify::Notification;
 use crate::server::EventServer;
 
@@ -147,10 +147,14 @@ fn router_loop(
         match server.drain_captured() {
             Ok(events) => {
                 let mut batches: Vec<Vec<Event>> = (0..n).map(|_| Vec::new()).collect();
-                for event in events {
+                let stamp_now = server.now();
+                let mut stage_batch = StageBatch::default();
+                for mut event in events {
+                    server.observe_route(&mut event, stamp_now, &mut stage_batch);
                     let key = server.partition_key_of(&event);
                     batches[shard_for(&key, n)].push(event);
                 }
+                server.stage_obs().flush(&mut stage_batch);
                 for (i, batch) in batches.into_iter().enumerate() {
                     if batch.is_empty() {
                         continue;
@@ -198,17 +202,20 @@ fn worker_loop(
 ) {
     // `recv` yields every batch still queued even after the router has
     // dropped the sender, so a stop never abandons routed events.
-    while let Ok(batch) = rx.recv() {
+    while let Ok(mut batch) = rx.recv() {
         metrics.busy_cycles.fetch_add(1, Ordering::Relaxed);
         let mut pending = Vec::new();
-        for event in &batch {
-            match server.evaluate_event(event) {
+        let stamp_now = server.now();
+        let mut stage_batch = StageBatch::default();
+        for event in &mut batch {
+            match server.evaluate_event_traced(event, stamp_now, &mut stage_batch) {
                 Ok((_derived, notes)) => pending.extend(notes),
                 Err(_) => {
                     errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        server.stage_obs().flush(&mut stage_batch);
         metrics
             .queue_depth
             .fetch_sub(batch.len() as u64, Ordering::Relaxed);

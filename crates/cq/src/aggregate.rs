@@ -634,6 +634,13 @@ impl Operator for WindowAggregateOp {
     fn name(&self) -> &str {
         &self.label
     }
+
+    fn state_size(&self) -> usize {
+        self.panes.values().map(|g| g.len()).sum::<usize>()
+            + self.raw.values().map(|r| r.len()).sum::<usize>()
+            + self.count_state.len()
+            + self.counts.len()
+    }
 }
 
 #[cfg(test)]

@@ -46,13 +46,16 @@ pub fn change_to_event(
     for v in change.row().values() {
         values.push(v.clone());
     }
-    Event::new(
+    let mut event = Event::new(
         EventId(ids.next_id()),
         format!("delta:{}", change.table),
         change.timestamp,
         Record::new(values),
         Arc::clone(schema),
-    )
+    );
+    // The stream event continues the change's trace (capture stamp and id).
+    event.trace = change.trace;
+    event
 }
 
 /// A polled result-set-change stream over one table.

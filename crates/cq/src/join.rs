@@ -163,6 +163,11 @@ impl Operator for StreamJoinOp {
     fn name(&self) -> &str {
         &self.label
     }
+
+    fn state_size(&self) -> usize {
+        self.left_state.values().map(|v| v.len()).sum::<usize>()
+            + self.right_state.values().map(|v| v.len()).sum::<usize>()
+    }
 }
 
 /// Stream-table lookup join (enrichment against reference data).

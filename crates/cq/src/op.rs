@@ -27,6 +27,12 @@ pub trait Operator: Send {
 
     /// Diagnostic name.
     fn name(&self) -> &str;
+
+    /// Buffered state held by this operator, in retained items (pane
+    /// groups, join rows, pattern runs). Stateless operators report 0.
+    fn state_size(&self) -> usize {
+        0
+    }
 }
 
 /// A linear chain of operators.
@@ -51,6 +57,11 @@ impl Pipeline {
     /// Schema of the pipeline's output.
     pub fn output_schema(&self) -> Arc<Schema> {
         self.ops.last().expect("non-empty").output_schema()
+    }
+
+    /// Total buffered state across all stages (window memory proxy).
+    pub fn state_size(&self) -> usize {
+        self.ops.iter().map(|op| op.state_size()).sum()
     }
 
     /// Push one event through every stage; returns derived events.

@@ -468,6 +468,10 @@ impl Operator for PatternMatcher {
     fn name(&self) -> &str {
         &self.label
     }
+
+    fn state_size(&self) -> usize {
+        self.runs.len()
+    }
 }
 
 /// E6 baseline: enumerate subsequences by nested scanning over a buffer.

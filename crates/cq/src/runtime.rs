@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use evdb_obs::{Counter, Registry};
 use evdb_types::{Error, Event, EventId, IdGenerator, Record, Result, Schema, TimestampMs};
 use parking_lot::{Mutex, RwLock};
 
@@ -57,6 +58,8 @@ pub struct StreamRuntime {
     /// (allowed out-of-orderness), milliseconds.
     lateness_ms: i64,
     ids: IdGenerator,
+    /// Derived events materialized (pane/window emissions), when bound.
+    panes_obs: Option<Arc<Counter>>,
 }
 
 impl StreamRuntime {
@@ -67,7 +70,28 @@ impl StreamRuntime {
             queries: RwLock::new(HashMap::new()),
             lateness_ms,
             ids: IdGenerator::default(),
+            panes_obs: None,
         }
+    }
+
+    /// Register the derived-event counter (`evdb_cq_panes_total`) with
+    /// `registry`. The window-memory gauge is pull-based — hosts bridge
+    /// [`StreamRuntime::window_memory`] via `Registry::gauge_fn`.
+    pub fn bind_obs(&mut self, registry: &Registry) {
+        if registry.is_enabled() {
+            self.panes_obs = Some(registry.counter("evdb_cq_panes_total"));
+        }
+    }
+
+    /// Buffered operator state across all registered queries, in retained
+    /// items (pane groups, join rows, pattern runs) — a window-memory
+    /// proxy for observability.
+    pub fn window_memory(&self) -> usize {
+        self.queries
+            .read()
+            .values()
+            .map(|q| q.inner.lock().pipeline.state_size())
+            .sum()
     }
 
     /// Declare a named stream.
@@ -204,12 +228,19 @@ impl StreamRuntime {
             let mut derived = inner.pipeline.push(event)?;
             derived.extend(inner.pipeline.advance_watermark(wm)?);
             inner.events_out += derived.len() as u64;
-            for ev in &derived {
+            for ev in &mut derived {
+                // Derived events belong to the trace of the event whose
+                // arrival produced them (stateful operators mint fresh
+                // events, losing the input's trace).
+                ev.trace = event.trace;
                 for s in &inner.subscribers {
                     s(ev);
                 }
             }
             all.extend(derived);
+        }
+        if let Some(c) = &self.panes_obs {
+            c.add(all.len() as u64);
         }
         Ok(all)
     }

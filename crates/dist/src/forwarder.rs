@@ -79,6 +79,8 @@ pub struct QueueForwarder {
     pending: HashMap<u64, Delivery>,
     /// DATA packets sent (including resends).
     pub sends: u64,
+    /// DATA packets re-sent for a delivery attempt beyond the first.
+    pub resends: u64,
     /// Deliveries acknowledged end-to-end.
     pub acked: u64,
     /// ACKs for deliveries no longer pending (duplicated ACK packets) —
@@ -110,6 +112,7 @@ impl QueueForwarder {
             pending: HashMap::new(),
             sends: 0,
             acked: 0,
+            resends: 0,
             duplicate_acks: 0,
             stale_acks: 0,
         })
@@ -131,6 +134,26 @@ impl QueueForwarder {
     }
 
     /// Deliveries awaiting acknowledgement.
+    /// Push the forwarder's counters into `registry` as gauges
+    /// (`evdb_dist_sends`, `evdb_dist_resends`, `evdb_dist_acked`,
+    /// `evdb_dist_duplicate_acks`, `evdb_dist_stale_acks`,
+    /// `evdb_dist_pending`). The forwarder is single-threaded and polled,
+    /// so a push-style snapshot fits better than live handles.
+    pub fn publish_metrics(&self, registry: &evdb_obs::Registry) {
+        registry.gauge("evdb_dist_sends").set(self.sends as f64);
+        registry.gauge("evdb_dist_resends").set(self.resends as f64);
+        registry.gauge("evdb_dist_acked").set(self.acked as f64);
+        registry
+            .gauge("evdb_dist_duplicate_acks")
+            .set(self.duplicate_acks as f64);
+        registry
+            .gauge("evdb_dist_stale_acks")
+            .set(self.stale_acks as f64);
+        registry
+            .gauge("evdb_dist_pending")
+            .set(self.pending.len() as f64);
+    }
+
     pub fn pending_count(&self) -> usize {
         self.pending.len()
     }
@@ -160,6 +183,9 @@ impl QueueForwarder {
                 now,
             );
             self.sends += 1;
+            if d.attempt > 1 {
+                self.resends += 1;
+            }
             self.pending.insert(d.message.id, d);
         }
         Ok(())

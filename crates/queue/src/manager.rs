@@ -24,7 +24,7 @@ use std::sync::Arc;
 use evdb_storage::codec::{self, Reader};
 use evdb_storage::{Database, Transaction};
 use evdb_types::{
-    DataType, Error, Record, Result, Schema, TimestampMs, Value,
+    DataType, Error, Record, Result, Schema, Stage, TimestampMs, Trace, Value,
 };
 use parking_lot::Mutex;
 
@@ -82,6 +82,32 @@ pub struct QueueManager {
     db: Arc<Database>,
     queues: Mutex<HashMap<String, QueueInfo>>,
     ids: Mutex<IdBlock>,
+    obs: QueueObs,
+}
+
+/// Counter handles into the database's metric registry. All no-ops when
+/// the registry is disabled, so the hot paths stay uninstrumented unless
+/// the embedder opted in.
+struct QueueObs {
+    enqueued: Arc<evdb_obs::Counter>,
+    dequeued: Arc<evdb_obs::Counter>,
+    acked: Arc<evdb_obs::Counter>,
+    nacked: Arc<evdb_obs::Counter>,
+    redeliveries: Arc<evdb_obs::Counter>,
+    reclaimed: Arc<evdb_obs::Counter>,
+}
+
+impl QueueObs {
+    fn bind(registry: &evdb_obs::Registry) -> QueueObs {
+        QueueObs {
+            enqueued: registry.counter("evdb_queue_enqueued_total"),
+            dequeued: registry.counter("evdb_queue_dequeued_total"),
+            acked: registry.counter("evdb_queue_acked_total"),
+            nacked: registry.counter("evdb_queue_nacked_total"),
+            redeliveries: registry.counter("evdb_queue_redeliveries_total"),
+            reclaimed: registry.counter("evdb_queue_reclaimed_total"),
+        }
+    }
 }
 
 struct IdBlock {
@@ -183,6 +209,7 @@ impl QueueManager {
             .and_then(|r| r.get(1).and_then(Value::as_int))
             .unwrap_or(0) as u64;
 
+        let obs = QueueObs::bind(db.registry());
         let mgr = QueueManager {
             db,
             queues: Mutex::new(HashMap::new()),
@@ -190,6 +217,7 @@ impl QueueManager {
                 next: hwm + 1,
                 reserved_until: hwm,
             }),
+            obs,
         };
 
         // Load queue catalog and rebuild runtimes.
@@ -495,6 +523,7 @@ impl QueueManager {
         self.write_message(&mut tx, queue, id, &payload, source, priority, delay_ms, &groups)?;
         tx.commit()?;
         self.index_ready(queue, &groups, id, priority, delay_ms);
+        self.obs.enqueued.inc();
         Ok(id)
     }
 
@@ -531,6 +560,7 @@ impl QueueManager {
     /// Publish a committed internal enqueue to the ready heaps.
     pub fn complete_internal(&self, pending: PendingEnqueue) {
         self.index_ready(&pending.queue, &pending.groups, pending.id, pending.priority, 0);
+        self.obs.enqueued.inc();
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -714,17 +744,28 @@ impl QueueManager {
                 _ => return Err(Error::Corruption("message payload".into())),
             };
             let payload = codec::decode_record(&mut Reader::new(&payload_bytes))?;
+            let enqueued_at = msg_row.get(1).unwrap().as_timestamp().unwrap();
+            // Staging-area deliveries trace like pipeline events: the
+            // enqueue is their capture, this dequeue their delivery.
+            let mut trace = Trace::new(key.id);
+            trace.stamp(Stage::Capture, enqueued_at);
+            trace.stamp(Stage::Deliver, now);
+            self.obs.dequeued.inc();
+            if attempt > 1 {
+                self.obs.redeliveries.inc();
+            }
             out.push(Delivery {
                 message: Message {
                     id: key.id,
                     queue: queue.to_string(),
                     payload,
-                    enqueued_at: msg_row.get(1).unwrap().as_timestamp().unwrap(),
+                    enqueued_at,
                     priority: key.priority,
                     source: msg_row.get(4).unwrap().as_str().unwrap().to_string(),
                 },
                 group: group.to_string(),
                 attempt,
+                trace,
             });
         }
         // Crash site: deliveries are chosen but their INFLIGHT transitions
@@ -760,6 +801,7 @@ impl QueueManager {
         // must never redeliver, and a later ack/reclaim sweep cleans up.
         self.db.fault_point("queue.ack.durable")?;
         self.reclaim_if_done(queue, delivery.message.id)?;
+        self.obs.acked.inc();
         Ok(())
     }
 
@@ -822,6 +864,7 @@ impl QueueManager {
                 });
             }
         }
+        self.obs.nacked.inc();
         Ok(())
     }
 
@@ -885,6 +928,7 @@ impl QueueManager {
                 });
             }
         }
+        self.obs.reclaimed.add(n as u64);
         Ok(n)
     }
 

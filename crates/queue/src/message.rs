@@ -1,6 +1,6 @@
 //! Messages and delivery receipts.
 
-use evdb_types::{Record, TimestampMs};
+use evdb_types::{Record, TimestampMs, Trace};
 
 /// A message as stored in (and read back from) a queue.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,9 @@ pub struct Delivery {
     pub group: String,
     /// Which delivery attempt this is (1-based).
     pub attempt: u32,
+    /// Pipeline trace: capture stamped at enqueue time, deliver stamped
+    /// at dequeue time, id = the message id.
+    pub trace: Trace,
 }
 
 impl Delivery {
@@ -69,11 +72,13 @@ mod tests {
             message: m.clone(),
             group: "g".into(),
             attempt: 1,
+            trace: Trace::default(),
         };
         let again = Delivery {
             message: m,
             group: "g".into(),
             attempt: 2,
+            trace: Trace::default(),
         };
         assert!(!first.is_redelivery());
         assert!(again.is_redelivery());
@@ -94,6 +99,7 @@ mod tests {
             message: m.clone(),
             group: "g".into(),
             attempt: 1,
+            trace: Trace::default(),
         };
         assert_eq!(d.message, m);
         assert_eq!(d.attempt, 1);

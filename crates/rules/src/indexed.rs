@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use evdb_expr::{analyze, BoundExpr, Constraint};
+use evdb_obs::{Counter, Registry};
 use evdb_types::{Error, Record, Result, Schema, Value};
 
 use crate::matcher::Matcher;
@@ -92,6 +93,10 @@ pub struct IndexedMatcher {
     /// Rules with no indexable access constraint.
     unindexed: BTreeMap<RuleId, ()>,
     seq: u64,
+    /// Candidate rules probed per record (index hits + unindexed fallbacks).
+    candidates_obs: Option<Arc<Counter>>,
+    /// Rules whose full predicate matched.
+    matches_obs: Option<Arc<Counter>>,
 }
 
 /// Selectivity rank of a constraint (higher = preferred access path).
@@ -115,6 +120,17 @@ impl IndexedMatcher {
             rules: HashMap::new(),
             unindexed: BTreeMap::new(),
             seq: 0,
+            candidates_obs: None,
+            matches_obs: None,
+        }
+    }
+
+    /// Register candidate/match counters with `registry`
+    /// (`evdb_rules_candidates_total`, `evdb_rules_matches_total`).
+    pub fn bind_obs(&mut self, registry: &Registry) {
+        if registry.is_enabled() {
+            self.candidates_obs = Some(registry.counter("evdb_rules_candidates_total"));
+            self.matches_obs = Some(registry.counter("evdb_rules_matches_total"));
         }
     }
 
@@ -302,6 +318,7 @@ impl Matcher for IndexedMatcher {
 
         // Verify full predicates on candidates (each candidate appears
         // once: one access posting per rule, IN values are distinct).
+        let candidate_count = candidates.len();
         let mut out = Vec::new();
         for id in candidates {
             let meta = &self.rules[&id];
@@ -317,6 +334,12 @@ impl Matcher for IndexedMatcher {
         }
         out.sort_unstable();
         out.dedup();
+        if let Some(c) = &self.candidates_obs {
+            c.add((candidate_count + self.unindexed.len()) as u64);
+        }
+        if let Some(c) = &self.matches_obs {
+            c.add(out.len() as u64);
+        }
         Ok(out)
     }
 

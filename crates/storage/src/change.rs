@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use evdb_types::{Record, Schema, TimestampMs, Value};
+use evdb_types::{Record, Schema, TimestampMs, Trace, Value};
 
 /// What happened to the row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +54,10 @@ pub struct ChangeEvent {
     pub timestamp: TimestampMs,
     /// Schema of the row images.
     pub schema: Arc<Schema>,
+    /// Pipeline trace, stamped at [`evdb_types::Stage::Capture`] when the
+    /// change was observed. Events converted from this change inherit it,
+    /// so one id follows the change from capture to delivery.
+    pub trace: Trace,
 }
 
 impl ChangeEvent {
@@ -85,6 +89,7 @@ mod tests {
             lsn: None,
             timestamp: TimestampMs(0),
             schema: Arc::clone(&schema),
+            trace: Trace::begin(TimestampMs(0)),
         };
         let e = mk(
             Some(Record::from_iter([1i64])),

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use evdb_expr::Expr;
 use evdb_faults::{FaultInjector, WriteDecision};
+use evdb_obs::{HistogramHandle, Registry};
 use evdb_types::{
     Clock, Error, IdGenerator, Record, Result, Schema, SystemClock, TimestampMs, Value,
 };
@@ -44,6 +45,10 @@ pub struct DbOptions {
     /// checkpoint writes, queue transitions). `None` in production; the
     /// torture harness arms one to sample crash schedules.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Metric registry the storage layer reports into (WAL append/fsync
+    /// durations, checkpoint time). Defaults to a disabled registry, so
+    /// instrumentation is a no-op unless the embedder opts in.
+    pub registry: Arc<Registry>,
 }
 
 impl Default for DbOptions {
@@ -52,6 +57,7 @@ impl Default for DbOptions {
             sync: SyncPolicy::Always,
             clock: Arc::new(SystemClock),
             faults: None,
+            registry: Arc::new(Registry::disabled()),
         }
     }
 }
@@ -61,6 +67,7 @@ impl std::fmt::Debug for DbOptions {
         f.debug_struct("DbOptions")
             .field("sync", &self.sync)
             .field("faults", &self.faults.is_some())
+            .field("metrics_enabled", &self.registry.is_enabled())
             .finish()
     }
 }
@@ -75,6 +82,8 @@ pub struct Database {
     clock: Arc<dyn Clock>,
     dir: Option<PathBuf>,
     faults: Option<Arc<FaultInjector>>,
+    registry: Arc<Registry>,
+    checkpoint_ms: Arc<HistogramHandle>,
 }
 
 impl Database {
@@ -82,7 +91,8 @@ impl Database {
     pub fn open(dir: impl AsRef<Path>, options: DbOptions) -> Result<Arc<Database>> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        let wal = Wal::open_with(dir.join("evdb.wal"), options.sync, options.faults.clone())?;
+        let mut wal = Wal::open_with(dir.join("evdb.wal"), options.sync, options.faults.clone())?;
+        wal.bind_registry(&options.registry);
         let db = Arc::new(Database {
             tables: RwLock::new(HashMap::new()),
             triggers: RwLock::new(HashMap::new()),
@@ -92,6 +102,8 @@ impl Database {
             clock: options.clock,
             dir: Some(dir.clone()),
             faults: options.faults,
+            checkpoint_ms: options.registry.latency_histogram("evdb_storage_checkpoint_ms"),
+            registry: options.registry,
         });
         db.recover(&dir)?;
         Ok(db)
@@ -99,16 +111,26 @@ impl Database {
 
     /// Create an ephemeral database (in-memory WAL, no checkpoint file).
     pub fn in_memory(options: DbOptions) -> Result<Arc<Database>> {
+        let mut wal = Wal::in_memory_with(options.sync, options.faults.clone());
+        wal.bind_registry(&options.registry);
         Ok(Arc::new(Database {
             tables: RwLock::new(HashMap::new()),
             triggers: RwLock::new(HashMap::new()),
-            wal: Mutex::new(Wal::in_memory_with(options.sync, options.faults.clone())),
+            wal: Mutex::new(wal),
             write_gate: Mutex::new(()),
             txids: IdGenerator::default(),
             clock: options.clock,
             dir: None,
             faults: options.faults,
+            checkpoint_ms: options.registry.latency_histogram("evdb_storage_checkpoint_ms"),
+            registry: options.registry,
         }))
+    }
+
+    /// The metric registry this database (and every component attached to
+    /// it — queues, capture, CQ) reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Hit a named fault site on this database's injector (no-op without
@@ -364,6 +386,7 @@ impl Database {
             Some(d) => d.clone(),
             None => return Ok(()),
         };
+        let started = std::time::Instant::now();
         let _gate = self.write_gate.lock(); // freeze writers
         let last_lsn = self.last_lsn();
 
@@ -421,6 +444,8 @@ impl Database {
         self.fault_point("ckpt.dirsync")?;
         fsync_dir(&dir)?;
         self.wal.lock().truncate()?;
+        self.checkpoint_ms
+            .observe(started.elapsed().as_secs_f64() * 1_000.0);
         Ok(())
     }
 

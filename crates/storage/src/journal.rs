@@ -10,7 +10,7 @@
 //! Because update/delete ops carry before images in the log, mined events
 //! have the same fidelity as trigger events.
 
-use evdb_types::{Result, Value};
+use evdb_types::{Result, Trace, Value};
 
 use crate::change::{ChangeEvent, ChangeKind};
 use crate::db::Database;
@@ -125,6 +125,7 @@ impl JournalMiner {
                     lsn: Some(rec.lsn),
                     timestamp: rec.timestamp,
                     schema: t.schema().clone(),
+                    trace: Trace::begin(rec.timestamp),
                 });
             }
         }

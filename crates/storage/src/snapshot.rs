@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use evdb_expr::Expr;
-use evdb_types::{Record, Result, Value};
+use evdb_types::{Record, Result, Trace, Value};
 
 use crate::change::{ChangeEvent, ChangeKind};
 use crate::db::Database;
@@ -92,6 +92,7 @@ impl QuerySnapshot {
                     lsn: None,
                     timestamp: now,
                     schema: t.schema().clone(),
+                    trace: Trace::begin(now),
                 }),
                 Some(prev) if prev != row => events.push(ChangeEvent {
                     table: t.name().into(),
@@ -103,6 +104,7 @@ impl QuerySnapshot {
                     lsn: None,
                     timestamp: now,
                     schema: t.schema().clone(),
+                    trace: Trace::begin(now),
                 }),
                 Some(_) => {}
             }
@@ -119,6 +121,7 @@ impl QuerySnapshot {
                     lsn: None,
                     timestamp: now,
                     schema: t.schema().clone(),
+                    trace: Trace::begin(now),
                 });
             }
         }

@@ -159,7 +159,7 @@ impl TriggerDef {
 mod tests {
     use super::*;
     use evdb_expr::parse;
-    use evdb_types::{DataType, Record, TimestampMs, Value};
+    use evdb_types::{DataType, Record, TimestampMs, Trace, Value};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn event(kind: ChangeKind, px: f64) -> ChangeEvent {
@@ -175,6 +175,7 @@ mod tests {
             lsn: None,
             timestamp: TimestampMs(0),
             schema,
+            trace: Trace::begin(TimestampMs(0)),
         }
     }
 

@@ -15,7 +15,7 @@
 //! presence is the commit mark. `rollback` (explicit or on drop) replays
 //! the undo list in reverse.
 
-use evdb_types::{Error, Record, Result, Value};
+use evdb_types::{Error, Record, Result, Trace, Value};
 use parking_lot::MutexGuard;
 
 use crate::change::{ChangeEvent, ChangeKind};
@@ -75,6 +75,7 @@ impl<'db> Transaction<'db> {
         let t = self.db.table(table)?;
         let row = t.schema().normalize(row)?;
         let key = t.key_of(&row);
+        let timestamp = self.db.now();
         let event = ChangeEvent {
             table: t.name().into(),
             kind: ChangeKind::Insert,
@@ -83,8 +84,9 @@ impl<'db> Transaction<'db> {
             after: Some(row.clone()),
             txid: self.txid,
             lsn: None,
-            timestamp: self.db.now(),
+            timestamp,
             schema: t.schema().clone(),
+            trace: Trace::begin(timestamp),
         };
         self.db.fire_triggers(TriggerTiming::Before, &event)?;
         let stored = t.insert(row)?;
@@ -108,6 +110,7 @@ impl<'db> Transaction<'db> {
         let before = t
             .get(key)
             .ok_or_else(|| Error::NotFound(format!("key {key} in table '{table}'")))?;
+        let timestamp = self.db.now();
         let event = ChangeEvent {
             table: t.name().into(),
             kind: ChangeKind::Update,
@@ -116,8 +119,9 @@ impl<'db> Transaction<'db> {
             after: Some(new_row.clone()),
             txid: self.txid,
             lsn: None,
-            timestamp: self.db.now(),
+            timestamp,
             schema: t.schema().clone(),
+            trace: Trace::begin(timestamp),
         };
         self.db.fire_triggers(TriggerTiming::Before, &event)?;
         let (before, after) = t.update(key, new_row)?;
@@ -143,6 +147,7 @@ impl<'db> Transaction<'db> {
         let before = t
             .get(key)
             .ok_or_else(|| Error::NotFound(format!("key {key} in table '{table}'")))?;
+        let timestamp = self.db.now();
         let event = ChangeEvent {
             table: t.name().into(),
             kind: ChangeKind::Delete,
@@ -151,8 +156,9 @@ impl<'db> Transaction<'db> {
             after: None,
             txid: self.txid,
             lsn: None,
-            timestamp: self.db.now(),
+            timestamp,
             schema: t.schema().clone(),
+            trace: Trace::begin(timestamp),
         };
         self.db.fire_triggers(TriggerTiming::Before, &event)?;
         let before = t.delete(key)?;

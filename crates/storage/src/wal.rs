@@ -21,8 +21,10 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use evdb_faults::{FaultInjector, WriteDecision};
+use evdb_obs::{HistogramHandle, Registry};
 use evdb_types::{Error, Record, Result, Schema, TimestampMs, Value};
 use parking_lot::RwLock;
 
@@ -195,7 +197,18 @@ pub struct Wal {
     syncs: u64,
     faults: Option<Arc<FaultInjector>>,
     tail: WalTail,
+    /// Duration histograms, bound only when an enabled registry is
+    /// attached — `None` keeps the hot path free of even `Instant` reads.
+    /// Appends are *sampled* (1 in [`WAL_APPEND_SAMPLE`]): an in-memory
+    /// append costs ~100ns, so timing every one would tax the write path
+    /// more than the rest of the pipeline's instrumentation combined.
+    append_ms: Option<Arc<HistogramHandle>>,
+    fsync_ms: Option<Arc<HistogramHandle>>,
+    append_tick: u32,
 }
+
+/// Sample rate for append-duration observation (power of two).
+const WAL_APPEND_SAMPLE: u32 = 64;
 
 impl Wal {
     /// Open (or create) a file-backed log. Scans the existing file to find
@@ -246,6 +259,9 @@ impl Wal {
             syncs: 0,
             faults,
             tail,
+            append_ms: None,
+            fsync_ms: None,
+            append_tick: 0,
         })
     }
 
@@ -266,6 +282,19 @@ impl Wal {
             syncs: 0,
             faults,
             tail: WalTail::Clean,
+            append_ms: None,
+            fsync_ms: None,
+            append_tick: 0,
+        }
+    }
+
+    /// Report append/fsync durations into `registry` from now on
+    /// (`evdb_storage_wal_append_ms` / `evdb_storage_wal_fsync_ms`).
+    /// A disabled registry leaves the log uninstrumented entirely.
+    pub fn bind_registry(&mut self, registry: &Arc<Registry>) {
+        if registry.is_enabled() {
+            self.append_ms = Some(registry.latency_histogram("evdb_storage_wal_append_ms"));
+            self.fsync_ms = Some(registry.latency_histogram("evdb_storage_wal_fsync_ms"));
         }
     }
 
@@ -297,8 +326,17 @@ impl Wal {
         self.syncs
     }
 
-    /// Append one committed transaction; returns its LSN.
+    /// Append one committed transaction; returns its LSN. The recorded
+    /// append duration includes a policy-triggered fsync, so it reflects
+    /// what a committing transaction actually waits for.
     pub fn append(&mut self, txid: u64, timestamp: TimestampMs, ops: &[WalOp]) -> Result<u64> {
+        let started = match &self.append_ms {
+            Some(_) => {
+                self.append_tick = self.append_tick.wrapping_add(1);
+                (self.append_tick.is_multiple_of(WAL_APPEND_SAMPLE)).then(Instant::now)
+            }
+            None => None,
+        };
         let lsn = self.next_lsn;
         let mut payload = Vec::with_capacity(64);
         codec::put_u64(&mut payload, lsn);
@@ -347,12 +385,23 @@ impl Wal {
         if should_sync {
             self.sync()?;
         }
+        if let (Some(h), Some(t0)) = (&self.append_ms, started) {
+            h.observe(t0.elapsed().as_secs_f64() * 1_000.0);
+        }
         Ok(lsn)
     }
 
     /// fsync now (no-op for the memory backend, but still counted so
     /// benchmarks compare policies fairly).
     pub fn sync(&mut self) -> Result<()> {
+        // Only time syncs that reach a real file: the memory backend's
+        // sync is a no-op, so clock reads would *be* the cost rather
+        // than measure it (a sync-per-commit policy would otherwise pay
+        // two `Instant` reads plus a histogram lock per transaction).
+        let started = match (&self.fsync_ms, &self.backend) {
+            (Some(_), Backend::File { .. }) => Some(Instant::now()),
+            _ => None,
+        };
         if let Some(f) = &self.faults {
             f.point("wal.sync")?;
         }
@@ -361,6 +410,9 @@ impl Wal {
         }
         self.commits_since_sync = 0;
         self.syncs += 1;
+        if let (Some(h), Some(t0)) = (&self.fsync_ms, started) {
+            h.observe(t0.elapsed().as_secs_f64() * 1_000.0);
+        }
         Ok(())
     }
 

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use crate::record::Record;
 use crate::schema::Schema;
 use crate::time::TimestampMs;
+use crate::trace::Trace;
 use crate::value::Value;
 
 /// Unique id of an event within one EventDB instance.
@@ -37,6 +38,10 @@ pub struct Event {
     pub payload: Record,
     /// Schema of the payload.
     pub schema: Arc<Schema>,
+    /// Pipeline trace: id + per-stage timestamps. Events converted from
+    /// captured changes inherit the change's trace; directly constructed
+    /// events start with an unstamped trace keyed by the event id.
+    pub trace: Trace,
 }
 
 impl Event {
@@ -54,6 +59,7 @@ impl Event {
             timestamp,
             payload,
             schema,
+            trace: Trace::new(id.0),
         }
     }
 
@@ -72,6 +78,7 @@ impl Event {
             timestamp: self.timestamp,
             payload,
             schema,
+            trace: self.trace,
         }
     }
 }

@@ -17,6 +17,7 @@ pub mod id;
 pub mod record;
 pub mod schema;
 pub mod time;
+pub mod trace;
 pub mod value;
 
 pub use error::{Error, Result};
@@ -25,4 +26,5 @@ pub use id::IdGenerator;
 pub use record::Record;
 pub use schema::{FieldDef, Schema};
 pub use time::{Clock, SimClock, SystemClock, TimestampMs};
+pub use trace::{Stage, Trace};
 pub use value::{DataType, Value};

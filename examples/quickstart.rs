@@ -87,5 +87,15 @@ fn main() -> evdb::types::Result<()> {
     );
     assert_eq!(stats.captured, 4);
     assert_eq!(stats.notified, 2);
+
+    // 9. The unified observability layer: every stage of the pipeline
+    //    (capture → route → evaluate → deliver) exports a counter and a
+    //    latency histogram into one registry, rendered Prometheus-style.
+    println!("\nstage metrics (text exposition excerpt):");
+    for line in server.registry().render().lines() {
+        if line.starts_with("evdb_stage_") && !line.contains('{') {
+            println!("  {line}");
+        }
+    }
     Ok(())
 }

@@ -1,0 +1,119 @@
+//! Golden test for the Prometheus-style text exposition: a fixed
+//! workload on a simulated clock must render exactly the metric names,
+//! `# TYPE` lines and line order recorded in
+//! `tests/fixtures/exposition.golden`. Sample *values* are normalized
+//! to `V` (wall-clock-derived numbers vary run to run); everything
+//! else — which metrics exist, their kinds, their ordering — is pinned.
+//!
+//! Regenerate after intentional changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test exposition_golden
+//! ```
+
+use std::sync::Arc;
+
+use evdb::core::metrics::Registry;
+use evdb::core::server::ServerConfig;
+use evdb::core::{CaptureMechanism, EventServer};
+use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/exposition.golden"
+);
+
+/// The fixed workload: capture + one rule + one CQ, three inserts, one
+/// pump, on a simulated clock.
+fn render_fixed_workload() -> String {
+    let clock = SimClock::new(TimestampMs(0));
+    let server = EventServer::in_memory(ServerConfig {
+        clock: clock.clone(),
+        registry: Arc::new(Registry::new()),
+        ..Default::default()
+    })
+    .unwrap();
+    server
+        .db()
+        .create_table(
+            "orders",
+            Schema::of(&[("oid", DataType::Int), ("amount", DataType::Float)]),
+            "oid",
+        )
+        .unwrap();
+    let stream = server
+        .capture_table("orders", CaptureMechanism::Trigger)
+        .unwrap();
+    server
+        .add_alert_rule("big", &stream, "amount > 10", 2.0, None)
+        .unwrap();
+    server
+        .register_cql(
+            "volume",
+            &format!("SELECT count() AS n FROM {stream} [ROWS 2]"),
+        )
+        .unwrap();
+    for oid in 0..3 {
+        server
+            .db()
+            .insert(
+                "orders",
+                Record::from_iter([Value::Int(oid), Value::Float(100.0 * oid as f64)]),
+            )
+            .unwrap();
+    }
+    clock.advance(5);
+    server.pump().unwrap();
+    server.registry().render()
+}
+
+/// Keep `# TYPE` lines verbatim; replace each sample line's value with
+/// `V` so wall-clock-derived numbers don't churn the fixture.
+fn normalize(exposition: &str) -> String {
+    let mut out = String::new();
+    for line in exposition.lines() {
+        if line.starts_with("# ") {
+            out.push_str(line);
+        } else if let Some(idx) = line.rfind(' ') {
+            out.push_str(&line[..idx]);
+            out.push_str(" V");
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn exposition_matches_golden() {
+    let normalized = normalize(&render_fixed_workload());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &normalized).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN)
+        .expect("missing tests/fixtures/exposition.golden — run with UPDATE_GOLDEN=1");
+    assert_eq!(
+        normalized, expected,
+        "text exposition drifted from the golden fixture; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn exposition_covers_every_layer() {
+    let text = render_fixed_workload();
+    // One spot check per layer registered into the unified registry.
+    for name in [
+        "evdb_stage_capture_events_total",   // stage tracing
+        "evdb_stage_deliver_latency_ms_sum", // stage histograms
+        "evdb_storage_wal_append_ms_count",  // storage
+        "evdb_rules_candidates_total",       // rules
+        "evdb_cq_panes_total",               // continuous queries
+        "evdb_core_events_processed",        // engine bridge gauges
+        "evdb_notify_delivered",             // notification center
+    ] {
+        assert!(text.contains(name), "exposition missing {name}:\n{text}");
+    }
+}

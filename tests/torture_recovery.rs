@@ -257,6 +257,7 @@ fn queue_torture_acked_never_redelivered_unacked_never_lost() {
                     sync: SyncPolicy::Never,
                     clock: clock.clone(),
                     faults: Some(Arc::clone(&injector)),
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -1,0 +1,154 @@
+//! Integration: one captured change's trace ID survives the whole
+//! pipeline — capture → route → evaluate (including CQ-derived events)
+//! → deliver — and every stage records into its counter and latency
+//! histogram (DESIGN.md §D9).
+
+use std::sync::{Arc, Mutex};
+
+use evdb::core::metrics::Registry;
+use evdb::core::server::ServerConfig;
+use evdb::core::{CaptureMechanism, EventServer};
+use evdb::types::{DataType, Record, Schema, SimClock, Stage, TimestampMs, Trace, Value};
+
+#[test]
+fn trace_id_propagates_through_every_stage() {
+    let clock = SimClock::new(TimestampMs(1_000));
+    let server = EventServer::in_memory(ServerConfig {
+        clock: clock.clone(),
+        registry: Arc::new(Registry::new()),
+        ..Default::default()
+    })
+    .unwrap();
+    server
+        .db()
+        .create_table(
+            "orders",
+            Schema::of(&[("oid", DataType::Int), ("amount", DataType::Float)]),
+            "oid",
+        )
+        .unwrap();
+    let stream = server
+        .capture_table("orders", CaptureMechanism::Trigger)
+        .unwrap();
+    server
+        .add_alert_rule("big", &stream, "amount > 10", 2.0, None)
+        .unwrap();
+    server
+        .register_cql(
+            "volume",
+            &format!("SELECT count() AS n FROM {stream} [ROWS 1]"),
+        )
+        .unwrap();
+
+    // Record the trace of every CQ-derived event.
+    let derived_traces: Arc<Mutex<Vec<Trace>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&derived_traces);
+    server
+        .on_query(
+            "volume",
+            Arc::new(move |ev| sink.lock().unwrap().push(ev.trace)),
+        )
+        .unwrap();
+
+    server
+        .db()
+        .insert(
+            "orders",
+            Record::from_iter([Value::Int(1), Value::Float(100.0)]),
+        )
+        .unwrap();
+    clock.advance(7); // capture→pump lag, so spans are nonzero.
+    let stats = server.pump().unwrap();
+    assert_eq!((stats.captured, stats.derived, stats.notified), (1, 1, 1));
+
+    // The alert notification carries the captured change's trace…
+    let delivered = server.notifications().drain_delivered();
+    assert_eq!(delivered.len(), 1);
+    let note_trace = delivered[0].trace;
+    assert_ne!(note_trace.id, 0, "notification lost its trace id");
+
+    // …the CQ-derived event carries the same trace…
+    let derived = derived_traces.lock().unwrap();
+    assert_eq!(derived.len(), 1);
+    assert_eq!(
+        derived[0].id, note_trace.id,
+        "derived event has a different trace id than the notification"
+    );
+
+    // …and the stamp vector shows the stages it passed. (The evaluate
+    // stamp lands on the *event* after notifications are collected, so
+    // the notification's copy has capture/route/deliver.)
+    for stage in [Stage::Capture, Stage::Route, Stage::Deliver] {
+        assert!(
+            note_trace.stamp_of(stage).is_some(),
+            "notification trace missing {} stamp",
+            stage.name()
+        );
+    }
+    assert!(
+        note_trace
+            .span_ms(Stage::Capture, Stage::Deliver)
+            .unwrap()
+            >= 7,
+        "capture→deliver span should cover the simulated lag"
+    );
+
+    // Every pipeline stage exported one counter tick and one histogram
+    // sample for this event.
+    let snap = server.registry().snapshot();
+    for stage in Stage::ALL {
+        let counter = format!("evdb_stage_{}_events_total", stage.name());
+        let hist = format!("evdb_stage_{}_latency_ms", stage.name());
+        assert_eq!(
+            snap.counters.get(&counter).copied(),
+            Some(1),
+            "{counter} should count exactly the one event"
+        );
+        assert_eq!(
+            snap.histograms.get(&hist).map(|h| h.count),
+            Some(1),
+            "{hist} should hold exactly one sample"
+        );
+    }
+}
+
+#[test]
+fn disabled_registry_skips_stamps_but_keeps_pipeline_results() {
+    let server = EventServer::in_memory(ServerConfig {
+        registry: Arc::new(Registry::disabled()),
+        ..Default::default()
+    })
+    .unwrap();
+    server
+        .db()
+        .create_table(
+            "orders",
+            Schema::of(&[("oid", DataType::Int), ("amount", DataType::Float)]),
+            "oid",
+        )
+        .unwrap();
+    let stream = server
+        .capture_table("orders", CaptureMechanism::Trigger)
+        .unwrap();
+    server
+        .add_alert_rule("big", &stream, "amount > 10", 2.0, None)
+        .unwrap();
+    server
+        .db()
+        .insert(
+            "orders",
+            Record::from_iter([Value::Int(1), Value::Float(100.0)]),
+        )
+        .unwrap();
+    let stats = server.pump().unwrap();
+    assert_eq!((stats.captured, stats.notified), (1, 1));
+    // The trace id still exists (capture mints it unconditionally); the
+    // stage metrics stay empty.
+    let delivered = server.notifications().drain_delivered();
+    assert_ne!(delivered[0].trace.id, 0);
+    let snap = server.registry().snapshot();
+    for stage in Stage::ALL {
+        let hist = format!("evdb_stage_{}_latency_ms", stage.name());
+        assert_eq!(snap.histograms.get(&hist).map(|h| h.count), Some(0));
+    }
+}
