@@ -36,6 +36,7 @@ fn main() {
         ("e11", experiments::e11_parallel::run),
         ("e12", experiments::e12_torture::run),
         ("e13", experiments::e13_observability::run),
+        ("e14", experiments::e14_overload::run),
     ];
 
     println!(

@@ -1,0 +1,336 @@
+//! E14 — overload behavior under admission control (DESIGN.md §D10).
+//!
+//! Workload: the E1 trigger-capture pipeline (single-row transactions
+//! into a captured table, one alert rule) driven at ~2× the drain rate:
+//! each round offers `2 × capacity` writes, then the pump drains at most
+//! `capacity`. Arms:
+//!
+//! * **unloaded** — the reference rate: offers never exceed capacity, so
+//!   no policy ever engages.
+//! * **unbounded** — the pre-admission-control baseline (an effectively
+//!   infinite buffer, no pump while producing): staged depth — memory —
+//!   grows linearly with offered load.
+//! * **block** — a real producer thread backpressured by the gate while
+//!   the main thread pumps; everything is eventually evaluated.
+//! * **reject** — overflow writes abort with `Error::Overloaded` and
+//!   roll back; the survivors' goodput stays near the unloaded rate.
+//! * **shed** — overflow writes succeed but their staged events are
+//!   shed (equal priority ⇒ the newcomer), counted, never silent.
+//!
+//! Asserted at quick scale (CI): peak staged depth ≤ capacity under all
+//! three policies, exact `offered == evaluated + shed + rejected`
+//! accounting on every arm, and Shed/Reject goodput within a bounded
+//! factor of the unloaded rate while the unbounded baseline's depth
+//! grows linearly to `offered`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use evdb_core::server::ServerConfig;
+use evdb_core::{CaptureMechanism, EventServer, OverloadPolicy};
+use evdb_types::{DataType, Record, Schema, Value};
+
+use super::{Scale, Table};
+use crate::fmt_rate;
+
+fn build_server(capacity: usize, overload: OverloadPolicy) -> EventServer {
+    let server = EventServer::in_memory(ServerConfig {
+        ingest_capacity: capacity,
+        overload,
+        ..Default::default()
+    })
+    .unwrap();
+    server
+        .db()
+        .create_table(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+    let stream = server.capture_table("t", CaptureMechanism::Trigger).unwrap();
+    server
+        .add_alert_rule("hot", &stream, "v > 0.9", 2.0, None)
+        .unwrap();
+    server
+}
+
+fn insert(server: &EventServer, id: i64) -> evdb_types::Result<()> {
+    server
+        .db()
+        .insert(
+            "t",
+            Record::from_iter([Value::Int(id), Value::Float((id % 100) as f64 / 100.0)]),
+        )
+        .map(|_| ())
+}
+
+struct ArmResult {
+    offered: u64,
+    evaluated: u64,
+    shed: u64,
+    rejected: u64,
+    peak: u64,
+    secs: f64,
+    /// Staged-depth samples at 1/4, 2/4, 3/4, 4/4 of the produce phase
+    /// (unbounded arm only — the memory-growth curve).
+    depth_samples: Vec<usize>,
+    exposition: String,
+}
+
+fn finish(server: &EventServer, offered: u64, evaluated: u64, secs: f64) -> ArmResult {
+    let ac = server.admission();
+    ArmResult {
+        offered,
+        evaluated,
+        shed: ac.shed_total(),
+        rejected: ac.rejected_total(),
+        peak: ac.peak_depth(),
+        secs,
+        depth_samples: Vec::new(),
+        exposition: server.registry().render(),
+    }
+}
+
+/// Reference: offers arrive in capacity-sized bursts the pump keeps up
+/// with, so admission control never engages.
+fn run_unloaded(capacity: usize, offered: u64) -> ArmResult {
+    let server = build_server(capacity, OverloadPolicy::Block);
+    let t0 = Instant::now();
+    let mut evaluated = 0u64;
+    let mut id = 0i64;
+    while (id as u64) < offered {
+        for _ in 0..capacity.min((offered - id as u64) as usize) {
+            insert(&server, id).unwrap();
+            id += 1;
+        }
+        evaluated += server.pump().unwrap().captured;
+    }
+    finish(&server, offered, evaluated, t0.elapsed().as_secs_f64())
+}
+
+/// The pre-D10 baseline: nothing drains while producers run, and the
+/// staged buffer — memory — grows linearly with the offered load.
+fn run_unbounded(offered: u64) -> ArmResult {
+    let server = build_server(usize::MAX, OverloadPolicy::Block);
+    let t0 = Instant::now();
+    let mut depth_samples = Vec::new();
+    for id in 0..offered as i64 {
+        insert(&server, id).unwrap();
+        if (id as u64 + 1).is_multiple_of((offered / 4).max(1)) {
+            depth_samples.push(server.admission().depth());
+        }
+    }
+    let evaluated = server.pump().unwrap().captured;
+    let mut r = finish(&server, offered, evaluated, t0.elapsed().as_secs_f64());
+    r.depth_samples = depth_samples;
+    r
+}
+
+/// A real producer thread against the blocking gate; the main thread
+/// pumps until everything offered has been evaluated.
+fn run_block(capacity: usize, offered: u64) -> ArmResult {
+    let server = Arc::new(build_server(capacity, OverloadPolicy::Block));
+    let t0 = Instant::now();
+    let producer = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for id in 0..offered as i64 {
+                insert(&server, id).unwrap();
+            }
+        })
+    };
+    let mut evaluated = 0u64;
+    while evaluated < offered {
+        evaluated += server.pump().unwrap().captured;
+    }
+    producer.join().unwrap();
+    finish(&server, offered, evaluated, t0.elapsed().as_secs_f64())
+}
+
+/// Deterministic 2× overload rounds for `Reject` and `ShedLowest`:
+/// each round offers `2 × capacity` writes, then pumps once.
+fn run_overdriven(capacity: usize, offered: u64, policy: OverloadPolicy) -> ArmResult {
+    let server = build_server(capacity, policy);
+    let t0 = Instant::now();
+    let mut evaluated = 0u64;
+    let mut id = 0i64;
+    while (id as u64) < offered {
+        for _ in 0..(2 * capacity).min((offered - id as u64) as usize) {
+            match insert(&server, id) {
+                Ok(()) => {}
+                // Overloaded rolls the producer's write back.
+                Err(e) => assert_eq!(e.kind(), "overloaded"),
+            }
+            id += 1;
+        }
+        evaluated += server.pump().unwrap().captured;
+    }
+    finish(&server, offered, evaluated, t0.elapsed().as_secs_f64())
+}
+
+/// Run E14.
+pub fn run(scale: Scale) -> Table {
+    let capacity = scale.pick(256, 2_048);
+    let offered = scale.pick(4_096, 65_536) as u64;
+    let mut table = Table::new(
+        "E14: overload — admission policies at 2x the sustainable rate",
+        &[
+            "arm",
+            "offered",
+            "evaluated",
+            "shed",
+            "rejected",
+            "peak_depth",
+            "events/s",
+            "vs_unloaded",
+        ],
+    );
+
+    let unloaded = run_unloaded(capacity, offered);
+    let base_rate = unloaded.offered as f64 / unloaded.secs;
+    let arms: Vec<(&str, ArmResult)> = vec![
+        ("unloaded", unloaded),
+        ("unbounded", run_unbounded(offered)),
+        ("block", run_block(capacity, offered)),
+        (
+            "reject",
+            run_overdriven(capacity, offered, OverloadPolicy::Reject),
+        ),
+        (
+            "shed",
+            run_overdriven(capacity, offered, OverloadPolicy::ShedLowest),
+        ),
+    ];
+
+    let mut ingest_lines: Vec<String> = Vec::new();
+    for (name, r) in &arms {
+        let goodput = r.evaluated as f64 / r.secs;
+        table.row(vec![
+            (*name).into(),
+            r.offered.to_string(),
+            r.evaluated.to_string(),
+            r.shed.to_string(),
+            r.rejected.to_string(),
+            r.peak.to_string(),
+            fmt_rate(goodput),
+            format!("{:.3}", goodput / base_rate),
+        ]);
+        if !r.depth_samples.is_empty() {
+            table.note(format!(
+                "unbounded staged depth at produce-phase quarters: {:?} (linear growth to offered)",
+                r.depth_samples
+            ));
+        }
+        if *name == "shed" {
+            ingest_lines.extend(
+                r.exposition
+                    .lines()
+                    .filter(|l| l.starts_with("evdb_ingest_") && !l.starts_with("# "))
+                    .map(String::from),
+            );
+        }
+    }
+    for line in ingest_lines {
+        table.note(format!("shed-arm exposition: {line}"));
+    }
+    table.note(format!(
+        "capacity {capacity}, offered {offered} per arm; overdriven arms offer 2x capacity \
+         per pump; goodput = evaluated/elapsed (rejected arms pay for rolled-back writes)"
+    ));
+    table.note(
+        "invariant (asserted): offered == evaluated + shed + rejected on every arm; \
+         peak_depth <= capacity under block/reject/shed",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(row: &[String]) -> (u64, u64, u64, u64, u64) {
+        (
+            row[1].parse().unwrap(),
+            row[2].parse().unwrap(),
+            row[3].parse().unwrap(),
+            row[4].parse().unwrap(),
+            row[5].parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn accounting_balances_and_depth_is_bounded() {
+        let capacity = Scale::Quick.pick(256, 2_048) as u64;
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 5);
+        let mut base_rate_factor_ok = true;
+        for row in &t.rows {
+            let (offered, evaluated, shed, rejected, peak) = ints(row);
+            // The invariant: every offered event is accounted for.
+            assert_eq!(
+                offered,
+                evaluated + shed + rejected,
+                "accounting must balance exactly on arm {}",
+                row[0]
+            );
+            match row[0].as_str() {
+                "unbounded" => {
+                    // The baseline really is unbounded: its peak staged
+                    // depth is the whole offered load.
+                    assert_eq!(peak, offered);
+                    assert!(peak >= 4 * capacity);
+                }
+                "block" => {
+                    assert!(peak <= capacity, "block peak {peak} > capacity {capacity}");
+                    assert_eq!(shed + rejected, 0, "Block must never drop");
+                    assert_eq!(evaluated, offered);
+                }
+                "reject" => {
+                    assert!(peak <= capacity);
+                    assert_eq!(shed, 0);
+                    assert!(rejected > 0, "2x overdrive must reject something");
+                }
+                "shed" => {
+                    assert!(peak <= capacity);
+                    assert_eq!(rejected, 0);
+                    assert!(shed > 0, "2x overdrive must shed something");
+                }
+                _ => assert!(peak <= capacity),
+            }
+            if matches!(row[0].as_str(), "reject" | "shed") {
+                let factor: f64 = row[7].parse().unwrap();
+                base_rate_factor_ok &= factor >= 0.1;
+            }
+        }
+        assert!(
+            base_rate_factor_ok,
+            "Shed/Reject goodput fell below 1/10 of the unloaded rate:\n{}",
+            t.render()
+        );
+    }
+
+    #[test]
+    fn shed_and_reject_counters_visible_in_exposition() {
+        let capacity = 16;
+        let shed_arm = run_overdriven(capacity, 64, OverloadPolicy::ShedLowest);
+        assert!(shed_arm.shed > 0);
+        assert!(
+            shed_arm
+                .exposition
+                .contains(&format!("evdb_ingest_shed_total {}", shed_arm.shed)),
+            "shed counter missing from exposition:\n{}",
+            shed_arm.exposition
+        );
+        let reject_arm = run_overdriven(capacity, 64, OverloadPolicy::Reject);
+        assert!(reject_arm.rejected > 0);
+        assert!(
+            reject_arm
+                .exposition
+                .contains(&format!("evdb_ingest_rejected_total {}", reject_arm.rejected)),
+            "rejected counter missing from exposition:\n{}",
+            reject_arm.exposition
+        );
+        assert!(reject_arm.exposition.contains("evdb_ingest_depth"));
+    }
+}

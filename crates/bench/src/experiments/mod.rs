@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E13 (see DESIGN.md §5 for the mapping
+//! Experiment implementations E1–E14 (see DESIGN.md §5 for the mapping
 //! to paper claims, and EXPERIMENTS.md for recorded results).
 //!
 //! Each experiment exposes `run(scale) -> Table`: `Scale::Quick` for CI
@@ -17,6 +17,7 @@ pub mod e10_recovery;
 pub mod e11_parallel;
 pub mod e12_torture;
 pub mod e13_observability;
+pub mod e14_overload;
 
 /// Workload size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +125,7 @@ pub fn run_all(scale: Scale) -> String {
         e11_parallel::run(scale),
         e12_torture::run(scale),
         e13_observability::run(scale),
+        e14_overload::run(scale),
     ];
     for t in tables {
         out.push_str(&t.render());

@@ -1,0 +1,285 @@
+//! Admission control for the staged ingest path (DESIGN.md D10).
+//!
+//! Producers — capture triggers firing inside writer transactions and
+//! [`ingest_async`] callers — stage events into one bounded buffer that
+//! the pump drains. The buffer is the single source of cross-stream
+//! arrival order, and its capacity is the system's explicit overload
+//! boundary: when it is full, the configured [`OverloadPolicy`] decides
+//! whether the producer waits, is turned away, or displaces the
+//! lowest-priority staged event. Every outcome is counted — nothing is
+//! capped or dropped silently (the D9 rule).
+//!
+//! The accounting invariant the policies uphold (asserted by experiment
+//! E14 and `tests/prop_overload.rs`):
+//!
+//! ```text
+//! offered == drained + shed + rejected
+//! ```
+//!
+//! where `drained` events are exactly the ones the pump goes on to
+//! evaluate.
+//!
+//! Pull-based captures (journal mining, query-poll snapshots) are not
+//! staged here: the pump reads them at its own pace, so they are
+//! naturally bounded by the drain cadence.
+//!
+//! [`ingest_async`]: crate::server::EventServer::ingest_async
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+// Deliberately `std::sync` rather than the workspace `parking_lot`
+// facade: `Block` needs a condvar tied to the buffer's mutex.
+use std::sync::{Condvar, Mutex};
+
+use evdb_storage::ChangeEvent;
+use evdb_types::{Error, Event, Result};
+
+/// What happens to a producer offering an event when the staged ingest
+/// buffer is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// The producer waits until the pump drains — durability-first
+    /// backpressure, no event is ever turned away or displaced.
+    #[default]
+    Block,
+    /// The offer fails with [`Error::Overloaded`] so the producer can
+    /// retry with backoff. On the trigger-capture path the error aborts
+    /// (rolls back) the producer's write, keeping table and stream
+    /// consistent.
+    Reject,
+    /// Admit by displacing the lowest-priority staged event (oldest
+    /// first among ties); when nothing staged ranks below the newcomer,
+    /// the newcomer itself is shed. Either way the producer's write
+    /// succeeds and the shed is counted.
+    ShedLowest,
+}
+
+/// One staged (admitted but not yet drained) item.
+#[derive(Debug, Clone)]
+pub enum Staged {
+    /// An external event from `ingest_async`.
+    External(Event),
+    /// A captured table change buffered by a trigger, tagged with its
+    /// stream name.
+    Change(String, ChangeEvent),
+}
+
+/// The bounded staging buffer shared by every push-side producer.
+///
+/// Depth, peak depth and the shed / rejected / dropped-capture counters
+/// are exported through the metrics registry as `evdb_ingest_depth`,
+/// `evdb_ingest_shed_total`, `evdb_ingest_rejected_total` and
+/// `evdb_ingest_dropped_capture_total` (see `EventServer::bridge_gauges`).
+pub struct AdmissionControl {
+    capacity: usize,
+    policy: OverloadPolicy,
+    staged: Mutex<VecDeque<(i64, Staged)>>,
+    /// Signaled by [`drain`](Self::drain) so `Block`ed producers retry.
+    space: Condvar,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    dropped_capture: AtomicU64,
+    peak_depth: AtomicU64,
+}
+
+impl AdmissionControl {
+    /// A buffer holding at most `capacity` staged events (clamped to at
+    /// least 1) under the given policy.
+    pub fn new(capacity: usize, policy: OverloadPolicy) -> AdmissionControl {
+        AdmissionControl {
+            capacity: capacity.max(1),
+            policy,
+            staged: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            dropped_capture: AtomicU64::new(0),
+            peak_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured overload policy.
+    pub fn policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+
+    /// Events currently staged.
+    pub fn depth(&self) -> usize {
+        self.staged.lock().expect("admission lock").len()
+    }
+
+    /// High-water mark of the staged depth since startup.
+    pub fn peak_depth(&self) -> u64 {
+        self.peak_depth.load(Ordering::Relaxed)
+    }
+
+    /// Events shed so far (displaced or turned away under `ShedLowest`,
+    /// plus batches the sharded router shed at saturated worker queues).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Offers refused with [`Error::Overloaded`] so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Staged trigger changes whose capture was deregistered before the
+    /// drain could resolve their stream (counted, logged, never silent).
+    pub fn dropped_capture_total(&self) -> u64 {
+        self.dropped_capture.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` events shed outside the admission gate (the sharded
+    /// router sheds whole batches when a worker queue is saturated under
+    /// `ShedLowest`); keeps the accounting invariant in one place.
+    pub fn note_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` staged changes dropped because their capture task was
+    /// deregistered between buffering and drain.
+    pub fn note_dropped_capture(&self, n: u64) {
+        self.dropped_capture.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Offer one item at `priority` (higher survives longer under
+    /// `ShedLowest`; ignored by the other policies). Returns `Ok` when
+    /// the item was admitted *or* shed-on-arrival (the shed is counted);
+    /// `Err(Overloaded)` only under `Reject`.
+    pub fn admit(&self, priority: i64, item: Staged) -> Result<()> {
+        let mut staged = self.staged.lock().expect("admission lock");
+        if staged.len() >= self.capacity {
+            match self.policy {
+                OverloadPolicy::Block => {
+                    while staged.len() >= self.capacity {
+                        staged = self.space.wait(staged).expect("admission lock");
+                    }
+                }
+                OverloadPolicy::Reject => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::Overloaded(format!(
+                        "staged ingest buffer full ({} events)",
+                        self.capacity
+                    )));
+                }
+                OverloadPolicy::ShedLowest => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    // min_by_key keeps the first (oldest) among ties, so
+                    // equal-priority displacement is FIFO.
+                    let (idx, min_pri) = staged
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (p, _))| *p)
+                        .map(|(i, (p, _))| (i, *p))
+                        .expect("capacity >= 1 so a full buffer is non-empty");
+                    if min_pri < priority {
+                        staged.remove(idx);
+                    } else {
+                        // Newcomer ranks no higher than everything
+                        // staged: it is the one shed.
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        staged.push_back((priority, item));
+        self.peak_depth
+            .fetch_max(staged.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Take every staged item in arrival order and wake blocked
+    /// producers. The drained sequence is the pipeline's cross-stream
+    /// evaluation order.
+    pub fn drain(&self) -> Vec<Staged> {
+        let mut staged = self.staged.lock().expect("admission lock");
+        if staged.is_empty() {
+            return Vec::new();
+        }
+        let items: Vec<Staged> = staged.drain(..).map(|(_, item)| item).collect();
+        drop(staged);
+        self.space.notify_all();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_types::{EventId, Record, Schema, TimestampMs};
+    use std::sync::Arc;
+
+    fn ev(id: u64) -> Staged {
+        let schema = Schema::of(&[("k", evdb_types::DataType::Int)]);
+        Staged::External(Event::new(
+            EventId(id),
+            "s",
+            TimestampMs(0),
+            Record::from_iter([evdb_types::Value::Int(id as i64)]),
+            Arc::clone(&schema),
+        ))
+    }
+
+    fn id_of(s: &Staged) -> u64 {
+        match s {
+            Staged::External(e) => e.id.0,
+            Staged::Change(..) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reject_turns_overflow_away_and_counts() {
+        let ac = AdmissionControl::new(2, OverloadPolicy::Reject);
+        ac.admit(0, ev(1)).unwrap();
+        ac.admit(0, ev(2)).unwrap();
+        let err = ac.admit(0, ev(3)).unwrap_err();
+        assert_eq!(err.kind(), "overloaded");
+        assert_eq!(ac.rejected_total(), 1);
+        assert_eq!(ac.depth(), 2);
+        let drained: Vec<u64> = ac.drain().iter().map(id_of).collect();
+        assert_eq!(drained, vec![1, 2]);
+        // Invariant: offered == drained + shed + rejected.
+        assert_eq!(3, drained.len() as u64 + ac.shed_total() + ac.rejected_total());
+    }
+
+    #[test]
+    fn shed_lowest_displaces_oldest_lowest_priority() {
+        let ac = AdmissionControl::new(3, OverloadPolicy::ShedLowest);
+        ac.admit(0, ev(1)).unwrap();
+        ac.admit(5, ev(2)).unwrap();
+        ac.admit(0, ev(3)).unwrap();
+        // Higher priority displaces the oldest priority-0 entry (id 1).
+        ac.admit(3, ev(4)).unwrap();
+        assert_eq!(ac.shed_total(), 1);
+        // Equal-or-lower priority newcomer is itself shed.
+        ac.admit(0, ev(5)).unwrap();
+        assert_eq!(ac.shed_total(), 2);
+        let drained: Vec<u64> = ac.drain().iter().map(id_of).collect();
+        assert_eq!(drained, vec![2, 3, 4]);
+        assert_eq!(5, drained.len() as u64 + ac.shed_total() + ac.rejected_total());
+        assert!(ac.peak_depth() <= 3);
+    }
+
+    #[test]
+    fn block_waits_for_drain() {
+        let ac = Arc::new(AdmissionControl::new(1, OverloadPolicy::Block));
+        ac.admit(0, ev(1)).unwrap();
+        let producer = {
+            let ac = Arc::clone(&ac);
+            std::thread::spawn(move || ac.admit(0, ev(2)).unwrap())
+        };
+        // The producer must be parked until the pump drains.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(ac.drain().len(), 1);
+        producer.join().unwrap();
+        assert_eq!(ac.drain().len(), 1);
+        assert_eq!(ac.shed_total() + ac.rejected_total(), 0);
+        assert!(ac.peak_depth() <= 1);
+    }
+}

@@ -23,7 +23,11 @@
 //! * [`metrics`] — counters and latency histograms for the harness.
 //! * [`shard`] — the sharded parallel pump: partitioned multi-worker
 //!   evaluation behind [`PumpMode::Sharded`], preserving per-key order.
+//! * [`admission`] — the bounded staged-ingest buffer and its
+//!   [`OverloadPolicy`] (block / reject / shed-lowest), the explicit
+//!   overload boundary between producers and the pump.
 
+pub mod admission;
 pub mod metrics;
 pub mod notify;
 pub mod pump;
@@ -31,6 +35,7 @@ pub mod security;
 pub mod server;
 pub mod shard;
 
+pub use admission::{AdmissionControl, OverloadPolicy};
 pub use metrics::{Metrics, MetricsSnapshot, ShardMetrics, ShardSnapshot};
 pub use notify::{Notification, NotificationCenter, VirtPolicy};
 pub use pump::{spawn_pump, spawn_pump_with, PumpHandle, PumpMode};

@@ -147,7 +147,12 @@ fn spawn_sequential(
                     let _ = s.queues().reap_timeouts(&q);
                 }
                 cy.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(interval);
+                // Under load skip the idle sleep: producers may already
+                // be blocked (or shedding) on a full staged buffer, and
+                // every sleep tick would stretch the overload window.
+                if s.admission().depth() == 0 {
+                    std::thread::sleep(interval);
+                }
             }
         })
         .expect("spawn pump thread")

@@ -16,7 +16,7 @@
 //!    --> detectors      --> deviations --> notifications
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -38,6 +38,7 @@ use evdb_types::{
 };
 use parking_lot::{Mutex, RwLock};
 
+use crate::admission::{AdmissionControl, OverloadPolicy, Staged};
 use crate::metrics::{Metrics, StageBatch, StageObs};
 use crate::notify::{Notification, NotificationCenter, NotificationHandler, VirtPolicy};
 use crate::security::{AccessControl, Principal, Privilege};
@@ -122,7 +123,18 @@ pub struct ServerConfig {
     /// `Registry::disabled()` to compile the pipeline's instrumentation
     /// down to no-ops (experiment E13 bounds the difference).
     pub registry: Arc<Registry>,
+    /// Capacity bound for the staged ingest buffer shared by trigger
+    /// captures and [`EventServer::ingest_async`]. The default is large
+    /// enough that well-provisioned workloads never notice it, but it is
+    /// a real bound: memory stops growing here under overload.
+    pub ingest_capacity: usize,
+    /// What happens to producers when the staged buffer is full
+    /// (DESIGN.md D10). Default: [`OverloadPolicy::Block`].
+    pub overload: OverloadPolicy,
 }
+
+/// Default [`ServerConfig::ingest_capacity`]: 2^20 staged events.
+pub const DEFAULT_INGEST_CAPACITY: usize = 1 << 20;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -132,6 +144,8 @@ impl Default for ServerConfig {
             lateness_ms: 0,
             clock: Arc::new(SystemClock),
             registry: Arc::new(Registry::new()),
+            ingest_capacity: DEFAULT_INGEST_CAPACITY,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -175,9 +189,13 @@ pub struct EventServer {
     journal_lag: Arc<Gauge>,
     agg_mode: AggMode,
     captures: Mutex<Vec<CaptureTask>>,
-    trigger_buffer: Arc<Mutex<VecDeque<(String, ChangeEvent)>>>,
-    /// Events staged by [`EventServer::ingest_async`], drained by the pump.
-    ingest_buffer: Mutex<VecDeque<Event>>,
+    /// The bounded staging buffer shared by trigger captures and
+    /// [`EventServer::ingest_async`]; drained by the pump in arrival
+    /// order (DESIGN.md D10).
+    admission: Arc<AdmissionControl>,
+    /// Per-stream shed priority for [`OverloadPolicy::ShedLowest`]
+    /// (default 0). Shared with trigger closures, hence the `Arc`.
+    ingest_priorities: Arc<RwLock<HashMap<String, i64>>>,
     /// Read-mostly: rule registration is rare, matching is per-event and
     /// concurrent under the sharded pump ([`IndexedMatcher::match_record`]
     /// takes `&self`).
@@ -229,8 +247,12 @@ impl EventServer {
             config.virt,
             Arc::clone(&config.clock),
         ));
+        let admission = Arc::new(AdmissionControl::new(
+            config.ingest_capacity,
+            config.overload,
+        ));
         if registry.is_enabled() {
-            Self::bridge_gauges(&registry, &metrics, &notifications, &runtime);
+            Self::bridge_gauges(&registry, &metrics, &notifications, &runtime, &admission);
         }
         Ok(EventServer {
             queues,
@@ -244,8 +266,8 @@ impl EventServer {
             journal_lag,
             agg_mode: config.agg_mode,
             captures: Mutex::new(Vec::new()),
-            trigger_buffer: Arc::new(Mutex::new(VecDeque::new())),
-            ingest_buffer: Mutex::new(VecDeque::new()),
+            admission,
+            ingest_priorities: Arc::new(RwLock::new(HashMap::new())),
             alert_rules: RwLock::new(HashMap::new()),
             detectors: RwLock::new(HashMap::new()),
             partition_fields: RwLock::new(HashMap::new()),
@@ -261,6 +283,7 @@ impl EventServer {
         metrics: &Arc<Metrics>,
         notifications: &Arc<NotificationCenter>,
         runtime: &Arc<StreamRuntime>,
+        admission: &Arc<AdmissionControl>,
     ) {
         use std::sync::atomic::Ordering;
         let m = Arc::clone(metrics);
@@ -299,6 +322,20 @@ impl EventServer {
         });
         let rt = Arc::clone(runtime);
         registry.gauge_fn("evdb_cq_window_memory", move || rt.window_memory() as f64);
+        // Admission control: depth plus the no-silent-caps counters
+        // (every shed, rejection and dropped capture is visible here).
+        let ac = Arc::clone(admission);
+        registry.gauge_fn("evdb_ingest_depth", move || ac.depth() as f64);
+        let ac = Arc::clone(admission);
+        registry.gauge_fn("evdb_ingest_shed_total", move || ac.shed_total() as f64);
+        let ac = Arc::clone(admission);
+        registry.gauge_fn("evdb_ingest_rejected_total", move || {
+            ac.rejected_total() as f64
+        });
+        let ac = Arc::clone(admission);
+        registry.gauge_fn("evdb_ingest_dropped_capture_total", move || {
+            ac.dropped_capture_total() as f64
+        });
     }
 
     // ---- component access -------------------------------------------------
@@ -369,7 +406,8 @@ impl EventServer {
 
         let kind = match mechanism {
             CaptureMechanism::Trigger => {
-                let buffer = Arc::clone(&self.trigger_buffer);
+                let admission = Arc::clone(&self.admission);
+                let priorities = Arc::clone(&self.ingest_priorities);
                 let stream_name = stream.clone();
                 self.db.create_trigger(
                     &format!("__cap_{stream}"),
@@ -378,8 +416,14 @@ impl EventServer {
                     TriggerOps::ALL,
                     None,
                     Arc::new(move |ev| {
-                        buffer.lock().push_back((stream_name.clone(), ev.clone()));
-                        Ok(())
+                        // Admission runs inside the writer's transaction:
+                        // under `Reject` the returned `Overloaded` error
+                        // aborts (rolls back) the producer's write, and
+                        // under `Block` the writer parks — holding the
+                        // write gate — until the pump drains (the drain
+                        // never takes the gate, so this cannot deadlock).
+                        let pri = priorities.read().get(&stream_name).copied().unwrap_or(0);
+                        admission.admit(pri, Staged::Change(stream_name.clone(), ev.clone()))
                     }),
                 )?;
                 CaptureKind::Trigger
@@ -404,6 +448,46 @@ impl EventServer {
             .expect("just pushed")
             .stream
             .clone())
+    }
+
+    /// Deregister a capture task (the stream itself stays: registered
+    /// rules and queries keep their schema). For trigger captures the
+    /// row trigger is dropped, so subsequent writes stop staging
+    /// changes; changes already staged when the capture goes away are
+    /// counted as dropped captures at the next drain (never silently
+    /// discarded).
+    pub fn remove_capture(&self, stream: &str) -> Result<()> {
+        let task = {
+            let mut captures = self.captures.lock();
+            let pos = captures
+                .iter()
+                .position(|t| t.stream == stream)
+                .ok_or_else(|| Error::NotFound(format!("capture for '{stream}'")))?;
+            captures.remove(pos)
+        };
+        if matches!(task.kind, CaptureKind::Trigger) {
+            self.db.drop_trigger(&format!("__cap_{stream}"))?;
+        }
+        Ok(())
+    }
+
+    /// Set a stream's shed priority (default 0): under
+    /// [`OverloadPolicy::ShedLowest`], staged events from
+    /// lower-priority streams are displaced first when the buffer is
+    /// full. Applies to trigger captures and `ingest_async` alike.
+    pub fn set_ingest_priority(&self, stream: &str, priority: i64) -> Result<()> {
+        self.runtime.stream_schema(stream)?;
+        self.ingest_priorities
+            .write()
+            .insert(stream.to_string(), priority);
+        Ok(())
+    }
+
+    /// The admission-control gate on the staged ingest path: capacity,
+    /// policy, live depth and the shed / rejected / dropped-capture
+    /// accounting.
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
     }
 
     /// Declare a free-standing stream fed by [`EventServer::ingest`]
@@ -441,6 +525,9 @@ impl EventServer {
     /// it inline. This is the producer-side entry point for background
     /// pumping (sequential or sharded): producers validate and enqueue,
     /// the pump evaluates. Counted as captured when drained.
+    /// Staging is subject to admission control: when the staged buffer
+    /// is at capacity the configured [`OverloadPolicy`] applies (block,
+    /// `Err(Overloaded)`, or shed-lowest).
     pub fn ingest_async(
         &self,
         stream: &str,
@@ -448,8 +535,13 @@ impl EventServer {
         payload: Record,
     ) -> Result<()> {
         let event = self.make_event(stream, timestamp, payload)?;
-        self.ingest_buffer.lock().push_back(event);
-        Ok(())
+        let pri = self
+            .ingest_priorities
+            .read()
+            .get(stream)
+            .copied()
+            .unwrap_or(0);
+        self.admission.admit(pri, Staged::External(event))
     }
 
     fn make_event(&self, stream: &str, timestamp: TimestampMs, payload: Record) -> Result<Event> {
@@ -721,45 +813,59 @@ impl EventServer {
         let mut events = Vec::new();
         let mut batch = StageBatch::default();
 
-        // Externally staged events first (ingest_async producers).
-        {
-            let mut buf = self.ingest_buffer.lock();
-            if !buf.is_empty() {
-                self.metrics
-                    .events_captured
-                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
-                for mut event in buf.drain(..) {
-                    // Async-ingested events start their trace at event
-                    // time; capture latency is staging-to-drain lag.
-                    if event.trace.stamp_of(Stage::Capture).is_none() {
-                        event.trace.stamp(Stage::Capture, event.timestamp);
+        // The staged buffer (ingest_async producers + trigger captures),
+        // processed strictly in arrival order: the admission queue is
+        // the single cross-stream sequence, so two interleaved producers
+        // are evaluated exactly as they arrived (regression-tested in
+        // tests/admission.rs).
+        let staged = self.admission.drain();
+        if !staged.is_empty() {
+            let schemas: HashMap<String, Arc<Schema>> = {
+                let captures = self.captures.lock();
+                captures
+                    .iter()
+                    .map(|t| (t.stream.clone(), Arc::clone(&t.schema)))
+                    .collect()
+            };
+            let mut dropped: HashMap<String, u64> = HashMap::new();
+            for item in staged {
+                match item {
+                    Staged::External(mut event) => {
+                        self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
+                        // Async-ingested events start their trace at event
+                        // time; capture latency is staging-to-drain lag.
+                        if event.trace.stamp_of(Stage::Capture).is_none() {
+                            event.trace.stamp(Stage::Capture, event.timestamp);
+                        }
+                        if self.stage_obs.enabled {
+                            batch.push(Stage::Capture, now.since(event.timestamp).max(0) as f64);
+                        }
+                        events.push(event);
                     }
-                    if self.stage_obs.enabled {
-                        batch.push(Stage::Capture, now.since(event.timestamp).max(0) as f64);
+                    Staged::Change(stream, change) => {
+                        let Some(schema) = schemas.get(&stream) else {
+                            // Capture deregistered between staging and
+                            // drain: count and log, never lose silently.
+                            *dropped.entry(stream).or_default() += 1;
+                            continue;
+                        };
+                        events.push(self.change_into_event(&stream, schema, change, now, &mut batch));
                     }
-                    events.push(event);
+                }
+            }
+            if !dropped.is_empty() {
+                let total: u64 = dropped.values().sum();
+                self.admission.note_dropped_capture(total);
+                for (stream, n) in &dropped {
+                    eprintln!(
+                        "evdb: dropped {n} staged change(s) for '{stream}' \
+                         (capture deregistered before drain)"
+                    );
                 }
             }
         }
 
         let mut batches: Vec<(String, Arc<Schema>, Vec<ChangeEvent>)> = Vec::new();
-
-        // Trigger buffer.
-        {
-            let mut buf = self.trigger_buffer.lock();
-            if !buf.is_empty() {
-                let mut by_stream: HashMap<String, Vec<ChangeEvent>> = HashMap::new();
-                for (stream, ev) in buf.drain(..) {
-                    by_stream.entry(stream).or_default().push(ev);
-                }
-                let captures = self.captures.lock();
-                for (stream, evs) in by_stream {
-                    if let Some(task) = captures.iter().find(|t| t.stream == stream) {
-                        batches.push((stream, Arc::clone(&task.schema), evs));
-                    }
-                }
-            }
-        }
         // Journal miners and snapshots.
         {
             let mut captures = self.captures.lock();
@@ -798,32 +904,46 @@ impl EventServer {
             }
         }
 
-        for (_stream, schema, changes) in batches {
+        for (stream, schema, changes) in batches {
             for change in changes {
-                let event = change_to_event(&change, &schema, &self.ids);
-                // Rewrite the event source to the stream name so the
-                // runtime routes it (delta:: prefix is for standalone use).
-                let mut event = Event::new(
-                    event.id,
-                    _stream.as_str(),
-                    event.timestamp,
-                    event.payload,
-                    event.schema,
-                );
-                // Continue the change's trace (capture stamped when the
-                // change was produced).
-                event.trace = change.trace;
-                self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
-                let lat = now.since(change.timestamp) as f64;
-                self.metrics.observe_latency(lat);
-                if self.stage_obs.enabled {
-                    batch.push(Stage::Capture, lat.max(0.0));
-                }
-                events.push(event);
+                events.push(self.change_into_event(&stream, &schema, change, now, &mut batch));
             }
         }
         self.stage_obs.flush(&mut batch);
         Ok(events)
+    }
+
+    /// Convert one captured [`ChangeEvent`] into the stream event the
+    /// pipeline evaluates, recording capture-side metrics.
+    fn change_into_event(
+        &self,
+        stream: &str,
+        schema: &Arc<Schema>,
+        change: ChangeEvent,
+        now: TimestampMs,
+        batch: &mut StageBatch,
+    ) -> Event {
+        use std::sync::atomic::Ordering;
+        let event = change_to_event(&change, schema, &self.ids);
+        // Rewrite the event source to the stream name so the
+        // runtime routes it (delta:: prefix is for standalone use).
+        let mut event = Event::new(
+            event.id,
+            stream,
+            event.timestamp,
+            event.payload,
+            event.schema,
+        );
+        // Continue the change's trace (capture stamped when the
+        // change was produced).
+        event.trace = change.trace;
+        self.metrics.events_captured.fetch_add(1, Ordering::Relaxed);
+        let lat = now.since(change.timestamp) as f64;
+        self.metrics.observe_latency(lat);
+        if self.stage_obs.enabled {
+            batch.push(Stage::Capture, lat.max(0.0));
+        }
+        event
     }
 
     /// Route one event: runtime queries, alert rules, detectors;

@@ -155,6 +155,8 @@ fn router_loop(
                     batches[shard_for(&key, n)].push(event);
                 }
                 server.stage_obs().flush(&mut stage_batch);
+                let shed_at_router =
+                    server.admission().policy() == crate::admission::OverloadPolicy::ShedLowest;
                 for (i, batch) in batches.into_iter().enumerate() {
                     if batch.is_empty() {
                         continue;
@@ -166,10 +168,32 @@ fn router_loop(
                     shard_metrics[i]
                         .queue_depth
                         .fetch_add(len, Ordering::Relaxed);
-                    // Blocking send: a full worker queue backpressures
-                    // the router instead of growing without bound.
-                    if worker_txs[i].send(batch).is_err() {
-                        // Worker died (only on panic); count and go on.
+                    if shed_at_router {
+                        // ShedLowest must not stall the router on one
+                        // saturated worker: a full queue sheds the batch
+                        // into the same accounting the admission gate
+                        // uses, so offered == evaluated + shed + rejected
+                        // still balances (DESIGN.md D10).
+                        match worker_txs[i].try_send(batch) {
+                            Ok(()) => {}
+                            Err(channel::TrySendError::Full(batch)) => {
+                                server.admission().note_shed(batch.len() as u64);
+                                shard_metrics[i]
+                                    .queue_depth
+                                    .fetch_sub(len, Ordering::Relaxed);
+                            }
+                            Err(channel::TrySendError::Disconnected(_)) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                shard_metrics[i]
+                                    .queue_depth
+                                    .fetch_sub(len, Ordering::Relaxed);
+                            }
+                        }
+                    } else if worker_txs[i].send(batch).is_err() {
+                        // Blocking send (Block/Reject): a full worker
+                        // queue backpressures the router instead of
+                        // growing without bound. Err means the worker
+                        // died (only on panic); count and go on.
                         errors.fetch_add(1, Ordering::Relaxed);
                         shard_metrics[i]
                             .queue_depth
@@ -188,7 +212,11 @@ fn router_loop(
         if stopping {
             break;
         }
-        std::thread::sleep(interval);
+        // Keep draining while producers are backed up on the staged
+        // buffer; sleep only when the admission gate is empty.
+        if server.admission().depth() == 0 {
+            std::thread::sleep(interval);
+        }
     }
     // Dropping the senders lets the workers drain their queues and exit.
 }

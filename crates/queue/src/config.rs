@@ -1,5 +1,7 @@
 //! Queue configuration.
 
+use evdb_types::{Error, Result};
+
 /// Per-queue delivery configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueConfig {
@@ -54,6 +56,33 @@ impl QueueConfig {
         self.retention_ms = ms;
         self
     }
+
+    /// Reject configurations that break the delivery state machine:
+    /// a non-positive visibility timeout would make every dequeued
+    /// message instantly redeliverable, and zero `max_attempts` can
+    /// neither deliver nor dead-letter. Checked at queue creation and
+    /// again when metadata is loaded from storage (a stored negative
+    /// `max_attempts` must not wrap through the `u32` cast).
+    pub fn validate(&self) -> Result<()> {
+        if self.visibility_timeout_ms <= 0 {
+            return Err(Error::Invalid(format!(
+                "queue visibility_timeout_ms must be positive (got {})",
+                self.visibility_timeout_ms
+            )));
+        }
+        if self.max_attempts == 0 {
+            return Err(Error::Invalid(
+                "queue max_attempts must be at least 1".into(),
+            ));
+        }
+        if self.retention_ms <= 0 {
+            return Err(Error::Invalid(format!(
+                "queue retention_ms must be positive (got {})",
+                self.retention_ms
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +100,21 @@ mod tests {
         assert_eq!(c.max_attempts, 2);
         assert_eq!(c.default_priority, 7);
         assert_eq!(c.retention_ms, 60_000);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(QueueConfig::default().validate().is_ok());
+        for bad in [
+            QueueConfig::default().visibility_timeout(0),
+            QueueConfig::default().visibility_timeout(-5),
+            QueueConfig::default().max_attempts(0),
+            QueueConfig::default().retention(0),
+            QueueConfig::default().retention(-1),
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert_eq!(err.kind(), "invalid");
+        }
     }
 }

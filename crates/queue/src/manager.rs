@@ -18,7 +18,7 @@
 //! against the state row before delivery, so a stale heap can cause extra
 //! work but never a wrong delivery.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 use evdb_storage::codec::{self, Reader};
@@ -75,6 +75,14 @@ struct QueueInfo {
     config: QueueConfig,
     groups: Vec<String>,
     runtimes: HashMap<String, GroupRuntime>,
+    /// Delivery sids whose in-flight state rows were removed by
+    /// [`QueueManager::purge_expired`] (retention outran the consumer).
+    /// Acks/nacks for these are idempotent no-ops instead of errors —
+    /// the consumer cannot observe the retention race. Volatile, like
+    /// the ready heaps: after a restart such an ack surfaces as
+    /// "unknown delivery" again, which is the pre-existing at-least-once
+    /// contract.
+    purged_inflight: HashSet<String>,
 }
 
 /// Manages every queue stored in one database.
@@ -95,6 +103,7 @@ struct QueueObs {
     nacked: Arc<evdb_obs::Counter>,
     redeliveries: Arc<evdb_obs::Counter>,
     reclaimed: Arc<evdb_obs::Counter>,
+    purged_inflight: Arc<evdb_obs::Counter>,
 }
 
 impl QueueObs {
@@ -106,6 +115,7 @@ impl QueueObs {
             nacked: registry.counter("evdb_queue_nacked_total"),
             redeliveries: registry.counter("evdb_queue_redeliveries_total"),
             reclaimed: registry.counter("evdb_queue_reclaimed_total"),
+            purged_inflight: registry.counter("evdb_queue_purged_inflight_total"),
         }
     }
 }
@@ -231,12 +241,24 @@ impl QueueManager {
                 _ => return Err(Error::Corruption("queue meta payload".into())),
             };
             let schema = codec::decode_schema(&mut Reader::new(&schema_bytes))?;
+            // Range-check before the narrowing cast: a stored negative
+            // max_attempts would otherwise wrap to ~4 billion and turn
+            // dead-lettering off.
+            let max_att = m.get(3).unwrap().as_int().unwrap();
+            if !(1..=i64::from(u32::MAX)).contains(&max_att) {
+                return Err(Error::Corruption(format!(
+                    "queue '{name}' meta: max_attempts {max_att} out of range"
+                )));
+            }
             let config = QueueConfig {
                 visibility_timeout_ms: m.get(2).unwrap().as_int().unwrap(),
-                max_attempts: m.get(3).unwrap().as_int().unwrap() as u32,
+                max_attempts: max_att as u32,
                 default_priority: m.get(4).unwrap().as_int().unwrap(),
                 retention_ms: m.get(5).unwrap().as_int().unwrap(),
             };
+            config.validate().map_err(|e| {
+                Error::Corruption(format!("queue '{name}' meta rejected: {e}"))
+            })?;
             let groups: Vec<String> = groups_rows
                 .iter()
                 .filter(|g| g.get(1).unwrap().as_str() == Some(&name))
@@ -247,6 +269,7 @@ impl QueueManager {
                 config,
                 groups: groups.clone(),
                 runtimes: HashMap::new(),
+                purged_inflight: HashSet::new(),
             };
             // Rebuild heaps from the state table.
             let states = mgr.db.table(&state_table(&name))?.scan();
@@ -305,6 +328,7 @@ impl QueueManager {
         {
             return Err(Error::Invalid(format!("bad queue name '{name}'")));
         }
+        config.validate()?;
         let mut queues = self.queues.lock();
         if queues.contains_key(name) {
             return Err(Error::AlreadyExists(format!("queue '{name}'")));
@@ -336,6 +360,7 @@ impl QueueManager {
                 config,
                 groups: Vec::new(),
                 runtimes: HashMap::new(),
+                purged_inflight: HashSet::new(),
             },
         );
         Ok(())
@@ -783,10 +808,19 @@ impl QueueManager {
     pub fn ack(&self, delivery: &Delivery) -> Result<()> {
         let queue = &delivery.message.queue;
         let st = self.db.table(&state_table(queue))?;
-        let sid_v = Value::from(sid(delivery.message.id, &delivery.group));
-        let row = st
-            .get(&sid_v)
-            .ok_or_else(|| Error::Queue("ack of unknown delivery".into()))?;
+        let sid_s = sid(delivery.message.id, &delivery.group);
+        let sid_v = Value::from(sid_s.as_str());
+        let Some(row) = st.get(&sid_v) else {
+            // A retention purge removed this delivery while it was in
+            // flight — a race the consumer cannot observe, and its work
+            // is done either way, so the ack is an idempotent no-op
+            // (counted by evdb_queue_purged_inflight_total at purge
+            // time). Anything else missing is still a protocol error.
+            if self.was_purged_inflight(queue, &sid_s) {
+                return Ok(());
+            }
+            return Err(Error::Queue("ack of unknown delivery".into()));
+        };
         if row.get(3).unwrap().as_int() != Some(STATE_INFLIGHT) {
             return Err(Error::Queue("ack of a non-inflight delivery".into()));
         }
@@ -818,10 +852,16 @@ impl QueueManager {
                 .config
         };
         let st = self.db.table(&state_table(queue))?;
-        let sid_v = Value::from(sid(delivery.message.id, &delivery.group));
-        let row = st
-            .get(&sid_v)
-            .ok_or_else(|| Error::Queue("nack of unknown delivery".into()))?;
+        let sid_s = sid(delivery.message.id, &delivery.group);
+        let sid_v = Value::from(sid_s.as_str());
+        let Some(row) = st.get(&sid_v) else {
+            // Same retention race as in `ack`: the purged message cannot
+            // be redelivered or dead-lettered, so the nack is a no-op.
+            if self.was_purged_inflight(queue, &sid_s) {
+                return Ok(());
+            }
+            return Err(Error::Queue("nack of unknown delivery".into()));
+        };
         let attempts = row.get(5).unwrap().as_int().unwrap() as u32;
         // Crash site: an un-durable nack leaves the delivery INFLIGHT; the
         // visibility timeout redelivers it after recovery.
@@ -1048,6 +1088,7 @@ impl QueueManager {
             .map(|m| m.get(0).unwrap().as_int().unwrap())
             .collect();
         let mut tx = self.db.begin();
+        let mut purged_inflight: Vec<String> = Vec::new();
         for id in &old {
             tx.delete(&msg_table(queue), &Value::Int(*id))?;
             let pred = evdb_expr::Expr::binary(
@@ -1056,12 +1097,32 @@ impl QueueManager {
                 evdb_expr::Expr::lit(*id),
             );
             for s in st.select(&pred)? {
+                // Remember in-flight deliveries the purge is racing: a
+                // consumer still holds them and will ack/nack later,
+                // which must then be a no-op rather than an error.
+                if s.get(3).unwrap().as_int() == Some(STATE_INFLIGHT) {
+                    purged_inflight.push(s.get(0).unwrap().as_str().unwrap().to_string());
+                }
                 tx.delete(&state_table(queue), s.get(0).unwrap())?;
             }
         }
         let n = old.len();
         tx.commit()?;
+        if !purged_inflight.is_empty() {
+            self.obs.purged_inflight.add(purged_inflight.len() as u64);
+            let mut queues = self.queues.lock();
+            if let Some(info) = queues.get_mut(queue) {
+                info.purged_inflight.extend(purged_inflight);
+            }
+        }
         Ok(n)
+    }
+
+    fn was_purged_inflight(&self, queue: &str, sid: &str) -> bool {
+        self.queues
+            .lock()
+            .get(queue)
+            .is_some_and(|i| i.purged_inflight.contains(sid))
     }
 }
 
@@ -1382,5 +1443,99 @@ mod tests {
         assert!(mgr.depth("orders").is_err());
         assert!(db.table(&msg_table("orders")).is_err());
         assert!(db.table(GROUPS).unwrap().scan().is_empty());
+    }
+
+    #[test]
+    fn purge_then_ack_is_idempotent_noop() {
+        // Retention purge races an in-flight consumer: the consumer's
+        // later ack/nack must be a counted no-op, not a protocol error.
+        let clock = SimClock::new(TimestampMs(1_000));
+        let registry = Arc::new(evdb_obs::Registry::new());
+        let db = Database::in_memory(DbOptions {
+            clock: clock.clone(),
+            registry: Arc::clone(&registry),
+            ..Default::default()
+        })
+        .unwrap();
+        let mgr = QueueManager::attach(Arc::clone(&db)).unwrap();
+        mgr.create_queue(
+            "jobs",
+            Schema::of(&[("jid", DataType::Int)]),
+            QueueConfig::default()
+                .visibility_timeout(60_000)
+                .retention(10_000),
+        )
+        .unwrap();
+        mgr.subscribe("jobs", "workers").unwrap();
+        mgr.enqueue("jobs", Record::from_iter([Value::Int(1)]), "t").unwrap();
+
+        let d = mgr.dequeue("jobs", "workers", 1).unwrap().remove(0);
+        clock.advance(20_000); // past retention, inside visibility
+        assert_eq!(mgr.purge_expired("jobs").unwrap(), 1);
+        assert_eq!(mgr.depth("jobs").unwrap(), 0);
+
+        mgr.ack(&d).unwrap(); // would have been "ack of unknown delivery"
+        mgr.ack(&d).unwrap(); // idempotent: repeated acks stay no-ops
+        mgr.nack(&d, "late").unwrap(); // nack of the purged delivery too
+        assert_eq!(
+            registry.counter("evdb_queue_purged_inflight_total").get(),
+            1
+        );
+        // The race path must not loosen the protocol for anything else:
+        // a delivery that was never handed out is still unknown.
+        let mut ghost = d.clone();
+        ghost.message.id += 1;
+        assert!(mgr.ack(&ghost).is_err());
+    }
+
+    #[test]
+    fn create_queue_rejects_invalid_config() {
+        let (_db, mgr, _clock) = setup();
+        for bad in [
+            QueueConfig::default().visibility_timeout(0),
+            QueueConfig::default().max_attempts(0),
+            QueueConfig::default().retention(-1),
+        ] {
+            let err = mgr
+                .create_queue("badq", Schema::of(&[("k", DataType::Int)]), bad)
+                .unwrap_err();
+            assert_eq!(err.kind(), "invalid");
+        }
+        // Nothing half-created: the name stays free for a valid config.
+        mgr.create_queue(
+            "badq",
+            Schema::of(&[("k", DataType::Int)]),
+            QueueConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn attach_rejects_wrapped_max_attempts() {
+        // A stored negative max_attempts used to wrap through `as u32`
+        // to ~4 billion, silently disabling dead-lettering.
+        let (db, _mgr, _clock) = setup();
+        let row = db.table(META).unwrap().get(&Value::from("orders")).unwrap();
+        let mut bad = row.clone();
+        bad.set(3, Value::Int(-3));
+        db.update(META, &Value::from("orders"), bad).unwrap();
+        let err = QueueManager::attach(Arc::clone(&db)).err().unwrap();
+        assert_eq!(err.kind(), "corruption");
+        assert!(err.to_string().contains("max_attempts"));
+
+        // Out-of-range-positive wraps are rejected by the same check.
+        let mut huge = row.clone();
+        huge.set(3, Value::Int(i64::from(u32::MAX) + 1));
+        db.update(META, &Value::from("orders"), huge).unwrap();
+        assert!(QueueManager::attach(Arc::clone(&db)).is_err());
+
+        // And a stored non-positive visibility timeout is rejected too.
+        let mut zero_vis = row.clone();
+        zero_vis.set(2, Value::Int(0));
+        db.update(META, &Value::from("orders"), zero_vis).unwrap();
+        assert!(QueueManager::attach(Arc::clone(&db)).is_err());
+
+        db.update(META, &Value::from("orders"), row).unwrap();
+        QueueManager::attach(db).unwrap();
     }
 }

@@ -41,6 +41,10 @@ pub enum Error {
     Io(io::Error),
     /// Invalid argument or configuration.
     Invalid(String),
+    /// Admission control turned the producer away: the staged ingest
+    /// buffer is at capacity under `OverloadPolicy::Reject`. Retryable —
+    /// producers should back off and re-offer.
+    Overloaded(String),
 }
 
 impl Error {
@@ -68,6 +72,7 @@ impl Error {
             Error::Unauthorized(_) => "unauthorized",
             Error::Io(_) => "io",
             Error::Invalid(_) => "invalid",
+            Error::Overloaded(_) => "overloaded",
         }
     }
 }
@@ -90,6 +95,7 @@ impl fmt::Display for Error {
             Error::Unauthorized(m) => write!(f, "unauthorized: {m}"),
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Invalid(m) => write!(f, "invalid: {m}"),
+            Error::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }

@@ -113,6 +113,10 @@ fn exposition_covers_every_layer() {
         "evdb_cq_panes_total",               // continuous queries
         "evdb_core_events_processed",        // engine bridge gauges
         "evdb_notify_delivered",             // notification center
+        "evdb_ingest_depth",                 // admission control (D10)
+        "evdb_ingest_shed_total",            // no-silent-caps counters
+        "evdb_ingest_rejected_total",
+        "evdb_queue_purged_inflight_total",  // retention-race no-ops
     ] {
         assert!(text.contains(name), "exposition missing {name}:\n{text}");
     }
