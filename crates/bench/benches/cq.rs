@@ -24,8 +24,8 @@ fn bench_aggregate(c: &mut Criterion) {
     let evs = events(4_096);
     let aggs = || {
         vec![
-            AggSpec { func: AggFunc::Count, field: None, out_name: "n".into() },
-            AggSpec { func: AggFunc::Avg, field: Some("px".into()), out_name: "a".into() },
+            AggSpec { func: AggFunc::Count, field: None, expr: None, out_name: "n".into() },
+            AggSpec { func: AggFunc::Avg, field: Some("px".into()), expr: None, out_name: "a".into() },
         ]
     };
     for (label, mode) in [("incremental", AggMode::Incremental), ("recompute", AggMode::Recompute)] {

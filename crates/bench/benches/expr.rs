@@ -1,0 +1,103 @@
+//! Criterion microbench for E15/D11: per-event predicate evaluation
+//! cost, tree-walking interpreter vs compiled bytecode, on the three
+//! predicate families candidate verification actually sees — pure
+//! numeric, string/LIKE-heavy, and mixed arithmetic+LIKE.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evdb_expr::{parse, BoundExpr, CompiledExpr};
+use evdb_types::{DataType, Record, Schema, Value};
+
+fn schema() -> Arc<Schema> {
+    Schema::of(&[
+        ("sym", DataType::Str),
+        ("px", DataType::Float),
+        ("qty", DataType::Int),
+        ("venue", DataType::Str),
+    ])
+}
+
+fn events(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::from_iter([
+                Value::from(format!("S{}", i % 16).as_str()),
+                Value::Float(10.0 + (i % 490) as f64),
+                Value::Int((i % 999) as i64 + 1),
+                Value::from(
+                    format!(
+                        "route{:04}-ecn-{}-crossnet-depth{:03}-venue",
+                        i % 7919,
+                        if i % 4 == 0 { "limit" } else { "market" },
+                        i % 997,
+                    )
+                    .as_str(),
+                ),
+            ])
+        })
+        .collect()
+}
+
+const FAMILIES: &[(&str, &str)] = &[
+    (
+        "numeric",
+        "px BETWEEN 80 AND 220 AND qty > 150 AND qty <= 900",
+    ),
+    (
+        "string_like",
+        "venue LIKE '%limit%' OR venue LIKE '%iceberg%'",
+    ),
+    (
+        "mixed",
+        "qty BETWEEN 100 AND 900 AND px * 1.5 + 10 > 60 AND venue LIKE '%sweep%'",
+    ),
+];
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_expr_eval");
+    let s = schema();
+    let evs = events(4_096);
+    for (family, predicate) in FAMILIES {
+        let bound: BoundExpr = parse(predicate).unwrap().bind_predicate(&s).unwrap();
+        let compiled = CompiledExpr::compile(&bound);
+        g.bench_with_input(
+            BenchmarkId::new("interpreted", family),
+            &bound,
+            |b, bound| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % evs.len();
+                    bound.matches(&evs[i]).unwrap()
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compiled", family),
+            &compiled,
+            |b, compiled| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % evs.len();
+                    compiled.matches(&evs[i]).unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_expr_compile");
+    let s = schema();
+    for (family, predicate) in FAMILIES {
+        let bound: BoundExpr = parse(predicate).unwrap().bind_predicate(&s).unwrap();
+        g.bench_with_input(BenchmarkId::new("compile", family), &bound, |b, bound| {
+            b.iter(|| CompiledExpr::compile(bound).inst_count());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_compile);
+criterion_main!(benches);

@@ -37,6 +37,7 @@ fn main() {
         ("e12", experiments::e12_torture::run),
         ("e13", experiments::e13_observability::run),
         ("e14", experiments::e14_overload::run),
+        ("e15", experiments::e15_compiled::run),
     ];
 
     println!(

@@ -22,16 +22,19 @@ fn aggs() -> Vec<AggSpec> {
         AggSpec {
             func: AggFunc::Count,
             field: None,
+            expr: None,
             out_name: "n".into(),
         },
         AggSpec {
             func: AggFunc::Avg,
             field: Some("px".into()),
+            expr: None,
             out_name: "apx".into(),
         },
         AggSpec {
             func: AggFunc::Max,
             field: Some("px".into()),
+            expr: None,
             out_name: "hi".into(),
         },
     ]

@@ -31,6 +31,7 @@ use evdb_rules::{Broker, IndexedMatcher, Matcher, Rule};
 use evdb_storage::{
     ChangeEvent, Database, DbOptions, JournalMiner, QuerySnapshot, TriggerOps, TriggerTiming,
 };
+use evdb_expr::{CompiledExpr, Expr};
 use evdb_obs::{Gauge, Registry};
 use evdb_types::{
     Clock, Error, Event, EventId, IdGenerator, Record, Result, Schema, Stage, SystemClock,
@@ -93,6 +94,9 @@ struct DetectorGroup {
     name: String,
     field: usize,
     key_field: Option<usize>,
+    /// Optional WHEN predicate gating which events the detector observes,
+    /// compiled to bytecode at registration time (D11).
+    condition: Option<CompiledExpr>,
     factory: Box<dyn Fn() -> DeviationDetector + Send>,
     instances: HashMap<String, DeviationDetector>,
 }
@@ -335,6 +339,20 @@ impl EventServer {
         let ac = Arc::clone(admission);
         registry.gauge_fn("evdb_ingest_dropped_capture_total", move || {
             ac.dropped_capture_total() as f64
+        });
+        // Expression compiler: process-wide compile/fold statistics (D9
+        // no-silent-caps: every fold and precompiled LIKE is accounted).
+        registry.gauge_fn("evdb_expr_compiled_total", || {
+            evdb_expr::compiler_stats().compiled_total as f64
+        });
+        registry.gauge_fn("evdb_expr_folded_subtrees_total", || {
+            evdb_expr::compiler_stats().folded_subtrees as f64
+        });
+        registry.gauge_fn("evdb_expr_folded_nodes_total", || {
+            evdb_expr::compiler_stats().folded_nodes as f64
+        });
+        registry.gauge_fn("evdb_expr_like_precompiled_total", || {
+            evdb_expr::compiler_stats().like_precompiled as f64
         });
     }
 
@@ -681,7 +699,32 @@ impl EventServer {
     where
         F: Fn() -> Box<dyn ExpectationModel> + Send + 'static,
     {
+        self.add_detector_when(name, stream, field, key_field, None, policy, model_factory)
+    }
+
+    /// [`add_detector`](Self::add_detector) with an optional WHEN
+    /// predicate over the stream's records: only events satisfying the
+    /// condition feed the expectation model. The predicate is bound and
+    /// compiled to bytecode once, here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_detector_when<F>(
+        &self,
+        name: &str,
+        stream: &str,
+        field: &str,
+        key_field: Option<&str>,
+        condition: Option<&Expr>,
+        policy: UpdatePolicy,
+        model_factory: F,
+    ) -> Result<()>
+    where
+        F: Fn() -> Box<dyn ExpectationModel> + Send + 'static,
+    {
         let schema = self.runtime.stream_schema(stream)?;
+        let condition = match condition {
+            None => None,
+            Some(e) => Some(CompiledExpr::compile(&e.bind_predicate(&schema)?)),
+        };
         let field_idx = schema
             .index_of(field)
             .ok_or_else(|| Error::Schema(format!("unknown field '{field}'")))?;
@@ -701,6 +744,7 @@ impl EventServer {
                 name: name.to_string(),
                 field: field_idx,
                 key_field: key_idx,
+                condition,
                 factory: Box::new(move || DeviationDetector::with_policy(model_factory(), policy)),
                 instances: HashMap::new(),
             }));
@@ -1095,6 +1139,11 @@ impl EventServer {
         if let Some(groups) = detectors.get(event.source.as_ref()) {
             for cell in groups {
                 let g = &mut *cell.lock();
+                if let Some(cond) = &g.condition {
+                    if !cond.matches(&event.payload)? {
+                        continue;
+                    }
+                }
                 let Some(value) = event.payload.get(g.field).and_then(Value::as_f64) else {
                     continue;
                 };
@@ -1320,6 +1369,42 @@ mod tests {
         }
         assert_eq!(notified, 2);
         assert_eq!(s.metrics().snapshot().deviations, 2);
+    }
+
+    #[test]
+    fn detector_when_condition_gates_observation() {
+        let (s, _clock) = server();
+        s.create_stream(
+            "meters",
+            Schema::of(&[("meter", DataType::Str), ("kw", DataType::Float)]),
+        )
+        .unwrap();
+        let cond = evdb_expr::parse("meter = 'm1'").unwrap();
+        s.add_detector_when(
+            "load",
+            "meters",
+            "kw",
+            Some("meter"),
+            Some(&cond),
+            UpdatePolicy::Always,
+            || Box::new(ThresholdModel::new(0.0, 100.0)),
+        )
+        .unwrap();
+        let mut notified = 0;
+        // m2's excursion is filtered out by the WHEN predicate; only
+        // m1's out-of-band reading fires.
+        for (m, kw) in [("m1", 150.0), ("m2", 500.0)] {
+            let st = s
+                .ingest(
+                    "meters",
+                    s.now(),
+                    Record::from_iter([Value::from(m), Value::Float(kw)]),
+                )
+                .unwrap();
+            notified += st.notified;
+        }
+        assert_eq!(notified, 1);
+        assert_eq!(s.metrics().snapshot().deviations, 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use evdb_expr::{typecheck, CompiledExpr, Expr};
 use evdb_types::{
     DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
 };
@@ -81,10 +82,24 @@ impl AggFunc {
 pub struct AggSpec {
     /// The function.
     pub func: AggFunc,
-    /// Input field name (`None` only for `count(*)`).
+    /// Input field name (`None` for `count(*)` or when `expr` is set).
     pub field: Option<String>,
+    /// General argument expression (e.g. `sum(px * qty)`); bound and
+    /// compiled to bytecode when the operator is built. Takes precedence
+    /// over `field`.
+    pub expr: Option<Expr>,
     /// Output column name.
     pub out_name: String,
+}
+
+/// Resolved argument source for one aggregate column.
+enum AggInput {
+    /// `count(*)`: no per-row value.
+    Star,
+    /// Plain field reference.
+    Field(usize),
+    /// Computed argument, compiled at operator build time.
+    Computed(CompiledExpr),
 }
 
 /// Execution strategy (DESIGN.md D5).
@@ -310,8 +325,8 @@ pub struct WindowAggregateOp {
     window: WindowSpec,
     mode: AggMode,
     group_fields: Vec<usize>,
-    /// (spec, input field index) — index is None for count(*).
-    aggs: Vec<(AggSpec, Option<usize>)>,
+    /// (spec, resolved argument source).
+    aggs: Vec<(AggSpec, AggInput)>,
     out_schema: Arc<Schema>,
 
     // Time-window state (keyed by pane start).
@@ -357,26 +372,35 @@ impl WindowAggregateOp {
         out_fields.push(FieldDef::required("window_end", DataType::Timestamp));
         let mut agg_cols = Vec::with_capacity(aggs.len());
         for spec in aggs {
-            let idx = match &spec.field {
-                None => None,
-                Some(f) => Some(
-                    input
+            let (arg, ft) = match (&spec.expr, &spec.field) {
+                (Some(e), _) => {
+                    // Computed argument: bind (type-checks against the
+                    // input schema) and compile once, here.
+                    let ft = typecheck::infer(e, input)?;
+                    let bound = e.bind(input)?;
+                    (AggInput::Computed(CompiledExpr::compile(&bound)), ft)
+                }
+                (None, Some(f)) => {
+                    let i = input
                         .index_of(f)
-                        .ok_or_else(|| Error::Schema(format!("unknown agg field '{f}'")))?,
-                ),
+                        .ok_or_else(|| Error::Schema(format!("unknown agg field '{f}'")))?;
+                    (AggInput::Field(i), Some(input.fields()[i].dtype))
+                }
+                (None, None) => {
+                    if spec.func != AggFunc::Count {
+                        return Err(Error::Invalid(format!(
+                            "{:?} requires an argument",
+                            spec.func
+                        )));
+                    }
+                    (AggInput::Star, None)
+                }
             };
-            if spec.field.is_none() && spec.func != AggFunc::Count {
-                return Err(Error::Invalid(format!(
-                    "{:?} requires a field argument",
-                    spec.func
-                )));
-            }
-            let ft = idx.map(|i| input.fields()[i].dtype);
             out_fields.push(FieldDef::nullable(
                 spec.out_name.clone(),
                 spec.func.output_type(ft),
             ));
-            agg_cols.push((spec, idx));
+            agg_cols.push((spec, arg));
         }
         Ok(WindowAggregateOp {
             window,
@@ -397,10 +421,14 @@ impl WindowAggregateOp {
         })
     }
 
-    fn agg_inputs(&self, rec: &Record) -> Vec<Option<Value>> {
+    fn agg_inputs(&self, rec: &Record) -> Result<Vec<Option<Value>>> {
         self.aggs
             .iter()
-            .map(|(_, idx)| idx.map(|i| rec.get(i).cloned().unwrap_or(Value::Null)))
+            .map(|(_, arg)| match arg {
+                AggInput::Star => Ok(None),
+                AggInput::Field(i) => Ok(Some(rec.get(*i).cloned().unwrap_or(Value::Null))),
+                AggInput::Computed(c) => c.eval(rec).map(Some),
+            })
             .collect()
     }
 
@@ -531,7 +559,7 @@ impl Operator for WindowAggregateOp {
                 self.started = true;
                 match self.mode {
                     AggMode::Incremental => {
-                        let inputs = self.agg_inputs(&event.payload);
+                        let inputs = self.agg_inputs(&event.payload)?;
                         let fresh = self.fresh_accs();
                         let accs = self
                             .panes
@@ -544,7 +572,7 @@ impl Operator for WindowAggregateOp {
                         }
                     }
                     AggMode::Recompute => {
-                        let inputs = self.agg_inputs(&event.payload);
+                        let inputs = self.agg_inputs(&event.payload)?;
                         self.raw
                             .entry(ps)
                             .or_default()
@@ -553,7 +581,7 @@ impl Operator for WindowAggregateOp {
                 }
             }
             WindowSpec::CountTumbling { count } => {
-                let inputs = self.agg_inputs(&event.payload);
+                let inputs = self.agg_inputs(&event.payload)?;
                 let fresh = self.fresh_accs();
                 let st = self
                     .count_state
@@ -576,7 +604,7 @@ impl Operator for WindowAggregateOp {
                 }
             }
             WindowSpec::Session { gap_ms } => {
-                let inputs = self.agg_inputs(&event.payload);
+                let inputs = self.agg_inputs(&event.payload)?;
                 let fresh = self.fresh_accs();
                 // Close the running session first if the gap has lapsed.
                 if let Some(st) = self.count_state.get(&group) {
@@ -665,6 +693,7 @@ mod tests {
         AggSpec {
             func,
             field: field.map(String::from),
+            expr: None,
             out_name: name.to_string(),
         }
     }

@@ -151,25 +151,27 @@ fn rewrite_aggs(expr: &Expr, aggs: &mut Vec<AggSpec>, alias: Option<&str>) -> Re
     Ok(match expr {
         Expr::Func { name, args } => {
             if let Some(func) = AggFunc::from_name(name) {
-                let field = match args.as_slice() {
-                    [] if func == AggFunc::Count => None,
-                    [Expr::Field(f)] => Some(f.clone()),
+                // Plain fields keep the named fast path; any other single
+                // argument becomes a computed (compiled) expression.
+                let (field, arg_expr) = match args.as_slice() {
+                    [] if func == AggFunc::Count => (None, None),
+                    [Expr::Field(f)] => (Some(f.clone()), None),
+                    [e] => (None, Some(e.clone())),
                     _ => {
                         return Err(Error::Invalid(format!(
-                            "aggregate {name}() takes a single field argument"
+                            "aggregate {name}() takes a single argument"
                         )))
                     }
                 };
-                let out_name = alias
-                    .map(String::from)
-                    .unwrap_or_else(|| match &field {
-                        Some(f) => format!("{name}_{f}"),
-                        None => name.clone(),
-                    });
-                // Reuse an existing spec with the same function+field.
+                let out_name = alias.map(String::from).unwrap_or_else(|| match &field {
+                    Some(f) => format!("{name}_{f}"),
+                    None if arg_expr.is_some() => format!("{name}_{}", aggs.len()),
+                    None => name.clone(),
+                });
+                // Reuse an existing spec with the same function+argument.
                 let existing = aggs
                     .iter()
-                    .find(|a| a.func == func && a.field == field)
+                    .find(|a| a.func == func && a.field == field && a.expr == arg_expr)
                     .map(|a| a.out_name.clone());
                 let col = match existing {
                     Some(c) => c,
@@ -177,6 +179,7 @@ fn rewrite_aggs(expr: &Expr, aggs: &mut Vec<AggSpec>, alias: Option<&str>) -> Re
                         aggs.push(AggSpec {
                             func,
                             field,
+                            expr: arg_expr,
                             out_name: out_name.clone(),
                         });
                         out_name

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use evdb_expr::BoundExpr;
+use evdb_expr::{BoundExpr, CompiledExpr};
 use evdb_types::{Event, Record, Result, Schema, TimestampMs, Value};
 
 /// A streaming operator.
@@ -103,16 +103,17 @@ impl Pipeline {
 
 /// Stateless predicate filter.
 pub struct FilterOp {
-    predicate: BoundExpr,
+    predicate: CompiledExpr,
     schema: Arc<Schema>,
     label: String,
 }
 
 impl FilterOp {
     /// Filter events of `schema` by `predicate` (already bound to it).
+    /// The predicate is compiled to bytecode here, once per query.
     pub fn new(predicate: BoundExpr, schema: Arc<Schema>) -> FilterOp {
         FilterOp {
-            predicate,
+            predicate: CompiledExpr::compile(&predicate),
             schema,
             label: "filter".to_string(),
         }
@@ -139,18 +140,18 @@ impl Operator for FilterOp {
 /// Projection with computed columns: each output field is an expression
 /// over the input record.
 pub struct ProjectOp {
-    exprs: Vec<BoundExpr>,
+    exprs: Vec<CompiledExpr>,
     out_schema: Arc<Schema>,
     label: String,
 }
 
 impl ProjectOp {
     /// `columns` pairs an output field definition with its (bound)
-    /// defining expression.
+    /// defining expression; each is compiled to bytecode here.
     pub fn new(exprs: Vec<BoundExpr>, out_schema: Arc<Schema>) -> ProjectOp {
         assert_eq!(exprs.len(), out_schema.len());
         ProjectOp {
-            exprs,
+            exprs: exprs.iter().map(CompiledExpr::compile).collect(),
             out_schema,
             label: "project".to_string(),
         }

@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use evdb_expr::{BoundExpr, Expr};
+use evdb_expr::{CompiledExpr, Expr};
 use evdb_types::{
     DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
 };
@@ -169,7 +169,8 @@ pub struct PatternMatcher {
 
 struct CompiledStep {
     meta: Step,
-    pred: BoundExpr,
+    /// Step guard, compiled to bytecode at pattern-compile time.
+    pred: CompiledExpr,
 }
 
 impl PatternMatcher {
@@ -182,7 +183,7 @@ impl PatternMatcher {
         let mut steps = Vec::with_capacity(pattern.steps.len());
         for s in &pattern.steps {
             steps.push(CompiledStep {
-                pred: s.predicate.bind_predicate(input)?,
+                pred: CompiledExpr::compile(&s.predicate.bind_predicate(input)?),
                 meta: s.clone(),
             });
         }
@@ -478,7 +479,7 @@ impl Operator for PatternMatcher {
 /// Supports plain SEQ patterns (no optional/kleene/negation) with
 /// `SkipTillAny` semantics.
 pub struct NaiveMatcher {
-    preds: Vec<BoundExpr>,
+    preds: Vec<CompiledExpr>,
     within_ms: i64,
     buffer: Vec<(TimestampMs, Record)>,
 }
@@ -499,7 +500,7 @@ impl NaiveMatcher {
             preds: pattern
                 .steps
                 .iter()
-                .map(|s| s.predicate.bind_predicate(input))
+                .map(|s| Ok(CompiledExpr::compile(&s.predicate.bind_predicate(input)?)))
                 .collect::<Result<_>>()?,
             within_ms: pattern.within_ms,
             buffer: Vec::new(),

@@ -9,6 +9,15 @@
 //! * Division by zero and `x % 0` evaluate to `NULL` (one bad event must
 //!   not poison a million-event stream; callers treat `NULL` predicates as
 //!   non-matches).
+//!
+//! The tree walker operates on **borrowed** values ([`Cow<Value>`]):
+//! field accesses, comparisons, `IS NULL` and `LIKE` never clone record
+//! payloads, so this interpreter is an honest differential-testing oracle
+//! for the compiled engine ([`crate::compile`]) rather than a clone-heavy
+//! strawman. The shared semantics helpers (`three_and`, `three_cmp`,
+//! `arith`, …) are the single source of truth used by both engines.
+
+use std::borrow::Cow;
 
 use evdb_types::{Error, Record, Result, Value};
 
@@ -16,37 +25,36 @@ use crate::ast::{BinaryOp, UnaryOp};
 use crate::bind::BoundExpr;
 use crate::like::like_match;
 
+/// A `Null` with a `'static` borrow, for absent record fields.
+pub(crate) static NULL: Value = Value::Null;
+
 impl BoundExpr {
     /// Evaluate against one record.
     pub fn eval(&self, record: &Record) -> Result<Value> {
+        self.eval_ref(record).map(Cow::into_owned)
+    }
+
+    /// Evaluate as a predicate: `NULL` and `FALSE` are both "no match".
+    pub fn matches(&self, record: &Record) -> Result<bool> {
+        Ok(self.eval_ref(record)?.as_bool().unwrap_or(false))
+    }
+
+    /// Evaluate, borrowing literals and record fields instead of cloning.
+    pub(crate) fn eval_ref<'e>(&'e self, record: &'e Record) -> Result<Cow<'e, Value>> {
         match self {
-            BoundExpr::Literal(v) => Ok(v.clone()),
-            BoundExpr::Field(i) => Ok(record
-                .get(*i)
-                .cloned()
-                .unwrap_or(Value::Null)),
+            BoundExpr::Literal(v) => Ok(Cow::Borrowed(v)),
+            BoundExpr::Field(i) => Ok(Cow::Borrowed(record.get(*i).unwrap_or(&NULL))),
             BoundExpr::Unary { op, expr } => {
-                let v = expr.eval(record)?;
+                let v = expr.eval_ref(record)?;
                 match op {
-                    UnaryOp::Not => Ok(match v.as_bool() {
-                        Some(b) => Value::Bool(!b),
-                        None if v.is_null() => Value::Null,
-                        None => return Err(Error::Type(format!("NOT applied to {v}"))),
-                    }),
-                    UnaryOp::Neg => match v {
-                        Value::Null => Ok(Value::Null),
-                        Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
-                            Error::Invalid("negation overflow".into())
-                        })?)),
-                        Value::Float(f) => Ok(Value::Float(-f)),
-                        v => Err(Error::Type(format!("unary - applied to {v}"))),
-                    },
+                    UnaryOp::Not => not_value(&v).map(Cow::Owned),
+                    UnaryOp::Neg => neg_value(&v).map(Cow::Owned),
                 }
             }
             BoundExpr::Binary { op, left, right } => eval_binary(*op, left, right, record),
             BoundExpr::IsNull { expr, negated } => {
-                let v = expr.eval(record)?;
-                Ok(Value::Bool(v.is_null() != *negated))
+                let v = expr.eval_ref(record)?;
+                Ok(Cow::Owned(Value::Bool(v.is_null() != *negated)))
             }
             BoundExpr::Between {
                 expr,
@@ -54,36 +62,36 @@ impl BoundExpr {
                 high,
                 negated,
             } => {
-                let v = expr.eval(record)?;
-                let lo = low.eval(record)?;
-                let hi = high.eval(record)?;
+                let v = expr.eval_ref(record)?;
+                let lo = low.eval_ref(record)?;
+                let hi = high.eval_ref(record)?;
                 let ge = three_cmp(&v, &lo, BinaryOp::Ge)?;
                 let le = three_cmp(&v, &hi, BinaryOp::Le)?;
-                let both = three_and(ge, le);
-                Ok(three_negate(both, *negated))
+                let both = three_and(&ge, &le);
+                Ok(Cow::Owned(three_negate(&both, *negated)))
             }
             BoundExpr::InList {
                 expr,
                 list,
                 negated,
             } => {
-                let v = expr.eval(record)?;
+                let v = expr.eval_ref(record)?;
                 if v.is_null() {
-                    return Ok(Value::Null);
+                    return Ok(Cow::Owned(Value::Null));
                 }
                 let mut saw_null = false;
                 for item in list {
-                    let iv = item.eval(record)?;
+                    let iv = item.eval_ref(record)?;
                     if iv.is_null() {
                         saw_null = true;
                     } else if matches!(v.sql_cmp(&iv), Some(std::cmp::Ordering::Equal)) {
-                        return Ok(Value::Bool(!*negated));
+                        return Ok(Cow::Owned(Value::Bool(!*negated)));
                     }
                 }
                 if saw_null {
-                    Ok(Value::Null)
+                    Ok(Cow::Owned(Value::Null))
                 } else {
-                    Ok(Value::Bool(*negated))
+                    Ok(Cow::Owned(Value::Bool(*negated)))
                 }
             }
             BoundExpr::Like {
@@ -91,20 +99,16 @@ impl BoundExpr {
                 pattern,
                 negated,
             } => {
-                let v = expr.eval(record)?;
-                let p = pattern.eval(record)?;
-                match (v.as_str(), p.as_str()) {
-                    (Some(s), Some(pat)) => Ok(Value::Bool(like_match(s, pat) != *negated)),
-                    _ if v.is_null() || p.is_null() => Ok(Value::Null),
-                    _ => Err(Error::Type(format!("LIKE applied to {v} / {p}"))),
-                }
+                let v = expr.eval_ref(record)?;
+                let p = pattern.eval_ref(record)?;
+                like_values(&v, &p, *negated).map(Cow::Owned)
             }
             BoundExpr::Func { func, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    vals.push(a.eval(record)?);
+                    vals.push(a.eval_ref(record)?.into_owned());
                 }
-                (func.call)(&vals)
+                (func.call)(&vals).map(Cow::Owned)
             }
             BoundExpr::Case {
                 operand,
@@ -112,7 +116,7 @@ impl BoundExpr {
                 else_expr,
             } => {
                 let scrutinee = match operand {
-                    Some(o) => Some(o.eval(record)?),
+                    Some(o) => Some(o.eval_ref(record)?),
                     None => None,
                 };
                 for (w, t) in branches {
@@ -120,68 +124,95 @@ impl BoundExpr {
                         // Operand form: equality; a NULL scrutinee
                         // matches no branch (SQL semantics).
                         Some(s) => {
-                            let wv = w.eval(record)?;
+                            let wv = w.eval_ref(record)?;
                             matches!(s.sql_cmp(&wv), Some(std::cmp::Ordering::Equal))
                         }
                         // Searched form: boolean condition (NULL ⇒ no).
-                        None => w.eval(record)?.as_bool().unwrap_or(false),
+                        None => w.eval_ref(record)?.as_bool().unwrap_or(false),
                     };
                     if taken {
-                        return t.eval(record);
+                        return t.eval_ref(record);
                     }
                 }
                 match else_expr {
-                    Some(e) => e.eval(record),
-                    None => Ok(Value::Null),
+                    Some(e) => e.eval_ref(record),
+                    None => Ok(Cow::Owned(Value::Null)),
                 }
             }
         }
     }
-
-    /// Evaluate as a predicate: `NULL` and `FALSE` are both "no match".
-    pub fn matches(&self, record: &Record) -> Result<bool> {
-        Ok(self.eval(record)?.as_bool().unwrap_or(false))
-    }
 }
 
-fn eval_binary(
+fn eval_binary<'e>(
     op: BinaryOp,
-    left: &BoundExpr,
-    right: &BoundExpr,
-    record: &Record,
-) -> Result<Value> {
+    left: &'e BoundExpr,
+    right: &'e BoundExpr,
+    record: &'e Record,
+) -> Result<Cow<'e, Value>> {
     match op {
         BinaryOp::And => {
             // Kleene AND with short circuit on FALSE.
-            let l = left.eval(record)?;
+            let l = left.eval_ref(record)?;
             if l.as_bool() == Some(false) {
-                return Ok(Value::Bool(false));
+                return Ok(Cow::Owned(Value::Bool(false)));
             }
-            let r = right.eval(record)?;
-            Ok(three_and(l, r))
+            let r = right.eval_ref(record)?;
+            Ok(Cow::Owned(three_and(&l, &r)))
         }
         BinaryOp::Or => {
-            let l = left.eval(record)?;
+            let l = left.eval_ref(record)?;
             if l.as_bool() == Some(true) {
-                return Ok(Value::Bool(true));
+                return Ok(Cow::Owned(Value::Bool(true)));
             }
-            let r = right.eval(record)?;
-            Ok(three_or(l, r))
+            let r = right.eval_ref(record)?;
+            Ok(Cow::Owned(three_or(&l, &r)))
         }
         _ if op.is_comparison() => {
-            let l = left.eval(record)?;
-            let r = right.eval(record)?;
-            three_cmp(&l, &r, op)
+            let l = left.eval_ref(record)?;
+            let r = right.eval_ref(record)?;
+            three_cmp(&l, &r, op).map(Cow::Owned)
         }
         _ => {
-            let l = left.eval(record)?;
-            let r = right.eval(record)?;
-            arith(op, l, r)
+            let l = left.eval_ref(record)?;
+            let r = right.eval_ref(record)?;
+            arith(op, &l, &r).map(Cow::Owned)
         }
     }
 }
 
-fn three_and(a: Value, b: Value) -> Value {
+// ---- shared semantics helpers (used by the interpreter AND the VM) ----
+
+/// Kleene `NOT`; errors on non-boolean non-null operands.
+pub(crate) fn not_value(v: &Value) -> Result<Value> {
+    match v.as_bool() {
+        Some(b) => Ok(Value::Bool(!b)),
+        None if v.is_null() => Ok(Value::Null),
+        None => Err(Error::Type(format!("NOT applied to {v}"))),
+    }
+}
+
+/// Checked numeric negation.
+pub(crate) fn neg_value(v: &Value) -> Result<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+            Error::Invalid("negation overflow".into())
+        })?)),
+        Value::Float(f) => Ok(Value::Float(-f)),
+        v => Err(Error::Type(format!("unary - applied to {v}"))),
+    }
+}
+
+/// SQL `LIKE` over two evaluated operands.
+pub(crate) fn like_values(v: &Value, p: &Value, negated: bool) -> Result<Value> {
+    match (v.as_str(), p.as_str()) {
+        (Some(s), Some(pat)) => Ok(Value::Bool(like_match(s, pat) != negated)),
+        _ if v.is_null() || p.is_null() => Ok(Value::Null),
+        _ => Err(Error::Type(format!("LIKE applied to {v} / {p}"))),
+    }
+}
+
+pub(crate) fn three_and(a: &Value, b: &Value) -> Value {
     match (a.as_bool(), b.as_bool()) {
         (Some(false), _) | (_, Some(false)) => Value::Bool(false),
         (Some(true), Some(true)) => Value::Bool(true),
@@ -189,7 +220,7 @@ fn three_and(a: Value, b: Value) -> Value {
     }
 }
 
-fn three_or(a: Value, b: Value) -> Value {
+pub(crate) fn three_or(a: &Value, b: &Value) -> Value {
     match (a.as_bool(), b.as_bool()) {
         (Some(true), _) | (_, Some(true)) => Value::Bool(true),
         (Some(false), Some(false)) => Value::Bool(false),
@@ -197,7 +228,7 @@ fn three_or(a: Value, b: Value) -> Value {
     }
 }
 
-fn three_negate(v: Value, negate: bool) -> Value {
+pub(crate) fn three_negate(v: &Value, negate: bool) -> Value {
     match (v.as_bool(), negate) {
         (Some(b), true) => Value::Bool(!b),
         (Some(b), false) => Value::Bool(b),
@@ -205,7 +236,7 @@ fn three_negate(v: Value, negate: bool) -> Value {
     }
 }
 
-fn three_cmp(l: &Value, r: &Value, op: BinaryOp) -> Result<Value> {
+pub(crate) fn three_cmp(l: &Value, r: &Value, op: BinaryOp) -> Result<Value> {
     match l.sql_cmp(r) {
         None if l.is_null() || r.is_null() => Ok(Value::Null),
         None => Err(Error::Type(format!("cannot compare {l} with {r}"))),
@@ -224,11 +255,11 @@ fn three_cmp(l: &Value, r: &Value, op: BinaryOp) -> Result<Value> {
     }
 }
 
-fn arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
-    match (&l, &r) {
+    match (l, r) {
         (Value::Int(a), Value::Int(b)) => {
             let a = *a;
             let b = *b;
@@ -256,7 +287,10 @@ fn arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
                     if b == 0 {
                         Ok(Value::Null)
                     } else {
-                        Ok(Value::Int(a.rem_euclid(b)))
+                        // checked: i64::MIN.rem_euclid(-1) would overflow.
+                        a.checked_rem_euclid(b)
+                            .map(Value::Int)
+                            .ok_or_else(|| Error::Invalid("integer overflow in %".into()))
                     }
                 }
                 _ => unreachable!(),

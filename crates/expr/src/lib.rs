@@ -14,6 +14,11 @@
 //!   resolving field names to positions once so per-event evaluation does
 //!   no string lookups,
 //! * **evaluated** with SQL three-valued logic ([`BoundExpr::eval`]),
+//! * **compiled** into flat bytecode ([`CompiledExpr::compile`]) with
+//!   constant folding, conjunct reordering and an allocation-free eval
+//!   loop — the hot path for rule verification, CQ filters and detector
+//!   conditions; the tree-walking interpreter remains the semantics
+//!   oracle (DESIGN.md D11),
 //! * **analyzed** into indexable conjunctive constraints plus a residual
 //!   ([`analysis::analyze`]) — the foundation of the rule matcher's
 //!   scalability on large rule sets.
@@ -39,6 +44,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod bind;
+pub mod compile;
 pub mod eval;
 pub mod functions;
 pub mod like;
@@ -49,6 +55,8 @@ pub mod typecheck;
 pub use analysis::{analyze, ConjunctiveForm, Constraint};
 pub use ast::{BinaryOp, Expr, UnaryOp};
 pub use bind::BoundExpr;
+pub use compile::{compiler_stats, CompiledExpr, CompilerStats, FoldStats};
+pub use like::LikePattern;
 pub use parser::parse;
 
 use evdb_types::{Record, Result, Schema, Value};

@@ -3,40 +3,153 @@
 //! `%` matches any run of characters (including empty), `_` matches exactly
 //! one character. Matching is performed over Unicode scalar values with the
 //! classic greedy two-pointer algorithm — O(n·m) worst case, linear in
-//! practice — so no regex engine or per-call allocation is needed.
+//! practice. The matcher walks both strings by byte index, decoding one
+//! scalar at a time, so there is genuinely no per-call allocation.
+//!
+//! [`LikePattern`] additionally classifies a *constant* pattern once at
+//! compile time into its shape — exact / prefix / suffix / infix — so the
+//! common shapes reduce to a single `starts_with` / `ends_with` /
+//! `contains` over the candidate text instead of the generic backtracking
+//! walk (DESIGN.md D11).
 
 /// Does `text` match the LIKE `pattern`?
 pub fn like_match(text: &str, pattern: &str) -> bool {
-    let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
+    let t = text.as_bytes();
+    let p = pattern.as_bytes();
+    // Byte cursors into text and pattern.
     let (mut ti, mut pi) = (0usize, 0usize);
-    // Position to backtrack to: index after the last '%', and the text
-    // index where that '%' started absorbing characters.
+    // Position to backtrack to: pattern index after the last '%', and the
+    // text index where that '%' started absorbing characters.
     let mut star: Option<usize> = None;
     let mut star_t = 0usize;
 
     while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            ti += 1;
+        if pi < p.len() && p[pi] == b'_' {
+            ti += char_len(t, ti);
             pi += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star = Some(pi);
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some(pi + 1);
             star_t = ti;
             pi += 1;
+        } else if pi < p.len() && chars_eq(t, ti, p, pi) {
+            let n = char_len(t, ti);
+            ti += n;
+            pi += n;
         } else if let Some(s) = star {
             // Let the last '%' absorb one more character and retry.
-            pi = s + 1;
-            star_t += 1;
+            pi = s;
+            star_t += char_len(t, star_t);
             ti = star_t;
         } else {
             return false;
         }
     }
     // Remaining pattern must be all '%'.
-    while pi < p.len() && p[pi] == '%' {
+    while pi < p.len() && p[pi] == b'%' {
         pi += 1;
     }
     pi == p.len()
+}
+
+/// Byte length of the UTF-8 scalar starting at `i` (valid UTF-8 assumed).
+#[inline]
+fn char_len(s: &[u8], i: usize) -> usize {
+    match s[i] {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+/// Do the scalars starting at `t[ti]` and `p[pi]` match exactly?
+#[inline]
+fn chars_eq(t: &[u8], ti: usize, p: &[u8], pi: usize) -> bool {
+    let n = char_len(t, ti);
+    pi + n <= p.len() && t[ti..ti + n] == p[pi..pi + n]
+}
+
+/// Shape of a constant LIKE pattern, classified once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Shape {
+    /// No wildcards: plain equality.
+    Exact,
+    /// `lit%`.
+    Prefix,
+    /// `%lit`.
+    Suffix,
+    /// `%lit%`.
+    Infix,
+    /// Anything else (`_`, interior `%`…): generic backtracking walk.
+    Generic,
+}
+
+/// A LIKE pattern parsed once at compile time.
+///
+/// The common shapes (`IBM%`, `%corp`, `%error%`, exact strings) skip the
+/// generic matcher entirely; everything else falls back to [`like_match`]
+/// over the stored pattern text — still allocation-free per call.
+#[derive(Debug, Clone)]
+pub struct LikePattern {
+    pattern: Box<str>,
+    /// The literal payload for the specialized shapes.
+    lit: Box<str>,
+    shape: Shape,
+}
+
+impl LikePattern {
+    /// Classify `pattern` into its matching shape.
+    pub fn new(pattern: &str) -> LikePattern {
+        let shape = if pattern.contains('_') {
+            Shape::Generic
+        } else {
+            let pct = pattern.bytes().filter(|b| *b == b'%').count();
+            let starts = pattern.starts_with('%');
+            let ends = pattern.ends_with('%');
+            match (pct, starts, ends) {
+                (0, _, _) => Shape::Exact,
+                (1, false, true) => Shape::Prefix,
+                (1, true, false) => Shape::Suffix,
+                // "%" alone: prefix match on the empty literal.
+                (1, true, true) => Shape::Prefix,
+                (2, true, true) if pattern.len() >= 2 => Shape::Infix,
+                _ => Shape::Generic,
+            }
+        };
+        let lit = match shape {
+            Shape::Exact | Shape::Generic => pattern,
+            Shape::Prefix => pattern.trim_end_matches('%'),
+            Shape::Suffix => pattern.trim_start_matches('%'),
+            Shape::Infix => &pattern[1..pattern.len() - 1],
+        };
+        LikePattern {
+            pattern: pattern.into(),
+            lit: lit.into(),
+            shape,
+        }
+    }
+
+    /// Does `text` match this pattern?
+    #[inline]
+    pub fn matches(&self, text: &str) -> bool {
+        match self.shape {
+            Shape::Exact => text == &*self.lit,
+            Shape::Prefix => text.starts_with(&*self.lit),
+            Shape::Suffix => text.ends_with(&*self.lit),
+            Shape::Infix => text.contains(&*self.lit),
+            Shape::Generic => like_match(text, &self.pattern),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether this pattern compiled to a specialized (non-generic) shape.
+    pub fn is_specialized(&self) -> bool {
+        self.shape != Shape::Generic
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +198,53 @@ mod tests {
         assert!(like_match("héllo", "h_llo"));
         assert!(like_match("日本語テキスト", "日本%スト"));
         assert!(!like_match("日本", "日本_"));
+        // Multi-byte scalars must not match byte prefixes of each other.
+        assert!(!like_match("é", "è"));
+        assert!(like_match("naïve", "na_ve"));
+    }
+
+    #[test]
+    fn precompiled_shapes() {
+        let cases = [
+            ("IBM", Shape::Exact),
+            ("IBM%", Shape::Prefix),
+            ("%corp", Shape::Suffix),
+            ("%error%", Shape::Infix),
+            ("%", Shape::Prefix),
+            ("a%b", Shape::Generic),
+            ("a_c", Shape::Generic),
+            ("%a%b%", Shape::Generic),
+            // "%%" reduces to infix search for the empty literal — always
+            // true, same as the generic walk.
+            ("%%", Shape::Infix),
+        ];
+        for (pat, want) in cases {
+            let p = LikePattern::new(pat);
+            assert_eq!(p.shape, want, "shape of {pat:?}");
+        }
+    }
+
+    /// The precompiled matcher must agree with the generic walk on every
+    /// pattern shape × text combination.
+    #[test]
+    fn precompiled_agrees_with_generic() {
+        let patterns = [
+            "", "%", "%%", "abc", "abc%", "%abc", "%abc%", "a%c", "a_c", "_bc", "ab_",
+            "%iss%ppi", "日本%", "%スト", "h_llo",
+        ];
+        let texts = [
+            "", "abc", "abcd", "xabc", "xabcx", "aXc", "ab", "mississippi", "日本語テキスト",
+            "héllo", "abcabc",
+        ];
+        for pat in patterns {
+            let p = LikePattern::new(pat);
+            for t in texts {
+                assert_eq!(
+                    p.matches(t),
+                    like_match(t, pat),
+                    "pattern {pat:?} text {t:?}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,52 @@
+//! Fold-at-compile-time regression test (D11): constant subtrees —
+//! BETWEEN bounds in particular — are evaluated exactly once, when the
+//! expression is compiled, and never again per event. Asserted through
+//! the process-wide fold-statistics counters (D9: the optimizer's work
+//! is observable, not silent).
+
+use evdb_expr::{compiler_stats, parse, CompiledExpr};
+use evdb_types::{DataType, FieldDef, Record, Schema, Value};
+
+#[test]
+fn between_bounds_fold_exactly_once_per_compile() {
+    let schema = Schema::new(vec![FieldDef::nullable("a", DataType::Int)]).unwrap();
+    let bound = parse("a BETWEEN 10 * 10 AND 10 * 10 + 50")
+        .unwrap()
+        .bind_predicate(&schema)
+        .unwrap();
+
+    let before = compiler_stats();
+    let compiled = CompiledExpr::compile(&bound);
+    let after_compile = compiler_stats();
+
+    // Both computed bounds collapsed to constants at compile time…
+    assert_eq!(after_compile.compiled_total - before.compiled_total, 1);
+    assert_eq!(
+        after_compile.folded_subtrees - before.folded_subtrees,
+        2,
+        "expected exactly the two BETWEEN bounds to fold"
+    );
+    assert_eq!(compiled.fold_stats().folded_subtrees, 2);
+
+    // …and evaluation does no further folding work: the counters are
+    // compile-time-only, so a million events re-evaluate nothing.
+    for i in 0..1000 {
+        let r = Record::new(vec![Value::Int(i)]);
+        let expect = (100..=150).contains(&i);
+        assert_eq!(compiled.matches(&r).unwrap(), expect);
+    }
+    let after_eval = compiler_stats();
+    assert_eq!(
+        after_eval.folded_subtrees, after_compile.folded_subtrees,
+        "evaluation must not re-run the folder"
+    );
+    assert_eq!(after_eval.compiled_total, after_compile.compiled_total);
+
+    // Recompiling pays the fold again — once per compile, not per event.
+    let _again = CompiledExpr::compile(&bound);
+    let after_recompile = compiler_stats();
+    assert_eq!(
+        after_recompile.folded_subtrees - after_eval.folded_subtrees,
+        2
+    );
+}

@@ -58,15 +58,16 @@ impl QueueConfig {
     }
 
     /// Reject configurations that break the delivery state machine:
-    /// a non-positive visibility timeout would make every dequeued
-    /// message instantly redeliverable, and zero `max_attempts` can
-    /// neither deliver nor dead-letter. Checked at queue creation and
-    /// again when metadata is loaded from storage (a stored negative
-    /// `max_attempts` must not wrap through the `u32` cast).
+    /// a negative visibility timeout is meaningless (zero is allowed —
+    /// it makes every dequeued message instantly redeliverable, the
+    /// mode pump-driven retry loops rely on), and zero `max_attempts`
+    /// can neither deliver nor dead-letter. Checked at queue creation
+    /// and again when metadata is loaded from storage (a stored
+    /// negative `max_attempts` must not wrap through the `u32` cast).
     pub fn validate(&self) -> Result<()> {
-        if self.visibility_timeout_ms <= 0 {
+        if self.visibility_timeout_ms < 0 {
             return Err(Error::Invalid(format!(
-                "queue visibility_timeout_ms must be positive (got {})",
+                "queue visibility_timeout_ms must be non-negative (got {})",
                 self.visibility_timeout_ms
             )));
         }
@@ -106,8 +107,10 @@ mod tests {
     #[test]
     fn validate_rejects_degenerate_configs() {
         assert!(QueueConfig::default().validate().is_ok());
+        // Zero visibility = instantly redeliverable: valid (dist's
+        // pump-driven retry tests depend on it).
+        assert!(QueueConfig::default().visibility_timeout(0).validate().is_ok());
         for bad in [
-            QueueConfig::default().visibility_timeout(0),
             QueueConfig::default().visibility_timeout(-5),
             QueueConfig::default().max_attempts(0),
             QueueConfig::default().retention(0),

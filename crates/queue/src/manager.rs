@@ -1007,7 +1007,7 @@ impl QueueManager {
         predicate: &evdb_expr::Expr,
     ) -> Result<Vec<Message>> {
         let schema = self.queue_schema(queue)?;
-        let bound = predicate.bind_predicate(&schema)?;
+        let bound = evdb_expr::CompiledExpr::compile(&predicate.bind_predicate(&schema)?);
         let mut out = Vec::new();
         for m in self.browse(queue, usize::MAX)? {
             if bound.matches(&m.payload)? {
@@ -1492,7 +1492,7 @@ mod tests {
     fn create_queue_rejects_invalid_config() {
         let (_db, mgr, _clock) = setup();
         for bad in [
-            QueueConfig::default().visibility_timeout(0),
+            QueueConfig::default().visibility_timeout(-1),
             QueueConfig::default().max_attempts(0),
             QueueConfig::default().retention(-1),
         ] {
@@ -1529,10 +1529,11 @@ mod tests {
         db.update(META, &Value::from("orders"), huge).unwrap();
         assert!(QueueManager::attach(Arc::clone(&db)).is_err());
 
-        // And a stored non-positive visibility timeout is rejected too.
-        let mut zero_vis = row.clone();
-        zero_vis.set(2, Value::Int(0));
-        db.update(META, &Value::from("orders"), zero_vis).unwrap();
+        // And a stored negative visibility timeout is rejected too
+        // (zero is legal: instantly-redeliverable mode).
+        let mut neg_vis = row.clone();
+        neg_vis.set(2, Value::Int(-1));
+        db.update(META, &Value::from("orders"), neg_vis).unwrap();
         assert!(QueueManager::attach(Arc::clone(&db)).is_err());
 
         db.update(META, &Value::from("orders"), row).unwrap();

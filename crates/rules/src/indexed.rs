@@ -21,12 +21,22 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use evdb_expr::{analyze, BoundExpr, Constraint};
+use evdb_expr::{analyze, BoundExpr, CompiledExpr, Constraint};
 use evdb_obs::{Counter, Registry};
 use evdb_types::{Error, Record, Result, Schema, Value};
 
 use crate::matcher::Matcher;
 use crate::rule::{Rule, RuleId};
+
+/// How candidate predicates are verified (experiment E15 compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Bytecode programs compiled at registration (the production path).
+    #[default]
+    Compiled,
+    /// The tree-walking interpreter (differential-testing oracle).
+    Interpreted,
+}
 
 /// Where a rule's access posting lives, for removal.
 #[derive(Debug, Clone)]
@@ -39,8 +49,21 @@ enum Posting {
 
 #[derive(Debug)]
 struct RuleMeta {
+    /// Interpreter form (oracle; used in [`VerifyMode::Interpreted`]).
     predicate: BoundExpr,
+    /// Bytecode form (hot path; used in [`VerifyMode::Compiled`]).
+    compiled: CompiledExpr,
     posting: Posting,
+}
+
+impl RuleMeta {
+    #[inline]
+    fn verify(&self, record: &Record, mode: VerifyMode) -> Result<bool> {
+        match mode {
+            VerifyMode::Compiled => self.compiled.matches(record),
+            VerifyMode::Interpreted => self.predicate.matches(record),
+        }
+    }
 }
 
 /// Entry in the low-keyed range structure.
@@ -93,6 +116,8 @@ pub struct IndexedMatcher {
     /// Rules with no indexable access constraint.
     unindexed: BTreeMap<RuleId, ()>,
     seq: u64,
+    /// Which engine verifies candidate predicates.
+    verify_mode: VerifyMode,
     /// Candidate rules probed per record (index hits + unindexed fallbacks).
     candidates_obs: Option<Arc<Counter>>,
     /// Rules whose full predicate matched.
@@ -120,9 +145,17 @@ impl IndexedMatcher {
             rules: HashMap::new(),
             unindexed: BTreeMap::new(),
             seq: 0,
+            verify_mode: VerifyMode::default(),
             candidates_obs: None,
             matches_obs: None,
         }
+    }
+
+    /// Select the candidate-verification engine (default:
+    /// [`VerifyMode::Compiled`]). The interpreted mode exists for
+    /// differential testing and the E15 comparison.
+    pub fn set_verify_mode(&mut self, mode: VerifyMode) {
+        self.verify_mode = mode;
     }
 
     /// Register candidate/match counters with `registry`
@@ -151,6 +184,7 @@ impl Matcher for IndexedMatcher {
             return Err(Error::AlreadyExists(format!("rule {}", rule.id)));
         }
         let predicate = rule.predicate.bind_predicate(&self.schema)?;
+        let compiled = CompiledExpr::compile(&predicate);
         let form = analyze(&rule.predicate);
 
         // Access-path selection: the highest-ranked constraint wins.
@@ -233,7 +267,14 @@ impl Matcher for IndexedMatcher {
             }
         };
 
-        self.rules.insert(rule.id, RuleMeta { predicate, posting });
+        self.rules.insert(
+            rule.id,
+            RuleMeta {
+                predicate,
+                compiled,
+                posting,
+            },
+        );
         Ok(())
     }
 
@@ -322,13 +363,13 @@ impl Matcher for IndexedMatcher {
         let mut out = Vec::new();
         for id in candidates {
             let meta = &self.rules[&id];
-            if meta.predicate.matches(record)? {
+            if meta.verify(record, self.verify_mode)? {
                 out.push(id);
             }
         }
         // Unindexed rules: evaluate outright.
         for id in self.unindexed.keys() {
-            if self.rules[id].predicate.matches(record)? {
+            if self.rules[id].verify(record, self.verify_mode)? {
                 out.push(*id);
             }
         }
@@ -505,6 +546,33 @@ mod tests {
                 scan.match_record(&r).unwrap(),
                 "disagreement on {r}"
             );
+        }
+    }
+
+    #[test]
+    fn verify_modes_agree() {
+        let mut m = IndexedMatcher::new(schema());
+        let preds = [
+            "sym = 'A' AND px > 10",
+            "sym LIKE 'S%' AND qty BETWEEN 2 AND 8",
+            "px * 2 > qty",
+            "length(sym) = 2 AND px < 50",
+        ];
+        for (i, p) in preds.iter().enumerate() {
+            m.add_rule(Rule::new(i as u64, "", parse(p).unwrap())).unwrap();
+        }
+        let records = [
+            rec("A", 11.0, 1),
+            rec("S7", 3.0, 5),
+            rec("ZZ", 49.0, 97),
+            rec("A", 1.0, 1),
+        ];
+        for r in &records {
+            let compiled = m.match_record(r).unwrap();
+            m.set_verify_mode(VerifyMode::Interpreted);
+            let interpreted = m.match_record(r).unwrap();
+            m.set_verify_mode(VerifyMode::Compiled);
+            assert_eq!(compiled, interpreted, "mode disagreement on {r}");
         }
     }
 }

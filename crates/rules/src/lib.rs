@@ -31,7 +31,7 @@ pub mod rule;
 pub mod scan;
 
 pub use broker::{Broker, Publication, SubscriptionInfo};
-pub use indexed::IndexedMatcher;
+pub use indexed::{IndexedMatcher, VerifyMode};
 pub use matcher::Matcher;
 pub use rule::{Rule, RuleId};
 pub use scan::ScanMatcher;

@@ -3,16 +3,18 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use evdb_expr::BoundExpr;
+use evdb_expr::CompiledExpr;
 use evdb_types::{Error, Record, Result, Schema};
 
 use crate::matcher::Matcher;
 use crate::rule::{Rule, RuleId};
 
 /// O(rules)-per-record matcher; the comparison point for experiment E3.
+/// Predicates are compiled to bytecode at registration like the indexed
+/// matcher's, so E3 compares indexing strategies, not eval engines.
 pub struct ScanMatcher {
     schema: Arc<Schema>,
-    rules: BTreeMap<RuleId, BoundExpr>,
+    rules: BTreeMap<RuleId, CompiledExpr>,
 }
 
 impl ScanMatcher {
@@ -31,7 +33,7 @@ impl Matcher for ScanMatcher {
             return Err(Error::AlreadyExists(format!("rule {}", rule.id)));
         }
         let bound = rule.predicate.bind_predicate(&self.schema)?;
-        self.rules.insert(rule.id, bound);
+        self.rules.insert(rule.id, CompiledExpr::compile(&bound));
         Ok(())
     }
 

@@ -214,7 +214,7 @@ impl Table {
     /// and falling back to a full scan otherwise. Rows are returned in
     /// unspecified order.
     pub fn select(&self, predicate: &Expr) -> Result<Vec<Record>> {
-        let bound = predicate.bind_predicate(&self.def.schema)?;
+        let bound = evdb_expr::CompiledExpr::compile(&predicate.bind_predicate(&self.def.schema)?);
         let form = analyze(predicate);
         let inner = self.inner.read();
 

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use evdb_expr::{BoundExpr, Expr};
+use evdb_expr::{CompiledExpr, Expr};
 use evdb_types::{Result, Schema};
 
 use crate::change::{ChangeEvent, ChangeKind};
@@ -91,8 +91,9 @@ pub struct TriggerDef {
     /// Optional WHEN predicate over the row image (the new image for
     /// insert/update, the old image for delete).
     pub when: Option<Expr>,
-    /// Predicate bound against the table schema at registration time.
-    pub(crate) when_bound: Option<BoundExpr>,
+    /// Predicate bound against the table schema and compiled to bytecode
+    /// at registration time.
+    pub(crate) when_bound: Option<CompiledExpr>,
     /// The action to run.
     pub action: TriggerAction,
 }
@@ -123,7 +124,7 @@ impl TriggerDef {
         action: TriggerAction,
     ) -> Result<TriggerDef> {
         let when_bound = match &when {
-            Some(e) => Some(e.bind_predicate(schema)?),
+            Some(e) => Some(CompiledExpr::compile(&e.bind_predicate(schema)?)),
             None => None,
         };
         Ok(TriggerDef {

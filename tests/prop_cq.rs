@@ -20,26 +20,31 @@ fn aggs() -> Vec<AggSpec> {
         AggSpec {
             func: AggFunc::Count,
             field: None,
+            expr: None,
             out_name: "n".into(),
         },
         AggSpec {
             func: AggFunc::Sum,
             field: Some("x".into()),
+            expr: None,
             out_name: "s".into(),
         },
         AggSpec {
             func: AggFunc::Min,
             field: Some("x".into()),
+            expr: None,
             out_name: "lo".into(),
         },
         AggSpec {
             func: AggFunc::Max,
             field: Some("x".into()),
+            expr: None,
             out_name: "hi".into(),
         },
         AggSpec {
             func: AggFunc::StdDev,
             field: Some("x".into()),
+            expr: None,
             out_name: "sd".into(),
         },
     ]
@@ -143,7 +148,7 @@ proptest! {
             &schema,
             WindowSpec::CountTumbling { count },
             &[], // global grouping: windows close every `count` events
-            vec![AggSpec { func: AggFunc::Count, field: None, out_name: "n".into() }],
+            vec![AggSpec { func: AggFunc::Count, field: None, expr: None, out_name: "n".into() }],
             AggMode::Incremental,
         ).unwrap();
         let mut out = Vec::new();
