@@ -38,6 +38,7 @@ fn main() {
         ("e13", experiments::e13_observability::run),
         ("e14", experiments::e14_overload::run),
         ("e15", experiments::e15_compiled::run),
+        ("e16", experiments::e16_retraction::run),
     ];
 
     println!(

@@ -1,0 +1,271 @@
+//! E16 — speculation vs finality on out-of-order streams (DESIGN.md D12).
+//!
+//! Workload: a fixed tick stream (3 symbols, one event per 10 ms of
+//! event time) pushed through the same tumbling-window aggregate at both
+//! consistency levels, under three arrival-disorder distributions:
+//!
+//! * **none** — in-order arrival;
+//! * **mild** — 10% of events delayed up to 1/4 of the allowed lateness;
+//! * **heavy** — 50% of events delayed up to the full allowed lateness.
+//!
+//! Per arm we record the delta traffic (inserts, retractions, pane
+//! reopens, late admissions/drops) and the **emission lag**: how far
+//! stream time had advanced past a window's end when its result (or a
+//! correction) was emitted. `EMIT SPECULATIVE` answers as soon as event
+//! time passes the window end — at the cost of retractions under
+//! disorder; `EMIT WATERMARK` always waits out the full lateness bound
+//! but never retracts.
+//!
+//! Asserted at quick scale (CI): all six arms converge to the identical
+//! compacted answer; watermark arms emit exactly zero retractions;
+//! speculative arms balance exactly (`emitted == final + retracted`);
+//! the heavy arm actually exercises revision (retractions > 0); and
+//! speculative lag stays below watermark lag whenever lateness > 0.
+
+use evdb_cq::aggregate::AggMode;
+use evdb_cq::delta::{ConsistencyLevel, DeltaLog};
+use evdb_cq::{compile_query, StreamRuntime};
+use evdb_types::{DataType, Record, Schema, TimestampMs, Value};
+
+use super::{Scale, Table};
+
+const LATENESS_MS: i64 = 2_000;
+const PERIOD_MS: i64 = 10;
+const WIDTH_MS: i64 = 1_000;
+
+/// Arrival-disorder distribution: (fraction delayed ‰, max delay ms).
+#[derive(Clone, Copy)]
+struct Disorder {
+    name: &'static str,
+    per_mille: u64,
+    max_delay_ms: i64,
+}
+
+const DISTRIBUTIONS: [Disorder; 3] = [
+    Disorder { name: "none", per_mille: 0, max_delay_ms: 0 },
+    Disorder { name: "mild", per_mille: 100, max_delay_ms: LATENESS_MS / 4 },
+    Disorder { name: "heavy", per_mille: 500, max_delay_ms: LATENESS_MS },
+];
+
+/// Deterministic xorshift so Quick/Full runs are reproducible.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The tick stream in arrival order: (event time, symbol, measure).
+fn workload(n: usize, d: Disorder) -> Vec<(i64, u8, i64)> {
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut ticks: Vec<(i64, i64, u8, i64)> = (0..n)
+        .map(|i| {
+            let ts = i as i64 * PERIOD_MS;
+            let delay = if d.per_mille > 0 && xorshift(&mut rng) % 1_000 < d.per_mille {
+                (xorshift(&mut rng) % d.max_delay_ms.max(1) as u64) as i64
+            } else {
+                0
+            };
+            (ts + delay, ts, (i % 3) as u8, (i % 100) as i64)
+        })
+        .collect();
+    ticks.sort_by_key(|(arrival, ts, _, _)| (*arrival, *ts));
+    ticks.into_iter().map(|(_, ts, sym, x)| (ts, sym, x)).collect()
+}
+
+struct ArmResult {
+    emitted: u64,
+    retracted: u64,
+    final_rows: usize,
+    reopens: u64,
+    late_admitted: u64,
+    late_dropped: u64,
+    /// Mean event-time ms between a window's end and the stream position
+    /// at which its (insert) result was emitted.
+    mean_lag_ms: f64,
+    compacted: Vec<String>,
+}
+
+fn run_arm(feed: &[(i64, u8, i64)], level: ConsistencyLevel) -> ArmResult {
+    let schema = Schema::of(&[("sym", DataType::Str), ("x", DataType::Float)]);
+    let rt = StreamRuntime::new(LATENESS_MS);
+    rt.create_stream("ticks", schema.clone()).unwrap();
+    let emit = match level {
+        ConsistencyLevel::Speculative => "SPECULATIVE",
+        ConsistencyLevel::Watermark => "WATERMARK",
+    };
+    let cql = format!(
+        "SELECT sym, window_end, count() AS n, sum(x) AS s \
+         FROM ticks [RANGE {WIDTH_MS} ms] GROUP BY sym EMIT {emit}"
+    );
+    let pipeline = compile_query(&cql, &schema, AggMode::Incremental).unwrap();
+    rt.register_query_with("q", "ticks", pipeline, level).unwrap();
+
+    let mut log = DeltaLog::default();
+    let mut lag_sum = 0i64;
+    let mut lag_n = 0u64;
+    let mut max_ts = i64::MIN;
+    let mut observe = |outs: Vec<evdb_types::Event>, max_ts: i64, log: &mut DeltaLog| {
+        for out in outs {
+            if !out.is_retraction() {
+                if let Some(Value::Timestamp(end)) = out.payload.get(1) {
+                    lag_sum += (max_ts - end.0).max(0);
+                    lag_n += 1;
+                }
+            }
+            log.observe(&out);
+        }
+    };
+    for (ts, sym, x) in feed {
+        max_ts = max_ts.max(*ts);
+        let payload = Record::from_iter([
+            Value::from(format!("s{sym}").as_str()),
+            Value::Float(*x as f64),
+        ]);
+        let outs = rt.push("ticks", TimestampMs(*ts), payload).unwrap();
+        observe(outs, max_ts, &mut log);
+    }
+    let outs = rt.flush("ticks", TimestampMs(i64::MAX / 8)).unwrap();
+    // Trailing flush is end-of-stream bookkeeping, not lag signal.
+    for out in outs {
+        log.observe(&out);
+    }
+    let stats = rt.cq_delta_stats();
+    ArmResult {
+        emitted: log.inserted(),
+        retracted: log.retracted(),
+        final_rows: log.len(),
+        reopens: stats.pane_reopens,
+        late_admitted: stats.late_admitted,
+        late_dropped: stats.late_events,
+        mean_lag_ms: if lag_n == 0 { 0.0 } else { lag_sum as f64 / lag_n as f64 },
+        compacted: log.rows(),
+    }
+}
+
+/// Run E16.
+pub fn run(scale: Scale) -> Table {
+    let n = scale.pick(4_000, 200_000);
+    let mut table = Table::new(
+        "E16: out-of-order — retraction rate and latency vs finality",
+        &[
+            "disorder",
+            "level",
+            "emitted",
+            "retracted",
+            "final",
+            "retr_rate",
+            "reopens",
+            "late_adm",
+            "late_drop",
+            "lag_ms",
+        ],
+    );
+
+    for d in DISTRIBUTIONS {
+        let feed = workload(n, d);
+        let mut reference: Option<Vec<String>> = None;
+        for (label, level) in [
+            ("watermark", ConsistencyLevel::Watermark),
+            ("speculative", ConsistencyLevel::Speculative),
+        ] {
+            let r = run_arm(&feed, level);
+            // Both levels converge to the same compacted answer — the
+            // experiment's core claim, asserted on every run.
+            match &reference {
+                None => reference = Some(r.compacted.clone()),
+                Some(want) => assert_eq!(
+                    &r.compacted, want,
+                    "levels diverged on the '{}' distribution",
+                    d.name
+                ),
+            }
+            assert_eq!(
+                r.emitted,
+                r.final_rows as u64 + r.retracted,
+                "delta accounting must balance on {}/{label}",
+                d.name
+            );
+            if level == ConsistencyLevel::Watermark {
+                assert_eq!(r.retracted, 0, "watermark arm {} retracted", d.name);
+            }
+            table.row(vec![
+                d.name.into(),
+                label.into(),
+                r.emitted.to_string(),
+                r.retracted.to_string(),
+                r.final_rows.to_string(),
+                format!("{:.4}", r.retracted as f64 / r.emitted.max(1) as f64),
+                r.reopens.to_string(),
+                r.late_admitted.to_string(),
+                r.late_dropped.to_string(),
+                format!("{:.1}", r.mean_lag_ms),
+            ]);
+        }
+    }
+    table.note(format!(
+        "{n} events, period {PERIOD_MS} ms, window {WIDTH_MS} ms, allowed lateness \
+         {LATENESS_MS} ms; delays bounded by the lateness so nothing is dropped"
+    ));
+    table.note(
+        "invariants (asserted): both levels converge to the identical compacted answer \
+         per distribution; watermark arms emit zero retractions; emitted == final + retracted",
+    );
+    table.note(
+        "lag_ms = mean event-time distance between a window's end and the stream position \
+         at emission: speculation answers ~lateness earlier, paying in retractions",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_and_accounts_at_quick_scale() {
+        let t = run(Scale::Quick); // run() itself asserts convergence/accounting
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let (disorder, level) = (row[0].as_str(), row[1].as_str());
+            let retracted: u64 = row[3].parse().unwrap();
+            let lag: f64 = row[9].parse().unwrap();
+            if level == "watermark" {
+                assert_eq!(retracted, 0, "{disorder}/watermark retracted");
+                // Watermark output waits out the full lateness bound.
+                assert!(lag >= LATENESS_MS as f64 * 0.9, "{disorder} lag {lag}");
+            } else {
+                // Speculation answers well before the lateness bound.
+                assert!(lag < LATENESS_MS as f64 * 0.5, "{disorder} lag {lag}");
+            }
+            if disorder == "heavy" && level == "speculative" {
+                assert!(retracted > 0, "heavy disorder must exercise revision");
+            }
+            if disorder == "none" {
+                assert_eq!(retracted, 0, "in-order arrival never retracts");
+            }
+        }
+    }
+
+    #[test]
+    fn disorder_distributions_are_bounded_by_lateness() {
+        for d in DISTRIBUTIONS {
+            let feed = workload(500, d);
+            let mut sorted = feed.clone();
+            sorted.sort_by_key(|(ts, _, _)| *ts);
+            // Arrival displacement never exceeds the allowed lateness:
+            // at any point the high-water mark minus the current event
+            // time is at most max_delay.
+            let mut max_ts = i64::MIN;
+            for (ts, _, _) in &feed {
+                max_ts = max_ts.max(*ts);
+                assert!(max_ts - ts <= d.max_delay_ms.max(0));
+            }
+            if d.per_mille == 0 {
+                assert_eq!(feed, sorted);
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E15 (see DESIGN.md §5 for the mapping
+//! Experiment implementations E1–E16 (see DESIGN.md §5 for the mapping
 //! to paper claims, and EXPERIMENTS.md for recorded results).
 //!
 //! Each experiment exposes `run(scale) -> Table`: `Scale::Quick` for CI
@@ -19,6 +19,7 @@ pub mod e12_torture;
 pub mod e13_observability;
 pub mod e14_overload;
 pub mod e15_compiled;
+pub mod e16_retraction;
 
 /// Workload size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +129,7 @@ pub fn run_all(scale: Scale) -> String {
         e13_observability::run(scale),
         e14_overload::run(scale),
         e15_compiled::run(scale),
+        e16_retraction::run(scale),
     ];
     for t in tables {
         out.push_str(&t.render());

@@ -135,10 +135,19 @@ pub struct ServerConfig {
     /// What happens to producers when the staged buffer is full
     /// (DESIGN.md D10). Default: [`OverloadPolicy::Block`].
     pub overload: OverloadPolicy,
+    /// Capacity of the replay-dedup window keyed by (stream, event id):
+    /// duplicate deliveries — a re-mined WAL prefix after recovery, an
+    /// at-least-once capture adapter retrying — are dropped and counted
+    /// instead of double-counting in windows (DESIGN.md D12). `0`
+    /// disables dedup.
+    pub dedup_capacity: usize,
 }
 
 /// Default [`ServerConfig::ingest_capacity`]: 2^20 staged events.
 pub const DEFAULT_INGEST_CAPACITY: usize = 1 << 20;
+
+/// Default [`ServerConfig::dedup_capacity`]: 2^16 recently-seen ids.
+pub const DEFAULT_DEDUP_CAPACITY: usize = 1 << 16;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -150,6 +159,7 @@ impl Default for ServerConfig {
             registry: Arc::new(Registry::new()),
             ingest_capacity: DEFAULT_INGEST_CAPACITY,
             overload: OverloadPolicy::default(),
+            dedup_capacity: DEFAULT_DEDUP_CAPACITY,
         }
     }
 }
@@ -245,6 +255,9 @@ impl EventServer {
         let journal_lag = registry.gauge("evdb_storage_journal_lag");
         let mut rt = StreamRuntime::new(config.lateness_ms);
         rt.bind_obs(&registry);
+        if config.dedup_capacity > 0 {
+            rt.enable_dedup(config.dedup_capacity);
+        }
         let runtime = Arc::new(rt);
         let metrics = Arc::new(Metrics::default());
         let notifications = Arc::new(NotificationCenter::new(
@@ -326,6 +339,27 @@ impl EventServer {
         });
         let rt = Arc::clone(runtime);
         registry.gauge_fn("evdb_cq_window_memory", move || rt.window_memory() as f64);
+        // Out-of-order delta accounting (D12): retractions emitted,
+        // already-emitted panes reopened, late events admitted vs dropped,
+        // and duplicate deliveries suppressed by the replay-dedup window.
+        let rt = Arc::clone(runtime);
+        registry.gauge_fn("evdb_cq_retractions_total", move || {
+            rt.cq_delta_stats().retractions as f64
+        });
+        let rt = Arc::clone(runtime);
+        registry.gauge_fn("evdb_cq_pane_reopens_total", move || {
+            rt.cq_delta_stats().pane_reopens as f64
+        });
+        let rt = Arc::clone(runtime);
+        registry.gauge_fn("evdb_cq_late_admitted_total", move || {
+            rt.cq_delta_stats().late_admitted as f64
+        });
+        let rt = Arc::clone(runtime);
+        registry.gauge_fn("evdb_cq_late_dropped_total", move || {
+            rt.cq_delta_stats().late_events as f64
+        });
+        let rt = Arc::clone(runtime);
+        registry.gauge_fn("evdb_cq_dup_dropped_total", move || rt.dup_dropped() as f64);
         // Admission control: depth plus the no-silent-caps counters
         // (every shed, rejection and dropped capture is visible here).
         let ac = Arc::clone(admission);
@@ -609,16 +643,35 @@ impl EventServer {
     // ---- continuous queries ----------------------------------------------------
 
     /// Register a CQL continuous query. The `FROM` stream must exist.
+    /// The query's `EMIT` clause selects its consistency level (D12);
+    /// the default is retraction-free watermark gating.
     pub fn register_cql(&self, name: &str, cql: &str) -> Result<()> {
         let q = evdb_cq::cql::parse_query(cql)?;
         let input = self.runtime.stream_schema(&q.from)?;
         let pipeline = evdb_cq::cql::compile(&q, &input, self.agg_mode)?;
-        self.runtime.register_query(name, &q.from, pipeline)
+        self.runtime
+            .register_query_with(name, &q.from, pipeline, q.consistency)
     }
 
     /// Subscribe to a query's derived events.
     pub fn on_query(&self, name: &str, subscriber: Subscriber) -> Result<()> {
         self.runtime.subscribe(name, subscriber)
+    }
+
+    /// Subscribe to a query's derived rows with the delta sign made
+    /// explicit: the callback receives `(row, is_retraction)`. Under
+    /// `EMIT SPECULATIVE` a retraction withdraws a previously delivered
+    /// row; under the default watermark level `is_retraction` is always
+    /// false (asserted by the order-equivalence suite).
+    pub fn on_query_updates(
+        &self,
+        name: &str,
+        subscriber: impl Fn(&Record, bool) + Send + Sync + 'static,
+    ) -> Result<()> {
+        self.runtime.subscribe(
+            name,
+            Arc::new(move |event: &Event| subscriber(&event.payload, event.is_retraction())),
+        )
     }
 
     // ---- alert rules -------------------------------------------------------------
@@ -1337,6 +1390,52 @@ mod tests {
         let stats = s.pump().unwrap();
         assert_eq!(stats.derived, 2); // two ROWS-2 windows closed
         assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn speculative_query_delivers_signed_deltas() {
+        // Allowed lateness keeps the finality horizon behind the eager
+        // emissions so the 900ms straggler is revisable, not dropped.
+        let s = EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(1_000)),
+            lateness_ms: 2_000,
+            ..Default::default()
+        })
+        .unwrap();
+        s.create_stream(
+            "ticks",
+            Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]),
+        )
+        .unwrap();
+        s.register_cql(
+            "spec",
+            "SELECT count() AS n FROM ticks [RANGE 1 s] EMIT SPECULATIVE",
+        )
+        .unwrap();
+        let seen: Arc<parking_lot::Mutex<Vec<(i64, bool)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        s.on_query_updates("spec", move |row, retract| {
+            if let Some(Value::Int(n)) = row.get(0) {
+                sink.lock().push((*n, retract));
+            }
+        })
+        .unwrap();
+        let tick = |px: f64| Record::from_iter([Value::from("A"), Value::Float(px)]);
+        s.ingest("ticks", TimestampMs(100), tick(1.0)).unwrap();
+        // Event time crosses the pane end → eager emission of n=1…
+        s.ingest("ticks", TimestampMs(1_200), tick(1.0)).unwrap();
+        // …then a late event revises it: retract n=1, insert n=2.
+        s.ingest("ticks", TimestampMs(900), tick(1.0)).unwrap();
+        assert_eq!(
+            *seen.lock(),
+            vec![(1, false), (1, true), (2, false)]
+        );
+        // The revision is visible in the exposition (D9 no-silent-work).
+        let text = s.registry().render();
+        assert!(text.contains("evdb_cq_retractions_total 1"), "{text}");
+        assert!(text.contains("evdb_cq_pane_reopens_total 1"), "{text}");
+        assert!(text.contains("evdb_cq_late_admitted_total 1"), "{text}");
     }
 
     #[test]

@@ -16,6 +16,27 @@
 //!
 //! Count and session windows are inherently per-group/per-event and share
 //! one implementation path (they have no panes).
+//!
+//! # Consistency levels (DESIGN.md D12)
+//!
+//! Time windows run at one of two [`ConsistencyLevel`]s:
+//!
+//! * **Watermark** (default) — a window is emitted only once the
+//!   watermark passes its end, so every output row is final and the
+//!   stream is retraction-free. Events whose every containing window is
+//!   already final are dropped (`late_events`).
+//! * **Speculative** — a window is emitted as soon as event time passes
+//!   its end (assume in-order arrival, answer now). A late event landing
+//!   inside an already-emitted, not-yet-final window *re-opens* it: the
+//!   operator emits a retraction of the stale row followed by the
+//!   corrected insert. Finality is still the watermark: once a window's
+//!   end is ≤ the watermark its panes and emitted-row memory are pruned
+//!   and older events are dropped. Per D9 every path is counted:
+//!   `late_admitted`, `pane_reopens`, `retractions`, `late_events`.
+//!
+//! Count and session windows are defined by arrival order/gaps rather
+//! than event-time boundaries, so the consistency level does not change
+//! their behavior.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -25,7 +46,8 @@ use evdb_types::{
     DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
 };
 
-use crate::op::{key_of, Operator};
+use crate::delta::ConsistencyLevel;
+use crate::op::{key_of, OpStats, Operator};
 use crate::window::WindowSpec;
 
 /// Aggregate function.
@@ -336,6 +358,16 @@ pub struct WindowAggregateOp {
     next_window_start: i64,
     started: bool,
 
+    // Speculative state.
+    consistency: ConsistencyLevel,
+    /// Last emitted row per (window start, group) — kept until the window
+    /// is final so a reopen knows what to retract.
+    emitted: BTreeMap<i64, HashMap<Vec<Value>, Record>>,
+    /// Highest event timestamp seen (speculative emission frontier).
+    max_event_ts: i64,
+    /// Highest watermark seen (finality horizon).
+    final_wm: i64,
+
     // Count/session state.
     count_state: HashMap<Vec<Value>, SessionState>,
     counts: HashMap<Vec<Value>, usize>,
@@ -344,6 +376,12 @@ pub struct WindowAggregateOp {
     emit_seq: u64,
     /// Late (dropped) events — observability.
     pub late_events: u64,
+    /// Late events admitted into already-emitted windows (speculative).
+    pub late_admitted: u64,
+    /// Already-emitted windows re-opened by late events (speculative).
+    pub pane_reopens: u64,
+    /// Retraction rows emitted (speculative).
+    pub retractions: u64,
     label: String,
 }
 
@@ -412,13 +450,32 @@ impl WindowAggregateOp {
             raw: BTreeMap::new(),
             next_window_start: i64::MIN,
             started: false,
+            consistency: ConsistencyLevel::default(),
+            emitted: BTreeMap::new(),
+            max_event_ts: i64::MIN,
+            final_wm: i64::MIN,
             count_state: HashMap::new(),
             counts: HashMap::new(),
             seq: 0,
             emit_seq: 0,
             late_events: 0,
+            late_admitted: 0,
+            pane_reopens: 0,
+            retractions: 0,
             label: "window_aggregate".to_string(),
         })
+    }
+
+    /// Set the consistency level (DESIGN.md D12). Defaults to
+    /// [`ConsistencyLevel::Watermark`].
+    pub fn with_consistency(mut self, level: ConsistencyLevel) -> WindowAggregateOp {
+        self.consistency = level;
+        self
+    }
+
+    /// The configured consistency level.
+    pub fn consistency(&self) -> ConsistencyLevel {
+        self.consistency
     }
 
     fn agg_inputs(&self, rec: &Record) -> Result<Vec<Option<Value>>> {
@@ -436,6 +493,43 @@ impl WindowAggregateOp {
         self.aggs.iter().map(|(s, _)| Acc::new(s.func)).collect()
     }
 
+    /// Width and slide of a time window (`None` for count/session).
+    fn time_window_dims(&self) -> Option<(i64, i64)> {
+        match self.window {
+            WindowSpec::Tumbling { width_ms } => Some((width_ms, width_ms)),
+            WindowSpec::Sliding { width_ms, slide_ms } => Some((width_ms, slide_ms)),
+            _ => None,
+        }
+    }
+
+    /// Assemble one output row.
+    fn result_record(&self, group: &[Value], start: TimestampMs, end: TimestampMs, accs: &[Acc]) -> Record {
+        let mut values: Vec<Value> = group.to_vec();
+        values.push(Value::Timestamp(start));
+        values.push(Value::Timestamp(end));
+        for a in accs {
+            values.push(a.finalize());
+        }
+        Record::new(values)
+    }
+
+    /// Emit one delta (insert or retraction) with a fresh output id.
+    fn emit_record(&mut self, record: Record, end: TimestampMs, retraction: bool, out: &mut Vec<Event>) {
+        self.emit_seq += 1;
+        let mut e = Event::new(
+            EventId(self.emit_seq),
+            "window",
+            end,
+            record,
+            Arc::clone(&self.out_schema),
+        );
+        e.retraction = retraction;
+        if retraction {
+            self.retractions += 1;
+        }
+        out.push(e);
+    }
+
     fn emit(
         &mut self,
         group: &[Value],
@@ -444,33 +538,81 @@ impl WindowAggregateOp {
         accs: &[Acc],
         out: &mut Vec<Event>,
     ) {
-        let mut values: Vec<Value> = group.to_vec();
-        values.push(Value::Timestamp(start));
-        values.push(Value::Timestamp(end));
-        for a in accs {
-            values.push(a.finalize());
-        }
-        self.emit_seq += 1;
-        out.push(Event::new(
-            EventId(self.emit_seq),
-            "window",
-            end,
-            Record::new(values),
-            Arc::clone(&self.out_schema),
-        ));
+        let record = self.result_record(group, start, end, accs);
+        self.emit_record(record, end, false, out);
     }
 
-    fn close_time_windows(&mut self, wm: TimestampMs, out: &mut Vec<Event>) -> Result<()> {
-        let (width, slide) = match self.window {
-            WindowSpec::Tumbling { width_ms } => (width_ms, width_ms),
-            WindowSpec::Sliding { width_ms, slide_ms } => (width_ms, slide_ms),
-            _ => return Ok(()),
+    /// All groups' accumulators for the window `[s, s + width)`.
+    fn window_groups(&self, s: i64, width: i64) -> Result<HashMap<Vec<Value>, Vec<Acc>>> {
+        match self.mode {
+            AggMode::Incremental => {
+                let mut merged: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+                for (_, groups) in self.panes.range(s..s + width) {
+                    for (g, accs) in groups {
+                        let entry = merged.entry(g.clone()).or_insert_with(|| self.fresh_accs());
+                        for (m, a) in entry.iter_mut().zip(accs) {
+                            m.merge(a);
+                        }
+                    }
+                }
+                Ok(merged)
+            }
+            AggMode::Recompute => {
+                let mut computed: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+                for (_, rows) in self.raw.range(s..s + width) {
+                    for (g, inputs, ts, seq) in rows {
+                        let accs = computed.entry(g.clone()).or_insert_with(|| self.fresh_accs());
+                        for (a, v) in accs.iter_mut().zip(inputs) {
+                            a.update(v.as_ref(), *ts, *seq)?;
+                        }
+                    }
+                }
+                Ok(computed)
+            }
+        }
+    }
+
+    /// One group's accumulators for the window `[s, s + width)`.
+    fn window_group_accs(&self, s: i64, width: i64, group: &[Value]) -> Result<Vec<Acc>> {
+        let mut accs = self.fresh_accs();
+        match self.mode {
+            AggMode::Incremental => {
+                for (_, groups) in self.panes.range(s..s + width) {
+                    if let Some(part) = groups.get(group) {
+                        for (m, a) in accs.iter_mut().zip(part) {
+                            m.merge(a);
+                        }
+                    }
+                }
+            }
+            AggMode::Recompute => {
+                for (_, rows) in self.raw.range(s..s + width) {
+                    for (g, inputs, ts, seq) in rows {
+                        if g.as_slice() == group {
+                            for (a, v) in accs.iter_mut().zip(inputs) {
+                                a.update(v.as_ref(), *ts, *seq)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(accs)
+    }
+
+    /// Emit every not-yet-emitted window ending at or before `frontier`,
+    /// advancing `next_window_start`. Speculative mode records emitted
+    /// rows (for later retraction); Watermark mode does not need to.
+    fn emit_up_to(&mut self, frontier: i64, out: &mut Vec<Event>) -> Result<()> {
+        let (width, slide) = match self.time_window_dims() {
+            Some(dims) => dims,
+            None => return Ok(()),
         };
         if !self.started {
             return Ok(());
         }
-        // Candidate window starts s with s + width ≤ wm, s ≥ next_window_start,
-        // and at least one pane with data in [s, s+width).
+        // Candidate window starts s with s + width ≤ frontier,
+        // s ≥ next_window_start, and at least one pane with data.
         let pane_keys: Vec<i64> = match self.mode {
             AggMode::Incremental => self.panes.keys().copied().collect(),
             AggMode::Recompute => self.raw.keys().copied().collect(),
@@ -480,7 +622,7 @@ impl WindowAggregateOp {
             // Windows containing pane ps start in (ps - width, ps].
             let mut s = ps;
             while s > ps - width {
-                if s >= self.next_window_start && s + width <= wm.0 {
+                if s >= self.next_window_start && s + width <= frontier {
                     starts.push(s);
                 }
                 s -= slide;
@@ -489,57 +631,103 @@ impl WindowAggregateOp {
         starts.sort_unstable();
         starts.dedup();
 
+        let speculative = self.consistency == ConsistencyLevel::Speculative;
         for s in starts {
             let start = TimestampMs(s);
             let end = TimestampMs(s + width);
-            match self.mode {
-                AggMode::Incremental => {
-                    let mut merged: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-                    for (_, groups) in self.panes.range(s..s + width) {
-                        for (g, accs) in groups {
-                            let entry = merged
-                                .entry(g.clone())
-                                .or_insert_with(|| self.fresh_accs());
-                            for (m, a) in entry.iter_mut().zip(accs) {
-                                m.merge(a);
-                            }
-                        }
-                    }
-                    let mut keys: Vec<Vec<Value>> = merged.keys().cloned().collect();
-                    keys.sort();
-                    for g in keys {
-                        let accs = &merged[&g];
-                        self.emit(&g, start, end, &accs.clone(), out);
-                    }
+            let groups = self.window_groups(s, width)?;
+            let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
+            keys.sort();
+            for g in keys {
+                let record = self.result_record(&g, start, end, &groups[&g]);
+                if speculative {
+                    self.emitted.entry(s).or_default().insert(g, record.clone());
                 }
-                AggMode::Recompute => {
-                    let mut computed: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-                    for (_, rows) in self.raw.range(s..s + width) {
-                        for (g, inputs, ts, seq) in rows {
-                            let accs = computed
-                                .entry(g.clone())
-                                .or_insert_with(|| self.fresh_accs());
-                            for (a, v) in accs.iter_mut().zip(inputs) {
-                                a.update(v.as_ref(), *ts, *seq)?;
-                            }
-                        }
-                    }
-                    let mut keys: Vec<Vec<Value>> = computed.keys().cloned().collect();
-                    keys.sort();
-                    for g in keys {
-                        let accs = computed[&g].clone();
-                        self.emit(&g, start, end, &accs, out);
-                    }
-                }
+                self.emit_record(record, end, false, out);
             }
             self.next_window_start = self.next_window_start.max(s + slide);
         }
-        // Prune panes whose last containing window (starting at the pane
-        // itself) has been emitted.
-        let boundary = self.next_window_start;
-        self.panes = self.panes.split_off(&boundary);
-        self.raw = self.raw.split_off(&boundary);
         Ok(())
+    }
+
+    fn close_time_windows(&mut self, wm: TimestampMs, out: &mut Vec<Event>) -> Result<()> {
+        let (width, _) = match self.time_window_dims() {
+            Some(dims) => dims,
+            None => return Ok(()),
+        };
+        match self.consistency {
+            ConsistencyLevel::Watermark => {
+                self.emit_up_to(wm.0, out)?;
+                // Prune panes whose last containing window (starting at
+                // the pane itself) has been emitted.
+                let boundary = self.next_window_start;
+                self.panes = self.panes.split_off(&boundary);
+                self.raw = self.raw.split_off(&boundary);
+            }
+            ConsistencyLevel::Speculative => {
+                self.final_wm = self.final_wm.max(wm.0);
+                // Windows complete by event time were already emitted on
+                // arrival; the watermark may still be ahead of event time
+                // (e.g. an explicit flush), so cover both frontiers.
+                self.emit_up_to(self.max_event_ts.max(wm.0), out)?;
+                // Finality: a pane (and its emitted-row memory) can still
+                // be revised only while some containing window is open,
+                // i.e. while ps + width > final_wm.
+                let boundary = self.final_wm - width + 1;
+                self.panes = self.panes.split_off(&boundary);
+                self.raw = self.raw.split_off(&boundary);
+                self.emitted = self.emitted.split_off(&boundary);
+            }
+        }
+        Ok(())
+    }
+
+    /// Speculative mode: after folding an event into pane `ps`, revise
+    /// already-emitted windows the event belongs to (retract stale row,
+    /// insert corrected row), then emit windows newly complete by event
+    /// time.
+    fn speculate(&mut self, ps: i64, group: &[Value], out: &mut Vec<Event>) -> Result<()> {
+        let (width, slide) = self.time_window_dims().expect("time window");
+        let mut reopened = false;
+        // Windows containing pane ps start in (ps - width, ps]; those
+        // before next_window_start are already emitted.
+        let mut s = ps;
+        while s > ps - width {
+            if s < self.next_window_start && s + width > self.final_wm {
+                reopened = true;
+                self.pane_reopens += 1;
+                let start = TimestampMs(s);
+                let end = TimestampMs(s + width);
+                let accs = self.window_group_accs(s, width, group)?;
+                let record = self.result_record(group, start, end, &accs);
+                let prev = self.emitted.entry(s).or_default().get(group).cloned();
+                match prev {
+                    Some(old) if old == record => {} // revision was a no-op
+                    Some(old) => {
+                        self.emitted
+                            .get_mut(&s)
+                            .expect("slot exists")
+                            .insert(group.to_vec(), record.clone());
+                        self.emit_record(old, end, true, out);
+                        self.emit_record(record, end, false, out);
+                    }
+                    None => {
+                        // A group this window never emitted: plain insert.
+                        self.emitted
+                            .get_mut(&s)
+                            .expect("slot exists")
+                            .insert(group.to_vec(), record.clone());
+                        self.emit_record(record, end, false, out);
+                    }
+                }
+            }
+            s -= slide;
+        }
+        if reopened {
+            self.late_admitted += 1;
+        }
+        // Emit windows the new event-time frontier completes.
+        self.emit_up_to(self.max_event_ts, out)
     }
 }
 
@@ -551,12 +739,30 @@ impl Operator for WindowAggregateOp {
         match self.window {
             WindowSpec::Tumbling { .. } | WindowSpec::Sliding { .. } => {
                 let pane_ms = self.window.pane_ms().expect("time window has panes");
+                let (width, _) = self.time_window_dims().expect("time window");
                 let ps = event.timestamp.window_start(pane_ms).0;
-                if self.started && ps < self.next_window_start {
-                    self.late_events += 1;
-                    return Ok(());
+                match self.consistency {
+                    ConsistencyLevel::Watermark => {
+                        // Emission is gated on the watermark, so the
+                        // emitted boundary *is* the finality horizon.
+                        if self.started && ps < self.next_window_start {
+                            self.late_events += 1;
+                            return Ok(());
+                        }
+                    }
+                    ConsistencyLevel::Speculative => {
+                        // Emission runs ahead of the watermark; only drop
+                        // when every containing window is final (the
+                        // latest one ends at ps + width).
+                        if ps + width <= self.final_wm {
+                            self.late_events += 1;
+                            return Ok(());
+                        }
+                    }
                 }
                 self.started = true;
+                let speculative = self.consistency == ConsistencyLevel::Speculative;
+                let spec_group = if speculative { Some(group.clone()) } else { None };
                 match self.mode {
                     AggMode::Incremental => {
                         let inputs = self.agg_inputs(&event.payload)?;
@@ -578,6 +784,10 @@ impl Operator for WindowAggregateOp {
                             .or_default()
                             .push((group, inputs, event.timestamp, seq));
                     }
+                }
+                if let Some(g) = spec_group {
+                    self.max_event_ts = self.max_event_ts.max(event.timestamp.0);
+                    self.speculate(ps, &g, out)?;
                 }
             }
             WindowSpec::CountTumbling { count } => {
@@ -666,8 +876,18 @@ impl Operator for WindowAggregateOp {
     fn state_size(&self) -> usize {
         self.panes.values().map(|g| g.len()).sum::<usize>()
             + self.raw.values().map(|r| r.len()).sum::<usize>()
+            + self.emitted.values().map(|g| g.len()).sum::<usize>()
             + self.count_state.len()
             + self.counts.len()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        OpStats {
+            late_events: self.late_events,
+            late_admitted: self.late_admitted,
+            pane_reopens: self.pane_reopens,
+            retractions: self.retractions,
+        }
     }
 }
 
@@ -867,6 +1087,182 @@ mod tests {
         op.on_watermark(TimestampMs(1_000), &mut out).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload.get(2), Some(&Value::Int(2)));
+    }
+
+    /// Speculative op used by the retraction tests: global count + sum.
+    fn spec_op(mode: AggMode, window: WindowSpec) -> WindowAggregateOp {
+        WindowAggregateOp::new(
+            &schema(),
+            window,
+            &["sym"],
+            vec![
+                agg("n", AggFunc::Count, None),
+                agg("total", AggFunc::Sum, Some("px")),
+            ],
+            mode,
+        )
+        .unwrap()
+        .with_consistency(ConsistencyLevel::Speculative)
+    }
+
+    #[test]
+    fn speculative_emits_on_event_time_and_retracts_on_late_data() {
+        for mode in [AggMode::Incremental, AggMode::Recompute] {
+            let mut op = spec_op(mode, WindowSpec::Tumbling { width_ms: 1000 });
+            let mut out = Vec::new();
+            op.on_event(&ev(100, "A", 10.0), &mut out).unwrap();
+            assert!(out.is_empty(), "window not complete yet");
+            // Event time passes the window end → speculative emission.
+            op.on_event(&ev(1_100, "A", 2.0), &mut out).unwrap();
+            assert_eq!(out.len(), 1);
+            assert!(!out[0].is_retraction());
+            assert_eq!(out[0].payload.get(3), Some(&Value::Int(1)));
+            // Late event inside the emitted (non-final) window: the op
+            // retracts the stale row and emits the corrected one.
+            op.on_event(&ev(900, "A", 5.0), &mut out).unwrap();
+            assert_eq!(out.len(), 3);
+            assert!(out[1].is_retraction());
+            assert_eq!(out[1].payload, out[0].payload); // cancels the insert
+            assert!(!out[2].is_retraction());
+            assert_eq!(out[2].payload.get(3), Some(&Value::Int(2)));
+            assert_eq!(out[2].payload.get(4), Some(&Value::Float(15.0)));
+            assert_eq!(op.late_admitted, 1);
+            assert_eq!(op.pane_reopens, 1);
+            assert_eq!(op.retractions, 1);
+            assert_eq!(op.late_events, 0);
+        }
+    }
+
+    #[test]
+    fn speculative_admission_is_bounded_by_watermark_not_emission() {
+        // Satellite regression: an event older than the emitted boundary
+        // but newer than the finality horizon must be admitted; one
+        // beyond the horizon must be dropped — with exact accounting.
+        let mut op = spec_op(AggMode::Incremental, WindowSpec::Tumbling { width_ms: 1000 });
+        let mut out = Vec::new();
+        op.on_event(&ev(100, "A", 10.0), &mut out).unwrap();
+        op.on_event(&ev(1_100, "A", 2.0), &mut out).unwrap(); // emits [0,1000)
+        assert_eq!(out.len(), 1);
+        // Emitted boundary is 1000, watermark still −∞: pre-boundary
+        // events are *admitted* (the old code dropped them).
+        op.on_event(&ev(900, "A", 5.0), &mut out).unwrap();
+        assert_eq!((op.late_admitted, op.late_events), (1, 0));
+        // Finalize [0,1000) and [1000,2000).
+        op.on_watermark(TimestampMs(2_000), &mut out).unwrap();
+        // Beyond the finality horizon: dropped and counted.
+        let before = out.len();
+        op.on_event(&ev(500, "A", 1.0), &mut out).unwrap();
+        assert_eq!(out.len(), before);
+        assert_eq!((op.late_admitted, op.late_events), (1, 1));
+        // D9 accounting: inserts == live rows + retractions.
+        let inserts = out.iter().filter(|e| !e.is_retraction()).count() as u64;
+        let retracts = out.iter().filter(|e| e.is_retraction()).count() as u64;
+        assert_eq!(retracts, op.retractions);
+        assert_eq!(inserts, 3); // [0,1000) twice (v1, corrected v2) + [1000,2000)
+        assert_eq!(inserts - retracts, 2); // two final rows
+    }
+
+    #[test]
+    fn speculative_noop_revision_emits_nothing() {
+        // A late event that doesn't change the emitted row (min
+        // unaffected) reopens the pane but emits no delta.
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            WindowSpec::Tumbling { width_ms: 1000 },
+            &[],
+            vec![agg("lo", AggFunc::Min, Some("px"))],
+            AggMode::Incremental,
+        )
+        .unwrap()
+        .with_consistency(ConsistencyLevel::Speculative);
+        let mut out = Vec::new();
+        op.on_event(&ev(100, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(1_100, "A", 9.0), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        op.on_event(&ev(900, "A", 7.0), &mut out).unwrap(); // min stays 1.0
+        assert_eq!(out.len(), 1);
+        assert_eq!(op.pane_reopens, 1);
+        assert_eq!(op.retractions, 0);
+        assert_eq!(op.late_admitted, 1);
+    }
+
+    #[test]
+    fn speculative_sliding_revises_every_containing_window() {
+        let mut op = spec_op(
+            AggMode::Incremental,
+            WindowSpec::Sliding { width_ms: 200, slide_ms: 100 },
+        );
+        let mut out = Vec::new();
+        op.on_event(&ev(150, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(450, "A", 2.0), &mut out).unwrap();
+        // Emitted: [0,200) and [100,300) (contain 150); [200,400) has no data.
+        let emitted: Vec<i64> = out
+            .iter()
+            .map(|e| match e.payload.get(1) {
+                Some(Value::Timestamp(t)) => t.0,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(emitted, vec![0, 100]);
+        // Late event at 170 lands in both emitted windows → both revised.
+        op.on_event(&ev(170, "A", 10.0), &mut out).unwrap();
+        assert_eq!(op.pane_reopens, 2);
+        assert_eq!(op.retractions, 2);
+        assert_eq!(op.late_admitted, 1);
+        let retract_starts: Vec<i64> = out
+            .iter()
+            .filter(|e| e.is_retraction())
+            .map(|e| match e.payload.get(1) {
+                Some(Value::Timestamp(t)) => t.0,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        // speculate() walks containing windows newest-first.
+        assert_eq!(retract_starts, vec![100, 0]);
+    }
+
+    #[test]
+    fn speculative_late_event_into_unemitted_group_inserts_without_retraction() {
+        let mut op = spec_op(AggMode::Incremental, WindowSpec::Tumbling { width_ms: 1000 });
+        let mut out = Vec::new();
+        op.on_event(&ev(100, "A", 1.0), &mut out).unwrap();
+        op.on_event(&ev(1_100, "A", 2.0), &mut out).unwrap(); // [0,1000): only A
+        assert_eq!(out.len(), 1);
+        // Late event for a group the window never emitted: plain insert.
+        op.on_event(&ev(800, "B", 3.0), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(!out[1].is_retraction());
+        assert_eq!(out[1].payload.get(0), Some(&Value::from("B")));
+        assert_eq!(op.retractions, 0);
+        assert_eq!(op.pane_reopens, 1);
+    }
+
+    #[test]
+    fn watermark_mode_emits_zero_retractions() {
+        let events = [
+            ev(100, "A", 10.0),
+            ev(1_100, "A", 2.0),
+            ev(900, "A", 5.0), // late: dropped at Watermark level
+        ];
+        let w = WindowSpec::Tumbling { width_ms: 1000 };
+        let mut op = WindowAggregateOp::new(
+            &schema(),
+            w,
+            &["sym"],
+            vec![agg("n", AggFunc::Count, None)],
+            AggMode::Incremental,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        op.on_event(&events[0], &mut out).unwrap();
+        op.on_watermark(TimestampMs(1_000), &mut out).unwrap();
+        for e in &events[1..] {
+            op.on_event(e, &mut out).unwrap();
+        }
+        op.on_watermark(TimestampMs(3_000), &mut out).unwrap();
+        assert!(out.iter().all(|e| !e.is_retraction()));
+        assert_eq!(op.retractions, 0);
+        assert_eq!(op.op_stats().late_events, 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! SELECT item {, item}
 //! FROM <stream> [window] [WHERE expr] [GROUP BY field {, field}] [HAVING expr]
+//!     [EMIT SPECULATIVE | EMIT WATERMARK]
 //!
 //! item   := expr [AS name]            -- over group fields / window_start / window_end
 //!         | agg(field) [AS name]      -- count/sum/avg/min/max/stddev/first/last
@@ -17,6 +18,11 @@
 //! window or any aggregate appears) → `HAVING` → projection. Aggregates in
 //! the select list and HAVING are rewritten to references to the
 //! aggregation operator's output columns.
+//!
+//! `EMIT` selects the per-query consistency level (D12): `WATERMARK` (the
+//! default) gates output on the watermark and never retracts; `SPECULATIVE`
+//! emits eagerly on event time and issues retraction/correction pairs when
+//! late events revise an already-emitted pane.
 
 use std::sync::Arc;
 
@@ -26,6 +32,7 @@ use evdb_expr::Expr;
 use evdb_types::{Error, FieldDef, Result, Schema};
 
 use crate::aggregate::{AggFunc, AggMode, AggSpec, WindowAggregateOp};
+use crate::delta::ConsistencyLevel;
 use crate::op::{FilterOp, Operator, Pipeline, ProjectOp};
 use crate::window::WindowSpec;
 
@@ -44,6 +51,8 @@ pub struct Query {
     pub group_by: Vec<String>,
     /// HAVING predicate.
     pub having: Option<Expr>,
+    /// `EMIT` consistency level (default: [`ConsistencyLevel::Watermark`]).
+    pub consistency: ConsistencyLevel,
 }
 
 /// Parse CQL text.
@@ -117,6 +126,20 @@ pub fn parse_query(src: &str) -> Result<Query> {
     } else {
         None
     };
+    let consistency = if p.eat_keyword("EMIT") {
+        let level = p.expect_ident()?;
+        match level.to_ascii_uppercase().as_str() {
+            "SPECULATIVE" => ConsistencyLevel::Speculative,
+            "WATERMARK" => ConsistencyLevel::Watermark,
+            other => {
+                return Err(Error::Invalid(format!(
+                    "EMIT expects SPECULATIVE or WATERMARK, got '{other}'"
+                )))
+            }
+        }
+    } else {
+        ConsistencyLevel::default()
+    };
     let _ = p.eat(&TokenKind::Semi);
     p.expect_eof()?;
     Ok(Query {
@@ -126,6 +149,7 @@ pub fn parse_query(src: &str) -> Result<Query> {
         where_clause,
         group_by,
         having,
+        consistency,
     })
 }
 
@@ -356,7 +380,8 @@ pub fn compile(q: &Query, input: &Arc<Schema>, mode: AggMode) -> Result<Pipeline
     };
 
     let group_refs: Vec<&str> = q.group_by.iter().map(String::as_str).collect();
-    let agg_op = WindowAggregateOp::new(input, window, &group_refs, aggs, mode)?;
+    let agg_op = WindowAggregateOp::new(input, window, &group_refs, aggs, mode)?
+        .with_consistency(q.consistency);
     let agg_schema = agg_op.output_schema();
     ops.push(Box::new(agg_op));
 
@@ -534,6 +559,44 @@ mod tests {
             AggMode::Incremental
         )
         .is_err());
+    }
+
+    #[test]
+    fn parse_emit_clause() {
+        let q = parse_query("SELECT count() AS n FROM s [RANGE 1 s] EMIT SPECULATIVE").unwrap();
+        assert_eq!(q.consistency, ConsistencyLevel::Speculative);
+        let q = parse_query("SELECT count() AS n FROM s [RANGE 1 s] EMIT WATERMARK;").unwrap();
+        assert_eq!(q.consistency, ConsistencyLevel::Watermark);
+        // Default is Watermark (retraction-free).
+        let q = parse_query("SELECT count() AS n FROM s [RANGE 1 s]").unwrap();
+        assert_eq!(q.consistency, ConsistencyLevel::Watermark);
+        assert!(parse_query("SELECT count() FROM s [RANGE 1 s] EMIT EVENTUALLY").is_err());
+    }
+
+    #[test]
+    fn compile_speculative_emits_eagerly_and_retracts() {
+        let mut p = compile_query(
+            "SELECT count() AS n FROM ticks [RANGE 1 s] EMIT SPECULATIVE",
+            &schema(),
+            AggMode::Incremental,
+        )
+        .unwrap();
+        p.push(&ev(100, "A", 1.0)).unwrap();
+        // Event time passes the window end → pane [0,1000) emits eagerly,
+        // no watermark required.
+        let out = p.push(&ev(1_200, "A", 1.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].is_retraction());
+        assert_eq!(out[0].payload.get(0), Some(&Value::Int(1)));
+        // A late event revises the emitted pane: retract + corrected insert.
+        let out = p.push(&ev(900, "A", 1.0)).unwrap();
+        let flags: Vec<(bool, &Value)> = out
+            .iter()
+            .map(|e| (e.is_retraction(), e.payload.get(0).unwrap()))
+            .collect();
+        assert_eq!(flags, vec![(true, &Value::Int(1)), (false, &Value::Int(2))]);
+        assert_eq!(p.op_stats().retractions, 1);
+        assert_eq!(p.op_stats().pane_reopens, 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Delta queries: turning table-state changes into streams.
+//! Delta queries and the insert/retract delta model.
 //!
 //! The tutorial's §2.2.a.iii defines two query-based event notions:
 //!
@@ -11,14 +11,158 @@
 //! Both adapters produce ordinary [`Event`]s whose payload is the row
 //! image plus change metadata, so the rest of the CQ stack is oblivious
 //! to where the events came from.
+//!
+//! Query *output* is a delta stream too (DESIGN.md D12): every derived
+//! event is either an insert or a [`DeltaKind::Retract`]ion of an earlier
+//! insert, following CEDR's speculative-output model ("Consistent
+//! Streaming Through Time", Barga et al.). A [`ConsistencyLevel`] chooses
+//! the trade per query — emit speculatively and retract on late data, or
+//! gate on the watermark and never retract — and [`DeltaLog`] compacts a
+//! delta stream back into its final answer (the convergence oracle the
+//! order-equivalence property tests assert against).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use evdb_expr::Expr;
-use evdb_storage::{ChangeEvent, Database, QuerySnapshot};
+use evdb_storage::{ChangeEvent, ChangeKind, Database, QuerySnapshot};
 use evdb_types::{
     DataType, Event, EventId, FieldDef, IdGenerator, Record, Result, Schema, Value,
 };
+
+/// The two delta kinds a CQ pipeline emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaKind {
+    /// A new result row.
+    Insert,
+    /// Withdrawal of a previously emitted row (same payload, by value).
+    Retract,
+}
+
+impl DeltaKind {
+    /// Classify a derived event.
+    pub fn of(event: &Event) -> DeltaKind {
+        if event.is_retraction() {
+            DeltaKind::Retract
+        } else {
+            DeltaKind::Insert
+        }
+    }
+
+    /// The delta a table change contributes to a monitored result set:
+    /// deletes withdraw the row image, inserts/updates add one.
+    pub fn of_change(kind: ChangeKind) -> DeltaKind {
+        match kind {
+            ChangeKind::Delete => DeltaKind::Retract,
+            ChangeKind::Insert | ChangeKind::Update => DeltaKind::Insert,
+        }
+    }
+}
+
+/// Per-query emission consistency (DESIGN.md D12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyLevel {
+    /// Emit a window result as soon as max event time passes the window
+    /// end; when a late event (newer than the watermark) lands in an
+    /// already-emitted pane, retract the old result and emit a corrected
+    /// insert. Lowest latency; output is a revisable delta stream.
+    Speculative,
+    /// Gate emission on the stream watermark (max event time − allowed
+    /// lateness): output is final and retraction-free, at the cost of
+    /// the lateness bound in latency. The default (and the engine's
+    /// pre-D12 behaviour).
+    #[default]
+    Watermark,
+}
+
+/// Retraction-compacting accumulator over a derived-event stream.
+///
+/// Inserts add a row (by rendered value), retractions cancel one. After
+/// the stream is exhausted, [`DeltaLog::rows`] is the final answer —
+/// identical, for a convergent query, to what an in-order feed would
+/// have produced. Counts satisfy the D9 accounting rule
+/// `inserted == final + retracted` whenever every retraction found its
+/// insert.
+#[derive(Debug, Default)]
+pub struct DeltaLog {
+    counts: HashMap<String, i64>,
+    inserted: u64,
+    retracted: u64,
+}
+
+impl DeltaLog {
+    /// Empty log.
+    pub fn new() -> DeltaLog {
+        DeltaLog::default()
+    }
+
+    /// The rendered-row key used for compaction.
+    pub fn key(event: &Event) -> String {
+        event.payload.to_string()
+    }
+
+    /// Fold one derived event in.
+    pub fn observe(&mut self, event: &Event) {
+        self.observe_keyed(Self::key(event), event.is_retraction());
+    }
+
+    /// Fold a pre-rendered row in (for non-`Event` delta sources).
+    pub fn observe_keyed(&mut self, key: String, retraction: bool) {
+        let delta = if retraction {
+            self.retracted += 1;
+            -1
+        } else {
+            self.inserted += 1;
+            1
+        };
+        let c = self.counts.entry(key.clone()).or_insert(0);
+        *c += delta;
+        if *c == 0 {
+            self.counts.remove(&key);
+        }
+    }
+
+    /// Total insert deltas observed.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Total retraction deltas observed.
+    pub fn retracted(&self) -> u64 {
+        self.retracted
+    }
+
+    /// The compacted multiset, sorted, with multiplicities expanded.
+    /// Rows with non-positive count (a retraction that never matched an
+    /// insert) are reported with a `-` prefix so tests fail loudly
+    /// instead of silently ignoring them.
+    pub fn rows(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, c) in &self.counts {
+            if *c > 0 {
+                for _ in 0..*c {
+                    out.push(k.clone());
+                }
+            } else if *c < 0 {
+                for _ in 0..c.unsigned_abs() {
+                    out.push(format!("-{k}"));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Rows currently live (compacted row count).
+    pub fn len(&self) -> usize {
+        self.counts.values().filter(|c| **c > 0).map(|c| *c as usize).sum()
+    }
+
+    /// True when compaction cancelled everything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Build the event schema for change events over a table schema:
 /// `change STR` + `key`-typed column + the row image columns.
@@ -35,6 +179,12 @@ pub fn change_schema(table_schema: &Schema, key_type: DataType) -> Result<Arc<Sc
 
 /// Convert a storage change event into a stream event.
 /// Deletes carry the before image; inserts/updates the after image.
+///
+/// Journal-mined changes carry an LSN, which becomes the event id: a
+/// WAL prefix replayed after recovery re-produces the *same* event ids,
+/// so the runtime's dedup window can drop the duplicates instead of
+/// double-counting them. Trigger/snapshot changes (no LSN) fall back to
+/// the generator.
 pub fn change_to_event(
     change: &ChangeEvent,
     schema: &Arc<Schema>,
@@ -46,8 +196,12 @@ pub fn change_to_event(
     for v in change.row().values() {
         values.push(v.clone());
     }
+    let id = match change.lsn {
+        Some(lsn) => EventId(lsn),
+        None => EventId(ids.next_id()),
+    };
     let mut event = Event::new(
-        EventId(ids.next_id()),
+        id,
         format!("delta:{}", change.table),
         change.timestamp,
         Record::new(values),
@@ -131,5 +285,80 @@ mod tests {
         assert_eq!(events[0].get("change"), Some(&Value::from("delete")));
         // Delete events carry the before image.
         assert_eq!(events[0].get("qty"), Some(&Value::Int(500)));
+    }
+
+    #[test]
+    fn delta_log_compacts_insert_retract_pairs() {
+        let schema = Schema::of(&[("k", DataType::Str), ("n", DataType::Int)]);
+        let mk = |id: u64, k: &str, n: i64| {
+            Event::new(
+                EventId(id),
+                "q",
+                evdb_types::TimestampMs(0),
+                Record::from_iter([Value::from(k), Value::Int(n)]),
+                Arc::clone(&schema),
+            )
+        };
+        let mut log = DeltaLog::new();
+        let a1 = mk(1, "A", 1);
+        log.observe(&a1); // speculative result
+        log.observe(&mk(2, "B", 7));
+        log.observe(&a1.to_retraction()); // late data revises A
+        log.observe(&mk(3, "A", 2)); // corrected insert
+        assert_eq!(log.inserted(), 3);
+        assert_eq!(log.retracted(), 1);
+        // inserted == final + retracted (D9 accounting).
+        assert_eq!(log.inserted(), log.len() as u64 + log.retracted());
+        let rows = log.rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.contains('2')));
+        assert!(!rows.iter().any(|r| r.starts_with('-')));
+    }
+
+    #[test]
+    fn delta_log_flags_unmatched_retractions() {
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let e = Event::new(
+            EventId(1),
+            "q",
+            evdb_types::TimestampMs(0),
+            Record::from_iter([Value::Int(9)]),
+            schema,
+        );
+        let mut log = DeltaLog::new();
+        log.observe(&e.to_retraction());
+        assert!(log.rows()[0].starts_with('-'));
+        assert!(log.is_empty()); // no live rows
+    }
+
+    #[test]
+    fn change_kinds_map_to_delta_kinds() {
+        assert_eq!(DeltaKind::of_change(ChangeKind::Insert), DeltaKind::Insert);
+        assert_eq!(DeltaKind::of_change(ChangeKind::Update), DeltaKind::Insert);
+        assert_eq!(DeltaKind::of_change(ChangeKind::Delete), DeltaKind::Retract);
+    }
+
+    #[test]
+    fn journal_changes_get_stable_lsn_ids() {
+        let schema = Schema::of(&[("sym", DataType::Str), ("qty", DataType::Int)]);
+        let ev_schema = change_schema(&schema, DataType::Str).unwrap();
+        let change = ChangeEvent {
+            table: "pos".into(),
+            kind: ChangeKind::Insert,
+            key: Value::from("A"),
+            before: None,
+            after: Some(Record::from_iter([Value::from("A"), Value::Int(1)])),
+            txid: 1,
+            lsn: Some(42),
+            timestamp: evdb_types::TimestampMs(5),
+            schema: Arc::clone(&schema),
+            trace: evdb_types::Trace::new(42),
+        };
+        let ids = IdGenerator::default();
+        // Replaying the same WAL entry yields the same event id.
+        let a = change_to_event(&change, &ev_schema, &ids);
+        let b = change_to_event(&change, &ev_schema, &ids);
+        assert_eq!(a.id, EventId(42));
+        assert_eq!(a.id, b.id);
     }
 }

@@ -3,7 +3,10 @@
 //! * [`StreamJoinOp`] — stream-stream equi-join within a time window:
 //!   events from two sources are matched when their join keys are equal
 //!   and their timestamps differ by at most `window_ms`. Symmetric hash
-//!   join; state is pruned by watermark.
+//!   join; state is pruned by watermark. Retraction deltas flow through
+//!   (DESIGN.md D12): a retraction input withdraws one buffered copy of
+//!   its row and emits retractions of every join row the original insert
+//!   could still pair with.
 //! * [`TableLookupOp`] — stream-table join: each event is enriched with
 //!   the current row of a database table whose primary key equals the
 //!   event's join field ("reference data" enrichment). Inner semantics:
@@ -18,7 +21,7 @@ use evdb_types::{
     Error, Event, EventId, Record, Result, Schema, TimestampMs, Value,
 };
 
-use crate::op::Operator;
+use crate::op::{OpStats, Operator};
 
 /// Which input side an event belongs to (set by the runtime or test
 /// harness via the event's `source`).
@@ -36,6 +39,8 @@ pub struct StreamJoinOp {
     left_state: HashMap<Value, Vec<(TimestampMs, Record)>>,
     right_state: HashMap<Value, Vec<(TimestampMs, Record)>>,
     emit_seq: u64,
+    /// Retraction join rows emitted (observability, D9).
+    pub retractions: u64,
     label: String,
 }
 
@@ -70,6 +75,7 @@ impl StreamJoinOp {
             left_state: HashMap::new(),
             right_state: HashMap::new(),
             emit_seq: 0,
+            retractions: 0,
             label: "stream_join".to_string(),
         })
     }
@@ -85,16 +91,22 @@ impl StreamJoinOp {
         left: &Record,
         right: &Record,
         ts: TimestampMs,
+        retraction: bool,
         out: &mut Vec<Event>,
     ) {
         self.emit_seq += 1;
-        out.push(Event::new(
+        let mut e = Event::new(
             EventId(self.emit_seq),
             "join",
             ts,
             left.concat(right),
             Arc::clone(&self.out_schema),
-        ));
+        );
+        e.retraction = retraction;
+        if retraction {
+            self.retractions += 1;
+        }
+        out.push(e);
     }
 }
 
@@ -110,7 +122,11 @@ impl Operator for StreamJoinOp {
             return Ok(()); // null keys never join
         }
         let ts = event.timestamp;
-        // Probe the opposite side.
+        let retraction = event.is_retraction();
+        // Probe the opposite side. For a retraction the same probe finds
+        // every join row the withdrawn insert can still pair with; each
+        // gets a retraction delta. (Partners pruned by the watermark need
+        // no retraction: their join rows are final by then.)
         let matches: Vec<(TimestampMs, Record)> = {
             let other = if is_left {
                 &self.right_state
@@ -130,18 +146,33 @@ impl Operator for StreamJoinOp {
         for (ots, other_rec) in matches {
             let pair_ts = ts.max(ots);
             if is_left {
-                self.emit(&event.payload.clone(), &other_rec, pair_ts, out);
+                self.emit(&event.payload.clone(), &other_rec, pair_ts, retraction, out);
             } else {
-                self.emit(&other_rec, &event.payload.clone(), pair_ts, out);
+                self.emit(&other_rec, &event.payload.clone(), pair_ts, retraction, out);
             }
         }
-        // Insert into own side.
         let own = if is_left {
             &mut self.left_state
         } else {
             &mut self.right_state
         };
-        own.entry(key).or_default().push((ts, event.payload.clone()));
+        if retraction {
+            // Withdraw one buffered copy of the retracted row.
+            if let Some(rows) = own.get_mut(&key) {
+                if let Some(i) = rows
+                    .iter()
+                    .position(|(rts, rec)| *rts == ts && *rec == event.payload)
+                {
+                    rows.remove(i);
+                }
+                if rows.is_empty() {
+                    own.remove(&key);
+                }
+            }
+        } else {
+            // Insert into own side.
+            own.entry(key).or_default().push((ts, event.payload.clone()));
+        }
         Ok(())
     }
 
@@ -167,6 +198,13 @@ impl Operator for StreamJoinOp {
     fn state_size(&self) -> usize {
         self.left_state.values().map(|v| v.len()).sum::<usize>()
             + self.right_state.values().map(|v| v.len()).sum::<usize>()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        OpStats {
+            retractions: self.retractions,
+            ..OpStats::default()
+        }
     }
 }
 
@@ -331,6 +369,55 @@ mod tests {
         j.on_event(&re, &mut out).unwrap();
         assert!(out.is_empty());
         assert_eq!(j.state_size(), 0);
+    }
+
+    #[test]
+    fn retraction_invalidates_prior_join_rows() {
+        let mut j = StreamJoinOp::new(
+            "orders",
+            &order_schema(),
+            &fill_schema(),
+            "oid",
+            "oid",
+            100,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        j.on_event(&order(0, 1, "A"), &mut out).unwrap();
+        j.on_event(&fill(50, 1, 9.5), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(j.state_size(), 2);
+        // The order is revised: its insert is withdrawn.
+        j.on_event(&order(0, 1, "A").to_retraction(), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[1].is_retraction());
+        assert_eq!(out[1].payload, out[0].payload); // cancels the join row
+        assert_eq!(j.retractions, 1);
+        assert_eq!(j.op_stats().retractions, 1);
+        // The buffered copy is gone: a new fill no longer matches it.
+        assert_eq!(j.state_size(), 1);
+        j.on_event(&fill(60, 1, 9.9), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn retraction_withdraws_exactly_one_duplicate_copy() {
+        let mut j = StreamJoinOp::new(
+            "orders",
+            &order_schema(),
+            &fill_schema(),
+            "oid",
+            "oid",
+            100,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        j.on_event(&order(0, 1, "A"), &mut out).unwrap();
+        j.on_event(&order(0, 1, "A"), &mut out).unwrap(); // genuine duplicate row
+        j.on_event(&order(0, 1, "A").to_retraction(), &mut out).unwrap();
+        assert_eq!(j.state_size(), 1); // one copy survives
+        j.on_event(&fill(10, 1, 1.0), &mut out).unwrap();
+        assert_eq!(out.iter().filter(|e| !e.is_retraction()).count(), 1);
     }
 
     #[test]

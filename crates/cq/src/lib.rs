@@ -12,8 +12,12 @@
 //!   window join, stream-table lookup join.
 //! * **Windows** ([`window`]): tumbling, sliding, count and session
 //!   windows over *event time*, closed by **watermarks** (max event time
-//!   minus an allowed-lateness bound); late events are counted and
-//!   dropped.
+//!   minus an allowed-lateness bound). What happens to late events is a
+//!   per-query choice (DESIGN.md D12): under `ConsistencyLevel::Watermark`
+//!   output is gated on the watermark and anything later is counted and
+//!   dropped; under `ConsistencyLevel::Speculative` results are emitted
+//!   eagerly on event time and late events re-open already-emitted panes,
+//!   issuing retraction/correction delta pairs.
 //! * **Aggregation** ([`aggregate`]) in two modes (DESIGN.md D5):
 //!   `Incremental` maintains per-pane partial aggregates that are merged
 //!   at window close; `Recompute` buffers raw events and recomputes — the
@@ -29,7 +33,10 @@
 //! * **Runtime** ([`runtime`]): named streams, registered continuous
 //!   queries, subscriber callbacks, watermark bookkeeping.
 //! * **Delta queries** ([`delta`]): adapters that turn
-//!   `evdb_storage::QuerySnapshot` diffs and journal changes into events.
+//!   `evdb_storage::QuerySnapshot` diffs and journal changes into events,
+//!   plus the insert/retract delta vocabulary ([`DeltaKind`],
+//!   [`ConsistencyLevel`]) and the [`DeltaLog`] compactor that folds a
+//!   retraction-bearing output stream down to its net answer.
 
 pub mod aggregate;
 pub mod cql;
@@ -43,8 +50,9 @@ pub mod window;
 
 pub use aggregate::{AggFunc, AggMode, AggSpec};
 pub use cql::compile_query;
+pub use delta::{ConsistencyLevel, DeltaKind, DeltaLog};
 pub use extra::{DeduplicateOp, TopKOp};
-pub use op::{Operator, Pipeline};
-pub use pattern::{Pattern, PatternMatcher, SkipStrategy, Step};
+pub use op::{OpStats, Operator, Pipeline};
+pub use pattern::{Pattern, PatternMatcher, RevisablePatternMatcher, SkipStrategy, Step};
 pub use runtime::StreamRuntime;
 pub use window::WindowSpec;

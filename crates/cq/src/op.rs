@@ -11,6 +11,31 @@ use std::sync::Arc;
 use evdb_expr::{BoundExpr, CompiledExpr};
 use evdb_types::{Event, Record, Result, Schema, TimestampMs, Value};
 
+/// Per-operator delta/lateness accounting (D9 no-silent-work: every
+/// dropped, admitted-late or retracted datum is counted somewhere).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Events too late to admit (beyond the finality horizon) — dropped.
+    pub late_events: u64,
+    /// Late events admitted into already-emitted state (pane reopens,
+    /// pattern revisions) instead of being dropped.
+    pub late_admitted: u64,
+    /// Already-emitted window panes reopened by a late event.
+    pub pane_reopens: u64,
+    /// Retraction deltas emitted.
+    pub retractions: u64,
+}
+
+impl OpStats {
+    /// Accumulate another operator's counters.
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.late_events += other.late_events;
+        self.late_admitted += other.late_admitted;
+        self.pane_reopens += other.pane_reopens;
+        self.retractions += other.retractions;
+    }
+}
+
 /// A streaming operator.
 pub trait Operator: Send {
     /// Process one input event; push any derived events onto `out`.
@@ -32,6 +57,11 @@ pub trait Operator: Send {
     /// groups, join rows, pattern runs). Stateless operators report 0.
     fn state_size(&self) -> usize {
         0
+    }
+
+    /// Delta/lateness counters. Stateless operators report zeros.
+    fn op_stats(&self) -> OpStats {
+        OpStats::default()
     }
 }
 
@@ -62,6 +92,15 @@ impl Pipeline {
     /// Total buffered state across all stages (window memory proxy).
     pub fn state_size(&self) -> usize {
         self.ops.iter().map(|op| op.state_size()).sum()
+    }
+
+    /// Summed delta/lateness counters across all stages.
+    pub fn op_stats(&self) -> OpStats {
+        let mut total = OpStats::default();
+        for op in &self.ops {
+            total.absorb(&op.op_stats());
+        }
+        total
     }
 
     /// Push one event through every stage; returns derived events.

@@ -21,7 +21,15 @@
 //! enumerates subsequences by nested scanning — semantically equal to
 //! `SkipTillAny` for plain SEQ patterns (property-tested), and
 //! super-linearly slower.
+//!
+//! [`RevisablePatternMatcher`] wraps the NFA for out-of-order streams
+//! (DESIGN.md D12): at the Watermark level it sorts events up to the
+//! watermark before feeding the NFA (final, retraction-free output); at
+//! the Speculative level it matches eagerly and, when a late event or a
+//! retraction revises the input, replays its bounded history to emit
+//! retractions for invalidated matches and inserts for new ones.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use evdb_expr::{CompiledExpr, Expr};
@@ -29,7 +37,8 @@ use evdb_types::{
     DataType, Error, Event, EventId, FieldDef, Record, Result, Schema, TimestampMs, Value,
 };
 
-use crate::op::Operator;
+use crate::delta::ConsistencyLevel;
+use crate::op::{OpStats, Operator};
 
 /// One step of a pattern.
 #[derive(Debug, Clone)]
@@ -475,6 +484,275 @@ impl Operator for PatternMatcher {
     }
 }
 
+/// Out-of-order-safe pattern matching with per-query consistency
+/// (DESIGN.md D12).
+///
+/// The core [`PatternMatcher`] is strictly arrival-ordered: feeding it a
+/// shuffled stream produces different matches. This wrapper restores
+/// event-time semantics:
+///
+/// * [`ConsistencyLevel::Watermark`] — events are buffered and released
+///   to the NFA in `(timestamp, id)` order once the watermark passes
+///   them. Output is final; no retractions.
+/// * [`ConsistencyLevel::Speculative`] — events are matched eagerly. A
+///   late (out-of-order) event or a retraction of a constituent event
+///   triggers a replay of the bounded history (events newer than
+///   `watermark − within`): matches that vanish are retracted, matches
+///   that appear are inserted. Matches ending at or before the watermark
+///   are final and never revised.
+pub struct RevisablePatternMatcher {
+    pattern: Pattern,
+    input: Arc<Schema>,
+    strategy: SkipStrategy,
+    consistency: ConsistencyLevel,
+    /// The live NFA; invariant: its state equals a fresh NFA fed
+    /// `history` in `(timestamp, id)` order.
+    inner: PatternMatcher,
+    /// Speculative: net insert history within the revision horizon.
+    /// Watermark: events buffered until the watermark releases them.
+    history: Vec<Event>,
+    /// Speculative: emitted matches not yet final (subject to retraction).
+    live: Vec<Event>,
+    /// Finality horizon (highest watermark seen).
+    final_wm: i64,
+    emit_seq: u64,
+    /// Events beyond the finality horizon, dropped (D9).
+    pub late_events: u64,
+    /// Out-of-order events / retractions admitted as revisions.
+    pub late_admitted: u64,
+    /// Retraction matches emitted.
+    pub retractions: u64,
+    label: String,
+}
+
+impl RevisablePatternMatcher {
+    /// Compile the pattern; `consistency` picks the out-of-order policy.
+    pub fn new(
+        pattern: Pattern,
+        input: &Arc<Schema>,
+        strategy: SkipStrategy,
+        consistency: ConsistencyLevel,
+    ) -> Result<RevisablePatternMatcher> {
+        let inner = PatternMatcher::new(pattern.clone(), input, strategy)?;
+        Ok(RevisablePatternMatcher {
+            pattern,
+            input: Arc::clone(input),
+            strategy,
+            consistency,
+            inner,
+            history: Vec::new(),
+            live: Vec::new(),
+            final_wm: i64::MIN,
+            emit_seq: 0,
+            late_events: 0,
+            late_admitted: 0,
+            retractions: 0,
+            label: "revisable_pattern".to_string(),
+        })
+    }
+
+    /// The configured consistency level.
+    pub fn consistency(&self) -> ConsistencyLevel {
+        self.consistency
+    }
+
+    /// Feed one event; returns emitted deltas.
+    pub fn push(&mut self, event: &Event) -> Result<Vec<Event>> {
+        let mut out = Vec::new();
+        self.on_event(event, &mut out)?;
+        Ok(out)
+    }
+
+    /// Deliver a watermark; returns emitted (now final) matches.
+    pub fn advance_watermark(&mut self, wm: TimestampMs) -> Result<Vec<Event>> {
+        let mut out = Vec::new();
+        self.on_watermark(wm, &mut out)?;
+        Ok(out)
+    }
+
+    fn fresh_id(&mut self, mut e: Event) -> Event {
+        self.emit_seq += 1;
+        e.id = EventId(self.emit_seq);
+        e
+    }
+
+    /// Replay the sorted history through a fresh NFA and reconcile the
+    /// resulting match multiset with what was already emitted.
+    fn rebuild(&mut self, out: &mut Vec<Event>) -> Result<()> {
+        self.history.sort_by_key(|e| (e.timestamp, e.id));
+        let mut fresh = PatternMatcher::new(self.pattern.clone(), &self.input, self.strategy)?;
+        fresh.max_runs = self.inner.max_runs;
+        let mut replayed = Vec::new();
+        for e in &self.history {
+            replayed.extend(fresh.push(e)?);
+        }
+        self.inner = fresh;
+        // Matches ending at or before the watermark are final: they were
+        // either already emitted (and pruned from `live`) or can no
+        // longer be revised — exclude them from reconciliation.
+        replayed.retain(|m| m.timestamp.0 > self.final_wm);
+
+        // Multiset diff by payload (the payload embeds start/end bounds).
+        let key = |e: &Event| e.payload.to_string();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for m in &replayed {
+            *counts.entry(key(m)).or_default() += 1;
+        }
+        // Old matches still produced survive; the rest are retracted.
+        let mut survivors = Vec::new();
+        for old in std::mem::take(&mut self.live) {
+            match counts.get_mut(&key(&old)) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    survivors.push(old);
+                }
+                _ => {
+                    self.retractions += 1;
+                    let r = old.to_retraction();
+                    out.push(self.fresh_id(r));
+                }
+            }
+        }
+        // New matches beyond the old multiset are fresh inserts.
+        for m in replayed {
+            let c = counts.get_mut(&key(&m)).expect("counted above");
+            if *c > 0 {
+                *c -= 1;
+                let e = self.fresh_id(m);
+                survivors.push(e.clone());
+                out.push(e);
+            }
+        }
+        self.live = survivors;
+        Ok(())
+    }
+}
+
+impl Operator for RevisablePatternMatcher {
+    fn on_event(&mut self, event: &Event, out: &mut Vec<Event>) -> Result<()> {
+        match self.consistency {
+            ConsistencyLevel::Watermark => {
+                if event.timestamp.0 <= self.final_wm {
+                    self.late_events += 1;
+                    return Ok(());
+                }
+                if event.is_retraction() {
+                    // The original insert is still buffered (anything
+                    // released is ≤ the watermark, where retractions are
+                    // dropped as late) — cancel it in place.
+                    if let Some(i) = self.history.iter().position(|e| {
+                        e.timestamp == event.timestamp
+                            && e.id == event.id
+                            && e.payload == event.payload
+                    }) {
+                        self.history.remove(i);
+                    }
+                } else {
+                    self.history.push(event.clone());
+                }
+            }
+            ConsistencyLevel::Speculative => {
+                // An event can only affect matches ending after itself
+                // and within `within` of it; beyond that it is final.
+                if event.timestamp.0.saturating_add(self.pattern.within_ms) <= self.final_wm {
+                    self.late_events += 1;
+                    return Ok(());
+                }
+                let in_order = !event.is_retraction()
+                    && self
+                        .history
+                        .last()
+                        .is_none_or(|l| (l.timestamp, l.id) <= (event.timestamp, event.id));
+                if in_order {
+                    // Fast path: the NFA state already reflects every
+                    // earlier event, so feed it incrementally.
+                    self.history.push(event.clone());
+                    let matches = self.inner.push(event)?;
+                    for m in matches {
+                        let e = self.fresh_id(m);
+                        self.live.push(e.clone());
+                        out.push(e);
+                    }
+                } else {
+                    self.late_admitted += 1;
+                    if event.is_retraction() {
+                        match self.history.iter().position(|e| {
+                            e.timestamp == event.timestamp
+                                && e.id == event.id
+                                && e.payload == event.payload
+                        }) {
+                            Some(i) => {
+                                self.history.remove(i);
+                            }
+                            // Unknown (or already-final) event: no-op.
+                            None => return Ok(()),
+                        }
+                    } else {
+                        self.history.push(event.clone());
+                    }
+                    self.rebuild(out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: TimestampMs, out: &mut Vec<Event>) -> Result<()> {
+        self.final_wm = self.final_wm.max(wm.0);
+        match self.consistency {
+            ConsistencyLevel::Watermark => {
+                // Release buffered events ≤ wm to the NFA in event-time
+                // order; their matches are final.
+                self.history
+                    .sort_by_key(|e| (e.timestamp, e.id));
+                let rest = self
+                    .history
+                    .iter()
+                    .position(|e| e.timestamp.0 > wm.0)
+                    .unwrap_or(self.history.len());
+                let release: Vec<Event> = self.history.drain(..rest).collect();
+                for e in release {
+                    for m in self.inner.push(&e)? {
+                        let e = self.fresh_id(m);
+                        out.push(e);
+                    }
+                }
+                self.inner.on_watermark(wm, out)?;
+            }
+            ConsistencyLevel::Speculative => {
+                // Finalize matches ending ≤ wm and shed history that can
+                // no longer participate in a revisable match.
+                self.live.retain(|m| m.timestamp.0 > wm.0);
+                let horizon = wm.0.saturating_sub(self.pattern.within_ms);
+                self.history.retain(|e| e.timestamp.0 >= horizon);
+                self.inner.on_watermark(wm, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn output_schema(&self) -> Arc<Schema> {
+        self.inner.output_schema()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn state_size(&self) -> usize {
+        self.history.len() + self.live.len() + self.inner.state_size()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        OpStats {
+            late_events: self.late_events,
+            late_admitted: self.late_admitted,
+            pane_reopens: 0,
+            retractions: self.retractions,
+        }
+    }
+}
+
 /// E6 baseline: enumerate subsequences by nested scanning over a buffer.
 /// Supports plain SEQ patterns (no optional/kleene/negation) with
 /// `SkipTillAny` semantics.
@@ -761,6 +1039,129 @@ mod tests {
             100
         )
         .is_err());
+    }
+
+    // ---- watermark behavior of the core NFA (satellite: pins the
+    // previously-untested on_watermark path) ----
+
+    #[test]
+    fn watermark_prunes_timed_out_partial_runs_silently() {
+        let mut m =
+            PatternMatcher::new(seq_abc(100), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(50, "B", 2.0)).unwrap();
+        assert_eq!(m.active_runs(), 1);
+        // The watermark passes the WITHIN horizon: the partial match can
+        // never complete. It is pruned and emits NOTHING — timed-out
+        // partials are not matches.
+        let mut out = Vec::new();
+        m.on_watermark(TimestampMs(500), &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(m.active_runs(), 0);
+        // Even a C now arrives too late to resurrect it.
+        assert!(m.push(&ev(501, "C", 3.0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn watermark_keeps_runs_inside_the_within_bound() {
+        let mut m =
+            PatternMatcher::new(seq_abc(1_000), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(100, "A", 1.0)).unwrap();
+        let mut out = Vec::new();
+        m.on_watermark(TimestampMs(900), &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(m.active_runs(), 1); // 900 − 100 ≤ 1000: still viable
+        m.push(&ev(950, "B", 2.0)).unwrap();
+        assert_eq!(m.push(&ev(1_000, "C", 3.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn completed_match_emits_exactly_once_across_watermarks() {
+        let mut m =
+            PatternMatcher::new(seq_abc(1_000), &schema(), SkipStrategy::SkipTillNext).unwrap();
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "B", 2.0)).unwrap();
+        let matches = m.push(&ev(3, "C", 3.0)).unwrap();
+        assert_eq!(matches.len(), 1); // emitted at completion…
+        let mut out = Vec::new();
+        m.on_watermark(TimestampMs(5_000), &mut out).unwrap();
+        m.on_watermark(TimestampMs(10_000), &mut out).unwrap();
+        assert!(out.is_empty()); // …and never again
+    }
+
+    // ---- revisable wrapper (D12) ----
+
+    fn rev(
+        within: i64,
+        strategy: SkipStrategy,
+        level: ConsistencyLevel,
+    ) -> RevisablePatternMatcher {
+        RevisablePatternMatcher::new(seq_abc(within), &schema(), strategy, level).unwrap()
+    }
+
+    #[test]
+    fn watermark_level_reorders_before_matching() {
+        let mut m = rev(1_000, SkipStrategy::SkipTillNext, ConsistencyLevel::Watermark);
+        // Arrival order B, A, C — event-time order A, B, C.
+        assert!(m.push(&ev(2, "B", 2.0)).unwrap().is_empty());
+        assert!(m.push(&ev(1, "A", 1.0)).unwrap().is_empty());
+        assert!(m.push(&ev(3, "C", 3.0)).unwrap().is_empty());
+        let out = m.advance_watermark(TimestampMs(10)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.iter().all(|e| !e.is_retraction()));
+        // Late event behind the watermark is dropped and counted.
+        assert!(m.push(&ev(5, "A", 9.0)).unwrap().is_empty());
+        assert_eq!(m.late_events, 1);
+    }
+
+    #[test]
+    fn speculative_level_retracts_matches_invalidated_by_retraction() {
+        let mut m = rev(1_000, SkipStrategy::SkipTillNext, ConsistencyLevel::Speculative);
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "B", 2.0)).unwrap();
+        let out = m.push(&ev(3, "C", 3.0)).unwrap();
+        assert_eq!(out.len(), 1); // speculative match emitted immediately
+        // The B is revised away: the match loses a constituent event.
+        let deltas = m.push(&ev(2, "B", 2.0).to_retraction()).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].is_retraction());
+        assert_eq!(deltas[0].payload, out[0].payload);
+        assert_eq!(m.retractions, 1);
+        assert_eq!(m.op_stats().retractions, 1);
+    }
+
+    #[test]
+    fn speculative_level_revises_on_late_events() {
+        let mut m = rev(1_000, SkipStrategy::SkipTillNext, ConsistencyLevel::Speculative);
+        m.push(&ev(10, "A", 1.0)).unwrap();
+        let out = m.push(&ev(30, "C", 3.0)).unwrap();
+        assert!(out.is_empty()); // no B yet
+        // The missing B arrives late → the match now exists.
+        let deltas = m.push(&ev(20, "B", 2.0)).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].is_retraction());
+        assert_eq!(m.late_admitted, 1);
+        // Convergence: same match an in-order run would produce.
+        let mut ordered = rev(1_000, SkipStrategy::SkipTillNext, ConsistencyLevel::Speculative);
+        ordered.push(&ev(10, "A", 1.0)).unwrap();
+        ordered.push(&ev(20, "B", 2.0)).unwrap();
+        let expect = ordered.push(&ev(30, "C", 3.0)).unwrap();
+        assert_eq!(deltas[0].payload, expect[0].payload);
+    }
+
+    #[test]
+    fn speculative_finalized_matches_survive_replay_unrepeated() {
+        let mut m = rev(100, SkipStrategy::SkipTillNext, ConsistencyLevel::Speculative);
+        m.push(&ev(1, "A", 1.0)).unwrap();
+        m.push(&ev(2, "B", 2.0)).unwrap();
+        assert_eq!(m.push(&ev(3, "C", 3.0)).unwrap().len(), 1);
+        // Watermark finalizes the match and sheds history.
+        assert!(m.advance_watermark(TimestampMs(200)).unwrap().is_empty());
+        assert_eq!(m.state_size(), 0);
+        // A late revision attempt beyond finality is dropped, NOT replayed
+        // (a replay would re-emit the finalized match).
+        assert!(m.push(&ev(2, "B", 2.0).to_retraction()).unwrap().is_empty());
+        assert_eq!(m.late_events, 1);
     }
 
     #[test]

@@ -15,17 +15,71 @@
 //! allowed lateness`, advanced on every push, so downstream windows
 //! close deterministically with no wall-clock dependence.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use evdb_obs::{Counter, Registry};
 use evdb_types::{Error, Event, EventId, IdGenerator, Record, Result, Schema, TimestampMs};
 use parking_lot::{Mutex, RwLock};
 
-use crate::op::Pipeline;
+use crate::delta::ConsistencyLevel;
+use crate::op::{OpStats, Pipeline};
 
 /// Callback invoked with each derived event of a query.
 pub type Subscriber = Arc<dyn Fn(&Event) + Send + Sync>;
+
+/// Bounded LRU of recently seen `(stream, event id)` pairs, used to drop
+/// replayed duplicates on the pre-built-event ingest path (capture
+/// adapters re-deliver WAL prefixes after recovery). Events minted by
+/// [`StreamRuntime::push`] get fresh ids and never collide.
+struct DedupWindow {
+    cap: usize,
+    tick: u64,
+    /// key → recency tick.
+    seen: HashMap<DedupKey, u64>,
+    /// recency tick → key (eviction order, oldest first).
+    order: BTreeMap<u64, DedupKey>,
+}
+
+/// `(stream, event id, is_retraction)` — a retraction delta legitimately
+/// reuses its insert's id, so the flag keeps the pair distinct.
+type DedupKey = (Arc<str>, u64, bool);
+
+impl DedupWindow {
+    fn new(cap: usize) -> DedupWindow {
+        DedupWindow {
+            cap: cap.max(1),
+            tick: 0,
+            seen: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Record the key; returns true if it was already present (a
+    /// duplicate). Either way the key becomes most-recently-seen.
+    fn check_and_insert(&mut self, key: DedupKey) -> bool {
+        self.tick += 1;
+        let dup = match self.seen.insert(key.clone(), self.tick) {
+            Some(old_tick) => {
+                self.order.remove(&old_tick);
+                true
+            }
+            None => false,
+        };
+        self.order.insert(self.tick, key);
+        while self.seen.len() > self.cap {
+            let (_, oldest) = self.order.pop_first().expect("order non-empty");
+            self.seen.remove(&oldest);
+        }
+        dup
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.seen.len()
+    }
+}
 
 /// Mutable per-stream watermark state (its own lock; see module docs).
 struct StreamState {
@@ -47,6 +101,7 @@ struct QueryInner {
 
 struct QueryEntry {
     source: String,
+    consistency: ConsistencyLevel,
     inner: Mutex<QueryInner>,
 }
 
@@ -60,6 +115,12 @@ pub struct StreamRuntime {
     ids: IdGenerator,
     /// Derived events materialized (pane/window emissions), when bound.
     panes_obs: Option<Arc<Counter>>,
+    /// Replay dedup window (None until [`StreamRuntime::enable_dedup`]).
+    dedup: Mutex<Option<DedupWindow>>,
+    /// Duplicates dropped by the dedup window (D9).
+    dup_dropped: AtomicU64,
+    /// Delta counters of dropped queries, so totals stay monotonic.
+    retired_stats: Mutex<OpStats>,
 }
 
 impl StreamRuntime {
@@ -71,6 +132,9 @@ impl StreamRuntime {
             lateness_ms,
             ids: IdGenerator::default(),
             panes_obs: None,
+            dedup: Mutex::new(None),
+            dup_dropped: AtomicU64::new(0),
+            retired_stats: Mutex::new(OpStats::default()),
         }
     }
 
@@ -122,8 +186,23 @@ impl StreamRuntime {
             .ok_or_else(|| Error::NotFound(format!("stream '{name}'")))
     }
 
-    /// Register a continuous query (an operator pipeline) over a stream.
+    /// Register a continuous query (an operator pipeline) over a stream
+    /// at the default [`ConsistencyLevel::Watermark`].
     pub fn register_query(&self, name: &str, source: &str, pipeline: Pipeline) -> Result<()> {
+        self.register_query_with(name, source, pipeline, ConsistencyLevel::default())
+    }
+
+    /// Register a continuous query with an explicit consistency level
+    /// (DESIGN.md D12). The pipeline must already be compiled for that
+    /// level (see `cql::compile`); the runtime records it so hosts can
+    /// report which queries may emit retractions.
+    pub fn register_query_with(
+        &self,
+        name: &str,
+        source: &str,
+        pipeline: Pipeline,
+        consistency: ConsistencyLevel,
+    ) -> Result<()> {
         if self.streams.read().get(source).is_none() {
             return Err(Error::NotFound(format!("stream '{source}'")));
         }
@@ -135,6 +214,7 @@ impl StreamRuntime {
             name.to_string(),
             Arc::new(QueryEntry {
                 source: source.to_string(),
+                consistency,
                 inner: Mutex::new(QueryInner {
                     pipeline,
                     subscribers: Vec::new(),
@@ -145,13 +225,48 @@ impl StreamRuntime {
         Ok(())
     }
 
-    /// Remove a continuous query.
-    pub fn drop_query(&self, name: &str) -> Result<()> {
+    /// Consistency level a query was registered with.
+    pub fn query_consistency(&self, name: &str) -> Result<ConsistencyLevel> {
         self.queries
+            .read()
+            .get(name)
+            .map(|q| q.consistency)
+            .ok_or_else(|| Error::NotFound(format!("query '{name}'")))
+    }
+
+    /// Remove a continuous query. Its delta counters are folded into the
+    /// retired totals so runtime-wide stats stay monotonic.
+    pub fn drop_query(&self, name: &str) -> Result<()> {
+        let entry = self
+            .queries
             .write()
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| Error::NotFound(format!("query '{name}'")))
+            .ok_or_else(|| Error::NotFound(format!("query '{name}'")))?;
+        let stats = entry.inner.lock().pipeline.op_stats();
+        self.retired_stats.lock().absorb(&stats);
+        Ok(())
+    }
+
+    /// Enable replay dedup on the pre-built-event ingest path
+    /// ([`StreamRuntime::push_event`]): duplicates of the most recent
+    /// `capacity` `(stream, event id)` pairs are dropped and counted.
+    pub fn enable_dedup(&self, capacity: usize) {
+        *self.dedup.lock() = Some(DedupWindow::new(capacity));
+    }
+
+    /// Duplicates dropped by the dedup window.
+    pub fn dup_dropped(&self) -> u64 {
+        self.dup_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Summed delta/lateness counters across live and dropped queries
+    /// (late drops/admissions, pane reopens, retractions — D9).
+    pub fn cq_delta_stats(&self) -> OpStats {
+        let mut total = *self.retired_stats.lock();
+        for q in self.queries.read().values() {
+            total.absorb(&q.inner.lock().pipeline.op_stats());
+        }
+        total
     }
 
     /// Attach a subscriber to a query's output.
@@ -190,9 +305,17 @@ impl StreamRuntime {
         self.route(&event, wm)
     }
 
-    /// Push a pre-built event (capture adapters use this).
+    /// Push a pre-built event (capture adapters use this). With dedup
+    /// enabled, a replayed `(stream, event id)` pair is dropped before it
+    /// can double-count into windows (recovery replays WAL prefixes).
     pub fn push_event(&self, event: &Event) -> Result<Vec<Event>> {
         let entry = self.stream_entry(event.source.as_ref())?;
+        if let Some(window) = self.dedup.lock().as_mut() {
+            if window.check_and_insert((Arc::clone(&event.source), event.id.0, event.retraction)) {
+                self.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                return Ok(Vec::new());
+            }
+        }
         let wm = {
             let mut state = entry.state.lock();
             state.max_ts = state.max_ts.max(event.timestamp);
@@ -404,6 +527,87 @@ mod tests {
         assert!(rt.subscribe("nope", Arc::new(|_| {})).is_err());
         let p = compile_query("SELECT sym FROM s", &schema(), AggMode::Incremental).unwrap();
         assert!(rt.register_query("q", "ghost", p).is_err());
+    }
+
+    #[test]
+    fn replayed_wal_prefix_is_deduplicated() {
+        // Recovery regression: capture adapters re-deliver a WAL prefix
+        // after a crash; without dedup the second delivery double-counts.
+        let rt = StreamRuntime::new(0);
+        rt.create_stream("ticks", schema()).unwrap();
+        rt.enable_dedup(1024);
+        let p = compile_query(
+            "SELECT count() AS n FROM ticks [RANGE 1 s]",
+            &schema(),
+            AggMode::Incremental,
+        )
+        .unwrap();
+        rt.register_query("q", "ticks", p).unwrap();
+
+        // Stable ids, as change_to_event mints from journal LSNs.
+        let mk = |id: u64, ts: i64| {
+            Event::new(
+                EventId(id),
+                "ticks",
+                TimestampMs(ts),
+                Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+                schema(),
+            )
+        };
+        let prefix: Vec<Event> = (0..5).map(|i| mk(i, 100 + i as i64)).collect();
+        for e in &prefix {
+            rt.push_event(e).unwrap();
+        }
+        // Crash + recovery: the same prefix is delivered again.
+        for e in &prefix {
+            assert!(rt.push_event(e).unwrap().is_empty());
+        }
+        assert_eq!(rt.dup_dropped(), 5);
+        let out = rt.flush("ticks", TimestampMs(10_000)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.get(0), Some(&Value::Int(5))); // not 10
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_lru() {
+        let mut w = DedupWindow::new(3);
+        let s: Arc<str> = Arc::from("s");
+        for i in 0..3u64 {
+            assert!(!w.check_and_insert((Arc::clone(&s), i, false)));
+        }
+        assert_eq!(w.len(), 3);
+        // Touch id 0 so it is most-recent, then overflow: id 1 evicts.
+        assert!(w.check_and_insert((Arc::clone(&s), 0, false)));
+        assert!(!w.check_and_insert((Arc::clone(&s), 3, false)));
+        assert_eq!(w.len(), 3);
+        assert!(!w.check_and_insert((Arc::clone(&s), 1, false))); // evicted → new again
+        assert!(w.check_and_insert((Arc::clone(&s), 0, false))); // still present
+        // A retraction of a seen id is NOT a duplicate.
+        assert!(!w.check_and_insert((Arc::clone(&s), 0, true)));
+    }
+
+    #[test]
+    fn delta_stats_aggregate_across_queries_and_survive_drop() {
+        let rt = StreamRuntime::new(0);
+        rt.create_stream("ticks", schema()).unwrap();
+        let p = compile_query(
+            "SELECT count() AS n FROM ticks [RANGE 1 s]",
+            &schema(),
+            AggMode::Incremental,
+        )
+        .unwrap();
+        rt.register_query("q", "ticks", p).unwrap();
+        assert_eq!(rt.query_consistency("q").unwrap(), ConsistencyLevel::Watermark);
+        let tick = || Record::from_iter([Value::from("A"), Value::Float(1.0)]);
+        rt.push("ticks", TimestampMs(100), tick()).unwrap();
+        rt.push("ticks", TimestampMs(2_500), tick()).unwrap();
+        // Late event behind the closed window boundary → dropped+counted.
+        rt.push("ticks", TimestampMs(100), tick()).unwrap();
+        assert_eq!(rt.cq_delta_stats().late_events, 1);
+        // Counters survive dropping the query (monotonic totals).
+        rt.drop_query("q").unwrap();
+        assert_eq!(rt.cq_delta_stats().late_events, 1);
+        assert!(rt.query_consistency("q").is_err());
     }
 
     #[test]

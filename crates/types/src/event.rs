@@ -42,6 +42,12 @@ pub struct Event {
     /// captured changes inherit the change's trace; directly constructed
     /// events start with an unstamped trace keyed by the event id.
     pub trace: Trace,
+    /// True when this event *withdraws* a previously emitted event with
+    /// the same payload (a retraction delta). Plain events are inserts.
+    /// Speculative continuous queries emit retraction/insert pairs when
+    /// late data revises an already-emitted result; subscribers compact
+    /// the delta stream to the final answer.
+    pub retraction: bool,
 }
 
 impl Event {
@@ -60,7 +66,22 @@ impl Event {
             payload,
             schema,
             trace: Trace::new(id.0),
+            retraction: false,
         }
+    }
+
+    /// Is this event a retraction delta?
+    pub fn is_retraction(&self) -> bool {
+        self.retraction
+    }
+
+    /// Clone of this event marked as a retraction. The payload is kept
+    /// byte-identical so a subscriber can cancel it against the original
+    /// insert by value.
+    pub fn to_retraction(&self) -> Event {
+        let mut e = self.clone();
+        e.retraction = true;
+        e
     }
 
     /// Payload field by name (None if absent from the schema).
@@ -79,6 +100,7 @@ impl Event {
             payload,
             schema,
             trace: self.trace,
+            retraction: self.retraction,
         }
     }
 }
@@ -87,8 +109,12 @@ impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {}@{} {}",
-            self.id, self.source, self.timestamp, self.payload
+            "{} {}@{} {}{}",
+            self.id,
+            self.source,
+            self.timestamp,
+            self.payload,
+            if self.retraction { " (retract)" } else { "" }
         )
     }
 }
@@ -130,5 +156,24 @@ mod tests {
         assert_eq!(e2.timestamp, e.timestamp);
         assert_eq!(e2.source, e.source);
         assert_eq!(e2.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn retraction_marking() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let e = Event::new(
+            EventId(3),
+            "src",
+            TimestampMs(7),
+            Record::from_iter([1i64]),
+            Arc::clone(&s),
+        );
+        assert!(!e.is_retraction());
+        let r = e.to_retraction();
+        assert!(r.is_retraction());
+        assert_eq!(r.payload, e.payload);
+        assert!(r.to_string().ends_with("(retract)"));
+        // The flag survives payload rewrites (projection operators).
+        assert!(r.with_payload(Record::from_iter([2i64]), s).is_retraction());
     }
 }

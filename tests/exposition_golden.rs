@@ -117,6 +117,11 @@ fn exposition_covers_every_layer() {
         "evdb_ingest_shed_total",            // no-silent-caps counters
         "evdb_ingest_rejected_total",
         "evdb_queue_purged_inflight_total",  // retention-race no-ops
+        "evdb_cq_retractions_total",         // out-of-order deltas (D12)
+        "evdb_cq_pane_reopens_total",
+        "evdb_cq_late_admitted_total",
+        "evdb_cq_late_dropped_total",
+        "evdb_cq_dup_dropped_total",         // replay dedup window
     ] {
         assert!(text.contains(name), "exposition missing {name}:\n{text}");
     }

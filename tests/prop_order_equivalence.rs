@@ -1,0 +1,379 @@
+//! Differential order-equivalence suite (ISSUE: out-of-order done right).
+//!
+//! The contract under test: for any event stream and any arrival
+//! disorder bounded by the allowed lateness, the *compacted* answer of a
+//! continuous query — inserts minus retractions, folded by [`DeltaLog`]
+//! — is identical to the answer of the same query over the in-order
+//! stream. This must hold at both consistency levels (DESIGN.md D12):
+//!
+//! * `EMIT WATERMARK` gates on the watermark and must emit **zero**
+//!   retractions (asserted on every case);
+//! * `EMIT SPECULATIVE` emits eagerly and revises; its retractions must
+//!   be exactly accounted (`inserted == final + retracted`).
+//!
+//! Five properties × 128 cases = 640 random streams per run, covering
+//! windowed aggregates (tumbling + sliding), WAL-prefix duplicate
+//! replay, stream joins under revision, pattern matching under
+//! reordering, and the delta-compaction algebra itself.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use evdb::cq::aggregate::AggMode;
+use evdb::cq::delta::{ConsistencyLevel, DeltaLog};
+use evdb::cq::join::StreamJoinOp;
+use evdb::cq::op::Operator;
+use evdb::cq::pattern::{Pattern, PatternMatcher, RevisablePatternMatcher, SkipStrategy, Step};
+use evdb::cq::{compile_query, StreamRuntime};
+use evdb::expr::parse;
+use evdb::types::{DataType, Event, EventId, Record, Schema, TimestampMs, Value};
+
+/// A generated event: (event time, group, integer-valued measure, delay).
+/// The delay models network/processing skew: arrival order sorts by
+/// `ts + delay`, and every delay is bounded by the allowed lateness so
+/// nothing is ever beyond the finality horizon.
+type GenEvent = (i64, u8, i64, i64);
+
+const LATENESS: i64 = 256;
+
+fn agg_schema() -> Arc<Schema> {
+    Schema::of(&[("g", DataType::Str), ("x", DataType::Float)])
+}
+
+fn arb_disordered() -> impl Strategy<Value = Vec<GenEvent>> {
+    proptest::collection::vec((0i64..3_000, 0u8..3, -50i64..50, 0i64..LATENESS), 1..70)
+}
+
+fn arrival_order(events: &[GenEvent]) -> Vec<(usize, GenEvent)> {
+    let mut v: Vec<(usize, GenEvent)> = events.iter().copied().enumerate().collect();
+    v.sort_by_key(|(i, (ts, _, _, d))| (ts + d, *i));
+    v
+}
+
+fn event_time_order(events: &[GenEvent]) -> Vec<(usize, GenEvent)> {
+    let mut v: Vec<(usize, GenEvent)> = events.iter().copied().enumerate().collect();
+    v.sort_by_key(|(i, (ts, _, _, _))| (*ts, *i));
+    v
+}
+
+/// Run a windowed aggregate over `feed` and fold the delta stream.
+/// Returns the compacted rows plus (inserted, retracted) totals.
+fn run_agg(
+    feed: &[(usize, GenEvent)],
+    width: i64,
+    slide: i64,
+    level: ConsistencyLevel,
+) -> (Vec<String>, u64, u64) {
+    let schema = agg_schema();
+    let rt = StreamRuntime::new(LATENESS);
+    rt.create_stream("s", Arc::clone(&schema)).unwrap();
+    let emit = match level {
+        ConsistencyLevel::Speculative => "SPECULATIVE",
+        ConsistencyLevel::Watermark => "WATERMARK",
+    };
+    let cql = format!(
+        "SELECT g, window_start, count() AS n, sum(x) AS s, \
+         min(x) AS lo, max(x) AS hi, avg(x) AS a \
+         FROM s [RANGE {width} ms SLIDE {slide} ms] GROUP BY g EMIT {emit}"
+    );
+    let pipeline = compile_query(&cql, &schema, AggMode::Incremental).unwrap();
+    rt.register_query_with("q", "s", pipeline, level).unwrap();
+
+    let mut log = DeltaLog::default();
+    for (_, (ts, g, x, _)) in feed {
+        let payload =
+            Record::from_iter([Value::from(format!("g{g}").as_str()), Value::Float(*x as f64)]);
+        for out in rt.push("s", TimestampMs(*ts), payload).unwrap() {
+            log.observe(&out);
+        }
+    }
+    for out in rt.flush("s", TimestampMs(i64::MAX / 8)).unwrap() {
+        log.observe(&out);
+    }
+    (log.rows(), log.inserted(), log.retracted())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Windowed aggregates: shuffled-in × {Speculative, Watermark} both
+    /// converge to the in-order answer; Watermark never retracts;
+    /// Speculative retractions balance exactly.
+    #[test]
+    fn aggregates_converge_across_arrival_orders(
+        events in arb_disordered(),
+        slide in 1i64..400,
+        mult in 1i64..5,
+    ) {
+        let width = slide * mult;
+        let in_order = event_time_order(&events);
+        let arrival = arrival_order(&events);
+
+        let (reference, ref_ins, ref_ret) =
+            run_agg(&in_order, width, slide, ConsistencyLevel::Watermark);
+        prop_assert_eq!(ref_ret, 0);
+        prop_assert_eq!(ref_ins as usize, reference.len());
+
+        let (wm_rows, _, wm_ret) =
+            run_agg(&arrival, width, slide, ConsistencyLevel::Watermark);
+        prop_assert_eq!(wm_ret, 0, "watermark level must be retraction-free");
+        prop_assert_eq!(&wm_rows, &reference);
+
+        let (spec_rows, spec_ins, spec_ret) =
+            run_agg(&arrival, width, slide, ConsistencyLevel::Speculative);
+        prop_assert_eq!(&spec_rows, &reference);
+        prop_assert_eq!(
+            spec_ins, spec_rows.len() as u64 + spec_ret,
+            "every speculative insert is either final or retracted"
+        );
+
+        let (spec_in_order, _, _) =
+            run_agg(&in_order, width, slide, ConsistencyLevel::Speculative);
+        prop_assert_eq!(&spec_in_order, &reference);
+    }
+
+    /// Replaying a WAL prefix (crash-recovery re-delivery) must not
+    /// change any answer once the dedup window is on, and every
+    /// duplicate must be counted.
+    #[test]
+    fn replayed_wal_prefix_changes_nothing(
+        events in arb_disordered(),
+        width in 1i64..800,
+        prefix_frac in 0u8..=100,
+    ) {
+        let arrival = arrival_order(&events);
+        let prefix_len = arrival.len() * prefix_frac as usize / 100;
+
+        let run = |replay: bool| {
+            let schema = agg_schema();
+            let rt = StreamRuntime::new(LATENESS);
+            rt.create_stream("s", Arc::clone(&schema)).unwrap();
+            rt.enable_dedup(4 * arrival.len().max(1));
+            let cql = format!(
+                "SELECT g, count() AS n, sum(x) AS s FROM s [RANGE {width} ms] GROUP BY g"
+            );
+            let pipeline = compile_query(&cql, &schema, AggMode::Incremental).unwrap();
+            rt.register_query("q", "s", pipeline).unwrap();
+            let mk = |i: usize, ts: i64, g: u8, x: i64| {
+                Event::new(
+                    EventId(i as u64),
+                    "s",
+                    TimestampMs(ts),
+                    Record::from_iter([
+                        Value::from(format!("g{g}").as_str()),
+                        Value::Float(x as f64),
+                    ]),
+                    Arc::clone(&schema),
+                )
+            };
+            let mut log = DeltaLog::default();
+            let deliver = |slice: &[(usize, GenEvent)], log: &mut DeltaLog| {
+                for (i, (ts, g, x, _)) in slice {
+                    for out in rt.push_event(&mk(*i, *ts, *g, *x)).unwrap() {
+                        log.observe(&out);
+                    }
+                }
+            };
+            deliver(&arrival[..prefix_len], &mut log);
+            if replay {
+                // Crash: the journal prefix is mined again on recovery.
+                deliver(&arrival[..prefix_len], &mut log);
+            }
+            deliver(&arrival[prefix_len..], &mut log);
+            for out in rt.flush("s", TimestampMs(i64::MAX / 8)).unwrap() {
+                log.observe(&out);
+            }
+            (log.rows(), rt.dup_dropped())
+        };
+
+        let (clean, clean_dups) = run(false);
+        let (replayed, dups) = run(true);
+        prop_assert_eq!(clean_dups, 0);
+        prop_assert_eq!(dups, prefix_len as u64, "every duplicate is accounted");
+        prop_assert_eq!(replayed, clean);
+    }
+
+    /// Stream join under revision: retract + corrected insert deltas on
+    /// one input converge to the join of the corrected inputs.
+    #[test]
+    fn join_revisions_converge_to_corrected_join(
+        lefts in proptest::collection::vec((0i64..800, 0i64..4, 0i64..1_000, 0u8..4), 0..30),
+        rights in proptest::collection::vec((0i64..800, 0i64..4, 0i64..1_000), 0..30),
+        window in 1i64..400,
+    ) {
+        let lschema = Schema::of(&[("k", DataType::Int), ("lv", DataType::Int)]);
+        let rschema = Schema::of(&[("k", DataType::Int), ("rv", DataType::Int)]);
+        let mut op = StreamJoinOp::new("L", &lschema, &rschema, "k", "k", window).unwrap();
+        let mut log = DeltaLog::default();
+        let mut push = |e: &Event, log: &mut DeltaLog| {
+            let mut out = Vec::new();
+            op.on_event(e, &mut out).unwrap();
+            for o in &out {
+                log.observe(o);
+            }
+        };
+        let lev = |id: u64, ts: i64, k: i64, v: i64| {
+            Event::new(
+                EventId(id),
+                "L",
+                TimestampMs(ts),
+                Record::from_iter([Value::Int(k), Value::Int(v)]),
+                Arc::clone(&lschema),
+            )
+        };
+        // Interleave both sides by event time, inserts only.
+        let mut seq: Vec<Event> = Vec::new();
+        for (i, (ts, k, v, _)) in lefts.iter().enumerate() {
+            seq.push(lev(i as u64, *ts, *k, *v));
+        }
+        for (i, (ts, k, v)) in rights.iter().enumerate() {
+            seq.push(Event::new(
+                EventId(1_000 + i as u64),
+                "R",
+                TimestampMs(*ts),
+                Record::from_iter([Value::Int(*k), Value::Int(*v)]),
+                Arc::clone(&rschema),
+            ));
+        }
+        seq.sort_by_key(|e| (e.timestamp, e.id));
+        for e in &seq {
+            push(e, &mut log);
+        }
+        // Revise flagged left rows: retraction of the original insert
+        // followed by the corrected value.
+        for (i, (ts, k, v, revise)) in lefts.iter().enumerate() {
+            if *revise == 0 {
+                push(&lev(i as u64, *ts, *k, *v).to_retraction(), &mut log);
+                push(&lev(2_000 + i as u64, *ts, *k, *v + 10_000), &mut log);
+            }
+        }
+
+        // Oracle: nested-loop join of the corrected inputs.
+        let mut expected: Vec<String> = Vec::new();
+        for (lts, lk, lv, revise) in &lefts {
+            let lv = if *revise == 0 { *lv + 10_000 } else { *lv };
+            for (rts, rk, rv) in &rights {
+                if lk == rk && (lts - rts).abs() <= window {
+                    expected.push(
+                        Record::from_iter([
+                            Value::Int(*lk),
+                            Value::Int(lv),
+                            Value::Int(*rk),
+                            Value::Int(*rv),
+                        ])
+                        .to_string(),
+                    );
+                }
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(log.rows(), expected);
+    }
+
+    /// Pattern matching under reordering: the revisable matcher's
+    /// compacted match set equals a fresh NFA fed the stream in order,
+    /// at both consistency levels.
+    #[test]
+    fn patterns_converge_across_arrival_orders(
+        events in proptest::collection::vec((0i64..500, 0u8..3, 0i64..LATENESS), 1..50),
+        within in 50i64..600,
+    ) {
+        let schema = Schema::of(&[("kind", DataType::Str), ("v", DataType::Float)]);
+        let pattern = || {
+            Pattern::new(
+                vec![
+                    Step::new("a", parse("kind = 'A'").unwrap()),
+                    Step::new("b", parse("kind = 'B'").unwrap()),
+                ],
+                within,
+            )
+            .unwrap()
+        };
+        let mk = |i: usize, ts: i64, kind: u8| {
+            let k = ["A", "B", "C"][kind as usize];
+            Event::new(
+                EventId(i as u64),
+                "s",
+                TimestampMs(ts),
+                Record::from_iter([Value::from(k), Value::Float(i as f64)]),
+                Arc::clone(&schema),
+            )
+        };
+
+        // Reference: plain NFA over the in-order stream.
+        let mut reference = PatternMatcher::new(pattern(), &schema, SkipStrategy::SkipTillNext)
+            .unwrap();
+        let mut in_order: Vec<(usize, (i64, u8, i64))> =
+            events.iter().copied().enumerate().collect();
+        in_order.sort_by_key(|(i, (ts, _, _))| (*ts, *i));
+        let mut expected: Vec<String> = Vec::new();
+        for (i, (ts, kind, _)) in &in_order {
+            for m in reference.push(&mk(*i, *ts, *kind)).unwrap() {
+                expected.push(m.payload.to_string());
+            }
+        }
+        expected.sort();
+
+        // Disordered arrival through the revisable matcher.
+        let mut arrival: Vec<(usize, (i64, u8, i64))> =
+            events.iter().copied().enumerate().collect();
+        arrival.sort_by_key(|(i, (ts, _, d))| (ts + d, *i));
+        for level in [ConsistencyLevel::Speculative, ConsistencyLevel::Watermark] {
+            let mut m = RevisablePatternMatcher::new(
+                pattern(),
+                &schema,
+                SkipStrategy::SkipTillNext,
+                level,
+            )
+            .unwrap();
+            let mut log = DeltaLog::default();
+            for (i, (ts, kind, _)) in &arrival {
+                for out in m.push(&mk(*i, *ts, *kind)).unwrap() {
+                    log.observe(&out);
+                }
+            }
+            for out in m.advance_watermark(TimestampMs(i64::MAX / 8)).unwrap() {
+                log.observe(&out);
+            }
+            if level == ConsistencyLevel::Watermark {
+                prop_assert_eq!(log.retracted(), 0, "watermark level must be retraction-free");
+            }
+            prop_assert_eq!(log.rows(), expected.clone(), "level {:?}", level);
+        }
+    }
+
+    /// The compaction algebra itself: DeltaLog nets signed multiplicities
+    /// exactly like a reference multiset.
+    #[test]
+    fn delta_log_matches_multiset_semantics(
+        ops in proptest::collection::vec((0u8..6, 0u8..2), 1..200),
+    ) {
+        let mut log = DeltaLog::default();
+        let mut oracle: HashMap<String, i64> = HashMap::new();
+        for (key, retract) in &ops {
+            let retract = *retract == 1;
+            let key = format!("k{key}");
+            *oracle.entry(key.clone()).or_insert(0) += if retract { -1 } else { 1 };
+            log.observe_keyed(key, retract);
+        }
+        let mut expected: Vec<String> = Vec::new();
+        for (k, n) in &oracle {
+            let (label, n) = if *n < 0 {
+                (format!("-{k}"), -n)
+            } else {
+                (k.clone(), *n)
+            };
+            for _ in 0..n {
+                expected.push(label.clone());
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(log.rows(), expected);
+        prop_assert_eq!(
+            log.inserted() as i64 - log.retracted() as i64,
+            oracle.values().sum::<i64>()
+        );
+    }
+}

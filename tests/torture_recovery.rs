@@ -23,14 +23,15 @@
 //! every cycle derives its own sub-seed from it, so one test run covers
 //! `cycles` distinct crash schedules.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use evdb::cq::aggregate::AggMode;
+use evdb::cq::delta::{ConsistencyLevel, DeltaLog};
 use evdb::cq::{compile_query, StreamRuntime};
 use evdb::faults::{FaultInjector, FaultRng};
 use evdb::queue::{QueueConfig, QueueManager};
-use evdb::storage::{Database, DbOptions, SyncPolicy};
+use evdb::storage::{ChangeKind, Database, DbOptions, QuerySnapshot, SyncPolicy};
 use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
 
 /// Base seed for the whole run; CI sets `TORTURE_SEED` (3-seed matrix).
@@ -521,4 +522,281 @@ fn cq_torture_window_state_rebuild_matches_uncrashed_run() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     stats.report("cq");
+}
+
+// ---------------------------------------------------------------------
+// Out-of-order CQ: a speculative subscriber materializes a retraction
+// stream durably, crashes anywhere — including between a retraction and
+// its correcting insert — and converges after recovery via
+// `QuerySnapshot::rebaseline` (no replayed insert storm).
+// ---------------------------------------------------------------------
+
+const OOO_LATENESS: i64 = 400;
+
+/// Never-crashed reference: the arrival-order trace through a
+/// speculative windowed aggregate, folded down to its net answer.
+fn run_spec_cq(events: &[(i64, i64, i64)]) -> DeltaLog {
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let rt = StreamRuntime::new(OOO_LATENESS);
+    rt.create_stream("s", Arc::clone(&schema)).unwrap();
+    let pipeline = compile_query(
+        "SELECT k, window_start, sum(v) AS total FROM s [RANGE 500 ms] \
+         GROUP BY k EMIT SPECULATIVE",
+        &schema,
+        AggMode::Incremental,
+    )
+    .unwrap();
+    rt.register_query_with("q", "s", pipeline, ConsistencyLevel::Speculative)
+        .unwrap();
+    let mut log = DeltaLog::default();
+    for (ts, k, v) in events {
+        for e in rt
+            .push("s", TimestampMs(*ts), Record::from_iter([Value::Int(*k), Value::Int(*v)]))
+            .unwrap()
+        {
+            log.observe(&e);
+        }
+    }
+    for e in rt.flush("s", TimestampMs(i64::MAX / 8)).unwrap() {
+        log.observe(&e);
+    }
+    log
+}
+
+/// Multiset view of a compacted answer: row text → multiplicity.
+fn as_multiset(rows: Vec<String>) -> HashMap<String, i64> {
+    let mut m = HashMap::new();
+    for r in rows {
+        *m.entry(r).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn ooo_torture_speculative_subscriber_converges_after_crash() {
+    const CYCLES: u64 = 24;
+    const EVENTS: usize = 40;
+    let base = base_seed().wrapping_add(3);
+    let mut stats = Stats::default();
+    let results_schema = Schema::of(&[("row", DataType::Str), ("mult", DataType::Int)]);
+
+    for cycle in 0..CYCLES {
+        let seed = cycle_seed(base, cycle);
+        let dir = tmpdir("ooo", cycle);
+        let mut rng = FaultRng::new(seed);
+        let injector = FaultInjector::new(seed ^ 0xFD);
+
+        // Seeded out-of-order trace: event times jittered within the
+        // allowed lateness, arrival order = jittered order.
+        let mut trace: Vec<(i64, i64, i64)> = Vec::with_capacity(EVENTS);
+        let mut ts = 0i64;
+        let mut arrivals: Vec<(i64, usize)> = Vec::with_capacity(EVENTS);
+        for i in 0..EVENTS {
+            ts += irange(&mut rng, 0, 160);
+            let delay = irange(&mut rng, 0, OOO_LATENESS as u64);
+            trace.push((ts, irange(&mut rng, 0, 4), irange(&mut rng, 1, 50)));
+            arrivals.push((ts + delay, i));
+        }
+        arrivals.sort_unstable();
+        let arrival_trace: Vec<(i64, i64, i64)> =
+            arrivals.iter().map(|(_, i)| trace[*i]).collect();
+        let reference = as_multiset(run_spec_cq(&arrival_trace).rows());
+
+        // Phase 1: ingest + materialize the speculative delta stream
+        // durably, crashing anywhere in the middle of it.
+        {
+            let db = Database::open(
+                &dir,
+                DbOptions {
+                    sync: SyncPolicy::Never,
+                    faults: Some(Arc::clone(&injector)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            db.create_table(
+                "trace",
+                Schema::of(&[
+                    ("i", DataType::Int),
+                    ("ts", DataType::Int),
+                    ("k", DataType::Int),
+                    ("v", DataType::Int),
+                ]),
+                "i",
+            )
+            .unwrap();
+            db.create_table("results", Arc::clone(&results_schema), "row").unwrap();
+
+            let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+            let rt = StreamRuntime::new(OOO_LATENESS);
+            rt.create_stream("s", Arc::clone(&schema)).unwrap();
+            let pipeline = compile_query(
+                "SELECT k, window_start, sum(v) AS total FROM s [RANGE 500 ms] \
+                 GROUP BY k EMIT SPECULATIVE",
+                &schema,
+                AggMode::Incremental,
+            )
+            .unwrap();
+            rt.register_query_with("q", "s", pipeline, ConsistencyLevel::Speculative)
+                .unwrap();
+            injector.arm_sampled(EVENTS as u64 * 2);
+
+            'ingest: for (i, (ts, k, v)) in arrival_trace.iter().enumerate() {
+                let r = db.insert(
+                    "trace",
+                    Record::from_iter([
+                        Value::Int(i as i64),
+                        Value::Int(*ts),
+                        Value::Int(*k),
+                        Value::Int(*v),
+                    ]),
+                );
+                if let Err(e) = r {
+                    assert!(FaultInjector::is_crash(&e), "ingest: {e}");
+                    break 'ingest;
+                }
+                let deltas = rt
+                    .push("s", TimestampMs(*ts), Record::from_iter([Value::Int(*k), Value::Int(*v)]))
+                    .unwrap();
+                // Apply each signed delta to the durable materialization.
+                // A crash between a retraction and its correcting insert
+                // leaves the table mid-revision — exactly the state
+                // recovery must converge out of.
+                for d in &deltas {
+                    let key = Value::from(d.payload.to_string().as_str());
+                    let cur = db
+                        .table("results")
+                        .unwrap()
+                        .get(&key)
+                        .and_then(|r| r.get(1).and_then(Value::as_int))
+                        .unwrap_or(0);
+                    let next = cur + if d.is_retraction() { -1 } else { 1 };
+                    let r = if next <= 0 {
+                        db.delete("results", &key).map(|_| ())
+                    } else if cur == 0 {
+                        db.insert(
+                            "results",
+                            Record::from_iter([key.clone(), Value::Int(next)]),
+                        )
+                        .map(|_| ())
+                    } else {
+                        db.update(
+                            "results",
+                            &key,
+                            Record::from_iter([key.clone(), Value::Int(next)]),
+                        )
+                        .map(|_| ())
+                    };
+                    if let Err(e) = r {
+                        assert!(FaultInjector::is_crash(&e), "materialize: {e}");
+                        break 'ingest;
+                    }
+                }
+            }
+        }
+        stats.record(&injector);
+
+        // Phase 2: recover. The trace prefix is exact (cq arm invariant);
+        // the materialization may be mid-revision.
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let t = db.table("trace").unwrap();
+        let mut recovered: Vec<(i64, i64, i64)> = Vec::new();
+        for i in 0..arrival_trace.len() {
+            match t.get(&Value::Int(i as i64)) {
+                Some(row) => recovered.push((
+                    row.get(1).and_then(Value::as_int).unwrap(),
+                    row.get(2).and_then(Value::as_int).unwrap(),
+                    row.get(3).and_then(Value::as_int).unwrap(),
+                )),
+                None => break,
+            }
+        }
+
+        // The recovered subscriber adopts its own durable state silently
+        // — rebaseline, not poll, so the fill is not replayed as a storm
+        // of spurious inserts.
+        let mut snap = QuerySnapshot::new("results", evdb::expr::parse("mult > 0").unwrap());
+        let baseline_size = snap.rebaseline(&db).unwrap();
+        assert_eq!(
+            baseline_size,
+            db.table("results").unwrap().len(),
+            "cycle {cycle}: rebaseline must adopt the whole recovered result set"
+        );
+        let mut subscriber_view: HashMap<String, i64> = db
+            .table("results")
+            .unwrap()
+            .select(&evdb::expr::parse("mult > 0").unwrap())
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.get(0).and_then(Value::as_str).unwrap().to_string(),
+                    r.get(1).and_then(Value::as_int).unwrap(),
+                )
+            })
+            .collect();
+
+        // Phase 3: rebuild from the recovered durable prefix, continue
+        // with the rest of the live trace, and write the corrected
+        // answer back.
+        let mut resumed = recovered;
+        resumed.extend_from_slice(&arrival_trace[resumed.len()..]);
+        let converged = as_multiset(run_spec_cq(&resumed).rows());
+        assert_eq!(
+            converged, reference,
+            "cycle {cycle} (site {:?}): rebuilt speculative state diverges",
+            injector.crash_site()
+        );
+        let stale: Vec<String> = subscriber_view
+            .keys()
+            .filter(|k| !converged.contains_key(*k))
+            .cloned()
+            .collect();
+        for row in stale {
+            db.delete("results", &Value::from(row.as_str())).unwrap();
+        }
+        for (row, mult) in &converged {
+            let key = Value::from(row.as_str());
+            let rec = Record::from_iter([key.clone(), Value::Int(*mult)]);
+            match db.table("results").unwrap().get(&key) {
+                Some(cur) if cur.get(1).and_then(Value::as_int) == Some(*mult) => {}
+                Some(_) => {
+                    db.update("results", &key, rec).unwrap();
+                }
+                None => {
+                    db.insert("results", rec).unwrap();
+                }
+            }
+        }
+
+        // Phase 4: the poll after convergence hands downstream exactly
+        // the corrections — applying them to the recovered baseline
+        // yields the never-crashed compacted answer.
+        for change in snap.poll(&db).unwrap() {
+            match change.kind {
+                ChangeKind::Insert | ChangeKind::Update => {
+                    let after = change.after.unwrap();
+                    subscriber_view.insert(
+                        after.get(0).and_then(Value::as_str).unwrap().to_string(),
+                        after.get(1).and_then(Value::as_int).unwrap(),
+                    );
+                }
+                ChangeKind::Delete => {
+                    let before = change.before.unwrap();
+                    subscriber_view
+                        .remove(before.get(0).and_then(Value::as_str).unwrap());
+                }
+            }
+        }
+        assert_eq!(
+            subscriber_view, reference,
+            "cycle {cycle} (site {:?}): subscriber view did not converge",
+            injector.crash_site()
+        );
+        // A further poll with no changes must be silent.
+        assert!(snap.poll(&db).unwrap().is_empty());
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    stats.report("ooo");
 }
