@@ -39,6 +39,7 @@ fn main() {
         ("e14", experiments::e14_overload::run),
         ("e15", experiments::e15_compiled::run),
         ("e16", experiments::e16_retraction::run),
+        ("e17", experiments::e17_server::run),
     ];
 
     println!(

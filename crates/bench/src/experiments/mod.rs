@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E16 (see DESIGN.md §5 for the mapping
+//! Experiment implementations E1–E17 (see DESIGN.md §5 for the mapping
 //! to paper claims, and EXPERIMENTS.md for recorded results).
 //!
 //! Each experiment exposes `run(scale) -> Table`: `Scale::Quick` for CI
@@ -20,6 +20,7 @@ pub mod e13_observability;
 pub mod e14_overload;
 pub mod e15_compiled;
 pub mod e16_retraction;
+pub mod e17_server;
 
 /// Workload size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +131,7 @@ pub fn run_all(scale: Scale) -> String {
         e14_overload::run(scale),
         e15_compiled::run(scale),
         e16_retraction::run(scale),
+        e17_server::run(scale),
     ];
     for t in tables {
         out.push_str(&t.render());

@@ -319,6 +319,27 @@ impl Registry {
     }
 }
 
+/// Normalize a text exposition for golden comparison: keep `# TYPE`
+/// lines verbatim and replace each sample line's value with `V`, so
+/// wall-clock-derived numbers don't churn fixtures. The set of metric
+/// names, their kinds, and their order stay pinned. Shared by the
+/// in-process exposition golden and the HTTP `/metrics` parity test.
+pub fn normalize_exposition(exposition: &str) -> String {
+    let mut out = String::new();
+    for line in exposition.lines() {
+        if line.starts_with("# ") {
+            out.push_str(line);
+        } else if let Some(idx) = line.rfind(' ') {
+            out.push_str(&line[..idx]);
+            out.push_str(" V");
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Format a per-second rate: two decimals, trailing zeros trimmed.
 fn fmt_per_sec(v: f64) -> String {
     let s = format!("{v:.2}");

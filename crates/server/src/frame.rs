@@ -1,0 +1,353 @@
+//! The length-or-newline frame codec shared by every frontend.
+//!
+//! A frame carries an arbitrary byte payload. On the wire it takes one
+//! of two shapes:
+//!
+//! * **Line frame** — `<payload>\n` for payloads that contain neither
+//!   `\n` nor `\r` and do not start with `#`. This is the shape a human
+//!   types into `nc`: one request per line.
+//! * **Length frame** — `#<len>\n<payload>\n` for everything else
+//!   (binary payloads, embedded newlines, payloads that would be
+//!   mistaken for a length header). `<len>` is the payload byte count
+//!   in decimal.
+//!
+//! The encoder picks the shape; the decoder accepts both, interleaved.
+//! The contract, enforced by `tests/prop_frontend.rs`:
+//!
+//! * `decode(encode(p)) == p` byte-for-byte, for any payload and any
+//!   split of the byte stream into reads (the decoder is incremental);
+//! * arbitrary garbage never panics the decoder and never desyncs it
+//!   past the next frame boundary — a malformed length header or a
+//!   missing terminator yields one [`FrameError`] and decoding resumes
+//!   at the following newline;
+//! * a single trailing `\r` on a line frame is stripped, so CRLF
+//!   clients (telnet, `curl --no-buffer`) interoperate. Our own encoder
+//!   never produces a line frame containing `\r`, so stripping cannot
+//!   corrupt a round trip.
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes in both directions: a
+//! declared length beyond the cap is an error (the payload is skipped
+//! as it streams in, bounding memory), and an unterminated line longer
+//! than the cap errors rather than buffering without bound.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Hard cap on a single frame payload (1 MiB): bounds decoder memory
+/// against hostile or broken peers.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Longest accepted length header: `#` + digits + `\n`. 9 digits cover
+/// every length up to [`MAX_FRAME`]; anything longer is malformed.
+const MAX_HEADER: usize = 1 + 9 + 1;
+
+/// A malformed frame. The decoder has already resynced past the bad
+/// bytes when it returns one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length header declared more than [`MAX_FRAME`] bytes (or did
+    /// not parse as a decimal length). The declared payload, when the
+    /// length was readable, is consumed and discarded.
+    BadLength(String),
+    /// A length frame's payload was not followed by the terminating
+    /// newline — the stream is corrupt at this frame.
+    MissingTerminator,
+    /// A line frame exceeded [`MAX_FRAME`] bytes without a newline.
+    Oversize,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadLength(m) => write!(f, "bad frame length: {m}"),
+            FrameError::MissingTerminator => f.write_str("length frame missing terminator"),
+            FrameError::Oversize => write!(f, "line frame exceeds {MAX_FRAME} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one payload onto `out` in the canonical shape.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    let needs_length = payload.first() == Some(&b'#')
+        || payload.iter().any(|&b| b == b'\n' || b == b'\r');
+    if needs_length {
+        out.extend_from_slice(b"#");
+        out.extend_from_slice(payload.len().to_string().as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(payload);
+    } else {
+        out.extend_from_slice(payload);
+    }
+    out.push(b'\n');
+}
+
+/// Encode one payload into a fresh buffer.
+pub fn encode_frame_vec(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + MAX_HEADER);
+    encode_frame(payload, &mut out);
+    out
+}
+
+/// State of an oversize-length skip in progress: the declared payload
+/// (plus its terminator) is discarded as it streams in, so a hostile
+/// `#999999999` header cannot make the decoder buffer it.
+struct Skipping {
+    remaining: usize,
+    error: FrameError,
+}
+
+/// Incremental frame decoder: push raw reads in, pop frames out.
+///
+/// ```
+/// use evdb_server::frame::{encode_frame_vec, FrameDecoder};
+/// let mut dec = FrameDecoder::new();
+/// dec.push(&encode_frame_vec(b"PING"));
+/// assert_eq!(dec.next_frame(), Some(Ok(b"PING".to_vec())));
+/// assert_eq!(dec.next_frame(), None);
+/// ```
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+    skipping: Option<Skipping>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feed raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame: `None` when more bytes are needed,
+    /// `Some(Err(..))` when the stream was malformed at this frame (the
+    /// decoder has resynced; keep calling).
+    pub fn next_frame(&mut self) -> Option<Result<Vec<u8>, FrameError>> {
+        if let Some(skip) = &mut self.skipping {
+            let take = skip.remaining.min(self.buf.len());
+            self.buf.drain(..take);
+            skip.remaining -= take;
+            if skip.remaining > 0 {
+                return None; // still swallowing the oversize payload
+            }
+            let err = self.skipping.take().expect("checked above").error;
+            return Some(Err(err));
+        }
+        match self.buf.front() {
+            None => None,
+            Some(b'#') => self.next_length_frame(),
+            Some(_) => self.next_line_frame(),
+        }
+    }
+
+    fn next_line_frame(&mut self) -> Option<Result<Vec<u8>, FrameError>> {
+        let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+            if self.buf.len() > MAX_FRAME {
+                self.buf.clear();
+                return Some(Err(FrameError::Oversize));
+            }
+            return None;
+        };
+        if nl > MAX_FRAME {
+            self.buf.drain(..=nl);
+            return Some(Err(FrameError::Oversize));
+        }
+        let mut line: Vec<u8> = self.buf.drain(..nl).collect();
+        self.buf.pop_front(); // the newline
+        if line.last() == Some(&b'\r') {
+            line.pop(); // CRLF interop; our encoder never emits \r here
+        }
+        Some(Ok(line))
+    }
+
+    fn next_length_frame(&mut self) -> Option<Result<Vec<u8>, FrameError>> {
+        let header_nl = self
+            .buf
+            .iter()
+            .take(MAX_HEADER)
+            .position(|&b| b == b'\n');
+        let Some(nl) = header_nl else {
+            if self.buf.len() >= MAX_HEADER {
+                // No newline within the longest legal header: resync at
+                // the next newline (or wherever the stream continues).
+                return Some(self.resync_line(FrameError::BadLength(
+                    "header not terminated".into(),
+                )));
+            }
+            return None;
+        };
+        let digits: Vec<u8> = self.buf.iter().skip(1).take(nl - 1).copied().collect();
+        let len = match std::str::from_utf8(&digits)
+            .ok()
+            .filter(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(len) => len,
+            None => {
+                let msg = String::from_utf8_lossy(&digits).into_owned();
+                self.buf.drain(..=nl);
+                return Some(Err(FrameError::BadLength(format!("'{msg}'"))));
+            }
+        };
+        if len > MAX_FRAME {
+            // Consume the header now and stream-discard the payload (it
+            // may dwarf anything we are willing to buffer).
+            self.buf.drain(..=nl);
+            self.skipping = Some(Skipping {
+                remaining: len + 1, // payload + terminator
+                error: FrameError::BadLength(format!("{len} exceeds cap {MAX_FRAME}")),
+            });
+            return self.next_frame();
+        }
+        if self.buf.len() < nl + 1 + len + 1 {
+            return None; // payload (and terminator) still in flight
+        }
+        self.buf.drain(..=nl);
+        let payload: Vec<u8> = self.buf.drain(..len).collect();
+        match self.buf.pop_front() {
+            Some(b'\n') => Some(Ok(payload)),
+            // Anything else: the declared length lied. The bogus byte is
+            // consumed; decoding resumes immediately after it.
+            _ => Some(Err(FrameError::MissingTerminator)),
+        }
+    }
+
+    /// Drop everything up to and including the next newline (or the
+    /// whole buffer when none) and report `err`.
+    fn resync_line(&mut self, err: FrameError) -> Result<Vec<u8>, FrameError> {
+        match self.buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                self.buf.drain(..=nl);
+            }
+            None => self.buf.clear(),
+        }
+        Err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(bytes: &[u8]) -> Vec<Result<Vec<u8>, FrameError>> {
+        let mut dec = FrameDecoder::new();
+        dec.push(bytes);
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_line_round_trip() {
+        let enc = encode_frame_vec(b"INGEST ticks 100 AAPL,1.5");
+        assert_eq!(enc, b"INGEST ticks 100 AAPL,1.5\n");
+        assert_eq!(decode_all(&enc), vec![Ok(b"INGEST ticks 100 AAPL,1.5".to_vec())]);
+    }
+
+    #[test]
+    fn binary_payload_uses_length_frame() {
+        let payload = b"line one\nline two\r\n#not a header";
+        let enc = encode_frame_vec(payload);
+        assert!(enc.starts_with(b"#32\n"));
+        assert_eq!(decode_all(&enc), vec![Ok(payload.to_vec())]);
+    }
+
+    #[test]
+    fn hash_prefixed_text_survives() {
+        let enc = encode_frame_vec(b"#comment");
+        assert_eq!(decode_all(&enc), vec![Ok(b"#comment".to_vec())]);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        assert_eq!(decode_all(&encode_frame_vec(b"")), vec![Ok(Vec::new())]);
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let mut enc = Vec::new();
+        encode_frame(b"first", &mut enc);
+        encode_frame(b"a\nb", &mut enc);
+        encode_frame(b"last", &mut enc);
+        for split in 0..enc.len() {
+            let mut dec = FrameDecoder::new();
+            dec.push(&enc[..split]);
+            let mut got = Vec::new();
+            while let Some(f) = dec.next_frame() {
+                got.push(f.unwrap());
+            }
+            dec.push(&enc[split..]);
+            while let Some(f) = dec.next_frame() {
+                got.push(f.unwrap());
+            }
+            assert_eq!(got, vec![b"first".to_vec(), b"a\nb".to_vec(), b"last".to_vec()]);
+        }
+    }
+
+    #[test]
+    fn crlf_line_is_stripped() {
+        assert_eq!(decode_all(b"PING\r\n"), vec![Ok(b"PING".to_vec())]);
+        // Only the final \r is interop-stripped.
+        assert_eq!(decode_all(b"a\rb\r\n"), vec![Ok(b"a\rb".to_vec())]);
+    }
+
+    #[test]
+    fn bad_length_header_resyncs() {
+        let frames = decode_all(b"#xyz\nPING\n");
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(frames[0], Err(FrameError::BadLength(_))));
+        assert_eq!(frames[1], Ok(b"PING".to_vec()));
+    }
+
+    #[test]
+    fn oversize_length_is_skipped_incrementally() {
+        let mut dec = FrameDecoder::new();
+        let declared = MAX_FRAME + 10;
+        dec.push(format!("#{declared}\n").as_bytes());
+        // Stream the bogus payload in chunks: the decoder must discard,
+        // not buffer.
+        let chunk = vec![b'x'; 4096];
+        let mut sent = 0;
+        let mut err = None;
+        while sent < declared + 1 {
+            let n = chunk.len().min(declared + 1 - sent);
+            dec.push(&chunk[..n]);
+            sent += n;
+            if let Some(f) = dec.next_frame() {
+                err = Some(f);
+            }
+            assert!(dec.pending() < 8192, "decoder must not buffer the skip");
+        }
+        assert!(matches!(err, Some(Err(FrameError::BadLength(_)))));
+        dec.push(b"PING\n");
+        assert_eq!(dec.next_frame(), Some(Ok(b"PING".to_vec())));
+    }
+
+    #[test]
+    fn missing_terminator_is_detected() {
+        // Declared 2 bytes but the terminator slot holds 'X'.
+        let frames = decode_all(b"#2\nabXPING\n");
+        assert!(matches!(frames[0], Err(FrameError::MissingTerminator)));
+        // Resyncs immediately after the bogus byte.
+        assert_eq!(frames[1], Ok(b"PING".to_vec()));
+    }
+
+    #[test]
+    fn unterminated_giant_line_errors() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&vec![b'a'; MAX_FRAME + 2]);
+        assert_eq!(dec.next_frame(), Some(Err(FrameError::Oversize)));
+    }
+}

@@ -1,0 +1,334 @@
+//! The HTTP/1.1 frontend: ingest, query reads, the Prometheus-style
+//! `/metrics` exposition, and a Server-Sent-Events subscription stream.
+//!
+//! Routes:
+//!
+//! * `POST /ingest/<stream>` — body is one event per line,
+//!   `<ts-ms> <v1>,<v2>,...` (the TCP `INGEST` payload without the
+//!   stream). Events are staged through admission control; the reply
+//!   reports `staged=<n>`. A full buffer under `Reject` maps to
+//!   `503 Service Unavailable` with the `ERR overloaded …` body, after
+//!   the lines already staged.
+//! * `GET /query/<name>` — the query's materialized rows, one per line.
+//! * `GET /metrics` — exactly [`Registry::render`]: the in-process and
+//!   over-the-wire expositions are byte-identical modulo sample values
+//!   (pinned by `tests/server_metrics.rs`).
+//! * `GET /subscribe/<name>` — `text/event-stream`; each query delta is
+//!   one `data: <name> +|- <row>` event (`-` marks a retraction).
+//! * `POST /pump` — drain the staged buffer once (deterministic-test
+//!   hook, mirroring the TCP `PUMP` command).
+//!
+//! Deliberately minimal: HTTP/1.1, `Connection: close`, no keep-alive,
+//! no chunked requests. Each request gets its own connection — the
+//! curl/monitoring contract, not a general web server.
+//!
+//! [`Registry::render`]: evdb_obs::Registry::render
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use evdb_core::EventServer;
+use evdb_types::{Error, TimestampMs};
+
+use crate::hub::{Hub, Outbound, ServerMetrics};
+use crate::protocol::{parse_record, render_row};
+
+/// Cap on an HTTP request body (matches the frame cap).
+const MAX_BODY: usize = crate::frame::MAX_FRAME;
+
+pub(crate) struct HttpFrontend {
+    pub engine: Arc<EventServer>,
+    pub hub: Arc<Hub>,
+    pub metrics: Arc<ServerMetrics>,
+    pub stop: Arc<AtomicBool>,
+    pub session_ids: Arc<AtomicU64>,
+    pub session_buffer: usize,
+}
+
+pub(crate) fn spawn_listener(
+    frontend: HttpFrontend,
+    addr: &str,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::Builder::new()
+        .name("evdb-http-accept".into())
+        .spawn(move || accept_loop(listener, frontend))
+        .expect("spawn http accept thread");
+    Ok((local, handle))
+}
+
+fn accept_loop(listener: TcpListener, frontend: HttpFrontend) {
+    while !frontend.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                frontend.metrics.connections.inc();
+                frontend.hub.active_connections.fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(&frontend.engine);
+                let hub = Arc::clone(&frontend.hub);
+                let metrics = Arc::clone(&frontend.metrics);
+                let stop = Arc::clone(&frontend.stop);
+                let session_id = frontend.session_ids.fetch_add(1, Ordering::Relaxed);
+                let buffer = frontend.session_buffer;
+                let _ = std::thread::Builder::new()
+                    .name(format!("evdb-http-{session_id}"))
+                    .spawn(move || {
+                        serve_connection(stream, session_id, engine, &hub, metrics, stop, buffer);
+                        hub.active_connections.fetch_sub(1, Ordering::Relaxed);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Read one request head + body. `None` on malformed/oversize input
+/// (the connection is just dropped — nothing useful to reply to).
+fn read_request(stream: &mut TcpStream) -> Option<HttpRequest> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).ok()? == 0 {
+        return None;
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some(HttpRequest { method, path, body })
+}
+
+fn status_line(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        400 => "400 Bad Request",
+        403 => "403 Forbidden",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    }
+}
+
+/// Map an engine error onto an HTTP status.
+fn status_of(e: &Error) -> u16 {
+    match e.kind() {
+        "overloaded" => 503,
+        "not_found" => 404,
+        "unauthorized" => 403,
+        "parse" | "type" | "schema" | "invalid" | "already_exists" => 400,
+        _ => 500,
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_line(code),
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    session_id: u64,
+    engine: Arc<EventServer>,
+    hub: &Arc<Hub>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    buffer: usize,
+) {
+    let Some(req) = read_request(&mut stream) else {
+        return;
+    };
+    metrics.http_requests.inc();
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["metrics"]) => {
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &engine.registry().render());
+        }
+        ("GET", ["query", name]) => match hub.ensure_query(&engine, name) {
+            Ok(()) => {
+                let rows = hub.rows(name).unwrap_or_default();
+                let mut body = String::new();
+                for row in &rows {
+                    body.push_str(&render_row(row));
+                    body.push('\n');
+                }
+                respond(&mut stream, 200, "text/plain", &body);
+            }
+            Err(e) => {
+                metrics.errors.inc();
+                respond(&mut stream, status_of(&e), "text/plain", &format!("ERR {} {e}\n", e.kind()));
+            }
+        },
+        ("GET", ["subscribe", name]) => {
+            serve_sse(stream, session_id, &engine, hub, &metrics, &stop, buffer, name);
+        }
+        ("POST", ["ingest", stream_name]) => {
+            let (staged, err) = ingest_body(&engine, stream_name, &req.body);
+            match err {
+                None => respond(&mut stream, 200, "text/plain", &format!("staged={staged}\n")),
+                Some(e) => {
+                    metrics.errors.inc();
+                    respond(
+                        &mut stream,
+                        status_of(&e),
+                        "text/plain",
+                        &format!("staged={staged}\nERR {} {e}\n", e.kind()),
+                    );
+                }
+            }
+        }
+        ("POST", ["pump"]) => match engine.pump() {
+            Ok(stats) => respond(
+                &mut stream,
+                200,
+                "text/plain",
+                &format!(
+                    "captured={} derived={} notified={}\n",
+                    stats.captured, stats.derived, stats.notified
+                ),
+            ),
+            Err(e) => {
+                metrics.errors.inc();
+                respond(&mut stream, status_of(&e), "text/plain", &format!("ERR {} {e}\n", e.kind()));
+            }
+        },
+        ("GET" | "POST", _) => {
+            metrics.errors.inc();
+            respond(&mut stream, 404, "text/plain", "ERR not_found no such route\n");
+        }
+        _ => {
+            metrics.errors.inc();
+            respond(&mut stream, 405, "text/plain", "ERR proto method not allowed\n");
+        }
+    }
+}
+
+/// Stage each body line (`<ts-ms> <v1>,<v2>,...`); stops at the first
+/// error, returning how many lines made it in.
+fn ingest_body(engine: &EventServer, stream: &str, body: &[u8]) -> (u64, Option<Error>) {
+    let text = String::from_utf8_lossy(body);
+    let schema = match engine.runtime().stream_schema(stream) {
+        Ok(s) => s,
+        Err(e) => return (0, Some(e)),
+    };
+    let mut staged = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (ts, values) = match line.split_once(' ') {
+            Some((ts, values)) => (ts, values),
+            None => return (staged, Some(Error::Schema(format!("bad ingest line '{line}'")))),
+        };
+        let ts: i64 = match ts.parse() {
+            Ok(ts) => ts,
+            Err(_) => return (staged, Some(Error::Schema(format!("bad timestamp '{ts}'")))),
+        };
+        let record = match parse_record(&schema, values) {
+            Ok(r) => r,
+            Err(e) => return (staged, Some(e)),
+        };
+        if let Err(e) = engine.ingest_async(stream, TimestampMs(ts), record) {
+            return (staged, Some(e));
+        }
+        staged += 1;
+    }
+    (staged, None)
+}
+
+/// The SSE loop: subscribe this connection to `name` and stream deltas
+/// until the peer hangs up or the server stops.
+#[allow(clippy::too_many_arguments)]
+fn serve_sse(
+    mut stream: TcpStream,
+    session_id: u64,
+    engine: &EventServer,
+    hub: &Arc<Hub>,
+    metrics: &ServerMetrics,
+    stop: &AtomicBool,
+    buffer: usize,
+    name: &str,
+) {
+    if let Err(e) = hub.ensure_query(engine, name) {
+        metrics.errors.inc();
+        respond(&mut stream, status_of(&e), "text/plain", &format!("ERR {} {e}\n", e.kind()));
+        return;
+    }
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).and_then(|()| stream.flush()).is_err() {
+        return;
+    }
+    let (tx, rx) = sync_channel::<Outbound>(buffer.max(1));
+    hub.subscribe(name, session_id, tx);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Outbound::Frame(text)) => {
+                // `UPDATE <q> ± <row>` → `data: <q> ± <row>`.
+                let payload = text.strip_prefix("UPDATE ").unwrap_or(&text);
+                metrics.frames_tx.inc();
+                if stream
+                    .write_all(format!("data: {payload}\n\n").as_bytes())
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
+                    break; // peer hung up
+                }
+            }
+            Ok(Outbound::Close) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Comment heartbeat doubles as a liveness probe so a
+                // silently-dead peer is noticed within a tick or two.
+                if stream.write_all(b": tick\n\n").and_then(|()| stream.flush()).is_err() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    hub.remove_session(session_id);
+}

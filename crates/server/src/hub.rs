@@ -1,0 +1,332 @@
+//! The subscription hub: one engine-side subscription per query fanned
+//! out to every connected session, plus a compacted materialized view
+//! served by `GET <query>` / `GET /query/:name`.
+//!
+//! Delivery never blocks the notify path: each session owns a bounded
+//! outbound channel and the hub `try_send`s into it. A session that
+//! disconnected is pruned on the next delivery; a session that is alive
+//! but too slow to drain its buffer has updates shed — counted in
+//! `evdb_server_updates_dropped_total`, never silent (D9) — so one
+//! stalled subscriber cannot wedge the pump for everyone else.
+//!
+//! Ordering: the engine invokes the per-query callback sequentially
+//! (delivery happens on the pumping thread), and the hub pushes to
+//! every session inside that callback, so all subscribers observe the
+//! same per-query update sequence in the same order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+use evdb_core::EventServer;
+use evdb_obs::{Counter, Registry};
+use evdb_types::{Record, Result};
+use parking_lot::Mutex;
+
+use crate::protocol::render_row;
+
+/// A message bound for one session's transport writer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outbound {
+    /// A reply or pushed update frame (already protocol-rendered text).
+    Frame(String),
+    /// The server is closing this session (reply `BYE` sent separately).
+    Close,
+}
+
+/// Sender half of a session's outbound channel.
+pub type OutboundSender = SyncSender<Outbound>;
+/// Receiver half, owned by the session's writer loop.
+pub type OutboundReceiver = Receiver<Outbound>;
+
+struct SubEntry {
+    session: u64,
+    sender: OutboundSender,
+}
+
+#[derive(Default)]
+struct QueryState {
+    /// Compacted materialized view: inserts append, retractions remove
+    /// the first matching row (multiset semantics, like `DeltaLog`).
+    rows: Vec<Record>,
+    subs: Vec<SubEntry>,
+}
+
+/// Counters the server layer adds to the shared registry (all
+/// `evdb_server_*`, per the D9 naming contract).
+pub struct ServerMetrics {
+    /// Connections ever accepted (TCP + HTTP).
+    pub connections: Arc<Counter>,
+    /// Frames read off sockets.
+    pub frames_rx: Arc<Counter>,
+    /// Frames written to sockets (replies and pushed updates).
+    pub frames_tx: Arc<Counter>,
+    /// Requests parsed and dispatched.
+    pub requests: Arc<Counter>,
+    /// Error replies sent (protocol + engine errors).
+    pub errors: Arc<Counter>,
+    /// HTTP requests served.
+    pub http_requests: Arc<Counter>,
+    /// Subscription updates delivered into session buffers.
+    pub updates_delivered: Arc<Counter>,
+    /// Updates shed because a live subscriber's buffer was full.
+    pub updates_dropped: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    /// Create every server counter in `registry` (eagerly, so the
+    /// exposition lists them from startup) and bridge the live
+    /// connection/subscription gauges.
+    pub fn bind(registry: &Registry, hub: &Arc<Hub>) -> ServerMetrics {
+        let h = Arc::clone(hub);
+        registry.gauge_fn("evdb_server_connections_active", move || {
+            h.active_connections.load(Ordering::Relaxed) as f64
+        });
+        let h = Arc::clone(hub);
+        registry.gauge_fn("evdb_server_subscriptions_active", move || {
+            h.active_subscriptions() as f64
+        });
+        ServerMetrics {
+            connections: registry.counter("evdb_server_connections_total"),
+            frames_rx: registry.counter("evdb_server_frames_rx_total"),
+            frames_tx: registry.counter("evdb_server_frames_tx_total"),
+            requests: registry.counter("evdb_server_requests_total"),
+            errors: registry.counter("evdb_server_errors_total"),
+            http_requests: registry.counter("evdb_server_http_requests_total"),
+            updates_delivered: registry.counter("evdb_server_updates_delivered_total"),
+            updates_dropped: registry.counter("evdb_server_updates_dropped_total"),
+        }
+    }
+}
+
+/// The per-server fan-out state shared by every frontend.
+pub struct Hub {
+    queries: Mutex<HashMap<String, QueryState>>,
+    /// Live transport connections (bridged as a gauge).
+    pub active_connections: AtomicU64,
+    metrics: Mutex<Option<Arc<ServerMetrics>>>,
+}
+
+impl Hub {
+    /// An empty hub.
+    pub fn new() -> Arc<Hub> {
+        Arc::new(Hub {
+            queries: Mutex::new(HashMap::new()),
+            active_connections: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        })
+    }
+
+    /// Attach the metric handles (after [`ServerMetrics::bind`], which
+    /// needs the hub for its gauges — hence two-phase).
+    pub fn set_metrics(&self, metrics: Arc<ServerMetrics>) {
+        *self.metrics.lock() = Some(metrics);
+    }
+
+    fn with_metrics(&self, f: impl FnOnce(&ServerMetrics)) {
+        if let Some(m) = self.metrics.lock().as_ref() {
+            f(m);
+        }
+    }
+
+    /// Subscriptions currently registered across all queries.
+    pub fn active_subscriptions(&self) -> usize {
+        self.queries.lock().values().map(|q| q.subs.len()).sum()
+    }
+
+    /// Ensure the hub tracks `query`: registers the engine-side
+    /// subscription on first contact so the materialized view starts
+    /// accumulating. Idempotent; errors if the query does not exist.
+    pub fn ensure_query(self: &Arc<Self>, engine: &EventServer, query: &str) -> Result<()> {
+        {
+            let queries = self.queries.lock();
+            if queries.contains_key(query) {
+                return Ok(());
+            }
+        }
+        // Register outside the lock: `on_query_updates` validates the
+        // query name and takes runtime locks of its own.
+        let hub = Arc::clone(self);
+        let qname = query.to_string();
+        engine.on_query_updates(query, move |row, is_retraction| {
+            hub.on_update(&qname, row, is_retraction);
+        })?;
+        self.queries.lock().entry(query.to_string()).or_default();
+        Ok(())
+    }
+
+    /// Add a session's sender to `query`'s fan-out list.
+    /// [`ensure_query`](Hub::ensure_query) must have succeeded first.
+    pub fn subscribe(&self, query: &str, session: u64, sender: OutboundSender) {
+        let mut queries = self.queries.lock();
+        let state = queries.entry(query.to_string()).or_default();
+        if state.subs.iter().all(|s| s.session != session) {
+            state.subs.push(SubEntry { session, sender });
+        }
+    }
+
+    /// Remove one session's subscription to `query`. Returns whether a
+    /// subscription existed.
+    pub fn unsubscribe(&self, query: &str, session: u64) -> bool {
+        let mut queries = self.queries.lock();
+        match queries.get_mut(query) {
+            Some(state) => {
+                let before = state.subs.len();
+                state.subs.retain(|s| s.session != session);
+                state.subs.len() < before
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every subscription a departing session holds (connection
+    /// teardown). The engine-side subscription stays — the materialized
+    /// view keeps accumulating for `GET`.
+    pub fn remove_session(&self, session: u64) {
+        let mut queries = self.queries.lock();
+        for state in queries.values_mut() {
+            state.subs.retain(|s| s.session != session);
+        }
+    }
+
+    /// Current materialized rows for `query` (`None`: never ensured).
+    pub fn rows(&self, query: &str) -> Option<Vec<Record>> {
+        self.queries.lock().get(query).map(|q| q.rows.clone())
+    }
+
+    /// The engine-side delta callback: maintain the view, fan out.
+    fn on_update(&self, query: &str, row: &Record, is_retraction: bool) {
+        let mut queries = self.queries.lock();
+        let Some(state) = queries.get_mut(query) else {
+            return;
+        };
+        if is_retraction {
+            if let Some(pos) = state.rows.iter().position(|r| r == row) {
+                state.rows.remove(pos);
+            }
+        } else {
+            state.rows.push(row.clone());
+        }
+        if state.subs.is_empty() {
+            return;
+        }
+        let sign = if is_retraction { '-' } else { '+' };
+        let frame = format!("UPDATE {query} {sign} {}", render_row(row));
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        state.subs.retain(|sub| {
+            match sub.sender.try_send(Outbound::Frame(frame.clone())) {
+                Ok(()) => {
+                    delivered += 1;
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    // Alive but lagging: shed this update, keep the
+                    // subscription (the counter makes the gap visible).
+                    dropped += 1;
+                    true
+                }
+                // Receiver gone: the session died mid-stream. Pruning
+                // here is what keeps a dropped subscriber from wedging
+                // or slowing the notify path.
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+        drop(queries);
+        self.with_metrics(|m| {
+            m.updates_delivered.add(delivered);
+            m.updates_dropped.add(dropped);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_core::server::ServerConfig;
+    use evdb_types::{DataType, Schema, SimClock, TimestampMs, Value};
+    use std::sync::mpsc::sync_channel;
+
+    fn engine_with_query() -> EventServer {
+        let engine = EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ..Default::default()
+        })
+        .unwrap();
+        engine
+            .create_stream("s", Schema::of(&[("v", DataType::Int)]))
+            .unwrap();
+        engine
+            .register_cql("q", "SELECT count() AS n FROM s [ROWS 1]")
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn fan_out_delivers_in_order_to_every_subscriber() {
+        let engine = engine_with_query();
+        let hub = Hub::new();
+        hub.ensure_query(&engine, "q").unwrap();
+        let (tx_a, rx_a) = sync_channel(16);
+        let (tx_b, rx_b) = sync_channel(16);
+        hub.subscribe("q", 1, tx_a);
+        hub.subscribe("q", 2, tx_b);
+        for i in 0..3 {
+            engine
+                .ingest("s", TimestampMs(i), evdb_types::Record::from_iter([Value::Int(i)]))
+                .unwrap();
+        }
+        let drain = |rx: OutboundReceiver| -> Vec<Outbound> { rx.try_iter().collect() };
+        let a = drain(rx_a);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, drain(rx_b), "all subscribers see the same sequence");
+        assert_eq!(a[0], Outbound::Frame("UPDATE q + 1".into()));
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned_not_wedged() {
+        let engine = engine_with_query();
+        let hub = Hub::new();
+        hub.ensure_query(&engine, "q").unwrap();
+        let (tx, rx) = sync_channel(16);
+        hub.subscribe("q", 7, tx);
+        drop(rx); // session died without unsubscribing
+        engine
+            .ingest("s", TimestampMs(0), evdb_types::Record::from_iter([Value::Int(1)]))
+            .unwrap();
+        assert_eq!(hub.active_subscriptions(), 0, "dead sub must be pruned");
+        // And the view still accumulates.
+        assert_eq!(hub.rows("q").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn slow_subscriber_sheds_but_stays_subscribed() {
+        let engine = engine_with_query();
+        let hub = Hub::new();
+        hub.ensure_query(&engine, "q").unwrap();
+        let (tx, rx) = sync_channel(1);
+        hub.subscribe("q", 9, tx);
+        for i in 0..3 {
+            engine
+                .ingest("s", TimestampMs(i), evdb_types::Record::from_iter([Value::Int(i)]))
+                .unwrap();
+        }
+        // Buffer of 1: first update queued, the rest shed.
+        assert_eq!(rx.try_iter().count(), 1);
+        assert_eq!(hub.active_subscriptions(), 1);
+    }
+
+    #[test]
+    fn retraction_compacts_the_view() {
+        let engine = engine_with_query();
+        let hub = Hub::new();
+        hub.ensure_query(&engine, "q").unwrap();
+        // Simulate a signed delta pair directly through the callback.
+        let row = evdb_types::Record::from_iter([Value::Int(1)]);
+        hub.on_update("q", &row, false);
+        assert_eq!(hub.rows("q").unwrap().len(), 1);
+        hub.on_update("q", &row, true);
+        assert_eq!(hub.rows("q").unwrap().len(), 0);
+    }
+}

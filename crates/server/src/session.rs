@@ -1,0 +1,189 @@
+//! Sessioned request dispatch, shared by the TCP frontend (every
+//! command) and the HTTP frontend (the ingest/query/pump subset).
+//!
+//! A session is one transport connection: a unique id, an outbound
+//! channel its writer drains, and whatever subscriptions it has
+//! registered with the [`Hub`]. Dispatch itself is synchronous — the
+//! admission gate inside [`EventServer::ingest_async`] is what turns a
+//! full staged buffer into either a stalled reader (Block → socket
+//! backpressure), an `ERR overloaded` reply (Reject), or a counted
+//! shed (ShedLowest), making the overload policy a client-visible
+//! contract (DESIGN.md D13).
+
+use std::sync::Arc;
+
+use evdb_core::server::CaptureMechanism;
+use evdb_core::EventServer;
+
+use crate::hub::{Hub, Outbound, OutboundSender, ServerMetrics};
+use crate::protocol::{
+    parse_record, parse_request, render_err, render_proto_err, render_row, Request,
+};
+
+/// One connection's dispatch context.
+pub struct Session {
+    /// Unique session id (subscription ownership key).
+    pub id: u64,
+    /// The engine facade.
+    pub engine: Arc<EventServer>,
+    /// Shared fan-out hub.
+    pub hub: Arc<Hub>,
+    /// Server-layer counters.
+    pub metrics: Arc<ServerMetrics>,
+    /// This session's outbound channel (writer drains it).
+    pub out: OutboundSender,
+}
+
+impl Session {
+    /// Queue one reply frame (drops silently if the writer is gone —
+    /// the reader loop notices the dead socket on its own).
+    pub fn reply(&self, frame: String) {
+        let _ = self.out.send(Outbound::Frame(frame));
+    }
+
+    fn reply_err(&self, frame: String) {
+        self.metrics.errors.inc();
+        self.reply(frame);
+    }
+
+    /// Parse and dispatch one request frame. Returns `false` when the
+    /// session asked to close.
+    pub fn handle_line(&self, line: &str) -> bool {
+        self.metrics.requests.inc();
+        match parse_request(line) {
+            Ok(req) => self.dispatch(req),
+            Err(msg) => {
+                self.reply_err(render_proto_err(&msg));
+                true
+            }
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> bool {
+        match req {
+            Request::Ping => self.reply("PONG".into()),
+            Request::Quit => {
+                self.reply("BYE".into());
+                let _ = self.out.send(Outbound::Close);
+                return false;
+            }
+            Request::CreateStream { name, schema } => {
+                match self.engine.create_stream(&name, schema) {
+                    Ok(()) => self.reply("OK".into()),
+                    Err(e) => self.reply_err(render_err(&e)),
+                }
+            }
+            Request::CreateTable { name, schema, key } => {
+                match self.engine.db().create_table(&name, schema, &key) {
+                    Ok(_) => self.reply("OK".into()),
+                    Err(e) => self.reply_err(render_err(&e)),
+                }
+            }
+            Request::Capture { table, journal } => {
+                let mechanism = if journal {
+                    CaptureMechanism::Journal
+                } else {
+                    CaptureMechanism::Trigger
+                };
+                match self.engine.capture_table(&table, mechanism) {
+                    Ok(stream) => self.reply(format!("OK {stream}")),
+                    Err(e) => self.reply_err(render_err(&e)),
+                }
+            }
+            Request::RegisterQuery { name, cql } => {
+                match self.engine.register_cql(&name, &cql) {
+                    // Attach the hub's materialized view immediately, so
+                    // a later GET sees every result row the query emitted
+                    // since registration, not just since first read.
+                    Ok(()) => match self.hub.ensure_query(&self.engine, &name) {
+                        Ok(()) => self.reply("OK".into()),
+                        Err(e) => self.reply_err(render_err(&e)),
+                    },
+                    Err(e) => self.reply_err(render_err(&e)),
+                }
+            }
+            Request::Ingest { stream, ts, values } => match self.stage(&stream, ts, &values) {
+                Ok(()) => self.reply("OK staged".into()),
+                Err(e) => self.reply_err(render_err(&e)),
+            },
+            Request::Insert { table, values } => match self.insert(&table, &values) {
+                Ok(()) => self.reply("OK inserted".into()),
+                Err(e) => self.reply_err(render_err(&e)),
+            },
+            Request::Subscribe { query } => {
+                match self.hub.ensure_query(&self.engine, &query) {
+                    Ok(()) => {
+                        self.hub.subscribe(&query, self.id, self.out.clone());
+                        self.reply(format!("OK subscribed {query}"));
+                    }
+                    Err(e) => self.reply_err(render_err(&e)),
+                }
+            }
+            Request::Unsubscribe { query } => {
+                if self.hub.unsubscribe(&query, self.id) {
+                    self.reply(format!("OK unsubscribed {query}"));
+                } else {
+                    self.reply_err(render_proto_err(&format!(
+                        "not subscribed to '{query}'"
+                    )));
+                }
+            }
+            Request::Get { query } => match self.hub.ensure_query(&self.engine, &query) {
+                Ok(()) => {
+                    let rows = self.hub.rows(&query).unwrap_or_default();
+                    for row in &rows {
+                        self.reply(format!("ROW {}", render_row(row)));
+                    }
+                    self.reply(format!("OK {} rows", rows.len()));
+                }
+                Err(e) => self.reply_err(render_err(&e)),
+            },
+            Request::Pump => match self.engine.pump() {
+                Ok(stats) => self.reply(format!(
+                    "OK captured={} derived={} notified={}",
+                    stats.captured, stats.derived, stats.notified
+                )),
+                Err(e) => self.reply_err(render_err(&e)),
+            },
+            Request::Stats => {
+                let ac = self.engine.admission();
+                self.reply(format!(
+                    "OK depth={} shed={} rejected={} dropped_capture={}",
+                    ac.depth(),
+                    ac.shed_total(),
+                    ac.rejected_total(),
+                    ac.dropped_capture_total()
+                ));
+            }
+        }
+        true
+    }
+
+    /// Stage one event through admission control. Under `Block` this
+    /// call parks until the pump drains — the reader stops consuming
+    /// and TCP flow control propagates the stall to the producer.
+    fn stage(
+        &self,
+        stream: &str,
+        ts: evdb_types::TimestampMs,
+        values: &str,
+    ) -> evdb_types::Result<()> {
+        let schema = self.engine.runtime().stream_schema(stream)?;
+        let record = parse_record(&schema, values)?;
+        self.engine.ingest_async(stream, ts, record)
+    }
+
+    /// Insert through the storage engine; a trigger capture's admission
+    /// check runs inside this write, so `Reject` rolls the row back
+    /// before the error reaches the client.
+    fn insert(&self, table: &str, values: &str) -> evdb_types::Result<()> {
+        let table_ref = self.engine.db().table(table)?;
+        let record = parse_record(table_ref.schema(), values)?;
+        self.engine.db().insert(table, record).map(|_| ())
+    }
+
+    /// Connection teardown: drop every subscription this session holds.
+    pub fn teardown(&self) {
+        self.hub.remove_session(self.id);
+    }
+}

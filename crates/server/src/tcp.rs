@@ -1,0 +1,183 @@
+//! The TCP line-protocol frontend: framed requests in, framed replies
+//! and subscription pushes out.
+//!
+//! One reader thread per connection parses frames off the socket and
+//! dispatches them through [`Session`]; one writer thread per
+//! connection drains the session's outbound channel. Splitting the
+//! halves means a subscription push never interleaves bytes with a
+//! reply (both funnel through the single writer) and a `Block`ed
+//! admission call — which parks the *reader* — leaves already-queued
+//! replies flowing while TCP flow control stalls the producer.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use evdb_core::EventServer;
+
+use crate::frame::{encode_frame, FrameDecoder};
+use crate::hub::{Hub, Outbound, OutboundReceiver, ServerMetrics};
+use crate::session::Session;
+
+/// How long a blocked read waits before re-checking the stop flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+pub(crate) struct TcpFrontend {
+    pub engine: Arc<EventServer>,
+    pub hub: Arc<Hub>,
+    pub metrics: Arc<ServerMetrics>,
+    pub stop: Arc<AtomicBool>,
+    pub session_ids: Arc<AtomicU64>,
+    /// Outbound channel capacity per session (subscription buffering).
+    pub session_buffer: usize,
+}
+
+/// Bind the listener and spawn the accept loop. Returns the bound
+/// address (resolves `:0` to the ephemeral port) and the accept thread.
+pub(crate) fn spawn_listener(
+    frontend: TcpFrontend,
+    addr: &str,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::Builder::new()
+        .name("evdb-tcp-accept".into())
+        .spawn(move || accept_loop(listener, frontend))
+        .expect("spawn tcp accept thread");
+    Ok((local, handle))
+}
+
+fn accept_loop(listener: TcpListener, frontend: TcpFrontend) {
+    while !frontend.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                frontend.metrics.connections.inc();
+                frontend.hub.active_connections.fetch_add(1, Ordering::Relaxed);
+                let session_id = frontend.session_ids.fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(&frontend.engine);
+                let hub = Arc::clone(&frontend.hub);
+                let metrics = Arc::clone(&frontend.metrics);
+                let stop = Arc::clone(&frontend.stop);
+                let buffer = frontend.session_buffer;
+                // Connection threads are detached: they exit on stop (the
+                // read timeout re-checks the flag) or peer close, and hold
+                // only Arcs, so shutdown does not need to join them.
+                let _ = std::thread::Builder::new()
+                    .name(format!("evdb-conn-{session_id}"))
+                    .spawn(move || {
+                        serve_connection(stream, session_id, engine, hub, metrics, stop, buffer);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    session_id: u64,
+    engine: Arc<EventServer>,
+    hub: Arc<Hub>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    buffer: usize,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            hub.active_connections.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let (tx, rx) = sync_channel::<Outbound>(buffer.max(1));
+    let writer = {
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name(format!("evdb-conn-{session_id}-w"))
+            .spawn(move || writer_loop(write_half, rx, metrics))
+            .expect("spawn connection writer")
+    };
+
+    let session = Session {
+        id: session_id,
+        engine,
+        hub: Arc::clone(&hub),
+        metrics: Arc::clone(&metrics),
+        out: tx,
+    };
+    reader_loop(stream, &session, &stop);
+
+    // Teardown: subscriptions first (so the hub stops queueing into this
+    // session), then drop our sender so the writer drains and exits.
+    session.teardown();
+    drop(session);
+    let _ = writer.join();
+    hub.active_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn reader_loop(mut stream: TcpStream, session: &Session, stop: &AtomicBool) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    'conn: while !stop.load(Ordering::SeqCst) {
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                while let Some(frame) = decoder.next_frame() {
+                    match frame {
+                        Ok(payload) => {
+                            session.metrics.frames_rx.inc();
+                            // Requests are text; lossy decoding keeps the
+                            // reply path panic-free on arbitrary bytes.
+                            let line = String::from_utf8_lossy(&payload);
+                            if !session.handle_line(&line) {
+                                break 'conn;
+                            }
+                        }
+                        Err(e) => {
+                            session.metrics.errors.inc();
+                            session.reply(format!("ERR frame {e}"));
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle tick: re-check stop
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: OutboundReceiver, metrics: Arc<ServerMetrics>) {
+    let mut out = std::io::BufWriter::new(stream);
+    let mut scratch = Vec::with_capacity(4 * 1024);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Outbound::Frame(text) => {
+                scratch.clear();
+                encode_frame(text.as_bytes(), &mut scratch);
+                metrics.frames_tx.inc();
+                if out.write_all(&scratch).and_then(|()| out.flush()).is_err() {
+                    break; // peer gone; reader will notice on its own
+                }
+            }
+            Outbound::Close => break,
+        }
+    }
+    if let Ok(stream) = out.into_inner() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -9,7 +9,9 @@ pub use evdb_cq as cq;
 pub use evdb_dist as dist;
 pub use evdb_expr as expr;
 pub use evdb_faults as faults;
+pub use evdb_obs as obs;
 pub use evdb_queue as queue;
+pub use evdb_server as net;
 pub use evdb_rules as rules;
 pub use evdb_storage as storage;
 pub use evdb_types as types;

@@ -16,6 +16,8 @@ use std::sync::Arc;
 use evdb::core::metrics::Registry;
 use evdb::core::server::ServerConfig;
 use evdb::core::{CaptureMechanism, EventServer};
+use evdb::net::hub::{Hub, ServerMetrics};
+use evdb::obs::normalize_exposition;
 use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
 
 const GOLDEN: &str = concat!(
@@ -33,6 +35,11 @@ fn render_fixed_workload() -> String {
         ..Default::default()
     })
     .unwrap();
+    // Bind the network layer's counters/gauges too, so the golden pins
+    // the full exposition a deployed `evdb-server` serves on /metrics.
+    let hub = Hub::new();
+    let metrics = Arc::new(ServerMetrics::bind(server.registry(), &hub));
+    hub.set_metrics(metrics);
     server
         .db()
         .create_table(
@@ -67,27 +74,9 @@ fn render_fixed_workload() -> String {
     server.registry().render()
 }
 
-/// Keep `# TYPE` lines verbatim; replace each sample line's value with
-/// `V` so wall-clock-derived numbers don't churn the fixture.
-fn normalize(exposition: &str) -> String {
-    let mut out = String::new();
-    for line in exposition.lines() {
-        if line.starts_with("# ") {
-            out.push_str(line);
-        } else if let Some(idx) = line.rfind(' ') {
-            out.push_str(&line[..idx]);
-            out.push_str(" V");
-        } else {
-            out.push_str(line);
-        }
-        out.push('\n');
-    }
-    out
-}
-
 #[test]
 fn exposition_matches_golden() {
-    let normalized = normalize(&render_fixed_workload());
+    let normalized = normalize_exposition(&render_fixed_workload());
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN, &normalized).unwrap();
         return;
@@ -122,6 +111,9 @@ fn exposition_covers_every_layer() {
         "evdb_cq_late_admitted_total",
         "evdb_cq_late_dropped_total",
         "evdb_cq_dup_dropped_total",         // replay dedup window
+        "evdb_server_connections_total",     // network frontends (D13)
+        "evdb_server_updates_dropped_total", // fan-out shed accounting
+        "evdb_server_subscriptions_active",  // live subscription gauge
     ] {
         assert!(text.contains(name), "exposition missing {name}:\n{text}");
     }

@@ -1,0 +1,267 @@
+//! Golden-transcript tests for the TCP line protocol: canned client
+//! sessions in `tests/fixtures/protocol/*.txt` are replayed against a
+//! real listener and every reply (and pushed `UPDATE`) must match the
+//! recorded transcript byte-for-byte.
+//!
+//! Transcript format, one directive per line:
+//!
+//! ```text
+//! ; comment (preserved on regeneration)
+//! A> PING          send the frame "PING" on connection A
+//! A< PONG          the next frame received on A must equal "PONG"
+//! A! #zz           send raw bytes + newline UNframed (provokes framing errors)
+//! ```
+//!
+//! Connections are opened lazily at first mention, in order. The server
+//! runs without a background pump, so transcripts drive evaluation with
+//! explicit `PUMP` commands and the reply order is deterministic:
+//! `UPDATE` pushes enqueue during the pump, before its `OK` reply.
+//!
+//! Regenerate after intentional protocol changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test server_golden
+//! ```
+//!
+//! (keeps comments and `>`/`!` lines, rewrites the `<` expectations
+//! from the live replies).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use evdb::core::server::ServerConfig;
+use evdb::core::EventServer;
+use evdb::net::frame::{encode_frame_vec, FrameDecoder};
+use evdb::net::{NetConfig, NetServer};
+use evdb::types::{SimClock, TimestampMs};
+
+const FIXTURE_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/protocol");
+
+/// One client connection in a transcript replay.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    queue: Vec<String>,
+}
+
+impl Conn {
+    fn connect(addr: std::net::SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .unwrap();
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// One read tick: pull whatever bytes are available into the
+    /// decoder and queue any complete frames. Returns how many frames
+    /// arrived.
+    fn pump_reads(&mut self) -> usize {
+        let mut buf = [0u8; 4096];
+        let mut got = 0;
+        match self.stream.read(&mut buf) {
+            Ok(0) => {}
+            Ok(n) => {
+                self.decoder.push(&buf[..n]);
+                while let Some(frame) = self.decoder.next_frame() {
+                    let frame = frame.expect("server never sends malformed frames");
+                    self.queue
+                        .push(String::from_utf8(frame).expect("server frames are UTF-8"));
+                    got += 1;
+                }
+            }
+            Err(_) => {} // timeout tick
+        }
+        got
+    }
+
+    /// Block (up to 5 s) for the next frame.
+    fn next_frame(&mut self) -> String {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if !self.queue.is_empty() {
+                return self.queue.remove(0);
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for a frame from the server"
+            );
+            self.pump_reads();
+        }
+    }
+}
+
+/// A fresh engine + server per transcript: simulated clock, generous
+/// lateness (the retraction transcript replays a late event), no
+/// background pump.
+fn start_server() -> NetServer {
+    let engine = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            lateness_ms: 2_000,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    NetServer::start(
+        engine,
+        NetConfig {
+            http_addr: None,
+            pump_interval: None,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn parse_directive(line: &str) -> Option<(char, char, &str)> {
+    let mut chars = line.chars();
+    let id = chars.next()?;
+    let op = chars.next()?;
+    if !id.is_ascii_uppercase() || !matches!(op, '>' | '<' | '!') {
+        return None;
+    }
+    let rest = line[2..].strip_prefix(' ').unwrap_or(&line[2..]);
+    Some((id, op, rest))
+}
+
+/// Replay `script` against a fresh server. In regen mode, returns the
+/// regenerated transcript; in verify mode, panics on any mismatch and
+/// returns the input unchanged.
+fn run_transcript(script: &str, regen: bool) -> String {
+    let server = start_server();
+    let addr = server.tcp_addr();
+    let mut conns: HashMap<char, Conn> = HashMap::new();
+    let mut order: Vec<char> = Vec::new();
+    let mut out = String::new();
+
+    for (lineno, line) in script.lines().enumerate() {
+        let n = lineno + 1;
+        let Some((id, op, payload)) = parse_directive(line) else {
+            // Comment / blank: preserved verbatim.
+            if regen {
+                out.push_str(line);
+                out.push('\n');
+            }
+            continue;
+        };
+        match op {
+            '>' | '!' => {
+                if regen {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(id) {
+                    e.insert(Conn::connect(addr));
+                    order.push(id);
+                }
+                let conn = conns.get_mut(&id).unwrap();
+                let bytes = if op == '>' {
+                    encode_frame_vec(payload.as_bytes())
+                } else {
+                    let mut raw = payload.as_bytes().to_vec();
+                    raw.push(b'\n');
+                    raw
+                };
+                conn.stream.write_all(&bytes).unwrap();
+                conn.stream.flush().unwrap();
+                if regen {
+                    // Capture every reply this send produced, on every
+                    // connection, after a quiet window.
+                    let mut last_activity = Instant::now();
+                    while last_activity.elapsed() < Duration::from_millis(200) {
+                        for cid in &order {
+                            if conns.get_mut(cid).unwrap().pump_reads() > 0 {
+                                last_activity = Instant::now();
+                            }
+                        }
+                    }
+                    for cid in &order {
+                        let conn = conns.get_mut(cid).unwrap();
+                        for frame in conn.queue.drain(..) {
+                            out.push_str(&format!("{cid}< {frame}\n"));
+                        }
+                    }
+                }
+            }
+            '<' => {
+                if regen {
+                    continue; // rewritten from live replies
+                }
+                let conn = conns
+                    .get_mut(&id)
+                    .unwrap_or_else(|| panic!("line {n}: expectation before any send on {id}"));
+                let got = conn.next_frame();
+                assert_eq!(
+                    got, payload,
+                    "line {n}: reply mismatch on connection {id}"
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    if !regen {
+        // No connection may have unconsumed frames: the transcript must
+        // account for every byte the server pushed.
+        std::thread::sleep(Duration::from_millis(100));
+        for id in &order {
+            let conn = conns.get_mut(id).unwrap();
+            conn.pump_reads();
+            assert!(
+                conn.queue.is_empty(),
+                "connection {id} received frames the transcript does not expect: {:?}",
+                conn.queue
+            );
+        }
+    }
+    if regen {
+        out
+    } else {
+        script.to_string()
+    }
+}
+
+fn check_fixture(name: &str) {
+    let path = format!("{FIXTURE_DIR}/{name}");
+    let script = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing {path} — run with UPDATE_GOLDEN=1"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let regenerated = run_transcript(&script, true);
+        std::fs::write(&path, regenerated).unwrap();
+        return;
+    }
+    run_transcript(&script, false);
+}
+
+#[test]
+fn transcript_ingest_and_query() {
+    check_fixture("ingest_query.txt");
+}
+
+#[test]
+fn transcript_capture_insert() {
+    check_fixture("capture_insert.txt");
+}
+
+#[test]
+fn transcript_subscribe_retraction() {
+    check_fixture("subscribe_retraction.txt");
+}
+
+#[test]
+fn transcript_fanout_two_clients() {
+    check_fixture("fanout_two_clients.txt");
+}
+
+#[test]
+fn transcript_malformed_requests() {
+    check_fixture("malformed.txt");
+}

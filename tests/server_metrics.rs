@@ -1,0 +1,235 @@
+//! The HTTP frontend's observability contract:
+//!
+//! * `GET /metrics` serves exactly the in-process `Registry::render()`
+//!   exposition — byte-identical modulo sample values (compared through
+//!   the shared `normalize_exposition`, the same normalizer the
+//!   exposition golden uses);
+//! * the `evdb_server_*` counters it reports match what this very
+//!   client observed over the wire;
+//! * the ingest/query/pump/SSE routes round-trip against the same
+//!   engine the TCP frontend serves.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use evdb::core::server::ServerConfig;
+use evdb::core::EventServer;
+use evdb::net::frame::{encode_frame_vec, FrameDecoder};
+use evdb::net::{NetConfig, NetServer};
+use evdb::obs::normalize_exposition;
+use evdb::types::{SimClock, TimestampMs};
+
+fn start_server() -> NetServer {
+    let engine = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    NetServer::start(
+        engine,
+        NetConfig {
+            pump_interval: None, // explicit pumps keep the metric set stable
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Minimal HTTP/1.1 request over a fresh connection (the server is
+/// `Connection: close`, so one connection per request is the contract).
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let response = String::from_utf8(response).unwrap();
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("malformed HTTP response");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("missing status")
+        .parse()
+        .unwrap();
+    (status, payload.to_string())
+}
+
+/// One TCP protocol round trip on a dedicated connection.
+fn tcp_call(addr: std::net::SocketAddr, cmds: &[&str]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .unwrap();
+    let mut decoder = FrameDecoder::new();
+    let mut replies = Vec::new();
+    for cmd in cmds {
+        stream.write_all(&encode_frame_vec(cmd.as_bytes())).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(frame) = decoder.next_frame() {
+                replies.push(String::from_utf8(frame.unwrap()).unwrap());
+                break;
+            }
+            assert!(Instant::now() < deadline, "timed out on {cmd}");
+            let mut buf = [0u8; 4096];
+            match stream.read(&mut buf) {
+                Ok(0) => panic!("connection closed"),
+                Ok(n) => decoder.push(&buf[..n]),
+                Err(_) => {}
+            }
+        }
+    }
+    replies
+}
+
+fn counter_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition"))
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not an integer"))
+}
+
+#[test]
+fn http_metrics_parity_with_in_process_render() {
+    let mut server = start_server();
+    let http_addr = server.http_addr().unwrap();
+
+    // Exercise enough of the pipeline that every layer's metrics exist.
+    let replies = tcp_call(
+        server.tcp_addr(),
+        &[
+            "CREATE STREAM ticks sym:STR,px:FLOAT",
+            "REGISTER QUERY volume SELECT count() AS n FROM ticks [ROWS 2]",
+            "INGEST ticks 100 AAPL,101.5",
+            "INGEST ticks 200 MSFT,52.25",
+            "PUMP",
+        ],
+    );
+    assert!(replies.iter().all(|r| r.starts_with("OK")), "{replies:?}");
+
+    let (status, body) = http(http_addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let local = server.engine().registry().render();
+    assert_eq!(
+        normalize_exposition(&body),
+        normalize_exposition(&local),
+        "/metrics must be the Registry exposition, byte-identical modulo values"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn server_counters_match_client_observed_traffic() {
+    let mut server = start_server();
+    let http_addr = server.http_addr().unwrap();
+
+    let cmds = [
+        "CREATE STREAM s v:INT",
+        "REGISTER QUERY q SELECT count() AS n FROM s [ROWS 1]",
+        "INGEST s 1 1",
+        "PUMP",
+        "GET q",
+    ];
+    let replies = tcp_call(server.tcp_addr(), &cmds);
+    // GET q returns ROW + OK; tcp_call reads one frame per command, so
+    // one ROW frame is still queued — it was transmitted regardless.
+    assert!(replies.last().unwrap().starts_with("ROW "), "{replies:?}");
+
+    let (_, body) = http(http_addr, "GET", "/metrics", "");
+    // Exactly the five commands this client sent were dispatched.
+    assert_eq!(
+        counter_value(&body, "evdb_server_requests_total"),
+        cmds.len() as u64,
+        "request counter must match the client's command count"
+    );
+    // One TCP connection plus the in-flight HTTP request itself.
+    assert_eq!(counter_value(&body, "evdb_server_connections_total"), 2);
+    assert_eq!(counter_value(&body, "evdb_server_http_requests_total"), 1);
+    assert_eq!(counter_value(&body, "evdb_server_errors_total"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn http_ingest_query_and_pump_round_trip() {
+    let mut server = start_server();
+    let addr = server.http_addr().unwrap();
+    tcp_call(
+        server.tcp_addr(),
+        &[
+            "CREATE STREAM s v:INT",
+            "REGISTER QUERY q SELECT count() AS n FROM s [ROWS 2]",
+        ],
+    );
+
+    let (status, body) = http(addr, "POST", "/ingest/s", "1 1\n2 2\n");
+    assert_eq!((status, body.as_str()), (200, "staged=2\n"));
+    let (status, body) = http(addr, "POST", "/pump", "");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("captured=2"), "{body}");
+    let (status, body) = http(addr, "GET", "/query/q", "");
+    assert_eq!((status, body.as_str()), (200, "2\n"));
+
+    // Error mapping: unknown stream → 404 with the typed error body.
+    let (status, body) = http(addr, "POST", "/ingest/nosuch", "1 1\n");
+    assert_eq!(status, 404);
+    assert!(body.contains("ERR not_found"), "{body}");
+    let (status, _) = http(addr, "GET", "/query/nosuch", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/nosuch", "");
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn sse_subscription_streams_updates() {
+    let mut server = start_server();
+    let http_addr = server.http_addr().unwrap();
+    tcp_call(
+        server.tcp_addr(),
+        &["CREATE STREAM s v:INT", "REGISTER QUERY q SELECT v FROM s"],
+    );
+
+    // Open the SSE stream and confirm the event-stream handshake.
+    let mut sse = TcpStream::connect(http_addr).unwrap();
+    sse.write_all(b"GET /subscribe/q HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    sse.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let mut received = String::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !received.contains("text/event-stream") {
+        assert!(Instant::now() < deadline, "no SSE handshake: {received}");
+        let mut buf = [0u8; 4096];
+        if let Ok(n) = sse.read(&mut buf) {
+            received.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+    }
+
+    // Produce an event; the subscriber must see the signed delta.
+    tcp_call(server.tcp_addr(), &["INGEST s 7 42", "PUMP"]);
+    while !received.contains("data: q + 42\n\n") {
+        assert!(
+            Instant::now() < deadline,
+            "SSE update never arrived: {received}"
+        );
+        let mut buf = [0u8; 4096];
+        if let Ok(n) = sse.read(&mut buf) {
+            received.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+    }
+    server.shutdown();
+}

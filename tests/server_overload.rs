@@ -1,0 +1,236 @@
+//! Socket-level overload regressions (DESIGN.md D13): each admission
+//! policy's behavior as observed by a real network client —
+//!
+//! * `Reject` → a typed `ERR overloaded` reply, the triggering write
+//!   rolled back, and the client-observed rejection count equal to the
+//!   admission counters;
+//! * `Block` → the producer's socket stalls (no reply) until another
+//!   connection pumps the buffer down;
+//! * `ShedLowest` → every offer acknowledged, the overflow counted in
+//!   `evdb_ingest_shed_total`, and `offered == evaluated + shed` exact.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use evdb::core::server::ServerConfig;
+use evdb::core::{EventServer, OverloadPolicy};
+use evdb::net::frame::{encode_frame_vec, FrameDecoder};
+use evdb::net::{NetConfig, NetServer};
+use evdb::types::{SimClock, TimestampMs};
+
+/// A blocking protocol client over a real socket.
+struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .unwrap();
+        Client {
+            stream,
+            decoder: FrameDecoder::new(),
+        }
+    }
+
+    fn send(&mut self, cmd: &str) {
+        self.stream
+            .write_all(&encode_frame_vec(cmd.as_bytes()))
+            .unwrap();
+    }
+
+    /// Next frame, waiting up to `wait`. `None` on timeout.
+    fn try_recv(&mut self, wait: Duration) -> Option<String> {
+        let deadline = Instant::now() + wait;
+        loop {
+            if let Some(frame) = self.decoder.next_frame() {
+                return Some(String::from_utf8(frame.unwrap()).unwrap());
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return None,
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(_) => {} // timeout tick
+            }
+        }
+    }
+
+    fn recv(&mut self) -> String {
+        self.try_recv(Duration::from_secs(5))
+            .expect("timed out waiting for a reply")
+    }
+
+    /// Round trip: send, read one reply.
+    fn call(&mut self, cmd: &str) -> String {
+        self.send(cmd);
+        self.recv()
+    }
+}
+
+fn server_with(capacity: usize, overload: OverloadPolicy) -> NetServer {
+    let engine = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ingest_capacity: capacity,
+            overload,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    NetServer::start(
+        engine,
+        NetConfig {
+            http_addr: None,
+            pump_interval: None, // tests control draining explicitly
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn reject_surfaces_typed_error_and_exact_counters() {
+    let mut server = server_with(2, OverloadPolicy::Reject);
+    let mut c = Client::connect(server.tcp_addr());
+    assert_eq!(c.call("CREATE STREAM s v:INT"), "OK");
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..10 {
+        let reply = c.call(&format!("INGEST s {i} {i}"));
+        if reply == "OK staged" {
+            accepted += 1;
+        } else {
+            assert!(
+                reply.starts_with("ERR overloaded "),
+                "rejection must be the typed overloaded error, got: {reply}"
+            );
+            rejected += 1;
+        }
+    }
+    assert_eq!(accepted, 2, "exactly the capacity is admitted");
+    assert_eq!(rejected, 8);
+
+    // The client-visible STATS line and the admission counters agree
+    // with what the client experienced, exactly.
+    assert_eq!(
+        c.call("STATS"),
+        "OK depth=2 shed=0 rejected=8 dropped_capture=0"
+    );
+    let ac = server.engine().admission().clone();
+    assert_eq!(ac.rejected_total(), rejected);
+    assert_eq!(ac.shed_total(), 0);
+
+    // After a drain, capacity is available again.
+    let pump = c.call("PUMP");
+    assert!(pump.starts_with("OK captured=2"), "{pump}");
+    assert_eq!(c.call("INGEST s 100 100"), "OK staged");
+    server.shutdown();
+}
+
+#[test]
+fn reject_rolls_back_the_triggering_insert() {
+    let mut server = server_with(1, OverloadPolicy::Reject);
+    let engine = Arc::clone(server.engine());
+    let mut c = Client::connect(server.tcp_addr());
+    assert_eq!(c.call("CREATE TABLE t k:INT KEY k"), "OK");
+    assert_eq!(c.call("CAPTURE t TRIGGER"), "OK t_changes");
+
+    assert_eq!(c.call("INSERT t 1"), "OK inserted"); // fills capacity 1
+    let reply = c.call("INSERT t 2");
+    assert!(
+        reply.starts_with("ERR overloaded "),
+        "second insert must be rejected: {reply}"
+    );
+
+    // The rejected insert's row must NOT be in the table: the trigger
+    // capture runs inside the write, so rejection rolled it back.
+    let rows = engine
+        .db()
+        .select("t", &evdb::expr::parse("k >= 0").unwrap())
+        .unwrap();
+    assert_eq!(rows.len(), 1, "rejected write must be rolled back");
+    assert_eq!(
+        engine.admission().rejected_total(),
+        1,
+        "exactly one client-visible rejection"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn block_stalls_the_producer_socket_until_drained() {
+    let mut server = server_with(1, OverloadPolicy::Block);
+    let mut producer = Client::connect(server.tcp_addr());
+    assert_eq!(producer.call("CREATE STREAM s v:INT"), "OK");
+
+    // Three offers into capacity 1: the first stages and replies, the
+    // second parks the connection's reader inside admission, the third
+    // sits unread in socket buffers. No error, no shed — just silence.
+    producer.send("INGEST s 1 1");
+    producer.send("INGEST s 2 2");
+    producer.send("INGEST s 3 3");
+    assert_eq!(producer.recv(), "OK staged");
+    assert_eq!(
+        producer.try_recv(Duration::from_millis(400)),
+        None,
+        "producer must be stalled by backpressure, not answered"
+    );
+
+    // A second connection drains; each pump frees one slot, unblocking
+    // the parked offer, until the producer has all three acks.
+    let mut drainer = Client::connect(server.tcp_addr());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut acks = 1;
+    while acks < 3 {
+        assert!(Instant::now() < deadline, "blocked producer never unblocked");
+        let reply = drainer.call("PUMP");
+        assert!(reply.starts_with("OK captured="), "{reply}");
+        while let Some(frame) = producer.try_recv(Duration::from_millis(100)) {
+            assert_eq!(frame, "OK staged");
+            acks += 1;
+        }
+    }
+
+    // Block never sheds or rejects: every offer was eventually admitted.
+    let ac = server.engine().admission().clone();
+    assert_eq!(ac.shed_total(), 0);
+    assert_eq!(ac.rejected_total(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn shed_lowest_accounts_for_every_offer() {
+    let mut server = server_with(3, OverloadPolicy::ShedLowest);
+    let mut c = Client::connect(server.tcp_addr());
+    assert_eq!(c.call("CREATE STREAM s v:INT"), "OK");
+
+    // Every offer is acknowledged under ShedLowest — overflow evicts a
+    // staged event instead of refusing the new one.
+    let offered = 10u64;
+    for i in 0..offered {
+        assert_eq!(c.call(&format!("INGEST s {i} {i}")), "OK staged");
+    }
+    assert_eq!(
+        c.call("STATS"),
+        "OK depth=3 shed=7 rejected=0 dropped_capture=0"
+    );
+
+    // Drain and balance the books: offered == evaluated + shed, exactly
+    // (the in-process invariant, observed over a real socket).
+    let pump = c.call("PUMP");
+    assert!(pump.starts_with("OK captured=3"), "{pump}");
+    let ac = server.engine().admission().clone();
+    assert_eq!(ac.shed_total(), 7);
+    assert_eq!(ac.rejected_total(), 0);
+    assert_eq!(offered, 3 + ac.shed_total());
+    server.shutdown();
+}
