@@ -312,6 +312,52 @@ fn run_arm(
     }
 }
 
+/// Connection-churn smoke: open and close connections against both
+/// frontends and require the shared `active_connections` gauge to
+/// return to zero — the regression guard for the accept-loop slot leak
+/// (a slot claimed at accept must be released on every exit path).
+/// Returns the number of connections churned.
+fn churn_smoke(rounds: usize) -> u64 {
+    let engine = Arc::new(EventServer::in_memory(ServerConfig::default()).unwrap());
+    let mut server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig {
+            pump_interval: None,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let tcp = server.tcp_addr();
+    let http = server.http_addr().expect("churn smoke needs the HTTP frontend");
+    for _ in 0..rounds {
+        let mut c = Client::connect(tcp);
+        assert_eq!(c.call("PING"), "PONG");
+        drop(c);
+        let mut s = TcpStream::connect(http).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: e17\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).unwrap();
+        assert!(resp.starts_with(b"HTTP/1.1 200"), "metrics scrape failed");
+    }
+    // Teardown is asynchronous: poll the gauge back to zero.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let active = server.hub().active_connections.load(Ordering::Relaxed);
+        if active == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gauge leak: {active} connection slots never released"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.metrics().conns_rejected.get(), 0);
+    server.shutdown();
+    rounds as u64 * 2
+}
+
 /// Run E17.
 pub fn run(scale: Scale) -> Table {
     let subs = scale.pick(64, 96);
@@ -374,6 +420,11 @@ pub fn run(scale: Scale) -> Table {
         "fanout latency = producer send -> probe subscriber receipt, same host; '-' on \
          overdriven arms (latency under rejection is not meaningful)",
     );
+    let churned = churn_smoke(scale.pick(20, 50));
+    table.note(format!(
+        "connection-churn smoke: {churned} TCP+HTTP connects opened and closed, \
+         active_connections back to 0, 0 rejected"
+    ));
     table
 }
 

@@ -4,10 +4,14 @@
 //! evdb-server [--dir PATH] [--tcp ADDR] [--http ADDR|none]
 //!             [--capacity N] [--policy block|reject|shed]
 //!             [--pump-ms MS|none] [--buffer N]
+//!             [--max-conns N] [--idle-timeout MS|none]
+//!             [--http-max-requests N]
 //! ```
 //!
 //! Defaults: in-memory engine, TCP on 127.0.0.1:7070, HTTP on
-//! 127.0.0.1:7071, capacity 65536, policy block, 1 ms background pump.
+//! 127.0.0.1:7071, capacity 65536, policy block, 1 ms background pump,
+//! 1024 connections, 60 s idle deadline, 1000 requests per HTTP
+//! keep-alive connection.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,7 +23,8 @@ use evdb_server::{NetConfig, NetServer};
 fn usage() -> ! {
     eprintln!(
         "usage: evdb-server [--dir PATH] [--tcp ADDR] [--http ADDR|none] \
-         [--capacity N] [--policy block|reject|shed] [--pump-ms MS|none] [--buffer N]"
+         [--capacity N] [--policy block|reject|shed] [--pump-ms MS|none] [--buffer N] \
+         [--max-conns N] [--idle-timeout MS|none] [--http-max-requests N]"
     );
     std::process::exit(2);
 }
@@ -32,6 +37,10 @@ fn main() {
     let mut policy = OverloadPolicy::Block;
     let mut pump_interval = Some(Duration::from_millis(1));
     let mut buffer = 1024usize;
+    let defaults = NetConfig::default();
+    let mut max_conns = defaults.max_connections;
+    let mut idle_timeout = defaults.idle_timeout;
+    let mut http_max_requests = defaults.http_max_requests;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -61,6 +70,18 @@ fn main() {
                 };
             }
             "--buffer" => buffer = value().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => max_conns = value().parse().unwrap_or_else(|_| usage()),
+            "--idle-timeout" => {
+                let v = value();
+                idle_timeout = if v == "none" {
+                    None
+                } else {
+                    Some(Duration::from_millis(v.parse().unwrap_or_else(|_| usage())))
+                };
+            }
+            "--http-max-requests" => {
+                http_max_requests = value().parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -90,6 +111,9 @@ fn main() {
             http_addr: http,
             session_buffer: buffer,
             pump_interval,
+            max_connections: max_conns,
+            idle_timeout,
+            http_max_requests,
         },
     );
     let net = match net {

@@ -72,6 +72,13 @@ pub struct ServerMetrics {
     pub updates_delivered: Arc<Counter>,
     /// Updates shed because a live subscriber's buffer was full.
     pub updates_dropped: Arc<Counter>,
+    /// Connections refused at accept because the server was at its
+    /// `max_connections` cap (typed `ERR overloaded` / HTTP 503 — the
+    /// D10 no-silent-work contract at the connection layer).
+    pub conns_rejected: Arc<Counter>,
+    /// Connections closed by the server because the idle deadline
+    /// passed with no traffic in either direction.
+    pub conns_reaped: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -96,6 +103,8 @@ impl ServerMetrics {
             http_requests: registry.counter("evdb_server_http_requests_total"),
             updates_delivered: registry.counter("evdb_server_updates_delivered_total"),
             updates_dropped: registry.counter("evdb_server_updates_dropped_total"),
+            conns_rejected: registry.counter("evdb_server_conns_rejected_total"),
+            conns_reaped: registry.counter("evdb_server_conns_reaped_total"),
         }
     }
 }
@@ -133,6 +142,27 @@ impl Hub {
     /// Subscriptions currently registered across all queries.
     pub fn active_subscriptions(&self) -> usize {
         self.queries.lock().values().map(|q| q.subs.len()).sum()
+    }
+
+    /// Claim a connection slot against the `max` cap. The increment
+    /// happens first and is undone on refusal, so two accept loops
+    /// racing can never overshoot the cap. A refused connect must be
+    /// answered with the typed rejection and counted by the caller.
+    pub fn try_admit_connection(&self, max: usize) -> bool {
+        let prev = self.active_connections.fetch_add(1, Ordering::Relaxed);
+        if (prev as usize) < max {
+            true
+        } else {
+            self.active_connections.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Release a slot claimed by [`try_admit_connection`](Hub::try_admit_connection)
+    /// — on connection teardown, or when the handler thread failed to
+    /// spawn (the gauge must never leak a slot).
+    pub fn release_connection(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Ensure the hub tracks `query`: registers the engine-side

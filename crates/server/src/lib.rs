@@ -25,6 +25,14 @@
 //! sheds to slow subscribers are counted in
 //! `evdb_server_updates_dropped_total`.
 //!
+//! The connection lifecycle is resource-bounded (DESIGN.md D13): HTTP
+//! is persistent (HTTP/1.1 keep-alive with a per-connection request
+//! cap), both accept loops enforce [`NetConfig::max_connections`] with
+//! a typed rejection counted in `evdb_server_conns_rejected_total`,
+//! and connections idle past [`NetConfig::idle_timeout`] are reaped —
+//! thread and hub slot released, counted in
+//! `evdb_server_conns_reaped_total`.
+//!
 //! ```no_run
 //! use evdb_server::{NetConfig, NetServer};
 //! use evdb_core::{EventServer, server::ServerConfig};
@@ -72,6 +80,22 @@ pub struct NetConfig {
     /// server only pumps on explicit `PUMP` / `POST /pump` requests
     /// (the deterministic mode the golden-transcript tests rely on).
     pub pump_interval: Option<Duration>,
+    /// Hard cap on concurrently open connections, shared across both
+    /// frontends. An over-cap TCP connect is answered with a typed
+    /// `ERR overloaded …` frame and closed; an over-cap HTTP connect
+    /// gets `503`. Both are counted in
+    /// `evdb_server_conns_rejected_total` — never silently dropped.
+    pub max_connections: usize,
+    /// Per-connection idle deadline: a connection with no traffic in
+    /// either direction for this long is closed by the server (TCP
+    /// peers get an `ERR idle …` frame first), releasing its thread
+    /// and hub slot. Also bounds how long one HTTP request may take to
+    /// arrive, so a drip-feeding peer cannot pin a thread. `None`
+    /// disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Requests served per HTTP keep-alive connection before the
+    /// server closes it (`Connection: close` on the final response).
+    pub http_max_requests: u64,
 }
 
 impl Default for NetConfig {
@@ -81,6 +105,9 @@ impl Default for NetConfig {
             http_addr: Some("127.0.0.1:0".into()),
             session_buffer: 1024,
             pump_interval: Some(Duration::from_millis(1)),
+            max_connections: 1024,
+            idle_timeout: Some(Duration::from_secs(60)),
+            http_max_requests: 1000,
         }
     }
 }
@@ -118,6 +145,8 @@ impl NetServer {
                 stop: Arc::clone(&stop),
                 session_ids: Arc::clone(&session_ids),
                 session_buffer: config.session_buffer,
+                max_connections: config.max_connections,
+                idle_timeout: config.idle_timeout,
             },
             &config.tcp_addr,
         )?;
@@ -133,6 +162,9 @@ impl NetServer {
                     stop: Arc::clone(&stop),
                     session_ids: Arc::clone(&session_ids),
                     session_buffer: config.session_buffer,
+                    max_connections: config.max_connections,
+                    idle_timeout: config.idle_timeout,
+                    max_requests: config.http_max_requests,
                 },
                 addr,
             )?;

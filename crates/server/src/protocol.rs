@@ -31,6 +31,15 @@
 //! whitespace need the quoted form `'a, b'`, `''` escaping a quote),
 //! `BYTES` as `x'<hex>'`, and `NULL` for any nullable field. Rows in
 //! replies render values the same way, so a transcript reads uniformly.
+//!
+//! Inside a quoted string, `\n`, `\r`, and `\\` are escape sequences
+//! for newline, carriage return, and backslash (any other `\x` is
+//! literal). [`render_value`] always emits those escapes, so a
+//! rendered row is guaranteed newline-free no matter what the column
+//! holds — which is what keeps one-row-per-line delivery framing (SSE
+//! `data:` events, HTTP `/query` bodies, newline-framed TCP replies)
+//! immune to hostile string values, round-trippable via
+//! [`parse_record`].
 
 use std::sync::Arc;
 
@@ -299,7 +308,7 @@ fn parse_value(text: &str, dtype: DataType) -> Result<Value> {
             .map_err(|_| bad("TIMESTAMP")),
         DataType::Str => {
             let inner = match text.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
-                Some(inner) => inner.replace("''", "'"),
+                Some(inner) => unescape_quoted(inner),
                 None => text.to_string(),
             };
             Ok(Value::str(inner))
@@ -321,21 +330,66 @@ fn parse_value(text: &str, dtype: DataType) -> Result<Value> {
     }
 }
 
-/// Render one value in the protocol's ingest-compatible form.
+/// Decode the quoted-string body: `''` → `'`, `\n`/`\r`/`\\` →
+/// newline / carriage return / backslash; any other `\x` stays
+/// literal (lenient, so pre-escape clients still round-trip).
+fn unescape_quoted(inner: &str) -> String {
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            // Quotes inside the body come in pairs (split_values keeps
+            // the frame balanced); fold each pair to one.
+            '\'' => {
+                chars.next();
+                out.push('\'');
+            }
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            },
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one value in the protocol's ingest-compatible form. The
+/// result never contains `\n` or `\r` — newline-unsafe strings take
+/// the quoted form with escapes — so one-row-per-line framing (SSE
+/// events, `/query` bodies, line frames) survives any column value.
 pub fn render_value(v: &Value) -> String {
     match v {
         // Strings quote only when the raw form would not parse back
-        // (commas, quotes, surrounding whitespace, or look-alikes).
+        // (commas, quotes, escapes, newlines, surrounding whitespace,
+        // or look-alikes).
         Value::Str(s) => {
             let plain = !s.is_empty()
-                && !s.contains([',', '\''])
+                && !s.contains([',', '\'', '\\', '\n', '\r'])
                 && s.trim() == s.as_ref()
                 && s.as_ref() != "NULL";
             if plain {
-                s.to_string()
-            } else {
-                format!("'{}'", s.replace('\'', "''"))
+                return s.to_string();
             }
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('\'');
+            for c in s.chars() {
+                match c {
+                    '\'' => out.push_str("''"),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\'');
+            out
         }
         other => other.to_string(), // Display already matches the parse forms
     }
@@ -420,6 +474,37 @@ mod tests {
         let rendered = render_row(&rec);
         let back = parse_record(&schema, &rendered).unwrap();
         assert_eq!(back, rec, "render must re-parse identically: {rendered}");
+    }
+
+    #[test]
+    fn newline_unsafe_strings_render_escaped_and_round_trip() {
+        let schema = parse_schema("a:str,b:int").unwrap();
+        for hostile in [
+            "line1\nline2",
+            "cr\rhere",
+            "crlf\r\nboth",
+            "back\\slash",
+            "\\n literal-then\nreal",
+            "mix,'quote'\n\\",
+        ] {
+            let rec = Record::new(vec![Value::str(hostile), Value::Int(1)]);
+            let rendered = render_row(&rec);
+            assert!(
+                !rendered.contains(['\n', '\r']),
+                "rendered rows must be newline-free: {rendered:?}"
+            );
+            let back = parse_record(&schema, &rendered).unwrap();
+            assert_eq!(back, rec, "escape round trip failed for {hostile:?}");
+        }
+    }
+
+    #[test]
+    fn raw_newline_in_quoted_input_still_parses() {
+        // Legacy/length-framed clients may send the raw byte; parsing
+        // keeps accepting it even though our renderer never emits it.
+        let schema = parse_schema("a:str").unwrap();
+        let rec = parse_record(&schema, "'a\nb'").unwrap();
+        assert_eq!(rec.get(0), Some(&Value::str("a\nb")));
     }
 
     #[test]

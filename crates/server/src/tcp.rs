@@ -8,22 +8,68 @@
 //! reply (both funnel through the single writer) and a `Block`ed
 //! admission call — which parks the *reader* — leaves already-queued
 //! replies flowing while TCP flow control stalls the producer.
+//!
+//! Connections are resource-bounded (DESIGN.md D13): the accept loop
+//! refuses connects past `max_connections` with a typed
+//! `ERR overloaded …` frame (counted, never silently dropped), and the
+//! reader's idle tick closes a connection with no traffic in either
+//! direction for `idle_timeout` — an `ERR idle …` frame, then the
+//! thread and the session's hub slot are released. Pushes count as
+//! traffic, so a quiet subscriber that is still being fed is never
+//! reaped; a silently-dead peer stops acking, its pushes stop
+//! completing, and the deadline catches it.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use evdb_core::EventServer;
 
-use crate::frame::{encode_frame, FrameDecoder};
+use crate::frame::{encode_frame, encode_frame_vec, FrameDecoder};
 use crate::hub::{Hub, Outbound, OutboundReceiver, ServerMetrics};
 use crate::session::Session;
 
-/// How long a blocked read waits before re-checking the stop flag.
+/// How long a blocked read waits before re-checking the stop flag (and
+/// the idle deadline).
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Write timeout when no idle deadline is configured: a peer that
+/// stops draining for this long is treated as gone, so the writer
+/// thread can never block forever against a dead socket.
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Last-activity stamp shared by a connection's reader and writer: the
+/// reader touches it on inbound bytes, the writer on completed frame
+/// writes, and the reader's idle tick compares it against the idle
+/// deadline.
+pub(crate) struct Activity {
+    epoch: Instant,
+    last_ms: AtomicU64,
+}
+
+impl Activity {
+    pub(crate) fn new() -> Arc<Activity> {
+        Arc::new(Activity {
+            epoch: Instant::now(),
+            last_ms: AtomicU64::new(0),
+        })
+    }
+
+    /// Record traffic now.
+    pub(crate) fn touch(&self) {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        self.last_ms.store(now, Ordering::Relaxed);
+    }
+
+    /// Time since the last recorded traffic.
+    pub(crate) fn idle(&self) -> Duration {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.last_ms.load(Ordering::Relaxed)))
+    }
+}
 
 pub(crate) struct TcpFrontend {
     pub engine: Arc<EventServer>,
@@ -33,6 +79,10 @@ pub(crate) struct TcpFrontend {
     pub session_ids: Arc<AtomicU64>,
     /// Outbound channel capacity per session (subscription buffering).
     pub session_buffer: usize,
+    /// Cap on live connections (shared with the HTTP frontend).
+    pub max_connections: usize,
+    /// Reap connections idle in both directions past this.
+    pub idle_timeout: Option<Duration>,
 }
 
 /// Bind the listener and spawn the accept loop. Returns the bound
@@ -51,26 +101,51 @@ pub(crate) fn spawn_listener(
     Ok((local, handle))
 }
 
+/// Refuse an over-cap connect: one typed frame, then close. Runs on
+/// the accept thread, so the write is timeout-bounded.
+fn reject_over_cap(stream: TcpStream, max: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut s = stream;
+    let frame = encode_frame_vec(
+        format!("ERR overloaded connection limit ({max}) reached").as_bytes(),
+    );
+    let _ = s.write_all(&frame).and_then(|()| s.flush());
+    let _ = s.shutdown(std::net::Shutdown::Both);
+}
+
 fn accept_loop(listener: TcpListener, frontend: TcpFrontend) {
     while !frontend.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if !frontend.hub.try_admit_connection(frontend.max_connections) {
+                    frontend.metrics.conns_rejected.inc();
+                    reject_over_cap(stream, frontend.max_connections);
+                    continue;
+                }
                 frontend.metrics.connections.inc();
-                frontend.hub.active_connections.fetch_add(1, Ordering::Relaxed);
                 let session_id = frontend.session_ids.fetch_add(1, Ordering::Relaxed);
                 let engine = Arc::clone(&frontend.engine);
                 let hub = Arc::clone(&frontend.hub);
                 let metrics = Arc::clone(&frontend.metrics);
                 let stop = Arc::clone(&frontend.stop);
                 let buffer = frontend.session_buffer;
+                let idle_timeout = frontend.idle_timeout;
                 // Connection threads are detached: they exit on stop (the
                 // read timeout re-checks the flag) or peer close, and hold
                 // only Arcs, so shutdown does not need to join them.
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("evdb-conn-{session_id}"))
                     .spawn(move || {
-                        serve_connection(stream, session_id, engine, hub, metrics, stop, buffer);
+                        serve_connection(
+                            stream, session_id, engine, hub, metrics, stop, buffer,
+                            idle_timeout,
+                        );
                     });
+                if spawned.is_err() {
+                    // The handler never ran: release the slot claimed
+                    // above or the gauge leaks a phantom connection.
+                    frontend.hub.release_connection();
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -80,6 +155,7 @@ fn accept_loop(listener: TcpListener, frontend: TcpFrontend) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     session_id: u64,
@@ -88,22 +164,29 @@ fn serve_connection(
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
     buffer: usize,
+    idle_timeout: Option<Duration>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
+    // Bound writes too: a dead peer with a full receive window must
+    // error the writer out instead of blocking it forever (the reader
+    // joins the writer at teardown).
+    let _ = stream.set_write_timeout(Some(idle_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT)));
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
-            hub.active_connections.fetch_sub(1, Ordering::Relaxed);
+            hub.release_connection();
             return;
         }
     };
+    let activity = Activity::new();
     let (tx, rx) = sync_channel::<Outbound>(buffer.max(1));
     let writer = {
         let metrics = Arc::clone(&metrics);
+        let activity = Arc::clone(&activity);
         std::thread::Builder::new()
             .name(format!("evdb-conn-{session_id}-w"))
-            .spawn(move || writer_loop(write_half, rx, metrics))
+            .spawn(move || writer_loop(write_half, rx, metrics, activity))
             .expect("spawn connection writer")
     };
 
@@ -114,23 +197,30 @@ fn serve_connection(
         metrics: Arc::clone(&metrics),
         out: tx,
     };
-    reader_loop(stream, &session, &stop);
+    reader_loop(stream, &session, &stop, &activity, idle_timeout);
 
     // Teardown: subscriptions first (so the hub stops queueing into this
     // session), then drop our sender so the writer drains and exits.
     session.teardown();
     drop(session);
     let _ = writer.join();
-    hub.active_connections.fetch_sub(1, Ordering::Relaxed);
+    hub.release_connection();
 }
 
-fn reader_loop(mut stream: TcpStream, session: &Session, stop: &AtomicBool) {
+fn reader_loop(
+    mut stream: TcpStream,
+    session: &Session,
+    stop: &AtomicBool,
+    activity: &Activity,
+    idle_timeout: Option<Duration>,
+) {
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     'conn: while !stop.load(Ordering::SeqCst) {
         match stream.read(&mut buf) {
             Ok(0) => break, // peer closed
             Ok(n) => {
+                activity.touch();
                 decoder.push(&buf[..n]);
                 while let Some(frame) = decoder.next_frame() {
                     match frame {
@@ -154,14 +244,34 @@ fn reader_loop(mut stream: TcpStream, session: &Session, stop: &AtomicBool) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue; // idle tick: re-check stop
+                // Idle tick: re-check stop, then the idle deadline. A
+                // half-dead peer (slow-loris, silently-gone client)
+                // releases its thread and hub slot here, typed and
+                // counted — never a permanently pinned thread.
+                if let Some(limit) = idle_timeout {
+                    if activity.idle() >= limit {
+                        session.metrics.conns_reaped.inc();
+                        session.reply(format!(
+                            "ERR idle connection idle for {}ms, closing",
+                            limit.as_millis()
+                        ));
+                        let _ = session.out.send(Outbound::Close);
+                        break;
+                    }
+                }
+                continue;
             }
             Err(_) => break,
         }
     }
 }
 
-fn writer_loop(stream: TcpStream, rx: OutboundReceiver, metrics: Arc<ServerMetrics>) {
+fn writer_loop(
+    stream: TcpStream,
+    rx: OutboundReceiver,
+    metrics: Arc<ServerMetrics>,
+    activity: Arc<Activity>,
+) {
     let mut out = std::io::BufWriter::new(stream);
     let mut scratch = Vec::with_capacity(4 * 1024);
     while let Ok(msg) = rx.recv() {
@@ -173,6 +283,9 @@ fn writer_loop(stream: TcpStream, rx: OutboundReceiver, metrics: Arc<ServerMetri
                 if out.write_all(&scratch).and_then(|()| out.flush()).is_err() {
                     break; // peer gone; reader will notice on its own
                 }
+                // A completed push is proof of life: the peer drained
+                // its window, so the idle deadline resets.
+                activity.touch();
             }
             Outbound::Close => break,
         }

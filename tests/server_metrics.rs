@@ -39,14 +39,14 @@ fn start_server() -> NetServer {
     .unwrap()
 }
 
-/// Minimal HTTP/1.1 request over a fresh connection (the server is
-/// `Connection: close`, so one connection per request is the contract).
+/// Minimal HTTP/1.1 request over a fresh connection, opting out of
+/// keep-alive so EOF frames the body.
 fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -65,6 +65,100 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
         .parse()
         .unwrap();
     (status, payload.to_string())
+}
+
+/// A persistent HTTP client: many requests over ONE connection,
+/// responses framed by `Content-Length` (the keep-alive contract).
+struct KeepAliveClient {
+    stream: TcpStream,
+    buffered: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: std::net::SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        KeepAliveClient {
+            stream,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// One round trip on the shared connection. Returns
+    /// `(status, head, body)`; panics on timeout or early close.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String, String) {
+        self.stream
+            .write_all(
+                format!(
+                    "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // Head: read until the blank line.
+        let head_end = loop {
+            if let Some(pos) = self
+                .buffered
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+            {
+                break pos;
+            }
+            assert!(Instant::now() < deadline, "response head timed out");
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => panic!("server closed a keep-alive connection mid-response"),
+                Ok(n) => self.buffered.extend_from_slice(&buf[..n]),
+                Err(_) => {}
+            }
+        };
+        let head = String::from_utf8(self.buffered.drain(..head_end + 4).collect()).unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+            .expect("response missing Content-Length")
+            .trim()
+            .parse()
+            .unwrap();
+        // Body: exactly Content-Length bytes — the framing that makes
+        // response boundaries unambiguous without an EOF.
+        while self.buffered.len() < content_length {
+            assert!(Instant::now() < deadline, "response body timed out");
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => panic!("connection closed mid-body"),
+                Ok(n) => self.buffered.extend_from_slice(&buf[..n]),
+                Err(_) => {}
+            }
+        }
+        let body = String::from_utf8(self.buffered.drain(..content_length).collect()).unwrap();
+        (status, head, body)
+    }
+}
+
+/// Poll the shared active-connections gauge down to an expected value
+/// (connection threads tear down asynchronously after a client drop).
+fn wait_active_connections(server: &NetServer, expect: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let active = server
+            .hub()
+            .active_connections
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if active == expect {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "active_connections stuck at {active}, want {expect} (gauge leak?)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 /// One TCP protocol round trip on a dedicated connection.
@@ -192,6 +286,195 @@ fn http_ingest_query_and_pump_round_trip() {
     assert_eq!(status, 404);
     let (status, _) = http(addr, "GET", "/nosuch", "");
     assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_serves_100_scrapes_on_one_connection() {
+    let mut server = start_server();
+    let mut client = KeepAliveClient::connect(server.http_addr().unwrap());
+
+    // 100 sequential /metrics scrapes over ONE socket (the acceptance
+    // bar): every response 200, every response keep-alive.
+    let mut last_body = String::new();
+    for i in 0..100 {
+        let (status, head, body) = client.request("GET", "/metrics", "");
+        assert_eq!(status, 200, "scrape {i} failed");
+        assert!(
+            head.to_ascii_lowercase().contains("connection: keep-alive"),
+            "scrape {i} must keep the connection alive:\n{head}"
+        );
+        last_body = body;
+    }
+    // The server's own books agree: one connection, 100 requests.
+    assert_eq!(counter_value(&last_body, "evdb_server_connections_total"), 1);
+    assert_eq!(counter_value(&last_body, "evdb_server_http_requests_total"), 100);
+    assert_eq!(counter_value(&last_body, "evdb_server_conns_rejected_total"), 0);
+
+    drop(client);
+    wait_active_connections(&server, 0);
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_and_http10_are_honored() {
+    let mut server = start_server();
+    let addr = server.http_addr().unwrap();
+
+    // Explicit `Connection: close` on HTTP/1.1 → close response + EOF.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap(); // EOF must arrive
+    let response = String::from_utf8(response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    let head = response.split_once("\r\n\r\n").unwrap().0.to_ascii_lowercase();
+    assert!(head.contains("connection: close"), "{head}");
+
+    // HTTP/1.0 without a Connection header defaults to close too.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let head = String::from_utf8(response)
+        .unwrap()
+        .split_once("\r\n\r\n")
+        .unwrap()
+        .0
+        .to_ascii_lowercase();
+    assert!(head.contains("connection: close"), "{head}");
+
+    wait_active_connections(&server, 0);
+    server.shutdown();
+}
+
+#[test]
+fn max_requests_per_connection_closes_with_final_response() {
+    let engine = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    let mut server = NetServer::start(
+        engine,
+        NetConfig {
+            pump_interval: None,
+            http_max_requests: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut client = KeepAliveClient::connect(server.http_addr().unwrap());
+    for i in 0..3 {
+        let (status, head, _) = client.request("GET", "/metrics", "");
+        assert_eq!(status, 200);
+        let head = head.to_ascii_lowercase();
+        if i < 2 {
+            assert!(head.contains("connection: keep-alive"), "{head}");
+        } else {
+            // Budget spent: the final response says so, then EOF.
+            assert!(head.contains("connection: close"), "{head}");
+        }
+    }
+    // After the final response the server closes: EOF, no extra bytes.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut buf = [0u8; 256];
+        match client.stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => panic!("unexpected bytes after final response: {:?}", &buf[..n]),
+            Err(_) => assert!(Instant::now() < deadline, "EOF never arrived"),
+        }
+    }
+    wait_active_connections(&server, 0);
+    server.shutdown();
+}
+
+#[test]
+fn connection_churn_returns_gauge_to_zero() {
+    let mut server = start_server();
+    let tcp_addr = server.tcp_addr();
+    let http_addr = server.http_addr().unwrap();
+
+    // Churn both frontends: open, do one round trip, close.
+    for _ in 0..20 {
+        let replies = tcp_call(tcp_addr, &["PING"]);
+        assert_eq!(replies, ["PONG"]);
+        let (status, _) = http(http_addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+    }
+
+    // The gauge-leak regression: every slot must come back.
+    wait_active_connections(&server, 0);
+    let (_, body) = http(http_addr, "GET", "/metrics", "");
+    assert_eq!(counter_value(&body, "evdb_server_connections_total"), 41);
+    assert_eq!(counter_value(&body, "evdb_server_conns_rejected_total"), 0);
+    wait_active_connections(&server, 0);
+    server.shutdown();
+}
+
+#[test]
+fn embedded_newlines_round_trip_both_frontends() {
+    let mut server = start_server();
+    let http_addr = server.http_addr().unwrap();
+    tcp_call(
+        server.tcp_addr(),
+        &["CREATE STREAM s v:STR", "REGISTER QUERY q SELECT v FROM s"],
+    );
+
+    // SSE subscriber first, so the hostile value flows through the
+    // `data:` framing as well.
+    let mut sse = TcpStream::connect(http_addr).unwrap();
+    sse.write_all(b"GET /subscribe/q HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    sse.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let mut received = String::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !received.contains("text/event-stream") {
+        assert!(Instant::now() < deadline, "no SSE handshake: {received}");
+        let mut buf = [0u8; 4096];
+        if let Ok(n) = sse.read(&mut buf) {
+            received.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+    }
+
+    // A value holding a newline, a CR and a backslash, ingested as the
+    // escaped quoted form (raw text: line1\nline2\rtail\\end).
+    let escaped = r"'line1\nline2\rtail\\end'";
+    let replies = tcp_call(
+        server.tcp_addr(),
+        &[&format!("INGEST s 1 {escaped}"), "PUMP", "GET q"],
+    );
+    assert_eq!(replies[0], "OK staged");
+    // The TCP materialized read renders the identical escaped form —
+    // a single newline-free frame.
+    assert_eq!(replies[2], format!("ROW {escaped}"), "{replies:?}");
+
+    // HTTP /query: exactly one line for the one row.
+    let (status, body) = http(http_addr, "GET", "/query/q", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, format!("{escaped}\n"));
+    assert_eq!(body.lines().count(), 1, "one row must be one line");
+
+    // SSE: the delta arrives as exactly one `data:` event whose
+    // boundary survives the embedded control characters.
+    let want = format!("data: q + {escaped}\n\n");
+    while !received.contains(&want) {
+        assert!(
+            Instant::now() < deadline,
+            "SSE update never arrived intact: {received:?}"
+        );
+        let mut buf = [0u8; 4096];
+        if let Ok(n) = sse.read(&mut buf) {
+            received.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+    }
     server.shutdown();
 }
 

@@ -96,6 +96,175 @@ fn server_with(capacity: usize, overload: OverloadPolicy) -> NetServer {
     .unwrap()
 }
 
+/// A server with connection-lifecycle limits (cap + idle deadline) and
+/// the HTTP frontend enabled, for the D13 connection-contract tests.
+fn server_limited(max_connections: usize, idle_timeout: Option<Duration>) -> NetServer {
+    let engine = Arc::new(
+        EventServer::in_memory(ServerConfig {
+            clock: SimClock::new(TimestampMs(0)),
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    NetServer::start(
+        engine,
+        NetConfig {
+            pump_interval: None,
+            max_connections,
+            idle_timeout,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Poll the shared connection gauge down to `expect` (teardown is
+/// asynchronous after a client drop).
+fn wait_active_connections(server: &NetServer, expect: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let active = server
+            .hub()
+            .active_connections
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if active == expect {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "active_connections stuck at {active}, want {expect} (gauge leak?)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn over_cap_tcp_connect_is_rejected_typed_and_counted() {
+    let mut server = server_limited(2, None);
+    let addr = server.tcp_addr();
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    assert_eq!(a.call("PING"), "PONG");
+    assert_eq!(b.call("PING"), "PONG");
+
+    // Third connect: typed rejection frame, then EOF — never silence.
+    let mut over = Client::connect(addr);
+    assert_eq!(
+        over.recv(),
+        "ERR overloaded connection limit (2) reached"
+    );
+    assert_eq!(
+        over.try_recv(Duration::from_secs(5)),
+        None,
+        "rejected connection must be closed after the error frame"
+    );
+    assert_eq!(server.metrics().conns_rejected.get(), 1);
+
+    // Releasing a slot makes room: drop one admitted client, wait for
+    // its teardown, and a fresh connect is served again.
+    drop(b);
+    wait_active_connections(&server, 1);
+    let mut c = Client::connect(addr);
+    assert_eq!(c.call("PING"), "PONG");
+    assert_eq!(
+        server.metrics().conns_rejected.get(),
+        1,
+        "the post-release connect must be admitted, not rejected"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn over_cap_http_connect_gets_503_and_counted() {
+    let mut server = server_limited(1, None);
+    // One TCP client consumes the whole (shared) budget…
+    let mut holder = Client::connect(server.tcp_addr());
+    assert_eq!(holder.call("PING"), "PONG");
+
+    // …so an HTTP connect is refused with a full 503 response before
+    // any request is read.
+    let mut stream = TcpStream::connect(server.http_addr().unwrap()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap(); // server closes after the 503
+    let response = String::from_utf8(response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 503 Service Unavailable"),
+        "{response}"
+    );
+    assert!(response.contains("connection limit (1) reached"), "{response}");
+    assert_eq!(server.metrics().conns_rejected.get(), 1);
+
+    drop(holder);
+    wait_active_connections(&server, 0);
+    server.shutdown();
+}
+
+#[test]
+fn idle_tcp_connection_is_reaped_releasing_thread_and_hub_slot() {
+    let mut server = server_limited(16, Some(Duration::from_millis(200)));
+    let mut c = Client::connect(server.tcp_addr());
+    assert_eq!(c.call("CREATE STREAM s v:INT"), "OK");
+    assert_eq!(c.call("REGISTER QUERY q SELECT v FROM s"), "OK");
+    assert_eq!(c.call("SUBSCRIBE q"), "OK subscribed q");
+
+    // Go silent. The reaper must announce the close (typed), then EOF.
+    let reply = c
+        .try_recv(Duration::from_secs(5))
+        .expect("idle connection was never reaped");
+    assert_eq!(reply, "ERR idle connection idle for 200ms, closing");
+    assert_eq!(
+        c.try_recv(Duration::from_secs(5)),
+        None,
+        "reaped connection must be closed"
+    );
+
+    // The reap released everything: hub slot, subscription, counted.
+    wait_active_connections(&server, 0);
+    assert_eq!(server.hub().active_subscriptions(), 0);
+    assert_eq!(server.metrics().conns_reaped.get(), 1);
+    assert_eq!(server.metrics().conns_rejected.get(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn traffic_in_either_direction_defers_the_reaper() {
+    let mut server = server_limited(16, Some(Duration::from_millis(250)));
+    let mut c = Client::connect(server.tcp_addr());
+    // Ping every ~80ms for well past the idle limit: each round trip
+    // counts as traffic, so the connection must survive.
+    let until = Instant::now() + Duration::from_millis(900);
+    while Instant::now() < until {
+        assert_eq!(c.call("PING"), "PONG", "live connection was reaped");
+        std::thread::sleep(Duration::from_millis(80));
+    }
+    assert_eq!(server.metrics().conns_reaped.get(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_http_header_section_is_bounded_with_431() {
+    let mut server = server_limited(16, Some(Duration::from_secs(5)));
+    let mut stream = TcpStream::connect(server.http_addr().unwrap()).unwrap();
+    // A header section past MAX_HEAD_BYTES (8 KiB): the server must cut
+    // it off with 431 instead of buffering without bound.
+    stream.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+    let filler = format!("X-Padding: {}\r\n", "a".repeat(1024));
+    for _ in 0..16 {
+        if stream.write_all(filler.as_bytes()).is_err() {
+            break; // server already gave up on us — fine
+        }
+    }
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response); // server closes the socket
+    let response = String::from_utf8_lossy(&response);
+    assert!(
+        response.starts_with("HTTP/1.1 431 "),
+        "oversized head must be answered with 431, got: {response}"
+    );
+    wait_active_connections(&server, 0);
+    server.shutdown();
+}
+
 #[test]
 fn reject_surfaces_typed_error_and_exact_counters() {
     let mut server = server_with(2, OverloadPolicy::Reject);
