@@ -40,6 +40,7 @@ fn main() {
         ("e15", experiments::e15_compiled::run),
         ("e16", experiments::e16_retraction::run),
         ("e17", experiments::e17_server::run),
+        ("e18", experiments::e18_history::run),
     ];
 
     println!(

@@ -1,0 +1,252 @@
+//! E18 — the historical event store: zone pruning, compaction, REPLAY
+//! (DESIGN.md D14).
+//!
+//! Three claims, each asserted inline on every run:
+//!
+//! * **Pruning wins.** A selective point query over a frozen history
+//!   must skip ≥90% of segments via manifest-level stats (and most
+//!   zones inside the survivors), and run ≥5× faster than the
+//!   row-scan baseline (`scan_all` + predicate over every decoded
+//!   row) on the same store.
+//! * **Compaction converges without losing anything.** Driving the
+//!   merge policy to a handful of segments leaves every event intact,
+//!   in arrival order.
+//! * **REPLAY is equivalence-grade.** A CQ registered *after* the
+//!   events were ingested, fed purely by replaying the store through
+//!   the runtime, compacts to byte-identical `DeltaLog` rows as a
+//!   subscriber that watched the stream live.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use evdb_core::history::HistoryConfig;
+use evdb_core::server::ServerConfig;
+use evdb_core::EventServer;
+use evdb_cq::delta::DeltaLog;
+use evdb_storage::{CompactionPolicy, SegmentStore, SegmentStoreOptions};
+use evdb_types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+use super::{tmpdir, Scale, Table};
+
+/// Best-of-k wall time for `f`, in microseconds (k small; the point is
+/// to shave scheduler noise off a CI-scale measurement, not to be a
+/// statistics suite).
+fn best_of_us<T>(k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::MAX;
+    let mut last = None;
+    for _ in 0..k {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        last = Some(out);
+    }
+    (best, last.unwrap())
+}
+
+/// Run E18.
+pub fn run(scale: Scale) -> Table {
+    let n = scale.pick(64_000, 1_000_000);
+    let mut table = Table::new(
+        "E18: historical store — zone pruning, compaction, REPLAY",
+        &["arm", "events", "segments", "pruned", "zones_pruned", "query_us", "scan_us", "speedup"],
+    );
+
+    // ---- arm 1: selective point query vs row scan -------------------
+    let dir = tmpdir("e18-prune");
+    let schema = Schema::of(&[("meter", DataType::Int), ("kwh", DataType::Float)]);
+    let store = SegmentStore::open(
+        &dir,
+        Arc::clone(&schema),
+        SegmentStoreOptions {
+            freeze_rows: n / 64, // ~64 segments
+            zone_rows: (n / 64 / 16).max(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for i in 0..n as i64 {
+        // Ascending ids: zone min/max bounds are tight, point queries
+        // can prove almost every segment irrelevant from the manifest.
+        store
+            .append(
+                i as u64,
+                TimestampMs(i),
+                false,
+                Record::from_iter([Value::Int(i), Value::Float(i as f64 / 10.0)]),
+            )
+            .unwrap();
+    }
+    store.freeze().unwrap();
+    let segments = store.segment_count();
+
+    let needle = n as i64 / 2 + 7;
+    let predicate = evdb_expr::parse(&format!("meter = {needle}")).unwrap();
+    let before = store.stats_snapshot();
+    let (query_us, hits) = best_of_us(5, || store.query(&predicate).unwrap());
+    let after = store.stats_snapshot();
+    assert_eq!(hits.len(), 1, "point query must find exactly its row");
+    assert_eq!(hits[0].payload.get(0), Some(&Value::Int(needle)));
+
+    let considered = after.segments_considered - before.segments_considered;
+    let pruned = after.segments_pruned - before.segments_pruned;
+    let zones_pruned = after.zones_pruned - before.zones_pruned;
+    assert!(
+        pruned * 10 >= considered * 9,
+        "expected >=90% of segments pruned, got {pruned}/{considered}"
+    );
+
+    let (scan_us, scanned) = best_of_us(3, || {
+        store
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.payload.get(0) == Some(&Value::Int(needle)))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(scanned.len(), 1);
+    let speedup = scan_us / query_us.max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "pruned query must beat the row scan >=5x, got {speedup:.1}x ({query_us:.0}us vs {scan_us:.0}us)"
+    );
+    table.row(vec![
+        "point-query".into(),
+        n.to_string(),
+        segments.to_string(),
+        format!("{pruned}/{considered}"),
+        zones_pruned.to_string(),
+        format!("{query_us:.0}"),
+        format!("{scan_us:.0}"),
+        format!("{speedup:.1}x"),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- arm 2: compaction + replay equivalence through the server --
+    let m = scale.pick(4_000, 60_000);
+    let dir = tmpdir("e18-replay");
+    let server = EventServer::in_memory(ServerConfig {
+        clock: SimClock::new(TimestampMs(0)),
+        ..Default::default()
+    })
+    .unwrap();
+    let schema = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+    server.create_stream("ticks", Arc::clone(&schema)).unwrap();
+    server
+        .enable_history(
+            &dir,
+            HistoryConfig {
+                store: SegmentStoreOptions {
+                    freeze_rows: (m / 48).max(8),
+                    zone_rows: (m / 48 / 8).max(4),
+                    ..Default::default()
+                },
+                compaction: Some(CompactionPolicy {
+                    max_segments: 6,
+                    small_rows: m as u64 * 2,
+                    max_merge: 8,
+                }),
+            },
+        )
+        .unwrap();
+
+    const CQL: &str = "SELECT sym, avg(px) AS apx FROM ticks [RANGE 1 s] GROUP BY sym";
+    server.register_cql("live", CQL).unwrap();
+    let live = Arc::new(Mutex::new(DeltaLog::new()));
+    {
+        let sink = Arc::clone(&live);
+        server
+            .on_query("live", Arc::new(move |e| sink.lock().unwrap().observe(e)))
+            .unwrap();
+    }
+    let syms = ["IBM", "MSFT", "AAPL", "ORCL"];
+    for i in 0..m as i64 {
+        server
+            .ingest(
+                "ticks",
+                TimestampMs(i * 25),
+                Record::from_iter([
+                    Value::from(syms[(i % 4) as usize]),
+                    Value::Float(100.0 + (i % 997) as f64),
+                ]),
+            )
+            .unwrap();
+    }
+    server.flush_stream("ticks", TimestampMs(i64::MAX)).unwrap();
+    let live_rows = live.lock().unwrap().rows();
+
+    // Pump ticks drive freezing + one merge per pump until convergence.
+    let history = server.history().unwrap();
+    for _ in 0..128 {
+        server.pump().unwrap();
+    }
+    let store = history.store("ticks").unwrap();
+    store.freeze().unwrap();
+    for _ in 0..128 {
+        server.pump().unwrap();
+        if store.segment_count() <= 6 {
+            break;
+        }
+    }
+    let snap = store.stats_snapshot();
+    assert!(
+        store.segment_count() <= 6,
+        "compaction did not converge: {} segments",
+        store.segment_count()
+    );
+    assert!(snap.compactions > 0, "merge policy never fired");
+    assert_eq!(store.total_rows(), m as u64, "compaction lost or duplicated events");
+
+    // A query registered only now, fed purely by REPLAY.
+    server.register_cql("aftermath", CQL).unwrap();
+    let after_log = Arc::new(Mutex::new(DeltaLog::new()));
+    {
+        let sink = Arc::clone(&after_log);
+        server
+            .on_query("aftermath", Arc::new(move |e| sink.lock().unwrap().observe(e)))
+            .unwrap();
+    }
+    let (replay_us, fed) =
+        best_of_us(1, || server.replay_into_runtime("ticks", 0, u64::MAX).unwrap().0);
+    server.flush_stream("ticks", TimestampMs(i64::MAX)).unwrap();
+    assert_eq!(fed, m as u64, "replay fed a different event count than ingested");
+    assert_eq!(
+        after_log.lock().unwrap().rows(),
+        live_rows,
+        "replayed query diverged from the live subscriber"
+    );
+    table.row(vec![
+        "compact+replay".into(),
+        m.to_string(),
+        store.segment_count().to_string(),
+        format!("merges={}", snap.compactions),
+        snap.zones_pruned.to_string(),
+        format!("{replay_us:.0}"),
+        "-".into(),
+        "identical".into(),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    table.note(format!(
+        "{n} events across {segments} segments; point query prunes {pruned}/{considered} \
+         segments from manifest stats alone (asserted >=90%) and beats the row scan \
+         {speedup:.1}x (asserted >=5x)"
+    ));
+    table.note(
+        "replay arm (asserted): compaction converges with zero loss; a query registered \
+         after ingest, fed by REPLAY through the runtime, compacts to byte-identical \
+         DeltaLog rows as the live subscriber",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunes_and_replays_at_quick_scale() {
+        let t = run(Scale::Quick); // run() itself asserts the claims
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][7], "identical");
+    }
+}

@@ -26,8 +26,12 @@
 //! * [`admission`] — the bounded staged-ingest buffer and its
 //!   [`OverloadPolicy`] (block / reject / shed-lowest), the explicit
 //!   overload boundary between producers and the pump.
+//! * [`history`] — the per-stream columnar historical event store
+//!   (DESIGN.md D14): zone-map-pruned historical queries, pump-driven
+//!   compaction, and `REPLAY` back through the CQ runtime.
 
 pub mod admission;
+pub mod history;
 pub mod metrics;
 pub mod notify;
 pub mod pump;
@@ -36,6 +40,7 @@ pub mod server;
 pub mod shard;
 
 pub use admission::{AdmissionControl, OverloadPolicy};
+pub use history::{History, HistoryConfig};
 pub use metrics::{Metrics, MetricsSnapshot, ShardMetrics, ShardSnapshot};
 pub use notify::{Notification, NotificationCenter, VirtPolicy};
 pub use pump::{spawn_pump, spawn_pump_with, PumpHandle, PumpMode};

@@ -38,6 +38,13 @@ pub struct Notification {
     /// Trace of the event that produced this notification; the deliver
     /// stage is stamped by [`crate::EventServer::deliver`].
     pub trace: Trace,
+    /// True when the triggering event was a retraction delta: the
+    /// condition that paged is being *withdrawn* (out-of-order input
+    /// revised a window, a speculative emit was taken back). Handlers use
+    /// this to cancel the page rather than re-raise it, and the VIRT
+    /// filter lets it through duplicate suppression — a cancel always
+    /// carries information, even right after the alert it cancels.
+    pub is_retraction: bool,
 }
 
 /// VIRT filtering parameters.
@@ -86,6 +93,9 @@ pub struct NotificationCenter {
     pub delivered: std::sync::atomic::AtomicU64,
     /// Notifications suppressed by the filter.
     pub suppressed: std::sync::atomic::AtomicU64,
+    /// Delivered notifications that were retraction cancels (a subset of
+    /// `delivered`).
+    pub retracted: std::sync::atomic::AtomicU64,
 }
 
 impl NotificationCenter {
@@ -99,6 +109,7 @@ impl NotificationCenter {
             delivered_log: Mutex::new(Vec::new()),
             delivered: std::sync::atomic::AtomicU64::new(0),
             suppressed: std::sync::atomic::AtomicU64::new(0),
+            retracted: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -121,6 +132,21 @@ impl NotificationCenter {
         if notification.severity < self.policy.min_severity {
             self.suppressed.fetch_add(1, Ordering::Relaxed);
             return false;
+        }
+        // A retraction cancels a page that (by construction) already
+        // passed the filter. Suppressing the cancel as a "duplicate" of
+        // the very alert it withdraws would leave the pager stuck on, so
+        // cancels bypass suppression and rate limiting — and leave the
+        // key state untouched, so a later genuine re-alert is judged
+        // against the original alert, not against the cancel.
+        if notification.is_retraction {
+            self.retracted.fetch_add(1, Ordering::Relaxed);
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            for h in self.handlers.lock().iter() {
+                h(&notification);
+            }
+            self.delivered_log.lock().push(notification);
+            return true;
         }
         {
             let mut state = self.state.lock();
@@ -174,6 +200,7 @@ mod tests {
             body: "b".into(),
             timestamp: TimestampMs(0),
             trace: Trace::default(),
+            is_retraction: false,
         }
     }
 
@@ -231,6 +258,45 @@ mod tests {
         use std::sync::atomic::Ordering;
         assert_eq!(nc.delivered.load(Ordering::Relaxed), 3);
         assert_eq!(nc.suppressed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retraction_cancel_bypasses_duplicate_suppression() {
+        use std::sync::atomic::Ordering;
+        let clock = SimClock::new(TimestampMs(0));
+        let nc = NotificationCenter::new(
+            VirtPolicy {
+                suppression_window_ms: 1_000,
+                max_per_key_per_window: 1,
+                rate_window_ms: 1_000,
+                ..Default::default()
+            },
+            clock,
+        );
+        assert!(nc.notify(notif("k", 2.0)));
+        // Same key + severity, inside the window: the retraction would be
+        // swallowed as a duplicate (and by the rate limit) — but a cancel
+        // must reach the pager.
+        let mut cancel = notif("k", 2.0);
+        cancel.is_retraction = true;
+        assert!(nc.notify(cancel));
+        assert_eq!(nc.retracted.load(Ordering::Relaxed), 1);
+        assert_eq!(nc.delivered.load(Ordering::Relaxed), 2);
+        // The cancel did not reset key state: a genuine same-severity
+        // re-alert right after is still a duplicate of the original.
+        assert!(!nc.notify(notif("k", 2.0)));
+        // Retractions still respect the severity floor.
+        let nc = NotificationCenter::new(
+            VirtPolicy {
+                min_severity: 5.0,
+                ..Default::default()
+            },
+            SimClock::new(TimestampMs(0)),
+        );
+        let mut low = notif("k", 1.0);
+        low.is_retraction = true;
+        assert!(!nc.notify(low));
+        assert_eq!(nc.retracted.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use evdb_types::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::admission::{AdmissionControl, OverloadPolicy, Staged};
+use crate::history::{History, HistoryConfig, HistorySlot};
 use crate::metrics::{Metrics, StageBatch, StageObs};
 use crate::notify::{Notification, NotificationCenter, NotificationHandler, VirtPolicy};
 use crate::security::{AccessControl, Principal, Privilege};
@@ -220,6 +221,10 @@ pub struct EventServer {
     detectors: RwLock<HashMap<String, Vec<Mutex<DetectorGroup>>>>,
     /// Per-stream partition field for sharded routing (see `shard.rs`).
     partition_fields: RwLock<HashMap<String, usize>>,
+    /// Historical event store (DESIGN.md D14); empty until
+    /// [`EventServer::enable_history`]. `Arc` because the metric bridge
+    /// reads it from gauge closures.
+    history: Arc<HistorySlot>,
     ids: IdGenerator,
 }
 
@@ -268,8 +273,16 @@ impl EventServer {
             config.ingest_capacity,
             config.overload,
         ));
+        let history = Arc::new(HistorySlot::default());
         if registry.is_enabled() {
-            Self::bridge_gauges(&registry, &metrics, &notifications, &runtime, &admission);
+            Self::bridge_gauges(
+                &registry,
+                &metrics,
+                &notifications,
+                &runtime,
+                &admission,
+                &history,
+            );
         }
         Ok(EventServer {
             queues,
@@ -288,6 +301,7 @@ impl EventServer {
             alert_rules: RwLock::new(HashMap::new()),
             detectors: RwLock::new(HashMap::new()),
             partition_fields: RwLock::new(HashMap::new()),
+            history,
             ids: IdGenerator::default(),
             db,
         })
@@ -301,6 +315,7 @@ impl EventServer {
         notifications: &Arc<NotificationCenter>,
         runtime: &Arc<StreamRuntime>,
         admission: &Arc<AdmissionControl>,
+        history: &Arc<HistorySlot>,
     ) {
         use std::sync::atomic::Ordering;
         let m = Arc::clone(metrics);
@@ -336,6 +351,10 @@ impl EventServer {
         let nc = Arc::clone(notifications);
         registry.gauge_fn("evdb_notify_suppressed", move || {
             nc.suppressed.load(Ordering::Relaxed) as f64
+        });
+        let nc = Arc::clone(notifications);
+        registry.gauge_fn("evdb_notify_retracted_total", move || {
+            nc.retracted.load(Ordering::Relaxed) as f64
         });
         let rt = Arc::clone(runtime);
         registry.gauge_fn("evdb_cq_window_memory", move || rt.window_memory() as f64);
@@ -387,6 +406,35 @@ impl EventServer {
         });
         registry.gauge_fn("evdb_expr_like_precompiled_total", || {
             evdb_expr::compiler_stats().like_precompiled as f64
+        });
+        // Historical event store (D14). Registered even while history is
+        // disabled (they read zero) so the exposition's metric set does
+        // not depend on whether enable_history ran.
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_segments", move || h.stats().0 as f64);
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_appended_total", move || {
+            h.stats().1.appended as f64
+        });
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_freezes_total", move || {
+            h.stats().1.freezes as f64
+        });
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_compactions_total", move || {
+            h.stats().1.compactions as f64
+        });
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_segments_pruned_total", move || {
+            h.stats().1.segments_pruned as f64
+        });
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_zones_pruned_total", move || {
+            h.stats().1.zones_pruned as f64
+        });
+        let h = Arc::clone(history);
+        registry.gauge_fn("evdb_store_replayed_total", move || {
+            h.stats().1.replayed as f64
         });
     }
 
@@ -638,6 +686,110 @@ impl EventServer {
             ),
             None => event.source.to_string(),
         }
+    }
+
+    // ---- historical event store (D14) ------------------------------------------
+
+    /// Enable the historical event store under `root`: from now on every
+    /// event that reaches [`EventServer::evaluate_event`] — on either
+    /// pump mode — is also appended to its stream's columnar segment
+    /// store, queryable and replayable after the fact. Errors if history
+    /// is already enabled. Re-opening an existing root runs segment
+    /// recovery per stream.
+    pub fn enable_history(
+        &self,
+        root: impl AsRef<Path>,
+        config: HistoryConfig,
+    ) -> Result<Arc<History>> {
+        self.history.install(History::open(root, config)?)
+    }
+
+    /// The historical store, if [`enable_history`](Self::enable_history)
+    /// has run.
+    pub fn history(&self) -> Option<Arc<History>> {
+        self.history.get()
+    }
+
+    /// REPLAY a stream's history in original arrival order, as
+    /// reconstructed events (original ids, timestamps and retraction
+    /// flags). `from_seq..=to_seq` are history sequence numbers as
+    /// returned by the store; `(0, u64::MAX)` replays everything.
+    pub fn replay(&self, stream: &str, from_seq: u64, to_seq: u64) -> Result<Vec<Event>> {
+        let history = self
+            .history
+            .get()
+            .ok_or_else(|| Error::Invalid("history is not enabled".into()))?;
+        let schema = self.runtime.stream_schema(stream)?;
+        let store = history.store_or_recover(stream, &schema)?;
+        Ok(History::to_events(
+            stream,
+            &schema,
+            store.replay(from_seq, to_seq)?,
+        ))
+    }
+
+    /// REPLAY a stream's history back *through the continuous-query
+    /// runtime*: each historical event is re-fed in arrival order via
+    /// the dedup-bypassing replay path (original ids legitimately
+    /// reappear here), re-driving windows and subscribers. Alert rules
+    /// and detectors are not re-run — replay reconstructs derived state,
+    /// it does not re-page anyone. Returns (events replayed, derived
+    /// events produced).
+    pub fn replay_into_runtime(
+        &self,
+        stream: &str,
+        from_seq: u64,
+        to_seq: u64,
+    ) -> Result<(u64, u64)> {
+        let events = self.replay(stream, from_seq, to_seq)?;
+        let mut derived = 0u64;
+        for event in &events {
+            derived += self.runtime.push_event_replay(event)?.len() as u64;
+        }
+        Ok((events.len() as u64, derived))
+    }
+
+    /// Historical query: events of `stream` whose payload satisfies
+    /// `predicate`, in arrival order, pruned by segment- and zone-level
+    /// statistics (check `evdb_store_*_pruned_total` to see the savings).
+    pub fn query_history(&self, stream: &str, predicate: &str) -> Result<Vec<Event>> {
+        let history = self
+            .history
+            .get()
+            .ok_or_else(|| Error::Invalid("history is not enabled".into()))?;
+        let schema = self.runtime.stream_schema(stream)?;
+        let store = history.store_or_recover(stream, &schema)?;
+        let expr = evdb_expr::parse(predicate)?;
+        Ok(History::to_events(stream, &schema, store.query(&expr)?))
+    }
+
+    /// Recover a capture whose journal cursor lost history to a
+    /// checkpoint (`Error::TruncatedHistory` from a strict poll): the
+    /// capture's baseline is reset from current table state —
+    /// `QuerySnapshot::rebaseline` for query-poll captures, cursor
+    /// `resync` for journal miners — and then the stream's history from
+    /// `from_seq` is replayed through the CQ runtime to rebuild derived
+    /// state. Returns the number of events replayed.
+    pub fn rebaseline_by_replay(&self, stream: &str, from_seq: u64) -> Result<u64> {
+        {
+            let mut captures = self.captures.lock();
+            for task in captures.iter_mut() {
+                if task.stream != stream {
+                    continue;
+                }
+                match &mut task.kind {
+                    CaptureKind::Journal(miner) => {
+                        miner.resync(&self.db);
+                    }
+                    CaptureKind::Snapshot { snapshot, .. } => {
+                        snapshot.rebaseline(&self.db)?;
+                    }
+                    CaptureKind::Trigger => {}
+                }
+            }
+        }
+        let (replayed, _) = self.replay_into_runtime(stream, from_seq, u64::MAX)?;
+        Ok(replayed)
     }
 
     // ---- continuous queries ----------------------------------------------------
@@ -895,6 +1047,12 @@ impl EventServer {
             self.process_event(event, stamp_now, &mut stats, &mut batch)?;
         }
         self.stage_obs.flush(&mut batch);
+        // Bounded history maintenance: at most one segment merge per
+        // stream per pump, so compaction rides the pump cadence instead
+        // of needing its own thread (determinism under SimClock).
+        if let Some(history) = self.history.get() {
+            history.maintain()?;
+        }
         Ok(stats)
     }
 
@@ -1124,6 +1282,14 @@ impl EventServer {
             .events_processed
             .fetch_add(1, Ordering::Relaxed);
 
+        // Historical store (D14): record before evaluation, so history
+        // reflects arrival order and a replay re-presents exactly what
+        // the pipeline saw. Both pump modes funnel through here; the
+        // replay feed itself bypasses this method (no re-recording).
+        if let Some(history) = self.history.get() {
+            history.append(event)?;
+        }
+
         // Continuous queries.
         let derived = self.runtime.push_event(event)?;
         self.metrics
@@ -1180,6 +1346,7 @@ impl EventServer {
                     body: event.payload.to_string(),
                     timestamp: event.timestamp,
                     trace: event.trace,
+                    is_retraction: event.is_retraction(),
                 });
             }
         }
@@ -1224,6 +1391,7 @@ impl EventServer {
                         ),
                         timestamp: dev.timestamp,
                         trace: event.trace,
+                        is_retraction: event.is_retraction(),
                     });
                 }
             }

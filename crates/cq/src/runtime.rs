@@ -325,6 +325,36 @@ impl StreamRuntime {
         self.route(event, wm)
     }
 
+    /// Push a pre-built event, bypassing the replay-dedup window.
+    ///
+    /// History replays (REPLAY over the segment store) legitimately
+    /// re-deliver `(stream, event id)` pairs the runtime has seen before:
+    /// an event that was retracted and later re-inserted in the *live*
+    /// stream carries a fresh id each time (every ingest writes a new WAL
+    /// record), but a replay from history re-presents the original ids
+    /// verbatim. Routing replays through [`push_event`](Self::push_event)
+    /// therefore wrongly dropped a retracted-then-reinserted event as a
+    /// "duplicate". The dedup window is only sound for WAL-prefix
+    /// re-delivery after crash recovery, so replay feeds use this path
+    /// and never consult (or populate) the window.
+    ///
+    /// The watermark routed with each replayed event is the *historical*
+    /// one — derived from the replayed event's own timestamp — not the
+    /// live stream's high-water mark. A query registered after the fact
+    /// then sees windows open and close exactly as a live subscriber
+    /// did, while already-advanced pipelines treat the stale watermark
+    /// as a no-op (watermark handling is monotone).
+    pub fn push_event_replay(&self, event: &Event) -> Result<Vec<Event>> {
+        let entry = self.stream_entry(event.source.as_ref())?;
+        {
+            let mut state = entry.state.lock();
+            state.max_ts = state.max_ts.max(event.timestamp);
+            state.events_in += 1;
+        }
+        let wm = event.timestamp.minus(self.lateness_ms);
+        self.route(event, wm)
+    }
+
     fn stream_entry(&self, name: &str) -> Result<Arc<StreamEntry>> {
         self.streams
             .read()
@@ -566,6 +596,50 @@ mod tests {
         let out = rt.flush("ticks", TimestampMs(10_000)).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload.get(0), Some(&Value::Int(5))); // not 10
+    }
+
+    #[test]
+    fn history_replay_of_retracted_then_reinserted_event_is_not_dropped() {
+        // Regression: a replay from the historical store re-presents
+        // original event ids. An event that was retracted and then
+        // re-observed used to be swallowed by the dedup window when the
+        // replay feed went through push_event — its (stream, id, false)
+        // key was already "seen". The replay path must bypass dedup.
+        let rt = StreamRuntime::new(0);
+        rt.create_stream("ticks", schema()).unwrap();
+        rt.enable_dedup(1024);
+        let p = compile_query(
+            "SELECT count() AS n FROM ticks [RANGE 10 s]",
+            &schema(),
+            AggMode::Incremental,
+        )
+        .unwrap();
+        rt.register_query("q", "ticks", p).unwrap();
+
+        let insert = Event::new(
+            EventId(7),
+            "ticks",
+            TimestampMs(100),
+            Record::from_iter([Value::from("A"), Value::Float(1.0)]),
+            schema(),
+        );
+        // Live history: insert, then retract.
+        rt.push_event(&insert).unwrap();
+        rt.push_event(&insert.to_retraction()).unwrap();
+
+        // REPLAY re-feeds the same id. On the dedup'd path it would be
+        // dropped as a duplicate; the replay path must deliver it.
+        assert!(rt.push_event(&insert).unwrap().is_empty()); // demonstrates the trap
+        assert_eq!(rt.dup_dropped(), 1);
+        rt.push_event_replay(&insert).unwrap();
+        assert_eq!(rt.dup_dropped(), 1); // replay neither consulted nor fed the window
+
+        let out = rt.flush("ticks", TimestampMs(100_000)).unwrap();
+        assert_eq!(out.len(), 1);
+        // events_in excludes the dedup-dropped push but includes the
+        // replayed delivery: insert + retraction + replayed insert.
+        let (ins, _) = rt.stats();
+        assert_eq!(ins, 3);
     }
 
     #[test]

@@ -105,6 +105,11 @@ impl<'a> Reader<'a> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Skip `n` bytes (e.g. a length-prefixed block read elsewhere).
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
     /// Read a length-prefixed string.
     pub fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;

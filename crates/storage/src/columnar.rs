@@ -1,0 +1,571 @@
+//! Columnar segment codec for the historical event store (DESIGN.md D14).
+//!
+//! A **segment** is the immutable on-disk unit of the per-stream history
+//! store ([`crate::segment`]): a batch of stored events laid out
+//! column-major in fixed-size **zones**, each zone carrying per-column
+//! min/max statistics plus temporal and sequence bounds. Queries prune at
+//! two levels — whole segments via manifest-resident [`ColumnStats`]
+//! (no file read at all), then zones inside a surviving segment (no row
+//! decode for a pruned zone). Layout, little-endian throughout:
+//!
+//! ```text
+//! segment := magic "EVSG" | version:u16 | schema | zone_rows:u32
+//!            | zone_count:u32 | zone* | crc32:u32 (over all prior bytes)
+//! zone    := rows:u32 | seq_min:u64 | seq_max:u64 | ts_min:i64 | ts_max:i64
+//!            | colstats* (one per payload column)
+//!            | body_len:u32 | body
+//! body    := seq:u64* | id:u64* | ts:i64* | retract_bits:u8*
+//!            | column* (values, tagged codec encoding)
+//! colstats:= present:u8 | [min value | max value] | nulls:u32
+//! ```
+//!
+//! **Pruning soundness.** Zone min/max are computed with
+//! [`Value::sql_cmp`] over non-null values only; a constraint never
+//! accepts NULL ([`Constraint::accepts`]), so ignoring nulls cannot hide
+//! a match. Whenever a comparison is undefined (cross-kind operands, a
+//! column with no comparable values), stats are recorded as absent and
+//! the zone is scanned — pruning only ever skips data the constraint
+//! provably rejects. The residual (non-analyzable) part of a predicate
+//! never prunes; it is evaluated on decoded rows.
+
+use std::sync::Arc;
+
+use evdb_expr::analysis::Bound;
+use evdb_expr::Constraint;
+use evdb_types::{Error, Record, Result, Schema, TimestampMs, Value};
+
+use crate::codec::{
+    self, decode_schema, decode_value, encode_schema, encode_value, put_u16, put_u32, put_u64,
+    Reader,
+};
+use crate::crc::crc32;
+
+/// Segment file magic: "EVSG".
+pub const SEGMENT_MAGIC: u32 = 0x4756_5345;
+/// Current segment format version.
+pub const SEGMENT_VERSION: u16 = 1;
+/// Default rows per zone.
+pub const DEFAULT_ZONE_ROWS: usize = 256;
+
+/// One event as held by the history store: the stream event plus the
+/// store's own monotone sequence number (original arrival order — the
+/// REPLAY order, which may differ from timestamp order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEvent {
+    /// Store-assigned arrival sequence (monotone per stream, never
+    /// reused; segments cover disjoint seq ranges).
+    pub seq: u64,
+    /// The original event id.
+    pub id: u64,
+    /// Event time.
+    pub timestamp: TimestampMs,
+    /// Retraction flag (replay must reproduce deltas sign-exact).
+    pub retraction: bool,
+    /// The payload tuple (matches the store's schema).
+    pub payload: Record,
+}
+
+/// Min/max + null accounting for one column over one zone or segment.
+/// `bounds: None` means "no usable statistics" (all-null column, or
+/// values that are not totally ordered under [`Value::sql_cmp`]) — such
+/// a column never prunes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// (min, max) over non-null values, when comparable.
+    pub bounds: Option<(Value, Value)>,
+    /// Number of NULLs in the range.
+    pub nulls: u32,
+}
+
+impl ColumnStats {
+    /// Compute stats over one column of a row batch.
+    pub fn compute<'a>(values: impl Iterator<Item = &'a Value>) -> ColumnStats {
+        let mut nulls = 0u32;
+        let mut bounds: Option<(Value, Value)> = None;
+        let mut comparable = true;
+        for v in values {
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            if !comparable {
+                continue;
+            }
+            bounds = match bounds.take() {
+                None => Some((v.clone(), v.clone())),
+                Some((lo, hi)) => {
+                    match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                        (Some(cl), Some(ch)) => Some((
+                            if cl == std::cmp::Ordering::Less { v.clone() } else { lo },
+                            if ch == std::cmp::Ordering::Greater { v.clone() } else { hi },
+                        )),
+                        // Cross-kind value in one column: statistics are
+                        // unreliable, drop them (scan, never mis-prune).
+                        _ => {
+                            comparable = false;
+                            None
+                        }
+                    }
+                }
+            };
+        }
+        if !comparable {
+            bounds = None;
+        }
+        ColumnStats { bounds, nulls }
+    }
+
+    /// Merge two ranges' stats (compaction folds zone stats upward).
+    pub fn merge(&self, other: &ColumnStats) -> ColumnStats {
+        let bounds = match (&self.bounds, &other.bounds) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                match (alo.sql_cmp(blo), ahi.sql_cmp(bhi)) {
+                    (Some(cl), Some(ch)) => Some((
+                        if cl == std::cmp::Ordering::Greater { blo.clone() } else { alo.clone() },
+                        if ch == std::cmp::Ordering::Less { bhi.clone() } else { ahi.clone() },
+                    )),
+                    _ => None,
+                }
+            }
+            (Some(b), None) | (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        ColumnStats {
+            bounds,
+            nulls: self.nulls + other.nulls,
+        }
+    }
+
+    /// Could a value satisfying `c` exist in this range? `false` is a
+    /// proof of absence (the pruning decision); `true` means "scan".
+    pub fn may_match(&self, c: &Constraint) -> bool {
+        let Some((min, max)) = &self.bounds else {
+            // No non-null comparable values. Constraints never accept
+            // NULL, so an all-null column provably has no match; absent
+            // stats for any other reason must scan.
+            return self.nulls == 0 || self.bounds.is_some();
+        };
+        use std::cmp::Ordering::*;
+        match c {
+            Constraint::Eq { value, .. } => match (value.sql_cmp(min), value.sql_cmp(max)) {
+                (Some(cl), Some(ch)) => cl != Less && ch != Greater,
+                _ => true, // incomparable: cannot prove absence
+            },
+            Constraint::In { values, .. } => values.iter().any(|v| {
+                match (v.sql_cmp(min), v.sql_cmp(max)) {
+                    (Some(cl), Some(ch)) => cl != Less && ch != Greater,
+                    _ => true,
+                }
+            }),
+            Constraint::Range { low, high, .. } => {
+                if let Some(Bound { value, inclusive }) = high {
+                    // Need some x in [min,max] with x < value (or <=).
+                    match value.sql_cmp(min) {
+                        Some(Less) => return false,
+                        Some(Equal) if !inclusive => return false,
+                        None => return true,
+                        _ => {}
+                    }
+                }
+                if let Some(Bound { value, inclusive }) = low {
+                    match value.sql_cmp(max) {
+                        Some(Greater) => return false,
+                        Some(Equal) if !inclusive => return false,
+                        None => return true,
+                        _ => {}
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Encode one column's stats.
+fn encode_stats(buf: &mut Vec<u8>, s: &ColumnStats) {
+    match &s.bounds {
+        Some((lo, hi)) => {
+            buf.push(1);
+            encode_value(buf, lo);
+            encode_value(buf, hi);
+        }
+        None => buf.push(0),
+    }
+    put_u32(buf, s.nulls);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<ColumnStats> {
+    let bounds = match r.u8()? {
+        0 => None,
+        1 => {
+            let lo = decode_value(r)?;
+            let hi = decode_value(r)?;
+            Some((lo, hi))
+        }
+        t => return Err(Error::Corruption(format!("bad colstats tag {t}"))),
+    };
+    let nulls = r.u32()?;
+    Ok(ColumnStats { bounds, nulls })
+}
+
+/// Per-zone metadata: bounds plus the byte range of the (still encoded)
+/// zone body inside the segment buffer.
+#[derive(Debug, Clone)]
+pub struct ZoneMeta {
+    /// Rows in the zone.
+    pub rows: usize,
+    /// Sequence bounds (inclusive).
+    pub seq_min: u64,
+    /// Sequence bounds (inclusive).
+    pub seq_max: u64,
+    /// Event-time bounds (inclusive).
+    pub ts_min: TimestampMs,
+    /// Event-time bounds (inclusive).
+    pub ts_max: TimestampMs,
+    /// Per payload column statistics.
+    pub stats: Vec<ColumnStats>,
+    /// Body byte range in the decoded segment buffer.
+    body: (usize, usize),
+}
+
+impl ZoneMeta {
+    /// Zone-level pruning decision for an analyzed predicate: every
+    /// constraint must be *possibly* satisfiable for the zone to survive
+    /// (constraints are conjunctive).
+    pub fn may_match(&self, schema: &Schema, constraints: &[Constraint]) -> bool {
+        constraints.iter().all(|c| match schema.index_of(c.field()) {
+            Some(i) => self.stats[i].may_match(c),
+            None => true,
+        })
+    }
+}
+
+/// A decoded (but lazily materialized) segment: schema, zone directory
+/// and the raw buffer. Produced by [`decode_segment`]; rows are only
+/// decoded per zone via [`Segment::decode_zone`].
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Payload schema.
+    pub schema: Arc<Schema>,
+    /// Rows per full zone (last zone may be short).
+    pub zone_rows: usize,
+    /// Zone directory.
+    pub zones: Vec<ZoneMeta>,
+    buf: Arc<Vec<u8>>,
+}
+
+impl Segment {
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.zones.iter().map(|z| z.rows).sum()
+    }
+
+    /// Decode every row of one zone.
+    pub fn decode_zone(&self, zi: usize) -> Result<Vec<StoredEvent>> {
+        let z = &self.zones[zi];
+        let body = &self.buf[z.body.0..z.body.1];
+        let mut r = Reader::new(body);
+        let n = z.rows;
+        let mut seqs = Vec::with_capacity(n);
+        for _ in 0..n {
+            seqs.push(r.u64()?);
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(r.u64()?);
+        }
+        let mut ts = Vec::with_capacity(n);
+        for _ in 0..n {
+            ts.push(r.i64()?);
+        }
+        let mut retract = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % 8 == 0 {
+                retract.push(r.u8()?);
+            }
+        }
+        let bit = |i: usize| retract[i / 8] >> (i % 8) & 1 == 1;
+        // Column-major payload values.
+        let ncols = self.schema.len();
+        let mut cols: Vec<Vec<Value>> = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let mut col = Vec::with_capacity(n);
+            for _ in 0..n {
+                col.push(decode_value(&mut r)?);
+            }
+            cols.push(col);
+        }
+        if !r.is_empty() {
+            return Err(Error::Corruption("trailing bytes in zone body".into()));
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            let values: Vec<Value> = cols.iter_mut().map(|c| c.pop().expect("len")).collect();
+            out.push((i, values));
+        }
+        out.reverse();
+        Ok(out
+            .into_iter()
+            .map(|(i, values)| StoredEvent {
+                seq: seqs[i],
+                id: ids[i],
+                timestamp: TimestampMs(ts[i]),
+                retraction: bit(i),
+                payload: Record::new(values),
+            })
+            .collect())
+    }
+
+    /// Decode every row of the segment (the row-scan baseline).
+    pub fn decode_all(&self) -> Result<Vec<StoredEvent>> {
+        let mut out = Vec::with_capacity(self.rows());
+        for zi in 0..self.zones.len() {
+            out.extend(self.decode_zone(zi)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encode a batch of rows into a segment buffer. Rows are written in the
+/// order given — the store sorts by event time (stable by seq) before
+/// freezing, so zones are temporally tight; the seq column preserves the
+/// original arrival order for REPLAY.
+pub fn encode_segment(schema: &Schema, rows: &[StoredEvent], zone_rows: usize) -> Vec<u8> {
+    let zone_rows = zone_rows.max(1);
+    let mut buf = Vec::with_capacity(rows.len() * 32 + 128);
+    put_u32(&mut buf, SEGMENT_MAGIC);
+    put_u16(&mut buf, SEGMENT_VERSION);
+    encode_schema(&mut buf, schema);
+    put_u32(&mut buf, zone_rows as u32);
+    let nzones = rows.len().div_ceil(zone_rows);
+    put_u32(&mut buf, nzones as u32);
+    for chunk in rows.chunks(zone_rows) {
+        put_u32(&mut buf, chunk.len() as u32);
+        put_u64(&mut buf, chunk.iter().map(|e| e.seq).min().unwrap_or(0));
+        put_u64(&mut buf, chunk.iter().map(|e| e.seq).max().unwrap_or(0));
+        codec::put_i64(
+            &mut buf,
+            chunk.iter().map(|e| e.timestamp.0).min().unwrap_or(0),
+        );
+        codec::put_i64(
+            &mut buf,
+            chunk.iter().map(|e| e.timestamp.0).max().unwrap_or(0),
+        );
+        for ci in 0..schema.len() {
+            let stats =
+                ColumnStats::compute(chunk.iter().filter_map(|e| e.payload.get(ci)));
+            encode_stats(&mut buf, &stats);
+        }
+        // Body, length-prefixed so pruned zones are skipped wholesale.
+        let mut body = Vec::with_capacity(chunk.len() * 24);
+        for e in chunk {
+            put_u64(&mut body, e.seq);
+        }
+        for e in chunk {
+            put_u64(&mut body, e.id);
+        }
+        for e in chunk {
+            codec::put_i64(&mut body, e.timestamp.0);
+        }
+        let mut bits = 0u8;
+        for (i, e) in chunk.iter().enumerate() {
+            if e.retraction {
+                bits |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                body.push(bits);
+                bits = 0;
+            }
+        }
+        if !chunk.len().is_multiple_of(8) {
+            body.push(bits);
+        }
+        for ci in 0..schema.len() {
+            for e in chunk {
+                encode_value(&mut body, e.payload.get(ci).unwrap_or(&Value::Null));
+            }
+        }
+        put_u32(&mut buf, body.len() as u32);
+        buf.extend_from_slice(&body);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+/// Decode a segment buffer (verifying the CRC) into a lazily
+/// materialized [`Segment`].
+pub fn decode_segment(bytes: Vec<u8>) -> Result<Segment> {
+    if bytes.len() < 4 {
+        return Err(Error::Corruption("segment shorter than its crc".into()));
+    }
+    let (data, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(data) != stored {
+        return Err(Error::Corruption("segment crc mismatch".into()));
+    }
+    let buf = Arc::new(bytes);
+    let data_len = buf.len() - 4;
+    let mut r = Reader::new(&buf[..data_len]);
+    if r.u32()? != SEGMENT_MAGIC {
+        return Err(Error::Corruption("bad segment magic".into()));
+    }
+    let version = r.u16()?;
+    if version != SEGMENT_VERSION {
+        return Err(Error::Corruption(format!(
+            "unsupported segment version {version}"
+        )));
+    }
+    let schema = decode_schema(&mut r)?;
+    let zone_rows = r.u32()? as usize;
+    let nzones = r.u32()? as usize;
+    let mut zones = Vec::with_capacity(nzones);
+    for _ in 0..nzones {
+        let rows = r.u32()? as usize;
+        let seq_min = r.u64()?;
+        let seq_max = r.u64()?;
+        let ts_min = TimestampMs(r.i64()?);
+        let ts_max = TimestampMs(r.i64()?);
+        let mut stats = Vec::with_capacity(schema.len());
+        for _ in 0..schema.len() {
+            stats.push(decode_stats(&mut r)?);
+        }
+        let body_len = r.u32()? as usize;
+        let start = data_len - r.remaining();
+        if r.remaining() < body_len {
+            return Err(Error::Corruption("zone body truncated".into()));
+        }
+        // Skip the body; decode_zone re-reads it on demand.
+        r.skip(body_len)?;
+        zones.push(ZoneMeta {
+            rows,
+            seq_min,
+            seq_max,
+            ts_min,
+            ts_max,
+            stats,
+            body: (start, start + body_len),
+        });
+    }
+    if !r.is_empty() {
+        return Err(Error::Corruption("trailing bytes after zones".into()));
+    }
+    Ok(Segment {
+        schema,
+        zone_rows,
+        zones,
+        buf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_types::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("k", DataType::Int), ("sym", DataType::Str)])
+    }
+
+    fn ev(seq: u64, ts: i64, k: i64, sym: &str) -> StoredEvent {
+        StoredEvent {
+            seq,
+            id: seq + 1000,
+            timestamp: TimestampMs(ts),
+            retraction: seq.is_multiple_of(3),
+            payload: Record::from_iter([Value::Int(k), Value::from(sym)]),
+        }
+    }
+
+    #[test]
+    fn segment_round_trips() {
+        let s = schema();
+        let rows: Vec<StoredEvent> = (0..1000)
+            .map(|i| ev(i, i as i64 * 10, (i % 7) as i64, &format!("s{}", i % 5)))
+            .collect();
+        let bytes = encode_segment(&s, &rows, 64);
+        let seg = decode_segment(bytes).unwrap();
+        assert_eq!(seg.rows(), 1000);
+        assert_eq!(seg.zones.len(), 1000usize.div_ceil(64));
+        assert_eq!(seg.decode_all().unwrap(), rows);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let s = schema();
+        let rows: Vec<StoredEvent> = (0..10).map(|i| ev(i, i as i64, 1, "x")).collect();
+        let mut bytes = encode_segment(&s, &rows, 4);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = decode_segment(bytes).unwrap_err();
+        assert_eq!(err.kind(), "corruption");
+    }
+
+    #[test]
+    fn zone_stats_prune_soundly() {
+        let s = schema();
+        // Zone 0: k in 0..10, zone 1: k in 100..110.
+        let mut rows: Vec<StoredEvent> = (0..10).map(|i| ev(i, i as i64, i as i64, "a")).collect();
+        rows.extend((10..20).map(|i| ev(i, i as i64, 90 + i as i64, "b")));
+        let bytes = encode_segment(&s, &rows, 10);
+        let seg = decode_segment(bytes).unwrap();
+        let c = Constraint::Eq {
+            field: "k".into(),
+            value: Value::Int(105),
+        };
+        assert!(!seg.zones[0].may_match(&s, std::slice::from_ref(&c)));
+        assert!(seg.zones[1].may_match(&s, std::slice::from_ref(&c)));
+        // Range 5..8 hits only zone 0.
+        let r = Constraint::Range {
+            field: "k".into(),
+            low: Some(Bound {
+                value: Value::Int(5),
+                inclusive: true,
+            }),
+            high: Some(Bound {
+                value: Value::Int(8),
+                inclusive: true,
+            }),
+        };
+        assert!(seg.zones[0].may_match(&s, std::slice::from_ref(&r)));
+        assert!(!seg.zones[1].may_match(&s, std::slice::from_ref(&r)));
+    }
+
+    #[test]
+    fn all_null_column_prunes_everything_incomparable_scans() {
+        let s = Schema::new(vec![evdb_types::FieldDef::nullable("n", DataType::Int)]).unwrap();
+        let rows: Vec<StoredEvent> = (0..8)
+            .map(|i| StoredEvent {
+                seq: i,
+                id: i,
+                timestamp: TimestampMs(0),
+                retraction: false,
+                payload: Record::from_iter([Value::Null]),
+            })
+            .collect();
+        let bytes = encode_segment(&s, &rows, 8);
+        let seg = decode_segment(bytes).unwrap();
+        let c = Constraint::Eq {
+            field: "n".into(),
+            value: Value::Int(1),
+        };
+        // Constraints never accept NULL, so an all-null zone is provably
+        // empty for any constraint.
+        assert!(!seg.zones[0].may_match(&s, std::slice::from_ref(&c)));
+    }
+
+    #[test]
+    fn stats_merge_widens() {
+        let a = ColumnStats {
+            bounds: Some((Value::Int(0), Value::Int(5))),
+            nulls: 1,
+        };
+        let b = ColumnStats {
+            bounds: Some((Value::Int(3), Value::Int(9))),
+            nulls: 2,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.bounds, Some((Value::Int(0), Value::Int(9))));
+        assert_eq!(m.nulls, 3);
+    }
+}

@@ -1,0 +1,264 @@
+//! Background compaction for the segment store (DESIGN.md D14).
+//!
+//! Freezing produces many small segments; queries then pay per-segment
+//! fixed costs (open, CRC, zone directory) even when pruning works. The
+//! compactor merges **seq-adjacent runs of small segments** into larger
+//! ones under [`CompactionPolicy`]. The merge itself is
+//! [`SegmentStore::compact_segments`] — crash-safe via the manifest
+//! commit point — so the policy layer here is pure selection logic plus
+//! an optional background thread.
+//!
+//! Invariants (asserted by the torture harness, E12-style):
+//!
+//! | invariant                  | why it holds                            |
+//! |----------------------------|------------------------------------------|
+//! | no event lost              | merged segment written+fsynced before    |
+//! |                            | the manifest drops its inputs            |
+//! | no event duplicated        | inputs removed in the same manifest      |
+//! |                            | commit that adds the merged segment      |
+//! | seq ranges stay disjoint   | only seq-adjacent runs merge             |
+//! | replay order unchanged     | seq column is carried through the merge  |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use evdb_types::Result;
+
+use crate::segment::{SegmentMeta, SegmentStore};
+
+/// When and what to compact.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Compact only when more than this many live segments exist.
+    pub max_segments: usize,
+    /// Segments at or under this row count are "small" (merge fodder).
+    pub small_rows: u64,
+    /// Most segments merged in one step (bounds the rewrite).
+    pub max_merge: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_segments: 8,
+            small_rows: 1 << 16,
+            max_merge: 8,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Choose the next run to merge: the longest run (up to
+    /// `max_merge`) of seq-adjacent small segments, smallest-first by
+    /// total rows among candidates. `None` when the store is within
+    /// policy. Pure function of the metas — deterministic and testable.
+    pub fn pick_run(&self, metas: &[SegmentMeta]) -> Option<Vec<u64>> {
+        if metas.len() <= self.max_segments {
+            return None;
+        }
+        // Metas arrive in seq order. Slide a window over small segments
+        // and keep the cheapest eligible run.
+        let mut best: Option<(u64, Vec<u64>)> = None;
+        let mut run: Vec<(u64, u64)> = Vec::new(); // (seq_min, rows)
+        let consider = |run: &[(u64, u64)], best: &mut Option<(u64, Vec<u64>)>| {
+            if run.len() < 2 {
+                return;
+            }
+            for window in run.windows(run.len().min(self.max_merge)) {
+                if window.len() < 2 {
+                    continue;
+                }
+                let total: u64 = window.iter().map(|(_, r)| r).sum();
+                let keys: Vec<u64> = window.iter().map(|(k, _)| *k).collect();
+                if best.as_ref().is_none_or(|(t, _)| total < *t) {
+                    *best = Some((total, keys));
+                }
+            }
+        };
+        for m in metas {
+            if m.rows <= self.small_rows {
+                run.push((m.seq_min, m.rows));
+            } else {
+                consider(&run, &mut best);
+                run.clear();
+            }
+        }
+        consider(&run, &mut best);
+        best.map(|(_, keys)| keys)
+    }
+}
+
+/// Run one policy-selected compaction step; returns whether a merge
+/// happened. Call in a loop (or via [`Compactor`]) to converge.
+pub fn compact_once(store: &SegmentStore, policy: &CompactionPolicy) -> Result<bool> {
+    match policy.pick_run(&store.segment_metas()) {
+        Some(run) => {
+            store.compact_segments(&run)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// A background compaction thread over one store. Dropping the handle
+/// stops the thread.
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawn a thread that applies `policy` every `interval`. Errors are
+    /// retried next tick (a fault-injected merge leaves the store
+    /// consistent; the policy will pick the run again).
+    pub fn spawn(
+        store: Arc<SegmentStore>,
+        policy: CompactionPolicy,
+        interval: Duration,
+    ) -> Compactor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("evdb-compactor".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    // Converge fully each tick, then sleep.
+                    while !flag.load(Ordering::Relaxed) {
+                        match compact_once(&store, &policy) {
+                            Ok(true) => continue,
+                            _ => break,
+                        }
+                    }
+                    let mut waited = Duration::ZERO;
+                    let step = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+                    while waited < interval && !flag.load(Ordering::Relaxed) {
+                        std::thread::sleep(step);
+                        waited += step;
+                    }
+                }
+            })
+            .expect("spawn compactor");
+        Compactor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentStoreOptions;
+    use evdb_types::{DataType, Record, Schema, TimestampMs, Value};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "evdb-compact-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small_store(dir: &PathBuf) -> SegmentStore {
+        let store = SegmentStore::open(
+            dir,
+            Schema::of(&[("k", DataType::Int)]),
+            SegmentStoreOptions {
+                freeze_rows: 8,
+                zone_rows: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..96u64 {
+            store
+                .append(
+                    i,
+                    TimestampMs(i as i64),
+                    false,
+                    Record::from_iter([Value::Int(i as i64)]),
+                )
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn policy_converges_below_max_segments() {
+        let dir = tmp("converge");
+        let store = small_store(&dir);
+        assert_eq!(store.segment_count(), 12);
+        let before = store.scan_all().unwrap();
+        let policy = CompactionPolicy {
+            max_segments: 4,
+            small_rows: 1000,
+            max_merge: 4,
+        };
+        let mut merges = 0;
+        while compact_once(&store, &policy).unwrap() {
+            merges += 1;
+            assert!(merges < 64, "compaction did not converge");
+        }
+        assert!(store.segment_count() <= 4, "{}", store.segment_count());
+        assert_eq!(store.scan_all().unwrap(), before);
+        assert_eq!(store.stats_snapshot().compactions, merges);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn policy_is_a_noop_within_bounds() {
+        let dir = tmp("noop");
+        let store = small_store(&dir);
+        let policy = CompactionPolicy {
+            max_segments: 100,
+            ..Default::default()
+        };
+        assert!(!compact_once(&store, &policy).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compactor_runs_and_stops() {
+        let dir = tmp("bg");
+        let store = Arc::new(small_store(&dir));
+        let before = store.scan_all().unwrap();
+        let policy = CompactionPolicy {
+            max_segments: 3,
+            small_rows: 1000,
+            max_merge: 8,
+        };
+        let compactor = Compactor::spawn(Arc::clone(&store), policy, Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.segment_count() > 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        compactor.stop();
+        assert!(store.segment_count() <= 3, "{}", store.segment_count());
+        assert_eq!(store.scan_all().unwrap(), before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

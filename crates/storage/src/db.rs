@@ -377,6 +377,13 @@ impl Database {
         self.wal.lock().next_lsn() - 1
     }
 
+    /// LSN through which the journal has been truncated by checkpoints
+    /// (0 = nothing truncated). Records at or below this exist only in
+    /// the checkpoint image; see [`crate::JournalMiner::poll_strict`].
+    pub fn wal_truncated_through(&self) -> u64 {
+        self.wal.lock().truncated_through()
+    }
+
     // ---- checkpoint & recovery ----------------------------------------------
 
     /// Write a checkpoint (full table images + catalog) and truncate the
@@ -462,6 +469,10 @@ impl Database {
         let records = {
             let mut wal = self.wal.lock();
             wal.bump_lsn(base_lsn + 1);
+            // Records at or below the checkpoint LSN live only in the
+            // checkpoint image now; lagging miners must learn this even
+            // before any post-recovery append shows them an LSN gap.
+            wal.note_truncated_through(base_lsn);
             wal.read_after(base_lsn)?
         };
         let mut max_txid = 0u64;

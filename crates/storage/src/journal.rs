@@ -10,7 +10,7 @@
 //! Because update/delete ops carry before images in the log, mined events
 //! have the same fidelity as trigger events.
 
-use evdb_types::{Result, Trace, Value};
+use evdb_types::{Error, Result, Trace, Value};
 
 use crate::change::{ChangeEvent, ChangeKind};
 use crate::db::Database;
@@ -63,19 +63,71 @@ impl JournalMiner {
         self.truncation_gaps
     }
 
+    /// Where the journal has a gap relative to this cursor: a checkpoint
+    /// truncated records the cursor had not yet consumed. Checks the
+    /// WAL's truncation floor first — so a gap is visible even when no
+    /// post-checkpoint records exist yet — then the first retained
+    /// record's LSN as a backstop (LSNs are contiguous, so a first
+    /// record beyond `last_lsn + 1` means discarded history).
+    fn gap_floor(&self, db: &Database, records: &[crate::wal::WalRecord]) -> Option<u64> {
+        let floor = db.wal_truncated_through();
+        if floor > self.last_lsn {
+            return Some(floor);
+        }
+        match records.first() {
+            Some(first) if first.lsn > self.last_lsn + 1 => Some(first.lsn - 1),
+            _ => None,
+        }
+    }
+
     /// Drain all newly committed changes into events. DDL ops are skipped
     /// (they are catalog changes, not row events). Ops on tables that have
     /// since been dropped are skipped too — their schema is gone.
+    ///
+    /// A truncation gap is *counted* (see [`truncation_gaps`]
+    /// (Self::truncation_gaps)) and then skipped — the lenient capture
+    /// semantics the pump wants. A REPLAY cursor that must never skip
+    /// silently uses [`poll_strict`](Self::poll_strict) instead.
     pub fn poll(&mut self, db: &Database) -> Result<Vec<ChangeEvent>> {
         let records = db.wal_read_after(self.last_lsn)?;
-        // LSNs are contiguous across truncation, so a first record beyond
-        // `last_lsn + 1` means a checkpoint discarded journal this miner
-        // never consumed.
-        if let Some(first) = records.first() {
-            if first.lsn > self.last_lsn + 1 {
-                self.truncation_gaps += 1;
-            }
+        if let Some(floor) = self.gap_floor(db, &records) {
+            self.truncation_gaps += 1;
+            // Skip the hole so one truncation is one gap, not one per poll.
+            self.last_lsn = self.last_lsn.max(floor);
         }
+        self.convert(db, records)
+    }
+
+    /// [`poll`](Self::poll) that surfaces a truncation gap as a typed
+    /// [`Error::TruncatedHistory`] instead of silently skipping the lost
+    /// records: the cursor does not advance, no events are returned, and
+    /// the gap is counted once. The caller must re-baseline from table
+    /// state (e.g. [`crate::QuerySnapshot::rebaseline`] or a history
+    /// replay) and then [`resync`](Self::resync) past the hole.
+    pub fn poll_strict(&mut self, db: &Database) -> Result<Vec<ChangeEvent>> {
+        let records = db.wal_read_after(self.last_lsn)?;
+        if let Some(floor) = self.gap_floor(db, &records) {
+            self.truncation_gaps += 1;
+            return Err(Error::TruncatedHistory(format!(
+                "journal truncated through lsn {floor} while replay cursor at lsn {}",
+                self.last_lsn
+            )));
+        }
+        self.convert(db, records)
+    }
+
+    /// Jump the cursor past a truncation hole (after the caller has
+    /// re-baselined). Returns the new position.
+    pub fn resync(&mut self, db: &Database) -> u64 {
+        self.last_lsn = self.last_lsn.max(db.wal_truncated_through());
+        self.last_lsn
+    }
+
+    fn convert(
+        &mut self,
+        db: &Database,
+        records: Vec<crate::wal::WalRecord>,
+    ) -> Result<Vec<ChangeEvent>> {
         let mut out = Vec::new();
         for rec in records {
             self.last_lsn = self.last_lsn.max(rec.lsn);
@@ -253,6 +305,105 @@ mod tests {
         let events = lagging.poll(&db).unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(lagging.truncation_gaps(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strict_cursor_surfaces_typed_gap_error_and_resyncs() {
+        let dir = std::env::temp_dir().join(format!(
+            "evdb-journal-strict-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        db.create_table(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+        let mut cursor = JournalMiner::from_now(&db);
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        // The checkpoint truncates the unconsumed insert out of the
+        // journal while the replay cursor is open.
+        db.checkpoint().unwrap();
+        db.insert("t", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .unwrap();
+
+        let pos = cursor.position();
+        let err = cursor.poll_strict(&db).unwrap_err();
+        assert_eq!(err.kind(), "truncated_history");
+        assert_eq!(cursor.truncation_gaps(), 1);
+        // Strict mode never silently skips: the cursor did not move.
+        assert_eq!(cursor.position(), pos);
+
+        // After re-baselining, resync jumps the hole and polling resumes.
+        cursor.resync(&db);
+        let events = cursor.poll_strict(&db).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(cursor.truncation_gaps(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gap_is_counted_even_when_no_new_records_exist_yet() {
+        let dir = std::env::temp_dir().join(format!(
+            "evdb-journal-earlygap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        db.create_table(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+            "id",
+        )
+        .unwrap();
+        let mut lagging = JournalMiner::from_now(&db);
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+        db.checkpoint().unwrap();
+        // No post-checkpoint writes: the old first-record heuristic saw
+        // an empty batch here and reported no gap — the accounting bug.
+        let events = lagging.poll(&db).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(lagging.truncation_gaps(), 1);
+        // And only once, not once per poll.
+        assert!(lagging.poll(&db).unwrap().is_empty());
+        assert_eq!(lagging.truncation_gaps(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_floor_survives_recovery() {
+        let dir = std::env::temp_dir().join(format!(
+            "evdb-journal-floor-recover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir, DbOptions::default()).unwrap();
+            db.create_table(
+                "t",
+                Schema::of(&[("id", DataType::Int), ("v", DataType::Float)]),
+                "id",
+            )
+            .unwrap();
+            db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+                .unwrap();
+            db.checkpoint().unwrap();
+        }
+        // Reopen: the floor must be re-derived from the checkpoint base,
+        // so a cursor persisted from before the restart (here at LSN 0)
+        // still sees its gap — even with zero post-checkpoint records.
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let mut cursor = JournalMiner::from_start();
+        let err = cursor.poll_strict(&db).unwrap_err();
+        assert_eq!(err.kind(), "truncated_history");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

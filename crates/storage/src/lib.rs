@@ -16,6 +16,10 @@
 //!   The durable paths carry named fault sites for `evdb-faults`, so the
 //!   torture harness (DESIGN.md D8, experiment E12) can crash the engine
 //!   at any WAL append, checkpoint step or directory sync.
+//! * A per-stream **historical event store** — a write-optimized head
+//!   freezing into immutable columnar segments with per-column zone maps,
+//!   background compaction, and arrival-order replay ([`columnar`],
+//!   [`segment`], [`compact`]; DESIGN.md D14).
 //! * The paper's three **event capture mechanisms** (§2.2.a):
 //!   row-level **triggers** ([`trigger`]), **journal mining**
 //!   ([`journal`]), and **query snapshots/deltas** ([`snapshot`]).
@@ -28,10 +32,13 @@
 
 pub mod change;
 pub mod codec;
+pub mod columnar;
+pub mod compact;
 pub mod crc;
 pub mod db;
 pub mod index;
 pub mod journal;
+pub mod segment;
 pub mod snapshot;
 pub mod table;
 pub mod trigger;
@@ -39,8 +46,11 @@ pub mod txn;
 pub mod wal;
 
 pub use change::{ChangeEvent, ChangeKind};
+pub use columnar::{ColumnStats, StoredEvent};
+pub use compact::{compact_once, CompactionPolicy, Compactor};
 pub use db::{Database, DbOptions};
 pub use journal::JournalMiner;
+pub use segment::{SegmentMeta, SegmentStore, SegmentStoreOptions, StoreStatsSnapshot};
 pub use snapshot::QuerySnapshot;
 pub use table::{Table, TableDef};
 pub use trigger::{TriggerDef, TriggerOps, TriggerTiming};

@@ -1,0 +1,993 @@
+//! The per-stream historical event store: write-optimized head +
+//! immutable columnar segments with zone maps (DESIGN.md D14).
+//!
+//! Writes append to a framed, checksummed **head log** (crash-safe the
+//! same way the WAL is: torn tails are detected and trimmed). When the
+//! head reaches `freeze_rows`, [`SegmentStore::freeze`] sorts it by
+//! event time (stable by arrival seq), writes an immutable segment file
+//! via tmp + fsync + rename, commits a new MANIFEST (tmp + fsync +
+//! rename + dir fsync — the **commit point**), and only then truncates
+//! the head. Recovery replays the head log, skipping frames whose seq is
+//! below the manifest's `head_start`; a crash anywhere mid-freeze or
+//! mid-compaction therefore never loses or duplicates an event:
+//!
+//! | crash between            | state on recovery                         |
+//! |--------------------------|-------------------------------------------|
+//! | segment write → manifest | orphan `seg-*` ignored/GC'd, head replays |
+//! | manifest → head truncate | head frames < `head_start` skipped        |
+//! | compact write → manifest | orphan merged segment ignored/GC'd        |
+//! | manifest → input unlink  | stale inputs not in manifest are GC'd     |
+//!
+//! Queries prune at two levels: segment-level via manifest-resident
+//! [`ColumnStats`] (pruned segments are never read), then zone-level
+//! inside surviving segments ([`crate::columnar`]). Every prune and scan
+//! is counted (D9): see [`StoreStats`].
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evdb_expr::{analyze, CompiledExpr, Constraint, Expr};
+use evdb_faults::{FaultInjector, WriteDecision};
+use evdb_types::{Error, Record, Result, Schema, TimestampMs};
+use parking_lot::Mutex;
+
+use crate::codec::{self, decode_value, encode_value, Reader};
+use crate::columnar::{
+    decode_segment, encode_segment, ColumnStats, StoredEvent, DEFAULT_ZONE_ROWS,
+};
+use crate::crc::crc32;
+use crate::wal::fsync_dir;
+
+const MANIFEST_MAGIC: u32 = 0x464d_5345; // "ESMF"
+const HEAD_FILE: &str = "HEAD";
+const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Tuning knobs for a [`SegmentStore`].
+#[derive(Clone)]
+pub struct SegmentStoreOptions {
+    /// Head rows that trigger an automatic freeze on append.
+    pub freeze_rows: usize,
+    /// Rows per zone inside a segment.
+    pub zone_rows: usize,
+    /// fsync the head log on every append (`false` = rely on the WAL for
+    /// durability of the primary copy; the head is then as durable as
+    /// the OS page cache, and recovery re-derives losses from the WAL).
+    pub sync_head: bool,
+    /// Fault injector shared with the rest of the engine (sites
+    /// `seg.head.append`, `seg.freeze.write`, `seg.freeze.rename`,
+    /// `seg.manifest.write`, `seg.manifest.rename`, `seg.manifest.dirsync`,
+    /// `seg.head.truncate`, `seg.compact.write`, `seg.compact.rename`).
+    pub faults: Option<Arc<FaultInjector>>,
+}
+
+impl Default for SegmentStoreOptions {
+    fn default() -> Self {
+        SegmentStoreOptions {
+            freeze_rows: 4096,
+            zone_rows: DEFAULT_ZONE_ROWS,
+            sync_head: false,
+            faults: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SegmentStoreOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStoreOptions")
+            .field("freeze_rows", &self.freeze_rows)
+            .field("zone_rows", &self.zone_rows)
+            .field("sync_head", &self.sync_head)
+            .field("faults", &self.faults.is_some())
+            .finish()
+    }
+}
+
+/// Manifest entry for one live segment: enough metadata to prune the
+/// segment without reading its file.
+#[derive(Debug, Clone)]
+pub struct SegmentMeta {
+    /// File name inside the store directory.
+    pub file: String,
+    /// Row count.
+    pub rows: u64,
+    /// Arrival-sequence bounds (inclusive; disjoint across segments).
+    pub seq_min: u64,
+    /// Arrival-sequence bounds (inclusive; disjoint across segments).
+    pub seq_max: u64,
+    /// Event-time bounds (inclusive).
+    pub ts_min: TimestampMs,
+    /// Event-time bounds (inclusive).
+    pub ts_max: TimestampMs,
+    /// Per payload column stats (segment-level zone map).
+    pub stats: Vec<ColumnStats>,
+    /// On-disk size, bytes.
+    pub bytes: u64,
+}
+
+impl SegmentMeta {
+    fn may_match(&self, schema: &Schema, constraints: &[Constraint]) -> bool {
+        constraints.iter().all(|c| match schema.index_of(c.field()) {
+            Some(i) => self.stats[i].may_match(c),
+            None => true,
+        })
+    }
+}
+
+/// Monotone counters for everything the store does or skips (D9: every
+/// pruned segment/zone is counted, never silently elided).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Events appended to the head.
+    pub appended: AtomicU64,
+    /// Head freezes performed.
+    pub freezes: AtomicU64,
+    /// Compaction merges performed.
+    pub compactions: AtomicU64,
+    /// Segments considered by queries.
+    pub segments_considered: AtomicU64,
+    /// Segments skipped by manifest-level stats.
+    pub segments_pruned: AtomicU64,
+    /// Zones considered inside surviving segments.
+    pub zones_considered: AtomicU64,
+    /// Zones skipped by zone maps.
+    pub zones_pruned: AtomicU64,
+    /// Events streamed out by replay.
+    pub replayed: AtomicU64,
+    /// Orphan files removed during recovery (crash between segment
+    /// write and manifest commit).
+    pub orphans_removed: AtomicU64,
+}
+
+/// Point-in-time copy of [`StoreStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStatsSnapshot {
+    /// See [`StoreStats::appended`].
+    pub appended: u64,
+    /// See [`StoreStats::freezes`].
+    pub freezes: u64,
+    /// See [`StoreStats::compactions`].
+    pub compactions: u64,
+    /// See [`StoreStats::segments_considered`].
+    pub segments_considered: u64,
+    /// See [`StoreStats::segments_pruned`].
+    pub segments_pruned: u64,
+    /// See [`StoreStats::zones_considered`].
+    pub zones_considered: u64,
+    /// See [`StoreStats::zones_pruned`].
+    pub zones_pruned: u64,
+    /// See [`StoreStats::replayed`].
+    pub replayed: u64,
+    /// See [`StoreStats::orphans_removed`].
+    pub orphans_removed: u64,
+}
+
+struct Inner {
+    /// Live segments keyed by seq_min (disjoint, ordered).
+    segments: BTreeMap<u64, SegmentMeta>,
+    /// First sequence still owned by the head (everything below is in
+    /// segments; the recovery cutoff).
+    head_start: u64,
+    /// Next sequence to assign.
+    next_seq: u64,
+    /// Unfrozen rows, in arrival order.
+    head: Vec<StoredEvent>,
+    /// Open head log handle.
+    head_file: File,
+}
+
+/// An append-only columnar event store for one stream.
+pub struct SegmentStore {
+    dir: PathBuf,
+    schema: Arc<Schema>,
+    opts: SegmentStoreOptions,
+    inner: Mutex<Inner>,
+    /// Activity counters (shared with observability bridges).
+    pub stats: Arc<StoreStats>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .field("segments", &self.segment_count())
+            .finish()
+    }
+}
+
+impl SegmentStore {
+    /// Open (or create) the store in `dir`, running recovery: load the
+    /// manifest, GC orphan segment files, replay the head log above the
+    /// manifest's `head_start`.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        schema: Arc<Schema>,
+        opts: SegmentStoreOptions,
+    ) -> Result<SegmentStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let stats = Arc::new(StoreStats::default());
+
+        // 1. Manifest (absent on first open).
+        let (segments, head_start) = match fs::read(dir.join(MANIFEST_FILE)) {
+            Ok(bytes) => decode_manifest(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (BTreeMap::new(), 0),
+            Err(e) => return Err(e.into()),
+        };
+
+        // 2. GC files the manifest does not own: tmp files and orphan
+        // segments from a crash between write and manifest commit.
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let live = name == HEAD_FILE
+                || name == MANIFEST_FILE
+                || segments.values().any(|m| m.file == name);
+            if !live {
+                let _ = fs::remove_file(entry.path());
+                stats.orphans_removed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // 3. Head log: replay frames at/above head_start; trim torn tail.
+        let head_path = dir.join(HEAD_FILE);
+        let mut head_bytes = Vec::new();
+        if head_path.exists() {
+            File::open(&head_path)?.read_to_end(&mut head_bytes)?;
+        }
+        let (frames, valid_len) = scan_head(&head_bytes);
+        let mut head: Vec<StoredEvent> = frames
+            .into_iter()
+            .filter(|e| e.seq >= head_start)
+            .collect();
+        head.sort_by_key(|e| e.seq);
+        head.dedup_by_key(|e| e.seq);
+        if (valid_len as u64) < head_bytes.len() as u64 {
+            // Torn tail from a crash mid-append: trim like the WAL does.
+            let f = OpenOptions::new().write(true).open(&head_path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_data()?;
+        }
+        let head_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&head_path)?;
+
+        let max_seg_seq = segments.values().map(|m| m.seq_max + 1).max().unwrap_or(0);
+        let max_head_seq = head.last().map(|e| e.seq + 1).unwrap_or(0);
+        let next_seq = head_start.max(max_seg_seq).max(max_head_seq);
+
+        Ok(SegmentStore {
+            dir,
+            schema,
+            opts,
+            inner: Mutex::new(Inner {
+                segments,
+                head_start,
+                next_seq,
+                head,
+                head_file,
+            }),
+            stats,
+        })
+    }
+
+    /// The store's payload schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Live segment count.
+    pub fn segment_count(&self) -> usize {
+        self.inner.lock().segments.len()
+    }
+
+    /// Rows currently in the unfrozen head.
+    pub fn head_rows(&self) -> usize {
+        self.inner.lock().head.len()
+    }
+
+    /// Total stored events (segments + head).
+    pub fn total_rows(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.segments.values().map(|m| m.rows).sum::<u64>() + inner.head.len() as u64
+    }
+
+    /// Live segment metadata, in seq order (for the compactor and tests).
+    pub fn segment_metas(&self) -> Vec<SegmentMeta> {
+        self.inner.lock().segments.values().cloned().collect()
+    }
+
+    /// Counter snapshot.
+    pub fn stats_snapshot(&self) -> StoreStatsSnapshot {
+        let s = &self.stats;
+        StoreStatsSnapshot {
+            appended: s.appended.load(Ordering::Relaxed),
+            freezes: s.freezes.load(Ordering::Relaxed),
+            compactions: s.compactions.load(Ordering::Relaxed),
+            segments_considered: s.segments_considered.load(Ordering::Relaxed),
+            segments_pruned: s.segments_pruned.load(Ordering::Relaxed),
+            zones_considered: s.zones_considered.load(Ordering::Relaxed),
+            zones_pruned: s.zones_pruned.load(Ordering::Relaxed),
+            replayed: s.replayed.load(Ordering::Relaxed),
+            orphans_removed: s.orphans_removed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn point(&self, site: &str) -> Result<()> {
+        match &self.opts.faults {
+            Some(f) => f.point(site),
+            None => Ok(()),
+        }
+    }
+
+    /// Write `payload` through the injector's write-fault machinery to
+    /// `tmp`, then durably rename it to `dst`.
+    fn write_atomic(
+        &self,
+        payload: &mut [u8],
+        dst: &Path,
+        write_site: &str,
+        rename_site: &str,
+    ) -> Result<()> {
+        let tmp = dst.with_extension("tmp");
+        let decision = match &self.opts.faults {
+            Some(f) => f.on_write(write_site, payload.len())?,
+            None => WriteDecision::clean(payload.len()),
+        };
+        if let Some((off, bit)) = decision.flip {
+            payload[off] ^= 1 << bit;
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&payload[..decision.keep.min(payload.len())])?;
+            f.sync_data()?;
+        }
+        if decision.crash_after {
+            return Err(FaultInjector::crash_error(write_site));
+        }
+        self.point(rename_site)?;
+        fs::rename(&tmp, dst)?;
+        Ok(())
+    }
+
+    /// Commit a new manifest — the atomicity point of freeze/compaction.
+    fn commit_manifest(&self, segments: &BTreeMap<u64, SegmentMeta>, head_start: u64) -> Result<()> {
+        let mut payload = encode_manifest(segments, head_start);
+        self.write_atomic(
+            &mut payload,
+            &self.dir.join(MANIFEST_FILE),
+            "seg.manifest.write",
+            "seg.manifest.rename",
+        )?;
+        self.point("seg.manifest.dirsync")?;
+        fsync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Append one event; returns its arrival sequence. Freezes the head
+    /// automatically at `freeze_rows`.
+    pub fn append(
+        &self,
+        id: u64,
+        timestamp: TimestampMs,
+        retraction: bool,
+        payload: Record,
+    ) -> Result<u64> {
+        self.schema.validate(&payload)?;
+        let (seq, must_freeze) = {
+            let mut inner = self.inner.lock();
+            let seq = inner.next_seq;
+            let ev = StoredEvent {
+                seq,
+                id,
+                timestamp,
+                retraction,
+                payload,
+            };
+            let mut frame = encode_head_frame(&ev);
+            let decision = match &self.opts.faults {
+                Some(f) => f.on_write("seg.head.append", frame.len())?,
+                None => WriteDecision::clean(frame.len()),
+            };
+            if let Some((off, bit)) = decision.flip {
+                frame[off] ^= 1 << bit;
+            }
+            inner
+                .head_file
+                .write_all(&frame[..decision.keep.min(frame.len())])?;
+            if decision.crash_after {
+                let _ = inner.head_file.sync_data();
+                return Err(FaultInjector::crash_error("seg.head.append"));
+            }
+            if self.opts.sync_head {
+                inner.head_file.sync_data()?;
+            }
+            inner.next_seq += 1;
+            inner.head.push(ev);
+            (seq, inner.head.len() >= self.opts.freeze_rows)
+        };
+        self.stats.appended.fetch_add(1, Ordering::Relaxed);
+        if must_freeze {
+            self.freeze()?;
+        }
+        Ok(seq)
+    }
+
+    /// Freeze the head into an immutable segment. No-op on an empty
+    /// head. Crash-safe: the manifest rename is the commit point.
+    pub fn freeze(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.head.is_empty() {
+            return Ok(());
+        }
+        // Time-sorted, stable by seq: zones get tight temporal bounds
+        // while the seq column preserves replay order.
+        let mut rows = inner.head.clone();
+        rows.sort_by_key(|e| (e.timestamp, e.seq));
+        let meta = self.write_segment(&rows, "seg.freeze.write", "seg.freeze.rename")?;
+        let new_head_start = inner.next_seq;
+
+        let mut segments = inner.segments.clone();
+        segments.insert(meta.seq_min, meta);
+        self.commit_manifest(&segments, new_head_start)?;
+
+        // Committed: adopt in memory, then truncate the head log. A
+        // crash before truncation is benign — recovery skips frames
+        // below head_start.
+        inner.segments = segments;
+        inner.head_start = new_head_start;
+        inner.head.clear();
+        self.stats.freezes.fetch_add(1, Ordering::Relaxed);
+        self.point("seg.head.truncate")?;
+        inner.head_file.set_len(0)?;
+        inner.head_file.sync_data()?;
+        Ok(())
+    }
+
+    /// Encode `rows` (already sorted) into `seg-<seqmin>-<seqmax>` and
+    /// durably place it. Returns its manifest entry.
+    fn write_segment(
+        &self,
+        rows: &[StoredEvent],
+        write_site: &str,
+        rename_site: &str,
+    ) -> Result<SegmentMeta> {
+        let seq_min = rows.iter().map(|e| e.seq).min().expect("non-empty");
+        let seq_max = rows.iter().map(|e| e.seq).max().expect("non-empty");
+        let file = format!("seg-{seq_min:016x}-{seq_max:016x}");
+        let mut bytes = encode_segment(&self.schema, rows, self.opts.zone_rows);
+        let len = bytes.len() as u64;
+        self.write_atomic(&mut bytes, &self.dir.join(&file), write_site, rename_site)?;
+        let stats: Vec<ColumnStats> = (0..self.schema.len())
+            .map(|ci| ColumnStats::compute(rows.iter().filter_map(|e| e.payload.get(ci))))
+            .collect();
+        Ok(SegmentMeta {
+            file,
+            rows: rows.len() as u64,
+            seq_min,
+            seq_max,
+            ts_min: rows.iter().map(|e| e.timestamp).min().expect("non-empty"),
+            ts_max: rows.iter().map(|e| e.timestamp).max().expect("non-empty"),
+            stats,
+            bytes: len,
+        })
+    }
+
+    fn read_segment(&self, meta: &SegmentMeta) -> Result<crate::columnar::Segment> {
+        let bytes = fs::read(self.dir.join(&meta.file))?;
+        decode_segment(bytes)
+    }
+
+    /// Evaluate `predicate` over the whole history (segments + head),
+    /// pruning segments and zones via their statistics. Results are in
+    /// arrival (seq) order.
+    pub fn query(&self, predicate: &Expr) -> Result<Vec<StoredEvent>> {
+        let bound = CompiledExpr::compile(&predicate.bind_predicate(&self.schema)?);
+        let form = analyze(predicate);
+        let (metas, head): (Vec<SegmentMeta>, Vec<StoredEvent>) = {
+            let inner = self.inner.lock();
+            (
+                inner.segments.values().cloned().collect(),
+                inner.head.clone(),
+            )
+        };
+        let mut out = Vec::new();
+        for meta in &metas {
+            self.stats.segments_considered.fetch_add(1, Ordering::Relaxed);
+            if !meta.may_match(&self.schema, &form.constraints) {
+                self.stats.segments_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let seg = self.read_segment(meta)?;
+            for (zi, zone) in seg.zones.iter().enumerate() {
+                self.stats.zones_considered.fetch_add(1, Ordering::Relaxed);
+                if !zone.may_match(&self.schema, &form.constraints) {
+                    self.stats.zones_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                for ev in seg.decode_zone(zi)? {
+                    if bound.matches(&ev.payload)? {
+                        out.push(ev);
+                    }
+                }
+            }
+        }
+        for ev in head {
+            if bound.matches(&ev.payload)? {
+                out.push(ev);
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        Ok(out)
+    }
+
+    /// Full-history row scan with no pruning (the E18 baseline and the
+    /// torture harness's equivalence oracle). Arrival order.
+    pub fn scan_all(&self) -> Result<Vec<StoredEvent>> {
+        let (metas, head): (Vec<SegmentMeta>, Vec<StoredEvent>) = {
+            let inner = self.inner.lock();
+            (
+                inner.segments.values().cloned().collect(),
+                inner.head.clone(),
+            )
+        };
+        let mut out = Vec::new();
+        for meta in &metas {
+            out.extend(self.read_segment(meta)?.decode_all()?);
+        }
+        out.extend(head);
+        out.sort_by_key(|e| e.seq);
+        Ok(out)
+    }
+
+    /// Stream events back in original arrival order: seqs in
+    /// `[from_seq, to_seq)`. `replay(0, u64::MAX)` is the full history.
+    pub fn replay(&self, from_seq: u64, to_seq: u64) -> Result<Vec<StoredEvent>> {
+        let (metas, head): (Vec<SegmentMeta>, Vec<StoredEvent>) = {
+            let inner = self.inner.lock();
+            (
+                inner.segments.values().cloned().collect(),
+                inner.head.clone(),
+            )
+        };
+        let mut out = Vec::new();
+        for meta in &metas {
+            if meta.seq_max < from_seq || meta.seq_min >= to_seq {
+                continue;
+            }
+            let seg = self.read_segment(meta)?;
+            for (zi, zone) in seg.zones.iter().enumerate() {
+                if zone.seq_max < from_seq || zone.seq_min >= to_seq {
+                    continue;
+                }
+                out.extend(
+                    seg.decode_zone(zi)?
+                        .into_iter()
+                        .filter(|e| e.seq >= from_seq && e.seq < to_seq),
+                );
+            }
+        }
+        out.extend(
+            head.into_iter()
+                .filter(|e| e.seq >= from_seq && e.seq < to_seq),
+        );
+        out.sort_by_key(|e| e.seq);
+        self.stats.replayed.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Events with `timestamp` in `[from, to]`, pruned via temporal
+    /// bounds. Arrival order.
+    pub fn query_time_range(
+        &self,
+        from: TimestampMs,
+        to: TimestampMs,
+    ) -> Result<Vec<StoredEvent>> {
+        let (metas, head): (Vec<SegmentMeta>, Vec<StoredEvent>) = {
+            let inner = self.inner.lock();
+            (
+                inner.segments.values().cloned().collect(),
+                inner.head.clone(),
+            )
+        };
+        let mut out = Vec::new();
+        for meta in &metas {
+            self.stats.segments_considered.fetch_add(1, Ordering::Relaxed);
+            if meta.ts_max < from || meta.ts_min > to {
+                self.stats.segments_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let seg = self.read_segment(meta)?;
+            for (zi, zone) in seg.zones.iter().enumerate() {
+                self.stats.zones_considered.fetch_add(1, Ordering::Relaxed);
+                if zone.ts_max < from || zone.ts_min > to {
+                    self.stats.zones_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                out.extend(
+                    seg.decode_zone(zi)?
+                        .into_iter()
+                        .filter(|e| e.timestamp >= from && e.timestamp <= to),
+                );
+            }
+        }
+        out.extend(
+            head.into_iter()
+                .filter(|e| e.timestamp >= from && e.timestamp <= to),
+        );
+        out.sort_by_key(|e| e.seq);
+        Ok(out)
+    }
+
+    /// Merge a contiguous run of live segments into one (the compactor's
+    /// worker; policy lives in [`crate::compact`]). `run` is a list of
+    /// `seq_min` keys that must identify live, seq-adjacent segments.
+    /// Crash-safe: the manifest commit swaps inputs for the merged
+    /// segment atomically; input files are unlinked only afterwards.
+    pub fn compact_segments(&self, run: &[u64]) -> Result<()> {
+        if run.len() < 2 {
+            return Err(Error::Invalid("compaction run needs >= 2 segments".into()));
+        }
+        let mut inner = self.inner.lock();
+        let mut inputs = Vec::with_capacity(run.len());
+        for key in run {
+            let meta = inner
+                .segments
+                .get(key)
+                .ok_or_else(|| Error::NotFound(format!("segment seq_min={key}")))?;
+            inputs.push(meta.clone());
+        }
+        // Rows from every input, re-sorted time-stable like a freeze.
+        let mut rows = Vec::new();
+        for meta in &inputs {
+            rows.extend(self.read_segment(meta)?.decode_all()?);
+        }
+        rows.sort_by_key(|e| (e.timestamp, e.seq));
+        let merged = self.write_segment(&rows, "seg.compact.write", "seg.compact.rename")?;
+
+        let mut segments = inner.segments.clone();
+        for meta in &inputs {
+            segments.remove(&meta.seq_min);
+        }
+        segments.insert(merged.seq_min, merged);
+        self.commit_manifest(&segments, inner.head_start)?;
+        inner.segments = segments;
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        // Best-effort unlink; survivors are GC'd on next open.
+        for meta in &inputs {
+            let _ = fs::remove_file(self.dir.join(&meta.file));
+        }
+        Ok(())
+    }
+}
+
+// ---- head log framing ------------------------------------------------------
+//
+// frame := len:u32 | crc32(payload):u32 | payload
+// payload := seq:u64 | id:u64 | ts:i64 | retraction:u8 | record
+
+fn encode_head_frame(ev: &StoredEvent) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    codec::put_u64(&mut payload, ev.seq);
+    codec::put_u64(&mut payload, ev.id);
+    codec::put_i64(&mut payload, ev.timestamp.0);
+    payload.push(ev.retraction as u8);
+    codec::encode_record(&mut payload, &ev.payload);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    codec::put_u32(&mut frame, payload.len() as u32);
+    codec::put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decode the valid prefix of a head log; returns the events and the
+/// byte length of the valid prefix (torn/corrupt tails stop the scan,
+/// exactly like the WAL).
+fn scan_head(buf: &[u8]) -> (Vec<StoredEvent>, usize) {
+    let mut events = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if buf.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let mut r = Reader::new(payload);
+        let parsed = (|| -> Result<StoredEvent> {
+            let seq = r.u64()?;
+            let id = r.u64()?;
+            let ts = r.i64()?;
+            let retraction = r.u8()? != 0;
+            let payload = codec::decode_record(&mut r)?;
+            Ok(StoredEvent {
+                seq,
+                id,
+                timestamp: TimestampMs(ts),
+                retraction,
+                payload,
+            })
+        })();
+        match parsed {
+            Ok(ev) => events.push(ev),
+            Err(_) => break,
+        }
+        pos += 8 + len;
+    }
+    (events, pos)
+}
+
+// ---- manifest codec --------------------------------------------------------
+//
+// manifest := magic:u32 | version:u16 | head_start:u64 | count:u32 | entry*
+//             | crc32:u32
+// entry    := file:str | rows:u64 | seq_min:u64 | seq_max:u64 | ts_min:i64
+//             | ts_max:i64 | bytes:u64 | schema_cols:u16 | colstats*
+
+fn encode_manifest(segments: &BTreeMap<u64, SegmentMeta>, head_start: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    codec::put_u32(&mut buf, MANIFEST_MAGIC);
+    codec::put_u16(&mut buf, 1);
+    codec::put_u64(&mut buf, head_start);
+    codec::put_u32(&mut buf, segments.len() as u32);
+    for meta in segments.values() {
+        codec::put_str(&mut buf, &meta.file);
+        codec::put_u64(&mut buf, meta.rows);
+        codec::put_u64(&mut buf, meta.seq_min);
+        codec::put_u64(&mut buf, meta.seq_max);
+        codec::put_i64(&mut buf, meta.ts_min.0);
+        codec::put_i64(&mut buf, meta.ts_max.0);
+        codec::put_u64(&mut buf, meta.bytes);
+        codec::put_u16(&mut buf, meta.stats.len() as u16);
+        for s in &meta.stats {
+            match &s.bounds {
+                Some((lo, hi)) => {
+                    buf.push(1);
+                    encode_value(&mut buf, lo);
+                    encode_value(&mut buf, hi);
+                }
+                None => buf.push(0),
+            }
+            codec::put_u32(&mut buf, s.nulls);
+        }
+    }
+    let crc = crc32(&buf);
+    codec::put_u32(&mut buf, crc);
+    buf
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<(BTreeMap<u64, SegmentMeta>, u64)> {
+    if bytes.len() < 4 {
+        return Err(Error::Corruption("manifest shorter than its crc".into()));
+    }
+    let (data, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    if crc32(data) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return Err(Error::Corruption("manifest crc mismatch".into()));
+    }
+    let mut r = Reader::new(data);
+    if r.u32()? != MANIFEST_MAGIC {
+        return Err(Error::Corruption("bad manifest magic".into()));
+    }
+    let version = r.u16()?;
+    if version != 1 {
+        return Err(Error::Corruption(format!(
+            "unsupported manifest version {version}"
+        )));
+    }
+    let head_start = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut segments = BTreeMap::new();
+    for _ in 0..count {
+        let file = r.str()?;
+        let rows = r.u64()?;
+        let seq_min = r.u64()?;
+        let seq_max = r.u64()?;
+        let ts_min = TimestampMs(r.i64()?);
+        let ts_max = TimestampMs(r.i64()?);
+        let bytes_len = r.u64()?;
+        let ncols = r.u16()? as usize;
+        let mut stats = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let bounds = match r.u8()? {
+                0 => None,
+                1 => {
+                    let lo = decode_value(&mut r)?;
+                    let hi = decode_value(&mut r)?;
+                    Some((lo, hi))
+                }
+                t => return Err(Error::Corruption(format!("bad manifest stats tag {t}"))),
+            };
+            let nulls = r.u32()?;
+            stats.push(ColumnStats { bounds, nulls });
+        }
+        segments.insert(
+            seq_min,
+            SegmentMeta {
+                file,
+                rows,
+                seq_min,
+                seq_max,
+                ts_min,
+                ts_max,
+                stats,
+                bytes: bytes_len,
+            },
+        );
+    }
+    if !r.is_empty() {
+        return Err(Error::Corruption("trailing bytes in manifest".into()));
+    }
+    Ok((segments, head_start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evdb_expr::parse;
+    use evdb_types::{DataType, Value};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "evdb-seg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("k", DataType::Int), ("v", DataType::Float)])
+    }
+
+    fn store(dir: &Path, freeze_rows: usize) -> SegmentStore {
+        SegmentStore::open(
+            dir,
+            schema(),
+            SegmentStoreOptions {
+                freeze_rows,
+                zone_rows: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn fill(s: &SegmentStore, n: u64) {
+        for i in 0..n {
+            s.append(
+                i,
+                TimestampMs(i as i64 * 10),
+                false,
+                Record::from_iter([Value::Int(i as i64), Value::Float(i as f64)]),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn append_freeze_query_round_trip() {
+        let dir = tmp("basic");
+        let s = store(&dir, 32);
+        fill(&s, 100);
+        assert_eq!(s.segment_count(), 3); // 96 frozen, 4 in head
+        assert_eq!(s.head_rows(), 4);
+        assert_eq!(s.total_rows(), 100);
+
+        let hits = s.query(&parse("k = 57").unwrap()).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].seq, 57);
+        // Point query touches one segment, prunes the other two.
+        let st = s.stats_snapshot();
+        assert_eq!(st.segments_considered, 3);
+        assert_eq!(st.segments_pruned, 2);
+        assert!(st.zones_pruned > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_equals_uncrashed_state() {
+        let dir = tmp("recover");
+        {
+            let s = store(&dir, 32);
+            fill(&s, 75);
+        }
+        let s = store(&dir, 32);
+        assert_eq!(s.total_rows(), 75);
+        let all = s.scan_all().unwrap();
+        assert_eq!(all.len(), 75);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Appends continue with fresh seqs.
+        let seq = s
+            .append(
+                999,
+                TimestampMs(999),
+                true,
+                Record::from_iter([Value::Int(1), Value::Float(1.0)]),
+            )
+            .unwrap();
+        assert_eq!(seq, 75);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_preserves_arrival_order_and_signs() {
+        let dir = tmp("replay");
+        let s = store(&dir, 16);
+        for i in 0..50u64 {
+            // Deliberately non-monotone timestamps: arrival order is the
+            // replay contract, not time order.
+            s.append(
+                i,
+                TimestampMs((50 - i as i64) * 3),
+                i % 4 == 0,
+                Record::from_iter([Value::Int(i as i64), Value::Float(0.0)]),
+            )
+            .unwrap();
+        }
+        let all = s.replay(0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 50);
+        for (i, ev) in all.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.retraction, i % 4 == 0);
+        }
+        let mid = s.replay(10, 20).unwrap();
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid[0].seq, 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let dir = tmp("compact");
+        let s = store(&dir, 16);
+        fill(&s, 64);
+        assert_eq!(s.segment_count(), 4);
+        let before = s.scan_all().unwrap();
+        let keys: Vec<u64> = s.segment_metas().iter().map(|m| m.seq_min).collect();
+        s.compact_segments(&keys[0..2]).unwrap();
+        assert_eq!(s.segment_count(), 3);
+        assert_eq!(s.scan_all().unwrap(), before);
+        // And again after reopen.
+        drop(s);
+        let s = store(&dir, 16);
+        assert_eq!(s.scan_all().unwrap(), before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn time_range_query_prunes() {
+        let dir = tmp("trange");
+        let s = store(&dir, 25);
+        fill(&s, 100); // ts = 0..990 step 10
+        let hits = s.query_time_range(TimestampMs(500), TimestampMs(540)).unwrap();
+        assert_eq!(hits.len(), 5);
+        let st = s.stats_snapshot();
+        assert!(st.segments_pruned >= 2, "{st:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_segment_files_are_gcd() {
+        let dir = tmp("orphan");
+        {
+            let s = store(&dir, 8);
+            fill(&s, 20);
+        }
+        // Simulate a crash between segment write and manifest commit.
+        fs::write(dir.join("seg-deadbeef-deadbeef"), b"orphan").unwrap();
+        fs::write(dir.join("seg-cafe.tmp"), b"tmp").unwrap();
+        let s = store(&dir, 8);
+        assert_eq!(s.stats_snapshot().orphans_removed, 2);
+        assert_eq!(s.total_rows(), 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -197,6 +197,10 @@ pub struct Wal {
     syncs: u64,
     faults: Option<Arc<FaultInjector>>,
     tail: WalTail,
+    /// LSN through which records have been discarded by truncation:
+    /// every retained record has a strictly greater LSN. Restored from
+    /// the checkpoint during recovery ([`Wal::note_truncated_through`]).
+    truncated_through: u64,
     /// Duration histograms, bound only when an enabled registry is
     /// attached — `None` keeps the hot path free of even `Instant` reads.
     /// Appends are *sampled* (1 in [`WAL_APPEND_SAMPLE`]): an in-memory
@@ -259,6 +263,7 @@ impl Wal {
             syncs: 0,
             faults,
             tail,
+            truncated_through: 0,
             append_ms: None,
             fsync_ms: None,
             append_tick: 0,
@@ -282,6 +287,7 @@ impl Wal {
             syncs: 0,
             faults,
             tail: WalTail::Clean,
+            truncated_through: 0,
             append_ms: None,
             fsync_ms: None,
             append_tick: 0,
@@ -314,6 +320,21 @@ impl Wal {
     /// whose LSN is beyond the truncated log).
     pub fn bump_lsn(&mut self, next: u64) {
         self.next_lsn = self.next_lsn.max(next);
+    }
+
+    /// Record that history through `lsn` lives only in a checkpoint now
+    /// (recovery calls this with the checkpoint's LSN; `truncate` tracks
+    /// it directly). Monotone.
+    pub fn note_truncated_through(&mut self, lsn: u64) {
+        self.truncated_through = self.truncated_through.max(lsn);
+    }
+
+    /// LSN through which journal records have been discarded. A cursor
+    /// positioned at or below this (and behind the head) has lost
+    /// history: the records between its position and this floor are only
+    /// recoverable from the checkpoint image.
+    pub fn truncated_through(&self) -> u64 {
+        self.truncated_through
     }
 
     /// Total valid bytes in the log.
@@ -444,6 +465,7 @@ impl Wal {
             Backend::Mem(buf) => buf.write().clear(),
         }
         self.bytes_written = 0;
+        self.truncated_through = self.next_lsn - 1;
         Ok(())
     }
 

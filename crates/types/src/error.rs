@@ -45,6 +45,12 @@ pub enum Error {
     /// buffer is at capacity under `OverloadPolicy::Reject`. Retryable —
     /// producers should back off and re-offer.
     Overloaded(String),
+    /// A replay cursor's history was truncated out from under it (a
+    /// checkpoint discarded journal records the cursor had not yet
+    /// consumed). The missing changes are only recoverable from the
+    /// checkpointed state, not the log — callers must re-baseline and
+    /// resync the cursor rather than continue as if nothing was lost.
+    TruncatedHistory(String),
 }
 
 impl Error {
@@ -73,6 +79,7 @@ impl Error {
             Error::Io(_) => "io",
             Error::Invalid(_) => "invalid",
             Error::Overloaded(_) => "overloaded",
+            Error::TruncatedHistory(_) => "truncated_history",
         }
     }
 }
@@ -96,6 +103,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Invalid(m) => write!(f, "invalid: {m}"),
             Error::Overloaded(m) => write!(f, "overloaded: {m}"),
+            Error::TruncatedHistory(m) => write!(f, "truncated history: {m}"),
         }
     }
 }

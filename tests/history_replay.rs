@@ -1,0 +1,246 @@
+//! The historical event store end to end (DESIGN.md D14): every
+//! evaluated event lands in its stream's columnar segment store; the
+//! pump drives freezing and compaction; historical queries prune on
+//! zone maps; and REPLAY re-feeds the CQ runtime such that a query
+//! registered *after the fact* converges to byte-identical compacted
+//! results (DeltaLog `rows()`) as one that watched the stream live.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use evdb::core::history::HistoryConfig;
+use evdb::core::server::ServerConfig;
+use evdb::core::EventServer;
+use evdb::cq::delta::DeltaLog;
+use evdb::storage::{CompactionPolicy, SegmentStoreOptions};
+use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "evdb-history-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn server() -> EventServer {
+    EventServer::in_memory(ServerConfig {
+        clock: SimClock::new(TimestampMs(0)),
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn small_history() -> HistoryConfig {
+    HistoryConfig {
+        store: SegmentStoreOptions {
+            freeze_rows: 16,
+            zone_rows: 8,
+            ..Default::default()
+        },
+        compaction: Some(CompactionPolicy {
+            max_segments: 4,
+            small_rows: 1_000,
+            max_merge: 8,
+        }),
+    }
+}
+
+fn capture_rows(server: &EventServer, query: &str) -> Arc<Mutex<DeltaLog>> {
+    let log = Arc::new(Mutex::new(DeltaLog::new()));
+    let sink = Arc::clone(&log);
+    server
+        .on_query(query, Arc::new(move |e| sink.lock().unwrap().observe(e)))
+        .unwrap();
+    log
+}
+
+#[test]
+fn replay_reproduces_live_query_results_byte_identically() {
+    let dir = tmp("equiv");
+    let server = server();
+    let schema = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+    server.create_stream("ticks", Arc::clone(&schema)).unwrap();
+    server.enable_history(&dir, small_history()).unwrap();
+    assert!(server.enable_history(&dir, small_history()).is_err());
+
+    const CQL: &str = "SELECT sym, avg(px) AS apx FROM ticks [RANGE 1 s] GROUP BY sym";
+    server.register_cql("live", CQL).unwrap();
+    let live = capture_rows(&server, "live");
+
+    let syms = ["IBM", "MSFT", "AAPL"];
+    for i in 0..200i64 {
+        server
+            .ingest(
+                "ticks",
+                TimestampMs(i * 100),
+                Record::from_iter([
+                    Value::from(syms[(i % 3) as usize]),
+                    Value::Float(100.0 + i as f64),
+                ]),
+            )
+            .unwrap();
+    }
+    server.flush_stream("ticks", TimestampMs(i64::MAX)).unwrap();
+    let live_rows = live.lock().unwrap().rows();
+    assert!(!live_rows.is_empty());
+
+    // Pump ticks drive compaction (one merge per stream per pump).
+    let history = server.history().unwrap();
+    for _ in 0..64 {
+        server.pump().unwrap();
+    }
+    let store = history.store("ticks").unwrap();
+    assert!(
+        store.segment_count() <= 4,
+        "compaction did not converge: {} segments",
+        store.segment_count()
+    );
+    assert!(store.stats_snapshot().compactions > 0);
+
+    // All 200 events survive freeze + compaction, in arrival order.
+    let replayed = server.replay("ticks", 0, u64::MAX).unwrap();
+    assert_eq!(replayed.len(), 200);
+    assert!(replayed.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+
+    // A query registered only now, fed purely by REPLAY, must converge
+    // to byte-identical compacted rows.
+    server.register_cql("aftermath", CQL).unwrap();
+    let after = capture_rows(&server, "aftermath");
+    let (fed, _) = server.replay_into_runtime("ticks", 0, u64::MAX).unwrap();
+    assert_eq!(fed, 200);
+    server.flush_stream("ticks", TimestampMs(i64::MAX)).unwrap();
+    assert_eq!(after.lock().unwrap().rows(), live_rows);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn historical_queries_prune_segments_and_zones() {
+    let dir = tmp("prune");
+    let server = server();
+    let schema = Schema::of(&[("meter", DataType::Int), ("kwh", DataType::Float)]);
+    server.create_stream("meters", Arc::clone(&schema)).unwrap();
+    server
+        .enable_history(
+            &dir,
+            HistoryConfig {
+                store: SegmentStoreOptions {
+                    freeze_rows: 64,
+                    zone_rows: 16,
+                    ..Default::default()
+                },
+                compaction: None,
+            },
+        )
+        .unwrap();
+
+    // meter ids ascend, so zone min/max bounds are tight and selective
+    // point queries can skip almost everything.
+    for i in 0..1024i64 {
+        server
+            .ingest(
+                "meters",
+                TimestampMs(i),
+                Record::from_iter([Value::Int(i), Value::Float(i as f64 / 10.0)]),
+            )
+            .unwrap();
+    }
+    let history = server.history().unwrap();
+    let store = history.store("meters").unwrap();
+    store.freeze().unwrap();
+    assert!(store.segment_count() >= 16);
+
+    let hits = server.query_history("meters", "meter = 777").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].payload.get(0), Some(&Value::Int(777)));
+
+    let stats = store.stats_snapshot();
+    assert!(
+        stats.segments_pruned * 10 >= stats.segments_considered * 9,
+        "expected >=90% of segments pruned, got {}/{}",
+        stats.segments_pruned,
+        stats.segments_considered
+    );
+
+    // Unknown stream and disabled-history errors are typed.
+    assert!(server.query_history("ghost", "meter == 1").is_err());
+    let bare = server;
+    drop(bare);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn history_is_readable_across_server_restarts_before_any_append() {
+    let dir = tmp("restart");
+    let schema = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+    {
+        let server = server();
+        server.create_stream("ticks", Arc::clone(&schema)).unwrap();
+        server.enable_history(&dir, small_history()).unwrap();
+        for i in 0..20i64 {
+            server
+                .ingest(
+                    "ticks",
+                    TimestampMs(i),
+                    Record::from_iter([Value::from("IBM"), Value::Float(i as f64)]),
+                )
+                .unwrap();
+        }
+        server.history().unwrap().store("ticks").unwrap().freeze().unwrap();
+    }
+
+    // A fresh process must see the recorded history on its very first
+    // read — without waiting for an append to lazily open the store.
+    let server = server();
+    server.create_stream("ticks", Arc::clone(&schema)).unwrap();
+    server.enable_history(&dir, small_history()).unwrap();
+    let replayed = server.replay("ticks", 0, u64::MAX).unwrap();
+    assert_eq!(replayed.len(), 20);
+    let hits = server.query_history("ticks", "px >= 18").unwrap();
+    assert_eq!(hits.len(), 2);
+    // Unknown streams still get the typed error, and reads never
+    // create store directories for them.
+    assert!(server.replay("ghost", 0, u64::MAX).is_err());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rebaseline_by_replay_rebuilds_derived_state_after_truncation() {
+    let dir = tmp("rebase");
+    let server = server();
+    let schema = Schema::of(&[("sym", DataType::Str), ("px", DataType::Float)]);
+    server.create_stream("ticks", Arc::clone(&schema)).unwrap();
+    server.enable_history(&dir, small_history()).unwrap();
+
+    for i in 0..50i64 {
+        server
+            .ingest(
+                "ticks",
+                TimestampMs(i * 100),
+                Record::from_iter([Value::from("IBM"), Value::Float(i as f64)]),
+            )
+            .unwrap();
+    }
+
+    // A consumer arriving after the journal history is gone: rebuild its
+    // windows from the historical store instead.
+    server
+        .register_cql(
+            "latecomer",
+            "SELECT count() AS n FROM ticks [RANGE 100 s]",
+        )
+        .unwrap();
+    let log = capture_rows(&server, "latecomer");
+    let replayed = server.rebaseline_by_replay("ticks", 0).unwrap();
+    assert_eq!(replayed, 50);
+    server.flush_stream("ticks", TimestampMs(i64::MAX)).unwrap();
+    let rows = log.lock().unwrap().rows();
+    assert_eq!(rows, vec!["[50]".to_string()]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

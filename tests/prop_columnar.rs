@@ -1,0 +1,159 @@
+//! Property tests for the columnar segment codec (DESIGN.md D14):
+//! encode/decode round-trips under arbitrary payloads (NULLs, NaN,
+//! hostile strings, raw bytes), arbitrary zone sizes, and single-byte
+//! corruption detection via the trailing CRC.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use evdb::storage::columnar::{decode_segment, encode_segment};
+use evdb::storage::StoredEvent;
+use evdb::types::{DataType, Record, Schema, TimestampMs, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[\\x00-\\x7f]{0,24}".prop_map(|s| Value::from(s.as_str())),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::bytes),
+        any::<i64>().prop_map(|t| Value::Timestamp(TimestampMs(t))),
+    ]
+}
+
+/// A batch of stored events over a fixed column count, with monotone
+/// seqs (the store invariant) but arbitrary ids, times and payloads.
+fn arb_batch(ncols: usize) -> impl Strategy<Value = Vec<StoredEvent>> {
+    proptest::collection::vec(
+        (
+            any::<u64>(),
+            any::<i64>(),
+            any::<bool>(),
+            proptest::collection::vec(arb_value(), ncols..ncols + 1),
+        ),
+        0..48,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (id, ts, retraction, values))| StoredEvent {
+                seq: i as u64,
+                id,
+                timestamp: TimestampMs(ts),
+                retraction,
+                payload: Record::new(values),
+            })
+            .collect()
+    })
+}
+
+fn schema(ncols: usize) -> Arc<Schema> {
+    let names: Vec<String> = (0..ncols).map(|i| format!("c{i}")).collect();
+    let cols: Vec<(&str, DataType)> = names.iter().map(|n| (n.as_str(), DataType::Int)).collect();
+    Schema::of(&cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every row comes back bit-exact (order, seq, id, ts, retraction
+    /// bit, payload — NULLs and NaN included), for any zone size.
+    #[test]
+    fn segment_round_trips(
+        ncols in 0usize..4,
+        zone_rows in 1usize..9,
+        seed_rows in arb_batch(3),
+    ) {
+        let schema = schema(ncols);
+        let rows: Vec<StoredEvent> = seed_rows
+            .into_iter()
+            .map(|mut r| {
+                let mut v: Vec<Value> = r.payload.values().to_vec();
+                v.truncate(ncols);
+                while v.len() < ncols {
+                    v.push(Value::Null);
+                }
+                r.payload = Record::new(v);
+                r
+            })
+            .collect();
+
+        let buf = encode_segment(&schema, &rows, zone_rows);
+        let seg = decode_segment(buf).unwrap();
+        prop_assert_eq!(seg.rows(), rows.len());
+        prop_assert_eq!(seg.zone_rows, zone_rows);
+        prop_assert_eq!(seg.zones.len(), rows.len().div_ceil(zone_rows));
+        let back = seg.decode_all().unwrap();
+        prop_assert_eq!(back, rows);
+
+        // Zone directory bounds are sound: every row sits inside its
+        // zone's seq/ts envelope (what pruning relies on).
+        let mut i = 0;
+        for (zi, z) in seg.zones.iter().enumerate() {
+            for r in seg.decode_zone(zi).unwrap() {
+                prop_assert!(z.seq_min <= r.seq && r.seq <= z.seq_max);
+                prop_assert!(z.ts_min <= r.timestamp && r.timestamp <= z.ts_max);
+                i += 1;
+            }
+        }
+        prop_assert_eq!(i, rows.len());
+    }
+
+    /// Flipping any single byte of an encoded segment is detected: the
+    /// CRC spans everything before it, and the CRC field itself then
+    /// mismatches the recomputation.
+    #[test]
+    fn segment_detects_single_byte_corruption(
+        zone_rows in 1usize..5,
+        rows in arb_batch(2),
+        flip_pos in any::<u64>(),
+        bits in any::<u8>(),
+    ) {
+        let schema = schema(2);
+        let buf = encode_segment(&schema, &rows, zone_rows);
+        let pos = (flip_pos % buf.len() as u64) as usize;
+        let bits = if bits == 0 { 1 } else { bits };
+        let mut bad = buf.clone();
+        bad[pos] ^= bits;
+        match decode_segment(bad) {
+            Err(_) => {}
+            // Decoding may *appear* to succeed only if lazily decoded
+            // zone bodies still hold the damage — but the CRC covers
+            // the whole buffer, so even that must have failed already.
+            Ok(_) => prop_assert!(false, "corruption at byte {pos} went undetected"),
+        }
+    }
+}
+
+/// The codec survives deliberately hostile payloads through a real
+/// file round trip, exactly as the store writes them.
+#[test]
+fn hostile_payloads_round_trip() {
+    let schema = Schema::of(&[("a", DataType::Str), ("b", DataType::Bytes)]);
+    let rows: Vec<StoredEvent> = [
+        vec![Value::from("quote ' and unicode → 日本"), Value::bytes(vec![0, 1, 255])],
+        vec![Value::Null, Value::Null],
+        vec![Value::from("\0embedded\0nul\0"), Value::bytes(vec![])],
+        vec![Value::Float(f64::NAN), Value::Int(i64::MIN)],
+        vec![Value::from(""), Value::Timestamp(TimestampMs(i64::MAX))],
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, values)| StoredEvent {
+        seq: i as u64,
+        id: i as u64 ^ u64::MAX,
+        timestamp: TimestampMs(if i % 2 == 0 { i64::MIN } else { i64::MAX }),
+        retraction: i % 2 == 1,
+        payload: Record::new(values),
+    })
+    .collect();
+
+    let buf = encode_segment(&schema, &rows, 2);
+    let path = std::env::temp_dir().join(format!("evdb-prop-seg-{}", std::process::id()));
+    std::fs::write(&path, &buf).unwrap();
+    let seg = decode_segment(std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(seg.decode_all().unwrap(), rows);
+    std::fs::remove_file(&path).unwrap();
+}

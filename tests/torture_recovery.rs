@@ -31,7 +31,10 @@ use evdb::cq::delta::{ConsistencyLevel, DeltaLog};
 use evdb::cq::{compile_query, StreamRuntime};
 use evdb::faults::{FaultInjector, FaultRng};
 use evdb::queue::{QueueConfig, QueueManager};
-use evdb::storage::{ChangeKind, Database, DbOptions, QuerySnapshot, SyncPolicy};
+use evdb::storage::{
+    compact_once, ChangeKind, CompactionPolicy, Database, DbOptions, QuerySnapshot, SegmentStore,
+    SegmentStoreOptions, SyncPolicy,
+};
 use evdb::types::{DataType, Record, Schema, SimClock, TimestampMs, Value};
 
 /// Base seed for the whole run; CI sets `TORTURE_SEED` (3-seed matrix).
@@ -799,4 +802,149 @@ fn ooo_torture_speculative_subscriber_converges_after_crash() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     stats.report("ooo");
+}
+
+// ---------------------------------------------------------------------
+// Segment store: a crash mid-freeze or mid-compaction never loses or
+// duplicates an event (DESIGN.md D14 — the manifest rename is the one
+// commit point for both).
+// ---------------------------------------------------------------------
+
+#[test]
+fn segment_store_torture_no_event_lost_or_duplicated() {
+    const CYCLES: u64 = 120;
+    const OPS: u64 = 48;
+    let base = base_seed();
+    let mut stats = Stats::default();
+    let schema = Schema::of(&[("v", DataType::Int)]);
+    // Aggressive thresholds so freezes and compactions happen constantly
+    // and the sampled crash lands inside them often.
+    let opts = |faults| SegmentStoreOptions {
+        freeze_rows: 6,
+        zone_rows: 4,
+        faults,
+        ..Default::default()
+    };
+    let policy = CompactionPolicy {
+        max_segments: 2,
+        small_rows: 1_000,
+        max_merge: 4,
+    };
+
+    for cycle in 0..CYCLES {
+        let seed = cycle_seed(base, cycle ^ 0x5E6);
+        let dir = tmpdir("seg", cycle);
+        let mut rng = FaultRng::new(seed);
+        let injector = FaultInjector::new(seed ^ 0x5E);
+        // (id, ts, retraction, v) for every append that returned Ok…
+        let mut model: Vec<(u64, i64, bool, i64)> = Vec::new();
+        // …plus the one whose caller saw the crash error (CutAfterWrite
+        // can land a full head frame anyway).
+        let mut pending: Option<(u64, i64, bool, i64)> = None;
+
+        {
+            let store =
+                SegmentStore::open(&dir, Arc::clone(&schema), opts(Some(Arc::clone(&injector))))
+                    .unwrap();
+            injector.arm_sampled(OPS + OPS / 4);
+            let mut next_id = 0u64;
+            for _ in 0..OPS {
+                let r = match rng.below(10) {
+                    0..=6 => {
+                        let id = next_id;
+                        next_id += 1;
+                        // Non-monotone timestamps: freezing re-sorts by
+                        // time while replay must keep arrival order.
+                        let ts = irange(&mut rng, 0, 1_000);
+                        let retraction = rng.below(8) == 0;
+                        let v = irange(&mut rng, 0, 1_000);
+                        let r = store
+                            .append(
+                                id,
+                                TimestampMs(ts),
+                                retraction,
+                                Record::from_iter([Value::Int(v)]),
+                            )
+                            .map(|_| ());
+                        if r.is_ok() {
+                            model.push((id, ts, retraction, v));
+                        } else {
+                            pending = Some((id, ts, retraction, v));
+                        }
+                        r
+                    }
+                    7..=8 => store.freeze(), // crash here changes no event set
+                    _ => compact_once(&store, &policy).map(|_| ()),
+                };
+                if let Err(e) = r {
+                    assert!(
+                        FaultInjector::is_crash(&e),
+                        "cycle {cycle}: non-crash workload error: {e}"
+                    );
+                    break;
+                }
+            }
+        }
+        stats.record(&injector);
+
+        // Recover with no injector: every Ok append survives exactly
+        // once, in arrival order; at most the in-flight one joins them.
+        let store = SegmentStore::open(&dir, Arc::clone(&schema), opts(None)).unwrap();
+        let got: Vec<(u64, i64, bool, i64)> = store
+            .replay(0, u64::MAX)
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s.id,
+                    s.timestamp.0,
+                    s.retraction,
+                    s.payload.get(0).and_then(Value::as_int).unwrap(),
+                )
+            })
+            .collect();
+        let mut with_pending = model.clone();
+        if let Some(p) = pending {
+            with_pending.push(p);
+        }
+        assert!(
+            got == model || got == with_pending,
+            "cycle {cycle} (site {:?}): recovered {got:?}\n != committed {model:?}\n nor +pending {with_pending:?}",
+            injector.crash_site()
+        );
+
+        // Never-crashed reference: a store fed exactly the surviving
+        // events, then both fully compacted, must be indistinguishable
+        // event-wise (scan order and replay order).
+        let refdir = tmpdir("segref", cycle);
+        let reference = SegmentStore::open(&refdir, Arc::clone(&schema), opts(None)).unwrap();
+        for (id, ts, retraction, v) in &got {
+            reference
+                .append(
+                    *id,
+                    TimestampMs(*ts),
+                    *retraction,
+                    Record::from_iter([Value::Int(*v)]),
+                )
+                .unwrap();
+        }
+        store.freeze().unwrap();
+        reference.freeze().unwrap();
+        while compact_once(&store, &policy).unwrap() {}
+        while compact_once(&reference, &policy).unwrap() {}
+        assert_eq!(
+            store.scan_all().unwrap(),
+            reference.scan_all().unwrap(),
+            "cycle {cycle}: compacted scan diverged from never-crashed reference"
+        );
+        assert_eq!(
+            store.replay(0, u64::MAX).unwrap(),
+            reference.replay(0, u64::MAX).unwrap(),
+            "cycle {cycle}: compacted replay diverged from never-crashed reference"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&refdir);
+    }
+    stats.report("segment");
 }
