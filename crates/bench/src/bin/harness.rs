@@ -41,6 +41,7 @@ fn main() {
         ("e16", experiments::e16_retraction::run),
         ("e17", experiments::e17_server::run),
         ("e18", experiments::e18_history::run),
+        ("e19", experiments::e19_batch::run),
     ];
 
     println!(

@@ -33,7 +33,7 @@ use crate::fmt_rate;
 /// Order events: `(sym STR, px FLOAT, qty INT, venue STR)`. The venue
 /// string is long (~90 chars) and only sometimes contains the fragments
 /// rules look for, so LIKE verification pays a real scan per event.
-fn order_schema() -> Arc<Schema> {
+pub fn order_schema() -> Arc<Schema> {
     Schema::of(&[
         ("sym", DataType::Str),
         ("px", DataType::Float),
@@ -44,7 +44,9 @@ fn order_schema() -> Arc<Schema> {
 
 const FRAGS: &[&str] = &["limit", "dark", "sweep", "iceberg", "auction", "cross"];
 
-fn order_events(n: usize, nsyms: usize, seed: u64) -> Vec<Record> {
+/// Deterministic order-event payloads over the schema above (shared
+/// with E19's dispatch duel).
+pub fn order_events(n: usize, nsyms: usize, seed: u64) -> Vec<Record> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
@@ -74,7 +76,8 @@ fn order_events(n: usize, nsyms: usize, seed: u64) -> Vec<Record> {
 
 /// Rules for the end-to-end arm: every rule is indexed under a symbol
 /// equality; the thirds differ in what candidate verification costs.
-fn order_rules(n: usize, nsyms: usize, seed: u64) -> Vec<evdb_expr::Expr> {
+/// (Shared with E19's dispatch duel.)
+pub fn order_rules(n: usize, nsyms: usize, seed: u64) -> Vec<evdb_expr::Expr> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E18 (see DESIGN.md §5 for the mapping
+//! Experiment implementations E1–E19 (see DESIGN.md §5 for the mapping
 //! to paper claims, and EXPERIMENTS.md for recorded results).
 //!
 //! Each experiment exposes `run(scale) -> Table`: `Scale::Quick` for CI
@@ -22,6 +22,7 @@ pub mod e15_compiled;
 pub mod e16_retraction;
 pub mod e17_server;
 pub mod e18_history;
+pub mod e19_batch;
 
 /// Workload size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +135,7 @@ pub fn run_all(scale: Scale) -> String {
         e16_retraction::run(scale),
         e17_server::run(scale),
         e18_history::run(scale),
+        e19_batch::run(scale),
     ];
     for t in tables {
         out.push_str(&t.render());

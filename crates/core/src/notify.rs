@@ -129,6 +129,69 @@ impl NotificationCenter {
     pub fn notify(&self, notification: Notification) -> bool {
         use std::sync::atomic::Ordering;
         let now = self.clock.now();
+        let admitted = {
+            let mut state = self.state.lock();
+            self.admit_locked(&mut state, &notification, now)
+        };
+        if !admitted {
+            return false;
+        }
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        for h in self.handlers.lock().iter() {
+            h(&notification);
+        }
+        self.delivered_log.lock().push(notification);
+        true
+    }
+
+    /// Offer a whole batch, taking each internal lock once instead of
+    /// once per notification — the merge stage of the sharded pump feeds
+    /// entire drained shards through here (D15). Filter decisions are
+    /// identical to calling [`notify`](Self::notify) in order; returns
+    /// the number delivered.
+    pub fn notify_batch(&self, batch: Vec<Notification>) -> u64 {
+        use std::sync::atomic::Ordering;
+        if batch.is_empty() {
+            return 0;
+        }
+        let now = self.clock.now();
+        let mut passed = Vec::with_capacity(batch.len());
+        {
+            let mut state = self.state.lock();
+            for n in batch {
+                if self.admit_locked(&mut state, &n, now) {
+                    passed.push(n);
+                }
+            }
+        }
+        if passed.is_empty() {
+            return 0;
+        }
+        let count = passed.len() as u64;
+        self.delivered.fetch_add(count, Ordering::Relaxed);
+        {
+            let handlers = self.handlers.lock();
+            for n in &passed {
+                for h in handlers.iter() {
+                    h(n);
+                }
+            }
+        }
+        self.delivered_log.lock().extend(passed);
+        count
+    }
+
+    /// The VIRT admission decision, with the key-state lock already
+    /// held: updates key state and the `suppressed`/`retracted` counters
+    /// and returns whether the notification is delivered. The caller
+    /// owns the `delivered` count, handler fan-out and the log.
+    fn admit_locked(
+        &self,
+        state: &mut HashMap<String, KeyState>,
+        notification: &Notification,
+        now: TimestampMs,
+    ) -> bool {
+        use std::sync::atomic::Ordering;
         if notification.severity < self.policy.min_severity {
             self.suppressed.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -141,48 +204,35 @@ impl NotificationCenter {
         // against the original alert, not against the cancel.
         if notification.is_retraction {
             self.retracted.fetch_add(1, Ordering::Relaxed);
-            self.delivered.fetch_add(1, Ordering::Relaxed);
-            for h in self.handlers.lock().iter() {
-                h(&notification);
-            }
-            self.delivered_log.lock().push(notification);
             return true;
         }
-        {
-            let mut state = self.state.lock();
-            let ks = state.entry(notification.key.clone()).or_default();
+        let ks = state.entry(notification.key.clone()).or_default();
 
-            // Duplicate suppression: same key, not-higher severity,
-            // inside the window.
-            if self.policy.suppression_window_ms > 0 {
-                if let Some((last_ts, last_sev)) = ks.last_emitted {
-                    if now.since(last_ts) < self.policy.suppression_window_ms
-                        && notification.severity <= last_sev
-                    {
-                        self.suppressed.fetch_add(1, Ordering::Relaxed);
-                        return false;
-                    }
-                }
-            }
-            // Rate limit.
-            if self.policy.max_per_key_per_window > 0 {
-                if now.since(ks.window_start) >= self.policy.rate_window_ms {
-                    ks.window_start = now;
-                    ks.window_count = 0;
-                }
-                if ks.window_count >= self.policy.max_per_key_per_window {
+        // Duplicate suppression: same key, not-higher severity,
+        // inside the window.
+        if self.policy.suppression_window_ms > 0 {
+            if let Some((last_ts, last_sev)) = ks.last_emitted {
+                if now.since(last_ts) < self.policy.suppression_window_ms
+                    && notification.severity <= last_sev
+                {
                     self.suppressed.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
-                ks.window_count += 1;
             }
-            ks.last_emitted = Some((now, notification.severity));
         }
-        self.delivered.fetch_add(1, Ordering::Relaxed);
-        for h in self.handlers.lock().iter() {
-            h(&notification);
+        // Rate limit.
+        if self.policy.max_per_key_per_window > 0 {
+            if now.since(ks.window_start) >= self.policy.rate_window_ms {
+                ks.window_start = now;
+                ks.window_count = 0;
+            }
+            if ks.window_count >= self.policy.max_per_key_per_window {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            ks.window_count += 1;
         }
-        self.delivered_log.lock().push(notification);
+        ks.last_emitted = Some((now, notification.severity));
         true
     }
 }
@@ -258,6 +308,60 @@ mod tests {
         use std::sync::atomic::Ordering;
         assert_eq!(nc.delivered.load(Ordering::Relaxed), 3);
         assert_eq!(nc.suppressed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn batch_filtering_matches_sequential() {
+        use std::sync::atomic::Ordering;
+        let policy = VirtPolicy {
+            min_severity: 1.0,
+            suppression_window_ms: 1_000,
+            max_per_key_per_window: 2,
+            rate_window_ms: 1_000,
+        };
+        let mixed = || {
+            let mut cancel = notif("a", 2.0);
+            cancel.is_retraction = true;
+            vec![
+                notif("a", 2.0),
+                notif("a", 2.0), // duplicate
+                notif("a", 3.0), // escalation
+                notif("a", 4.0), // rate-limited (2 per window)
+                cancel,          // retraction bypasses both throttles
+                notif("b", 0.5), // under the severity floor
+                notif("b", 1.5),
+            ]
+        };
+        let seq = NotificationCenter::new(policy, SimClock::new(TimestampMs(0)));
+        for n in mixed() {
+            seq.notify(n);
+        }
+        let bat = NotificationCenter::new(policy, SimClock::new(TimestampMs(0)));
+        let delivered = bat.notify_batch(mixed());
+        assert_eq!(delivered, seq.delivered.load(Ordering::Relaxed));
+        assert_eq!(bat.drain_delivered(), seq.drain_delivered());
+        assert_eq!(
+            bat.suppressed.load(Ordering::Relaxed),
+            seq.suppressed.load(Ordering::Relaxed)
+        );
+        assert_eq!(
+            bat.retracted.load(Ordering::Relaxed),
+            seq.retracted.load(Ordering::Relaxed)
+        );
+        assert_eq!(bat.notify_batch(Vec::new()), 0);
+    }
+
+    #[test]
+    fn batch_handlers_fire_per_delivery() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let nc = NotificationCenter::new(VirtPolicy::default(), SimClock::new(TimestampMs(0)));
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        nc.on_notification(Arc::new(move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(nc.notify_batch(vec![notif("a", 1.0), notif("b", 1.0)]), 2);
+        assert_eq!(n.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use evdb_cq::delta::{change_schema, change_to_event};
 use evdb_cq::runtime::Subscriber;
 use evdb_cq::StreamRuntime;
 use evdb_queue::{Delivery, QueueConfig, QueueManager};
-use evdb_rules::{Broker, IndexedMatcher, Matcher, Rule};
+use evdb_rules::{Broker, IndexedMatcher, MatchScratch, Matcher, Rule};
 use evdb_storage::{
     ChangeEvent, Database, DbOptions, JournalMiner, QuerySnapshot, TriggerOps, TriggerTiming,
 };
@@ -100,6 +100,32 @@ struct DetectorGroup {
     condition: Option<CompiledExpr>,
     factory: Box<dyn Fn() -> DeviationDetector + Send>,
     instances: HashMap<String, DeviationDetector>,
+}
+
+/// Reusable buffers for [`EventServer::evaluate_events`]: the batch-VM
+/// scratch plus the per-batch staging vectors. Hold one per evaluating
+/// thread (each shard worker owns one); buffers size themselves to the
+/// batch on first use and are reused afterwards (D15).
+#[derive(Default)]
+pub struct EvalScratch {
+    /// Expression-VM batch scratch (continuous-query head filters).
+    expr: evdb_expr::BatchScratch,
+    /// Indexed-matcher batch scratch (alert-rule verification).
+    rules: MatchScratch,
+    /// Per-event continuous-query results.
+    cq: Vec<Result<Vec<Event>>>,
+    /// Events whose evaluation already errored (skipped downstream).
+    failed: Vec<bool>,
+    /// Per-event alert-rule hits, re-scattered from the per-stream runs.
+    hits: Vec<Option<Result<Vec<u64>>>>,
+    /// Distinct sources with registered rules, in first-seen order.
+    sources: Vec<Arc<str>>,
+    /// Event indices of the stream currently being matched.
+    idxs: Vec<u32>,
+    /// Per-record outputs of one `match_batch` run.
+    rule_out: Vec<Result<Vec<u64>>>,
+    /// One event's staged notifications (committed only on success).
+    event_notes: Vec<Notification>,
 }
 
 /// Statistics returned by one [`EventServer::pump`].
@@ -406,6 +432,15 @@ impl EventServer {
         });
         registry.gauge_fn("evdb_expr_like_precompiled_total", || {
             evdb_expr::compiler_stats().like_precompiled as f64
+        });
+        // Batched evaluation (D15): how many batch-VM dispatches ran and
+        // how many records they covered, process-wide. The ratio is the
+        // realized amortization of the batched hot path.
+        registry.gauge_fn("evdb_expr_batches_total", || {
+            evdb_expr::batch_stats().0 as f64
+        });
+        registry.gauge_fn("evdb_expr_batched_records_total", || {
+            evdb_expr::batch_stats().1 as f64
         });
         // Historical event store (D14). Registered even while history is
         // disabled (they read zero) so the exposition's metric set does
@@ -1289,7 +1324,14 @@ impl EventServer {
         if let Some(history) = self.history.get() {
             history.append(event)?;
         }
+        self.evaluate_recorded(event)
+    }
 
+    /// [`evaluate_event`](Self::evaluate_event) after the history append
+    /// (the per-event fallback of the batch path, whose events are
+    /// already recorded).
+    fn evaluate_recorded(&self, event: &Event) -> Result<(u64, Vec<Notification>)> {
+        use std::sync::atomic::Ordering;
         // Continuous queries.
         let derived = self.runtime.push_event(event)?;
         self.metrics
@@ -1300,6 +1342,190 @@ impl EventServer {
         self.collect_alert_rules(event, &mut notes)?;
         self.collect_detectors(event, &mut notes)?;
         Ok((derived.len() as u64, notes))
+    }
+
+    /// Batched form of [`evaluate_event_traced`](Self::evaluate_event_traced)
+    /// over a shard's whole routed batch — the worker-side hot path of
+    /// the sharded pump (D15). Observable behavior matches evaluating
+    /// the events one at a time in order: history append, dedup and
+    /// detector state advance per event in arrival order, while the
+    /// stateless stages amortize — continuous queries go through
+    /// [`StreamRuntime::push_events`] (one pipeline lock per query per
+    /// batch, head filters pre-verified through the batch VM) and alert
+    /// rules through [`Matcher::match_batch`] (one batch-VM dispatch per
+    /// candidate rule). Notifications are appended to `notes` in event
+    /// order (per event: rules, then detectors). Returns (derived event
+    /// count, events whose evaluation errored).
+    pub fn evaluate_events(
+        &self,
+        events: &mut [Event],
+        now: TimestampMs,
+        batch: &mut StageBatch,
+        scratch: &mut EvalScratch,
+        notes: &mut Vec<Notification>,
+    ) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        if events.is_empty() {
+            return (0, 0);
+        }
+        self.metrics
+            .events_processed
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+
+        // History first, per event in arrival order (D14: the store sees
+        // exactly the sequence the pipeline evaluates). An append error
+        // aborts that event's evaluation — like the per-event path — and
+        // drops the rest of the batch to the per-event fallback, since
+        // the batched CQ push cannot skip individual events.
+        let mut errors = 0u64;
+        if let Some(history) = self.history.get() {
+            let mut failed: Option<usize> = None;
+            for (i, event) in events.iter().enumerate() {
+                if history.append(event).is_err() {
+                    errors += 1;
+                    failed = Some(i);
+                    break;
+                }
+            }
+            if let Some(first_bad) = failed {
+                let mut derived_total = 0u64;
+                for (i, event) in events.iter_mut().enumerate() {
+                    if i == first_bad {
+                        continue;
+                    }
+                    // Events before the failure are already recorded;
+                    // the rest still need their history append (the
+                    // whole batch was counted as processed above).
+                    let step = if i < first_bad {
+                        self.evaluate_recorded(event)
+                    } else {
+                        history
+                            .append(event)
+                            .and_then(|_| self.evaluate_recorded(event))
+                    };
+                    match step {
+                        Ok((derived, ns)) => {
+                            derived_total += derived;
+                            notes.extend(ns);
+                            self.stamp_evaluated(event, now, batch);
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                return (derived_total, errors);
+            }
+        }
+
+        // Continuous queries, batched. `cq[i]` is what `push_event`
+        // would have returned for `events[i]`.
+        self.runtime
+            .push_events(events, &mut scratch.expr, &mut scratch.cq);
+        let mut derived_total = 0u64;
+        scratch.failed.clear();
+        scratch.failed.resize(events.len(), false);
+        for (i, r) in scratch.cq.iter().enumerate() {
+            match r {
+                Ok(derived) => derived_total += derived.len() as u64,
+                Err(_) => {
+                    scratch.failed[i] = true;
+                    errors += 1;
+                }
+            }
+        }
+        self.metrics
+            .derived_events
+            .fetch_add(derived_total, Ordering::Relaxed);
+
+        // Alert rules, batched per stream: the candidate-verify work is
+        // rule-major through the batch VM; hits land back per event.
+        scratch.hits.clear();
+        scratch.hits.resize_with(events.len(), || None);
+        {
+            let rules = self.alert_rules.read();
+            if !rules.is_empty() {
+                scratch.sources.clear();
+                for (i, ev) in events.iter().enumerate() {
+                    if !scratch.failed[i]
+                        && rules.contains_key(ev.source.as_ref())
+                        && !scratch.sources.contains(&ev.source)
+                    {
+                        scratch.sources.push(Arc::clone(&ev.source));
+                    }
+                }
+                for src in std::mem::take(&mut scratch.sources) {
+                    let entry = &rules[src.as_ref()];
+                    scratch.idxs.clear();
+                    scratch.idxs.extend(events.iter().enumerate().filter_map(|(i, e)| {
+                        (!scratch.failed[i] && e.source == src).then_some(i as u32)
+                    }));
+                    let records: Vec<&Record> = scratch
+                        .idxs
+                        .iter()
+                        .map(|&i| &events[i as usize].payload)
+                        .collect();
+                    entry
+                        .matcher
+                        .match_batch(&records, &mut scratch.rules, &mut scratch.rule_out);
+                    for (k, hit) in scratch.rule_out.drain(..).enumerate() {
+                        scratch.hits[scratch.idxs[k] as usize] = Some(hit);
+                    }
+                }
+            }
+        }
+
+        // Per-event tail, in arrival order: materialize rule hits, then
+        // run the (stateful) detectors — the same per-event order as the
+        // sequential path, so every notification lands in `notes` where
+        // a per-event loop would have put it. An event's notes are
+        // staged and only committed if its whole evaluation succeeds,
+        // matching the per-event path's discard-on-error.
+        let rules = self.alert_rules.read();
+        for (i, event) in events.iter_mut().enumerate() {
+            if scratch.failed[i] {
+                continue;
+            }
+            scratch.event_notes.clear();
+            match scratch.hits[i].take() {
+                None => {}
+                Some(Ok(ids)) => {
+                    // `get`, not index: churn may have dropped the whole
+                    // stream's rule set since the match phase's lock.
+                    if let Some(entry) = rules.get(event.source.as_ref()) {
+                        for id in ids {
+                            scratch
+                                .event_notes
+                                .extend(Self::rule_notification(entry, id, event));
+                        }
+                    }
+                }
+                Some(Err(_)) => {
+                    errors += 1;
+                    continue;
+                }
+            }
+            if self.collect_detectors(event, &mut scratch.event_notes).is_err() {
+                errors += 1;
+                continue;
+            }
+            notes.append(&mut scratch.event_notes);
+            self.stamp_evaluated(event, now, batch);
+        }
+        (derived_total, errors)
+    }
+
+    /// Stamp the evaluate stage on a successfully evaluated event and
+    /// queue its capture→evaluate span (no-op when stage observability
+    /// is disabled).
+    fn stamp_evaluated(&self, event: &mut Event, now: TimestampMs, batch: &mut StageBatch) {
+        if !self.stage_obs.enabled {
+            return;
+        }
+        event.trace.stamp(Stage::Evaluate, now);
+        let span = event
+            .trace
+            .span_ms(Stage::Capture, Stage::Evaluate)
+            .unwrap_or(0) as f64;
+        batch.push(Stage::Evaluate, span);
     }
 
     /// Run a pending notification through the VIRT filter; true when it
@@ -1317,6 +1543,31 @@ impl EventServer {
         self.deliver_untraced(notification)
     }
 
+    /// Deliver a whole batch of pending notifications through the VIRT
+    /// filter — the merge stage of the sharded pump calls this once per
+    /// drained cycle, so the filter's key-state lock is taken once per
+    /// batch instead of once per notification (D15). Returns the number
+    /// delivered. Filter decisions and handler invocations are in batch
+    /// order, identical to calling [`deliver`](Self::deliver) per item.
+    pub fn deliver_batch(&self, mut batch: Vec<Notification>) -> u64 {
+        if batch.is_empty() {
+            return 0;
+        }
+        if self.stage_obs.enabled {
+            let now = self.now();
+            let mut spans = StageBatch::default();
+            for n in &mut batch {
+                n.trace.stamp(Stage::Deliver, now);
+                let span = n.trace.span_ms(Stage::Capture, Stage::Deliver).unwrap_or(0) as f64;
+                spans.push(Stage::Deliver, span);
+            }
+            self.stage_obs.flush(&mut spans);
+        }
+        let delivered = self.notifications.notify_batch(batch);
+        self.sync_notify_metrics();
+        delivered
+    }
+
     /// Deliver a notification whose deliver stage was already stamped
     /// and queued by the caller (the batched sequential path).
     fn deliver_untraced(&self, notification: Notification) -> bool {
@@ -1330,27 +1581,39 @@ impl EventServer {
         if let Some(entry) = rules.get(event.source.as_ref()) {
             let hits = entry.matcher.match_record(&event.payload)?;
             for id in hits {
-                let meta = &entry.meta[&id];
-                let key = match meta.key_field {
-                    Some(i) => format!(
-                        "{}:{}",
-                        meta.name,
-                        event.payload.get(i).cloned().unwrap_or(Value::Null)
-                    ),
-                    None => meta.name.clone(),
-                };
-                out.push(Notification {
-                    key,
-                    severity: meta.severity,
-                    title: format!("rule '{}' matched on {}", meta.name, event.source),
-                    body: event.payload.to_string(),
-                    timestamp: event.timestamp,
-                    trace: event.trace,
-                    is_retraction: event.is_retraction(),
-                });
+                out.extend(Self::rule_notification(entry, id, event));
             }
         }
         Ok(())
+    }
+
+    /// Materialize the notification for one alert-rule hit (shared by
+    /// the per-event and batched matching paths). Returns `None` when
+    /// the rule is gone: the batched path matches and materializes
+    /// under two separate read-lock acquisitions, so concurrent rule
+    /// churn can remove a matched rule in between — dropping the hit is
+    /// exactly the per-event outcome had the remove landed one event
+    /// earlier. (The per-event path holds one lock across both steps
+    /// and never takes the `None` arm.)
+    fn rule_notification(entry: &AlertRules, id: u64, event: &Event) -> Option<Notification> {
+        let meta = entry.meta.get(&id)?;
+        let key = match meta.key_field {
+            Some(i) => format!(
+                "{}:{}",
+                meta.name,
+                event.payload.get(i).cloned().unwrap_or(Value::Null)
+            ),
+            None => meta.name.clone(),
+        };
+        Some(Notification {
+            key,
+            severity: meta.severity,
+            title: format!("rule '{}' matched on {}", meta.name, event.source),
+            body: event.payload.to_string(),
+            timestamp: event.timestamp,
+            trace: event.trace,
+            is_retraction: event.is_retraction(),
+        })
     }
 
     fn collect_detectors(&self, event: &Event, out: &mut Vec<Notification>) -> Result<()> {

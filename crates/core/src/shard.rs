@@ -21,10 +21,15 @@
 //!   worker falls behind, the router blocks on its queue rather than
 //!   buffering without limit.
 //! * **Delivery** — workers *collect* notifications
-//!   ([`EventServer::evaluate_event`]) and a single merge stage runs
-//!   them through the stateful VIRT filter. Each worker's results
-//!   arrive at the merge in that worker's send order, so per-key
-//!   delivery order matches the sequential pump.
+//!   ([`EventServer::evaluate_events`], the batched evaluation path)
+//!   and the merge stage runs them through the stateful VIRT filter.
+//!   Each worker feeds its own staging channel; the merge thread drains
+//!   the shards in deterministic order (0..n) and delivers each drained
+//!   batch through one filter-lock acquisition
+//!   ([`EventServer::deliver_batch`]), so workers never contend on a
+//!   shared merge queue. A key's notifications all ride one shard's
+//!   channel in that worker's send order, so per-key delivery order
+//!   still matches the sequential pump (D15).
 //! * **Shutdown** — the router performs one final drain after the stop
 //!   flag is raised, then drops the worker queues; workers finish their
 //!   backlog and drop the merge queue; the merge delivers the tail.
@@ -43,13 +48,18 @@ use evdb_types::Event;
 
 use crate::metrics::{ShardMetrics, StageBatch};
 use crate::notify::Notification;
-use crate::server::EventServer;
+use crate::server::{EvalScratch, EventServer};
 
 /// In-flight batches a worker queue holds before the router blocks.
 const WORKER_QUEUE_BATCHES: usize = 64;
 
-/// In-flight notification batches between workers and the merge stage.
-const MERGE_QUEUE_BATCHES: usize = 256;
+/// In-flight notification batches each worker's private staging channel
+/// holds before that worker blocks on the merge stage.
+const MERGE_QUEUE_BATCHES: usize = 64;
+
+/// How long the merge thread sleeps when every shard's staging channel
+/// came up empty on a full drain pass.
+const MERGE_IDLE: Duration = Duration::from_micros(50);
 
 /// Map a partition key to a shard in `0..n`.
 ///
@@ -76,37 +86,33 @@ pub(crate) fn spawn_sharded(
 ) -> Vec<JoinHandle<()>> {
     let n = workers.max(1);
     let shard_metrics = server.metrics().register_shards(n);
-    let (merge_tx, merge_rx) = channel::bounded::<Vec<Notification>>(MERGE_QUEUE_BATCHES);
 
     let mut worker_txs: Vec<channel::Sender<Vec<Event>>> = Vec::with_capacity(n);
+    let mut merge_rxs: Vec<channel::Receiver<Vec<Notification>>> = Vec::with_capacity(n);
     let mut evaluators: Vec<JoinHandle<()>> = Vec::with_capacity(n);
     for (i, metrics) in shard_metrics.iter().enumerate() {
         let (tx, rx) = channel::bounded::<Vec<Event>>(WORKER_QUEUE_BATCHES);
         worker_txs.push(tx);
+        // Each worker stages into its own channel: no cross-worker
+        // contention on the way to the merge, and the merge exits a
+        // shard's drain when that worker (alone) has hung up.
+        let (merge_tx, merge_rx) = channel::bounded::<Vec<Notification>>(MERGE_QUEUE_BATCHES);
+        merge_rxs.push(merge_rx);
         let s = Arc::clone(server);
         let m = Arc::clone(metrics);
         let er = Arc::clone(errors);
-        let merge = merge_tx.clone();
         let t = std::thread::Builder::new()
             .name(format!("evdb-shard-{i}"))
-            .spawn(move || worker_loop(&s, &rx, &merge, &m, &er))
+            .spawn(move || worker_loop(&s, &rx, &merge_tx, &m, &er))
             .expect("spawn shard worker thread");
         evaluators.push(t);
     }
-    // The merge stage exits when every worker has dropped its sender.
-    drop(merge_tx);
 
     let merge_thread = {
         let s = Arc::clone(server);
         std::thread::Builder::new()
             .name("evdb-merge".into())
-            .spawn(move || {
-                while let Ok(notes) = merge_rx.recv() {
-                    for note in notes {
-                        s.deliver(note);
-                    }
-                }
-            })
+            .spawn(move || merge_loop(&s, &merge_rxs))
             .expect("spawn merge thread")
     };
 
@@ -228,6 +234,7 @@ fn worker_loop(
     metrics: &ShardMetrics,
     errors: &AtomicU64,
 ) {
+    let mut scratch = EvalScratch::default();
     // `recv` yields every batch still queued even after the router has
     // dropped the sender, so a stop never abandons routed events.
     while let Ok(mut batch) = rx.recv() {
@@ -235,14 +242,9 @@ fn worker_loop(
         let mut pending = Vec::new();
         let stamp_now = server.now();
         let mut stage_batch = StageBatch::default();
-        for event in &mut batch {
-            match server.evaluate_event_traced(event, stamp_now, &mut stage_batch) {
-                Ok((_derived, notes)) => pending.extend(notes),
-                Err(_) => {
-                    errors.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
+        let (_derived, errs) =
+            server.evaluate_events(&mut batch, stamp_now, &mut stage_batch, &mut scratch, &mut pending);
+        errors.fetch_add(errs, Ordering::Relaxed);
         server.stage_obs().flush(&mut stage_batch);
         metrics
             .queue_depth
@@ -251,6 +253,47 @@ fn worker_loop(
             // Merge stage gone: only possible mid-teardown after a
             // panic; stop consuming.
             break;
+        }
+    }
+}
+
+/// The merge stage: drain every shard's staging channel in a fixed
+/// order (0..n), deliver the round's notifications as one batch, and
+/// idle briefly when nothing arrived. Draining shard-by-shard in a
+/// deterministic order keeps delivery fair across shards; per-key order
+/// needs no cross-shard coordination because a key's notifications all
+/// travel one shard's FIFO channel. Exits when every worker has hung up
+/// and every channel is drained — crossbeam yields queued batches even
+/// after a sender drops, so a clean stop delivers the tail.
+fn merge_loop(server: &Arc<EventServer>, shards: &[channel::Receiver<Vec<Notification>>]) {
+    let mut open = vec![true; shards.len()];
+    let mut staged: Vec<Notification> = Vec::new();
+    loop {
+        let mut any_open = false;
+        for (i, rx) in shards.iter().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(notes) => staged.extend(notes),
+                    Err(channel::TryRecvError::Empty) => {
+                        any_open = true;
+                        break;
+                    }
+                    Err(channel::TryRecvError::Disconnected) => {
+                        open[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !staged.is_empty() {
+            server.deliver_batch(std::mem::take(&mut staged));
+        } else if !any_open {
+            break;
+        } else {
+            std::thread::sleep(MERGE_IDLE);
         }
     }
 }

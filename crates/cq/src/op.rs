@@ -63,6 +63,17 @@ pub trait Operator: Send {
     fn op_stats(&self) -> OpStats {
         OpStats::default()
     }
+
+    /// A pure drop-on-false predicate equivalent to this operator, if
+    /// it has one (D15). When the *head* operator exposes this, the
+    /// runtime may pre-verify a whole batch through
+    /// [`CompiledExpr::eval_batch`] and skip non-matching events
+    /// entirely instead of pushing each through the pipeline — sound
+    /// only because such an operator is stateless and emits nothing on
+    /// a non-match. Default: none.
+    fn batch_predicate(&self) -> Option<&CompiledExpr> {
+        None
+    }
 }
 
 /// A linear chain of operators.
@@ -116,6 +127,32 @@ impl Pipeline {
             std::mem::swap(a, b);
         }
         Ok(std::mem::take(a))
+    }
+
+    /// Push an event the caller has already verified against the head
+    /// operator's [`Operator::batch_predicate`] — the head stage is
+    /// skipped (a pure filter passes the event through unchanged on
+    /// true, so this is exactly `push` minus the redundant re-check).
+    pub fn push_verified(&mut self, event: &Event) -> Result<Vec<Event>> {
+        let (a, b) = &mut self.bufs;
+        a.clear();
+        b.clear();
+        a.push(event.clone());
+        for op in self.ops.iter_mut().skip(1) {
+            for ev in a.drain(..) {
+                op.on_event(&ev, b)?;
+            }
+            std::mem::swap(a, b);
+        }
+        Ok(std::mem::take(a))
+    }
+
+    /// The head operator's drop-on-false predicate, if it exposes one
+    /// (see [`Operator::batch_predicate`]): the hook the runtime's
+    /// batched ingest uses to pre-verify events before paying the
+    /// per-event push.
+    pub fn head_predicate(&self) -> Option<&CompiledExpr> {
+        self.ops[0].batch_predicate()
     }
 
     /// Push a watermark through every stage. Events emitted by stage `i`
@@ -173,6 +210,12 @@ impl Operator for FilterOp {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn batch_predicate(&self) -> Option<&CompiledExpr> {
+        // Stateless drop-on-false: exactly the shape the batched
+        // pre-verify is allowed to short-circuit.
+        Some(&self.predicate)
     }
 }
 

@@ -102,6 +102,12 @@ struct QueryInner {
 struct QueryEntry {
     source: String,
     consistency: ConsistencyLevel,
+    /// Registration sequence number: queries observe each event in
+    /// registration order, independent of map iteration order, so the
+    /// concatenation of derived events across queries is deterministic
+    /// (the batched path of D15 relies on this to match the per-event
+    /// path byte for byte).
+    reg: u64,
     inner: Mutex<QueryInner>,
 }
 
@@ -121,6 +127,8 @@ pub struct StreamRuntime {
     dup_dropped: AtomicU64,
     /// Delta counters of dropped queries, so totals stay monotonic.
     retired_stats: Mutex<OpStats>,
+    /// Monotonic registration counter; see [`QueryEntry::reg`].
+    next_reg: AtomicU64,
 }
 
 impl StreamRuntime {
@@ -135,6 +143,7 @@ impl StreamRuntime {
             dedup: Mutex::new(None),
             dup_dropped: AtomicU64::new(0),
             retired_stats: Mutex::new(OpStats::default()),
+            next_reg: AtomicU64::new(0),
         }
     }
 
@@ -215,6 +224,7 @@ impl StreamRuntime {
             Arc::new(QueryEntry {
                 source: source.to_string(),
                 consistency,
+                reg: self.next_reg.fetch_add(1, Ordering::Relaxed),
                 inner: Mutex::new(QueryInner {
                     pipeline,
                     subscribers: Vec::new(),
@@ -355,6 +365,147 @@ impl StreamRuntime {
         self.route(event, wm)
     }
 
+    /// Batched form of [`push_event`](Self::push_event): `out[i]` is
+    /// exactly what `push_event(&events[i])` would have returned, had
+    /// the events been pushed one at a time in order (D15).
+    ///
+    /// Dedup checks and watermark bookkeeping run per event in arrival
+    /// order (phase A). Routing is then *query-major*: each query's
+    /// pipeline lock is taken once per batch, and — when the query's
+    /// head operator is a pure filter
+    /// ([`Pipeline::head_predicate`]) — the whole batch is pre-verified
+    /// through the batch VM, so non-matching events skip the per-event
+    /// push entirely (the pipeline still observes their watermarks;
+    /// dropping an event never suppresses pane closes). An event whose
+    /// evaluation errors at query *j* yields that error and is withheld
+    /// from queries after *j*, exactly as the per-event path's early
+    /// return.
+    pub fn push_events(
+        &self,
+        events: &[Event],
+        scratch: &mut evdb_expr::BatchScratch,
+        out: &mut Vec<Result<Vec<Event>>>,
+    ) {
+        out.clear();
+        out.extend((0..events.len()).map(|_| Ok(Vec::new())));
+        // Phase A: dedup + stream state, strictly in arrival order (the
+        // watermark each event routes with depends on its predecessors).
+        let mut wms: Vec<TimestampMs> = Vec::with_capacity(events.len());
+        let mut routable = vec![true; events.len()];
+        for (i, event) in events.iter().enumerate() {
+            wms.push(TimestampMs(0));
+            let entry = match self.stream_entry(event.source.as_ref()) {
+                Ok(e) => e,
+                Err(e) => {
+                    out[i] = Err(e);
+                    routable[i] = false;
+                    continue;
+                }
+            };
+            if let Some(window) = self.dedup.lock().as_mut() {
+                if window.check_and_insert((
+                    Arc::clone(&event.source),
+                    event.id.0,
+                    event.retraction,
+                )) {
+                    self.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                    routable[i] = false;
+                    continue;
+                }
+            }
+            wms[i] = {
+                let mut state = entry.state.lock();
+                state.max_ts = state.max_ts.max(event.timestamp);
+                state.events_in += 1;
+                state.max_ts.minus(self.lateness_ms)
+            };
+        }
+
+        // Phase B: route, grouped by source then query. Pipelines of
+        // different queries are disjoint state, so query-major order is
+        // observationally equivalent to event-major for `out`.
+        let mut sources: Vec<&str> = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            if routable[i] && !sources.contains(&ev.source.as_ref()) {
+                sources.push(ev.source.as_ref());
+            }
+        }
+        let mut pane_total = 0u64;
+        let mut verdicts: Vec<Result<bool>> = Vec::new();
+        for src in sources {
+            let idxs: Vec<u32> = events
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| routable[*i] && e.source.as_ref() == src)
+                .map(|(i, _)| i as u32)
+                .collect();
+            for q in self.queries_for(src) {
+                let mut inner = q.inner.lock();
+                let has_pred = if let Some(pred) = inner.pipeline.head_predicate() {
+                    pred.matches_batch(
+                        &idxs,
+                        |i| &events[*i as usize].payload,
+                        scratch,
+                        &mut verdicts,
+                    );
+                    true
+                } else {
+                    false
+                };
+                for (k, &i) in idxs.iter().enumerate() {
+                    let i = i as usize;
+                    if out[i].is_err() {
+                        continue; // withheld from queries after the error
+                    }
+                    let event = &events[i];
+                    let mut push_needed = true;
+                    if has_pred {
+                        match std::mem::replace(&mut verdicts[k], Ok(false)) {
+                            // Head filter drops it: skip the push, keep
+                            // the watermark.
+                            Ok(false) => push_needed = false,
+                            Ok(true) => {}
+                            Err(e) => {
+                                out[i] = Err(e);
+                                continue;
+                            }
+                        }
+                    }
+                    let step = if push_needed && has_pred {
+                        inner.pipeline.push_verified(event)
+                    } else if push_needed {
+                        inner.pipeline.push(event)
+                    } else {
+                        Ok(Vec::new())
+                    }
+                    .and_then(|mut derived| {
+                        derived.extend(inner.pipeline.advance_watermark(wms[i])?);
+                        Ok(derived)
+                    });
+                    match step {
+                        Ok(mut derived) => {
+                            inner.events_out += derived.len() as u64;
+                            pane_total += derived.len() as u64;
+                            for ev in &mut derived {
+                                ev.trace = event.trace;
+                                for s in &inner.subscribers {
+                                    s(ev);
+                                }
+                            }
+                            if let Ok(all) = &mut out[i] {
+                                all.extend(derived);
+                            }
+                        }
+                        Err(e) => out[i] = Err(e),
+                    }
+                }
+            }
+        }
+        if let Some(c) = &self.panes_obs {
+            c.add(pane_total);
+        }
+    }
+
     fn stream_entry(&self, name: &str) -> Result<Arc<StreamEntry>> {
         self.streams
             .read()
@@ -364,14 +515,20 @@ impl StreamRuntime {
     }
 
     /// Queries reading from `source`, cloned out so the map lock is not
-    /// held while pipelines run.
+    /// held while pipelines run. Sorted by registration order: every
+    /// event flows through queries in the order they were registered,
+    /// so derived-event concatenation is deterministic (and identical
+    /// between the per-event and batched push paths).
     fn queries_for(&self, source: &str) -> Vec<Arc<QueryEntry>> {
-        self.queries
+        let mut qs: Vec<Arc<QueryEntry>> = self
+            .queries
             .read()
             .values()
             .filter(|q| q.source == source)
             .map(Arc::clone)
-            .collect()
+            .collect();
+        qs.sort_unstable_by_key(|q| q.reg);
+        qs
     }
 
     fn route(&self, event: &Event, wm: TimestampMs) -> Result<Vec<Event>> {
@@ -498,6 +655,79 @@ mod tests {
         let (ins, outs) = rt.stats();
         assert_eq!(ins, 3);
         assert_eq!(outs, 2);
+    }
+
+    #[test]
+    fn push_events_equals_per_event_push() {
+        // Two runtimes, same query set: one fed per event, one batched.
+        // Outputs, subscriber deliveries, and stats must be identical.
+        let mk = || {
+            let rt = StreamRuntime::new(0);
+            rt.create_stream("ticks", schema()).unwrap();
+            let filtered = compile_query(
+                "SELECT sym, avg(px) AS apx FROM ticks [RANGE 1 s] WHERE px > 50 GROUP BY sym",
+                &schema(),
+                AggMode::Incremental,
+            )
+            .unwrap();
+            rt.register_query("hot", "ticks", filtered).unwrap();
+            let plain = compile_query(
+                "SELECT count() AS n FROM ticks [RANGE 1 s]",
+                &schema(),
+                AggMode::Incremental,
+            )
+            .unwrap();
+            rt.register_query("all", "ticks", plain).unwrap();
+            rt
+        };
+        let events: Vec<Event> = (0..40)
+            .map(|i| {
+                Event::new(
+                    EventId(i),
+                    "ticks",
+                    TimestampMs((i as i64) * 97),
+                    Record::from_iter([
+                        Value::from(if i % 3 == 0 { "A" } else { "B" }),
+                        Value::Float((i % 7) as f64 * 20.0),
+                    ]),
+                    schema(),
+                )
+            })
+            .collect();
+
+        let seq = mk();
+        let mut want = Vec::new();
+        for ev in &events {
+            want.push(seq.push_event(ev).unwrap());
+        }
+
+        let bat = mk();
+        let mut scratch = evdb_expr::BatchScratch::new();
+        let mut got = Vec::new();
+        // Uneven chunks so batch boundaries land mid-window.
+        for chunk in events.chunks(7) {
+            let mut out = Vec::new();
+            bat.push_events(chunk, &mut scratch, &mut out);
+            got.extend(out.into_iter().map(|r| r.unwrap()));
+        }
+
+        assert_eq!(want.len(), got.len());
+        let key = |evs: &[Event]| -> Vec<(u64, i64, String, bool)> {
+            evs.iter()
+                .map(|e| {
+                    (
+                        e.id.0,
+                        e.timestamp.0,
+                        format!("{:?}", e.payload),
+                        e.retraction,
+                    )
+                })
+                .collect()
+        };
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(key(w), key(g), "derived events diverge at event {i}");
+        }
+        assert_eq!(seq.stats(), bat.stats());
     }
 
     #[test]

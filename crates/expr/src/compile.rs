@@ -61,6 +61,8 @@ static COMPILED_TOTAL: AtomicU64 = AtomicU64::new(0);
 static FOLDED_SUBTREES_TOTAL: AtomicU64 = AtomicU64::new(0);
 static FOLDED_NODES_TOTAL: AtomicU64 = AtomicU64::new(0);
 static LIKE_PRECOMPILED_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BATCHES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BATCHED_RECORDS_TOTAL: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of process-wide compiler statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,6 +85,16 @@ pub fn compiler_stats() -> CompilerStats {
         folded_nodes: FOLDED_NODES_TOTAL.load(Ordering::Relaxed),
         like_precompiled: LIKE_PRECOMPILED_TOTAL.load(Ordering::Relaxed),
     }
+}
+
+/// Process-wide batch-evaluation counters: `(batches, records)` pushed
+/// through [`CompiledExpr::eval_batch`]. Bridged into the obs registry
+/// as `evdb_expr_batches_total` (D9: batched work is still counted).
+pub fn batch_stats() -> (u64, u64) {
+    (
+        BATCHES_TOTAL.load(Ordering::Relaxed),
+        BATCHED_RECORDS_TOTAL.load(Ordering::Relaxed),
+    )
 }
 
 /// Per-compile folding statistics (for tests and introspection).
@@ -238,19 +250,7 @@ fn mirror(op: BinaryOp) -> BinaryOp {
 /// matched prefix instructions are exactly the fused operation's
 /// operands (each push is consumed by the adjacent pop).
 fn peephole(insts: &mut Vec<Inst>) {
-    let has_jumps = insts.iter().any(|i| {
-        matches!(
-            i,
-            Inst::Jump(_)
-                | Inst::JumpIfFalse(_)
-                | Inst::JumpIfTrue(_)
-                | Inst::JumpIfNull(_)
-                | Inst::BranchNotTrue(_)
-                | Inst::CaseNeJump(_)
-                | Inst::InCmp { .. }
-        )
-    });
-    if has_jumps {
+    if has_control_flow(insts) {
         return;
     }
     let mut out: Vec<Inst> = Vec::with_capacity(insts.len());
@@ -295,6 +295,26 @@ fn peephole(insts: &mut Vec<Inst>) {
     *insts = out;
 }
 
+/// Does the block contain any pc-manipulating instruction? Such blocks
+/// cannot be peephole-fused (targets would shift) and take the
+/// record-at-a-time fallback in [`CompiledExpr::eval_batch`] (records
+/// diverge at a branch, so there is no common instruction stream to
+/// amortize).
+fn has_control_flow(insts: &[Inst]) -> bool {
+    insts.iter().any(|i| {
+        matches!(
+            i,
+            Inst::Jump(_)
+                | Inst::JumpIfFalse(_)
+                | Inst::JumpIfTrue(_)
+                | Inst::JumpIfNull(_)
+                | Inst::BranchNotTrue(_)
+                | Inst::CaseNeJump(_)
+                | Inst::InCmp { .. }
+        )
+    })
+}
+
 // ---- program structure -------------------------------------------------
 
 /// One top-level AND conjunct, compiled to straight-line bytecode.
@@ -307,6 +327,8 @@ struct Block {
     run: u32,
     /// Operand-stack depth this block needs.
     max_stack: usize,
+    /// No control flow: eligible for the vectorized batch interpreter.
+    straight: bool,
     /// Feedback: times evaluated.
     evals: AtomicU64,
     /// Feedback: times the result was not FALSE.
@@ -358,11 +380,13 @@ impl CompiledExpr {
                 peephole(&mut cg.insts);
                 let cost = cg.insts.iter().map(Inst::cost).sum();
                 let max_stack = cg.max_depth;
+                let straight = !has_control_flow(&cg.insts);
                 Block {
                     insts: cg.insts,
                     cost,
                     run: 0,
                     max_stack,
+                    straight,
                     evals: AtomicU64::new(0),
                     passes: AtomicU64::new(0),
                 }
@@ -724,6 +748,574 @@ impl CompiledExpr {
         debug_assert_eq!(sp, 1, "block left {sp} values");
         sp -= 1;
         Ok(std::mem::replace(&mut stack[sp], Cow::Borrowed(&NULL)))
+    }
+
+    /// Evaluate this expression over a whole batch of records in one
+    /// pass (DESIGN.md D15).
+    ///
+    /// Block-at-a-time with a **selection vector**: each bytecode block
+    /// runs over every still-live record before the next block starts,
+    /// so the per-instruction dispatch cost is paid once per block per
+    /// batch instead of once per instruction per record. Records whose
+    /// conjunction accumulator becomes definite `FALSE` (or whose block
+    /// errored) drop out of the selection, exactly mirroring the
+    /// short-circuit in per-event evaluation. Blocks with control flow
+    /// (CASE, IN) diverge per record and take a record-at-a-time
+    /// fallback through [`run_block`](Self::run_block) — semantics, not
+    /// speed, are the invariant there.
+    ///
+    /// `out[i]` is byte-identical to `self.eval(get(&items[i]))` for
+    /// every `i` — same values, same 3VL, same error and error order —
+    /// which `tests/prop_batch_eval.rs` asserts differentially. Operand
+    /// slots hold owned [`Value`]s (scalar copies; `Arc` bumps for
+    /// strings), so `scratch` is reusable across batches of any
+    /// lifetime and the steady state allocates nothing per event
+    /// (asserted by `tests/alloc_free.rs`).
+    pub fn eval_batch<'s, T, F>(
+        &'s self,
+        items: &'s [T],
+        get: F,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Result<Value>>,
+    ) where
+        F: Fn(&'s T) -> &'s Record,
+    {
+        let n = items.len();
+        out.clear();
+        out.extend((0..n).map(|_| Ok(Value::Null)));
+        if n == 0 {
+            return;
+        }
+        BATCHES_TOTAL.fetch_add(1, Ordering::Relaxed);
+        BATCHED_RECORDS_TOTAL.fetch_add(n as u64, Ordering::Relaxed);
+
+        let mut live = std::mem::take(&mut scratch.live);
+        let mut next = std::mem::take(&mut scratch.next);
+        let mut acc = std::mem::take(&mut scratch.acc);
+        let mut stack = std::mem::take(&mut scratch.stack);
+        let mut dead = std::mem::take(&mut scratch.dead);
+        live.clear();
+        live.extend(0..n as u32);
+        acc.clear();
+        acc.resize(n, Value::Null);
+
+        let feedback = self.feedback.load(Ordering::Relaxed);
+        // Fallback operand stack for control-flow blocks; one (lazy)
+        // allocation per call, shared by every record in the batch.
+        let mut cow_stack: Vec<Cow<'s, Value>> = Vec::new();
+
+        for (bi, block) in self.blocks.iter().enumerate() {
+            if live.is_empty() {
+                break;
+            }
+            let nlive = live.len();
+            dead.clear();
+            dead.resize(nlive, false);
+            // Result slot for live position `p` is `stack[p * stride]`.
+            // The stack grows but is never cleared: straight-line
+            // discipline writes every slot before reading it, so stale
+            // values from earlier batches are unobservable (and bounded
+            // by the largest batch seen).
+            let stride = if block.straight {
+                let stride = block.max_stack.max(1);
+                let need = nlive * stride;
+                if stack.len() < need {
+                    stack.resize(need, Value::Null);
+                }
+                self.run_block_batch(block, items, &get, &live, &mut dead, &mut stack, stride, out);
+                stride
+            } else {
+                if cow_stack.len() < self.max_stack {
+                    cow_stack.resize(self.max_stack, Cow::Borrowed(&NULL));
+                }
+                if stack.len() < nlive {
+                    stack.resize(nlive, Value::Null);
+                }
+                for (p, &ri) in live.iter().enumerate() {
+                    let record = get(&items[ri as usize]);
+                    match self.run_block(block, record, &mut cow_stack) {
+                        Ok(v) => stack[p] = v.into_owned(),
+                        Err(e) => {
+                            dead[p] = true;
+                            out[ri as usize] = Err(e);
+                        }
+                    }
+                }
+                1
+            };
+
+            // Fold block results into the conjunction accumulator; the
+            // Kleene AND short-circuits on FALSE only, as in
+            // `eval_blocks`.
+            let mut evals = 0u64;
+            let mut passes = 0u64;
+            next.clear();
+            for (p, &ri) in live.iter().enumerate() {
+                if dead[p] {
+                    continue;
+                }
+                let v = std::mem::replace(&mut stack[p * stride], Value::Null);
+                evals += 1;
+                if v.as_bool() != Some(false) {
+                    passes += 1;
+                }
+                let ri = ri as usize;
+                let a = if bi == 0 { v } else { three_and(&acc[ri], &v) };
+                if a.as_bool() == Some(false) {
+                    out[ri] = Ok(a);
+                } else {
+                    acc[ri] = a;
+                    next.push(ri as u32);
+                }
+            }
+            if feedback {
+                block.evals.fetch_add(evals, Ordering::Relaxed);
+                block.passes.fetch_add(passes, Ordering::Relaxed);
+            }
+            std::mem::swap(&mut live, &mut next);
+        }
+        for &ri in &live {
+            let ri = ri as usize;
+            out[ri] = Ok(std::mem::replace(&mut acc[ri], Value::Null));
+        }
+
+        scratch.live = live;
+        scratch.next = next;
+        scratch.acc = acc;
+        scratch.stack = stack;
+        scratch.dead = dead;
+    }
+
+    /// Predicate form of [`eval_batch`](Self::eval_batch): `out[i]`
+    /// matches `self.matches(get(&items[i]))` exactly, and
+    /// [`BatchScratch::selection`] afterwards holds the indices of
+    /// matching records (the selection vector downstream stages iterate
+    /// instead of re-touching every record).
+    pub fn matches_batch<'s, T, F>(
+        &'s self,
+        items: &'s [T],
+        get: F,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Result<bool>>,
+    ) where
+        F: Fn(&'s T) -> &'s Record,
+    {
+        let mut vals = std::mem::take(&mut scratch.vals);
+        self.eval_batch(items, get, scratch, &mut vals);
+        out.clear();
+        scratch.sel.clear();
+        for (i, r) in vals.drain(..).enumerate() {
+            out.push(match r {
+                Ok(v) => {
+                    let hit = v.as_bool().unwrap_or(false);
+                    if hit {
+                        scratch.sel.push(i as u32);
+                    }
+                    Ok(hit)
+                }
+                Err(e) => Err(e),
+            });
+        }
+        scratch.vals = vals;
+    }
+
+    /// The vectorized interpreter for a straight-line block: one match
+    /// per instruction, then a tight loop over the live records — the
+    /// dispatch amortization the batch path exists for. Stack discipline
+    /// is uniform across records (no branches), so a single `sp` serves
+    /// the whole batch; a record that errors mid-block is marked dead
+    /// and skipped by the remaining instructions (its error is already
+    /// in `out`, at exactly the instruction per-event evaluation would
+    /// have raised it).
+    #[allow(clippy::too_many_arguments)]
+    fn run_block_batch<'s, T, F>(
+        &'s self,
+        block: &Block,
+        items: &'s [T],
+        get: &F,
+        live: &[u32],
+        dead: &mut [bool],
+        stack: &mut [Value],
+        stride: usize,
+        out: &mut [Result<Value>],
+    ) where
+        F: Fn(&'s T) -> &'s Record,
+    {
+        /// Iterate live, non-dead records: `$p` is the live position
+        /// (stack base `$p * stride`), `$ri` the batch index.
+        macro_rules! each {
+            (|$p:ident, $ri:ident| $body:expr) => {
+                for ($p, &$ri) in live.iter().enumerate() {
+                    if dead[$p] {
+                        continue;
+                    }
+                    let $ri = $ri as usize;
+                    $body
+                }
+            };
+        }
+        /// Fold a fallible per-record result into the stack slot `$dst`,
+        /// killing the record on error.
+        macro_rules! fallible {
+            ($p:ident, $ri:ident, $dst:expr, $res:expr) => {
+                match $res {
+                    Ok(v) => $dst = v,
+                    Err(e) => {
+                        dead[$p] = true;
+                        out[$ri] = Err(e);
+                    }
+                }
+            };
+        }
+        let mut sp = 0usize;
+        for inst in &block.insts {
+            match inst {
+                Inst::Const(i) => {
+                    let c = &self.consts[*i as usize];
+                    each!(|p, _ri| stack[p * stride + sp] = c.clone());
+                    sp += 1;
+                }
+                Inst::Field(i) => {
+                    each!(|p, ri| {
+                        let record = get(&items[ri]);
+                        stack[p * stride + sp] =
+                            record.get(*i as usize).cloned().unwrap_or(Value::Null);
+                    });
+                    sp += 1;
+                }
+                Inst::Not => {
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        fallible!(p, ri, stack[b + sp - 1], not_value(&stack[b + sp - 1]));
+                    });
+                }
+                Inst::Neg => {
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        fallible!(p, ri, stack[b + sp - 1], neg_value(&stack[b + sp - 1]));
+                    });
+                }
+                Inst::IsNull { negated } => {
+                    each!(|p, _ri| {
+                        let b = p * stride;
+                        stack[b + sp - 1] = Value::Bool(stack[b + sp - 1].is_null() != *negated);
+                    });
+                }
+                Inst::Cmp(op) => {
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        fallible!(
+                            p,
+                            ri,
+                            stack[b + sp - 2],
+                            three_cmp(&stack[b + sp - 2], &stack[b + sp - 1], *op)
+                        );
+                    });
+                    sp -= 1;
+                }
+                Inst::Arith(op) => {
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        fallible!(
+                            p,
+                            ri,
+                            stack[b + sp - 2],
+                            arith(*op, &stack[b + sp - 2], &stack[b + sp - 1])
+                        );
+                    });
+                    sp -= 1;
+                }
+                Inst::And => {
+                    each!(|p, _ri| {
+                        let b = p * stride;
+                        stack[b + sp - 2] = three_and(&stack[b + sp - 2], &stack[b + sp - 1]);
+                    });
+                    sp -= 1;
+                }
+                Inst::Or => {
+                    each!(|p, _ri| {
+                        let b = p * stride;
+                        stack[b + sp - 2] = three_or(&stack[b + sp - 2], &stack[b + sp - 1]);
+                    });
+                    sp -= 1;
+                }
+                Inst::Pop => {
+                    sp -= 1;
+                }
+                Inst::Between { negated } => {
+                    // Same evaluation order as `run_block`: v ≥ lo first,
+                    // so an error there masks one in v ≤ hi.
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        let ge = three_cmp(&stack[b + sp - 3], &stack[b + sp - 2], BinaryOp::Ge);
+                        match ge {
+                            Ok(ge) => {
+                                let le =
+                                    three_cmp(&stack[b + sp - 3], &stack[b + sp - 1], BinaryOp::Le);
+                                fallible!(
+                                    p,
+                                    ri,
+                                    stack[b + sp - 3],
+                                    le.map(|le| three_negate(&three_and(&ge, &le), *negated))
+                                );
+                            }
+                            Err(e) => {
+                                dead[p] = true;
+                                out[ri] = Err(e);
+                            }
+                        }
+                    });
+                    sp -= 2;
+                }
+                Inst::Like { negated } => {
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        fallible!(
+                            p,
+                            ri,
+                            stack[b + sp - 2],
+                            like_values(&stack[b + sp - 2], &stack[b + sp - 1], *negated)
+                        );
+                    });
+                    sp -= 1;
+                }
+                Inst::LikeConst {
+                    pat,
+                    matcher,
+                    negated,
+                } => {
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        let slot = &mut stack[b + sp - 1];
+                        match slot.as_str() {
+                            Some(s) => *slot = Value::Bool(matcher.matches(s) != *negated),
+                            None if slot.is_null() => *slot = Value::Null,
+                            None => {
+                                dead[p] = true;
+                                out[ri] = Err(Error::Type(format!(
+                                    "LIKE applied to {} / {}",
+                                    slot, &self.consts[*pat as usize]
+                                )));
+                            }
+                        }
+                    });
+                }
+                Inst::Call { func, argc } => {
+                    let argc = *argc as usize;
+                    each!(|p, ri| {
+                        let b = p * stride;
+                        let res = ARG_SCRATCH.with(|cell| {
+                            let mut arg_scratch = cell.borrow_mut();
+                            arg_scratch.clear();
+                            arg_scratch.extend_from_slice(&stack[b + sp - argc..b + sp]);
+                            (func.call)(&arg_scratch)
+                        });
+                        fallible!(p, ri, stack[b + sp - argc], res);
+                    });
+                    sp -= argc;
+                    sp += 1;
+                }
+                Inst::InFinish { negated } => {
+                    each!(|p, _ri| {
+                        let b = p * stride;
+                        let saw = stack[b + sp - 1].as_bool() == Some(true);
+                        stack[b + sp - 2] =
+                            if saw { Value::Null } else { Value::Bool(*negated) };
+                    });
+                    sp -= 1;
+                }
+                Inst::FieldCmpConst { field, konst, op } => {
+                    let konst = &self.consts[*konst as usize];
+                    // Numeric constants take a typed path: the constant's
+                    // type is dispatched once per batch, so the loop
+                    // compares scalars directly. Promotions mirror
+                    // `Value::sql_cmp` exactly; anything non-numeric and
+                    // non-null falls back to `three_cmp` for identical
+                    // error text.
+                    match NumConst::of(konst) {
+                        Some(k) => {
+                            each!(|p, ri| {
+                                let record = get(&items[ri]);
+                                let v = record.get(*field as usize).unwrap_or(&NULL);
+                                match k.cmp_value(v) {
+                                    Some(ord) => {
+                                        stack[p * stride + sp] = Value::Bool(ord_holds(ord, *op));
+                                    }
+                                    None if v.is_null() => {
+                                        stack[p * stride + sp] = Value::Null;
+                                    }
+                                    None => fallible!(
+                                        p,
+                                        ri,
+                                        stack[p * stride + sp],
+                                        three_cmp(v, konst, *op)
+                                    ),
+                                }
+                            });
+                        }
+                        None => {
+                            each!(|p, ri| {
+                                let record = get(&items[ri]);
+                                let v = record.get(*field as usize).unwrap_or(&NULL);
+                                fallible!(p, ri, stack[p * stride + sp], three_cmp(v, konst, *op));
+                            });
+                        }
+                    }
+                    sp += 1;
+                }
+                Inst::FieldBetweenConst {
+                    field,
+                    lo,
+                    hi,
+                    negated,
+                } => {
+                    let lo = &self.consts[*lo as usize];
+                    let hi = &self.consts[*hi as usize];
+                    // Both bounds numeric → typed path (see FieldCmpConst);
+                    // a null value stays NULL, a non-numeric one falls
+                    // back for the exact per-event error (v ≥ lo raises
+                    // first, masking v ≤ hi, as in `run_block`).
+                    match (NumConst::of(lo), NumConst::of(hi)) {
+                        (Some(klo), Some(khi)) => {
+                            each!(|p, ri| {
+                                let record = get(&items[ri]);
+                                let v = record.get(*field as usize).unwrap_or(&NULL);
+                                match (klo.cmp_value(v), khi.cmp_value(v)) {
+                                    (Some(ge), Some(le)) => {
+                                        let inside = ge != std::cmp::Ordering::Less
+                                            && le != std::cmp::Ordering::Greater;
+                                        stack[p * stride + sp] =
+                                            Value::Bool(inside != *negated);
+                                    }
+                                    _ if v.is_null() => {
+                                        stack[p * stride + sp] = Value::Null;
+                                    }
+                                    _ => {
+                                        let e = three_cmp(v, lo, BinaryOp::Ge)
+                                            .expect_err("non-numeric non-null vs numeric");
+                                        dead[p] = true;
+                                        out[ri] = Err(e);
+                                    }
+                                }
+                            });
+                        }
+                        _ => {
+                            each!(|p, ri| {
+                                let record = get(&items[ri]);
+                                let v = record.get(*field as usize).unwrap_or(&NULL);
+                                match three_cmp(v, lo, BinaryOp::Ge) {
+                                    Ok(ge) => fallible!(
+                                        p,
+                                        ri,
+                                        stack[p * stride + sp],
+                                        three_cmp(v, hi, BinaryOp::Le)
+                                            .map(|le| three_negate(&three_and(&ge, &le), *negated))
+                                    ),
+                                    Err(e) => {
+                                        dead[p] = true;
+                                        out[ri] = Err(e);
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    sp += 1;
+                }
+                Inst::Jump(_)
+                | Inst::JumpIfFalse(_)
+                | Inst::JumpIfTrue(_)
+                | Inst::JumpIfNull(_)
+                | Inst::BranchNotTrue(_)
+                | Inst::CaseNeJump(_)
+                | Inst::InCmp { .. } => {
+                    unreachable!("control flow in straight-line block")
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "block left {sp} values");
+    }
+}
+
+/// A numeric constant with its type dispatched once per batch, so the
+/// per-record loops of `FieldCmpConst` / `FieldBetweenConst` compare
+/// scalars without re-matching the constant's variant.
+#[derive(Clone, Copy)]
+enum NumConst {
+    I(i64),
+    F(f64),
+}
+
+impl NumConst {
+    #[inline]
+    fn of(v: &Value) -> Option<NumConst> {
+        match v {
+            Value::Int(k) => Some(NumConst::I(*k)),
+            Value::Float(k) => Some(NumConst::F(*k)),
+            _ => None,
+        }
+    }
+
+    /// `v` compared to the constant (`v ⋄ k`), with the same numeric
+    /// promotions as [`Value::sql_cmp`]; `None` for anything non-numeric.
+    #[inline]
+    fn cmp_value(self, v: &Value) -> Option<std::cmp::Ordering> {
+        match (v, self) {
+            (Value::Int(x), NumConst::I(k)) => Some(x.cmp(&k)),
+            (Value::Int(x), NumConst::F(k)) => Some((*x as f64).total_cmp(&k)),
+            (Value::Float(x), NumConst::I(k)) => Some(x.total_cmp(&(k as f64))),
+            (Value::Float(x), NumConst::F(k)) => Some(x.total_cmp(&k)),
+            _ => None,
+        }
+    }
+}
+
+/// Does `ord` satisfy `op`? Mirrors the comparison table in `three_cmp`.
+#[inline]
+fn ord_holds(ord: std::cmp::Ordering, op: BinaryOp) -> bool {
+    match op {
+        BinaryOp::Eq => ord == std::cmp::Ordering::Equal,
+        BinaryOp::Ne => ord != std::cmp::Ordering::Equal,
+        BinaryOp::Lt => ord == std::cmp::Ordering::Less,
+        BinaryOp::Le => ord != std::cmp::Ordering::Greater,
+        BinaryOp::Gt => ord == std::cmp::Ordering::Greater,
+        BinaryOp::Ge => ord != std::cmp::Ordering::Less,
+        _ => unreachable!("non-comparison op in FieldCmpConst"),
+    }
+}
+
+/// Reusable per-thread state for [`CompiledExpr::eval_batch`]: operand
+/// stacks, selection vectors and the conjunction accumulator. Holding
+/// one per evaluating thread and reusing it across batches keeps the
+/// batch path allocation-free per event in the steady state.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Record-major operand stacks (live position `p` at `p * stride`).
+    stack: Vec<Value>,
+    /// Selection vector: batch indices still live.
+    live: Vec<u32>,
+    /// Selection vector under construction for the next block.
+    next: Vec<u32>,
+    /// Per-live-position "errored in this block" flags.
+    dead: Vec<bool>,
+    /// Per-batch-index conjunction accumulator.
+    acc: Vec<Value>,
+    /// Matching indices from the last `matches_batch` call.
+    sel: Vec<u32>,
+    /// Value-result buffer backing `matches_batch`.
+    vals: Vec<Result<Value>>,
+}
+
+impl BatchScratch {
+    /// Fresh scratch (all buffers empty; they grow to batch size on
+    /// first use and are reused afterwards).
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// Indices of matching records from the last
+    /// [`CompiledExpr::matches_batch`] call, in record order.
+    pub fn selection(&self) -> &[u32] {
+        &self.sel
     }
 }
 

@@ -55,7 +55,7 @@ pub mod typecheck;
 pub use analysis::{analyze, ConjunctiveForm, Constraint};
 pub use ast::{BinaryOp, Expr, UnaryOp};
 pub use bind::BoundExpr;
-pub use compile::{compiler_stats, CompiledExpr, CompilerStats, FoldStats};
+pub use compile::{batch_stats, compiler_stats, BatchScratch, CompiledExpr, CompilerStats, FoldStats};
 pub use like::LikePattern;
 pub use parser::parse;
 

@@ -6,25 +6,35 @@
 //! aspirational.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-use evdb_expr::{parse, CompiledExpr};
+use evdb_expr::{parse, BatchScratch, CompiledExpr};
 use evdb_types::{DataType, FieldDef, Record, Schema, Value};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread count: a process-global counter picks up allocations from
+// libtest's harness threads (e.g. the lazy blocking-context init inside
+// `mpsc::recv`) and flakes the assertions. Const-init + no destructor
+// means accessing this inside the allocator can never itself allocate.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -48,11 +58,30 @@ fn allocs_per_eval(predicate: &str, record: &Record, iters: u64) -> u64 {
     // Warm once: thread-local scratch (function args) may lazily
     // initialize on first use; steady-state is what callers pay.
     let _ = compiled.matches(record).unwrap();
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for _ in 0..iters {
         std::hint::black_box(compiled.matches(std::hint::black_box(record)).unwrap());
     }
-    ALLOCS.load(Ordering::Relaxed) - before
+    thread_allocs() - before
+}
+
+/// Count allocations across `batches` batch evaluations of `predicate`
+/// over `rows`, with one [`BatchScratch`] reused throughout (as the hot
+/// path holds one per evaluating thread).
+fn allocs_per_batch(predicate: &str, rows: &[Record], batches: u64) -> u64 {
+    let s = schema();
+    let compiled = CompiledExpr::compile(&parse(predicate).unwrap().bind_predicate(&s).unwrap());
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    // Warm once: scratch buffers and the output vector size themselves
+    // to the batch on first use; steady-state reuses them.
+    compiled.matches_batch(rows, |r| r, &mut scratch, &mut out);
+    let before = thread_allocs();
+    for _ in 0..batches {
+        compiled.matches_batch(std::hint::black_box(rows), |r| r, &mut scratch, &mut out);
+        std::hint::black_box(&out);
+    }
+    thread_allocs() - before
 }
 
 #[test]
@@ -91,6 +120,55 @@ fn string_compare_and_like_are_allocation_free() {
         ),
         0,
         "string compiled path allocated on the heap"
+    );
+}
+
+#[test]
+fn batch_eval_is_allocation_free_per_event() {
+    // 64 records per batch, mixed pass/fail so the selection vector
+    // actually shrinks mid-batch; 1000 batches = 64k events.
+    let rows: Vec<Record> = (0..64)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i),
+                Value::Float(i as f64 / 2.0),
+                Value::from(if i % 2 == 0 { "IBM-preferred" } else { "MSFT" }),
+            ])
+        })
+        .collect();
+    assert_eq!(
+        allocs_per_batch(
+            "a > 10 AND b < 100.0 AND a BETWEEN 0 AND 50 AND a * 2 + 1 <> 85 AND s LIKE 'IBM%'",
+            &rows,
+            1000,
+        ),
+        0,
+        "batch path allocated on the heap after warmup"
+    );
+}
+
+#[test]
+fn batch_eval_string_values_are_allocation_free() {
+    // String operands flow through owned Value slots in the batch
+    // stacks; `Value::Str` is refcounted, so the copies must not touch
+    // the heap.
+    let rows: Vec<Record> = (0..64)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i),
+                Value::Float(1.0),
+                Value::from("IBM-preferred"),
+            ])
+        })
+        .collect();
+    assert_eq!(
+        allocs_per_batch(
+            "s = 'IBM-preferred' AND s LIKE '%prefer%' AND s IS NOT NULL",
+            &rows,
+            1000,
+        ),
+        0,
+        "batch string path allocated on the heap after warmup"
     );
 }
 

@@ -1,0 +1,272 @@
+//! Differential property tests for the batch evaluator (D15): for
+//! random expression trees, random records, and random batch sizes,
+//! `CompiledExpr::eval_batch` must be **byte-identical** to per-event
+//! `CompiledExpr::eval` — same values, same NULL 3VL, same errors with
+//! the same messages (error-surfacing order inside a record is part of
+//! the contract) — and value-identical to the tree interpreter where
+//! both succeed. Scratch reuse across batches must not leak state
+//! between calls.
+
+use proptest::prelude::*;
+
+use evdb_expr::{BatchScratch, BinaryOp, CompiledExpr, Expr, UnaryOp};
+use evdb_types::{DataType, FieldDef, Record, Schema, Value};
+
+/// Leaves over the test schema `(a INT, b FLOAT, s STR, flag BOOL)`,
+/// with overflow-edge integers so fallible arithmetic is exercised.
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-100i64..100).prop_map(Expr::lit),
+        Just(Expr::lit(i64::MAX)),
+        Just(Expr::lit(i64::MIN)),
+        Just(Expr::lit(0i64)),
+        (-100.0f64..100.0).prop_map(|f| Expr::lit((f * 10.0).round() / 10.0)),
+        "[a-cé%_]{0,4}".prop_map(|s| Expr::lit(s.as_str())),
+        Just(Expr::lit(true)),
+        Just(Expr::Literal(Value::Null)),
+        Just(Expr::field("a")),
+        Just(Expr::field("b")),
+        Just(Expr::field("s")),
+        Just(Expr::field("flag")),
+    ]
+}
+
+/// Trees mixing straight-line shapes (comparisons, arithmetic,
+/// BETWEEN, LIKE, functions) with control-flow ones (CASE, IN) so both
+/// the vectorized interpreter and its record-at-a-time fallback run.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(3, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Lt, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Eq, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Add, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Mul, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Div, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(BinaryOp::Mod, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (inner.clone(), "[a-cé%_]{0,4}", any::<bool>()).prop_map(|(e, p, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(Expr::lit(p.as_str())),
+                    negated,
+                }
+            }),
+            inner.clone().prop_map(|e| Expr::Func {
+                name: "abs".into(),
+                args: vec![e]
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(e, n)| Expr::Func {
+                name: "substr".into(),
+                args: vec![e, n]
+            }),
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner),
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    operand: None,
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+        ]
+    })
+}
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        FieldDef::nullable("a", DataType::Int),
+        FieldDef::nullable("b", DataType::Float),
+        FieldDef::nullable("s", DataType::Str),
+        FieldDef::nullable("flag", DataType::Bool),
+    ])
+    .unwrap()
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        proptest::option::of(prop_oneof![
+            -100i64..100,
+            Just(i64::MAX),
+            Just(i64::MIN),
+            Just(0i64)
+        ]),
+        proptest::option::of(-100.0f64..100.0),
+        proptest::option::of("[a-cé]{0,4}"),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(|(a, b, s, f)| {
+            Record::new(vec![
+                a.map(Value::Int).unwrap_or(Value::Null),
+                b.map(Value::Float).unwrap_or(Value::Null),
+                s.map(|x| Value::from(x.as_str())).unwrap_or(Value::Null),
+                f.map(Value::Bool).unwrap_or(Value::Null),
+            ])
+        })
+}
+
+/// Batch output vs per-record `eval`: values equal, errors equal *by
+/// message* (same engine, so the surfaced error — and therefore which
+/// instruction raised it first — must be identical).
+fn assert_batch_identical(
+    expr: &Expr,
+    compiled: &CompiledExpr,
+    records: &[Record],
+    scratch: &mut BatchScratch,
+) -> Result<(), TestCaseError> {
+    let mut out = Vec::new();
+    compiled.eval_batch(records, |r| r, scratch, &mut out);
+    prop_assert_eq!(out.len(), records.len());
+    for (i, (r, got)) in records.iter().zip(&out).enumerate() {
+        match (compiled.eval(r), got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                &a,
+                b,
+                "batch diverges from per-event at [{}] on `{}` over {:?}",
+                i,
+                expr,
+                r
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "batch surfaces a different error at [{}] on `{}` over {:?}",
+                i,
+                expr,
+                r
+            ),
+            (a, b) => prop_assert!(
+                false,
+                "only one path errored at [{}] on `{}` over {:?}: per-event={:?} batch={:?}",
+                i,
+                expr,
+                r,
+                a,
+                b
+            ),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The core property: batch ≡ per-event ≡ interpreter, across
+    /// random batch sizes, with one scratch reused for every batch.
+    #[test]
+    fn batch_agrees_with_per_event_and_interpreter(
+        e in arb_expr(),
+        rs in proptest::collection::vec(arb_record(), 0..24),
+    ) {
+        let schema = schema();
+        let Ok(bound) = e.bind(&schema) else { return Ok(()) };
+        let compiled = CompiledExpr::compile(&bound);
+        let mut scratch = BatchScratch::new();
+        // Twice with the same scratch: the second run catches any state
+        // leaking between batches.
+        assert_batch_identical(&e, &compiled, &rs, &mut scratch)?;
+        assert_batch_identical(&e, &compiled, &rs, &mut scratch)?;
+        // Against the tree interpreter where both succeed.
+        let mut out = Vec::new();
+        compiled.eval_batch(&rs, |r| r, &mut scratch, &mut out);
+        for (r, got) in rs.iter().zip(&out) {
+            if let (Ok(a), Ok(b)) = (bound.eval(r), got) {
+                prop_assert_eq!(&a, b, "batch diverges from interpreter on `{}` over {:?}", &e, r);
+            }
+        }
+    }
+
+    /// `matches_batch` ≡ `matches`, and the selection vector holds
+    /// exactly the matching indices in order.
+    #[test]
+    fn matches_batch_agrees(
+        e in arb_expr(),
+        rs in proptest::collection::vec(arb_record(), 0..24),
+    ) {
+        let schema = schema();
+        let Ok(bound) = e.bind_predicate(&schema) else { return Ok(()) };
+        let compiled = CompiledExpr::compile(&bound);
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        compiled.matches_batch(&rs, |r| r, &mut scratch, &mut out);
+        prop_assert_eq!(out.len(), rs.len());
+        let mut want_sel = Vec::new();
+        for (i, (r, got)) in rs.iter().zip(&out).enumerate() {
+            match (compiled.matches(r), got) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a, *b, "matches diverges at [{}] on `{}` over {:?}", i, &e, r);
+                    if a {
+                        want_sel.push(i as u32);
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(
+                    false,
+                    "only one path errored at [{}] on `{}`: per-event={:?} batch={:?}",
+                    i, &e, a, b
+                ),
+            }
+        }
+        prop_assert_eq!(scratch.selection(), want_sel.as_slice());
+    }
+}
+
+/// Deterministic spot checks for the semantics the batch path must not
+/// bend: mid-batch errors kill only their record, short-circuit FALSE
+/// skips later (fallible) blocks, NULL accumulates per Kleene AND.
+#[test]
+fn batch_error_isolation_and_short_circuit() {
+    let s = schema();
+    let compiled = CompiledExpr::compile(
+        &evdb_expr::parse("a < 10 AND abs(a) >= 0")
+            .unwrap()
+            .bind_predicate(&s)
+            .unwrap(),
+    );
+    let rows = vec![
+        Record::new(vec![Value::Int(1), Value::Null, Value::Null, Value::Null]),
+        // abs(i64::MIN) overflows — but only if the first conjunct passes.
+        Record::new(vec![Value::Int(i64::MIN), Value::Null, Value::Null, Value::Null]),
+        // First conjunct FALSE: fallible block must never run.
+        Record::new(vec![Value::Int(99), Value::Null, Value::Null, Value::Null]),
+        Record::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]),
+    ];
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    compiled.eval_batch(&rows, |r| r, &mut scratch, &mut out);
+    assert_eq!(out[0].as_ref().unwrap(), &Value::Bool(true));
+    assert!(out[1].is_err(), "overflow must surface for its record");
+    assert_eq!(out[2].as_ref().unwrap(), &Value::Bool(false));
+    assert_eq!(out[3].as_ref().unwrap(), &Value::Null, "NULL AND … stays NULL");
+}

@@ -25,7 +25,7 @@ use evdb_expr::{analyze, BoundExpr, CompiledExpr, Constraint};
 use evdb_obs::{Counter, Registry};
 use evdb_types::{Error, Record, Result, Schema, Value};
 
-use crate::matcher::Matcher;
+use crate::matcher::{MatchScratch, Matcher};
 use crate::rule::{Rule, RuleId};
 
 /// How candidate predicates are verified (experiment E15 compares both).
@@ -176,6 +176,59 @@ impl IndexedMatcher {
     pub fn unindexed_count(&self) -> usize {
         self.unindexed.len()
     }
+
+    /// Probe every field index and append the record's candidate rule
+    /// ids (shared by [`Matcher::match_record`] and
+    /// [`Matcher::match_batch`]; each candidate appears once — one
+    /// access posting per rule, IN values are distinct).
+    fn collect_candidates(&self, record: &Record, candidates: &mut Vec<RuleId>) {
+        for (field_pos, fidx) in self.fields.iter().enumerate() {
+            let Some(v) = record.get(field_pos) else { continue };
+            if v.is_null() {
+                continue;
+            }
+            if let Some(rules) = fidx.eq.get(v) {
+                candidates.extend_from_slice(rules);
+            }
+            if !fidx.low_keyed.is_empty() {
+                let upper = (v.clone(), u64::MAX);
+                for ((low, _), entry) in fidx.low_keyed.range(..=upper) {
+                    let low_ok = match v.sql_cmp(low) {
+                        Some(std::cmp::Ordering::Greater) => true,
+                        Some(std::cmp::Ordering::Equal) => entry.low_inclusive,
+                        _ => false,
+                    };
+                    if !low_ok {
+                        continue;
+                    }
+                    let high_ok = match &entry.high {
+                        None => true,
+                        Some((h, inc)) => match v.sql_cmp(h) {
+                            Some(std::cmp::Ordering::Less) => true,
+                            Some(std::cmp::Ordering::Equal) => *inc,
+                            _ => false,
+                        },
+                    };
+                    if high_ok {
+                        candidates.push(entry.rule);
+                    }
+                }
+            }
+            if !fidx.high_keyed.is_empty() {
+                let lower = (v.clone(), 0u64);
+                for ((high, _), entry) in fidx.high_keyed.range(lower..) {
+                    let ok = match v.sql_cmp(high) {
+                        Some(std::cmp::Ordering::Less) => true,
+                        Some(std::cmp::Ordering::Equal) => entry.inclusive,
+                        _ => false,
+                    };
+                    if ok {
+                        candidates.push(entry.rule);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Matcher for IndexedMatcher {
@@ -309,53 +362,7 @@ impl Matcher for IndexedMatcher {
 
     fn match_record(&self, record: &Record) -> Result<Vec<RuleId>> {
         let mut candidates: Vec<RuleId> = Vec::new();
-
-        for (field_pos, fidx) in self.fields.iter().enumerate() {
-            let Some(v) = record.get(field_pos) else { continue };
-            if v.is_null() {
-                continue;
-            }
-            if let Some(rules) = fidx.eq.get(v) {
-                candidates.extend_from_slice(rules);
-            }
-            if !fidx.low_keyed.is_empty() {
-                let upper = (v.clone(), u64::MAX);
-                for ((low, _), entry) in fidx.low_keyed.range(..=upper) {
-                    let low_ok = match v.sql_cmp(low) {
-                        Some(std::cmp::Ordering::Greater) => true,
-                        Some(std::cmp::Ordering::Equal) => entry.low_inclusive,
-                        _ => false,
-                    };
-                    if !low_ok {
-                        continue;
-                    }
-                    let high_ok = match &entry.high {
-                        None => true,
-                        Some((h, inc)) => match v.sql_cmp(h) {
-                            Some(std::cmp::Ordering::Less) => true,
-                            Some(std::cmp::Ordering::Equal) => *inc,
-                            _ => false,
-                        },
-                    };
-                    if high_ok {
-                        candidates.push(entry.rule);
-                    }
-                }
-            }
-            if !fidx.high_keyed.is_empty() {
-                let lower = (v.clone(), 0u64);
-                for ((high, _), entry) in fidx.high_keyed.range(lower..) {
-                    let ok = match v.sql_cmp(high) {
-                        Some(std::cmp::Ordering::Less) => true,
-                        Some(std::cmp::Ordering::Equal) => entry.inclusive,
-                        _ => false,
-                    };
-                    if ok {
-                        candidates.push(entry.rule);
-                    }
-                }
-            }
-        }
+        self.collect_candidates(record, &mut candidates);
 
         // Verify full predicates on candidates (each candidate appears
         // once: one access posting per rule, IN values are distinct).
@@ -382,6 +389,219 @@ impl Matcher for IndexedMatcher {
             c.add(out.len() as u64);
         }
         Ok(out)
+    }
+
+    /// Batched candidate-verify: records are bucketed *by probe value*
+    /// per indexed field, so every record sharing a value shares one
+    /// index probe, and each posting hit yields a rule-major group (the
+    /// rule plus the whole bucket) ready for one batch-VM pass — no
+    /// per-pair sorting or hashing. Per-record results — ids, ordering,
+    /// and first-error-wins — are reconstructed in the record's
+    /// original candidate order, so `out[i]` is identical to a
+    /// per-record call.
+    fn match_batch(
+        &self,
+        records: &[&Record],
+        scratch: &mut MatchScratch,
+        out: &mut Vec<Result<Vec<RuleId>>>,
+    ) {
+        if self.verify_mode == VerifyMode::Interpreted {
+            // Oracle mode: stay on the reference path.
+            out.clear();
+            out.extend(records.iter().map(|r| self.match_record(r)));
+            return;
+        }
+        let n = records.len();
+        let MatchScratch {
+            expr,
+            bools,
+            val_buckets,
+            bucket_lists,
+            groups,
+            grouped,
+            rec_cursor,
+            rec_off,
+            verdict_bits,
+            pair_rule,
+            errs,
+        } = scratch;
+
+        // Phase 1: bucket records by probe value, then walk each field's
+        // postings once per *distinct value* instead of once per record.
+        // Groups are appended in each record's candidate order (fields
+        // in schema order; per field eq then low-keyed then high-keyed,
+        // mirroring `collect_candidates`; unindexed rules last) — a
+        // record belongs to exactly one bucket per field, so the group
+        // build order restricted to that record is its verify order.
+        groups.clear();
+        grouped.clear();
+        rec_cursor.clear();
+        rec_cursor.resize(n, 0);
+        for (field_pos, fidx) in self.fields.iter().enumerate() {
+            if fidx.eq.is_empty() && fidx.low_keyed.is_empty() && fidx.high_keyed.is_empty() {
+                continue;
+            }
+            val_buckets.clear();
+            let mut nb = 0u32;
+            for (ri, record) in records.iter().enumerate() {
+                let Some(v) = record.get(field_pos) else { continue };
+                if v.is_null() {
+                    continue;
+                }
+                let b = match val_buckets.get(v) {
+                    Some(&b) => b,
+                    None => {
+                        let b = nb;
+                        nb += 1;
+                        if bucket_lists.len() <= b as usize {
+                            bucket_lists.push(Vec::new());
+                        } else {
+                            bucket_lists[b as usize].clear();
+                        }
+                        val_buckets.insert(v.clone(), b);
+                        b
+                    }
+                };
+                bucket_lists[b as usize].push(ri as u32);
+            }
+            for (v, &b) in val_buckets.iter() {
+                let recs = &bucket_lists[b as usize];
+                let mut push_group = |rule: RuleId| {
+                    let start = grouped.len() as u32;
+                    grouped.extend_from_slice(recs);
+                    for &r in recs {
+                        rec_cursor[r as usize] += 1;
+                    }
+                    groups.push((rule, start, recs.len() as u32));
+                };
+                if let Some(rules) = fidx.eq.get(v) {
+                    for &rule in rules {
+                        push_group(rule);
+                    }
+                }
+                if !fidx.low_keyed.is_empty() {
+                    let upper = (v.clone(), u64::MAX);
+                    for ((low, _), entry) in fidx.low_keyed.range(..=upper) {
+                        let low_ok = match v.sql_cmp(low) {
+                            Some(std::cmp::Ordering::Greater) => true,
+                            Some(std::cmp::Ordering::Equal) => entry.low_inclusive,
+                            _ => false,
+                        };
+                        if !low_ok {
+                            continue;
+                        }
+                        let high_ok = match &entry.high {
+                            None => true,
+                            Some((h, inc)) => match v.sql_cmp(h) {
+                                Some(std::cmp::Ordering::Less) => true,
+                                Some(std::cmp::Ordering::Equal) => *inc,
+                                _ => false,
+                            },
+                        };
+                        if high_ok {
+                            push_group(entry.rule);
+                        }
+                    }
+                }
+                if !fidx.high_keyed.is_empty() {
+                    let lower = (v.clone(), 0u64);
+                    for ((high, _), entry) in fidx.high_keyed.range(lower..) {
+                        let ok = match v.sql_cmp(high) {
+                            Some(std::cmp::Ordering::Less) => true,
+                            Some(std::cmp::Ordering::Equal) => entry.inclusive,
+                            _ => false,
+                        };
+                        if ok {
+                            push_group(entry.rule);
+                        }
+                    }
+                }
+            }
+        }
+        for &id in self.unindexed.keys() {
+            let start = grouped.len() as u32;
+            grouped.extend(0..n as u32);
+            for c in rec_cursor.iter_mut() {
+                *c += 1;
+            }
+            groups.push((id, start, n as u32));
+        }
+
+        // Phase 2: one batch-VM pass per group; verdicts scatter into
+        // record-major slots. Scatter cursors advance in group build
+        // order, which per record is its candidate order (see above).
+        rec_off.clear();
+        rec_off.reserve(n + 1);
+        let mut acc = 0u32;
+        rec_off.push(0);
+        for &cnt in rec_cursor.iter() {
+            acc += cnt;
+            rec_off.push(acc);
+        }
+        let total = grouped.len();
+        debug_assert_eq!(acc as usize, total);
+        for c in rec_cursor.iter_mut() {
+            *c = 0;
+        }
+        verdict_bits.clear();
+        verdict_bits.resize(total, false);
+        pair_rule.clear();
+        pair_rule.resize(total, 0);
+        errs.clear();
+        for &(rule, start, len) in groups.iter() {
+            let recs = &grouped[start as usize..(start + len) as usize];
+            let compiled = &self.rules[&rule].compiled;
+            compiled.matches_batch(recs, |i| records[*i as usize], expr, bools);
+            for (k, v) in bools.drain(..).enumerate() {
+                let rec = recs[k] as usize;
+                let j = (rec_off[rec] + rec_cursor[rec]) as usize;
+                rec_cursor[rec] += 1;
+                pair_rule[j] = rule;
+                match v {
+                    Ok(hit) => verdict_bits[j] = hit,
+                    Err(e) => errs.push((j as u32, Some(e))),
+                }
+            }
+        }
+
+        // Phase 3: reconstruct per-record outputs from the record-major
+        // verdict slots. Errors are rare; the sorted side table yields
+        // each record's *first* error (smallest slot = earliest in its
+        // candidate order), matching the per-record `?` abort.
+        errs.sort_unstable_by_key(|e| e.0);
+        out.clear();
+        let mut cand_total = 0u64;
+        let mut match_total = 0u64;
+        for ri in 0..n {
+            let lo = rec_off[ri] as usize;
+            let hi = rec_off[ri + 1] as usize;
+            if !errs.is_empty() {
+                let e = errs.partition_point(|e| (e.0 as usize) < lo);
+                if e < errs.len() && (errs[e].0 as usize) < hi {
+                    out.push(Err(errs[e].1.take().expect("first error taken once")));
+                    continue;
+                }
+            }
+            let mut ids: Vec<RuleId> = Vec::new();
+            for j in lo..hi {
+                if verdict_bits[j] {
+                    ids.push(pair_rule[j]);
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            // Counters fire only for records that completed, as on the
+            // per-record path (`?` aborts before them).
+            cand_total += (hi - lo) as u64;
+            match_total += ids.len() as u64;
+            out.push(Ok(ids));
+        }
+        if let Some(c) = &self.candidates_obs {
+            c.add(cand_total);
+        }
+        if let Some(c) = &self.matches_obs {
+            c.add(match_total);
+        }
     }
 
     fn len(&self) -> usize {

@@ -32,6 +32,6 @@ pub mod scan;
 
 pub use broker::{Broker, Publication, SubscriptionInfo};
 pub use indexed::{IndexedMatcher, VerifyMode};
-pub use matcher::Matcher;
+pub use matcher::{MatchScratch, Matcher};
 pub use rule::{Rule, RuleId};
 pub use scan::ScanMatcher;

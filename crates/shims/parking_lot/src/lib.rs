@@ -146,6 +146,58 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Whether a [`Condvar`] wait returned because the timeout elapsed.
+pub type WaitTimeoutResult = sync::WaitTimeoutResult;
+
+/// A condition variable paired with [`Mutex`], poisoning erased. The
+/// wait methods take the guard by value (std's signature) rather than
+/// `&mut` — a `std::sync::MutexGuard` cannot be re-acquired in place.
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified; returns the re-acquired guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match self.0.wait(guard) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok(r) => r,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one()
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

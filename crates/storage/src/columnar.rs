@@ -194,7 +194,7 @@ fn encode_stats(buf: &mut Vec<u8>, s: &ColumnStats) {
     put_u32(buf, s.nulls);
 }
 
-fn decode_stats(r: &mut Reader<'_>) -> Result<ColumnStats> {
+pub(crate) fn decode_stats(r: &mut Reader<'_>) -> Result<ColumnStats> {
     let bounds = match r.u8()? {
         0 => None,
         1 => {
@@ -263,57 +263,7 @@ impl Segment {
     /// Decode every row of one zone.
     pub fn decode_zone(&self, zi: usize) -> Result<Vec<StoredEvent>> {
         let z = &self.zones[zi];
-        let body = &self.buf[z.body.0..z.body.1];
-        let mut r = Reader::new(body);
-        let n = z.rows;
-        let mut seqs = Vec::with_capacity(n);
-        for _ in 0..n {
-            seqs.push(r.u64()?);
-        }
-        let mut ids = Vec::with_capacity(n);
-        for _ in 0..n {
-            ids.push(r.u64()?);
-        }
-        let mut ts = Vec::with_capacity(n);
-        for _ in 0..n {
-            ts.push(r.i64()?);
-        }
-        let mut retract = Vec::with_capacity(n);
-        for i in 0..n {
-            if i % 8 == 0 {
-                retract.push(r.u8()?);
-            }
-        }
-        let bit = |i: usize| retract[i / 8] >> (i % 8) & 1 == 1;
-        // Column-major payload values.
-        let ncols = self.schema.len();
-        let mut cols: Vec<Vec<Value>> = Vec::with_capacity(ncols);
-        for _ in 0..ncols {
-            let mut col = Vec::with_capacity(n);
-            for _ in 0..n {
-                col.push(decode_value(&mut r)?);
-            }
-            cols.push(col);
-        }
-        if !r.is_empty() {
-            return Err(Error::Corruption("trailing bytes in zone body".into()));
-        }
-        let mut out = Vec::with_capacity(n);
-        for i in (0..n).rev() {
-            let values: Vec<Value> = cols.iter_mut().map(|c| c.pop().expect("len")).collect();
-            out.push((i, values));
-        }
-        out.reverse();
-        Ok(out
-            .into_iter()
-            .map(|(i, values)| StoredEvent {
-                seq: seqs[i],
-                id: ids[i],
-                timestamp: TimestampMs(ts[i]),
-                retraction: bit(i),
-                payload: Record::new(values),
-            })
-            .collect())
+        decode_zone_rows(&self.schema, z.rows, &self.buf[z.body.0..z.body.1])
     }
 
     /// Decode every row of the segment (the row-scan baseline).
@@ -324,6 +274,61 @@ impl Segment {
         }
         Ok(out)
     }
+}
+
+/// Decode `n` rows from one zone's body bytes — shared by the
+/// whole-buffer [`Segment::decode_zone`] and the segment store's
+/// chunked-read scan path, which fetches one zone body at a time.
+pub(crate) fn decode_zone_rows(schema: &Schema, n: usize, body: &[u8]) -> Result<Vec<StoredEvent>> {
+    let mut r = Reader::new(body);
+    let mut seqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        seqs.push(r.u64()?);
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u64()?);
+    }
+    let mut ts = Vec::with_capacity(n);
+    for _ in 0..n {
+        ts.push(r.i64()?);
+    }
+    let mut retract = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 8 == 0 {
+            retract.push(r.u8()?);
+        }
+    }
+    let bit = |i: usize| retract[i / 8] >> (i % 8) & 1 == 1;
+    // Column-major payload values.
+    let ncols = schema.len();
+    let mut cols: Vec<Vec<Value>> = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let mut col = Vec::with_capacity(n);
+        for _ in 0..n {
+            col.push(decode_value(&mut r)?);
+        }
+        cols.push(col);
+    }
+    if !r.is_empty() {
+        return Err(Error::Corruption("trailing bytes in zone body".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in (0..n).rev() {
+        let values: Vec<Value> = cols.iter_mut().map(|c| c.pop().expect("len")).collect();
+        out.push((i, values));
+    }
+    out.reverse();
+    Ok(out
+        .into_iter()
+        .map(|(i, values)| StoredEvent {
+            seq: seqs[i],
+            id: ids[i],
+            timestamp: TimestampMs(ts[i]),
+            retraction: bit(i),
+            payload: Record::new(values),
+        })
+        .collect())
 }
 
 /// Encode a batch of rows into a segment buffer. Rows are written in the

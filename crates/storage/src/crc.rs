@@ -36,12 +36,46 @@ pub fn verify(data: &[u8], expected: u32) -> bool {
 
 /// CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c: u32 = 0xFFFF_FFFF;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC-32: feed any chunking of a byte stream through
+/// [`update`](Crc32::update) and get the same digest `crc32` computes
+/// over the concatenation. Lets the segment store verify multi-megabyte
+/// files in fixed-size reads instead of loading them whole.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh digest.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    c ^ 0xFFFF_FFFF
+
+    /// Fold `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The digest over everything fed so far (the hasher stays usable).
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -54,6 +88,20 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1_000).collect();
+        let whole = crc32(&data);
+        for chunk in [1usize, 7, 64, 333, 1_000] {
+            let mut h = Crc32::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), whole, "chunk size {chunk}");
+        }
+        assert_eq!(Crc32::new().finalize(), 0);
     }
 
     #[test]

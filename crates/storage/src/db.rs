@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use evdb_expr::Expr;
@@ -32,7 +33,7 @@ use crate::crc::crc32;
 use crate::table::{Table, TableDef};
 use crate::trigger::{TriggerAction, TriggerDef, TriggerOps, TriggerTiming};
 use crate::txn::Transaction;
-use crate::wal::{fsync_dir, SyncPolicy, Wal, WalOp, WalTail};
+use crate::wal::{fsync_dir, GroupCommit, SyncPolicy, Wal, WalOp, WalTail};
 
 /// Database configuration.
 #[derive(Clone)]
@@ -78,6 +79,12 @@ pub struct Database {
     triggers: RwLock<HashMap<String, Vec<Arc<TriggerDef>>>>,
     wal: Mutex<Wal>,
     write_gate: Mutex<()>,
+    /// Group-commit coordinator for `SyncPolicy::Always` commits (D15).
+    group: GroupCommit,
+    /// Transactions that have begun but not yet appended their commit
+    /// record — the group-commit leader's signal that waiting a little
+    /// longer will grow the group.
+    pub(crate) write_waiters: AtomicUsize,
     txids: IdGenerator,
     clock: Arc<dyn Clock>,
     dir: Option<PathBuf>,
@@ -98,6 +105,8 @@ impl Database {
             triggers: RwLock::new(HashMap::new()),
             wal: Mutex::new(wal),
             write_gate: Mutex::new(()),
+            group: GroupCommit::new(&options.registry),
+            write_waiters: AtomicUsize::new(0),
             txids: IdGenerator::default(),
             clock: options.clock,
             dir: Some(dir.clone()),
@@ -118,6 +127,8 @@ impl Database {
             triggers: RwLock::new(HashMap::new()),
             wal: Mutex::new(wal),
             write_gate: Mutex::new(()),
+            group: GroupCommit::new(&options.registry),
+            write_waiters: AtomicUsize::new(0),
             txids: IdGenerator::default(),
             clock: options.clock,
             dir: None,
@@ -315,9 +326,11 @@ impl Database {
 
     // ---- transactions ----------------------------------------------------
 
-    /// Begin a transaction. Holds the single write gate until commit,
-    /// rollback or drop.
+    /// Begin a transaction. Holds the single write gate until commit's
+    /// append, rollback or drop (a group-commit fsync waits *outside*
+    /// the gate, so producers overlap the leader's sync).
     pub fn begin(&self) -> Transaction<'_> {
+        self.write_waiters.fetch_add(1, Ordering::Relaxed);
         let gate = self.write_gate.lock();
         Transaction::new(self, self.txids.next_id(), gate)
     }
@@ -355,6 +368,28 @@ impl Database {
 
     pub(crate) fn wal_append(&self, txid: u64, ops: &[WalOp]) -> Result<u64> {
         self.wal.lock().append(txid, self.now(), ops)
+    }
+
+    /// Append a transaction's commit record. Under `SyncPolicy::Always`
+    /// the record is appended unsynced and enlisted with the group-commit
+    /// coordinator; the returned flag tells the committer to release the
+    /// write gate and call [`Database::group_wait`] for durability. Other
+    /// policies keep the classic per-append behavior.
+    pub(crate) fn commit_append(&self, txid: u64, ops: &[WalOp]) -> Result<(u64, bool)> {
+        let mut wal = self.wal.lock();
+        if wal.policy() == SyncPolicy::Always {
+            let lsn = wal.append_unsynced(txid, self.now(), ops)?;
+            drop(wal);
+            self.group.enlist(lsn);
+            Ok((lsn, true))
+        } else {
+            Ok((wal.append(txid, self.now(), ops)?, false))
+        }
+    }
+
+    /// Block until a group fsync covers `lsn` (leading one if needed).
+    pub(crate) fn group_wait(&self, lsn: u64) -> Result<()> {
+        self.group.wait_durable(lsn, &self.wal, &self.write_waiters)
     }
 
     /// Read committed journal records after `lsn` (journal mining).
@@ -726,6 +761,99 @@ mod tests {
         db.insert("t", Record::from_iter([Value::Int(3), Value::Float(-1.0)]))
             .unwrap();
         assert!(db.drop_trigger("veto_negative").is_err());
+    }
+
+    #[test]
+    fn group_commit_coalesces_fsyncs() {
+        let dir = tmpdir("group");
+        let db = Database::open(&dir, DbOptions::default()).unwrap(); // SyncPolicy::Always
+        db.create_table("t", schema(), "id").unwrap();
+        let threads = 8usize;
+        let per = 25usize;
+        let base_syncs = db.wal_sync_count();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..per {
+                        db.insert(
+                            "t",
+                            Record::from_iter([
+                                Value::Int((t * 1000 + i) as i64),
+                                Value::Float(i as f64),
+                            ]),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let commits = (threads * per) as u64;
+        let syncs = db.wal_sync_count() - base_syncs;
+        assert_eq!(db.table("t").unwrap().len() as u64, commits);
+        // The whole point of the coalescer: one leader fsync covers many
+        // commits, so fsyncs come in strictly under the commit count.
+        assert!(
+            (1..commits).contains(&syncs),
+            "expected 1..{commits} fsyncs, got {syncs}"
+        );
+        // Group metrics recorded one entry per fsynced group.
+        let snap = db.registry().snapshot();
+        assert_eq!(snap.counters["evdb_wal_group_commits_total"], 0); // disabled registry records nothing
+        drop(db);
+        // Every acked commit is durable across recovery.
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.table("t").unwrap().len() as u64, commits);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_records_metrics_when_enabled() {
+        let registry = Arc::new(Registry::new());
+        let db = Database::in_memory(DbOptions {
+            registry: Arc::clone(&registry),
+            ..Default::default()
+        })
+        .unwrap();
+        db.create_table("t", schema(), "id").unwrap();
+        for i in 0..5 {
+            db.insert("t", Record::from_iter([Value::Int(i), Value::Float(0.0)]))
+                .unwrap();
+        }
+        let snap = registry.snapshot();
+        let groups = snap.counters["evdb_wal_group_commits_total"];
+        assert!((1..=5).contains(&groups), "got {groups}");
+        let size = snap.histograms["evdb_wal_group_size"];
+        assert_eq!(size.count, groups);
+        assert!(size.sum >= 5.0, "every commit must be in some group");
+    }
+
+    #[test]
+    fn group_sync_crash_fails_commit_without_rollback() {
+        use evdb_faults::{FaultInjector, IoFault};
+        let injector = FaultInjector::new(21);
+        let db = Database::in_memory(DbOptions {
+            faults: Some(Arc::clone(&injector)),
+            ..Default::default()
+        })
+        .unwrap();
+        db.create_table("t", schema(), "id").unwrap();
+        db.insert("t", Record::from_iter([Value::Int(1), Value::Float(1.0)]))
+            .unwrap();
+
+        // Crash exactly at the leader's fsync: the append (wal.group.append)
+        // passes, the group sync fires the fault.
+        injector.arm(1, IoFault::PowerCut);
+        let err = db
+            .insert("t", Record::from_iter([Value::Int(2), Value::Float(2.0)]))
+            .unwrap_err();
+        assert!(FaultInjector::is_crash(&err), "{err}");
+        assert_eq!(injector.crash_site().as_deref(), Some("wal.group.sync"));
+        // Ack lost, not aborted: the record is in the log and memory keeps
+        // it — recovery decides from what reached the platter.
+        assert_eq!(db.table("t").unwrap().len(), 2);
+        injector.heal();
+        assert_eq!(db.wal_read_after(0).unwrap().len(), 3); // DDL + 2 inserts
     }
 
     #[test]

@@ -22,10 +22,17 @@
 //! [`ColumnStats`] (pruned segments are never read), then zone-level
 //! inside surviving segments ([`crate::columnar`]). Every prune and scan
 //! is counted (D9): see [`StoreStats`].
+//!
+//! Scans are **chunked** (D15): each segment file is checksum-verified
+//! once per store instance via fixed-size streamed reads, then zone
+//! bodies are fetched individually into a reusable buffer — peak scan
+//! memory is proportional to a zone, never to a whole segment file, so
+//! history size is bounded by disk, not RAM.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,16 +42,20 @@ use evdb_faults::{FaultInjector, WriteDecision};
 use evdb_types::{Error, Record, Result, Schema, TimestampMs};
 use parking_lot::Mutex;
 
-use crate::codec::{self, decode_value, encode_value, Reader};
+use crate::codec::{self, decode_schema, decode_value, encode_value, Reader};
 use crate::columnar::{
-    decode_segment, encode_segment, ColumnStats, StoredEvent, DEFAULT_ZONE_ROWS,
+    decode_stats, decode_zone_rows, encode_segment, ColumnStats, StoredEvent, DEFAULT_ZONE_ROWS,
+    SEGMENT_MAGIC, SEGMENT_VERSION,
 };
-use crate::crc::crc32;
+use crate::crc::{crc32, Crc32};
 use crate::wal::fsync_dir;
 
 const MANIFEST_MAGIC: u32 = 0x464d_5345; // "ESMF"
 const HEAD_FILE: &str = "HEAD";
 const MANIFEST_FILE: &str = "MANIFEST";
+/// Read size for streamed checksum verification: peak buffer for
+/// verifying a segment of any size.
+const VERIFY_CHUNK: usize = 256 * 1024;
 
 /// Tuning knobs for a [`SegmentStore`].
 #[derive(Clone)]
@@ -140,6 +151,13 @@ pub struct StoreStats {
     /// Orphan files removed during recovery (crash between segment
     /// write and manifest commit).
     pub orphans_removed: AtomicU64,
+    /// Bytes read from segment files (streamed verification passes plus
+    /// per-zone body reads).
+    pub bytes_read: AtomicU64,
+    /// High-water mark of the reusable zone read buffer, in bytes: the
+    /// witness that scan memory is proportional to a *zone*, not a
+    /// segment (chunked reads, D15).
+    pub peak_zone_buffer: AtomicU64,
 }
 
 /// Point-in-time copy of [`StoreStats`].
@@ -163,6 +181,10 @@ pub struct StoreStatsSnapshot {
     pub replayed: u64,
     /// See [`StoreStats::orphans_removed`].
     pub orphans_removed: u64,
+    /// See [`StoreStats::bytes_read`].
+    pub bytes_read: u64,
+    /// See [`StoreStats::peak_zone_buffer`].
+    pub peak_zone_buffer: u64,
 }
 
 struct Inner {
@@ -185,6 +207,10 @@ pub struct SegmentStore {
     schema: Arc<Schema>,
     opts: SegmentStoreOptions,
     inner: Mutex<Inner>,
+    /// Segment files whose checksum this store instance has already
+    /// streamed and verified. Immutable once written, so one pass per
+    /// file suffices; later scans read only the zones they need.
+    verified: Mutex<HashSet<String>>,
     /// Activity counters (shared with observability bridges).
     pub stats: Arc<StoreStats>,
 }
@@ -271,6 +297,7 @@ impl SegmentStore {
                 head,
                 head_file,
             }),
+            verified: Mutex::new(HashSet::new()),
             stats,
         })
     }
@@ -314,6 +341,8 @@ impl SegmentStore {
             zones_pruned: s.zones_pruned.load(Ordering::Relaxed),
             replayed: s.replayed.load(Ordering::Relaxed),
             orphans_removed: s.orphans_removed.load(Ordering::Relaxed),
+            bytes_read: s.bytes_read.load(Ordering::Relaxed),
+            peak_zone_buffer: s.peak_zone_buffer.load(Ordering::Relaxed),
         }
     }
 
@@ -477,9 +506,103 @@ impl SegmentStore {
         })
     }
 
-    fn read_segment(&self, meta: &SegmentMeta) -> Result<crate::columnar::Segment> {
-        let bytes = fs::read(self.dir.join(&meta.file))?;
-        decode_segment(bytes)
+    /// Stream-verify a segment file's checksum in [`VERIFY_CHUNK`]-sized
+    /// reads (bounded memory whatever the file size), once per file per
+    /// store instance — segment files are immutable, so the result is
+    /// cached and later scans go straight to zone reads.
+    fn verify_segment(&self, meta: &SegmentMeta) -> Result<()> {
+        if self.verified.lock().contains(&meta.file) {
+            return Ok(());
+        }
+        let f = File::open(self.dir.join(&meta.file))?;
+        let len = f.metadata()?.len();
+        if len < 4 {
+            return Err(Error::Corruption("segment shorter than its crc".into()));
+        }
+        let data_len = len - 4;
+        let mut hasher = Crc32::new();
+        let mut buf = vec![0u8; VERIFY_CHUNK.min(data_len.max(1) as usize)];
+        let mut pos = 0u64;
+        while pos < data_len {
+            let n = ((data_len - pos) as usize).min(VERIFY_CHUNK);
+            f.read_exact_at(&mut buf[..n], pos)?;
+            hasher.update(&buf[..n]);
+            pos += n as u64;
+        }
+        let mut crc_bytes = [0u8; 4];
+        f.read_exact_at(&mut crc_bytes, data_len)?;
+        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+        if hasher.finalize() != u32::from_le_bytes(crc_bytes) {
+            return Err(Error::Corruption("segment crc mismatch".into()));
+        }
+        self.verified.lock().insert(meta.file.clone());
+        Ok(())
+    }
+
+    /// Open a segment for chunked scanning: verify the checksum
+    /// (cached), then parse the zone directory, *seeking past* the
+    /// bodies. Only zone metadata lives in memory; bodies are fetched
+    /// one at a time by [`OpenSegment::read_zone`].
+    fn open_segment(&self, meta: &SegmentMeta) -> Result<OpenSegment> {
+        self.verify_segment(meta)?;
+        let file = File::open(self.dir.join(&meta.file))?;
+        let data_len = file.metadata()?.len().saturating_sub(4);
+        let mut win = Vec::new();
+        let ((schema, zone_count), mut pos) = parse_at(&file, data_len, 0, &mut win, |r| {
+            if r.u32()? != SEGMENT_MAGIC {
+                return Err(Error::Corruption("bad segment magic".into()));
+            }
+            let version = r.u16()?;
+            if version != SEGMENT_VERSION {
+                return Err(Error::Corruption(format!(
+                    "unsupported segment version {version}"
+                )));
+            }
+            let schema = decode_schema(r)?;
+            let _zone_rows = r.u32()?;
+            let nzones = r.u32()? as usize;
+            Ok((schema, nzones))
+        })?;
+        let ncols = schema.len();
+        let mut zones = Vec::with_capacity(zone_count);
+        for _ in 0..zone_count {
+            let (mut zone, meta_end) = parse_at(&file, data_len, pos, &mut win, |r| {
+                let rows = r.u32()? as usize;
+                let seq_min = r.u64()?;
+                let seq_max = r.u64()?;
+                let ts_min = TimestampMs(r.i64()?);
+                let ts_max = TimestampMs(r.i64()?);
+                let mut stats = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    stats.push(decode_stats(r)?);
+                }
+                let len = r.u32()? as usize;
+                Ok(ZoneDir {
+                    rows,
+                    seq_min,
+                    seq_max,
+                    ts_min,
+                    ts_max,
+                    stats,
+                    offset: 0,
+                    len,
+                })
+            })?;
+            zone.offset = meta_end;
+            pos = meta_end + zone.len as u64;
+            if pos > data_len {
+                return Err(Error::Corruption("zone body truncated".into()));
+            }
+            zones.push(zone);
+        }
+        if pos != data_len {
+            return Err(Error::Corruption("trailing bytes after zones".into()));
+        }
+        Ok(OpenSegment {
+            file,
+            schema,
+            zones,
+        })
     }
 
     /// Evaluate `predicate` over the whole history (segments + head),
@@ -496,20 +619,21 @@ impl SegmentStore {
             )
         };
         let mut out = Vec::new();
+        let mut zone_buf = Vec::new();
         for meta in &metas {
             self.stats.segments_considered.fetch_add(1, Ordering::Relaxed);
             if !meta.may_match(&self.schema, &form.constraints) {
                 self.stats.segments_pruned.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let seg = self.read_segment(meta)?;
+            let seg = self.open_segment(meta)?;
             for (zi, zone) in seg.zones.iter().enumerate() {
                 self.stats.zones_considered.fetch_add(1, Ordering::Relaxed);
                 if !zone.may_match(&self.schema, &form.constraints) {
                     self.stats.zones_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                for ev in seg.decode_zone(zi)? {
+                for ev in seg.read_zone(zi, &mut zone_buf, &self.stats)? {
                     if bound.matches(&ev.payload)? {
                         out.push(ev);
                     }
@@ -536,8 +660,12 @@ impl SegmentStore {
             )
         };
         let mut out = Vec::new();
+        let mut zone_buf = Vec::new();
         for meta in &metas {
-            out.extend(self.read_segment(meta)?.decode_all()?);
+            let seg = self.open_segment(meta)?;
+            for zi in 0..seg.zones.len() {
+                out.extend(seg.read_zone(zi, &mut zone_buf, &self.stats)?);
+            }
         }
         out.extend(head);
         out.sort_by_key(|e| e.seq);
@@ -555,17 +683,18 @@ impl SegmentStore {
             )
         };
         let mut out = Vec::new();
+        let mut zone_buf = Vec::new();
         for meta in &metas {
             if meta.seq_max < from_seq || meta.seq_min >= to_seq {
                 continue;
             }
-            let seg = self.read_segment(meta)?;
+            let seg = self.open_segment(meta)?;
             for (zi, zone) in seg.zones.iter().enumerate() {
                 if zone.seq_max < from_seq || zone.seq_min >= to_seq {
                     continue;
                 }
                 out.extend(
-                    seg.decode_zone(zi)?
+                    seg.read_zone(zi, &mut zone_buf, &self.stats)?
                         .into_iter()
                         .filter(|e| e.seq >= from_seq && e.seq < to_seq),
                 );
@@ -595,13 +724,14 @@ impl SegmentStore {
             )
         };
         let mut out = Vec::new();
+        let mut zone_buf = Vec::new();
         for meta in &metas {
             self.stats.segments_considered.fetch_add(1, Ordering::Relaxed);
             if meta.ts_max < from || meta.ts_min > to {
                 self.stats.segments_pruned.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let seg = self.read_segment(meta)?;
+            let seg = self.open_segment(meta)?;
             for (zi, zone) in seg.zones.iter().enumerate() {
                 self.stats.zones_considered.fetch_add(1, Ordering::Relaxed);
                 if zone.ts_max < from || zone.ts_min > to {
@@ -609,7 +739,7 @@ impl SegmentStore {
                     continue;
                 }
                 out.extend(
-                    seg.decode_zone(zi)?
+                    seg.read_zone(zi, &mut zone_buf, &self.stats)?
                         .into_iter()
                         .filter(|e| e.timestamp >= from && e.timestamp <= to),
                 );
@@ -643,8 +773,12 @@ impl SegmentStore {
         }
         // Rows from every input, re-sorted time-stable like a freeze.
         let mut rows = Vec::new();
+        let mut zone_buf = Vec::new();
         for meta in &inputs {
-            rows.extend(self.read_segment(meta)?.decode_all()?);
+            let seg = self.open_segment(meta)?;
+            for zi in 0..seg.zones.len() {
+                rows.extend(seg.read_zone(zi, &mut zone_buf, &self.stats)?);
+            }
         }
         rows.sort_by_key(|e| (e.timestamp, e.seq));
         let merged = self.write_segment(&rows, "seg.compact.write", "seg.compact.rename")?;
@@ -663,6 +797,86 @@ impl SegmentStore {
             let _ = fs::remove_file(self.dir.join(&meta.file));
         }
         Ok(())
+    }
+}
+
+// ---- chunked segment scanning ----------------------------------------------
+
+/// Zone directory entry parsed from a segment file: the pruning metadata
+/// plus the absolute offset of the (not yet read) body.
+struct ZoneDir {
+    rows: usize,
+    seq_min: u64,
+    seq_max: u64,
+    ts_min: TimestampMs,
+    ts_max: TimestampMs,
+    stats: Vec<ColumnStats>,
+    /// Absolute body offset in the file.
+    offset: u64,
+    /// Body length, bytes.
+    len: usize,
+}
+
+impl ZoneDir {
+    fn may_match(&self, schema: &Schema, constraints: &[Constraint]) -> bool {
+        constraints.iter().all(|c| match schema.index_of(c.field()) {
+            Some(i) => self.stats[i].may_match(c),
+            None => true,
+        })
+    }
+}
+
+/// A segment opened for chunked scanning: the zone directory is in
+/// memory, bodies stay on disk until [`read_zone`](Self::read_zone)
+/// fetches them one at a time.
+struct OpenSegment {
+    file: File,
+    schema: Arc<Schema>,
+    zones: Vec<ZoneDir>,
+}
+
+impl OpenSegment {
+    /// Read and decode one zone body into `buf` (reused across calls so
+    /// scan memory is one zone, not one segment — `peak_zone_buffer`
+    /// records the buffer's high-water mark as the witness).
+    fn read_zone(&self, zi: usize, buf: &mut Vec<u8>, stats: &StoreStats) -> Result<Vec<StoredEvent>> {
+        let z = &self.zones[zi];
+        buf.resize(z.len, 0);
+        self.file.read_exact_at(&mut buf[..z.len], z.offset)?;
+        stats.bytes_read.fetch_add(z.len as u64, Ordering::Relaxed);
+        stats
+            .peak_zone_buffer
+            .fetch_max(buf.capacity() as u64, Ordering::Relaxed);
+        decode_zone_rows(&self.schema, z.rows, &buf[..z.len])
+    }
+}
+
+/// Parse a value from `file` at absolute offset `pos` through a growable
+/// read window: start small, and if the parser runs out of bytes double
+/// the window and retry (zone metadata is tiny, so one 4 KiB read almost
+/// always suffices). Returns the value and the offset just past the
+/// bytes it consumed.
+fn parse_at<T>(
+    file: &File,
+    data_len: u64,
+    pos: u64,
+    win: &mut Vec<u8>,
+    parse: impl Fn(&mut Reader<'_>) -> Result<T>,
+) -> Result<(T, u64)> {
+    let remaining = (data_len.saturating_sub(pos)) as usize;
+    let mut window = remaining.min(4096.max(win.len()));
+    loop {
+        win.resize(window, 0);
+        file.read_exact_at(&mut win[..window], pos)?;
+        let mut r = Reader::new(&win[..window]);
+        match parse(&mut r) {
+            Ok(v) => {
+                let consumed = (window - r.remaining()) as u64;
+                return Ok((v, pos + consumed));
+            }
+            Err(_) if window < remaining => window = (window * 2).min(remaining),
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -972,6 +1186,58 @@ mod tests {
         assert_eq!(hits.len(), 5);
         let st = s.stats_snapshot();
         assert!(st.segments_pruned >= 2, "{st:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunked_scans_peak_memory_is_zone_not_segment() {
+        let dir = tmp("chunked");
+        let s = store(&dir, 512); // zone_rows = 8 -> one segment, 64 zones
+        fill(&s, 512);
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.head_rows(), 0);
+        let meta = s.segment_metas().remove(0);
+
+        let all = s.scan_all().unwrap();
+        assert_eq!(all.len(), 512);
+        let st1 = s.stats_snapshot();
+        // The reusable zone buffer's high-water mark must be a small
+        // fraction of the segment: whole-file materialization would put
+        // it at >= meta.bytes.
+        assert!(st1.peak_zone_buffer > 0);
+        assert!(
+            st1.peak_zone_buffer * 8 < meta.bytes,
+            "peak zone buffer {} vs segment {}",
+            st1.peak_zone_buffer,
+            meta.bytes
+        );
+        // First scan streamed the file once for verification plus every
+        // zone body.
+        assert!(st1.bytes_read >= meta.bytes, "{st1:?}");
+
+        // Second scan skips re-verification (immutable file, cached):
+        // only zone bodies are read again, strictly less than a whole
+        // file's worth.
+        let again = s.scan_all().unwrap();
+        assert_eq!(again, all);
+        let st2 = s.stats_snapshot();
+        assert!(
+            st2.bytes_read - st1.bytes_read < meta.bytes,
+            "re-scan read {} bytes, segment is {}",
+            st2.bytes_read - st1.bytes_read,
+            meta.bytes
+        );
+
+        // Pruned queries read even less: a point query must not fetch
+        // every zone body.
+        let pre = s.stats_snapshot().bytes_read;
+        let hits = s.query(&parse("k = 100").unwrap()).unwrap();
+        assert_eq!(hits.len(), 1);
+        let post = s.stats_snapshot().bytes_read;
+        assert!(
+            post - pre < st2.bytes_read - st1.bytes_read,
+            "pruned query should read fewer body bytes than a full scan"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

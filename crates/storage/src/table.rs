@@ -295,25 +295,41 @@ impl Table {
         }
 
         let mut out = Vec::new();
+        let mut scratch = evdb_expr::BatchScratch::new();
         match candidates {
             Some(keys) => {
-                for k in keys {
-                    if let Some(row) = inner.rows.get(&k) {
-                        if bound.matches(row)? {
-                            out.push(row.clone());
-                        }
-                    }
-                }
+                let rows: Vec<&Record> = keys.iter().filter_map(|k| inner.rows.get(k)).collect();
+                Self::filter_batched(&bound, &rows, &mut scratch, &mut out)?;
             }
             None => {
-                for row in inner.rows.values() {
-                    if bound.matches(row)? {
-                        out.push(row.clone());
-                    }
-                }
+                let rows: Vec<&Record> = inner.rows.values().collect();
+                Self::filter_batched(&bound, &rows, &mut scratch, &mut out)?;
             }
         }
         Ok(out)
+    }
+
+    /// Verify candidate rows through the batch VM (D15) instead of one
+    /// `matches` dispatch per row. Scan order and first-error-wins are
+    /// preserved: verdicts come back aligned with `rows`, and the first
+    /// `Err` in scan order aborts the select exactly as the per-row
+    /// `?` did.
+    fn filter_batched(
+        pred: &evdb_expr::CompiledExpr,
+        rows: &[&Record],
+        scratch: &mut evdb_expr::BatchScratch,
+        out: &mut Vec<Record>,
+    ) -> Result<()> {
+        let mut verdicts: Vec<Result<bool>> = Vec::new();
+        for chunk in rows.chunks(1024) {
+            pred.matches_batch(chunk, |r| *r, scratch, &mut verdicts);
+            for (r, v) in chunk.iter().zip(verdicts.drain(..)) {
+                if v? {
+                    out.push((*r).clone());
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Remove every row (used by recovery when re-applying a checkpoint).

@@ -154,6 +154,34 @@ impl TriggerDef {
     pub fn fire(&self, event: &ChangeEvent) -> Result<()> {
         (self.action)(event)
     }
+
+    /// Batched form of [`applies`](Self::applies): `out[i]` equals
+    /// `applies(&events[i])`, with the WHEN predicate verified for the
+    /// whole batch through the batch VM (D15). Row-op fires inside a
+    /// transaction stay per-event (BEFORE triggers veto mid-flight);
+    /// this entry point serves capture-style screening where a drained
+    /// change batch is tested against one trigger.
+    pub fn applies_batch(
+        &self,
+        events: &[ChangeEvent],
+        scratch: &mut evdb_expr::BatchScratch,
+        out: &mut Vec<Result<bool>>,
+    ) {
+        match &self.when_bound {
+            None => {
+                out.clear();
+                out.extend(events.iter().map(|ev| Ok(self.ops.includes(ev.kind))));
+            }
+            Some(pred) => {
+                pred.matches_batch(events, |ev| ev.row(), scratch, out);
+                for (ev, v) in events.iter().zip(out.iter_mut()) {
+                    if !self.ops.includes(ev.kind) {
+                        *v = Ok(false);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +232,49 @@ mod tests {
         assert!(!trig.applies(&event(ChangeKind::Update, 150.0)).unwrap());
         trig.fire(&event(ChangeKind::Insert, 150.0)).unwrap();
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn applies_batch_matches_per_event() {
+        let schema = Schema::of(&[("id", DataType::Int), ("px", DataType::Float)]);
+        let trig = TriggerDef::new(
+            "hi_px",
+            "t",
+            TriggerTiming::After,
+            TriggerOps::INSERT,
+            Some(parse("px > 100").unwrap()),
+            &schema,
+            Arc::new(|_| Ok(())),
+        )
+        .unwrap();
+        let events = vec![
+            event(ChangeKind::Insert, 150.0),
+            event(ChangeKind::Insert, 50.0),
+            event(ChangeKind::Update, 150.0), // masked out
+            event(ChangeKind::Delete, 150.0), // masked out
+        ];
+        let mut scratch = evdb_expr::BatchScratch::new();
+        let mut out = Vec::new();
+        trig.applies_batch(&events, &mut scratch, &mut out);
+        let got: Vec<bool> = out.into_iter().map(|r| r.unwrap()).collect();
+        let want: Vec<bool> = events.iter().map(|e| trig.applies(e).unwrap()).collect();
+        assert_eq!(got, want);
+        assert_eq!(got, vec![true, false, false, false]);
+
+        // No WHEN: pure ops-mask screening.
+        let all = TriggerDef::new(
+            "all",
+            "t",
+            TriggerTiming::After,
+            TriggerOps::ALL,
+            None,
+            &schema,
+            Arc::new(|_| Ok(())),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        all.applies_batch(&events, &mut scratch, &mut out);
+        assert!(out.into_iter().all(|r| r.unwrap()));
     }
 
     #[test]

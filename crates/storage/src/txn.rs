@@ -36,7 +36,12 @@ pub struct Transaction<'db> {
     undo: Vec<Undo>,
     redo: Vec<WalOp>,
     finished: bool,
-    _gate: MutexGuard<'db, ()>,
+    /// Still counted in `Database::write_waiters` (begun, commit record
+    /// not yet appended) — the group-commit leader's join signal.
+    counted: bool,
+    /// Held from `begin` until the commit record is appended (or the
+    /// transaction aborts); `None` while a group fsync is awaited.
+    gate: Option<MutexGuard<'db, ()>>,
 }
 
 impl<'db> Transaction<'db> {
@@ -47,7 +52,19 @@ impl<'db> Transaction<'db> {
             undo: Vec::new(),
             redo: Vec::new(),
             finished: false,
-            _gate: gate,
+            counted: true,
+            gate: Some(gate),
+        }
+    }
+
+    /// Leave the group-commit leader's join-window count once this
+    /// transaction can no longer produce an append.
+    fn uncount(&mut self) {
+        if self.counted {
+            self.counted = false;
+            self.db
+                .write_waiters
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -187,16 +204,32 @@ impl<'db> Transaction<'db> {
     /// If the append fails (I/O error, injected crash) the eagerly applied
     /// changes are rolled back first, so in-memory state never runs ahead
     /// of the journal — a failed commit is an aborted transaction.
+    ///
+    /// Under `SyncPolicy::Always` the append enlists in a **commit
+    /// group** (D15): the write gate is released as soon as the record is
+    /// in the log, and this thread parks until one leader's fsync covers
+    /// the whole group. If that fsync fails the commit returns `Err`
+    /// *without* rolling back — the record is in the log and later
+    /// transactions may already have built on the state, so its fate is
+    /// "ack lost": recovery decides from what reached the platter.
     pub fn commit(mut self) -> Result<Option<u64>> {
         self.check_open()?;
         if self.redo.is_empty() {
             self.finished = true;
+            self.uncount();
             return Ok(None);
         }
         let ops = std::mem::take(&mut self.redo);
-        match self.db.wal_append(self.txid, &ops) {
-            Ok(lsn) => {
+        match self.db.commit_append(self.txid, &ops) {
+            Ok((lsn, grouped)) => {
                 self.finished = true;
+                self.uncount();
+                if grouped {
+                    // Record is logged: let the next producer append
+                    // while we wait for (or lead) the group fsync.
+                    drop(self.gate.take());
+                    self.db.group_wait(lsn)?;
+                }
                 Ok(Some(lsn))
             }
             Err(e) => {
@@ -216,6 +249,7 @@ impl<'db> Transaction<'db> {
             return;
         }
         self.finished = true;
+        self.uncount();
         while let Some(u) = self.undo.pop() {
             // Physical undo cannot fail unless the engine is corrupted;
             // panic loudly rather than limp on with half-undone state.

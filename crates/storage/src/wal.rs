@@ -20,13 +20,14 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use evdb_faults::{FaultInjector, WriteDecision};
-use evdb_obs::{HistogramHandle, Registry};
+use evdb_obs::{Counter, HistogramHandle, Registry};
 use evdb_types::{Error, Record, Result, Schema, TimestampMs, Value};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::codec::{self, Reader};
 use crate::crc::crc32;
@@ -347,6 +348,11 @@ impl Wal {
         self.syncs
     }
 
+    /// The sync policy this log was opened with.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
     /// Append one committed transaction; returns its LSN. The recorded
     /// append duration includes a policy-triggered fsync, so it reflects
     /// what a committing transaction actually waits for.
@@ -358,6 +364,43 @@ impl Wal {
             }
             None => None,
         };
+        let lsn = self.append_frame(txid, timestamp, ops, "wal.append")?;
+        let should_sync = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.commits_since_sync >= n,
+            SyncPolicy::Never => false,
+        };
+        if should_sync {
+            self.sync()?;
+        }
+        if let (Some(h), Some(t0)) = (&self.append_ms, started) {
+            h.observe(t0.elapsed().as_secs_f64() * 1_000.0);
+        }
+        Ok(lsn)
+    }
+
+    /// Append one committed transaction **without** any policy-triggered
+    /// fsync — the enlist half of the group-commit protocol (D15). The
+    /// record is in the log (and survives an OS-level flush) but the
+    /// caller must not report the commit durable until a
+    /// [`GroupCommit`] leader has run [`Wal::sync_group`] past its LSN.
+    /// Fault site: `wal.group.append`.
+    pub fn append_unsynced(
+        &mut self,
+        txid: u64,
+        timestamp: TimestampMs,
+        ops: &[WalOp],
+    ) -> Result<u64> {
+        self.append_frame(txid, timestamp, ops, "wal.group.append")
+    }
+
+    fn append_frame(
+        &mut self,
+        txid: u64,
+        timestamp: TimestampMs,
+        ops: &[WalOp],
+        site: &str,
+    ) -> Result<u64> {
         let lsn = self.next_lsn;
         let mut payload = Vec::with_capacity(64);
         codec::put_u64(&mut payload, lsn);
@@ -373,7 +416,7 @@ impl Wal {
         frame.extend_from_slice(&payload);
 
         let decision = match &self.faults {
-            Some(f) => f.on_write("wal.append", frame.len())?,
+            Some(f) => f.on_write(site, frame.len())?,
             None => WriteDecision::clean(frame.len()),
         };
         if let Some((off, bit)) = decision.flip {
@@ -392,29 +435,28 @@ impl Wal {
             if let Backend::File { file, .. } = &mut self.backend {
                 let _ = file.sync_data();
             }
-            return Err(FaultInjector::crash_error("wal.append"));
+            return Err(FaultInjector::crash_error(site));
         }
         self.bytes_written += frame.len() as u64;
         self.next_lsn += 1;
         self.commits_since_sync += 1;
-
-        let should_sync = match self.policy {
-            SyncPolicy::Always => true,
-            SyncPolicy::EveryN(n) => self.commits_since_sync >= n,
-            SyncPolicy::Never => false,
-        };
-        if should_sync {
-            self.sync()?;
-        }
-        if let (Some(h), Some(t0)) = (&self.append_ms, started) {
-            h.observe(t0.elapsed().as_secs_f64() * 1_000.0);
-        }
         Ok(lsn)
     }
 
     /// fsync now (no-op for the memory backend, but still counted so
     /// benchmarks compare policies fairly).
     pub fn sync(&mut self) -> Result<()> {
+        self.sync_at("wal.sync")
+    }
+
+    /// The group-commit leader's fsync: identical to [`Wal::sync`] but
+    /// hits the `wal.group.sync` fault site so the torture harness can
+    /// crash a leader mid-group.
+    pub fn sync_group(&mut self) -> Result<()> {
+        self.sync_at("wal.group.sync")
+    }
+
+    fn sync_at(&mut self, site: &str) -> Result<()> {
         // Only time syncs that reach a real file: the memory backend's
         // sync is a no-op, so clock reads would *be* the cost rather
         // than measure it (a sync-per-commit policy would otherwise pay
@@ -424,7 +466,7 @@ impl Wal {
             _ => None,
         };
         if let Some(f) = &self.faults {
-            f.point("wal.sync")?;
+            f.point(site)?;
         }
         if let Backend::File { file, .. } = &mut self.backend {
             file.sync_data()?;
@@ -478,6 +520,134 @@ impl Wal {
                 Ok(buf)
             }
             Backend::Mem(buf) => Ok(buf.read().clone()),
+        }
+    }
+}
+
+/// How long a group-commit leader will wait for more producers to join
+/// before paying the fsync, in [`GROUP_WAIT_SLICE`] steps.
+const GROUP_WAIT_SLICES: u32 = 10;
+const GROUP_WAIT_SLICE: Duration = Duration::from_micros(10);
+
+struct GroupState {
+    /// Highest LSN appended through [`Wal::append_unsynced`].
+    tail_lsn: u64,
+    /// Highest LSN covered by a successful group fsync.
+    durable_lsn: u64,
+    /// Appended-but-unsynced commits in the currently forming group.
+    pending: u64,
+    /// Some committer is currently leading (fsyncing) a group.
+    leader_active: bool,
+    /// Commits at or below this LSN saw their group fsync fail;
+    /// `failed_msg` reproduces the leader's error for each of them.
+    failed_through: u64,
+    failed_msg: String,
+}
+
+/// The commit coalescer (D15). Committers append their record under the
+/// write gate via [`Wal::append_unsynced`], [`enlist`](Self::enlist) it,
+/// release the gate, and [`wait_durable`](Self::wait_durable). The first
+/// waiter to find no leader active becomes the **leader**: it gives
+/// in-flight producers a bounded window to join (`write_waiters` counts
+/// transactions that have begun but not yet appended), captures the log
+/// tail, and performs one fsync for the whole group. Followers whose LSN
+/// the fsync covered return without ever touching the file; a follower
+/// the group left behind takes the baton and leads the next one.
+pub(crate) struct GroupCommit {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+    commits: Arc<Counter>,
+    size: Arc<HistogramHandle>,
+}
+
+impl GroupCommit {
+    pub(crate) fn new(registry: &Arc<Registry>) -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GroupState {
+                tail_lsn: 0,
+                durable_lsn: 0,
+                pending: 0,
+                leader_active: false,
+                failed_through: 0,
+                failed_msg: String::new(),
+            }),
+            cv: Condvar::new(),
+            commits: registry.counter("evdb_wal_group_commits_total"),
+            size: registry.histogram("evdb_wal_group_size", 0.0, 256.0, 64),
+        }
+    }
+
+    /// Record that `lsn` has been appended and awaits the next group
+    /// fsync. Call after the append succeeds, before releasing the
+    /// write gate, so the tail advances in append order.
+    pub(crate) fn enlist(&self, lsn: u64) {
+        let mut st = self.state.lock();
+        st.tail_lsn = st.tail_lsn.max(lsn);
+        st.pending += 1;
+    }
+
+    /// Park until `lsn` is covered by a group fsync, leading one if no
+    /// leader is active. Returns the leader's error for every commit in
+    /// a group whose fsync failed (in-memory state is *not* rolled back
+    /// — the record is in the log, only its durability is unknown; see
+    /// `Transaction::commit`).
+    pub(crate) fn wait_durable(
+        &self,
+        lsn: u64,
+        wal: &Mutex<Wal>,
+        write_waiters: &AtomicUsize,
+    ) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            if st.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if st.failed_through >= lsn {
+                return Err(Error::Io(std::io::Error::other(st.failed_msg.clone())));
+            }
+            if !st.leader_active {
+                break;
+            }
+            // Timeout only guards lost wakeups; the loop re-checks.
+            st = self.cv.wait_timeout(st, Duration::from_millis(50)).0;
+        }
+        // Lead the group: give producers that are mid-transaction a
+        // bounded window to append and join before paying the fsync.
+        st.leader_active = true;
+        for _ in 0..GROUP_WAIT_SLICES {
+            if write_waiters.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            drop(st);
+            std::thread::sleep(GROUP_WAIT_SLICE);
+            st = self.state.lock();
+        }
+        let tail = st.tail_lsn;
+        let group_n = st.pending;
+        st.pending = 0;
+        drop(st);
+        let res = wal.lock().sync_group();
+        let mut st = self.state.lock();
+        st.leader_active = false;
+        match res {
+            Ok(()) => {
+                st.durable_lsn = st.durable_lsn.max(tail);
+                self.commits.inc();
+                self.size.observe(group_n as f64);
+                self.cv.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                st.failed_through = st.failed_through.max(tail);
+                // Keep the inner I/O message so a reconstructed error is
+                // still recognizable to `FaultInjector::is_crash`.
+                st.failed_msg = match &e {
+                    Error::Io(ioe) => ioe.to_string(),
+                    other => other.to_string(),
+                };
+                self.cv.notify_all();
+                Err(e)
+            }
         }
     }
 }

@@ -948,3 +948,112 @@ fn segment_store_torture_no_event_lost_or_duplicated() {
     }
     stats.report("segment");
 }
+
+// ---------------------------------------------------------------------
+// Group commit (D15): under `SyncPolicy::Always`, a commit whose caller
+// saw `Ok` was covered by a group fsync and must survive recovery; a
+// crash at `wal.group.append` / `wal.group.sync` loses at most the
+// commits of the one uncommitted group (all of which saw `Err`).
+// ---------------------------------------------------------------------
+
+#[test]
+fn group_commit_torture_acked_commits_survive_crashes() {
+    const CYCLES: u64 = 60;
+    const THREADS: usize = 4;
+    const PER: u64 = 12;
+    let base = base_seed().wrapping_add(7);
+    let mut stats = Stats::default();
+
+    for cycle in 0..CYCLES {
+        let seed = cycle_seed(base, cycle);
+        let dir = tmpdir("gc", cycle);
+        let injector = FaultInjector::new(seed ^ 0xFC);
+        // Keys whose insert returned Ok (durable by contract) / Err at
+        // the crash (durability unknown: the record may have reached the
+        // log even though no fsync ack covered it).
+        let mut acked: BTreeSet<i64> = BTreeSet::new();
+        let mut ambiguous: BTreeSet<i64> = BTreeSet::new();
+
+        {
+            let db = Database::open(
+                &dir,
+                DbOptions {
+                    sync: SyncPolicy::Always,
+                    faults: Some(Arc::clone(&injector)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            db.create_table("t", Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]), "k")
+                .unwrap();
+            // Arm after setup; sites hit per cycle ≈ appends + group
+            // fsyncs, so the sampled countdown usually lands mid-workload.
+            injector.arm_sampled(THREADS as u64 * PER);
+
+            let results: Vec<(Vec<i64>, Vec<i64>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|t| {
+                        let db = &db;
+                        s.spawn(move || {
+                            let mut ok = Vec::new();
+                            let mut err = Vec::new();
+                            for i in 0..PER {
+                                let k = (t as i64) * 1_000 + i as i64;
+                                match db.insert(
+                                    "t",
+                                    Record::from_iter([Value::Int(k), Value::Int(k)]),
+                                ) {
+                                    Ok(_) => ok.push(k),
+                                    Err(e) => {
+                                        assert!(
+                                            FaultInjector::is_crash(&e),
+                                            "non-crash workload error: {e}"
+                                        );
+                                        err.push(k);
+                                        break;
+                                    }
+                                }
+                            }
+                            (ok, err)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (ok, err) in results {
+                acked.extend(ok);
+                ambiguous.extend(err);
+            }
+        }
+        stats.record(&injector);
+
+        // Recover with no injector: acked ⊆ recovered ⊆ acked ∪ ambiguous.
+        let db = Database::open(&dir, DbOptions::default()).unwrap();
+        let t = db.table("t").unwrap();
+        let recovered: BTreeSet<i64> = t
+            .scan()
+            .iter()
+            .map(|r| r.get(0).and_then(Value::as_int).unwrap())
+            .collect();
+        for k in &acked {
+            assert!(
+                recovered.contains(k),
+                "cycle {cycle} (site {:?}): acked-Ok commit {k} lost",
+                injector.crash_site()
+            );
+        }
+        for k in &recovered {
+            assert!(
+                acked.contains(k) || ambiguous.contains(k),
+                "cycle {cycle} (site {:?}): phantom row {k} recovered",
+                injector.crash_site()
+            );
+        }
+        // The recovered database keeps committing durably.
+        db.insert("t", Record::from_iter([Value::Int(-1), Value::Int(7)]))
+            .unwrap();
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    stats.report("group-commit");
+}
